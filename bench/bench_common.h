@@ -1,0 +1,90 @@
+#ifndef BENCH_COMMON_H
+#define BENCH_COMMON_H
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/virtual_clock.h"
+#include "workloads/common.h"
+
+/// \file bench_common.h
+/// Shared plumbing for the per-figure benchmark binaries.
+///
+/// Every benchmark reports *virtual* time (google-benchmark manual time), so
+/// results are deterministic and host-independent; after the benchmark run
+/// each binary prints its figure/table in the layout the paper uses, plus
+/// the paper-claimed numbers for side-by-side comparison (EXPERIMENTS.md
+/// records both).
+
+namespace bench {
+
+/// Report a workload's virtual duration as the iteration time.
+inline void set_virtual_time(benchmark::State& state, tmpi::net::Time ns) {
+  state.SetIterationTime(static_cast<double>(ns) * 1e-9);
+}
+
+/// Collects (series, x) -> value points and prints a paper-style table:
+/// rows are x values, columns are series.
+class FigureTable {
+ public:
+  FigureTable(std::string title, std::string xlabel, std::string vlabel)
+      : title_(std::move(title)), xlabel_(std::move(xlabel)), vlabel_(std::move(vlabel)) {}
+
+  void add(const std::string& series, double x, double value) {
+    if (std::find(series_.begin(), series_.end(), series) == series_.end()) {
+      series_.push_back(series);
+    }
+    values_[{x, series}] = value;
+    xs_.insert(x);
+  }
+
+  void print() const {
+    std::printf("\n=== %s ===\n", title_.c_str());
+    std::printf("values: %s\n", vlabel_.c_str());
+    std::printf("%-14s", xlabel_.c_str());
+    for (const auto& s : series_) std::printf(" %18s", s.c_str());
+    std::printf("\n");
+    for (double x : xs_) {
+      std::printf("%-14g", x);
+      for (const auto& s : series_) {
+        auto it = values_.find({x, s});
+        if (it == values_.end()) {
+          std::printf(" %18s", "-");
+        } else {
+          std::printf(" %18.4g", it->second);
+        }
+      }
+      std::printf("\n");
+    }
+  }
+
+ private:
+  std::string title_;
+  std::string xlabel_;
+  std::string vlabel_;
+  std::vector<std::string> series_;
+  std::set<double> xs_;
+  std::map<std::pair<double, std::string>, double> values_;
+};
+
+/// Print a free-form note line (paper-claimed comparisons).
+inline void note(const char* fmt, ...) {
+  std::va_list args;
+  va_start(args, fmt);
+  std::printf("  note: ");
+  std::vprintf(fmt, args);
+  std::printf("\n");
+  va_end(args);
+}
+
+}  // namespace bench
+
+#endif  // BENCH_COMMON_H

@@ -1,0 +1,57 @@
+/// E1 — Fig. 1(a): multithreaded message rate between two nodes.
+///
+/// Paper shape: "MPI everywhere" and MPI+threads with logically parallel
+/// communication (endpoints / tags+hints / comms over a VCI pool) scale with
+/// workers; "MPI+threads (Original)" stays flat on its single channel.
+
+#include "bench_common.h"
+#include "workloads/msgrate.h"
+
+namespace {
+
+bench::FigureTable& table() {
+  static bench::FigureTable t("Fig 1(a): message rate, 2 nodes", "workers",
+                              "million messages/s (virtual time)");
+  return t;
+}
+
+void BM_MsgRate(benchmark::State& state, wl::MsgRateMode mode) {
+  wl::MsgRateParams p;
+  p.mode = mode;
+  p.workers = static_cast<int>(state.range(0));
+  p.msgs_per_worker = 2048;
+  p.window = 64;
+  p.msg_bytes = 8;
+  wl::RunResult r;
+  for (auto _ : state) {
+    r = wl::run_msgrate(p);
+    bench::set_virtual_time(state, r.elapsed_ns);
+  }
+  const double mrate = r.msg_rate() * 1e-6;
+  state.counters["Mmsg_per_s"] = mrate;
+  table().add(to_string(mode), p.workers, mrate);
+}
+
+void register_all() {
+  for (auto mode : {wl::MsgRateMode::kEverywhere, wl::MsgRateMode::kThreadsOriginal,
+                    wl::MsgRateMode::kThreadsEndpoints, wl::MsgRateMode::kThreadsTags,
+                    wl::MsgRateMode::kThreadsComms}) {
+    auto* b = benchmark::RegisterBenchmark((std::string("fig1a/") + to_string(mode)).c_str(),
+                                           BM_MsgRate, mode);
+    b->UseManualTime()->Iterations(1)->Unit(benchmark::kMillisecond);
+    for (int workers : {1, 2, 4, 8, 16}) b->Arg(workers);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  table().print();
+  bench::note(
+      "paper: 'Original' flat; everywhere/endpoints/tags/comms scale with workers "
+      "(MPICH 4.0 on Skylake + Omni-Path)");
+  return 0;
+}

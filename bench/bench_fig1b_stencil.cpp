@@ -1,0 +1,85 @@
+/// E2 — Fig. 1(b): Uintah/hypre-style stencil halo exchange.
+///
+/// Series: MPI everywhere (one rank per patch, node NIC shared), MPI+threads
+/// "Original" (single channel), MPI+threads with endpoints. Paper shape:
+/// Original is slowest; logically parallel MPI+threads matches or beats
+/// everywhere (intranode halos ride shared memory instead of the NIC).
+
+#include "bench_common.h"
+#include "workloads/stencil.h"
+
+namespace {
+
+bench::FigureTable& table() {
+  static bench::FigureTable t(
+      "Fig 1(b): 3D 27-pt stencil halo exchange (hypre pattern), 2x2x2 process grid",
+      "threads/process", "time per iteration (us, virtual)");
+  return t;
+}
+
+constexpr int kIters = 6;
+
+wl::StencilParams base(int t) {
+  wl::StencilParams p;
+  p.px = 2;
+  p.py = 2;
+  p.pz = 2;
+  p.tx = t;
+  p.ty = t;
+  p.tz = t;
+  p.iters = kIters;
+  p.halo_bytes = 512;
+  p.diagonals = true;  // 27-point
+  p.num_vcis = t * t * t;
+  return p;
+}
+
+void BM_Stencil(benchmark::State& state, const char* series) {
+  const int t = static_cast<int>(state.range(0));
+  wl::StencilParams p = base(t);
+  if (std::string(series) == "everywhere") {
+    // One rank per patch; ranks of one former process share a node (and NIC).
+    p.px = 2 * t;
+    p.py = 2 * t;
+    p.pz = 2 * t;
+    p.tx = 1;
+    p.ty = 1;
+    p.tz = 1;
+    p.ranks_per_node = t * t * t;
+    p.mech = wl::StencilMech::kSerial;
+    p.num_vcis = 1;
+  } else if (std::string(series) == "threads-original") {
+    p.mech = wl::StencilMech::kSerial;
+  } else {
+    p.mech = wl::StencilMech::kEndpoints;
+  }
+  wl::StencilResult r;
+  for (auto _ : state) {
+    r = wl::run_stencil(p);
+    bench::set_virtual_time(state, r.run.elapsed_ns);
+  }
+  const double us_per_iter = static_cast<double>(r.run.elapsed_ns) / kIters * 1e-3;
+  state.counters["us_per_iter"] = us_per_iter;
+  table().add(series, t * t * t, us_per_iter);
+}
+
+void register_all() {
+  for (const char* series : {"everywhere", "threads-original", "threads-endpoints"}) {
+    auto* b = benchmark::RegisterBenchmark((std::string("fig1b/") + series).c_str(), BM_Stencil, series);
+    b->UseManualTime()->Iterations(1)->Unit(benchmark::kMillisecond);
+    for (int t : {2, 3}) b->Arg(t);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  table().print();
+  bench::note(
+      "paper: Uintah/hypre on KNL + Omni-Path — MPI+threads with logically parallel "
+      "communication achieves the scalability of threads AND the speed of everywhere");
+  return 0;
+}

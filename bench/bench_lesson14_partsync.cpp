@@ -1,0 +1,78 @@
+/// E9 — Lesson 14: the shared-request cost of partitioned communication, and
+/// the unstudied "partitions -> distinct network resources" mapping the paper
+/// calls for (our tmpi_part_vcis ablation).
+
+#include "bench_common.h"
+#include "workloads/stencil.h"
+
+namespace {
+
+bench::FigureTable& table() {
+  static bench::FigureTable t("Lesson 14: 9-pt stencil, 2x2 processes", "threads/process",
+                              "time per iteration (us, virtual)");
+  return t;
+}
+
+bench::FigureTable& lock_table() {
+  static bench::FigureTable t("Lesson 14: serialization evidence", "threads/process",
+                              "shared-request acquisitions per iteration");
+  return t;
+}
+
+constexpr int kIters = 6;
+
+void BM_Part(benchmark::State& state, const char* series) {
+  const int t = static_cast<int>(state.range(0));
+  wl::StencilParams p;
+  p.px = 2;
+  p.py = 2;
+  p.tx = t;
+  p.ty = t;
+  p.iters = kIters;
+  p.halo_bytes = 1024;
+  p.diagonals = true;
+  p.num_vcis = t * t;
+  const std::string s(series);
+  if (s == "partitioned/1vci") {
+    p.mech = wl::StencilMech::kPartitioned;
+    p.part_vcis = 1;
+  } else if (s == "partitioned/Nvcis") {
+    p.mech = wl::StencilMech::kPartitioned;
+    p.part_vcis = t * t;
+  } else {
+    p.mech = wl::StencilMech::kEndpoints;
+  }
+  wl::StencilResult r;
+  for (auto _ : state) {
+    r = wl::run_stencil(p);
+    bench::set_virtual_time(state, r.run.elapsed_ns);
+  }
+  table().add(series, t * t, static_cast<double>(r.run.elapsed_ns) / kIters * 1e-3);
+  lock_table().add(series, t * t,
+                   static_cast<double>(r.run.net.part_lock_acquisitions) / kIters);
+}
+
+void register_all() {
+  for (const char* series : {"partitioned/1vci", "partitioned/Nvcis", "endpoints"}) {
+    auto* b = benchmark::RegisterBenchmark((std::string("lesson14/") + series).c_str(), BM_Part, series);
+    b->UseManualTime()->Iterations(1)->Unit(benchmark::kMillisecond);
+    for (int t : {2, 3, 4}) b->Arg(t);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  table().print();
+  lock_table().print();
+  bench::note(
+      "paper Lesson 14: threads sharing the partitioned request contend or synchronize; "
+      "endpoints keep threads fully independent");
+  bench::note(
+      "paper Section II-C: mapping partitions to distinct network resources had not been "
+      "studied — the Nvcis series is that study on the simulated fabric");
+  return 0;
+}

@@ -1,0 +1,81 @@
+/// E13 — §III-D / Lesson 20: device-initiated communication (simulated).
+///
+/// "Partitioned operations provide lightweight interfaces for
+/// device-initiated communication; the other two designs do not" — but the
+/// control transfers back to the CPU per iteration re-introduce launch
+/// overheads, which persistent-kernel + CPU-proxy techniques avoid.
+
+#include "bench_common.h"
+#include "workloads/device_comm.h"
+
+namespace {
+
+bench::FigureTable& table() {
+  static bench::FigureTable t("Lesson 20: device-driven pairwise exchange, 2 processes",
+                              "device workers", "us per iteration (virtual)");
+  return t;
+}
+
+bench::FigureTable& launch_table() {
+  static bench::FigureTable t("Lesson 20: sensitivity to kernel-launch overhead (8 workers)",
+                              "kernel launch (us)", "us per iteration (virtual)");
+  return t;
+}
+
+constexpr int kIters = 8;
+
+void BM_Device(benchmark::State& state, wl::DeviceMech mech) {
+  wl::DeviceParams p;
+  p.mech = mech;
+  p.device_threads = static_cast<int>(state.range(0));
+  p.iters = kIters;
+  wl::RunResult r;
+  for (auto _ : state) {
+    r = wl::run_device_comm(p);
+    bench::set_virtual_time(state, r.elapsed_ns);
+  }
+  table().add(to_string(mech), p.device_threads,
+              static_cast<double>(r.elapsed_ns) / kIters * 1e-3);
+}
+
+void register_all() {
+  for (auto mech : {wl::DeviceMech::kHostOrchestrated, wl::DeviceMech::kDevicePartitioned,
+                    wl::DeviceMech::kPersistentProxy}) {
+    auto* b = benchmark::RegisterBenchmark((std::string("lesson20/") + to_string(mech)).c_str(),
+                                           BM_Device, mech);
+    b->UseManualTime()->Iterations(1)->Unit(benchmark::kMillisecond);
+    for (int g : {2, 8, 32}) b->Arg(g);
+  }
+}
+
+void launch_sweep() {
+  for (tmpi::net::Time launch : {1000u, 4000u, 16000u, 64000u}) {
+    for (auto mech : {wl::DeviceMech::kHostOrchestrated, wl::DeviceMech::kDevicePartitioned,
+                      wl::DeviceMech::kPersistentProxy}) {
+      wl::DeviceParams p;
+      p.mech = mech;
+      p.device_threads = 8;
+      p.iters = kIters;
+      p.kernel_launch_ns = launch;
+      const auto r = wl::run_device_comm(p);
+      launch_table().add(to_string(mech), static_cast<double>(launch) * 1e-3,
+                         static_cast<double>(r.elapsed_ns) / kIters * 1e-3);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  table().print();
+  launch_sweep();
+  launch_table().print();
+  bench::note(
+      "paper Lesson 20: partitioned Pready/Parrived are the lightweight device-side "
+      "interface, but per-iteration Wait/restart returns control to the CPU; persistent "
+      "kernels with a CPU proxy avoid the relaunches entirely");
+  return 0;
+}

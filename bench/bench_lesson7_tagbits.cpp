@@ -1,0 +1,88 @@
+/// E7 — Lessons 7-9: tags as the parallelism mechanism.
+///
+/// (a) Mapping quality: one-to-one tag-bit hints vs the library's default
+///     tag hash vs Original (Lesson 7: optimal mapping is "tedious" —
+///     it needs implementation-specific hints; hashing leaves rate behind).
+/// (b) Tag-space pressure: encoding two thread ids eats MSBs; the remaining
+///     application tag space shrinks and overflows (Lesson 9).
+
+#include "bench_common.h"
+#include "core/session.h"
+#include "workloads/msgrate.h"
+
+namespace {
+
+bench::FigureTable& rate_table() {
+  static bench::FigureTable t("Lesson 7: tag-to-VCI mapping quality", "workers",
+                              "million messages/s (virtual)");
+  return t;
+}
+
+void BM_TagMap(benchmark::State& state, wl::MsgRateMode mode) {
+  wl::MsgRateParams p;
+  p.mode = mode;
+  p.workers = static_cast<int>(state.range(0));
+  p.msgs_per_worker = 2048;
+  p.window = 64;
+  p.msg_bytes = 8;
+  wl::RunResult r;
+  for (auto _ : state) {
+    r = wl::run_msgrate(p);
+    bench::set_virtual_time(state, r.elapsed_ns);
+  }
+  rate_table().add(to_string(mode), p.workers, r.msg_rate() * 1e-6);
+}
+
+void register_all() {
+  for (auto mode : {wl::MsgRateMode::kThreadsTags, wl::MsgRateMode::kThreadsTagsHash,
+                    wl::MsgRateMode::kThreadsOriginal}) {
+    auto* b =
+        benchmark::RegisterBenchmark((std::string("lesson7/") + to_string(mode)).c_str(), BM_TagMap, mode);
+    b->UseManualTime()->Iterations(1)->Unit(benchmark::kMillisecond);
+    for (int w : {2, 4, 8, 16}) b->Arg(w);
+  }
+}
+
+void print_tag_budget() {
+  bench::FigureTable t("Lesson 9: tag-space pressure (23 tag bits total)", "threads",
+                       "bits / max app tag");
+  for (int threads : {2, 4, 8, 16, 32, 64, 128}) {
+    const int bits = rp::detail::stream_bits(threads);
+    const int app_bits = 23 - 2 * bits;
+    t.add("tid bits per side", threads, bits);
+    t.add("app tag bits left", threads, app_bits);
+    t.add("max app tag", threads, app_bits >= 1 ? (1 << app_bits) - 1 : 0);
+  }
+  t.print();
+  // Demonstrate the overflow concretely through the session tag encoder.
+  int overflow_at = -1;
+  for (int threads : {2, 8, 32, 128}) {
+    const int bits = rp::detail::stream_bits(threads);
+    try {
+      (void)rp::detail::encode_tag(0, 0, /*user_tag=*/1 << 16, bits, 23);
+    } catch (const tmpi::Error&) {
+      overflow_at = threads;
+      break;
+    }
+  }
+  if (overflow_at > 0) {
+    bench::note("an application tag of 2^16 stops fitting at %d threads (kTagOverflow)",
+                overflow_at);
+  }
+  bench::note(
+      "paper: SNAP, Smilei and MITgcm already hit tag overflow without parallelism bits");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  rate_table().print();
+  bench::note(
+      "paper Lesson 7: without the one-to-one hints the library's tag hash decides the "
+      "mapping; collisions keep some channels idle");
+  print_tag_budget();
+  return 0;
+}

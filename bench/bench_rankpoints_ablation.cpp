@@ -1,0 +1,139 @@
+/// E12 — §IV ablation: the Rankpoints session abstraction over each backend.
+///
+/// The same all-streams pairwise exchange runs through rp::Session on every
+/// backend that can express it; setup cost (objects/hints) comes from the
+/// backend's own accounting. This is the paper's proposed "abstraction on
+/// top of MPI", measured.
+
+#include <atomic>
+
+#include "bench_common.h"
+#include "core/session.h"
+#include "tmpi/tmpi.h"
+
+namespace {
+
+bench::FigureTable& time_table() {
+  static bench::FigureTable t("Rankpoints session: pairwise stream exchange, 2 processes",
+                              "streams", "time (us, virtual)");
+  return t;
+}
+
+bench::FigureTable& cost_table() {
+  static bench::FigureTable t("Rankpoints session: setup cost", "streams",
+                              "objects / hints");
+  return t;
+}
+
+constexpr int kMsgs = 256;
+constexpr std::size_t kBytes = 64;
+
+/// Pairwise exchange through dynamic sends (comms/tags/endpoints).
+tmpi::net::Time run_dynamic(rp::Backend backend, int streams) {
+  tmpi::WorldConfig wc;
+  wc.nranks = 2;
+  wc.num_vcis = streams;
+  tmpi::World world(wc);
+  world.run([&](tmpi::Rank& rank) {
+    rp::SessionConfig cfg;
+    cfg.backend = backend;
+    cfg.streams = streams;
+    rp::Session s = rp::Session::create(rank, cfg);
+    if (rank.rank() == 0) {
+      cost_table().add(std::string(to_string(backend)) + "/objects", streams,
+                       s.setup_cost().setup_objects);
+      cost_table().add(std::string(to_string(backend)) + "/impl_hints", streams,
+                       s.setup_cost().impl_specific_hints);
+    }
+    rank.parallel(streams, [&](int tid) {
+      rp::Channel ch = s.channel(tid);
+      const rp::PeerAddr peer{1 - rank.rank(), tid};
+      constexpr int kWindow = 16;
+      std::vector<std::byte> out(kBytes, std::byte{7});
+      std::vector<std::vector<std::byte>> in(kWindow, std::vector<std::byte>(kBytes));
+      std::vector<tmpi::Request> reqs(2 * kWindow);
+      for (int round = 0; round < kMsgs / kWindow; ++round) {
+        for (int i = 0; i < kWindow; ++i) {
+          reqs[static_cast<std::size_t>(i)] =
+              ch.irecv(in[static_cast<std::size_t>(i)].data(), kBytes, peer, 1);
+        }
+        for (int i = 0; i < kWindow; ++i) {
+          reqs[static_cast<std::size_t>(kWindow + i)] = ch.isend(out.data(), kBytes, peer, 1);
+        }
+        tmpi::wait_all(reqs.data(), reqs.size());
+      }
+    });
+  });
+  return world.elapsed();
+}
+
+/// The same exchange through persistent partitioned channels.
+tmpi::net::Time run_partitioned(int streams) {
+  tmpi::WorldConfig wc;
+  wc.nranks = 2;
+  wc.num_vcis = streams;
+  tmpi::World world(wc);
+  world.run([&](tmpi::Rank& rank) {
+    rp::SessionConfig cfg;
+    cfg.backend = rp::Backend::kPartitioned;
+    cfg.streams = streams;
+    rp::Session s = rp::Session::create(rank, cfg);
+    if (rank.rank() == 0) {
+      cost_table().add("partitioned/objects", streams, s.setup_cost().setup_objects);
+      cost_table().add("partitioned/impl_hints", streams, s.setup_cost().impl_specific_hints);
+    }
+    // One partitioned channel per direction; streams partitions each.
+    std::vector<std::byte> out(kBytes * static_cast<std::size_t>(streams), std::byte{7});
+    std::vector<std::byte> in(out.size());
+    rp::Channel ch = s.channel(0);
+    const rp::PeerAddr peer{1 - rank.rank(), 0};
+    tmpi::Request sreq = ch.persistent_send(out.data(), streams, kBytes, peer, 1);
+    tmpi::Request rreq = ch.persistent_recv(in.data(), streams, kBytes, peer, 1);
+    for (int i = 0; i < kMsgs; ++i) {
+      tmpi::start(sreq);
+      tmpi::start(rreq);
+      rank.parallel(streams, [&](int tid) {
+        tmpi::pready(tid, sreq);
+        tmpi::await_partition(rreq, tid);
+      });
+      sreq.wait();
+      rreq.wait();
+    }
+  });
+  return world.elapsed();
+}
+
+void BM_Session(benchmark::State& state, rp::Backend backend) {
+  const int streams = static_cast<int>(state.range(0));
+  tmpi::net::Time elapsed = 0;
+  for (auto _ : state) {
+    elapsed = (backend == rp::Backend::kPartitioned) ? run_partitioned(streams)
+                                                     : run_dynamic(backend, streams);
+    bench::set_virtual_time(state, elapsed);
+  }
+  time_table().add(to_string(backend), streams, static_cast<double>(elapsed) * 1e-3);
+}
+
+void register_all() {
+  for (auto backend : {rp::Backend::kComms, rp::Backend::kTags, rp::Backend::kEndpoints,
+                       rp::Backend::kPartitioned}) {
+    auto* b = benchmark::RegisterBenchmark((std::string("rankpoints/") + to_string(backend)).c_str(),
+                                           BM_Session, backend);
+    b->UseManualTime()->Iterations(1)->Unit(benchmark::kMillisecond);
+    for (int s : {2, 4, 8}) b->Arg(s);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  time_table().print();
+  cost_table().print();
+  bench::note(
+      "paper SIV: one abstraction, pluggable MPI-4.0/endpoints backends; endpoints need "
+      "linear objects and zero impl-specific hints");
+  return 0;
+}

@@ -1,0 +1,45 @@
+/// Legion-style event runtime (Fig. 5): task threads push events to remote
+/// processes; one polling thread per process drains them with wildcard
+/// receives. Shows why the polling pattern forces mechanism choices.
+///
+///   $ ./event_runtime [nranks task_threads events_per_thread]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "workloads/event_runtime.h"
+
+int main(int argc, char** argv) {
+  wl::EventParams p;
+  p.nranks = argc > 1 ? std::atoi(argv[1]) : 4;
+  p.task_threads = argc > 2 ? std::atoi(argv[2]) : 4;
+  p.events_per_thread = argc > 3 ? std::atoi(argv[3]) : 255;
+  if (p.events_per_thread % (p.nranks - 1) != 0) {
+    p.events_per_thread -= p.events_per_thread % (p.nranks - 1);
+  }
+
+  std::printf("event runtime: %d processes, %d task threads + 1 polling thread each, "
+              "%d events/thread\n\n",
+              p.nranks, p.task_threads, p.events_per_thread);
+  std::printf("%-16s %14s %16s\n", "mechanism", "events/ms", "ns/event at poller");
+
+  double eps_ns = 0;
+  double comms_ns = 0;
+  for (auto mech : {wl::EventMech::kSerial, wl::EventMech::kComms, wl::EventMech::kTags,
+                    wl::EventMech::kEndpoints, wl::EventMech::kEverywhere}) {
+    p.mech = mech;
+    const auto r = wl::run_event_runtime(p);
+    const double ns_per_event =
+        static_cast<double>(r.elapsed_ns) / (static_cast<double>(r.aux) / p.nranks);
+    std::printf("%-16s %14.0f %16.0f\n", to_string(mech),
+                static_cast<double>(r.aux) / (r.seconds() * 1e3), ns_per_event);
+    if (mech == wl::EventMech::kComms) comms_ns = ns_per_event;
+    if (mech == wl::EventMech::kEndpoints) eps_ns = ns_per_event;
+  }
+
+  std::printf("\npolling with per-thread comms is %.2fx slower than with a dedicated\n"
+              "endpoint (paper cites 1.63x for Legion) — the polling thread must iterate\n"
+              "the communicators and cannot keep one wildcard receive (Lesson 5)\n",
+              comms_ns / eps_ns);
+  return 0;
+}

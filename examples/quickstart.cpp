@@ -1,0 +1,80 @@
+/// Quickstart: the smallest complete tmpi + rankpoints program.
+///
+/// Builds a 2-node simulated world, exchanges a message both through raw
+/// tmpi point-to-point and through the Rankpoints session abstraction, runs
+/// a collective, and prints the virtual-time cost of each step.
+///
+///   $ ./quickstart
+///
+/// Everything below runs in-process: ranks are threads, the network is
+/// simulated, and all times are virtual nanoseconds (deterministic).
+
+#include <cstdio>
+#include <numeric>
+#include <vector>
+
+#include "core/session.h"
+#include "tmpi/tmpi.h"
+
+int main() {
+  // A world is `mpiexec -n 2` over a simulated fabric (one rank per node).
+  tmpi::WorldConfig cfg;
+  cfg.nranks = 2;
+  cfg.num_vcis = 4;  // per-rank VCI pool (network channels)
+  tmpi::World world(cfg);
+
+  world.run([&](tmpi::Rank& rank) {
+    tmpi::Comm comm = rank.world_comm();
+    const int peer = 1 - rank.rank();
+
+    // --- 1. Point-to-point -------------------------------------------------
+    std::vector<double> data(8);
+    if (rank.rank() == 0) {
+      std::iota(data.begin(), data.end(), 1.0);
+      tmpi::send(data.data(), 8, tmpi::kDouble, peer, /*tag=*/7, comm);
+    } else {
+      tmpi::Status st = tmpi::recv(data.data(), 8, tmpi::kDouble, peer, 7, comm);
+      std::printf("[rank %d] received %d doubles from %d at t=%lu ns\n", rank.rank(),
+                  st.count(sizeof(double)), st.source,
+                  static_cast<unsigned long>(rank.clock().now()));
+    }
+
+    // --- 2. A collective ---------------------------------------------------
+    double sum = 0.0;
+    const double mine = rank.rank() + 1.0;
+    tmpi::allreduce(&mine, &sum, 1, tmpi::kDouble, tmpi::Op::kSum, comm);
+    if (rank.rank() == 0) {
+      std::printf("[rank %d] allreduce sum = %g (expect 3)\n", rank.rank(), sum);
+    }
+
+    // --- 3. Multithreaded communication through Rankpoints ------------------
+    // Four logically parallel streams per process, endpoints backend: each
+    // thread drives its own stream with no shared channel.
+    rp::SessionConfig scfg;
+    scfg.backend = rp::Backend::kEndpoints;
+    scfg.streams = 4;
+    rp::Session session = rp::Session::create(rank, scfg);
+
+    rank.parallel(4, [&](int tid) {
+      rp::Channel ch = session.channel(tid);
+      const rp::PeerAddr to{peer, tid};
+      int out = 100 * rank.rank() + tid;
+      int in = -1;
+      tmpi::Request rr = ch.irecv(&in, sizeof(in), to);
+      tmpi::Request sr = ch.isend(&out, sizeof(out), to);
+      sr.wait();
+      rr.wait();
+    });
+    if (rank.rank() == 0) {
+      std::printf("[rank %d] 4 streams exchanged in parallel; t=%lu ns\n", rank.rank(),
+                  static_cast<unsigned long>(rank.clock().now()));
+    }
+  });
+
+  const auto stats = world.snapshot();
+  std::printf("total: %lu messages, %lu bytes, %lu ns virtual makespan\n",
+              static_cast<unsigned long>(stats.messages),
+              static_cast<unsigned long>(stats.bytes),
+              static_cast<unsigned long>(world.elapsed()));
+  return 0;
+}

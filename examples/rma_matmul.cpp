@@ -1,0 +1,39 @@
+/// NWChem-style get-compute-update over RMA (Fig. 6): threads fetch remote
+/// tiles with Get, multiply, and atomically Accumulate into the owner of the
+/// result tile. Compares the Lesson 16 channel-mapping options.
+///
+///   $ ./rma_matmul [nranks threads nb bs]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "workloads/sparse_matmul.h"
+
+int main(int argc, char** argv) {
+  wl::MatmulParams p;
+  p.nranks = argc > 1 ? std::atoi(argv[1]) : 4;
+  p.threads = argc > 2 ? std::atoi(argv[2]) : 4;
+  p.nb = argc > 3 ? std::atoi(argv[3]) : 6;
+  p.bs = argc > 4 ? std::atoi(argv[4]) : 8;
+  p.keep_mod = 2;  // ~half the (i,j,k) products, block-sparse style
+
+  std::printf("block-sparse C += A*B over RMA: %d processes x %d threads, %dx%d blocks of "
+              "%dx%d doubles\n\n",
+              p.nranks, p.threads, p.nb, p.nb, p.bs, p.bs);
+  std::printf("%-18s %12s %10s %12s\n", "mechanism", "ms (virtual)", "tasks", "atomics");
+
+  for (auto mech :
+       {wl::RmaMech::kStrictWindow, wl::RmaMech::kRelaxedHash, wl::RmaMech::kEndpointsWin}) {
+    p.mech = mech;
+    const auto r = wl::run_sparse_matmul(p);  // verifies against a serial reference
+    std::printf("%-18s %12.3f %10lu %12lu\n", to_string(mech),
+                static_cast<double>(r.elapsed_ns) * 1e-6, static_cast<unsigned long>(r.aux),
+                static_cast<unsigned long>(r.net.atomic_ops));
+  }
+
+  std::printf("\nall three produced the exact serial-reference C. Strict ordering funnels\n"
+              "each (origin,target) pair through one channel; accumulate_ordering=none\n"
+              "spreads by a location hash (collisions remain); endpoint windows give every\n"
+              "thread its own channel while the runtime keeps updates atomic (Lesson 16).\n");
+  return 0;
+}

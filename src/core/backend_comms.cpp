@@ -1,0 +1,94 @@
+#include "core/session.h"
+
+/// Communicators backend: a duplicated communicator per (source stream,
+/// destination stream) pair, plus one per stream for collectives. Fully
+/// parallel and standard, but quadratic in objects (Lesson 3), unable to
+/// span a wildcard receive across streams (Lesson 5), and the user performs
+/// the intranode portion of collectives (Lesson 18).
+
+namespace rp::detail {
+
+namespace {
+
+class CommsBackend final : public SessionBackend {
+ public:
+  CommsBackend(const tmpi::Rank& rank, const SessionConfig& cfg) : streams_(cfg.streams) {
+    const tmpi::Comm base = rank.world_comm();
+    pair_comms_.reserve(static_cast<std::size_t>(streams_) * static_cast<std::size_t>(streams_));
+    for (int i = 0; i < streams_ * streams_; ++i) pair_comms_.push_back(base.dup());
+    stream_comms_.reserve(static_cast<std::size_t>(streams_));
+    for (int i = 0; i < streams_; ++i) stream_comms_.push_back(base.dup());
+  }
+
+  tmpi::Request isend(int stream, const void* buf, std::size_t bytes, PeerAddr to,
+                      int tag) override {
+    return tmpi::isend(buf, static_cast<int>(bytes), tmpi::kByte, to.rank, tag,
+                       pair_comm(stream, to.stream));
+  }
+
+  tmpi::Request irecv(int stream, void* buf, std::size_t cap, PeerAddr from, int tag) override {
+    return tmpi::irecv(buf, static_cast<int>(cap), tmpi::kByte, from.rank, tag,
+                       pair_comm(from.stream, stream));
+  }
+
+  tmpi::Request irecv_any(int /*stream*/, void* /*buf*/, std::size_t /*cap*/) override {
+    throw Unsupported(
+        "a single wildcard receive cannot span multiple communicators; "
+        "the polling thread must iterate per-stream comms instead (Lesson 5)");
+  }
+
+  PeerAddr decode_source(int /*stream*/, const tmpi::Status& /*st*/) const override {
+    throw Unsupported("no wildcard receives on the comms backend (Lesson 5)");
+  }
+
+  tmpi::Request persistent_send(int stream, const void* buf, int partitions,
+                                std::size_t part_bytes, PeerAddr to, int tag) override {
+    return tmpi::psend_init(buf, partitions, static_cast<int>(part_bytes), tmpi::kByte, to.rank,
+                            tag, pair_comm(stream, to.stream));
+  }
+
+  tmpi::Request persistent_recv(int stream, void* buf, int partitions, std::size_t part_bytes,
+                                PeerAddr from, int tag) override {
+    return tmpi::precv_init(buf, partitions, static_cast<int>(part_bytes), tmpi::kByte,
+                            from.rank, tag, pair_comm(from.stream, stream));
+  }
+
+  tmpi::Comm coll_comm(int stream) override {
+    // Per-stream collective over a dedicated duplicate: each process's
+    // threads get partial results and must combine intranode themselves
+    // (Fig. 7 left, Lesson 18).
+    return stream_comms_[static_cast<std::size_t>(stream)];
+  }
+
+  [[nodiscard]] Capabilities caps() const override { return capabilities(Backend::kComms); }
+
+  [[nodiscard]] UsabilityMetrics setup_cost() const override {
+    UsabilityMetrics m;
+    m.setup_objects = streams_ * streams_ + streams_;
+    m.hint_count = 0;
+    m.impl_specific_hints = 0;
+    m.needs_mirroring = true;  // pattern-specific plans are needed to do better
+    m.intuitive = false;
+    return m;
+  }
+
+ private:
+  [[nodiscard]] tmpi::Comm& pair_comm(int src_stream, int dst_stream) {
+    return pair_comms_[static_cast<std::size_t>(src_stream) *
+                           static_cast<std::size_t>(streams_) +
+                       static_cast<std::size_t>(dst_stream)];
+  }
+
+  int streams_;
+  std::vector<tmpi::Comm> pair_comms_;
+  std::vector<tmpi::Comm> stream_comms_;
+};
+
+}  // namespace
+
+std::unique_ptr<SessionBackend> make_comms_backend(const tmpi::Rank& rank,
+                                                   const SessionConfig& cfg) {
+  return std::make_unique<CommsBackend>(rank, cfg);
+}
+
+}  // namespace rp::detail

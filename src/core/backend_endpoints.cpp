@@ -1,0 +1,85 @@
+#include "core/session.h"
+
+/// Endpoints backend: one endpoint per stream; (rank, stream) maps directly
+/// to an endpoint rank. Every Session operation is expressible (Lessons
+/// 10-12, 16, 18); the only costs are non-standardization and per-endpoint
+/// collective buffers (Lessons 17, 19).
+
+namespace rp::detail {
+
+namespace {
+
+class EndpointsBackend final : public SessionBackend {
+ public:
+  EndpointsBackend(const tmpi::Rank& rank, const SessionConfig& cfg)
+      : streams_(cfg.streams), handles_(rank.world_comm().create_endpoints(cfg.streams)) {}
+
+  tmpi::Request isend(int stream, const void* buf, std::size_t bytes, PeerAddr to,
+                      int tag) override {
+    return tmpi::isend(buf, static_cast<int>(bytes), tmpi::kByte, ep_rank(to), tag,
+                       handles_[static_cast<std::size_t>(stream)]);
+  }
+
+  tmpi::Request irecv(int stream, void* buf, std::size_t cap, PeerAddr from, int tag) override {
+    return tmpi::irecv(buf, static_cast<int>(cap), tmpi::kByte, ep_rank(from), tag,
+                       handles_[static_cast<std::size_t>(stream)]);
+  }
+
+  tmpi::Request irecv_any(int stream, void* buf, std::size_t cap) override {
+    // Wildcards are confined to this endpoint's stream — matching stays
+    // correct while the polling thread keeps its own channel (Fig. 5).
+    return tmpi::irecv(buf, static_cast<int>(cap), tmpi::kByte, tmpi::kAnySource, tmpi::kAnyTag,
+                       handles_[static_cast<std::size_t>(stream)]);
+  }
+
+  PeerAddr decode_source(int /*stream*/, const tmpi::Status& st) const override {
+    return PeerAddr{st.source / streams_, st.source % streams_};
+  }
+
+  tmpi::Request persistent_send(int stream, const void* buf, int partitions,
+                                std::size_t part_bytes, PeerAddr to, int tag) override {
+    return tmpi::psend_init(buf, partitions, static_cast<int>(part_bytes), tmpi::kByte,
+                            ep_rank(to), tag, handles_[static_cast<std::size_t>(stream)]);
+  }
+
+  tmpi::Request persistent_recv(int stream, void* buf, int partitions, std::size_t part_bytes,
+                                PeerAddr from, int tag) override {
+    return tmpi::precv_init(buf, partitions, static_cast<int>(part_bytes), tmpi::kByte,
+                            ep_rank(from), tag, handles_[static_cast<std::size_t>(stream)]);
+  }
+
+  tmpi::Comm coll_comm(int stream) override {
+    // All endpoints join one collective: the library performs both the
+    // internode and intranode portions (Lesson 18).
+    return handles_[static_cast<std::size_t>(stream)];
+  }
+
+  [[nodiscard]] Capabilities caps() const override {
+    return capabilities(Backend::kEndpoints);
+  }
+
+  [[nodiscard]] UsabilityMetrics setup_cost() const override {
+    UsabilityMetrics m;
+    m.setup_objects = streams_;
+    m.hint_count = 0;
+    m.impl_specific_hints = 0;
+    m.needs_mirroring = false;
+    m.intuitive = true;
+    return m;
+  }
+
+ private:
+  [[nodiscard]] int ep_rank(PeerAddr a) const { return a.rank * streams_ + a.stream; }
+
+  int streams_;
+  std::vector<tmpi::Comm> handles_;
+};
+
+}  // namespace
+
+std::unique_ptr<SessionBackend> make_endpoints_backend(const tmpi::Rank& rank,
+                                                       const SessionConfig& cfg) {
+  return std::make_unique<EndpointsBackend>(rank, cfg);
+}
+
+}  // namespace rp::detail

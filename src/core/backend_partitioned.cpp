@@ -1,0 +1,94 @@
+#include "core/session.h"
+
+/// Partitioned backend: persistent partitioned channels only. The semantics
+/// it cannot express throw Unsupported, mechanizing Lessons 14-15: no
+/// dynamic patterns, no wildcards, no standalone sends — and every
+/// contribution serializes on the shared request (charged by the runtime).
+/// Partitions spread over `streams` dedicated VCIs, the unstudied mapping
+/// the paper calls for evaluating (our E9 bench does).
+
+namespace rp::detail {
+
+namespace {
+
+class PartitionedBackend final : public SessionBackend {
+ public:
+  PartitionedBackend(const tmpi::Rank& rank, const SessionConfig& cfg)
+      : streams_(cfg.streams),
+        bits_(stream_bits(cfg.streams)),
+        total_bits_(rank.world().config().tag_bits),
+        comm_(rank.world_comm().dup()) {
+    if (cfg.need_wildcards) {
+      throw Unsupported("partitioned receives cannot use wildcards (Lesson 15)");
+    }
+  }
+
+  tmpi::Request isend(int, const void*, std::size_t, PeerAddr, int) override {
+    throw Unsupported(
+        "partitioned communication is persistent by definition; "
+        "dynamic sends are not expressible (Lesson 15)");
+  }
+
+  tmpi::Request irecv(int, void*, std::size_t, PeerAddr, int) override {
+    throw Unsupported("use persistent_recv: partitioned operations are persistent (Lesson 15)");
+  }
+
+  tmpi::Request irecv_any(int, void*, std::size_t) override {
+    throw Unsupported("partitioned receives cannot use wildcards (Lesson 15)");
+  }
+
+  PeerAddr decode_source(int, const tmpi::Status&) const override {
+    throw Unsupported("no wildcard receives on the partitioned backend (Lesson 15)");
+  }
+
+  tmpi::Request persistent_send(int stream, const void* buf, int partitions,
+                                std::size_t part_bytes, PeerAddr to, int tag) override {
+    tmpi::Info info;
+    info.set("tmpi_part_vcis", streams_);
+    const tmpi::Tag t = encode_tag(stream, to.stream, tag, bits_, total_bits_);
+    return tmpi::psend_init(buf, partitions, static_cast<int>(part_bytes), tmpi::kByte, to.rank,
+                            t, comm_, info);
+  }
+
+  tmpi::Request persistent_recv(int stream, void* buf, int partitions, std::size_t part_bytes,
+                                PeerAddr from, int tag) override {
+    tmpi::Info info;
+    info.set("tmpi_part_vcis", streams_);
+    const tmpi::Tag t = encode_tag(from.stream, stream, tag, bits_, total_bits_);
+    return tmpi::precv_init(buf, partitions, static_cast<int>(part_bytes), tmpi::kByte,
+                            from.rank, t, comm_, info);
+  }
+
+  tmpi::Comm coll_comm(int /*stream*/) override {
+    throw Unsupported("partitioned collective APIs are TBD in MPI 4.0 (Table I)");
+  }
+
+  [[nodiscard]] Capabilities caps() const override {
+    return capabilities(Backend::kPartitioned);
+  }
+
+  [[nodiscard]] UsabilityMetrics setup_cost() const override {
+    UsabilityMetrics m;
+    m.setup_objects = 1;  // the comm; persistent requests accounted per channel
+    m.hint_count = 1;     // tmpi_part_vcis
+    m.impl_specific_hints = 1;
+    m.needs_mirroring = false;
+    m.intuitive = false;
+    return m;
+  }
+
+ private:
+  int streams_;
+  int bits_;
+  int total_bits_;
+  tmpi::Comm comm_;
+};
+
+}  // namespace
+
+std::unique_ptr<SessionBackend> make_partitioned_backend(const tmpi::Rank& rank,
+                                                         const SessionConfig& cfg) {
+  return std::make_unique<PartitionedBackend>(rank, cfg);
+}
+
+}  // namespace rp::detail

@@ -1,0 +1,116 @@
+#include "core/session.h"
+
+/// Tags backend: one communicator duplicated with the MPI 4.0 assertions plus
+/// MPICH-style mapping hints; stream ids live in the tag's MSBs (Listing 2).
+/// Intuitive and low-churn for existing THREAD_MULTIPLE codes (Lesson 6), but
+/// optimal mapping requires implementation-specific hints (Lessons 7-8) and
+/// the tag space shrinks (Lesson 9). Collectives are out of scope for tags.
+
+namespace rp::detail {
+
+namespace {
+
+class TagsBackend final : public SessionBackend {
+ public:
+  TagsBackend(const tmpi::Rank& rank, const SessionConfig& cfg)
+      : streams_(cfg.streams),
+        bits_(stream_bits(cfg.streams)),
+        total_bits_(rank.world().config().tag_bits),
+        wildcards_(cfg.need_wildcards) {
+    tmpi::Info info;
+    info.set("mpi_assert_allow_overtaking", "true");
+    ++hints_;
+    info.set("tmpi_num_vcis", streams_);
+    ++hints_;
+    ++impl_hints_;
+    if (!wildcards_) {
+      info.set("mpi_assert_no_any_tag", "true");
+      info.set("mpi_assert_no_any_source", "true");
+      hints_ += 2;
+      info.set("tmpi_num_tag_bits_vci", bits_);
+      info.set("tmpi_place_tag_bits_local_vci", "MSB");
+      info.set("tmpi_tag_vci_hash_type", "one-to-one");
+      hints_ += 3;
+      impl_hints_ += 3;
+    }
+    comm_ = rank.world_comm().dup_with_info(info);
+  }
+
+  tmpi::Request isend(int stream, const void* buf, std::size_t bytes, PeerAddr to,
+                      int tag) override {
+    const tmpi::Tag t = encode_tag(stream, to.stream, tag, bits_, total_bits_);
+    return tmpi::isend(buf, static_cast<int>(bytes), tmpi::kByte, to.rank, t, comm_);
+  }
+
+  tmpi::Request irecv(int stream, void* buf, std::size_t cap, PeerAddr from, int tag) override {
+    const tmpi::Tag t = encode_tag(from.stream, stream, tag, bits_, total_bits_);
+    return tmpi::irecv(buf, static_cast<int>(cap), tmpi::kByte, from.rank, t, comm_);
+  }
+
+  tmpi::Request irecv_any(int stream, void* buf, std::size_t cap) override {
+    if (!wildcards_) {
+      throw Unsupported(
+          "tags backend was configured without wildcards "
+          "(mpi_assert_no_any_tag/no_any_source are set); "
+          "recreate the session with need_wildcards");
+    }
+    (void)stream;  // receives serialize on the comm's first VCI regardless
+    return tmpi::irecv(buf, static_cast<int>(cap), tmpi::kByte, tmpi::kAnySource, tmpi::kAnyTag,
+                       comm_);
+  }
+
+  PeerAddr decode_source(int /*stream*/, const tmpi::Status& st) const override {
+    const int src_stream =
+        static_cast<int>((static_cast<unsigned>(st.tag) >> (total_bits_ - bits_)) &
+                         ((1u << bits_) - 1u));
+    return PeerAddr{st.source, src_stream};
+  }
+
+  tmpi::Request persistent_send(int stream, const void* buf, int partitions,
+                                std::size_t part_bytes, PeerAddr to, int tag) override {
+    const tmpi::Tag t = encode_tag(stream, to.stream, tag, bits_, total_bits_);
+    return tmpi::psend_init(buf, partitions, static_cast<int>(part_bytes), tmpi::kByte, to.rank,
+                            t, comm_);
+  }
+
+  tmpi::Request persistent_recv(int stream, void* buf, int partitions, std::size_t part_bytes,
+                                PeerAddr from, int tag) override {
+    const tmpi::Tag t = encode_tag(from.stream, stream, tag, bits_, total_bits_);
+    return tmpi::precv_init(buf, partitions, static_cast<int>(part_bytes), tmpi::kByte,
+                            from.rank, t, comm_);
+  }
+
+  tmpi::Comm coll_comm(int /*stream*/) override {
+    throw Unsupported("collectives have no tags: use the comms or endpoints backend (Table I)");
+  }
+
+  [[nodiscard]] Capabilities caps() const override { return capabilities(Backend::kTags); }
+
+  [[nodiscard]] UsabilityMetrics setup_cost() const override {
+    UsabilityMetrics m;
+    m.setup_objects = 1;
+    m.hint_count = hints_;
+    m.impl_specific_hints = impl_hints_;
+    m.needs_mirroring = false;
+    m.intuitive = true;
+    return m;
+  }
+
+ private:
+  int streams_;
+  int bits_;
+  int total_bits_;
+  bool wildcards_;
+  int hints_ = 0;
+  int impl_hints_ = 0;
+  tmpi::Comm comm_;
+};
+
+}  // namespace
+
+std::unique_ptr<SessionBackend> make_tags_backend(const tmpi::Rank& rank,
+                                                  const SessionConfig& cfg) {
+  return std::make_unique<TagsBackend>(rank, cfg);
+}
+
+}  // namespace rp::detail

@@ -1,0 +1,123 @@
+#include "core/capabilities.h"
+
+#include "core/planner.h"
+
+namespace rp {
+
+const char* to_string(Backend b) {
+  switch (b) {
+    case Backend::kComms: return "communicators";
+    case Backend::kTags: return "tags+hints";
+    case Backend::kEndpoints: return "endpoints";
+    case Backend::kPartitioned: return "partitioned";
+  }
+  return "?";
+}
+
+Capabilities capabilities(Backend b) {
+  Capabilities c;
+  c.backend = b;
+  switch (b) {
+    case Backend::kComms:
+      c.pt2p = true;
+      c.rma = true;  // windows are the existing RMA mechanism
+      c.collectives = true;
+      c.one_step_collectives = false;  // user performs the intranode step (Lesson 18)
+      c.wildcards = true;              // but the polling thread must iterate comms (Lesson 5)
+      c.dynamic_patterns = false;      // matching semantics pin sender/receiver comms (Lesson 5)
+      c.atomics_parallel = false;      // single window constrains atomics (Lesson 16)
+      c.portable_mapping = false;      // mapping mismatch needs impl hints (Lessons 4, 8)
+      c.standardized = true;
+      c.overloads_existing = true;     // Lesson 4
+      c.full_thread_independence = true;
+      c.summary = "Communicators or tags; user-driven intranode collectives";
+      break;
+    case Backend::kTags:
+      c.pt2p = true;
+      c.rma = false;  // tags do not apply to RMA
+      c.collectives = false;  // collectives have no tags
+      c.wildcards = false;    // parallelism requires no_any_tag/no_any_source
+      c.dynamic_patterns = true;  // any peer addressable if tags encode tids
+      c.atomics_parallel = false;
+      c.portable_mapping = false;  // optimal mapping needs impl-specific hints (Lessons 7-8)
+      c.standardized = true;       // the MPI 4.0 assertions are standard
+      c.overloads_existing = true; // tag bits double as parallelism info (Lesson 9)
+      c.full_thread_independence = true;
+      c.summary = "Tags with MPI 4.0 assertions + impl-specific mapping hints";
+      break;
+    case Backend::kEndpoints:
+      c.pt2p = true;
+      c.rma = true;
+      c.collectives = true;
+      c.one_step_collectives = true;  // Lesson 18
+      c.wildcards = true;             // per-endpoint wildcards (Fig. 5)
+      c.dynamic_patterns = true;      // address new endpoints anytime (Lesson 11)
+      c.atomics_parallel = true;      // multiple endpoints in one window (Lesson 16)
+      c.portable_mapping = true;      // parallelism is baked into the API (Lesson 12)
+      c.standardized = false;         // proposal suspended
+      c.overloads_existing = false;   // Lesson 11
+      c.full_thread_independence = true;
+      c.duplicates_coll_buffers = true;  // Lesson 19
+      c.summary = "Endpoints for all operation types";
+      break;
+    case Backend::kPartitioned:
+      c.pt2p = true;
+      c.rma = false;
+      c.rma_defined = false;  // "Partitioned RMA APIs (TBD)"
+      c.collectives = false;
+      c.collectives_defined = false;  // "Partitioned collective APIs (TBD)"
+      c.one_step_collectives = true;  // by design, once defined (Lesson 18)
+      c.wildcards = false;            // Lesson 15
+      c.dynamic_patterns = false;     // persistent by definition (Lesson 15)
+      c.atomics_parallel = false;
+      c.portable_mapping = true;  // standardized semantics (Lesson 13)
+      c.standardized = true;
+      c.overloads_existing = false;  // Lesson 13
+      c.full_thread_independence = false;  // shared request (Lesson 14)
+      c.summary = "Partitioned pt2p APIs; RMA/collective partitioned APIs TBD";
+      break;
+  }
+  return c;
+}
+
+std::vector<Backend> all_backends() {
+  return {Backend::kComms, Backend::kTags, Backend::kEndpoints, Backend::kPartitioned};
+}
+
+UsabilityMetrics stencil27_usability(Backend b, int x, int y, int z) {
+  UsabilityMetrics m;
+  const long channels = channels_27pt(x, y, z);
+  switch (b) {
+    case Backend::kComms:
+      m.setup_objects = static_cast<int>(paper_comms_27pt(x, y, z));
+      m.hint_count = 0;
+      m.impl_specific_hints = 0;
+      m.needs_mirroring = true;  // Lesson 1
+      m.intuitive = false;       // Lesson 2
+      break;
+    case Backend::kTags:
+      m.setup_objects = 1;  // one comm dup'd with hints (Listing 2)
+      m.hint_count = 6;     // 2 assertions + 4 mapping hints
+      m.impl_specific_hints = 4;  // num_vcis, tag bits, placement, hash type
+      m.needs_mirroring = false;
+      m.intuitive = true;  // Lesson 6
+      break;
+    case Backend::kEndpoints:
+      m.setup_objects = static_cast<int>(channels);  // one endpoint per communicating thread
+      m.hint_count = 0;
+      m.impl_specific_hints = 0;
+      m.needs_mirroring = false;
+      m.intuitive = true;  // Lesson 10
+      break;
+    case Backend::kPartitioned:
+      m.setup_objects = 26 * 2;  // one persistent send+recv per face/edge/corner direction
+      m.hint_count = 0;
+      m.impl_specific_hints = 0;
+      m.needs_mirroring = false;
+      m.intuitive = false;  // new semantics; jury out (Lesson 13)
+      break;
+  }
+  return m;
+}
+
+}  // namespace rp

@@ -1,0 +1,71 @@
+#ifndef RP_CAPABILITIES_H
+#define RP_CAPABILITIES_H
+
+#include <string>
+#include <vector>
+
+/// \file capabilities.h
+/// Capability and usability introspection for the four designs the paper
+/// compares. Table I and the Lessons' qualitative claims are generated from
+/// this matrix (bench_table1_summary), so the paper's summary is reproduced
+/// from code rather than transcribed.
+
+namespace rp {
+
+enum class Backend {
+  kComms,        ///< existing mechanism: multiple communicators
+  kTags,         ///< existing mechanism: tags + MPI 4.0 / impl-specific hints
+  kEndpoints,    ///< user-visible endpoints (MPI Rankpoints)
+  kPartitioned,  ///< MPI 4.0 partitioned communication
+};
+
+const char* to_string(Backend b);
+
+struct Capabilities {
+  Backend backend{};
+
+  // Scope (Table I rows).
+  bool pt2p = false;
+  bool rma = false;               ///< windows / endpoints; partitioned RMA is TBD
+  bool rma_defined = true;        ///< false: "TBD" in MPI 4.0
+  bool collectives = false;
+  bool collectives_defined = true;
+  bool one_step_collectives = false;  ///< library does intranode part (Lesson 18)
+
+  // Pattern applicability.
+  bool wildcards = false;          ///< ANY_SOURCE/ANY_TAG usable (Lessons 5, 15)
+  bool dynamic_patterns = false;   ///< destinations not known a priori
+  bool atomics_parallel = false;   ///< parallel atomics within one window (Lesson 16)
+
+  // Mapping & portability.
+  bool portable_mapping = false;   ///< optimal VCI mapping w/o impl hints (Lessons 8, 12)
+  bool standardized = false;       ///< in MPI 4.0 today
+  bool overloads_existing = false; ///< repurposes comm/tag/window semantics (Lesson 4)
+
+  // Independence.
+  bool full_thread_independence = false;  ///< no shared request/sync (Lesson 14)
+  bool duplicates_coll_buffers = false;   ///< per-endpoint result copies (Lesson 19)
+
+  std::string summary;  ///< one-line Table-I-style description
+};
+
+[[nodiscard]] Capabilities capabilities(Backend b);
+[[nodiscard]] std::vector<Backend> all_backends();
+
+/// Usability of a backend for a concrete pattern, quantified the way
+/// Section III discusses it (setup cost, hint burden, portability).
+struct UsabilityMetrics {
+  int setup_objects = 0;      ///< comms/endpoints/requests created per process
+  int hint_count = 0;         ///< info keys required for optimal mapping
+  int impl_specific_hints = 0;///< of those, implementation-specific ones
+  bool needs_mirroring = false;  ///< Lesson 1's assignment complexity
+  bool intuitive = false;        ///< Lessons 2, 6, 10
+};
+
+/// Usability for a 3D 27-point stencil with an [x,y,z] thread grid (the
+/// hypre running example of Lessons 1-3 and 12).
+[[nodiscard]] UsabilityMetrics stencil27_usability(Backend b, int x, int y, int z);
+
+}  // namespace rp
+
+#endif  // RP_CAPABILITIES_H

@@ -1,0 +1,231 @@
+#include "core/planner.h"
+
+#include <algorithm>
+
+namespace rp {
+
+namespace {
+
+int axis(const Vec3& v, int i) { return i == 0 ? v.x : (i == 1 ? v.y : v.z); }
+void set_axis(Vec3& v, int i, int val) { (i == 0 ? v.x : (i == 1 ? v.y : v.z)) = val; }
+
+}  // namespace
+
+std::vector<Vec3> stencil_dirs(bool three_d, bool diagonals) {
+  std::vector<Vec3> out;
+  const int zlo = three_d ? -1 : 0;
+  const int zhi = three_d ? 1 : 0;
+  for (int dx = -1; dx <= 1; ++dx) {
+    for (int dy = -1; dy <= 1; ++dy) {
+      for (int dz = zlo; dz <= zhi; ++dz) {
+        if (dx == 0 && dy == 0 && dz == 0) continue;
+        const int nonzero = (dx != 0) + (dy != 0) + (dz != 0);
+        if (!diagonals && nonzero > 1) continue;
+        out.push_back(Vec3{dx, dy, dz});
+      }
+    }
+  }
+  return out;
+}
+
+long paper_comms_27pt(int x, int y, int z) {
+  const long xy = static_cast<long>(x) * y;
+  const long yz = static_cast<long>(y) * z;
+  const long xz = static_cast<long>(x) * z;
+  return 2 * xy + 2 * yz + 2 * xz + 8 * (xy + yz + xz - 1) + 4 * (xz + yz - z) +
+         4 * (xy + yz - y) + 4 * (xy + xz - x);
+}
+
+long channels_27pt(int x, int y, int z) {
+  const long total = static_cast<long>(x) * y * z;
+  const long ix = std::max(0, x - 2);
+  const long iy = std::max(0, y - 2);
+  const long iz = std::max(0, z - 2);
+  return total - ix * iy * iz;
+}
+
+StencilPlan::StencilPlan(Vec3 proc_grid, Vec3 thread_grid, bool diagonals,
+                         PlanStrategy strategy)
+    : pg_(proc_grid), tg_(thread_grid), diagonals_(diagonals), strategy_(strategy) {
+  if (strategy_ == PlanStrategy::kNaive) {
+    num_comms_ = tg_.x * tg_.y * tg_.z;
+    return;
+  }
+  // Enumerate every inter-process exchange to build the key -> comm table.
+  const bool three_d = tg_.z > 1 || pg_.z > 1;
+  const auto dirs = stencil_dirs(three_d, diagonals_);
+  for (int px = 0; px < pg_.x; ++px) {
+    for (int py = 0; py < pg_.y; ++py) {
+      for (int pz = 0; pz < pg_.z; ++pz) {
+        for (int tx = 0; tx < tg_.x; ++tx) {
+          for (int ty = 0; ty < tg_.y; ++ty) {
+            for (int tz = 0; tz < tg_.z; ++tz) {
+              for (const Vec3& d : dirs) {
+                Key key{};
+                if (exchange_key(Vec3{px, py, pz}, Vec3{tx, ty, tz}, d, &key)) {
+                  auto [it, inserted] = comm_of_key_.emplace(key, num_comms_);
+                  if (inserted) ++num_comms_;
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+int StencilPlan::linear_tid(Vec3 thr) const {
+  return (thr.z * tg_.y + thr.y) * tg_.x + thr.x;
+}
+
+bool StencilPlan::is_inter_process(Vec3 thr, Vec3 dir) const {
+  for (int a = 0; a < 3; ++a) {
+    const int d = axis(dir, a);
+    const int t = axis(thr, a);
+    const int tdim = axis(tg_, a);
+    if ((d == 1 && t == tdim - 1) || (d == -1 && t == 0)) return true;
+  }
+  return false;
+}
+
+bool StencilPlan::partner(Vec3 proc, Vec3 thr, Vec3 dir, Vec3* pproc, Vec3* pthr) const {
+  Vec3 pp = proc;
+  Vec3 pt = thr;
+  for (int a = 0; a < 3; ++a) {
+    const int d = axis(dir, a);
+    if (d == 0) continue;
+    const int t = axis(thr, a);
+    const int tdim = axis(tg_, a);
+    if (d == 1 && t == tdim - 1) {
+      set_axis(pp, a, axis(proc, a) + 1);
+      set_axis(pt, a, 0);
+    } else if (d == -1 && t == 0) {
+      set_axis(pp, a, axis(proc, a) - 1);
+      set_axis(pt, a, tdim - 1);
+    } else {
+      set_axis(pt, a, t + d);
+    }
+  }
+  for (int a = 0; a < 3; ++a) {
+    if (axis(pp, a) < 0 || axis(pp, a) >= axis(pg_, a)) return false;  // domain edge
+  }
+  if (pproc != nullptr) *pproc = pp;
+  if (pthr != nullptr) *pthr = pt;
+  return true;
+}
+
+bool StencilPlan::exchange_key(Vec3 proc, Vec3 thr, Vec3 dir, Key* key) const {
+  // Validity + partner-process offsets.
+  Vec3 off{0, 0, 0};
+  for (int a = 0; a < 3; ++a) {
+    const int d = axis(dir, a);
+    if (d == 0) continue;
+    const int t = axis(thr, a);
+    const int tdim = axis(tg_, a);
+    if (d == 1 && t == tdim - 1) {
+      set_axis(off, a, 1);
+    } else if (d == -1 && t == 0) {
+      set_axis(off, a, -1);
+    }
+  }
+  if (off == Vec3{0, 0, 0}) return false;  // intra-process: shared memory path
+  for (int a = 0; a < 3; ++a) {
+    const int np = axis(proc, a) + axis(off, a);
+    if (np < 0 || np >= axis(pg_, a)) return false;  // leaves the domain
+  }
+
+  // Canonical sign: flip so the first nonzero direction component is +1.
+  // Both endpoints of an exchange (dir and -dir) agree on the flipped form.
+  int flip = 1;
+  for (int a = 0; a < 3; ++a) {
+    const int d = axis(dir, a);
+    if (d != 0) {
+      flip = d;
+      break;
+    }
+  }
+
+  Key k{};
+  for (int a = 0; a < 3; ++a) k[static_cast<std::size_t>(a)] = axis(dir, a) * flip + 1;
+  for (int a = 0; a < 3; ++a) {
+    const int d = axis(dir, a);
+    const int o = axis(off, a);
+    int enc;
+    if (o != 0) {
+      // Boundary axis: mirrored assignment keys on the boundary's parity
+      // (Listing 1's a/b sets), canonical in the exchange direction.
+      const int b = std::min(axis(proc, a), axis(proc, a) + o);
+      enc = 1000 + (o * flip + 1) * 10 + (b & 1);
+    } else if (d != 0) {
+      // Lane shifted within the thread grid: key on the lower coordinate.
+      enc = 500 + axis(thr, a) + (d < 0 ? d : 0);
+    } else {
+      enc = axis(thr, a);  // frozen lane coordinate
+    }
+    k[static_cast<std::size_t>(3 + a)] = enc;
+  }
+  *key = k;
+  return true;
+}
+
+int StencilPlan::comm_for_send(Vec3 proc, Vec3 thr, Vec3 dir) const {
+  if (!partner(proc, thr, dir, nullptr, nullptr) || !is_inter_process(thr, dir)) return -1;
+  if (strategy_ == PlanStrategy::kNaive) return linear_tid(thr);
+  Key key{};
+  if (!exchange_key(proc, thr, dir, &key)) return -1;
+  const auto it = comm_of_key_.find(key);
+  return it == comm_of_key_.end() ? -1 : it->second;
+}
+
+int StencilPlan::comm_for_recv(Vec3 proc, Vec3 thr, Vec3 dir) const {
+  Vec3 pproc;
+  Vec3 pthr;
+  if (!partner(proc, thr, dir, &pproc, &pthr) || !is_inter_process(thr, dir)) return -1;
+  if (strategy_ == PlanStrategy::kNaive) return linear_tid(pthr);  // sender's tid
+  Key key{};
+  if (!exchange_key(proc, thr, dir, &key)) return -1;
+  const auto it = comm_of_key_.find(key);
+  return it == comm_of_key_.end() ? -1 : it->second;
+}
+
+StencilPlan::Metrics StencilPlan::analyze() const {
+  Metrics m;
+  const bool three_d = tg_.z > 1 || pg_.z > 1;
+  const auto dirs = stencil_dirs(three_d, diagonals_);
+  for (int px = 0; px < pg_.x; ++px) {
+    for (int py = 0; py < pg_.y; ++py) {
+      for (int pz = 0; pz < pg_.z; ++pz) {
+        const Vec3 proc{px, py, pz};
+        std::vector<std::pair<int, int>> ops;  // (tid, comm)
+        for (int tx = 0; tx < tg_.x; ++tx) {
+          for (int ty = 0; ty < tg_.y; ++ty) {
+            for (int tz = 0; tz < tg_.z; ++tz) {
+              const Vec3 thr{tx, ty, tz};
+              const int tid = linear_tid(thr);
+              for (const Vec3& d : dirs) {
+                const int cs = comm_for_send(proc, thr, d);
+                if (cs >= 0) {
+                  ops.emplace_back(tid, cs);
+                  ++m.inter_ops;
+                }
+                const int cr = comm_for_recv(proc, thr, d);
+                if (cr >= 0) ops.emplace_back(tid, cr);
+              }
+            }
+          }
+        }
+        for (std::size_t i = 0; i < ops.size(); ++i) {
+          for (std::size_t j = i + 1; j < ops.size(); ++j) {
+            if (ops[i].first == ops[j].first) continue;  // same thread: serial anyway
+            ++m.total_pairs;
+            if (ops[i].second == ops[j].second) ++m.conflict_pairs;
+          }
+        }
+      }
+    }
+  }
+  return m;
+}
+
+}  // namespace rp

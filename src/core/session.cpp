@@ -1,0 +1,45 @@
+#include "core/session.h"
+
+#include <bit>
+
+namespace rp {
+
+namespace detail {
+
+int stream_bits(int streams) {
+  const auto u = static_cast<unsigned>(std::max(1, streams - 1));
+  return std::max(1, static_cast<int>(std::bit_width(u)));
+}
+
+tmpi::Tag encode_tag(int src_stream, int dst_stream, int user_tag, int bits, int total_bits) {
+  const int app_bits = total_bits - 2 * bits;
+  TMPI_REQUIRE(app_bits >= 1, tmpi::Errc::kTagOverflow,
+               "stream id bits leave no application tag space (Lesson 9)");
+  TMPI_REQUIRE(user_tag >= 0 && user_tag < (1 << app_bits), tmpi::Errc::kTagOverflow,
+               "application tag does not fit beside stream id bits (Lesson 9)");
+  return static_cast<tmpi::Tag>((static_cast<unsigned>(src_stream) << (total_bits - bits)) |
+                                (static_cast<unsigned>(dst_stream) << app_bits) |
+                                static_cast<unsigned>(user_tag));
+}
+
+}  // namespace detail
+
+Session Session::create(const tmpi::Rank& rank, const SessionConfig& cfg) {
+  TMPI_REQUIRE(cfg.streams >= 1, tmpi::Errc::kInvalidArg, "streams must be >= 1");
+  std::shared_ptr<detail::SessionBackend> b;
+  switch (cfg.backend) {
+    case Backend::kComms: b = detail::make_comms_backend(rank, cfg); break;
+    case Backend::kTags: b = detail::make_tags_backend(rank, cfg); break;
+    case Backend::kEndpoints: b = detail::make_endpoints_backend(rank, cfg); break;
+    case Backend::kPartitioned: b = detail::make_partitioned_backend(rank, cfg); break;
+  }
+  return Session(std::move(b), cfg, rank.rank(), rank.size());
+}
+
+Channel Session::channel(int stream) {
+  TMPI_REQUIRE(stream >= 0 && stream < cfg_.streams, tmpi::Errc::kInvalidArg,
+               "stream out of range");
+  return Channel(backend_, stream);
+}
+
+}  // namespace rp

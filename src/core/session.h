@@ -1,0 +1,180 @@
+#ifndef RP_SESSION_H
+#define RP_SESSION_H
+
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "core/capabilities.h"
+#include "tmpi/tmpi.h"
+
+/// \file session.h
+/// The Rankpoints session abstraction — the paper's §IV proposal, built.
+///
+/// Section IV argues for "an abstraction on top of MPI that allows users to
+/// seamlessly expose communication independence in a user-friendly manner",
+/// implemented over MPI 4.0 mechanisms (with implementation-specific hints
+/// where needed) or over user-visible endpoints. rp::Session is exactly that
+/// abstraction: the application addresses logically parallel *streams*
+/// through (rank, stream) pairs, and a pluggable backend maps streams onto
+/// one of the four designs:
+///
+///   kEndpoints   — one endpoint per stream (the natural fit),
+///   kTags        — one hinted communicator, stream ids encoded in tag bits,
+///   kComms       — streams x streams duplicated communicators,
+///   kPartitioned — persistent partitioned channels only.
+///
+/// Backends differ in capability (wildcards, dynamic patterns, collectives);
+/// unsupported operations throw rp::Unsupported — making the paper's
+/// qualitative comparison mechanically checkable.
+
+namespace rp {
+
+/// Raised when a backend cannot express an operation (the semantic gaps of
+/// Lessons 5, 15, 18).
+class Unsupported : public std::runtime_error {
+ public:
+  explicit Unsupported(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Address of a logically parallel stream: process rank + stream index.
+struct PeerAddr {
+  int rank = 0;
+  int stream = 0;
+
+  friend bool operator==(const PeerAddr&, const PeerAddr&) = default;
+};
+
+struct SessionConfig {
+  Backend backend = Backend::kEndpoints;
+  int streams = 1;
+  /// Preserve wildcard receives. The tags backend then degrades to
+  /// serialized receives (overtaking-only hints); the comms and partitioned
+  /// backends cannot honour it for a single buffer at all.
+  bool need_wildcards = false;
+};
+
+namespace detail {
+
+/// Internal backend interface. One instance per rank, shared by channels.
+class SessionBackend {
+ public:
+  virtual ~SessionBackend() = default;
+
+  virtual tmpi::Request isend(int stream, const void* buf, std::size_t bytes, PeerAddr to,
+                              int tag) = 0;
+  virtual tmpi::Request irecv(int stream, void* buf, std::size_t cap, PeerAddr from,
+                              int tag) = 0;
+  /// Wildcard receive on a stream (any peer, any tag).
+  virtual tmpi::Request irecv_any(int stream, void* buf, std::size_t cap) = 0;
+  /// Decode the sender of a wildcard receive.
+  virtual PeerAddr decode_source(int stream, const tmpi::Status& st) const = 0;
+
+  /// Persistent partitioned channel endpoints (usable on every backend; the
+  /// partitioned backend offers nothing else).
+  virtual tmpi::Request persistent_send(int stream, const void* buf, int partitions,
+                                        std::size_t part_bytes, PeerAddr to, int tag) = 0;
+  virtual tmpi::Request persistent_recv(int stream, void* buf, int partitions,
+                                        std::size_t part_bytes, PeerAddr from, int tag) = 0;
+
+  /// Communicator for per-stream collectives. Endpoints: the stream's
+  /// endpoint handle of the shared comm (one-step collectives, Lesson 18);
+  /// comms/tags: a dedicated per-stream duplicate (the user then performs the
+  /// intranode combine); partitioned: throws (APIs TBD).
+  virtual tmpi::Comm coll_comm(int stream) = 0;
+
+  [[nodiscard]] virtual Capabilities caps() const = 0;
+  /// Usability accounting: objects and hints this backend's setup consumed.
+  [[nodiscard]] virtual UsabilityMetrics setup_cost() const = 0;
+};
+
+std::unique_ptr<SessionBackend> make_comms_backend(const tmpi::Rank& rank,
+                                                   const SessionConfig& cfg);
+std::unique_ptr<SessionBackend> make_tags_backend(const tmpi::Rank& rank,
+                                                  const SessionConfig& cfg);
+std::unique_ptr<SessionBackend> make_endpoints_backend(const tmpi::Rank& rank,
+                                                       const SessionConfig& cfg);
+std::unique_ptr<SessionBackend> make_partitioned_backend(const tmpi::Rank& rank,
+                                                         const SessionConfig& cfg);
+
+/// Stream id field width used by tag-encoding backends.
+int stream_bits(int streams);
+
+/// Encode (src_stream, dst_stream, user tag) into a wire tag, MSB placement
+/// (Listing 2's layout). Throws tmpi::Error(kTagOverflow) when the user tag
+/// no longer fits (Lesson 9).
+tmpi::Tag encode_tag(int src_stream, int dst_stream, int user_tag, int bits, int total_bits);
+
+}  // namespace detail
+
+class Channel;
+
+/// A per-rank session. Creation is collective over the world (every rank
+/// calls with an identical config).
+class Session {
+ public:
+  static Session create(const tmpi::Rank& rank, const SessionConfig& cfg);
+
+  [[nodiscard]] Backend backend() const { return cfg_.backend; }
+  [[nodiscard]] int streams() const { return cfg_.streams; }
+  [[nodiscard]] int rank() const { return rank_; }
+  [[nodiscard]] int size() const { return size_; }
+  [[nodiscard]] Capabilities caps() const { return backend_->caps(); }
+  [[nodiscard]] UsabilityMetrics setup_cost() const { return backend_->setup_cost(); }
+
+  /// Channel for a stream; distinct streams are safe to drive from distinct
+  /// threads concurrently (that is the point).
+  [[nodiscard]] Channel channel(int stream);
+
+  [[nodiscard]] detail::SessionBackend& impl() const { return *backend_; }
+
+ private:
+  Session(std::shared_ptr<detail::SessionBackend> b, SessionConfig cfg, int rank, int size)
+      : backend_(std::move(b)), cfg_(cfg), rank_(rank), size_(size) {}
+
+  std::shared_ptr<detail::SessionBackend> backend_;
+  SessionConfig cfg_{};
+  int rank_ = 0;
+  int size_ = 0;
+};
+
+/// Handle for one logically parallel stream.
+class Channel {
+ public:
+  Channel(std::shared_ptr<detail::SessionBackend> b, int stream)
+      : b_(std::move(b)), stream_(stream) {}
+
+  [[nodiscard]] int stream() const { return stream_; }
+
+  tmpi::Request isend(const void* buf, std::size_t bytes, PeerAddr to, int tag = 0) {
+    return b_->isend(stream_, buf, bytes, to, tag);
+  }
+  tmpi::Request irecv(void* buf, std::size_t cap, PeerAddr from, int tag = 0) {
+    return b_->irecv(stream_, buf, cap, from, tag);
+  }
+  tmpi::Request irecv_any(void* buf, std::size_t cap) {
+    return b_->irecv_any(stream_, buf, cap);
+  }
+  [[nodiscard]] PeerAddr decode_source(const tmpi::Status& st) const {
+    return b_->decode_source(stream_, st);
+  }
+
+  tmpi::Request persistent_send(const void* buf, int partitions, std::size_t part_bytes,
+                                PeerAddr to, int tag = 0) {
+    return b_->persistent_send(stream_, buf, partitions, part_bytes, to, tag);
+  }
+  tmpi::Request persistent_recv(void* buf, int partitions, std::size_t part_bytes, PeerAddr from,
+                                int tag = 0) {
+    return b_->persistent_recv(stream_, buf, partitions, part_bytes, from, tag);
+  }
+
+  [[nodiscard]] tmpi::Comm coll_comm() { return b_->coll_comm(stream_); }
+
+ private:
+  std::shared_ptr<detail::SessionBackend> b_;
+  int stream_;
+};
+
+}  // namespace rp
+
+#endif  // RP_SESSION_H

@@ -1,0 +1,78 @@
+#ifndef TMPI_NET_CONTENTION_LOCK_H
+#define TMPI_NET_CONTENTION_LOCK_H
+
+#include <atomic>
+#include <mutex>
+
+#include "net/cost_model.h"
+#include "net/stats.h"
+#include "net/virtual_clock.h"
+
+/// \file contention_lock.h
+/// A mutex that charges virtual time for acquisition.
+///
+/// Software serialization — threads funneling through one VCI, or sharing a
+/// partitioned operation's request (Lesson 14) — costs real applications
+/// dearly. This lock makes that cost visible in virtual time: an uncontended
+/// acquisition charges `lock_uncontended_ns`; each concurrent waiter observed
+/// at acquisition adds `lock_contended_ns`.
+///
+/// Deliberately NOT modelled here: cross-holder virtual-time serialization.
+/// Events execute in host order, not virtual-time order, so propagating one
+/// holder's clock to the next would let an event "from the virtual future"
+/// (e.g. a barrier message from a rank that finished early) stall an earlier
+/// local operation that a faithful execution would have processed first.
+/// Channel *throughput* serialization lives in HwContext's busy horizon,
+/// where the sharing actors' clocks stay coupled and the horizon is exact.
+
+namespace tmpi::net {
+
+class ContentionLock {
+ public:
+  ContentionLock() = default;
+  ContentionLock(const ContentionLock&) = delete;
+  ContentionLock& operator=(const ContentionLock&) = delete;
+
+  /// Acquire, charging the calling thread's clock. Pair with unlock().
+  ///
+  /// The clock charge is the deterministic `lock_uncontended_ns`; observed
+  /// contention is *counted* (stats) but not clock-charged, because the
+  /// number of host-thread collisions is a scheduling artifact, not a
+  /// property of the simulated execution.
+  void lock(VirtualClock& clk, const CostModel& cm, NetStats* stats) {
+    const int waiters = queued_.fetch_add(1, std::memory_order_acq_rel);
+    mu_.lock();
+    const bool contended = waiters > 0;
+    clk.advance(cm.lock_uncontended_ns);
+    if (stats != nullptr) stats->add_lock(contended);
+  }
+
+  void unlock(VirtualClock& /*clk*/) {
+    queued_.fetch_sub(1, std::memory_order_acq_rel);
+    mu_.unlock();
+  }
+
+  /// RAII guard.
+  class Guard {
+   public:
+    Guard(ContentionLock& l, VirtualClock& clk, const CostModel& cm, NetStats* stats)
+        : l_(l), clk_(clk) {
+      l_.lock(clk_, cm, stats);
+    }
+    ~Guard() { l_.unlock(clk_); }
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+
+   private:
+    ContentionLock& l_;
+    VirtualClock& clk_;
+  };
+
+ private:
+  std::mutex mu_;
+  std::atomic<int> queued_{0};
+};
+
+}  // namespace tmpi::net
+
+#endif  // TMPI_NET_CONTENTION_LOCK_H

@@ -1,0 +1,36 @@
+#include "net/cost_model.h"
+
+namespace tmpi::net {
+
+CostModel CostModel::omnipath() {
+  CostModel cm;
+  cm.name = "omnipath";
+  cm.max_hw_contexts = 160;
+  cm.ctx_inject_ns = 130;
+  cm.ctx_share_penalty_ns = 110;
+  cm.wire_latency_ns = 1100;
+  cm.bandwidth_bytes_per_ns = 12.5;  // 100 Gb/s
+  return cm;
+}
+
+CostModel CostModel::infiniband() {
+  CostModel cm;
+  cm.name = "infiniband";
+  cm.max_hw_contexts = 1 << 20;
+  cm.ctx_inject_ns = 110;
+  cm.wire_latency_ns = 800;
+  cm.bandwidth_bytes_per_ns = 25.0;  // 200 Gb/s
+  return cm;
+}
+
+CostModel CostModel::slow_serial() {
+  CostModel cm;
+  cm.name = "slow_serial";
+  cm.ctx_inject_ns = 1000;
+  cm.lock_contended_ns = 800;
+  cm.wire_latency_ns = 2000;
+  cm.bandwidth_bytes_per_ns = 5.0;
+  return cm;
+}
+
+}  // namespace tmpi::net

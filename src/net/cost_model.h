@@ -1,0 +1,111 @@
+#ifndef TMPI_NET_COST_MODEL_H
+#define TMPI_NET_COST_MODEL_H
+
+#include <cstddef>
+#include <string>
+
+#include "net/virtual_clock.h"
+
+/// \file cost_model.h
+/// The virtual-time cost model of the simulated fabric.
+///
+/// The model captures the resources whose behaviour drives every performance
+/// argument in the paper:
+///   - per-message injection overhead at a NIC hardware context (the
+///     message-rate limiter near the strong-scaling limit),
+///   - serialization at a hardware context (a context is a work queue +
+///     doorbell: one message enters at a time),
+///   - a bounded pool of hardware contexts per NIC (Omni-Path exposes 160;
+///     oversubscription causes contention — Lesson 3),
+///   - lock costs for software serialization (a single VCI shared by n
+///     threads, or the shared request of a partitioned operation — Lesson 14),
+///   - wire latency and per-context bandwidth,
+///   - message-matching costs proportional to queue search depth.
+
+namespace tmpi::net {
+
+struct CostModel {
+  // --- NIC hardware context costs -----------------------------------------
+  /// Per-message injection overhead at a hardware context (doorbell ring +
+  /// descriptor write). The context is busy for this long per message.
+  Time ctx_inject_ns = 120;
+  /// Per-message receive-side overhead at the target's hardware context
+  /// (completion-queue entry processing). Contexts are duplex-serial:
+  /// transmit and receive work share the queue, so inbound traffic through a
+  /// channel competes with the owning thread's sends.
+  Time ctx_rx_ns = 60;
+  /// Extra injection cost per *additional* VCI mapped onto the same hardware
+  /// context (cache-line bouncing on the shared queue; Lesson 3).
+  Time ctx_share_penalty_ns = 90;
+  /// Bounded pool size per NIC. Mapping more VCIs than this onto one NIC
+  /// forces sharing. Default is effectively unbounded.
+  int max_hw_contexts = 1 << 20;
+
+  // --- Wire ----------------------------------------------------------------
+  /// One-way network latency between distinct nodes.
+  Time wire_latency_ns = 900;
+  /// Per-context network bandwidth in bytes per virtual nanosecond
+  /// (12.5 B/ns == 100 Gb/s).
+  double bandwidth_bytes_per_ns = 12.5;
+  /// Intra-node (shared-memory) latency and bandwidth.
+  Time shm_latency_ns = 150;
+  double shm_bandwidth_bytes_per_ns = 40.0;
+
+  // --- Software serialization ----------------------------------------------
+  /// Cost of acquiring an uncontended lock (VCI lock, request lock).
+  Time lock_uncontended_ns = 20;
+  /// Additional cost per concurrent waiter observed at acquisition time.
+  Time lock_contended_ns = 150;
+  /// Cost charged per participant of a thread-team join/barrier (the
+  /// synchronization partitioned communication forces — Lesson 14).
+  Time thread_sync_ns = 300;
+
+  // --- Matching ------------------------------------------------------------
+  /// Cost per queue element inspected while matching.
+  Time match_probe_ns = 12;
+  /// Cost of enqueuing a posted receive or unexpected message.
+  Time match_insert_ns = 30;
+
+  // --- RMA -----------------------------------------------------------------
+  /// Origin-side cost of issuing an RMA operation.
+  Time rma_issue_ns = 100;
+  /// Target-side cost of applying an atomic update (MPI_Accumulate et al.).
+  Time atomic_apply_ns = 80;
+
+  // --- Partitioned ---------------------------------------------------------
+  /// Cost of a Pready / Parrived flag operation excluding locking.
+  Time partition_flag_ns = 25;
+
+  // --- Protocol ------------------------------------------------------------
+  /// Messages larger than this use the rendezvous protocol: the sender's
+  /// completion additionally waits for the match plus one wire round trip.
+  std::size_t eager_threshold_bytes = 64 * 1024;
+
+  /// Human-readable preset name (for reports).
+  std::string name = "default";
+
+  /// Transfer time for a payload between distinct nodes.
+  [[nodiscard]] Time wire_time(std::size_t bytes) const {
+    return wire_latency_ns + static_cast<Time>(static_cast<double>(bytes) / bandwidth_bytes_per_ns);
+  }
+
+  /// Transfer time for a payload within a node (shared memory path).
+  [[nodiscard]] Time shm_time(std::size_t bytes) const {
+    return shm_latency_ns +
+           static_cast<Time>(static_cast<double>(bytes) / shm_bandwidth_bytes_per_ns);
+  }
+
+  // --- Presets ---------------------------------------------------------------
+  /// Omni-Path-like fabric: 160 hardware contexts per NIC (the bounded pool
+  /// the paper's Lesson 3 discusses), 100 Gb/s class.
+  static CostModel omnipath();
+  /// InfiniBand-like fabric: effectively unbounded contexts, 200 Gb/s class.
+  static CostModel infiniband();
+  /// A fabric with aggressive per-message overheads; useful in tests to make
+  /// serialization effects pronounced.
+  static CostModel slow_serial();
+};
+
+}  // namespace tmpi::net
+
+#endif  // TMPI_NET_COST_MODEL_H

@@ -1,0 +1,52 @@
+#ifndef TMPI_NET_FABRIC_H
+#define TMPI_NET_FABRIC_H
+
+#include <memory>
+#include <vector>
+
+#include "net/cost_model.h"
+#include "net/nic.h"
+#include "net/stats.h"
+#include "net/virtual_clock.h"
+
+/// \file fabric.h
+/// The simulated cluster fabric: one NIC per node plus transfer-time rules.
+
+namespace tmpi::net {
+
+class Fabric {
+ public:
+  Fabric(int num_nodes, CostModel cm) : cm_(std::move(cm)) {
+    nics_.reserve(static_cast<std::size_t>(num_nodes));
+    for (int n = 0; n < num_nodes; ++n) {
+      nics_.push_back(std::make_unique<Nic>(n, &cm_, &stats_));
+    }
+  }
+
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  [[nodiscard]] int num_nodes() const { return static_cast<int>(nics_.size()); }
+  [[nodiscard]] Nic& nic(int node) { return *nics_.at(static_cast<std::size_t>(node)); }
+  [[nodiscard]] const Nic& nic(int node) const {
+    return *nics_.at(static_cast<std::size_t>(node));
+  }
+  [[nodiscard]] const CostModel& cost() const { return cm_; }
+  [[nodiscard]] NetStats& stats() { return stats_; }
+  [[nodiscard]] const NetStats& stats() const { return stats_; }
+
+  /// Virtual transfer time of a payload from `src_node` to `dst_node`
+  /// (shared-memory path within a node, wire otherwise).
+  [[nodiscard]] Time transfer_time(int src_node, int dst_node, std::size_t bytes) const {
+    return src_node == dst_node ? cm_.shm_time(bytes) : cm_.wire_time(bytes);
+  }
+
+ private:
+  CostModel cm_;
+  NetStats stats_;
+  std::vector<std::unique_ptr<Nic>> nics_;
+};
+
+}  // namespace tmpi::net
+
+#endif  // TMPI_NET_FABRIC_H

@@ -1,0 +1,84 @@
+#ifndef TMPI_NET_HW_CONTEXT_H
+#define TMPI_NET_HW_CONTEXT_H
+
+#include <atomic>
+#include <cstddef>
+#include <mutex>
+
+#include "net/cost_model.h"
+#include "net/stats.h"
+#include "net/virtual_clock.h"
+
+/// \file hw_context.h
+/// A simulated NIC hardware context (work queue + doorbell register).
+///
+/// A hardware context serializes message injection: one descriptor enters the
+/// queue at a time. Independent contexts inject in parallel — this is the
+/// network parallelism that VCIs map to. When more VCIs than contexts exist
+/// (bounded pools, Lesson 3), several VCIs share one context and pay a
+/// sharing penalty on every injection in addition to serializing with each
+/// other.
+
+namespace tmpi::net {
+
+class HwContext {
+ public:
+  HwContext(int id, NetStats* stats) : id_(id), stats_(stats) {}
+
+  HwContext(const HwContext&) = delete;
+  HwContext& operator=(const HwContext&) = delete;
+
+  [[nodiscard]] int id() const { return id_; }
+
+  /// Register one more VCI as mapped onto this context.
+  void add_sharer() { sharers_.fetch_add(1, std::memory_order_relaxed); }
+  [[nodiscard]] int sharers() const { return sharers_.load(std::memory_order_relaxed); }
+
+  /// Occupy the context for `base_cost` of work (plus the sharing penalty if
+  /// >1 VCI maps here). Advances the caller's virtual clock past the busy
+  /// horizon and returns the completion time. The context is duplex-serial:
+  /// transmit and receive work funnel through the same queue.
+  Time occupy(VirtualClock& clk, const CostModel& cm, Time base_cost) {
+    const int nsh = sharers();
+    const bool shared = nsh > 1;
+    Time cost = base_cost;
+    if (shared) cost += cm.ctx_share_penalty_ns * static_cast<Time>(nsh - 1);
+
+    std::unique_lock lk(mu_);
+    const Time start = std::max(clk.now(), busy_until_);
+    busy_until_ = start + cost;
+    const Time done = busy_until_;
+    lk.unlock();
+
+    clk.advance_to(done);
+    if (stats_ != nullptr) stats_->add_injection(shared, cost);
+    return done;
+  }
+
+  /// Inject one message descriptor (transmit-side occupancy).
+  Time inject(VirtualClock& clk, const CostModel& cm) {
+    return occupy(clk, cm, cm.ctx_inject_ns);
+  }
+
+  /// Process one arriving message (receive-side occupancy).
+  Time receive(VirtualClock& clk, const CostModel& cm) {
+    return occupy(clk, cm, cm.ctx_rx_ns);
+  }
+
+  /// Busy horizon (for tests/diagnostics; racy by nature).
+  [[nodiscard]] Time busy_until() const {
+    std::scoped_lock lk(mu_);
+    return busy_until_;
+  }
+
+ private:
+  int id_;
+  NetStats* stats_;
+  std::atomic<int> sharers_{0};
+  mutable std::mutex mu_;
+  Time busy_until_ = 0;
+};
+
+}  // namespace tmpi::net
+
+#endif  // TMPI_NET_HW_CONTEXT_H

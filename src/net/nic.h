@@ -1,0 +1,75 @@
+#ifndef TMPI_NET_NIC_H
+#define TMPI_NET_NIC_H
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "net/cost_model.h"
+#include "net/hw_context.h"
+#include "net/stats.h"
+
+/// \file nic.h
+/// A simulated NIC: a bounded pool of hardware contexts.
+///
+/// VCIs acquire contexts one at a time. While the pool has room, every VCI
+/// gets a dedicated context (full network parallelism). Once the pool is
+/// exhausted — e.g. the 160 contexts of an Omni-Path HFI — further VCIs are
+/// assigned round-robin onto existing contexts and become *sharers*,
+/// reproducing the contention regime of Lesson 3.
+
+namespace tmpi::net {
+
+class Nic {
+ public:
+  Nic(int node_id, const CostModel* cm, NetStats* stats)
+      : node_id_(node_id), cm_(cm), stats_(stats) {}
+
+  Nic(const Nic&) = delete;
+  Nic& operator=(const Nic&) = delete;
+
+  [[nodiscard]] int node_id() const { return node_id_; }
+
+  /// Acquire a hardware context for a new VCI. Dedicated while the pool has
+  /// capacity; shared round-robin afterwards. The returned reference stays
+  /// valid for the lifetime of the Nic.
+  HwContext& acquire_context() {
+    std::scoped_lock lk(mu_);
+    if (static_cast<int>(contexts_.size()) < cm_->max_hw_contexts) {
+      contexts_.push_back(std::make_unique<HwContext>(next_id_++, stats_));
+      contexts_.back()->add_sharer();
+      return *contexts_.back();
+    }
+    HwContext& ctx = *contexts_[static_cast<std::size_t>(rr_) % contexts_.size()];
+    rr_ = (rr_ + 1) % static_cast<int>(contexts_.size());
+    ctx.add_sharer();
+    return ctx;
+  }
+
+  /// Number of distinct hardware contexts currently allocated.
+  [[nodiscard]] int contexts_in_use() const {
+    std::scoped_lock lk(mu_);
+    return static_cast<int>(contexts_.size());
+  }
+
+  /// Total VCIs mapped onto this NIC (sum of sharers).
+  [[nodiscard]] int total_sharers() const {
+    std::scoped_lock lk(mu_);
+    int n = 0;
+    for (const auto& c : contexts_) n += c->sharers();
+    return n;
+  }
+
+ private:
+  int node_id_;
+  const CostModel* cm_;
+  NetStats* stats_;
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<HwContext>> contexts_;
+  int next_id_ = 0;
+  int rr_ = 0;
+};
+
+}  // namespace tmpi::net
+
+#endif  // TMPI_NET_NIC_H

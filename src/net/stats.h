@@ -1,0 +1,116 @@
+#ifndef TMPI_NET_STATS_H
+#define TMPI_NET_STATS_H
+
+#include <atomic>
+#include <cstdint>
+
+#include "net/virtual_clock.h"
+
+/// \file stats.h
+/// Aggregate fabric statistics.
+///
+/// Counters are relaxed atomics: they are diagnostics, not synchronization.
+/// `snapshot()` gives a consistent-enough copy for reporting after a
+/// workload's threads have joined.
+
+namespace tmpi::net {
+
+/// Plain-value snapshot of NetStats (safe to copy around and diff).
+struct NetStatsSnapshot {
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t injections = 0;
+  std::uint64_t shared_ctx_injections = 0;  ///< injections through a context shared by >1 VCI
+  std::uint64_t lock_acquisitions = 0;
+  std::uint64_t contended_acquisitions = 0;
+  std::uint64_t part_lock_acquisitions = 0;  ///< partitioned shared-request locks (Lesson 14)
+  std::uint64_t match_probes = 0;
+  std::uint64_t unexpected_messages = 0;
+  std::uint64_t rendezvous_messages = 0;
+  std::uint64_t rma_ops = 0;
+  std::uint64_t atomic_ops = 0;
+  Time ctx_busy_ns = 0;  ///< total virtual busy time accumulated across contexts
+
+  NetStatsSnapshot operator-(const NetStatsSnapshot& o) const {
+    NetStatsSnapshot d;
+    d.messages = messages - o.messages;
+    d.bytes = bytes - o.bytes;
+    d.injections = injections - o.injections;
+    d.shared_ctx_injections = shared_ctx_injections - o.shared_ctx_injections;
+    d.lock_acquisitions = lock_acquisitions - o.lock_acquisitions;
+    d.contended_acquisitions = contended_acquisitions - o.contended_acquisitions;
+    d.part_lock_acquisitions = part_lock_acquisitions - o.part_lock_acquisitions;
+    d.match_probes = match_probes - o.match_probes;
+    d.unexpected_messages = unexpected_messages - o.unexpected_messages;
+    d.rendezvous_messages = rendezvous_messages - o.rendezvous_messages;
+    d.rma_ops = rma_ops - o.rma_ops;
+    d.atomic_ops = atomic_ops - o.atomic_ops;
+    d.ctx_busy_ns = ctx_busy_ns - o.ctx_busy_ns;
+    return d;
+  }
+};
+
+/// Thread-safe counter block shared by all fabric components.
+class NetStats {
+ public:
+  void add_message(std::uint64_t bytes) {
+    messages_.fetch_add(1, std::memory_order_relaxed);
+    bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  void add_injection(bool shared_ctx, Time busy) {
+    injections_.fetch_add(1, std::memory_order_relaxed);
+    if (shared_ctx) shared_ctx_injections_.fetch_add(1, std::memory_order_relaxed);
+    ctx_busy_ns_.fetch_add(busy, std::memory_order_relaxed);
+  }
+  void add_lock(bool contended) {
+    lock_acquisitions_.fetch_add(1, std::memory_order_relaxed);
+    if (contended) contended_acquisitions_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void add_part_lock() { part_lock_acquisitions_.fetch_add(1, std::memory_order_relaxed); }
+  void add_match_probes(std::uint64_t n) {
+    match_probes_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void add_unexpected() { unexpected_messages_.fetch_add(1, std::memory_order_relaxed); }
+  void add_rendezvous() { rendezvous_messages_.fetch_add(1, std::memory_order_relaxed); }
+  void add_rma(bool atomic) {
+    rma_ops_.fetch_add(1, std::memory_order_relaxed);
+    if (atomic) atomic_ops_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] NetStatsSnapshot snapshot() const {
+    NetStatsSnapshot s;
+    s.messages = messages_.load(std::memory_order_relaxed);
+    s.bytes = bytes_.load(std::memory_order_relaxed);
+    s.injections = injections_.load(std::memory_order_relaxed);
+    s.shared_ctx_injections = shared_ctx_injections_.load(std::memory_order_relaxed);
+    s.lock_acquisitions = lock_acquisitions_.load(std::memory_order_relaxed);
+    s.contended_acquisitions = contended_acquisitions_.load(std::memory_order_relaxed);
+    s.part_lock_acquisitions = part_lock_acquisitions_.load(std::memory_order_relaxed);
+    s.match_probes = match_probes_.load(std::memory_order_relaxed);
+    s.unexpected_messages = unexpected_messages_.load(std::memory_order_relaxed);
+    s.rendezvous_messages = rendezvous_messages_.load(std::memory_order_relaxed);
+    s.rma_ops = rma_ops_.load(std::memory_order_relaxed);
+    s.atomic_ops = atomic_ops_.load(std::memory_order_relaxed);
+    s.ctx_busy_ns = ctx_busy_ns_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+ private:
+  std::atomic<std::uint64_t> messages_{0};
+  std::atomic<std::uint64_t> bytes_{0};
+  std::atomic<std::uint64_t> injections_{0};
+  std::atomic<std::uint64_t> shared_ctx_injections_{0};
+  std::atomic<std::uint64_t> lock_acquisitions_{0};
+  std::atomic<std::uint64_t> contended_acquisitions_{0};
+  std::atomic<std::uint64_t> part_lock_acquisitions_{0};
+  std::atomic<std::uint64_t> match_probes_{0};
+  std::atomic<std::uint64_t> unexpected_messages_{0};
+  std::atomic<std::uint64_t> rendezvous_messages_{0};
+  std::atomic<std::uint64_t> rma_ops_{0};
+  std::atomic<std::uint64_t> atomic_ops_{0};
+  std::atomic<Time> ctx_busy_ns_{0};
+};
+
+}  // namespace tmpi::net
+
+#endif  // TMPI_NET_STATS_H

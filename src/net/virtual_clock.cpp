@@ -1,0 +1,28 @@
+#include "net/virtual_clock.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace tmpi::net {
+
+namespace {
+thread_local VirtualClock* g_thread_clock = nullptr;
+}  // namespace
+
+VirtualClock* ThreadClock::bind(VirtualClock* clock) {
+  VirtualClock* prev = g_thread_clock;
+  g_thread_clock = clock;
+  return prev;
+}
+
+VirtualClock& ThreadClock::get() {
+  if (g_thread_clock == nullptr) {
+    std::fputs("tmpi: thread has no bound VirtualClock\n", stderr);
+    std::abort();
+  }
+  return *g_thread_clock;
+}
+
+bool ThreadClock::bound() { return g_thread_clock != nullptr; }
+
+}  // namespace tmpi::net

@@ -1,0 +1,82 @@
+#ifndef TMPI_NET_VIRTUAL_CLOCK_H
+#define TMPI_NET_VIRTUAL_CLOCK_H
+
+#include <cstdint>
+
+/// \file virtual_clock.h
+/// Per-thread virtual time.
+///
+/// Every worker thread in the runtime owns a VirtualClock measuring
+/// nanoseconds of *simulated* time. Operations on shared resources (network
+/// hardware contexts, matching engines, locks) advance the clock by the cost
+/// model's charges; waiting on a request advances the clock to the request's
+/// virtual completion time. Benchmarks report virtual time, which makes the
+/// reproduced performance shapes independent of how many physical cores the
+/// host machine has.
+
+namespace tmpi::net {
+
+/// Virtual nanoseconds.
+using Time = std::uint64_t;
+
+/// A monotonically advancing virtual clock owned by exactly one thread.
+///
+/// Not thread-safe by design: a clock belongs to the thread it is bound to.
+/// Cross-thread synchronization happens through resource timestamps
+/// (HwContext::busy_until, request completion times), never by touching
+/// another thread's clock.
+class VirtualClock {
+ public:
+  VirtualClock() = default;
+  explicit VirtualClock(Time start) : now_(start) {}
+
+  [[nodiscard]] Time now() const { return now_; }
+
+  /// Advance by a duration.
+  void advance(Time dt) { now_ += dt; }
+
+  /// Advance to an absolute time; no-op if `t` is in the past.
+  void advance_to(Time t) {
+    if (t > now_) now_ = t;
+  }
+
+ private:
+  Time now_ = 0;
+};
+
+/// Access to the calling thread's bound clock.
+///
+/// The runtime binds a clock when it launches a rank's main function or a
+/// worker thread team; library internals charge costs through `get()`.
+class ThreadClock {
+ public:
+  /// Bind `clock` to the calling thread (nullptr unbinds). The previous
+  /// binding is returned so nested scopes can restore it.
+  static VirtualClock* bind(VirtualClock* clock);
+
+  /// The calling thread's clock. Terminates the process if unbound —
+  /// an unbound thread inside the runtime is a programming error.
+  static VirtualClock& get();
+
+  /// True if the calling thread has a bound clock.
+  static bool bound();
+
+  ThreadClock() = delete;
+};
+
+/// RAII binder for a scope (used by the runtime's thread launchers).
+class ScopedClockBind {
+ public:
+  explicit ScopedClockBind(VirtualClock* clock) : prev_(ThreadClock::bind(clock)) {}
+  ~ScopedClockBind() { ThreadClock::bind(prev_); }
+
+  ScopedClockBind(const ScopedClockBind&) = delete;
+  ScopedClockBind& operator=(const ScopedClockBind&) = delete;
+
+ private:
+  VirtualClock* prev_;
+};
+
+}  // namespace tmpi::net
+
+#endif  // TMPI_NET_VIRTUAL_CLOCK_H

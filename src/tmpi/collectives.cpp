@@ -1,0 +1,448 @@
+#include "tmpi/collectives.h"
+
+#include <cstring>
+#include <vector>
+
+#include "tmpi/error.h"
+#include "tmpi/p2p.h"
+#include "tmpi/request.h"
+#include "tmpi/world.h"
+
+namespace tmpi {
+
+namespace {
+
+using detail::CommImpl;
+
+/// Serial-per-communicator enforcement + per-rank collective sequencing.
+class CollGuard {
+ public:
+  explicit CollGuard(const Comm& comm)
+      : c_(*comm.impl()), rank_(static_cast<std::size_t>(comm.rank())) {
+    const int prev = c_.coll_active[rank_].exchange(1, std::memory_order_acq_rel);
+    if (prev != 0) {
+      // The flag stays set: it belongs to the collective already in flight.
+      fail(Errc::kConcurrentCollective,
+           "collectives on one communicator must be issued serially per rank "
+           "(use distinct communicators, endpoints, or partitions)");
+    }
+    seq_ = c_.coll_seq[rank_]++;
+  }
+  ~CollGuard() { c_.coll_active[rank_].store(0, std::memory_order_release); }
+  CollGuard(const CollGuard&) = delete;
+  CollGuard& operator=(const CollGuard&) = delete;
+
+  /// Internal tag for phase/round `phase` of this collective instance.
+  [[nodiscard]] Tag tag(int phase) const {
+    return static_cast<Tag>(((seq_ & 0xFFFFFu) << 6) | static_cast<std::uint64_t>(phase & 0x3F));
+  }
+
+ private:
+  CommImpl& c_;
+  std::size_t rank_;
+  std::uint64_t seq_ = 0;
+};
+
+void coll_send(const void* buf, std::size_t bytes, int dst, Tag tag, const Comm& comm) {
+  detail::isend_on_ctx(buf, bytes, comm.impl()->coll_ctx_id, dst, tag, comm).wait();
+}
+
+Request coll_irecv(void* buf, std::size_t bytes, int src, Tag tag, const Comm& comm) {
+  return detail::irecv_on_ctx(buf, bytes, comm.impl()->coll_ctx_id, src, tag, comm);
+}
+
+void coll_recv(void* buf, std::size_t bytes, int src, Tag tag, const Comm& comm) {
+  coll_irecv(buf, bytes, src, tag, comm).wait();
+}
+
+void coll_sendrecv(const void* sbuf, std::size_t sbytes, int dst, void* rbuf, std::size_t rbytes,
+                   int src, Tag tag, const Comm& comm) {
+  Request rr = coll_irecv(rbuf, rbytes, src, tag, comm);
+  Request sr = detail::isend_on_ctx(sbuf, sbytes, comm.impl()->coll_ctx_id, dst, tag, comm);
+  sr.wait();
+  rr.wait();
+}
+
+/// Binomial-tree broadcast over an arbitrary subgroup given by position.
+/// `ranks[pos]` is the caller. Root is position `root_pos`.
+void subgroup_bcast(void* buf, std::size_t bytes, const std::vector<int>& ranks, int pos,
+                    int root_pos, Tag tag, const Comm& comm) {
+  const int n = static_cast<int>(ranks.size());
+  if (n <= 1) return;
+  const int vr = (pos - root_pos + n) % n;
+  int mask = 1;
+  while (mask < n) {
+    if ((vr & mask) != 0) {
+      const int src_pos = ((vr - mask) + root_pos) % n;
+      coll_recv(buf, bytes, ranks[static_cast<std::size_t>(src_pos)], tag, comm);
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if (vr + mask < n) {
+      const int dst_pos = ((vr + mask) % n + root_pos) % n;
+      coll_send(buf, bytes, ranks[static_cast<std::size_t>(dst_pos)], tag, comm);
+    }
+    mask >>= 1;
+  }
+}
+
+/// Binomial-tree reduction over a subgroup; result lands in `acc` at
+/// position `root_pos`. `acc` must hold the caller's contribution on entry.
+void subgroup_reduce(void* acc, int count, Datatype dt, Op op, const std::vector<int>& ranks,
+                     int pos, int root_pos, Tag tag, const Comm& comm) {
+  const int n = static_cast<int>(ranks.size());
+  if (n <= 1) return;
+  const std::size_t bytes = dt.extent(count);
+  std::vector<std::byte> scratch(bytes);
+  const int vr = (pos - root_pos + n) % n;
+  int mask = 1;
+  while (mask < n) {
+    if ((vr & mask) == 0) {
+      const int peer_vr = vr | mask;
+      if (peer_vr < n) {
+        const int src_pos = (peer_vr + root_pos) % n;
+        coll_recv(scratch.data(), bytes, ranks[static_cast<std::size_t>(src_pos)], tag, comm);
+        reduce_apply(op, dt, acc, scratch.data(), count);
+      }
+    } else {
+      const int dst_pos = ((vr & ~mask) + root_pos) % n;
+      coll_send(acc, bytes, ranks[static_cast<std::size_t>(dst_pos)], tag, comm);
+      return;
+    }
+    mask <<= 1;
+  }
+}
+
+std::vector<int> all_ranks(const Comm& comm) {
+  std::vector<int> r(static_cast<std::size_t>(comm.size()));
+  for (int i = 0; i < comm.size(); ++i) r[static_cast<std::size_t>(i)] = i;
+  return r;
+}
+
+/// Comm ranks on the caller's node, ascending (used by "hier" algorithms).
+std::vector<int> node_ranks(const Comm& comm) {
+  const CommImpl& c = *comm.impl();
+  const int my_node = c.node_of_rank[static_cast<std::size_t>(comm.rank())];
+  std::vector<int> out;
+  for (int r = 0; r < comm.size(); ++r) {
+    if (c.node_of_rank[static_cast<std::size_t>(r)] == my_node) out.push_back(r);
+  }
+  return out;
+}
+
+int position_of(const std::vector<int>& ranks, int rank) {
+  for (std::size_t i = 0; i < ranks.size(); ++i) {
+    if (ranks[i] == rank) return static_cast<int>(i);
+  }
+  fail(Errc::kInternal, "rank not in subgroup");
+}
+
+bool use_hier(const Comm& comm) {
+  return comm.impl()->info.get_string("tmpi_coll_algorithm", "hier") == "hier" &&
+         comm.impl()->leaders.size() > 1;
+}
+
+}  // namespace
+
+void barrier(const Comm& comm) {
+  CollGuard g(comm);
+  const int n = comm.size();
+  const int me = comm.rank();
+  char dummy = 0;
+  int round = 0;
+  for (int k = 1; k < n; k <<= 1, ++round) {
+    const int dst = (me + k) % n;
+    const int src = (me - k + n) % n;
+    char in = 0;
+    coll_sendrecv(&dummy, 1, dst, &in, 1, src, g.tag(round), comm);
+  }
+}
+
+void bcast(void* buf, int count, Datatype dt, int root, const Comm& comm) {
+  TMPI_REQUIRE(root >= 0 && root < comm.size(), Errc::kInvalidArg, "bcast root out of range");
+  CollGuard g(comm);
+  subgroup_bcast(buf, dt.extent(count), all_ranks(comm), comm.rank(), root, g.tag(0), comm);
+}
+
+void reduce(const void* sbuf, void* rbuf, int count, Datatype dt, Op op, int root,
+            const Comm& comm) {
+  TMPI_REQUIRE(root >= 0 && root < comm.size(), Errc::kInvalidArg, "reduce root out of range");
+  CollGuard g(comm);
+  const std::size_t bytes = dt.extent(count);
+  std::vector<std::byte> acc(bytes);
+  if (bytes > 0) std::memcpy(acc.data(), sbuf, bytes);
+  subgroup_reduce(acc.data(), count, dt, op, all_ranks(comm), comm.rank(), root, g.tag(0), comm);
+  if (comm.rank() == root && bytes > 0) std::memcpy(rbuf, acc.data(), bytes);
+}
+
+void allreduce(const void* sbuf, void* rbuf, int count, Datatype dt, Op op, const Comm& comm) {
+  CollGuard g(comm);
+  const std::size_t bytes = dt.extent(count);
+  if (bytes > 0 && rbuf != sbuf) std::memcpy(rbuf, sbuf, bytes);
+
+  if (!use_hier(comm)) {
+    const auto ranks = all_ranks(comm);
+    subgroup_reduce(rbuf, count, dt, op, ranks, comm.rank(), 0, g.tag(0), comm);
+    subgroup_bcast(rbuf, bytes, ranks, comm.rank(), 0, g.tag(1), comm);
+    return;
+  }
+
+  // Hierarchical: intranode reduce to the node leader (shared-memory paths),
+  // internode allreduce among leaders, intranode bcast.
+  const CommImpl& c = *comm.impl();
+  const auto members = node_ranks(comm);
+  const int my_pos = position_of(members, comm.rank());
+  const int leader = c.leader_of_rank[static_cast<std::size_t>(comm.rank())];
+  const int leader_pos = position_of(members, leader);
+
+  subgroup_reduce(rbuf, count, dt, op, members, my_pos, leader_pos, g.tag(0), comm);
+  if (comm.rank() == leader) {
+    const auto& leaders = c.leaders;
+    const int lp = position_of(leaders, comm.rank());
+    subgroup_reduce(rbuf, count, dt, op, leaders, lp, 0, g.tag(1), comm);
+    subgroup_bcast(rbuf, bytes, leaders, lp, 0, g.tag(2), comm);
+  }
+  subgroup_bcast(rbuf, bytes, members, my_pos, leader_pos, g.tag(3), comm);
+}
+
+void gather(const void* sbuf, int scount, Datatype dt, void* rbuf, int root, const Comm& comm) {
+  TMPI_REQUIRE(root >= 0 && root < comm.size(), Errc::kInvalidArg, "gather root out of range");
+  CollGuard g(comm);
+  const std::size_t block = dt.extent(scount);
+  const int n = comm.size();
+  if (comm.rank() == root) {
+    auto* out = static_cast<std::byte*>(rbuf);
+    std::vector<Request> reqs;
+    reqs.reserve(static_cast<std::size_t>(n - 1));
+    for (int r = 0; r < n; ++r) {
+      if (r == root) {
+        if (block > 0) std::memcpy(out + static_cast<std::size_t>(r) * block, sbuf, block);
+      } else {
+        reqs.push_back(detail::irecv_on_ctx(out + static_cast<std::size_t>(r) * block, block,
+                                            comm.impl()->coll_ctx_id, r, g.tag(0), comm));
+      }
+    }
+    wait_all(reqs.data(), reqs.size());
+  } else {
+    coll_send(sbuf, block, root, g.tag(0), comm);
+  }
+}
+
+void scatter(const void* sbuf, void* rbuf, int rcount, Datatype dt, int root, const Comm& comm) {
+  TMPI_REQUIRE(root >= 0 && root < comm.size(), Errc::kInvalidArg, "scatter root out of range");
+  CollGuard g(comm);
+  const std::size_t block = dt.extent(rcount);
+  const int n = comm.size();
+  if (comm.rank() == root) {
+    const auto* in = static_cast<const std::byte*>(sbuf);
+    std::vector<Request> reqs;
+    reqs.reserve(static_cast<std::size_t>(n - 1));
+    for (int r = 0; r < n; ++r) {
+      if (r == root) {
+        if (block > 0) std::memcpy(rbuf, in + static_cast<std::size_t>(r) * block, block);
+      } else {
+        reqs.push_back(detail::isend_on_ctx(in + static_cast<std::size_t>(r) * block, block,
+                                            comm.impl()->coll_ctx_id, r, g.tag(0), comm));
+      }
+    }
+    wait_all(reqs.data(), reqs.size());
+  } else {
+    coll_recv(rbuf, block, root, g.tag(0), comm);
+  }
+}
+
+void allgather(const void* sbuf, int scount, Datatype dt, void* rbuf, const Comm& comm) {
+  CollGuard g(comm);
+  const std::size_t block = dt.extent(scount);
+  const int n = comm.size();
+  const int me = comm.rank();
+  auto* out = static_cast<std::byte*>(rbuf);
+  if (block > 0) std::memcpy(out + static_cast<std::size_t>(me) * block, sbuf, block);
+  // Ring: in step s we forward the block we received in step s-1.
+  const int right = (me + 1) % n;
+  const int left = (me - 1 + n) % n;
+  for (int s = 0; s < n - 1; ++s) {
+    const int send_block = (me - s + n) % n;
+    const int recv_block = (me - s - 1 + n) % n;
+    coll_sendrecv(out + static_cast<std::size_t>(send_block) * block, block, right,
+                  out + static_cast<std::size_t>(recv_block) * block, block, left, g.tag(s % 60),
+                  comm);
+  }
+}
+
+void alltoall(const void* sbuf, int scount, Datatype dt, void* rbuf, const Comm& comm) {
+  CollGuard g(comm);
+  const std::size_t block = dt.extent(scount);
+  const int n = comm.size();
+  const int me = comm.rank();
+  const auto* in = static_cast<const std::byte*>(sbuf);
+  auto* out = static_cast<std::byte*>(rbuf);
+  if (block > 0) {
+    std::memcpy(out + static_cast<std::size_t>(me) * block,
+                in + static_cast<std::size_t>(me) * block, block);
+  }
+  for (int s = 1; s < n; ++s) {
+    const int dst = (me + s) % n;
+    const int src = (me - s + n) % n;
+    coll_sendrecv(in + static_cast<std::size_t>(dst) * block, block, dst,
+                  out + static_cast<std::size_t>(src) * block, block, src, g.tag(s % 60), comm);
+  }
+}
+
+void scan(const void* sbuf, void* rbuf, int count, Datatype dt, Op op, const Comm& comm) {
+  CollGuard g(comm);
+  const std::size_t bytes = dt.extent(count);
+  const int me = comm.rank();
+  const int n = comm.size();
+  if (bytes > 0 && rbuf != sbuf) std::memcpy(rbuf, sbuf, bytes);
+  // Linear chain: rank r-1 forwards its inclusive prefix to rank r. Simple
+  // and exact for non-commutative-safe ordering.
+  std::vector<std::byte> incoming(bytes);
+  if (me > 0) {
+    coll_recv(incoming.data(), bytes, me - 1, g.tag(0), comm);
+    // prefix(0..me) = prefix(0..me-1) op mine, applied in rank order.
+    std::vector<std::byte> mine(bytes);
+    if (bytes > 0) std::memcpy(mine.data(), rbuf, bytes);
+    if (bytes > 0) std::memcpy(rbuf, incoming.data(), bytes);
+    reduce_apply(op, dt, rbuf, mine.data(), count);
+  }
+  if (me + 1 < n) coll_send(rbuf, bytes, me + 1, g.tag(0), comm);
+}
+
+void exscan(const void* sbuf, void* rbuf, int count, Datatype dt, Op op, const Comm& comm) {
+  CollGuard g(comm);
+  const std::size_t bytes = dt.extent(count);
+  const int me = comm.rank();
+  const int n = comm.size();
+  // Chain the *inclusive* prefix forward; each rank keeps what it received
+  // (the exclusive prefix) and forwards received-op-mine.
+  std::vector<std::byte> prefix(bytes);
+  if (me > 0) {
+    coll_recv(prefix.data(), bytes, me - 1, g.tag(0), comm);
+    if (bytes > 0) std::memcpy(rbuf, prefix.data(), bytes);
+  }
+  if (me + 1 < n) {
+    std::vector<std::byte> forward(bytes);
+    if (me == 0) {
+      if (bytes > 0) std::memcpy(forward.data(), sbuf, bytes);
+    } else {
+      forward = prefix;
+      reduce_apply(op, dt, forward.data(), sbuf, count);
+    }
+    coll_send(forward.data(), bytes, me + 1, g.tag(0), comm);
+  }
+}
+
+void gatherv(const void* sbuf, int scount, Datatype dt, void* rbuf, const int* counts,
+             const int* displs, int root, const Comm& comm) {
+  TMPI_REQUIRE(root >= 0 && root < comm.size(), Errc::kInvalidArg, "gatherv root out of range");
+  CollGuard g(comm);
+  const int n = comm.size();
+  if (comm.rank() == root) {
+    auto* out = static_cast<std::byte*>(rbuf);
+    std::vector<Request> reqs;
+    reqs.reserve(static_cast<std::size_t>(n - 1));
+    for (int r = 0; r < n; ++r) {
+      std::byte* dst = out + static_cast<std::size_t>(displs[r]) * dt.size();
+      const std::size_t bytes = dt.extent(counts[r]);
+      if (r == root) {
+        TMPI_REQUIRE(counts[r] == scount, Errc::kInvalidArg, "gatherv root count mismatch");
+        if (bytes > 0) std::memcpy(dst, sbuf, bytes);
+      } else {
+        reqs.push_back(
+            detail::irecv_on_ctx(dst, bytes, comm.impl()->coll_ctx_id, r, g.tag(0), comm));
+      }
+    }
+    wait_all(reqs.data(), reqs.size());
+  } else {
+    coll_send(sbuf, dt.extent(scount), root, g.tag(0), comm);
+  }
+}
+
+void scatterv(const void* sbuf, const int* counts, const int* displs, void* rbuf, int rcount,
+              Datatype dt, int root, const Comm& comm) {
+  TMPI_REQUIRE(root >= 0 && root < comm.size(), Errc::kInvalidArg,
+               "scatterv root out of range");
+  CollGuard g(comm);
+  const int n = comm.size();
+  if (comm.rank() == root) {
+    const auto* in = static_cast<const std::byte*>(sbuf);
+    std::vector<Request> reqs;
+    reqs.reserve(static_cast<std::size_t>(n - 1));
+    for (int r = 0; r < n; ++r) {
+      const std::byte* src = in + static_cast<std::size_t>(displs[r]) * dt.size();
+      const std::size_t bytes = dt.extent(counts[r]);
+      if (r == root) {
+        TMPI_REQUIRE(counts[r] == rcount, Errc::kInvalidArg, "scatterv root count mismatch");
+        if (bytes > 0) std::memcpy(rbuf, src, bytes);
+      } else {
+        reqs.push_back(
+            detail::isend_on_ctx(src, bytes, comm.impl()->coll_ctx_id, r, g.tag(0), comm));
+      }
+    }
+    wait_all(reqs.data(), reqs.size());
+  } else {
+    coll_recv(rbuf, dt.extent(rcount), root, g.tag(0), comm);
+  }
+}
+
+void allgatherv(const void* sbuf, int scount, Datatype dt, void* rbuf, const int* counts,
+                const int* displs, const Comm& comm) {
+  CollGuard g(comm);
+  const int n = comm.size();
+  const int me = comm.rank();
+  auto* out = static_cast<std::byte*>(rbuf);
+  TMPI_REQUIRE(counts[me] == scount, Errc::kInvalidArg, "allgatherv own count mismatch");
+  if (dt.extent(scount) > 0) {
+    std::memcpy(out + static_cast<std::size_t>(displs[me]) * dt.size(), sbuf,
+                dt.extent(scount));
+  }
+  // Ring with per-step variable block sizes.
+  const int right = (me + 1) % n;
+  const int left = (me - 1 + n) % n;
+  for (int s = 0; s < n - 1; ++s) {
+    const int send_block = (me - s + n) % n;
+    const int recv_block = (me - s - 1 + n) % n;
+    coll_sendrecv(out + static_cast<std::size_t>(displs[send_block]) * dt.size(),
+                  dt.extent(counts[send_block]), right,
+                  out + static_cast<std::size_t>(displs[recv_block]) * dt.size(),
+                  dt.extent(counts[recv_block]), left, g.tag(s % 60), comm);
+  }
+}
+
+void alltoallv(const void* sbuf, const int* scounts, const int* sdispls, void* rbuf,
+               const int* rcounts, const int* rdispls, Datatype dt, const Comm& comm) {
+  CollGuard g(comm);
+  const int n = comm.size();
+  const int me = comm.rank();
+  const auto* in = static_cast<const std::byte*>(sbuf);
+  auto* out = static_cast<std::byte*>(rbuf);
+  TMPI_REQUIRE(scounts[me] == rcounts[me], Errc::kInvalidArg, "alltoallv self count mismatch");
+  if (dt.extent(scounts[me]) > 0) {
+    std::memcpy(out + static_cast<std::size_t>(rdispls[me]) * dt.size(),
+                in + static_cast<std::size_t>(sdispls[me]) * dt.size(), dt.extent(scounts[me]));
+  }
+  for (int s = 1; s < n; ++s) {
+    const int dst = (me + s) % n;
+    const int src = (me - s + n) % n;
+    coll_sendrecv(in + static_cast<std::size_t>(sdispls[dst]) * dt.size(),
+                  dt.extent(scounts[dst]), dst,
+                  out + static_cast<std::size_t>(rdispls[src]) * dt.size(),
+                  dt.extent(rcounts[src]), src, g.tag(s % 60), comm);
+  }
+}
+
+void reduce_scatter_block(const void* sbuf, void* rbuf, int rcount, Datatype dt, Op op,
+                          const Comm& comm) {
+  const int n = comm.size();
+  const std::size_t block = dt.extent(rcount);
+  std::vector<std::byte> full(block * static_cast<std::size_t>(n));
+  // reduce + scatter keeps this simple and correct for any size.
+  reduce(sbuf, full.data(), rcount * n, dt, op, 0, comm);
+  scatter(full.data(), rbuf, rcount, dt, 0, comm);
+}
+
+}  // namespace tmpi

@@ -1,0 +1,357 @@
+#include "tmpi/comm.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "tmpi/error.h"
+#include "tmpi/world.h"
+
+namespace tmpi {
+
+const char* to_string(VciPolicyKind k) {
+  switch (k) {
+    case VciPolicyKind::kSingle: return "single";
+    case VciPolicyKind::kSendHashRecvSerial: return "send-hash/recv-serial";
+    case VciPolicyKind::kTagHash: return "tag-hash";
+    case VciPolicyKind::kTagBitsOneToOne: return "tag-bits-one-to-one";
+    case VciPolicyKind::kEndpoint: return "endpoint";
+  }
+  return "?";
+}
+
+namespace detail {
+
+std::shared_ptr<void> (*CommImpl::build_window_hook)(CommImpl&, CommImpl::Pending&) = nullptr;
+
+namespace {
+
+/// Deterministic tag hash shared by sender and receiver.
+std::uint32_t mix_tag(Tag tag) {
+  auto x = static_cast<std::uint32_t>(tag);
+  x *= 2654435761u;
+  x ^= x >> 16;
+  return x;
+}
+
+int tid_field(Tag tag, int field /*0 = src (MSB), 1 = dst*/, int bits, int total_bits) {
+  const int shift = total_bits - bits * (field + 1);
+  const Tag mask = static_cast<Tag>((1 << bits) - 1);
+  return static_cast<int>((tag >> shift) & mask);
+}
+
+}  // namespace
+
+void CommImpl::finalize_structure() {
+  const int n = size();
+  coll_active = std::make_unique<std::atomic<int>[]>(static_cast<std::size_t>(n));
+  coll_seq = std::make_unique<std::uint64_t[]>(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    coll_active[static_cast<std::size_t>(i)].store(0, std::memory_order_relaxed);
+    coll_seq[static_cast<std::size_t>(i)] = 0;
+  }
+  derive_seq.assign(static_cast<std::size_t>(n), 0);
+
+  node_of_rank.resize(static_cast<std::size_t>(n));
+  leader_of_rank.resize(static_cast<std::size_t>(n));
+  leaders.clear();
+  std::map<int, int> node_leader;  // node -> first comm rank seen
+  for (int r = 0; r < n; ++r) {
+    const int nd = world->node_of(eps[static_cast<std::size_t>(r)].world_rank);
+    node_of_rank[static_cast<std::size_t>(r)] = nd;
+    auto [it, inserted] = node_leader.emplace(nd, r);
+    if (inserted) leaders.push_back(r);
+    leader_of_rank[static_cast<std::size_t>(r)] = it->second;
+  }
+  std::sort(leaders.begin(), leaders.end());
+}
+
+CommImpl::Pending& CommImpl::derive_join(DeriveOp op, int my_rank, DeriveArgs args,
+                                         std::uint64_t* seq_out) {
+  std::unique_lock lk(derive_mu);
+  const std::uint64_t seq = derive_seq.at(static_cast<std::size_t>(my_rank))++;
+  *seq_out = seq;
+  Pending& p = pending[seq];
+  if (p.args.empty()) {
+    p.op = op;
+    p.args.resize(static_cast<std::size_t>(size()));
+  }
+  if (p.poisoned || p.op != op) {
+    // Poison the slot so every participant (including ones already waiting)
+    // throws instead of deadlocking. The slot itself is deliberately leaked:
+    // ranks that never arrive can't be distinguished from ones still on the
+    // way, so reclaiming it could dangle a waiter's reference. This is an
+    // error path (program misuse) with a bounded, per-mistake cost.
+    p.poisoned = true;
+    derive_cv.notify_all();
+    fail(Errc::kInvalidArg,
+         "mismatched collective derivation (ranks called different operations)");
+  }
+  p.args[static_cast<std::size_t>(my_rank)] = std::move(args);
+  p.arrived++;
+  if (p.arrived == size()) {
+    build_derivation(p);
+    p.built = true;
+    derive_cv.notify_all();
+  } else {
+    derive_cv.wait(lk, [&] { return p.built || p.poisoned; });
+    TMPI_REQUIRE(!p.poisoned, Errc::kInvalidArg,
+                 "mismatched collective derivation (ranks called different operations)");
+  }
+  return p;
+}
+
+void CommImpl::derive_consume(std::uint64_t seq) {
+  std::scoped_lock lk(derive_mu);
+  Pending& p = pending.at(seq);
+  if (++p.read == size()) pending.erase(seq);
+}
+
+void CommImpl::build_derivation(Pending& p) {
+  // Runs under derive_mu in the last-arriving rank's thread.
+  const int n = size();
+  switch (p.op) {
+    case DeriveOp::kDup: {
+      auto child = std::make_shared<CommImpl>();
+      child->world = world;
+      const int base = world->alloc_ctx_ids();
+      child->ctx_id = base;
+      child->coll_ctx_id = base + 1;
+      child->part_ctx_id = base + 2;
+      child->seq_no = world->next_comm_seq();
+      // All ranks passed the same info by MPI convention; merge rank 0's over
+      // the parent's.
+      child->info = info.merged_with(p.args[0].info);
+      child->eps = eps;
+      // Duplicating an endpoints communicator yields another endpoints
+      // communicator: the handles keep their dedicated VCIs and ranks.
+      child->is_endpoints = is_endpoints;
+      if (is_endpoints) {
+        child->policy = VciPolicyKind::kEndpoint;
+      } else {
+        configure_policy(*child);
+      }
+      child->finalize_structure();
+      p.result_impl.assign(static_cast<std::size_t>(n), child);
+      p.result_rank.resize(static_cast<std::size_t>(n));
+      std::iota(p.result_rank.begin(), p.result_rank.end(), 0);
+      break;
+    }
+    case DeriveOp::kSplit: {
+      // Group parent ranks by color; order within a group by (key, rank).
+      std::map<int, std::vector<int>> groups;  // color -> parent ranks
+      for (int r = 0; r < n; ++r) {
+        if (p.args[static_cast<std::size_t>(r)].color >= 0) {
+          groups[p.args[static_cast<std::size_t>(r)].color].push_back(r);
+        }
+      }
+      p.result_impl.assign(static_cast<std::size_t>(n), nullptr);
+      p.result_rank.assign(static_cast<std::size_t>(n), -1);
+      for (auto& [color, members] : groups) {
+        std::stable_sort(members.begin(), members.end(), [&](int a, int b) {
+          return p.args[static_cast<std::size_t>(a)].key < p.args[static_cast<std::size_t>(b)].key;
+        });
+        auto child = std::make_shared<CommImpl>();
+        child->world = world;
+        const int base = world->alloc_ctx_ids();
+        child->ctx_id = base;
+        child->coll_ctx_id = base + 1;
+        child->part_ctx_id = base + 2;
+        child->seq_no = world->next_comm_seq();
+        child->info = info.merged_with(p.args[static_cast<std::size_t>(members[0])].info);
+        for (int pr : members) {
+          child->eps.push_back(eps[static_cast<std::size_t>(pr)]);
+        }
+        child->is_endpoints = is_endpoints;
+        if (is_endpoints) {
+          child->policy = VciPolicyKind::kEndpoint;
+        } else {
+          configure_policy(*child);
+        }
+        child->finalize_structure();
+        for (std::size_t i = 0; i < members.size(); ++i) {
+          p.result_impl[static_cast<std::size_t>(members[i])] = child;
+          p.result_rank[static_cast<std::size_t>(members[i])] = static_cast<int>(i);
+        }
+      }
+      break;
+    }
+    case DeriveOp::kEndpoints: {
+      auto child = std::make_shared<CommImpl>();
+      child->world = world;
+      const int base = world->alloc_ctx_ids();
+      child->ctx_id = base;
+      child->coll_ctx_id = base + 1;
+      child->part_ctx_id = base + 2;
+      child->seq_no = world->next_comm_seq();
+      child->info = info.merged_with(p.args[0].info);
+      child->is_endpoints = true;
+      child->policy = VciPolicyKind::kEndpoint;
+      p.ep_result.resize(static_cast<std::size_t>(n));
+      for (int r = 0; r < n; ++r) {
+        const int wr = eps[static_cast<std::size_t>(r)].world_rank;
+        const int nep = p.args[static_cast<std::size_t>(r)].num_ep;
+        TMPI_REQUIRE(nep >= 0, Errc::kInvalidArg, "negative endpoint count");
+        for (int e = 0; e < nep; ++e) {
+          const int vci = world->rank_state(wr).vcis.add();
+          const int ep_rank = static_cast<int>(child->eps.size());
+          child->eps.push_back(EpEntry{wr, vci});
+          p.ep_result[static_cast<std::size_t>(r)].emplace_back(child, ep_rank);
+        }
+      }
+      child->finalize_structure();
+      break;
+    }
+    case DeriveOp::kWindow:
+      // Window construction is performed by rma.cpp via build_window_hook.
+      TMPI_REQUIRE(build_window_hook != nullptr, Errc::kInternal, "window hook unset");
+      p.extra_result = build_window_hook(*this, p);
+      break;
+  }
+}
+
+void configure_policy(CommImpl& c) {
+  World& w = *c.world;
+  c.allow_overtaking = c.info.get_bool("mpi_assert_allow_overtaking");
+  c.no_any_tag = c.info.get_bool("mpi_assert_no_any_tag");
+  c.no_any_source = c.info.get_bool("mpi_assert_no_any_source");
+
+  const int requested = c.info.get_int("tmpi_num_vcis", 0);
+  const int base_pool = w.config().num_vcis;
+  const int pool_size = std::max(base_pool, std::max(requested, 1));
+  const int nvcis = std::max(requested, 1);
+
+  // Ensure every member rank's pool covers the indices this comm uses.
+  for (const EpEntry& ep : c.eps) {
+    w.rank_state(ep.world_rank).vcis.ensure(pool_size);
+  }
+
+  c.comm_vcis.resize(static_cast<std::size_t>(nvcis));
+  for (int i = 0; i < nvcis; ++i) {
+    c.comm_vcis[static_cast<std::size_t>(i)] =
+        static_cast<int>((c.seq_no + static_cast<std::uint64_t>(i)) %
+                         static_cast<std::uint64_t>(pool_size));
+  }
+
+  c.tag_bits_vci = c.info.get_int("tmpi_num_tag_bits_vci", 0);
+  const std::string hash_type = c.info.get_string("tmpi_tag_vci_hash_type", "hash");
+  const bool no_wildcards = c.no_any_tag && c.no_any_source;
+
+  if (nvcis <= 1) {
+    c.policy = VciPolicyKind::kSingle;
+  } else if (c.allow_overtaking && no_wildcards && hash_type == "one-to-one" &&
+             c.tag_bits_vci > 0) {
+    c.policy = VciPolicyKind::kTagBitsOneToOne;
+  } else if (c.allow_overtaking && no_wildcards) {
+    c.policy = VciPolicyKind::kTagHash;
+  } else if (c.allow_overtaking) {
+    c.policy = VciPolicyKind::kSendHashRecvSerial;
+  } else {
+    // Multiple VCIs cannot be exploited without relaxed ordering: MPI's
+    // non-overtaking guarantee forces a single channel (Section II-A).
+    c.policy = VciPolicyKind::kSingle;
+  }
+}
+
+Route route_send(const CommImpl& c, int src_rank, int dst_rank, Tag tag) {
+  switch (c.policy) {
+    case VciPolicyKind::kSingle:
+      return Route{c.comm_vcis[0], c.comm_vcis[0]};
+    case VciPolicyKind::kSendHashRecvSerial: {
+      const auto n = static_cast<std::uint32_t>(c.comm_vcis.size());
+      return Route{c.comm_vcis[mix_tag(tag) % n], c.comm_vcis[0]};
+    }
+    case VciPolicyKind::kTagHash: {
+      const auto n = static_cast<std::uint32_t>(c.comm_vcis.size());
+      const int v = c.comm_vcis[mix_tag(tag) % n];
+      return Route{v, v};
+    }
+    case VciPolicyKind::kTagBitsOneToOne: {
+      const int total = c.world->config().tag_bits;
+      const auto n = static_cast<int>(c.comm_vcis.size());
+      const int src_tid = tid_field(tag, 0, c.tag_bits_vci, total);
+      const int dst_tid = tid_field(tag, 1, c.tag_bits_vci, total);
+      return Route{c.comm_vcis[static_cast<std::size_t>(src_tid % n)],
+                   c.comm_vcis[static_cast<std::size_t>(dst_tid % n)]};
+    }
+    case VciPolicyKind::kEndpoint:
+      return Route{c.eps[static_cast<std::size_t>(src_rank)].vci,
+                   c.eps[static_cast<std::size_t>(dst_rank)].vci};
+  }
+  fail(Errc::kInternal, "unknown policy");
+}
+
+int route_recv(const CommImpl& c, int my_rank, int src, Tag tag) {
+  if (c.no_any_tag) {
+    TMPI_REQUIRE(tag != kAnyTag, Errc::kWildcardViolation,
+                 "ANY_TAG on a comm asserting mpi_assert_no_any_tag");
+  }
+  if (c.no_any_source) {
+    TMPI_REQUIRE(src != kAnySource, Errc::kWildcardViolation,
+                 "ANY_SOURCE on a comm asserting mpi_assert_no_any_source");
+  }
+  switch (c.policy) {
+    case VciPolicyKind::kSingle:
+    case VciPolicyKind::kSendHashRecvSerial:
+      // Receives funnel through the comm's first VCI: wildcards are possible,
+      // so the library cannot spread matching (Section II-A).
+      return c.comm_vcis[0];
+    case VciPolicyKind::kTagHash: {
+      const auto n = static_cast<std::uint32_t>(c.comm_vcis.size());
+      return c.comm_vcis[mix_tag(tag) % n];
+    }
+    case VciPolicyKind::kTagBitsOneToOne: {
+      const int total = c.world->config().tag_bits;
+      const auto n = static_cast<int>(c.comm_vcis.size());
+      const int dst_tid = tid_field(tag, 1, c.tag_bits_vci, total);
+      return c.comm_vcis[static_cast<std::size_t>(dst_tid % n)];
+    }
+    case VciPolicyKind::kEndpoint:
+      return c.eps[static_cast<std::size_t>(my_rank)].vci;
+  }
+  fail(Errc::kInternal, "unknown policy");
+}
+
+}  // namespace detail
+
+Comm Comm::dup() const { return dup_with_info(Info{}); }
+
+Comm Comm::dup_with_info(const Info& info) const {
+  detail::DeriveArgs a;
+  a.info = info;
+  std::uint64_t seq = 0;
+  auto& p = impl_->derive_join(detail::DeriveOp::kDup, rank_, std::move(a), &seq);
+  Comm out(p.result_impl[static_cast<std::size_t>(rank_)],
+           p.result_rank[static_cast<std::size_t>(rank_)]);
+  impl_->derive_consume(seq);
+  return out;
+}
+
+Comm Comm::split(int color, int key) const {
+  detail::DeriveArgs a;
+  a.color = color;
+  a.key = key;
+  std::uint64_t seq = 0;
+  auto& p = impl_->derive_join(detail::DeriveOp::kSplit, rank_, std::move(a), &seq);
+  Comm out(p.result_impl[static_cast<std::size_t>(rank_)],
+           p.result_rank[static_cast<std::size_t>(rank_)]);
+  impl_->derive_consume(seq);
+  return out;
+}
+
+std::vector<Comm> Comm::create_endpoints(int my_num_ep, const Info& info) const {
+  TMPI_REQUIRE(my_num_ep >= 0, Errc::kInvalidArg, "negative endpoint count");
+  detail::DeriveArgs a;
+  a.num_ep = my_num_ep;
+  a.info = info;
+  std::uint64_t seq = 0;
+  auto& p = impl_->derive_join(detail::DeriveOp::kEndpoints, rank_, std::move(a), &seq);
+  std::vector<Comm> out;
+  out.reserve(p.ep_result[static_cast<std::size_t>(rank_)].size());
+  for (const auto& [impl, ep_rank] : p.ep_result[static_cast<std::size_t>(rank_)]) {
+    out.emplace_back(impl, ep_rank);
+  }
+  impl_->derive_consume(seq);
+  return out;
+}
+
+}  // namespace tmpi

@@ -1,0 +1,221 @@
+#ifndef TMPI_COMM_H
+#define TMPI_COMM_H
+
+#include <atomic>
+#include <compare>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "tmpi/info.h"
+#include "tmpi/types.h"
+
+/// \file comm.h
+/// Communicators, including the user-visible endpoints extension.
+///
+/// A Comm is a per-rank *handle* onto a shared CommImpl. For an endpoints
+/// communicator (the paper's Mechanism 3 / proposed MPI Rankpoints), each
+/// handle carries a distinct rank and a dedicated VCI: messages between
+/// different endpoints are unordered, i.e. logically parallel.
+///
+/// The VCI routing policy of a communicator is derived from its Info hints at
+/// creation time, mirroring MPICH's behaviour that the paper studies:
+///
+/// | hints                                                        | policy |
+/// |--------------------------------------------------------------|--------|
+/// | none                                                         | single VCI (assigned by hashing the context id into the global pool) |
+/// | allow_overtaking                                             | sends spread by tag hash; receives serialized on VCI 0 (wildcards possible) |
+/// | allow_overtaking + no_any_tag + no_any_source                | both sides spread by tag hash |
+/// | ... + tag-bit hints (one-to-one)                             | sender-tid bits pick the local VCI, receiver-tid bits the remote VCI |
+/// | endpoints communicator                                       | per-endpoint dedicated VCI |
+
+namespace tmpi {
+
+class World;
+class Comm;
+
+enum class VciPolicyKind {
+  kSingle,             ///< one VCI for everything on this comm
+  kSendHashRecvSerial, ///< overtaking allowed, wildcards possible
+  kTagHash,            ///< overtaking + no wildcards: hash tag on both sides
+  kTagBitsOneToOne,    ///< explicit tid bits in the tag (Listing 2)
+  kEndpoint,           ///< per-endpoint VCI (Listing 3)
+};
+
+const char* to_string(VciPolicyKind k);
+
+namespace detail {
+
+struct PartChannel;
+
+/// Key identifying a partitioned channel within a communicator.
+struct PartKey {
+  int src = 0;
+  int dst = 0;
+  Tag tag = 0;
+  auto operator<=>(const PartKey&) const = default;
+};
+
+/// One comm rank: which world rank owns it and (for endpoints comms) the
+/// dedicated VCI pool index on that rank.
+struct EpEntry {
+  int world_rank = 0;
+  int vci = -1;  ///< pool index on the owning rank; -1: use the comm policy
+};
+
+enum class DeriveOp { kDup, kSplit, kEndpoints, kWindow };
+
+/// Per-rank arguments to a collective derivation (dup/split/endpoints/window).
+struct DeriveArgs {
+  int color = 0;
+  int key = 0;
+  int num_ep = 0;
+  Info info;
+  void* base = nullptr;     // window creation
+  std::size_t bytes = 0;    // window creation
+};
+
+struct CommImpl {
+  World* world = nullptr;
+  int ctx_id = 0;       ///< point-to-point matching context
+  int coll_ctx_id = 0;  ///< collective matching context
+  int part_ctx_id = 0;  ///< partitioned matching context
+  std::uint64_t seq_no = 0;  ///< creation sequence (for VCI hashing)
+  Info info;
+
+  std::vector<EpEntry> eps;  ///< size == comm size
+  bool is_endpoints = false;
+
+  VciPolicyKind policy = VciPolicyKind::kSingle;
+  std::vector<int> comm_vcis;  ///< pool indices (valid on every member rank)
+  int tag_bits_vci = 0;        ///< tid field width for kTagBitsOneToOne
+  bool allow_overtaking = false;
+  bool no_any_tag = false;
+  bool no_any_source = false;
+
+  /// Collective serialization guard and per-rank collective sequence numbers
+  /// (all ranks observe the same sequence because collectives are serial per
+  /// communicator — enforced via coll_active).
+  std::unique_ptr<std::atomic<int>[]> coll_active;
+  std::unique_ptr<std::uint64_t[]> coll_seq;
+
+  /// Node topology cache for hierarchical collectives.
+  std::vector<int> node_of_rank;   ///< comm rank -> node
+  std::vector<int> leader_of_rank; ///< comm rank -> leader comm rank on its node
+  std::vector<int> leaders;        ///< distinct leaders, ascending
+
+  // ---- Collective derivation rendezvous -----------------------------------
+  struct Pending {
+    DeriveOp op{};
+    int arrived = 0;
+    int read = 0;
+    bool built = false;
+    bool poisoned = false;  ///< ranks called mismatched operations
+    std::vector<DeriveArgs> args;
+    std::vector<std::shared_ptr<CommImpl>> result_impl;  // per parent rank
+    std::vector<int> result_rank;                        // per parent rank
+    std::vector<std::vector<std::pair<std::shared_ptr<CommImpl>, int>>> ep_result;
+    std::shared_ptr<void> extra_result;  // WindowImpl for kWindow
+  };
+  std::mutex derive_mu;
+  std::condition_variable derive_cv;
+  std::map<std::uint64_t, Pending> pending;
+  std::vector<std::uint64_t> derive_seq;  ///< per comm rank
+
+  /// Join the derivation numbered by this rank's next sequence value; blocks
+  /// until all ranks arrived and the result is built (the last arrival builds
+  /// via `build`). Returns the pending slot; the caller must consume its
+  /// result via `consume_pending`.
+  Pending& derive_join(DeriveOp op, int my_rank, DeriveArgs args, std::uint64_t* seq_out);
+
+  /// Mark the slot consumed by one rank; erases it after the last consumer.
+  void derive_consume(std::uint64_t seq);
+
+  /// Build the result of a fully-arrived derivation (runs in the last
+  /// arriving rank's thread, under derive_mu).
+  void build_derivation(Pending& p);
+
+  /// Hook installed by the RMA module: builds a WindowImpl from gathered
+  /// per-rank (base, bytes) arguments. Kept as a hook so comm.cpp does not
+  /// depend on the RMA layer.
+  static std::shared_ptr<void> (*build_window_hook)(CommImpl&, Pending&);
+
+  // ---- Partitioned channels ------------------------------------------------
+  std::mutex part_mu;
+  std::map<PartKey, std::shared_ptr<PartChannel>> channels;
+
+  [[nodiscard]] int size() const { return static_cast<int>(eps.size()); }
+  [[nodiscard]] int world_rank_of(int comm_rank) const {
+    return eps.at(static_cast<std::size_t>(comm_rank)).world_rank;
+  }
+
+  /// Populate node topology and collective guards; call once eps are final.
+  void finalize_structure();
+};
+
+/// VCI route of a message: pool index on the sender's rank and on the
+/// receiver's rank.
+struct Route {
+  int local = 0;
+  int remote = 0;
+};
+
+/// Compute the sender-side route. Throws on tag/hint violations.
+Route route_send(const CommImpl& c, int src_rank, int dst_rank, Tag tag);
+
+/// Compute the VCI a receive must be posted to. Throws kWildcardViolation if
+/// a wildcard is used where the comm's hints (or policy) forbid it.
+int route_recv(const CommImpl& c, int my_rank, int src, Tag tag);
+
+/// Derive the VCI policy of a freshly created comm from its merged info, and
+/// allocate/ensure the VCIs it uses on every member rank.
+void configure_policy(CommImpl& c);
+
+}  // namespace detail
+
+/// Per-rank communicator handle (cheap to copy).
+class Comm {
+ public:
+  Comm() = default;
+  Comm(std::shared_ptr<detail::CommImpl> impl, int rank)
+      : impl_(std::move(impl)), rank_(rank) {}
+
+  [[nodiscard]] bool valid() const { return impl_ != nullptr; }
+  [[nodiscard]] int rank() const { return rank_; }
+  [[nodiscard]] int size() const { return impl_->size(); }
+  [[nodiscard]] World& world() const { return *impl_->world; }
+  [[nodiscard]] const Info& info() const { return impl_->info; }
+  [[nodiscard]] bool is_endpoints() const { return impl_->is_endpoints; }
+  [[nodiscard]] VciPolicyKind policy() const { return impl_->policy; }
+  [[nodiscard]] const std::vector<int>& vcis() const { return impl_->comm_vcis; }
+  [[nodiscard]] int world_rank_of(int comm_rank) const { return impl_->world_rank_of(comm_rank); }
+
+  /// MPI_Comm_dup: collective over all ranks of this comm.
+  [[nodiscard]] Comm dup() const;
+
+  /// MPI_Comm_dup_with_info: dup with hints merged over the parent's.
+  [[nodiscard]] Comm dup_with_info(const Info& info) const;
+
+  /// MPI_Comm_split: collective; returns this rank's color group, ordered by
+  /// (key, parent rank).
+  [[nodiscard]] Comm split(int color, int key) const;
+
+  /// MPI_Comm_create_endpoints (the suspended proposal / MPI Rankpoints).
+  /// Collective; returns `my_num_ep` handles, each addressable as a distinct
+  /// rank of the new communicator and backed by a dedicated VCI.
+  [[nodiscard]] std::vector<Comm> create_endpoints(int my_num_ep, const Info& info = {}) const;
+
+  [[nodiscard]] detail::CommImpl* impl() const { return impl_.get(); }
+  [[nodiscard]] const std::shared_ptr<detail::CommImpl>& impl_shared() const { return impl_; }
+
+ private:
+  std::shared_ptr<detail::CommImpl> impl_;
+  int rank_ = -1;
+};
+
+}  // namespace tmpi
+
+#endif  // TMPI_COMM_H

@@ -1,0 +1,119 @@
+#include "tmpi/datatype.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "tmpi/error.h"
+
+namespace tmpi {
+
+const char* to_string(TypeId id) {
+  switch (id) {
+    case TypeId::kByte: return "byte";
+    case TypeId::kChar: return "char";
+    case TypeId::kInt32: return "int32";
+    case TypeId::kInt64: return "int64";
+    case TypeId::kUint64: return "uint64";
+    case TypeId::kFloat: return "float";
+    case TypeId::kDouble: return "double";
+  }
+  return "?";
+}
+
+const char* to_string(ThreadLevel level) {
+  switch (level) {
+    case ThreadLevel::kSingle: return "THREAD_SINGLE";
+    case ThreadLevel::kFunneled: return "THREAD_FUNNELED";
+    case ThreadLevel::kSerialized: return "THREAD_SERIALIZED";
+    case ThreadLevel::kMultiple: return "THREAD_MULTIPLE";
+  }
+  return "?";
+}
+
+const char* to_string(Op op) {
+  switch (op) {
+    case Op::kSum: return "sum";
+    case Op::kProd: return "prod";
+    case Op::kMax: return "max";
+    case Op::kMin: return "min";
+    case Op::kReplace: return "replace";
+    case Op::kNoOp: return "no_op";
+  }
+  return "?";
+}
+
+namespace {
+
+template <typename T>
+void apply_typed(Op op, T* inout, const T* in, int count) {
+  switch (op) {
+    case Op::kSum:
+      for (int i = 0; i < count; ++i) inout[i] = static_cast<T>(inout[i] + in[i]);
+      break;
+    case Op::kProd:
+      for (int i = 0; i < count; ++i) inout[i] = static_cast<T>(inout[i] * in[i]);
+      break;
+    case Op::kMax:
+      for (int i = 0; i < count; ++i) inout[i] = std::max(inout[i], in[i]);
+      break;
+    case Op::kMin:
+      for (int i = 0; i < count; ++i) inout[i] = std::min(inout[i], in[i]);
+      break;
+    case Op::kReplace:
+      std::memcpy(inout, in, sizeof(T) * static_cast<std::size_t>(count));
+      break;
+    case Op::kNoOp:
+      break;
+  }
+}
+
+}  // namespace
+
+void reduce_apply(Op op, Datatype dt, void* inout, const void* in, int count) {
+  TMPI_REQUIRE(count >= 0, Errc::kInvalidArg, "negative count in reduce_apply");
+  switch (dt.id()) {
+    case TypeId::kByte:
+    case TypeId::kChar:
+      if (op == Op::kReplace) {
+        std::memcpy(inout, in, static_cast<std::size_t>(count));
+      } else if (op != Op::kNoOp) {
+        apply_typed(op, static_cast<std::uint8_t*>(inout), static_cast<const std::uint8_t*>(in),
+                    count);
+      }
+      break;
+    case TypeId::kInt32:
+      apply_typed(op, static_cast<std::int32_t*>(inout), static_cast<const std::int32_t*>(in),
+                  count);
+      break;
+    case TypeId::kInt64:
+      apply_typed(op, static_cast<std::int64_t*>(inout), static_cast<const std::int64_t*>(in),
+                  count);
+      break;
+    case TypeId::kUint64:
+      apply_typed(op, static_cast<std::uint64_t*>(inout), static_cast<const std::uint64_t*>(in),
+                  count);
+      break;
+    case TypeId::kFloat:
+      apply_typed(op, static_cast<float*>(inout), static_cast<const float*>(in), count);
+      break;
+    case TypeId::kDouble:
+      apply_typed(op, static_cast<double*>(inout), static_cast<const double*>(in), count);
+      break;
+  }
+}
+
+const char* to_string(Errc code) {
+  switch (code) {
+    case Errc::kInvalidArg: return "invalid argument";
+    case Errc::kTagOverflow: return "tag overflow";
+    case Errc::kWildcardViolation: return "wildcard violates comm assertion";
+    case Errc::kConcurrentCollective: return "concurrent collectives on one communicator";
+    case Errc::kThreadLevel: return "thread level violation";
+    case Errc::kTruncate: return "message truncated";
+    case Errc::kPartitionState: return "partitioned operation state error";
+    case Errc::kInternal: return "internal error";
+  }
+  return "?";
+}
+
+}  // namespace tmpi

@@ -1,0 +1,62 @@
+#ifndef TMPI_DATATYPE_H
+#define TMPI_DATATYPE_H
+
+#include <cstddef>
+#include <cstdint>
+
+#include "tmpi/types.h"
+
+/// \file datatype.h
+/// Predefined element datatypes and reduction application.
+///
+/// tmpi supports the fixed-size element types the reproduced workloads need;
+/// user buffers are `count` contiguous elements of a Datatype.
+
+namespace tmpi {
+
+enum class TypeId : std::uint8_t {
+  kByte,
+  kChar,
+  kInt32,
+  kInt64,
+  kUint64,
+  kFloat,
+  kDouble,
+};
+
+class Datatype {
+ public:
+  constexpr Datatype(TypeId id, std::size_t size) : id_(id), size_(size) {}
+
+  [[nodiscard]] constexpr TypeId id() const { return id_; }
+  [[nodiscard]] constexpr std::size_t size() const { return size_; }
+  [[nodiscard]] constexpr std::size_t extent(int count) const {
+    return size_ * static_cast<std::size_t>(count);
+  }
+
+  friend constexpr bool operator==(const Datatype& a, const Datatype& b) {
+    return a.id_ == b.id_;
+  }
+
+ private:
+  TypeId id_;
+  std::size_t size_;
+};
+
+inline constexpr Datatype kByte{TypeId::kByte, 1};
+inline constexpr Datatype kChar{TypeId::kChar, 1};
+inline constexpr Datatype kInt32{TypeId::kInt32, 4};
+inline constexpr Datatype kInt64{TypeId::kInt64, 8};
+inline constexpr Datatype kUint64{TypeId::kUint64, 8};
+inline constexpr Datatype kFloat{TypeId::kFloat, 4};
+inline constexpr Datatype kDouble{TypeId::kDouble, 8};
+
+const char* to_string(TypeId id);
+
+/// Apply `inout[i] = inout[i] OP in[i]` elementwise for `count` elements.
+/// kReplace overwrites, kNoOp leaves inout untouched.
+void reduce_apply(Op op, Datatype dt, void* inout, const void* in, int count);
+
+}  // namespace tmpi
+
+#endif  // TMPI_DATATYPE_H

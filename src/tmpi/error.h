@@ -1,0 +1,49 @@
+#ifndef TMPI_ERROR_H
+#define TMPI_ERROR_H
+
+#include <stdexcept>
+#include <string>
+
+/// \file error.h
+/// Error reporting. Misuse of the runtime (invalid arguments, violated
+/// hints, concurrent collectives on one communicator, tag overflow) throws
+/// tmpi::Error with a specific code — behaviour a real MPI leaves undefined
+/// is surfaced loudly here so the comparison experiments can *count* misuse.
+
+namespace tmpi {
+
+enum class Errc {
+  kInvalidArg,
+  kTagOverflow,          ///< tag exceeds the configured tag_ub (Lesson 9)
+  kWildcardViolation,    ///< wildcard used on a comm asserting no-wildcards
+  kConcurrentCollective, ///< two collectives in flight on one (comm, rank)
+  kThreadLevel,          ///< call pattern exceeds the requested thread level
+  kTruncate,             ///< receive buffer smaller than the matched message
+  kPartitionState,       ///< partitioned op used while inactive / double-ready
+  kInternal,
+};
+
+const char* to_string(Errc code);
+
+class Error : public std::runtime_error {
+ public:
+  Error(Errc code, const std::string& what)
+      : std::runtime_error(std::string(to_string(code)) + ": " + what), code_(code) {}
+
+  [[nodiscard]] Errc code() const { return code_; }
+
+ private:
+  Errc code_;
+};
+
+[[noreturn]] inline void fail(Errc code, const std::string& what) { throw Error(code, what); }
+
+/// Precondition check used across the runtime.
+#define TMPI_REQUIRE(cond, code, what)            \
+  do {                                            \
+    if (!(cond)) ::tmpi::fail((code), (what));    \
+  } while (0)
+
+}  // namespace tmpi
+
+#endif  // TMPI_ERROR_H

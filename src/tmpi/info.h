@@ -1,0 +1,82 @@
+#ifndef TMPI_INFO_H
+#define TMPI_INFO_H
+
+#include <map>
+#include <optional>
+#include <string>
+
+/// \file info.h
+/// MPI_Info-style hint dictionary.
+///
+/// Keys the runtime understands (all optional):
+///   Standard MPI 4.0 assertions:
+///     "mpi_assert_allow_overtaking"  = "true"|"false"
+///     "mpi_assert_no_any_tag"        = "true"|"false"
+///     "mpi_assert_no_any_source"     = "true"|"false"
+///     "accumulate_ordering"          = "none" | anything-else (strict)
+///   Implementation-specific mapping hints (MPICH-style; the paper's Lesson 7
+///   and 8 study exactly this implementation-specificity — "mpich_"-prefixed
+///   spellings are accepted as aliases):
+///     "tmpi_num_vcis"                 = integer: VCIs for this comm/window
+///     "tmpi_num_tag_bits_vci"         = integer: tag bits encoding a thread id
+///     "tmpi_place_tag_bits_local_vci" = "MSB" (only supported placement)
+///     "tmpi_tag_vci_hash_type"        = "one-to-one" | "hash"
+///     "tmpi_coll_algorithm"           = "hier" | "flat"
+///     "tmpi_part_vcis"                = integer: VCIs to spread partitions on
+
+namespace tmpi {
+
+class Info {
+ public:
+  Info() = default;
+
+  Info& set(const std::string& key, const std::string& value) {
+    kv_[key] = value;
+    return *this;
+  }
+  Info& set(const std::string& key, int value) { return set(key, std::to_string(value)); }
+
+  [[nodiscard]] std::optional<std::string> get(const std::string& key) const {
+    // Accept "mpich_" spellings for the tmpi_* mapping hints.
+    if (auto it = kv_.find(key); it != kv_.end()) return it->second;
+    if (key.rfind("tmpi_", 0) == 0) {
+      if (auto it = kv_.find("mpich_" + key.substr(5)); it != kv_.end()) return it->second;
+    }
+    return std::nullopt;
+  }
+
+  [[nodiscard]] bool get_bool(const std::string& key, bool dflt = false) const {
+    auto v = get(key);
+    if (!v) return dflt;
+    return *v == "true" || *v == "1" || *v == "yes";
+  }
+
+  [[nodiscard]] int get_int(const std::string& key, int dflt) const {
+    auto v = get(key);
+    if (!v) return dflt;
+    return std::stoi(*v);
+  }
+
+  [[nodiscard]] std::string get_string(const std::string& key, const std::string& dflt) const {
+    auto v = get(key);
+    return v ? *v : dflt;
+  }
+
+  [[nodiscard]] bool has(const std::string& key) const { return get(key).has_value(); }
+  [[nodiscard]] std::size_t size() const { return kv_.size(); }
+  [[nodiscard]] const std::map<std::string, std::string>& entries() const { return kv_; }
+
+  /// Merge: entries in `other` override ours (MPI_Comm_dup_with_info style).
+  [[nodiscard]] Info merged_with(const Info& other) const {
+    Info out = *this;
+    for (const auto& [k, v] : other.kv_) out.kv_[k] = v;
+    return out;
+  }
+
+ private:
+  std::map<std::string, std::string> kv_;
+};
+
+}  // namespace tmpi
+
+#endif  // TMPI_INFO_H

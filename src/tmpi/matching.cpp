@@ -1,0 +1,107 @@
+#include "tmpi/matching.h"
+
+namespace tmpi::detail {
+
+void MatchingEngine::deliver(Envelope& env, PostedRecv& pr, net::Time match_time) {
+  Status st;
+  st.source = env.src;
+  st.tag = env.tag;
+  st.bytes = env.bytes;
+
+  if (env.bytes > pr.capacity) {
+    // Truncation: surface the error through the receive request. The errored
+    // flag is set before finish() so no waiter can observe success first.
+    {
+      std::scoped_lock lk(pr.req->mu);
+      pr.req->errored = true;
+    }
+    st.bytes = 0;
+    pr.req->finish(match_time, st);
+    if (env.rendezvous && env.send_req) env.send_req->finish(match_time);
+    return;
+  }
+
+  if (env.rendezvous) {
+    if (env.bytes > 0 && env.rndv_src != nullptr) {
+      std::memcpy(pr.buf, env.rndv_src, env.bytes);
+    }
+    const net::Time done = match_time + env.rndv_extra_ns;
+    pr.req->finish(done, st);
+    if (env.send_req) env.send_req->finish(done);
+  } else {
+    if (env.bytes > 0) std::memcpy(pr.buf, env.payload.data(), env.bytes);
+    pr.req->finish(match_time + env.copy_ns, st);
+  }
+}
+
+void MatchingEngine::deposit(Envelope env, net::VirtualClock& clk, const net::CostModel& cm,
+                             net::NetStats* stats) {
+  std::uint64_t probes = 0;
+  for (auto it = posted_.begin(); it != posted_.end(); ++it) {
+    ++probes;
+    clk.advance(cm.match_probe_ns);
+    if (matches(*it, env)) {
+      if (stats != nullptr) stats->add_match_probes(probes);
+      const net::Time match_time = std::max(clk.now(), it->post_time);
+      deliver(env, *it, match_time);
+      posted_.erase(it);
+      return;
+    }
+  }
+  if (stats != nullptr) {
+    stats->add_match_probes(probes);
+    stats->add_unexpected();
+  }
+  clk.advance(cm.match_insert_ns);
+  env.ready_time = clk.now();
+  unexpected_.push_back(std::move(env));
+}
+
+bool MatchingEngine::probe_unexpected(int ctx_id, int src, Tag tag, net::VirtualClock& clk,
+                                      const net::CostModel& cm, net::NetStats* stats,
+                                      Status* st) const {
+  PostedRecv probe;
+  probe.ctx_id = ctx_id;
+  probe.src = src;
+  probe.tag = tag;
+  std::uint64_t probes = 0;
+  for (const Envelope& env : unexpected_) {
+    ++probes;
+    clk.advance(cm.match_probe_ns);
+    if (matches(probe, env)) {
+      if (stats != nullptr) stats->add_match_probes(probes);
+      if (st != nullptr) {
+        st->source = env.src;
+        st->tag = env.tag;
+        st->bytes = env.bytes;
+      }
+      clk.advance_to(env.ready_time);
+      return true;
+    }
+  }
+  if (stats != nullptr) stats->add_match_probes(probes);
+  return false;
+}
+
+void MatchingEngine::post_recv(PostedRecv pr, net::VirtualClock& clk, const net::CostModel& cm,
+                               net::NetStats* stats) {
+  std::uint64_t probes = 0;
+  for (auto it = unexpected_.begin(); it != unexpected_.end(); ++it) {
+    ++probes;
+    clk.advance(cm.match_probe_ns);
+    if (matches(pr, *it)) {
+      if (stats != nullptr) stats->add_match_probes(probes);
+      const net::Time match_time = std::max(clk.now(), it->ready_time);
+      pr.post_time = clk.now();
+      deliver(*it, pr, match_time);
+      unexpected_.erase(it);
+      return;
+    }
+  }
+  if (stats != nullptr) stats->add_match_probes(probes);
+  clk.advance(cm.match_insert_ns);
+  pr.post_time = clk.now();
+  posted_.push_back(std::move(pr));
+}
+
+}  // namespace tmpi::detail

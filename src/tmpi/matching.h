@@ -1,0 +1,109 @@
+#ifndef TMPI_MATCHING_H
+#define TMPI_MATCHING_H
+
+#include <cstddef>
+#include <cstring>
+#include <list>
+#include <memory>
+#include <vector>
+
+#include "net/cost_model.h"
+#include "net/stats.h"
+#include "net/virtual_clock.h"
+#include "tmpi/error.h"
+#include "tmpi/request.h"
+#include "tmpi/types.h"
+
+/// \file matching.h
+/// Per-VCI message matching engine.
+///
+/// Each VCI owns one MatchingEngine — MPICH's "distinct matching engine per
+/// communication channel" design the paper builds on. Matching follows MPI
+/// semantics *within* an engine: messages are matched against posted receives
+/// in arrival/post order (non-overtaking), with ANY_SOURCE / ANY_TAG
+/// wildcards. Messages routed to different VCIs are unordered relative to
+/// each other — that unordering is precisely what "logically parallel
+/// communication" exposes.
+///
+/// The engine is externally synchronized: its owning Vci guards it with a
+/// ContentionLock so that software serialization (n threads funneling into
+/// one VCI) is charged to virtual time where it actually occurs.
+
+namespace tmpi::detail {
+
+/// A message as it arrives at a target VCI.
+struct Envelope {
+  int ctx_id = 0;  ///< communicator matching context
+  int src = 0;     ///< comm rank of the sender
+  Tag tag = 0;
+
+  std::size_t bytes = 0;
+  std::vector<std::byte> payload;  ///< owned data (eager protocol)
+
+  // Rendezvous protocol (bytes > eager threshold): the payload stays in the
+  // sender's buffer until the match; completion costs are precomputed by the
+  // sender so the engine needs no fabric access.
+  bool rendezvous = false;
+  const std::byte* rndv_src = nullptr;
+  std::shared_ptr<ReqState> send_req;  ///< completed at match (rendezvous only)
+  net::Time rndv_extra_ns = 0;         ///< CTS round trip + payload wire time
+
+  net::Time copy_ns = 0;     ///< receive-side copy-out cost
+  net::Time ready_time = 0;  ///< virtual time the arrival finished processing
+};
+
+/// A receive posted to a VCI and not yet matched.
+struct PostedRecv {
+  int ctx_id = 0;
+  int src = kAnySource;  ///< comm rank or kAnySource
+  Tag tag = kAnyTag;     ///< tag or kAnyTag
+
+  std::byte* buf = nullptr;
+  std::size_t capacity = 0;
+  std::shared_ptr<ReqState> req;
+  net::Time post_time = 0;
+};
+
+class MatchingEngine {
+ public:
+  /// Process an arriving message. `clk` is an *arrival* clock positioned at
+  /// the message's wire-arrival time (the caller thread's own clock is not
+  /// affected — matching work belongs to the target side).
+  ///
+  /// Matches the earliest-posted compatible receive, completing it (and the
+  /// sender's request, for rendezvous); otherwise enqueues the message on the
+  /// unexpected queue.
+  void deposit(Envelope env, net::VirtualClock& clk, const net::CostModel& cm,
+               net::NetStats* stats);
+
+  /// Post a receive from the owning rank's thread (its own clock). Matches
+  /// the earliest-arrived compatible unexpected message, completing the
+  /// request immediately; otherwise enqueues on the posted queue.
+  void post_recv(PostedRecv pr, net::VirtualClock& clk, const net::CostModel& cm,
+                 net::NetStats* stats);
+
+  /// Probe: report whether an unexpected message matches (ctx, src, tag)
+  /// without consuming it. Fills `st` on success.
+  bool probe_unexpected(int ctx_id, int src, Tag tag, net::VirtualClock& clk,
+                        const net::CostModel& cm, net::NetStats* stats, Status* st) const;
+
+  [[nodiscard]] std::size_t posted_depth() const { return posted_.size(); }
+  [[nodiscard]] std::size_t unexpected_depth() const { return unexpected_.size(); }
+
+ private:
+  static bool matches(const PostedRecv& pr, const Envelope& env) {
+    return pr.ctx_id == env.ctx_id && (pr.src == kAnySource || pr.src == env.src) &&
+           (pr.tag == kAnyTag || pr.tag == env.tag);
+  }
+
+  /// Deliver `env` into `pr`, completing requests. `match_time` is the
+  /// virtual time at which the match happened.
+  static void deliver(Envelope& env, PostedRecv& pr, net::Time match_time);
+
+  std::list<Envelope> unexpected_;
+  std::list<PostedRecv> posted_;
+};
+
+}  // namespace tmpi::detail
+
+#endif  // TMPI_MATCHING_H

@@ -1,0 +1,230 @@
+#include "tmpi/p2p.h"
+
+#include <cstring>
+
+#include "tmpi/error.h"
+#include "tmpi/matching.h"
+#include "tmpi/world.h"
+
+namespace tmpi {
+
+namespace {
+
+using detail::Envelope;
+using detail::PostedRecv;
+using detail::ReqKind;
+using detail::ReqState;
+using detail::Route;
+
+void validate_rank(const Comm& comm, int r, bool allow_any) {
+  if (allow_any && r == kAnySource) return;
+  TMPI_REQUIRE(r >= 0 && r < comm.size(), Errc::kInvalidArg, "rank out of range");
+}
+
+/// Common send path. `ctx_id` selects the matching context (user pt2p or an
+/// internal one); `tag` is already validated by the caller. A non-null `req`
+/// is completed instead of a fresh state (persistent sends).
+Request isend_impl(const void* buf, std::size_t bytes, int ctx_id, int dst, Tag tag,
+                   const Comm& comm, std::shared_ptr<ReqState> req = nullptr) {
+  World& w = comm.world();
+  const detail::CommImpl& c = *comm.impl();
+  const Route route = detail::route_send(c, comm.rank(), dst, tag);
+
+  const int my_wr = c.world_rank_of(comm.rank());
+  const int dst_wr = c.world_rank_of(dst);
+  detail::RankState& me = w.rank_state(my_wr);
+  detail::RankState& peer = w.rank_state(dst_wr);
+  const net::CostModel& cm = w.cost();
+  net::NetStats* stats = &w.fabric().stats();
+  auto& clk = net::ThreadClock::get();
+
+  if (!req) {
+    req = std::make_shared<ReqState>();
+    req->kind = ReqKind::kSend;
+  }
+
+  const bool rndv = bytes > cm.eager_threshold_bytes;
+  const int src_node = me.node;
+  const int dst_node = peer.node;
+
+  // Inject through the local VCI: lock (software serialization) + hardware
+  // context occupancy.
+  detail::Vci& lv = me.vcis.at(route.local);
+  net::Time inject_done = 0;
+  {
+    net::ContentionLock::Guard g(lv.lock(), clk, cm, stats);
+    inject_done = lv.ctx().inject(clk, cm);
+  }
+  stats->add_message(bytes);
+
+  Envelope env;
+  env.ctx_id = ctx_id;
+  env.src = comm.rank();
+  env.tag = tag;
+  env.bytes = bytes;
+  net::Time arrival = 0;
+  if (rndv) {
+    stats->add_rendezvous();
+    env.rendezvous = true;
+    env.rndv_src = static_cast<const std::byte*>(buf);
+    env.send_req = req;
+    // RTS header travels empty; CTS + payload costs apply after the match.
+    arrival = inject_done + w.fabric().transfer_time(src_node, dst_node, 0);
+    env.rndv_extra_ns = w.fabric().transfer_time(src_node, dst_node, 0) +
+                        w.fabric().transfer_time(src_node, dst_node, bytes);
+  } else {
+    env.payload.resize(bytes);
+    if (bytes > 0) std::memcpy(env.payload.data(), buf, bytes);
+    arrival = inject_done + w.fabric().transfer_time(src_node, dst_node, bytes);
+    env.copy_ns = static_cast<net::Time>(static_cast<double>(bytes) /
+                                         cm.shm_bandwidth_bytes_per_ns);
+    // Eager: the send buffer is reusable once the message left the NIC.
+    req->finish(inject_done);
+  }
+
+  // Arrival processing at the target VCI, on an arrival clock — the sender's
+  // own virtual time is not consumed by remote-side matching. The receive
+  // work occupies the target VCI's (duplex) hardware context, so inbound
+  // traffic competes with the channel owner's own sends — the serialization
+  // a shared communicator causes (Lessons 1-2).
+  detail::Vci& rv = peer.vcis.at(route.remote);
+  net::VirtualClock aclk(arrival);
+  rv.ctx().receive(aclk, cm);
+  {
+    net::ContentionLock::Guard g(rv.lock(), aclk, cm, stats);
+    rv.engine().deposit(std::move(env), aclk, cm, stats);
+  }
+  rv.note_deposit();
+  return Request(req);
+}
+
+Request irecv_impl(void* buf, std::size_t capacity, int ctx_id, int src, Tag tag,
+                   const Comm& comm, std::shared_ptr<ReqState> req = nullptr) {
+  World& w = comm.world();
+  const detail::CommImpl& c = *comm.impl();
+  const int lvci = detail::route_recv(c, comm.rank(), src, tag);
+
+  const int my_wr = c.world_rank_of(comm.rank());
+  detail::RankState& me = w.rank_state(my_wr);
+  const net::CostModel& cm = w.cost();
+  net::NetStats* stats = &w.fabric().stats();
+  auto& clk = net::ThreadClock::get();
+
+  if (!req) {
+    req = std::make_shared<ReqState>();
+    req->kind = ReqKind::kRecv;
+  }
+
+  PostedRecv pr;
+  pr.ctx_id = ctx_id;
+  pr.src = src;
+  pr.tag = tag;
+  pr.buf = static_cast<std::byte*>(buf);
+  pr.capacity = capacity;
+  pr.req = req;
+
+  detail::Vci& v = me.vcis.at(lvci);
+  {
+    net::ContentionLock::Guard g(v.lock(), clk, cm, stats);
+    v.engine().post_recv(std::move(pr), clk, cm, stats);
+  }
+  return Request(req);
+}
+
+}  // namespace
+
+Request isend(const void* buf, int count, Datatype dt, int dst, Tag tag, const Comm& comm) {
+  TMPI_REQUIRE(comm.valid(), Errc::kInvalidArg, "invalid comm");
+  TMPI_REQUIRE(count >= 0, Errc::kInvalidArg, "negative count");
+  validate_rank(comm, dst, /*allow_any=*/false);
+  World& w = comm.world();
+  TMPI_REQUIRE(tag >= 0 && tag <= w.tag_ub(), Errc::kTagOverflow,
+               "send tag exceeds tag_ub (Lesson 9)");
+  detail::CallGuard guard(w.rank_state(comm.world_rank_of(comm.rank())), w.config().level);
+  return isend_impl(buf, dt.extent(count), comm.impl()->ctx_id, dst, tag, comm);
+}
+
+Request irecv(void* buf, int count, Datatype dt, int src, Tag tag, const Comm& comm) {
+  TMPI_REQUIRE(comm.valid(), Errc::kInvalidArg, "invalid comm");
+  TMPI_REQUIRE(count >= 0, Errc::kInvalidArg, "negative count");
+  validate_rank(comm, src, /*allow_any=*/true);
+  World& w = comm.world();
+  TMPI_REQUIRE(tag == kAnyTag || (tag >= 0 && tag <= w.tag_ub()), Errc::kTagOverflow,
+               "recv tag exceeds tag_ub (Lesson 9)");
+  detail::CallGuard guard(w.rank_state(comm.world_rank_of(comm.rank())), w.config().level);
+  return irecv_impl(buf, dt.extent(count), comm.impl()->ctx_id, src, tag, comm);
+}
+
+void send(const void* buf, int count, Datatype dt, int dst, Tag tag, const Comm& comm) {
+  isend(buf, count, dt, dst, tag, comm).wait();
+}
+
+Status recv(void* buf, int count, Datatype dt, int src, Tag tag, const Comm& comm) {
+  return irecv(buf, count, dt, src, tag, comm).wait();
+}
+
+bool iprobe(int src, Tag tag, const Comm& comm, Status* st) {
+  TMPI_REQUIRE(comm.valid(), Errc::kInvalidArg, "invalid comm");
+  validate_rank(comm, src, /*allow_any=*/true);
+  World& w = comm.world();
+  TMPI_REQUIRE(tag == kAnyTag || (tag >= 0 && tag <= w.tag_ub()), Errc::kTagOverflow,
+               "probe tag exceeds tag_ub");
+  const detail::CommImpl& c = *comm.impl();
+  const int lvci = detail::route_recv(c, comm.rank(), src, tag);
+  detail::RankState& me = w.rank_state(c.world_rank_of(comm.rank()));
+  const net::CostModel& cm = w.cost();
+  auto& clk = net::ThreadClock::get();
+  detail::Vci& v = me.vcis.at(lvci);
+  net::ContentionLock::Guard g(v.lock(), clk, cm, &w.fabric().stats());
+  return v.engine().probe_unexpected(c.ctx_id, src, tag, clk, cm, &w.fabric().stats(), st);
+}
+
+Status probe(int src, Tag tag, const Comm& comm) {
+  TMPI_REQUIRE(comm.valid(), Errc::kInvalidArg, "invalid comm");
+  const detail::CommImpl& c = *comm.impl();
+  World& w = comm.world();
+  const int lvci = detail::route_recv(c, comm.rank(), src, tag);
+  detail::Vci& v = w.rank_state(c.world_rank_of(comm.rank())).vcis.at(lvci);
+  Status st;
+  for (;;) {
+    const std::uint64_t seen = v.deposit_count();
+    if (iprobe(src, tag, comm, &st)) return st;
+    // Sleep until another message lands on this channel; no virtual-time
+    // charge accumulates while waiting.
+    v.wait_deposit_change(seen);
+  }
+}
+
+Status sendrecv(const void* sbuf, int scount, Datatype sdt, int dst, Tag stag,  //
+                void* rbuf, int rcount, Datatype rdt, int src, Tag rtag, const Comm& comm) {
+  Request rr = irecv(rbuf, rcount, rdt, src, rtag, comm);
+  Request sr = isend(sbuf, scount, sdt, dst, stag, comm);
+  sr.wait();
+  return rr.wait();
+}
+
+namespace detail {
+
+Request isend_on_ctx(const void* buf, std::size_t bytes, int ctx_id, int dst, Tag tag,
+                     const Comm& comm) {
+  return isend_impl(buf, bytes, ctx_id, dst, tag, comm);
+}
+
+Request irecv_on_ctx(void* buf, std::size_t bytes, int ctx_id, int src, Tag tag,
+                     const Comm& comm) {
+  return irecv_impl(buf, bytes, ctx_id, src, tag, comm);
+}
+
+void isend_reusing(const std::shared_ptr<ReqState>& req, const void* buf, std::size_t bytes,
+                   int ctx_id, int dst, Tag tag, const Comm& comm) {
+  (void)isend_impl(buf, bytes, ctx_id, dst, tag, comm, req);
+}
+
+void irecv_reusing(const std::shared_ptr<ReqState>& req, void* buf, std::size_t capacity,
+                   int ctx_id, int src, Tag tag, const Comm& comm) {
+  (void)irecv_impl(buf, capacity, ctx_id, src, tag, comm, req);
+}
+
+}  // namespace detail
+
+}  // namespace tmpi

@@ -1,0 +1,67 @@
+#ifndef TMPI_P2P_H
+#define TMPI_P2P_H
+
+#include "tmpi/comm.h"
+#include "tmpi/datatype.h"
+#include "tmpi/request.h"
+#include "tmpi/status.h"
+
+/// \file p2p.h
+/// Point-to-point operations.
+///
+/// Semantics follow MPI: matching by (communicator, rank, tag) with
+/// non-overtaking order *within* a VCI; wildcards kAnySource / kAnyTag on
+/// receives (unless the comm's hints assert otherwise — enforced loudly);
+/// eager protocol below the cost model's threshold, rendezvous above it
+/// (sender completes at the match).
+///
+/// On an endpoints communicator, ranks are endpoints: `dst`/`src` address
+/// endpoint ranks and each handle issues through its dedicated VCI.
+
+namespace tmpi {
+
+/// Nonblocking send of `count` elements of `dt` from `buf`.
+Request isend(const void* buf, int count, Datatype dt, int dst, Tag tag, const Comm& comm);
+
+/// Nonblocking receive into `buf` (capacity `count` elements).
+Request irecv(void* buf, int count, Datatype dt, int src, Tag tag, const Comm& comm);
+
+/// Blocking send (isend + wait).
+void send(const void* buf, int count, Datatype dt, int dst, Tag tag, const Comm& comm);
+
+/// Blocking receive; returns the matched Status.
+Status recv(void* buf, int count, Datatype dt, int src, Tag tag, const Comm& comm);
+
+/// Nonblocking probe: true if a matching message has arrived but not been
+/// received; fills `st` without consuming the message. Wildcards follow the
+/// comm's assertions, like irecv.
+bool iprobe(int src, Tag tag, const Comm& comm, Status* st = nullptr);
+
+/// Blocking probe: waits (real time, without spinning in virtual time)
+/// until a matching message is available and returns its Status.
+Status probe(int src, Tag tag, const Comm& comm);
+
+/// Combined exchange (deadlock-free pairwise).
+Status sendrecv(const void* sbuf, int scount, Datatype sdt, int dst, Tag stag,  //
+                void* rbuf, int rcount, Datatype rdt, int src, Tag rtag, const Comm& comm);
+
+namespace detail {
+/// Internal variant that skips user-tag validation and addresses an explicit
+/// matching context (used by collectives and the runtime itself).
+Request isend_on_ctx(const void* buf, std::size_t bytes, int ctx_id, int dst, Tag tag,
+                     const Comm& comm);
+Request irecv_on_ctx(void* buf, std::size_t bytes, int ctx_id, int src, Tag tag,
+                     const Comm& comm);
+
+/// Issue an operation that completes an existing request state (persistent
+/// operations reuse their state across starts). The state must be freshly
+/// reset (complete == false).
+void isend_reusing(const std::shared_ptr<ReqState>& req, const void* buf, std::size_t bytes,
+                   int ctx_id, int dst, Tag tag, const Comm& comm);
+void irecv_reusing(const std::shared_ptr<ReqState>& req, void* buf, std::size_t capacity,
+                   int ctx_id, int src, Tag tag, const Comm& comm);
+}  // namespace detail
+
+}  // namespace tmpi
+
+#endif  // TMPI_P2P_H

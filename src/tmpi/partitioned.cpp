@@ -1,0 +1,370 @@
+#include "tmpi/partitioned.h"
+
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "net/contention_lock.h"
+#include "tmpi/error.h"
+#include "tmpi/world.h"
+
+namespace tmpi {
+
+namespace detail {
+
+struct PendingPart {
+  int partition = 0;
+  net::Time arrival = 0;
+  std::vector<std::byte> data;
+};
+
+struct PartSendState;
+struct PartRecvState;
+
+/// Rendezvous point of one (src, dst, tag) partitioned channel. Matching
+/// happens here exactly once per channel — not per message (Section II-C).
+struct PartChannel {
+  std::mutex mu;  // guards all fields below (real correctness)
+  std::condition_variable cv;  // signalled on every partition delivery
+  PartSendState* send = nullptr;
+  PartRecvState* recv = nullptr;
+  std::deque<PendingPart> pending;  // partitions sent before the recv started
+};
+
+struct PartStateBase : ReqState {
+  std::shared_ptr<CommImpl> comm;
+  std::shared_ptr<PartChannel> chan;
+  int my_rank = 0;
+  int peer = 0;
+  Tag tag = 0;
+  int partitions = 0;
+  std::size_t part_bytes = 0;
+  bool active = false;
+  /// The shared request lock every pready/parrived serializes on (Lesson 14).
+  net::ContentionLock shared_lock;
+  std::vector<int> vcis;  ///< local VCI pool indices used round-robin
+};
+
+struct PartSendState : PartStateBase {
+  const std::byte* buf = nullptr;
+  std::vector<char> ready;
+  int ready_count = 0;
+  net::Time max_done = 0;
+
+  void on_start() override;
+
+  ~PartSendState() override {
+    // Deregister: the channel outlives the request and must not dangle.
+    if (chan) {
+      std::scoped_lock lk(chan->mu);
+      if (chan->send == this) chan->send = nullptr;
+    }
+  }
+};
+
+struct PartRecvState : PartStateBase {
+  std::byte* buf = nullptr;
+  std::vector<char> arrived;
+  std::vector<net::Time> arrive_time;
+  int arrived_count = 0;
+  net::Time max_arrival = 0;
+
+  void on_start() override;
+
+  ~PartRecvState() override {
+    if (chan) {
+      std::scoped_lock lk(chan->mu);
+      if (chan->recv == this) chan->recv = nullptr;
+    }
+  }
+};
+
+namespace {
+
+std::shared_ptr<PartChannel> channel_for(CommImpl& c, const PartKey& key) {
+  std::scoped_lock lk(c.part_mu);
+  auto& slot = c.channels[key];
+  if (!slot) slot = std::make_shared<PartChannel>();
+  return slot;
+}
+
+/// Resolve the local VCIs a partitioned op will use: the comm's default
+/// channel, or `tmpi_part_vcis` dedicated channels.
+std::vector<int> part_vcis(const Comm& comm, const Info& info, int peer, Tag tag, bool sender) {
+  World& w = comm.world();
+  const int k = info.get_int("tmpi_part_vcis", 1);
+  TMPI_REQUIRE(k >= 1, Errc::kInvalidArg, "tmpi_part_vcis must be >= 1");
+  const int my_wr = comm.world_rank_of(comm.rank());
+  if (k == 1) {
+    const detail::Route r = sender ? detail::route_send(*comm.impl(), comm.rank(), peer, tag)
+                                   : detail::Route{detail::route_recv(*comm.impl(), comm.rank(),
+                                                                      peer, tag),
+                                                   0};
+    return {r.local};
+  }
+  std::vector<int> out(static_cast<std::size_t>(k));
+  for (int i = 0; i < k; ++i) out[static_cast<std::size_t>(i)] = w.rank_state(my_wr).vcis.add();
+  return out;
+}
+
+/// Deliver one partition into an active receive. Caller holds chan->mu.
+void deliver_partition(PartRecvState& rs, int partition, const std::byte* data,
+                       net::Time arrival, const net::CostModel& cm) {
+  TMPI_REQUIRE(partition >= 0 && partition < rs.partitions, Errc::kPartitionState,
+               "partition index out of range");
+  TMPI_REQUIRE(rs.arrived[static_cast<std::size_t>(partition)] == 0, Errc::kPartitionState,
+               "partition delivered twice");
+  const std::size_t off = static_cast<std::size_t>(partition) * rs.part_bytes;
+  if (rs.part_bytes > 0) std::memcpy(rs.buf + off, data, rs.part_bytes);
+  const net::Time done =
+      arrival + static_cast<net::Time>(static_cast<double>(rs.part_bytes) /
+                                       cm.shm_bandwidth_bytes_per_ns);
+  rs.arrived[static_cast<std::size_t>(partition)] = 1;
+  rs.arrive_time[static_cast<std::size_t>(partition)] = done;
+  rs.arrived_count++;
+  rs.max_arrival = std::max(rs.max_arrival, done);
+  if (rs.arrived_count == rs.partitions) {
+    Status st;
+    st.source = rs.peer;
+    st.tag = rs.tag;
+    st.bytes = rs.part_bytes * static_cast<std::size_t>(rs.partitions);
+    rs.finish(rs.max_arrival, st);
+  }
+}
+
+template <typename T>
+std::shared_ptr<T> part_cast(Request& req, ReqKind kind, const char* what) {
+  TMPI_REQUIRE(req.valid(), Errc::kInvalidArg, "invalid request");
+  auto s = std::dynamic_pointer_cast<T>(req.shared_state());
+  TMPI_REQUIRE(s != nullptr && s->kind == kind, Errc::kInvalidArg, what);
+  return s;
+}
+
+}  // namespace
+}  // namespace detail
+
+Request psend_init(const void* buf, int partitions, int count, Datatype dt, int dst, Tag tag,
+                   const Comm& comm, const Info& info) {
+  TMPI_REQUIRE(comm.valid(), Errc::kInvalidArg, "invalid comm");
+  TMPI_REQUIRE(partitions >= 1, Errc::kInvalidArg, "partitions must be >= 1");
+  TMPI_REQUIRE(count >= 0, Errc::kInvalidArg, "negative count");
+  TMPI_REQUIRE(dst >= 0 && dst < comm.size(), Errc::kInvalidArg, "rank out of range");
+  World& w = comm.world();
+  TMPI_REQUIRE(tag >= 0 && tag <= w.tag_ub(), Errc::kTagOverflow, "tag exceeds tag_ub");
+
+  auto s = std::make_shared<detail::PartSendState>();
+  s->kind = detail::ReqKind::kPartSend;
+  s->comm = comm.impl_shared();
+  s->my_rank = comm.rank();
+  s->peer = dst;
+  s->tag = tag;
+  s->partitions = partitions;
+  s->part_bytes = dt.extent(count);
+  s->buf = static_cast<const std::byte*>(buf);
+  s->ready.assign(static_cast<std::size_t>(partitions), 0);
+  s->vcis = detail::part_vcis(comm, info, dst, tag, /*sender=*/true);
+
+  const detail::PartKey key{comm.rank(), dst, tag};
+  s->chan = detail::channel_for(*comm.impl(), key);
+  {
+    std::scoped_lock lk(s->chan->mu);
+    TMPI_REQUIRE(s->chan->send == nullptr || !s->chan->send->active, Errc::kPartitionState,
+                 "partitioned send already registered on this (src,dst,tag)");
+    s->chan->send = s.get();
+  }
+  return Request(s);
+}
+
+Request precv_init(void* buf, int partitions, int count, Datatype dt, int src, Tag tag,
+                   const Comm& comm, const Info& info) {
+  TMPI_REQUIRE(comm.valid(), Errc::kInvalidArg, "invalid comm");
+  TMPI_REQUIRE(partitions >= 1, Errc::kInvalidArg, "partitions must be >= 1");
+  TMPI_REQUIRE(count >= 0, Errc::kInvalidArg, "negative count");
+  // Partitioned receives have no wildcard form in MPI 4.0 (Lesson 15).
+  TMPI_REQUIRE(src >= 0 && src < comm.size(), Errc::kInvalidArg,
+               "partitioned receives cannot use wildcards");
+  World& w = comm.world();
+  TMPI_REQUIRE(tag >= 0 && tag <= w.tag_ub(), Errc::kTagOverflow, "tag exceeds tag_ub");
+
+  auto s = std::make_shared<detail::PartRecvState>();
+  s->kind = detail::ReqKind::kPartRecv;
+  s->comm = comm.impl_shared();
+  s->my_rank = comm.rank();
+  s->peer = src;
+  s->tag = tag;
+  s->partitions = partitions;
+  s->part_bytes = dt.extent(count);
+  s->buf = static_cast<std::byte*>(buf);
+  s->arrived.assign(static_cast<std::size_t>(partitions), 0);
+  s->arrive_time.assign(static_cast<std::size_t>(partitions), 0);
+  s->vcis = detail::part_vcis(comm, info, src, tag, /*sender=*/false);
+
+  const detail::PartKey key{src, comm.rank(), tag};
+  s->chan = detail::channel_for(*comm.impl(), key);
+  {
+    std::scoped_lock lk(s->chan->mu);
+    TMPI_REQUIRE(s->chan->recv == nullptr || !s->chan->recv->active, Errc::kPartitionState,
+                 "partitioned recv already registered on this (src,dst,tag)");
+    s->chan->recv = s.get();
+  }
+  return Request(s);
+}
+
+void detail::PartSendState::on_start() {
+  std::scoped_lock clk_lk(chan->mu);
+  TMPI_REQUIRE(!active || ready_count == partitions, Errc::kPartitionState,
+               "start on an incomplete active partitioned send");
+  std::scoped_lock st_lk(mu);
+  active = true;
+  complete = false;
+  ready.assign(static_cast<std::size_t>(partitions), 0);
+  ready_count = 0;
+  max_done = 0;
+}
+
+void detail::PartRecvState::on_start() {
+  const net::CostModel& cm = comm->world->cost();
+  std::scoped_lock clk_lk(chan->mu);
+  TMPI_REQUIRE(!active || arrived_count == partitions, Errc::kPartitionState,
+               "start on an incomplete active partitioned recv");
+  {
+    std::scoped_lock st_lk(mu);
+    active = true;
+    complete = false;
+  }
+  arrived.assign(static_cast<std::size_t>(partitions), 0);
+  arrive_time.assign(static_cast<std::size_t>(partitions), 0);
+  arrived_count = 0;
+  max_arrival = 0;
+  // Drain partitions that arrived before this start.
+  while (!chan->pending.empty() && arrived_count < partitions) {
+    detail::PendingPart p = std::move(chan->pending.front());
+    chan->pending.pop_front();
+    detail::deliver_partition(*this, p.partition, p.data.data(), p.arrival, cm);
+  }
+  chan->cv.notify_all();
+}
+
+void pready(int partition, Request& req) {
+  auto s = detail::part_cast<detail::PartSendState>(req, detail::ReqKind::kPartSend,
+                                                    "pready on a non-partitioned-send request");
+  World& w = *s->comm->world;
+  const net::CostModel& cm = w.cost();
+  auto& clk = net::ThreadClock::get();
+  net::NetStats* stats = &w.fabric().stats();
+
+  TMPI_REQUIRE(partition >= 0 && partition < s->partitions, Errc::kInvalidArg,
+               "partition index out of range");
+
+  // Lesson 14: every contribution serializes on the shared request.
+  net::ContentionLock::Guard req_guard(s->shared_lock, clk, cm, stats);
+  stats->add_part_lock();
+  clk.advance(cm.partition_flag_ns);
+
+  TMPI_REQUIRE(s->active, Errc::kPartitionState, "pready on an inactive request");
+  TMPI_REQUIRE(s->ready[static_cast<std::size_t>(partition)] == 0, Errc::kPartitionState,
+               "pready called twice for one partition");
+
+  // Transfer the partition through this request's channel set.
+  const int lvci =
+      s->vcis[static_cast<std::size_t>(partition) % s->vcis.size()];
+  const int my_wr = s->comm->world_rank_of(s->my_rank);
+  const int dst_wr = s->comm->world_rank_of(s->peer);
+  detail::RankState& me = w.rank_state(my_wr);
+  detail::Vci& v = me.vcis.at(lvci);
+  net::Time inject_done = 0;
+  {
+    net::ContentionLock::Guard g(v.lock(), clk, cm, stats);
+    inject_done = v.ctx().inject(clk, cm);
+  }
+  stats->add_message(s->part_bytes);
+  net::Time arrival =
+      inject_done + w.fabric().transfer_time(me.node, w.node_of(dst_wr), s->part_bytes);
+
+  const std::byte* src_ptr = s->buf + static_cast<std::size_t>(partition) * s->part_bytes;
+  {
+    std::scoped_lock lk(s->chan->mu);
+    detail::PartRecvState* r = s->chan->recv;
+    if (r != nullptr) {
+      // Receive-side occupancy at the receiver's channel for this partition.
+      const int rvci =
+          r->vcis[static_cast<std::size_t>(partition) % r->vcis.size()];
+      net::VirtualClock aclk(arrival);
+      w.rank_state(dst_wr).vcis.at(rvci).ctx().receive(aclk, cm);
+      arrival = aclk.now();
+    }
+    if (r != nullptr && r->active) {
+      TMPI_REQUIRE(r->partitions == s->partitions && r->part_bytes == s->part_bytes,
+                   Errc::kPartitionState,
+                   "send/recv partitioning mismatch (unsupported, see DESIGN.md)");
+    }
+    const bool deliver_now =
+        r != nullptr && r->active && r->arrived[static_cast<std::size_t>(partition)] == 0;
+    if (deliver_now) {
+      detail::deliver_partition(*r, partition, src_ptr, arrival, cm);
+    } else {
+      // Receive not started (or already holds this slot from a previous
+      // iteration): park the partition; the next start() drains it.
+      detail::PendingPart p;
+      p.partition = partition;
+      p.arrival = arrival;
+      p.data.assign(src_ptr, src_ptr + s->part_bytes);
+      s->chan->pending.push_back(std::move(p));
+    }
+    s->ready[static_cast<std::size_t>(partition)] = 1;
+    s->ready_count++;
+    s->max_done = std::max(s->max_done, inject_done);
+    if (s->ready_count == s->partitions) s->finish(s->max_done);
+    s->chan->cv.notify_all();
+  }
+}
+
+bool parrived(Request& req, int partition) {
+  auto r = detail::part_cast<detail::PartRecvState>(req, detail::ReqKind::kPartRecv,
+                                                    "parrived on a non-partitioned-recv request");
+  World& w = *r->comm->world;
+  const net::CostModel& cm = w.cost();
+  auto& clk = net::ThreadClock::get();
+
+  TMPI_REQUIRE(partition >= 0 && partition < r->partitions, Errc::kInvalidArg,
+               "partition index out of range");
+
+  // Lesson 14: polling also serializes on the shared request.
+  net::ContentionLock::Guard req_guard(r->shared_lock, clk, cm, &w.fabric().stats());
+  w.fabric().stats().add_part_lock();
+  clk.advance(cm.partition_flag_ns);
+
+  std::scoped_lock lk(r->chan->mu);
+  TMPI_REQUIRE(r->active, Errc::kPartitionState, "parrived on an inactive request");
+  if (r->arrived[static_cast<std::size_t>(partition)] != 0) {
+    clk.advance_to(r->arrive_time[static_cast<std::size_t>(partition)]);
+    return true;
+  }
+  return false;
+}
+
+void await_partition(Request& req, int partition) {
+  auto r = detail::part_cast<detail::PartRecvState>(
+      req, detail::ReqKind::kPartRecv, "await_partition on a non-partitioned-recv request");
+  World& w = *r->comm->world;
+  const net::CostModel& cm = w.cost();
+  auto& clk = net::ThreadClock::get();
+
+  TMPI_REQUIRE(partition >= 0 && partition < r->partitions, Errc::kInvalidArg,
+               "partition index out of range");
+  {
+    std::unique_lock lk(r->chan->mu);
+    TMPI_REQUIRE(r->active, Errc::kPartitionState, "await_partition on an inactive request");
+    r->chan->cv.wait(lk, [&] { return r->arrived[static_cast<std::size_t>(partition)] != 0; });
+  }
+  // One polling round on the shared request (Lesson 14), then catch up to
+  // the partition's arrival.
+  net::ContentionLock::Guard req_guard(r->shared_lock, clk, cm, &w.fabric().stats());
+  w.fabric().stats().add_part_lock();
+  clk.advance(cm.partition_flag_ns);
+  std::scoped_lock lk(r->chan->mu);
+  clk.advance_to(r->arrive_time[static_cast<std::size_t>(partition)]);
+}
+
+}  // namespace tmpi

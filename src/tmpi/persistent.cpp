@@ -1,0 +1,88 @@
+#include "tmpi/persistent.h"
+
+#include <memory>
+
+#include "tmpi/error.h"
+#include "tmpi/p2p.h"
+#include "tmpi/world.h"
+
+namespace tmpi {
+
+namespace detail {
+
+struct PersistState : ReqState {
+  bool is_send = false;
+  const void* sbuf = nullptr;
+  void* rbuf = nullptr;
+  std::size_t bytes = 0;
+  int peer = 0;
+  Tag tag = 0;
+  Comm comm;
+  bool active = false;
+  std::weak_ptr<PersistState> self;  ///< set at creation, used to re-post
+
+  void on_start() override {
+    {
+      std::scoped_lock lk(mu);
+      TMPI_REQUIRE(!active || complete, Errc::kPartitionState,
+                   "start on an incomplete active persistent request");
+      complete = false;
+      errored = false;
+    }
+    active = true;
+    auto sp = std::static_pointer_cast<ReqState>(self.lock());
+    TMPI_REQUIRE(sp != nullptr, Errc::kInternal, "persistent state expired");
+    if (is_send) {
+      isend_reusing(sp, sbuf, bytes, comm.impl()->ctx_id, peer, tag, comm);
+    } else {
+      irecv_reusing(sp, rbuf, bytes, comm.impl()->ctx_id, peer, tag, comm);
+    }
+  }
+};
+
+}  // namespace detail
+
+Request send_init(const void* buf, int count, Datatype dt, int dst, Tag tag, const Comm& comm) {
+  TMPI_REQUIRE(comm.valid(), Errc::kInvalidArg, "invalid comm");
+  TMPI_REQUIRE(count >= 0, Errc::kInvalidArg, "negative count");
+  TMPI_REQUIRE(dst >= 0 && dst < comm.size(), Errc::kInvalidArg, "rank out of range");
+  World& w = comm.world();
+  TMPI_REQUIRE(tag >= 0 && tag <= w.tag_ub(), Errc::kTagOverflow, "tag exceeds tag_ub");
+
+  auto s = std::make_shared<detail::PersistState>();
+  s->kind = detail::ReqKind::kPersistSend;
+  s->is_send = true;
+  s->sbuf = buf;
+  s->bytes = dt.extent(count);
+  s->peer = dst;
+  s->tag = tag;
+  s->comm = comm;
+  s->self = s;
+  // Created inactive and "complete" so the first start() passes its check.
+  s->complete = true;
+  return Request(s);
+}
+
+Request recv_init(void* buf, int count, Datatype dt, int src, Tag tag, const Comm& comm) {
+  TMPI_REQUIRE(comm.valid(), Errc::kInvalidArg, "invalid comm");
+  TMPI_REQUIRE(count >= 0, Errc::kInvalidArg, "negative count");
+  TMPI_REQUIRE(src == kAnySource || (src >= 0 && src < comm.size()), Errc::kInvalidArg,
+               "rank out of range");
+  World& w = comm.world();
+  TMPI_REQUIRE(tag == kAnyTag || (tag >= 0 && tag <= w.tag_ub()), Errc::kTagOverflow,
+               "tag exceeds tag_ub");
+
+  auto s = std::make_shared<detail::PersistState>();
+  s->kind = detail::ReqKind::kPersistRecv;
+  s->is_send = false;
+  s->rbuf = buf;
+  s->bytes = dt.extent(count);
+  s->peer = src;
+  s->tag = tag;
+  s->comm = comm;
+  s->self = s;
+  s->complete = true;
+  return Request(s);
+}
+
+}  // namespace tmpi

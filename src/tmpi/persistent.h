@@ -1,0 +1,28 @@
+#ifndef TMPI_PERSISTENT_H
+#define TMPI_PERSISTENT_H
+
+#include "tmpi/comm.h"
+#include "tmpi/datatype.h"
+#include "tmpi/request.h"
+
+/// \file persistent.h
+/// Persistent point-to-point operations (MPI_Send_init / MPI_Recv_init).
+///
+/// A persistent request freezes the argument list of a send or receive;
+/// start() (shared with partitioned requests) activates one instance, and
+/// wait() completes it, after which the request can be started again.
+/// Persistent operations are the historical ancestor of partitioned
+/// communication (§II-C): one message per start, no partitions, no shared-
+/// request multithreading semantics.
+
+namespace tmpi {
+
+/// Create an inactive persistent send of `count` elements of `dt`.
+Request send_init(const void* buf, int count, Datatype dt, int dst, Tag tag, const Comm& comm);
+
+/// Create an inactive persistent receive.
+Request recv_init(void* buf, int count, Datatype dt, int src, Tag tag, const Comm& comm);
+
+}  // namespace tmpi
+
+#endif  // TMPI_PERSISTENT_H

@@ -1,0 +1,54 @@
+#include "tmpi/request.h"
+
+#include "net/virtual_clock.h"
+#include "tmpi/error.h"
+
+namespace tmpi {
+
+void detail::ReqState::on_start() {
+  fail(Errc::kInvalidArg, "start on a request that is not persistent or partitioned");
+}
+
+void start(Request& req) {
+  TMPI_REQUIRE(req.valid(), Errc::kInvalidArg, "invalid request");
+  req.state()->on_start();
+}
+
+void startall(Request* reqs, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) start(reqs[i]);
+}
+
+Status Request::wait() {
+  TMPI_REQUIRE(valid(), Errc::kInvalidArg, "wait on invalid request");
+  auto& clk = net::ThreadClock::get();
+  std::unique_lock lk(s_->mu);
+  s_->cv.wait(lk, [&] { return s_->complete; });
+  clk.advance_to(s_->complete_time);
+  if (s_->errored) {
+    lk.unlock();
+    fail(Errc::kTruncate, "receive buffer smaller than matched message");
+  }
+  return s_->status;
+}
+
+bool Request::test(Status* st) {
+  TMPI_REQUIRE(valid(), Errc::kInvalidArg, "test on invalid request");
+  auto& clk = net::ThreadClock::get();
+  std::unique_lock lk(s_->mu);
+  if (!s_->complete) return false;
+  clk.advance_to(s_->complete_time);
+  if (s_->errored) {
+    lk.unlock();
+    fail(Errc::kTruncate, "receive buffer smaller than matched message");
+  }
+  if (st != nullptr) *st = s_->status;
+  return true;
+}
+
+void wait_all(Request* reqs, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (reqs[i].valid()) reqs[i].wait();
+  }
+}
+
+}  // namespace tmpi

@@ -1,0 +1,96 @@
+#ifndef TMPI_REQUEST_H
+#define TMPI_REQUEST_H
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+
+#include "net/virtual_clock.h"
+#include "tmpi/status.h"
+
+/// \file request.h
+/// Nonblocking operation handles.
+///
+/// A Request owns shared completion state. Completion is a real-time event
+/// (condition variable) carrying a *virtual* completion timestamp; waiting
+/// threads advance their virtual clock to that timestamp.
+
+namespace tmpi {
+
+namespace detail {
+
+enum class ReqKind { kNone, kSend, kRecv, kPartSend, kPartRecv, kPersistSend, kPersistRecv };
+
+struct ReqState {
+  virtual ~ReqState() = default;
+
+  /// Activate this request if it is persistent/partitioned (MPI_Start).
+  /// The default rejects: plain nonblocking requests are not startable.
+  virtual void on_start();
+
+  std::mutex mu;
+  std::condition_variable cv;
+  bool complete = false;
+  bool errored = false;  ///< e.g. truncation; wait() throws
+  net::Time complete_time = 0;
+  Status status;
+  ReqKind kind = ReqKind::kNone;
+
+  /// Mark complete at virtual time `t` and wake waiters.
+  void finish(net::Time t) {
+    {
+      std::scoped_lock lk(mu);
+      complete = true;
+      complete_time = t;
+    }
+    cv.notify_all();
+  }
+
+  void finish(net::Time t, const Status& st) {
+    {
+      std::scoped_lock lk(mu);
+      complete = true;
+      complete_time = t;
+      status = st;
+    }
+    cv.notify_all();
+  }
+};
+
+}  // namespace detail
+
+class Request {
+ public:
+  Request() = default;
+  explicit Request(std::shared_ptr<detail::ReqState> s) : s_(std::move(s)) {}
+
+  [[nodiscard]] bool valid() const { return s_ != nullptr; }
+
+  /// Block until complete; advances the calling thread's virtual clock to the
+  /// operation's virtual completion time and returns its Status.
+  Status wait();
+
+  /// Nonblocking completion check; on success behaves like wait().
+  bool test(Status* st = nullptr);
+
+  [[nodiscard]] detail::ReqState* state() const { return s_.get(); }
+  [[nodiscard]] const std::shared_ptr<detail::ReqState>& shared_state() const { return s_; }
+
+ private:
+  std::shared_ptr<detail::ReqState> s_;
+};
+
+/// Activate a persistent or partitioned request (MPI_Start).
+void start(Request& req);
+void startall(Request* reqs, std::size_t n);
+
+/// Wait for all requests (invalid entries are skipped).
+void wait_all(Request* reqs, std::size_t n);
+inline void wait_all(std::initializer_list<Request*> reqs) {
+  for (Request* r : reqs)
+    if (r != nullptr && r->valid()) r->wait();
+}
+
+}  // namespace tmpi
+
+#endif  // TMPI_REQUEST_H

@@ -1,0 +1,325 @@
+#include "tmpi/rma.h"
+
+#include <array>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <unordered_map>
+#include "tmpi/collectives.h"
+#include "tmpi/error.h"
+#include "tmpi/matching.h"
+#include "tmpi/world.h"
+
+namespace tmpi {
+
+namespace detail {
+
+/// Memory-side exclusion unit: guards the actual memory update (atomicity is
+/// real, via the mutex). Timing-wise the serialization that matters — and
+/// that Lesson 16 studies — happens at the *channel* (VCI / hardware
+/// context) level on the origin side, which stays deterministic; per-stripe
+/// apply time is charged as a fixed cost on the arrival path.
+struct Stripe {
+  std::mutex mu;
+};
+
+struct WindowImpl {
+  static constexpr int kStripes = 64;
+  static constexpr std::size_t kStripeBytes = 256;
+
+  World* world = nullptr;
+  Info info;
+  AccumulateOrdering ordering = AccumulateOrdering::kStrict;
+  bool endpoints = false;
+  std::vector<int> win_vcis;  ///< pool indices (regular windows)
+  std::uint64_t seq_no = 0;
+
+  struct Target {
+    int world_rank = 0;
+    int ep_vci = -1;
+    std::byte* base = nullptr;
+    std::size_t bytes = 0;
+  };
+  std::vector<Target> targets;  ///< per comm rank
+
+  /// Memory-side serialization, per owning *process* (endpoints of one
+  /// process share memory and therefore stripes).
+  std::map<int, std::unique_ptr<std::array<Stripe, kStripes>>> stripes;
+
+  [[nodiscard]] Stripe& stripe(int owner_world_rank, std::size_t disp) {
+    auto& set = *stripes.at(owner_world_rank);
+    return set[(disp / kStripeBytes) % kStripes];
+  }
+};
+
+namespace {
+
+std::uint32_t mix2(std::uint32_t a, std::uint32_t b) {
+  std::uint32_t x = a * 0x9E3779B9u ^ (b + 0x85EBCA6Bu);
+  x ^= x >> 15;
+  x *= 0xC2B2AE35u;
+  x ^= x >> 13;
+  return x;
+}
+
+/// Per-thread outstanding-completion horizon per window (advanced by ops,
+/// consumed by flush), and the completion of the thread's most recent
+/// operation (consumed by the request-returning variants).
+thread_local std::unordered_map<const WindowImpl*, net::Time> tl_outstanding;
+thread_local net::Time tl_last_op_done = 0;
+
+std::shared_ptr<void> build_window(CommImpl& c, CommImpl::Pending& p) {
+  auto w = std::make_shared<WindowImpl>();
+  w->world = c.world;
+  w->info = p.args[0].info;
+  w->ordering = w->info.get_string("accumulate_ordering", "strict") == "none"
+                    ? AccumulateOrdering::kNone
+                    : AccumulateOrdering::kStrict;
+  w->endpoints = c.is_endpoints;
+  w->seq_no = c.world->next_comm_seq();
+
+  const int n = c.size();
+  w->targets.resize(static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r) {
+    auto& t = w->targets[static_cast<std::size_t>(r)];
+    t.world_rank = c.eps[static_cast<std::size_t>(r)].world_rank;
+    t.ep_vci = c.eps[static_cast<std::size_t>(r)].vci;
+    t.base = static_cast<std::byte*>(p.args[static_cast<std::size_t>(r)].base);
+    t.bytes = p.args[static_cast<std::size_t>(r)].bytes;
+    if (w->stripes.find(t.world_rank) == w->stripes.end()) {
+      w->stripes.emplace(t.world_rank,
+                         std::make_unique<std::array<Stripe, WindowImpl::kStripes>>());
+    }
+  }
+
+  if (!w->endpoints) {
+    const int requested = std::max(1, w->info.get_int("tmpi_num_vcis", 1));
+    const int base_pool = c.world->config().num_vcis;
+    const int pool_size = std::max(base_pool, requested);
+    for (const auto& t : w->targets) {
+      c.world->rank_state(t.world_rank).vcis.ensure(pool_size);
+    }
+    w->win_vcis.resize(static_cast<std::size_t>(requested));
+    for (int i = 0; i < requested; ++i) {
+      w->win_vcis[static_cast<std::size_t>(i)] =
+          static_cast<int>((w->seq_no + static_cast<std::uint64_t>(i)) %
+                           static_cast<std::uint64_t>(pool_size));
+    }
+  }
+  return w;
+}
+
+/// Channel (VCI pool index on the *origin's* rank) for an RMA op.
+int rma_local_vci(const WindowImpl& w, const CommImpl& c, int origin_rank, int target_rank,
+                  std::size_t disp, bool atomic) {
+  if (w.endpoints) return c.eps[static_cast<std::size_t>(origin_rank)].vci;
+  const auto n = static_cast<std::uint32_t>(w.win_vcis.size());
+  std::uint32_t h;
+  if (atomic && w.ordering == AccumulateOrdering::kStrict) {
+    // Same-(origin,target) atomics must stay ordered: one channel per pair.
+    h = mix2(static_cast<std::uint32_t>(origin_rank), static_cast<std::uint32_t>(target_rank));
+  } else {
+    // Unordered: spread by target location; collisions still serialize
+    // independent operations (Lesson 16).
+    h = mix2(mix2(static_cast<std::uint32_t>(origin_rank),
+                  static_cast<std::uint32_t>(target_rank)),
+             static_cast<std::uint32_t>(disp / WindowImpl::kStripeBytes));
+  }
+  return w.win_vcis[h % n];
+}
+
+struct IssueResult {
+  net::Time arrival = 0;  ///< op arrived at the target NIC
+  std::byte* target_ptr = nullptr;
+  int owner_world_rank = 0;
+};
+
+/// Origin-side issue: charge issue cost, inject through the chosen VCI, and
+/// compute arrival. `payload_bytes` is what travels origin->target.
+IssueResult rma_issue(const Window& win_handle, const WindowImpl& w, const CommImpl& c,
+                      int target, std::size_t disp, std::size_t len, std::size_t payload_bytes,
+                      bool atomic) {
+  World& world = *w.world;
+  const net::CostModel& cm = world.cost();
+  auto& clk = net::ThreadClock::get();
+  net::NetStats* stats = &world.fabric().stats();
+
+  const int origin_rank = win_handle.rank();
+  const auto& t = w.targets.at(static_cast<std::size_t>(target));
+  TMPI_REQUIRE(disp + len <= t.bytes, Errc::kInvalidArg, "RMA access beyond window bounds");
+
+  clk.advance(cm.rma_issue_ns);
+  const int lvci = rma_local_vci(w, c, origin_rank, target, disp, atomic);
+  detail::RankState& me = world.rank_state(c.world_rank_of(origin_rank));
+  detail::Vci& v = me.vcis.at(lvci);
+  net::Time inject_done = 0;
+  {
+    net::ContentionLock::Guard g(v.lock(), clk, cm, stats);
+    inject_done = v.ctx().inject(clk, cm);
+  }
+  stats->add_rma(atomic);
+
+  IssueResult r;
+  r.owner_world_rank = t.world_rank;
+  r.target_ptr = t.base + disp;
+  r.arrival = inject_done +
+              world.fabric().transfer_time(me.node, world.node_of(t.world_rank), payload_bytes);
+
+  // Receive-side occupancy at the target's channel (duplex context): RMA
+  // traffic through one window channel competes with the target's own use
+  // of it — the collision effect Lesson 16 describes.
+  const int rvci = w.endpoints ? c.eps[static_cast<std::size_t>(target)].vci : lvci;
+  net::VirtualClock aclk(r.arrival);
+  world.rank_state(t.world_rank).vcis.at(rvci).ctx().receive(aclk, cm);
+  r.arrival = aclk.now();
+  return r;
+}
+
+void note_outstanding(const WindowImpl* w, net::Time done) {
+  auto& slot = tl_outstanding[w];
+  slot = std::max(slot, done);
+  tl_last_op_done = done;
+}
+
+}  // namespace
+
+}  // namespace detail
+
+namespace detail {
+namespace {
+// Install the window-construction hook once, before main (single-threaded):
+// assigning it per Window::create would race when threads create endpoint
+// windows concurrently.
+const bool g_window_hook_installed = [] {
+  CommImpl::build_window_hook = &build_window;
+  return true;
+}();
+}  // namespace
+}  // namespace detail
+
+Window Window::create(void* base, std::size_t bytes, const Comm& comm, const Info& info) {
+  TMPI_REQUIRE(comm.valid(), Errc::kInvalidArg, "invalid comm");
+  TMPI_REQUIRE(detail::g_window_hook_installed, Errc::kInternal, "window hook unset");
+  detail::DeriveArgs a;
+  a.base = base;
+  a.bytes = bytes;
+  a.info = info;
+  std::uint64_t seq = 0;
+  auto& p = comm.impl()->derive_join(detail::DeriveOp::kWindow, comm.rank(), std::move(a), &seq);
+  auto impl = std::static_pointer_cast<detail::WindowImpl>(p.extra_result);
+  comm.impl()->derive_consume(seq);
+  return Window(std::move(impl), comm);
+}
+
+AccumulateOrdering Window::ordering() const { return impl_->ordering; }
+const std::vector<int>& Window::vcis() const { return impl_->win_vcis; }
+
+void Window::put(const void* origin, int count, Datatype dt, int target, std::size_t disp) {
+  const std::size_t len = dt.extent(count);
+  auto r = detail::rma_issue(*this, *impl_, *comm_.impl(), target, disp * dt.size(), len, len,
+                             /*atomic=*/false);
+  {
+    detail::Stripe& st = impl_->stripe(r.owner_world_rank, disp * dt.size());
+    std::scoped_lock lk(st.mu);
+    if (len > 0) std::memcpy(r.target_ptr, origin, len);
+  }
+  detail::note_outstanding(impl_.get(), r.arrival);
+}
+
+void Window::get(void* origin, int count, Datatype dt, int target, std::size_t disp) {
+  const std::size_t len = dt.extent(count);
+  // The request header travels out; the payload travels back.
+  auto r = detail::rma_issue(*this, *impl_, *comm_.impl(), target, disp * dt.size(), len, 0,
+                             /*atomic=*/false);
+  {
+    detail::Stripe& st = impl_->stripe(r.owner_world_rank, disp * dt.size());
+    std::scoped_lock lk(st.mu);
+    if (len > 0) std::memcpy(origin, r.target_ptr, len);
+  }
+  const int my_node = impl_->world->node_of(comm_.world_rank_of(comm_.rank()));
+  const net::Time done =
+      r.arrival + impl_->world->fabric().transfer_time(
+                      impl_->world->node_of(r.owner_world_rank), my_node, len);
+  detail::note_outstanding(impl_.get(), done);
+}
+
+void Window::accumulate(const void* origin, int count, Datatype dt, int target, std::size_t disp,
+                        Op op) {
+  const std::size_t len = dt.extent(count);
+  auto r = detail::rma_issue(*this, *impl_, *comm_.impl(), target, disp * dt.size(), len, len,
+                             /*atomic=*/true);
+  const net::CostModel& cm = impl_->world->cost();
+  {
+    detail::Stripe& st = impl_->stripe(r.owner_world_rank, disp * dt.size());
+    std::scoped_lock lk(st.mu);
+    reduce_apply(op, dt, r.target_ptr, origin, count);
+  }
+  detail::note_outstanding(impl_.get(), r.arrival + cm.atomic_apply_ns);
+}
+
+void Window::get_accumulate(const void* origin, void* result, int count, Datatype dt, int target,
+                            std::size_t disp, Op op) {
+  const std::size_t len = dt.extent(count);
+  auto r = detail::rma_issue(*this, *impl_, *comm_.impl(), target, disp * dt.size(), len, len,
+                             /*atomic=*/true);
+  const net::CostModel& cm = impl_->world->cost();
+  const net::Time applied = r.arrival + cm.atomic_apply_ns;
+  {
+    detail::Stripe& st = impl_->stripe(r.owner_world_rank, disp * dt.size());
+    std::scoped_lock lk(st.mu);
+    if (len > 0) std::memcpy(result, r.target_ptr, len);
+    reduce_apply(op, dt, r.target_ptr, origin, count);
+  }
+  const int my_node = impl_->world->node_of(comm_.world_rank_of(comm_.rank()));
+  const net::Time done =
+      applied + impl_->world->fabric().transfer_time(
+                    impl_->world->node_of(r.owner_world_rank), my_node, len);
+  detail::note_outstanding(impl_.get(), done);
+  net::ThreadClock::get().advance_to(done);  // fetch-result is synchronous
+}
+
+namespace {
+
+/// A request already satisfied at virtual time `done`.
+tmpi::Request completed_request(tmpi::net::Time done) {
+  auto st = std::make_shared<tmpi::detail::ReqState>();
+  st->finish(done);
+  return tmpi::Request(st);
+}
+
+}  // namespace
+
+Request Window::rput(const void* origin, int count, Datatype dt, int target, std::size_t disp) {
+  put(origin, count, dt, target, disp);
+  return completed_request(detail::tl_last_op_done);
+}
+
+Request Window::rget(void* origin, int count, Datatype dt, int target, std::size_t disp) {
+  get(origin, count, dt, target, disp);
+  return completed_request(detail::tl_last_op_done);
+}
+
+Request Window::raccumulate(const void* origin, int count, Datatype dt, int target,
+                            std::size_t disp, Op op) {
+  accumulate(origin, count, dt, target, disp, op);
+  return completed_request(detail::tl_last_op_done);
+}
+
+void Window::flush(int /*target*/) {
+  // Timing is tracked per window (not per target): flush == flush_all.
+  flush_all();
+}
+
+void Window::flush_all() {
+  auto it = detail::tl_outstanding.find(impl_.get());
+  if (it == detail::tl_outstanding.end()) return;
+  net::ThreadClock::get().advance_to(it->second);
+  detail::tl_outstanding.erase(it);
+}
+
+void Window::fence() {
+  flush_all();
+  barrier(comm_);
+}
+
+}  // namespace tmpi

@@ -1,0 +1,100 @@
+#ifndef TMPI_RMA_H
+#define TMPI_RMA_H
+
+#include <memory>
+#include <vector>
+
+#include "tmpi/comm.h"
+#include "tmpi/datatype.h"
+#include "tmpi/info.h"
+#include "tmpi/request.h"
+
+/// \file rma.h
+/// One-sided (RMA) communication.
+///
+/// A Window is created collectively over a communicator; each rank exposes a
+/// memory region. Operations address `(target_rank, disp)` where `disp` is an
+/// *element* displacement in units of the operation's datatype.
+///
+/// Channel mapping (the Lesson 16 design space):
+///   - regular window, `accumulate_ordering` strict (default): atomics from
+///     one origin to one target funnel through a single hashed channel so
+///     program order is preserved;
+///   - `accumulate_ordering=none`: atomics spread by a hash of the target
+///     location — parallel, but hash collisions still serialize some
+///     independent operations;
+///   - window on an *endpoints* communicator: each endpoint issues through
+///     its dedicated VCI — full parallelism with atomicity kept intact
+///     (the paper's NWChem argument for endpoints).
+///
+/// Completion model: operations are applied at issue; `flush*` advances the
+/// caller's virtual clock to the completion of its outstanding operations.
+/// As in MPI, reading results of a `get` (or the target of a `put`) is only
+/// valid after a flush/fence.
+
+namespace tmpi {
+
+namespace detail {
+struct WindowImpl;
+}
+
+class Window {
+ public:
+  Window() = default;
+
+  /// Collective over `comm` (over every endpoint handle for an endpoints
+  /// comm). Exposes `bytes` of memory at `base` for this rank.
+  ///
+  /// Info keys: `accumulate_ordering` ("none" relaxes ordering),
+  /// `tmpi_num_vcis` (channel count for regular windows).
+  static Window create(void* base, std::size_t bytes, const Comm& comm, const Info& info = {});
+
+  [[nodiscard]] bool valid() const { return impl_ != nullptr; }
+  [[nodiscard]] int rank() const { return comm_.rank(); }
+  [[nodiscard]] int size() const { return comm_.size(); }
+  [[nodiscard]] AccumulateOrdering ordering() const;
+  [[nodiscard]] const std::vector<int>& vcis() const;
+  [[nodiscard]] const Comm& comm() const { return comm_; }
+
+  /// Nonatomic write of `count` elements to (target, disp).
+  void put(const void* origin, int count, Datatype dt, int target, std::size_t disp);
+
+  /// Nonatomic read of `count` elements from (target, disp).
+  void get(void* origin, int count, Datatype dt, int target, std::size_t disp);
+
+  /// Atomic elementwise update (MPI_Accumulate).
+  void accumulate(const void* origin, int count, Datatype dt, int target, std::size_t disp,
+                  Op op);
+
+  /// Atomic fetch-and-op (MPI_Get_accumulate / MPI_Fetch_and_op): `result`
+  /// receives the pre-update target contents. Completes synchronously (the
+  /// caller's clock advances to the round trip's end).
+  void get_accumulate(const void* origin, void* result, int count, Datatype dt, int target,
+                      std::size_t disp, Op op);
+
+  /// Request-returning variants (MPI_Rput / MPI_Rget / MPI_Raccumulate):
+  /// the returned request completes at the operation's virtual completion,
+  /// letting callers overlap specific operations instead of flushing all.
+  Request rput(const void* origin, int count, Datatype dt, int target, std::size_t disp);
+  Request rget(void* origin, int count, Datatype dt, int target, std::size_t disp);
+  Request raccumulate(const void* origin, int count, Datatype dt, int target, std::size_t disp,
+                      Op op);
+
+  /// Complete this thread's outstanding operations to `target`.
+  void flush(int target);
+  /// Complete all of this thread's outstanding operations on the window.
+  void flush_all();
+  /// Collective: barrier + flush_all (MPI_Win_fence flavour).
+  void fence();
+
+ private:
+  Window(std::shared_ptr<detail::WindowImpl> impl, Comm comm)
+      : impl_(std::move(impl)), comm_(std::move(comm)) {}
+
+  std::shared_ptr<detail::WindowImpl> impl_;
+  Comm comm_;
+};
+
+}  // namespace tmpi
+
+#endif  // TMPI_RMA_H

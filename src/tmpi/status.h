@@ -1,0 +1,26 @@
+#ifndef TMPI_STATUS_H
+#define TMPI_STATUS_H
+
+#include <cstddef>
+
+#include "tmpi/types.h"
+
+/// \file status.h
+/// Completion status of a receive.
+
+namespace tmpi {
+
+struct Status {
+  int source = kAnySource;  ///< comm rank of the sender
+  Tag tag = kAnyTag;        ///< matched tag
+  std::size_t bytes = 0;    ///< received payload size
+
+  /// Element count for a datatype of the given size.
+  [[nodiscard]] int count(std::size_t elem_size) const {
+    return elem_size == 0 ? 0 : static_cast<int>(bytes / elem_size);
+  }
+};
+
+}  // namespace tmpi
+
+#endif  // TMPI_STATUS_H

@@ -1,0 +1,25 @@
+#ifndef TMPI_TMPI_H
+#define TMPI_TMPI_H
+
+/// \file tmpi.h
+/// Umbrella header for the tmpi runtime — a from-scratch MPI-subset
+/// implementation over a simulated fabric, built to reproduce the design
+/// space of "Lessons Learned on MPI+Threads Communication" (SC 2022):
+/// communicators/tags/windows with MPI 4.0 Info hints, user-visible
+/// endpoints, and partitioned communication, all mapped onto VCIs.
+
+#include "tmpi/collectives.h"
+#include "tmpi/comm.h"
+#include "tmpi/datatype.h"
+#include "tmpi/error.h"
+#include "tmpi/info.h"
+#include "tmpi/p2p.h"
+#include "tmpi/partitioned.h"
+#include "tmpi/persistent.h"
+#include "tmpi/request.h"
+#include "tmpi/rma.h"
+#include "tmpi/status.h"
+#include "tmpi/types.h"
+#include "tmpi/world.h"
+
+#endif  // TMPI_TMPI_H

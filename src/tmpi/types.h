@@ -1,0 +1,48 @@
+#ifndef TMPI_TYPES_H
+#define TMPI_TYPES_H
+
+#include <cstdint>
+
+/// \file types.h
+/// Fundamental constants and enums of the tmpi runtime.
+
+namespace tmpi {
+
+/// Message tag. Application-visible tags are bounded by the world's
+/// configured tag width (Lesson 9 studies this bound); internal protocol
+/// tags may use the full signed range.
+using Tag = std::int32_t;
+
+inline constexpr int kAnySource = -1;
+inline constexpr Tag kAnyTag = -1;
+
+/// MPI threading support levels.
+enum class ThreadLevel {
+  kSingle,      ///< only one thread exists
+  kFunneled,    ///< only the main thread makes tmpi calls
+  kSerialized,  ///< any thread, but never concurrently
+  kMultiple,    ///< fully concurrent calls
+};
+
+/// Reduction operators for collectives and RMA accumulates.
+enum class Op {
+  kSum,
+  kProd,
+  kMax,
+  kMin,
+  kReplace,  ///< RMA only: overwrite (MPI_REPLACE)
+  kNoOp,     ///< RMA only: read without update (MPI_NO_OP)
+};
+
+/// RMA accumulate ordering (per MPI's `accumulate_ordering` info key).
+enum class AccumulateOrdering {
+  kStrict,  ///< same-origin same-target-location atomics execute in order
+  kNone,    ///< no ordering: atomics may map to parallel channels
+};
+
+const char* to_string(ThreadLevel level);
+const char* to_string(Op op);
+
+}  // namespace tmpi
+
+#endif  // TMPI_TYPES_H

@@ -1,0 +1,111 @@
+#ifndef TMPI_VCI_H
+#define TMPI_VCI_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "net/contention_lock.h"
+#include "net/nic.h"
+#include "tmpi/matching.h"
+
+/// \file vci.h
+/// Virtual Communication Interfaces.
+///
+/// A VCI is a software communication channel: one matching engine plus one
+/// lock, mapped onto a NIC hardware context (dedicated while the NIC's pool
+/// lasts, shared afterwards). Operations routed to distinct VCIs proceed in
+/// parallel; operations funneled through one VCI serialize on its lock and
+/// its hardware context — the two regimes whose gap is the subject of the
+/// reproduced paper.
+
+namespace tmpi::detail {
+
+class Vci {
+ public:
+  explicit Vci(net::Nic& nic) : ctx_(&nic.acquire_context()) {}
+
+  Vci(const Vci&) = delete;
+  Vci& operator=(const Vci&) = delete;
+
+  [[nodiscard]] net::HwContext& ctx() { return *ctx_; }
+  [[nodiscard]] net::ContentionLock& lock() { return lock_; }
+  [[nodiscard]] MatchingEngine& engine() { return engine_; }
+
+  /// Deposit event counter + wakeup, used by blocking probe: a prober waits
+  /// until the count changes instead of charging per-poll costs.
+  void note_deposit() {
+    {
+      // The counter must change under the waiters' mutex, or a prober that
+      // just evaluated its predicate could sleep through this notification
+      // (lost wakeup) and hang until an unrelated later deposit.
+      std::scoped_lock lk(deposit_mu_);
+      deposits_.fetch_add(1, std::memory_order_release);
+    }
+    deposit_cv_.notify_all();
+  }
+  [[nodiscard]] std::uint64_t deposit_count() const {
+    return deposits_.load(std::memory_order_acquire);
+  }
+  /// Block (real time) until deposit_count() != `seen`.
+  void wait_deposit_change(std::uint64_t seen) {
+    std::unique_lock lk(deposit_mu_);
+    deposit_cv_.wait(lk, [&] { return deposit_count() != seen; });
+  }
+
+ private:
+  net::HwContext* ctx_;
+  net::ContentionLock lock_;
+  MatchingEngine engine_;
+  std::atomic<std::uint64_t> deposits_{0};
+  std::mutex deposit_mu_;
+  std::condition_variable deposit_cv_;
+};
+
+/// Per-rank pool of VCIs. Grows on demand (endpoint creation, comm hints);
+/// never shrinks. Index stability: references stay valid forever.
+class VciPool {
+ public:
+  VciPool(net::Nic& nic, int initial) : nic_(&nic) {
+    for (int i = 0; i < initial; ++i) vcis_.push_back(std::make_unique<Vci>(*nic_));
+  }
+
+  VciPool(const VciPool&) = delete;
+  VciPool& operator=(const VciPool&) = delete;
+
+  [[nodiscard]] Vci& at(int i) {
+    std::scoped_lock lk(mu_);
+    return *vcis_.at(static_cast<std::size_t>(i));
+  }
+
+  [[nodiscard]] int size() const {
+    std::scoped_lock lk(mu_);
+    return static_cast<int>(vcis_.size());
+  }
+
+  /// Grow to at least `n` VCIs; returns the new size.
+  int ensure(int n) {
+    std::scoped_lock lk(mu_);
+    while (static_cast<int>(vcis_.size()) < n) vcis_.push_back(std::make_unique<Vci>(*nic_));
+    return static_cast<int>(vcis_.size());
+  }
+
+  /// Append one VCI; returns its index.
+  int add() {
+    std::scoped_lock lk(mu_);
+    vcis_.push_back(std::make_unique<Vci>(*nic_));
+    return static_cast<int>(vcis_.size()) - 1;
+  }
+
+ private:
+  net::Nic* nic_;
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Vci>> vcis_;
+};
+
+}  // namespace tmpi::detail
+
+#endif  // TMPI_VCI_H

@@ -1,0 +1,106 @@
+#include "tmpi/world.h"
+
+#include <exception>
+#include <thread>
+
+namespace tmpi {
+
+World::World(WorldConfig cfg) : cfg_(std::move(cfg)) {
+  TMPI_REQUIRE(cfg_.nranks >= 1, Errc::kInvalidArg, "nranks must be >= 1");
+  TMPI_REQUIRE(cfg_.ranks_per_node >= 1, Errc::kInvalidArg, "ranks_per_node must be >= 1");
+  TMPI_REQUIRE(cfg_.num_vcis >= 1, Errc::kInvalidArg, "num_vcis must be >= 1");
+  TMPI_REQUIRE(cfg_.tag_bits >= 4 && cfg_.tag_bits <= 30, Errc::kInvalidArg,
+               "tag_bits must be in [4,30]");
+
+  const int nodes = (cfg_.nranks + cfg_.ranks_per_node - 1) / cfg_.ranks_per_node;
+  fabric_ = std::make_unique<net::Fabric>(nodes, cfg_.cost);
+
+  states_.reserve(static_cast<std::size_t>(cfg_.nranks));
+  for (int r = 0; r < cfg_.nranks; ++r) {
+    const int node = node_of(r);
+    states_.push_back(
+        std::make_unique<detail::RankState>(r, node, fabric_->nic(node), cfg_.num_vcis));
+  }
+
+  // COMM_WORLD.
+  world_comm_ = std::make_shared<detail::CommImpl>();
+  world_comm_->world = this;
+  const int base = alloc_ctx_ids();
+  world_comm_->ctx_id = base;
+  world_comm_->coll_ctx_id = base + 1;
+  world_comm_->part_ctx_id = base + 2;
+  world_comm_->seq_no = next_comm_seq();
+  world_comm_->eps.resize(static_cast<std::size_t>(cfg_.nranks));
+  for (int r = 0; r < cfg_.nranks; ++r) {
+    world_comm_->eps[static_cast<std::size_t>(r)] = detail::EpEntry{r, -1};
+  }
+  detail::configure_policy(*world_comm_);
+  world_comm_->finalize_structure();
+}
+
+World::~World() = default;
+
+int World::alloc_ctx_ids() { return next_ctx_.fetch_add(3, std::memory_order_relaxed); }
+
+void World::run(const std::function<void(Rank&)>& fn) {
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(cfg_.nranks));
+  std::mutex err_mu;
+  std::exception_ptr first_error;
+
+  for (int r = 0; r < cfg_.nranks; ++r) {
+    threads.emplace_back([&, r] {
+      detail::RankState& st = *states_[static_cast<std::size_t>(r)];
+      net::ScopedClockBind bind(&st.clock);
+      Rank rank(*this, st);
+      try {
+        fn(rank);
+      } catch (...) {
+        std::scoped_lock lk(err_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+net::Time World::elapsed() const {
+  net::Time t = 0;
+  for (const auto& st : states_) t = std::max(t, st->clock.now());
+  return t;
+}
+
+void Rank::parallel(int nthreads, const std::function<void(int)>& fn) const {
+  TMPI_REQUIRE(nthreads >= 1, Errc::kInvalidArg, "nthreads must be >= 1");
+  auto& parent_clk = net::ThreadClock::get();
+  const net::Time start = parent_clk.now();
+
+  std::vector<net::VirtualClock> clocks(static_cast<std::size_t>(nthreads),
+                                        net::VirtualClock(start));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(nthreads));
+  std::mutex err_mu;
+  std::exception_ptr first_error;
+
+  for (int t = 0; t < nthreads; ++t) {
+    threads.emplace_back([&, t] {
+      net::ScopedClockBind bind(&clocks[static_cast<std::size_t>(t)]);
+      try {
+        fn(t);
+      } catch (...) {
+        std::scoped_lock lk(err_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  if (first_error) std::rethrow_exception(first_error);
+
+  net::Time end = start;
+  for (const auto& c : clocks) end = std::max(end, c.now());
+  parent_clk.advance_to(end);
+  parent_clk.advance(w_->cost().thread_sync_ns);
+}
+
+}  // namespace tmpi

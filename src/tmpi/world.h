@@ -1,0 +1,159 @@
+#ifndef TMPI_WORLD_H
+#define TMPI_WORLD_H
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "net/fabric.h"
+#include "tmpi/comm.h"
+#include "tmpi/error.h"
+#include "tmpi/types.h"
+#include "tmpi/vci.h"
+
+/// \file world.h
+/// The simulated MPI world: ranks, nodes, VCI pools, and the run harness.
+///
+/// A World plays the role of `mpiexec -n nranks` over a simulated fabric.
+/// Ranks execute as OS threads within this process; each rank owns a VCI
+/// pool whose VCIs map onto its node's NIC hardware contexts. The user
+/// function receives a Rank handle and may spawn thread teams with
+/// Rank::parallel — the MPI+threads model under study.
+
+namespace tmpi {
+
+class Rank;
+
+struct WorldConfig {
+  int nranks = 2;
+  int ranks_per_node = 1;
+  /// Base per-rank VCI pool size. 1 reproduces a classic THREAD_MULTIPLE
+  /// library with a single global channel ("MPI+threads (Original)");
+  /// larger pools let comms/tags/endpoints spread across channels.
+  int num_vcis = 1;
+  /// User tag width in bits; tag_ub = 2^tag_bits - 1 (Lesson 9).
+  int tag_bits = 23;
+  ThreadLevel level = ThreadLevel::kMultiple;
+  net::CostModel cost{};
+};
+
+namespace detail {
+
+struct RankState {
+  int rank;
+  int node;
+  net::VirtualClock clock;
+  VciPool vcis;
+  std::atomic<int> active_calls{0};
+
+  RankState(int r, int nd, net::Nic& nic, int nvcis)
+      : rank(r), node(nd), vcis(nic, nvcis) {}
+};
+
+/// RAII thread-level enforcement: counts concurrent runtime calls per rank
+/// and rejects concurrency when the world was initialized below
+/// THREAD_MULTIPLE.
+class CallGuard {
+ public:
+  CallGuard(RankState& st, ThreadLevel level) : st_(st) {
+    const int prev = st_.active_calls.fetch_add(1, std::memory_order_acq_rel);
+    if (prev > 0 && level != ThreadLevel::kMultiple) {
+      st_.active_calls.fetch_sub(1, std::memory_order_acq_rel);
+      fail(Errc::kThreadLevel, "concurrent runtime calls require THREAD_MULTIPLE");
+    }
+  }
+  ~CallGuard() { st_.active_calls.fetch_sub(1, std::memory_order_acq_rel); }
+  CallGuard(const CallGuard&) = delete;
+  CallGuard& operator=(const CallGuard&) = delete;
+
+ private:
+  RankState& st_;
+};
+
+}  // namespace detail
+
+class World {
+ public:
+  explicit World(WorldConfig cfg);
+  ~World();
+
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  /// Execute `fn` once per rank, each on its own OS thread with a bound
+  /// virtual clock. Rethrows the first exception any rank threw. May be
+  /// called repeatedly; virtual clocks persist across calls.
+  void run(const std::function<void(Rank&)>& fn);
+
+  [[nodiscard]] int nranks() const { return cfg_.nranks; }
+  [[nodiscard]] int num_nodes() const { return fabric_->num_nodes(); }
+  [[nodiscard]] int node_of(int world_rank) const {
+    return world_rank / cfg_.ranks_per_node;
+  }
+  [[nodiscard]] Tag tag_ub() const {
+    return static_cast<Tag>((1u << cfg_.tag_bits) - 1u);
+  }
+  [[nodiscard]] const WorldConfig& config() const { return cfg_; }
+
+  [[nodiscard]] net::Fabric& fabric() { return *fabric_; }
+  [[nodiscard]] const net::Fabric& fabric() const { return *fabric_; }
+  [[nodiscard]] const net::CostModel& cost() const { return fabric_->cost(); }
+  [[nodiscard]] net::NetStatsSnapshot snapshot() const { return fabric_->stats().snapshot(); }
+
+  /// Max virtual time across rank clocks (call after run()).
+  [[nodiscard]] net::Time elapsed() const;
+
+  // --- runtime internals ---
+  [[nodiscard]] detail::RankState& rank_state(int r) {
+    return *states_.at(static_cast<std::size_t>(r));
+  }
+  /// Allocate a block of 3 context ids (pt2p, coll, part) for a new comm;
+  /// returns the base id.
+  int alloc_ctx_ids();
+  [[nodiscard]] std::uint64_t next_comm_seq() {
+    return comm_seq_.fetch_add(1, std::memory_order_relaxed);
+  }
+  [[nodiscard]] const std::shared_ptr<detail::CommImpl>& world_comm_impl() const {
+    return world_comm_;
+  }
+
+ private:
+  WorldConfig cfg_;
+  std::unique_ptr<net::Fabric> fabric_;
+  std::vector<std::unique_ptr<detail::RankState>> states_;
+  std::shared_ptr<detail::CommImpl> world_comm_;
+  std::atomic<int> next_ctx_{0};
+  std::atomic<std::uint64_t> comm_seq_{0};
+};
+
+/// Per-rank execution handle passed to the World::run callback.
+class Rank {
+ public:
+  Rank(World& w, detail::RankState& st) : w_(&w), st_(&st) {}
+
+  [[nodiscard]] int rank() const { return st_->rank; }
+  [[nodiscard]] int size() const { return w_->nranks(); }
+  [[nodiscard]] int node() const { return st_->node; }
+  [[nodiscard]] World& world() const { return *w_; }
+  [[nodiscard]] net::VirtualClock& clock() const { return st_->clock; }
+
+  /// COMM_WORLD handle for this rank.
+  [[nodiscard]] Comm world_comm() const { return Comm(w_->world_comm_impl(), st_->rank); }
+
+  /// Fork-join thread team (the OpenMP parallel region of the paper's
+  /// listings). Each worker gets tid in [0, nthreads) and a virtual clock
+  /// starting at the caller's current time; on join the caller's clock
+  /// advances to the slowest worker plus a synchronization charge.
+  void parallel(int nthreads, const std::function<void(int)>& fn) const;
+
+  [[nodiscard]] detail::RankState& state() const { return *st_; }
+
+ private:
+  World* w_;
+  detail::RankState* st_;
+};
+
+}  // namespace tmpi
+
+#endif  // TMPI_WORLD_H

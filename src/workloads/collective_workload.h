@@ -1,0 +1,57 @@
+#ifndef WL_COLLECTIVE_WORKLOAD_H
+#define WL_COLLECTIVE_WORKLOAD_H
+
+#include "net/cost_model.h"
+#include "workloads/common.h"
+
+/// \file collective_workload.h
+/// Multithreaded allreduce (the VASP pattern of Fig. 7 / Lessons 18-19).
+/// Every (rank, thread) holds a full-length contribution vector; the global
+/// result is the elementwise sum over all R*T contributions, needed by every
+/// thread.
+///
+///  - kSingleThread    — threads pre-combine locally (parallel slices); one
+///                       thread runs the internode allreduce. The baseline.
+///  - kPerThreadComms  — the VASP approach: local pre-combine, then T threads
+///                       allreduce disjoint slices in parallel on per-thread
+///                       communicators. The user drives the intranode portion
+///                       (Lesson 18); one result buffer per process.
+///  - kEndpoints       — every thread joins ONE allreduce through its own
+///                       endpoint; the library performs intranode+internode
+///                       (one-step, Lesson 18) but each endpoint holds a full
+///                       result copy (duplication, Lesson 19).
+///  - kPartitionedStyle— the partitioned-collective concept: per-slice
+///                       parallel transport with a single result buffer, but
+///                       every thread's contribution passes through a shared
+///                       request (Lesson 14 contention charge).
+///
+/// Contributions are small integers, so double sums are exact and verified.
+
+namespace wl {
+
+enum class CollMech {
+  kSingleThread,
+  kPerThreadComms,
+  kEndpoints,
+  kPartitionedStyle,
+};
+
+const char* to_string(CollMech m);
+
+struct CollParams {
+  CollMech mech = CollMech::kPerThreadComms;
+  int nranks = 4;
+  int threads = 4;
+  int elements = 1 << 14;  ///< doubles per contribution (divisible by threads)
+  int iters = 2;
+  int num_vcis = 16;
+  tmpi::net::CostModel cost{};
+};
+
+/// Returns results; result_buffer_bytes reports the per-process memory that
+/// holds copies of the collective's result (Lesson 19).
+RunResult run_collective(const CollParams& p);
+
+}  // namespace wl
+
+#endif  // WL_COLLECTIVE_WORKLOAD_H

@@ -1,0 +1,52 @@
+#ifndef WL_COMMON_H
+#define WL_COMMON_H
+
+#include <cstdint>
+
+#include "net/stats.h"
+#include "net/virtual_clock.h"
+
+/// \file common.h
+/// Shared result types for the workload kernels.
+
+namespace wl {
+
+namespace net = tmpi::net;
+
+struct RunResult {
+  net::Time elapsed_ns = 0;          ///< virtual makespan (max over rank clocks)
+  std::uint64_t messages = 0;        ///< messages the workload sent
+  std::uint64_t bytes = 0;           ///< payload bytes
+  std::uint64_t checksum = 0;        ///< data-correctness fingerprint
+  std::uint64_t aux = 0;             ///< workload-specific count (events, tiles, ...)
+  std::uint64_t result_buffer_bytes = 0;  ///< per-process result memory (Lesson 19)
+  tmpi::net::NetStatsSnapshot net{};
+
+  [[nodiscard]] double seconds() const { return static_cast<double>(elapsed_ns) * 1e-9; }
+  [[nodiscard]] double msg_rate() const {
+    return elapsed_ns == 0 ? 0.0 : static_cast<double>(messages) / seconds();
+  }
+};
+
+/// Deterministic per-element payload fingerprint (also the expected-value
+/// generator on the receive side).
+inline std::uint8_t pattern_byte(std::uint64_t rank, std::uint64_t tid, std::uint64_t salt,
+                                 std::uint64_t i) {
+  std::uint64_t x = rank * 0x9E3779B97F4A7C15ull + tid * 0xC2B2AE3D27D4EB4Full +
+                    salt * 0x165667B19E3779F9ull + i;
+  x ^= x >> 29;
+  x *= 0xBF58476D1CE4E5B9ull;
+  x ^= x >> 32;
+  return static_cast<std::uint8_t>(x);
+}
+
+/// Mix a value into a checksum accumulator (order-insensitive).
+inline void checksum_mix(std::uint64_t* acc, std::uint64_t v) {
+  v *= 0xFF51AFD7ED558CCDull;
+  v ^= v >> 33;
+  *acc += v;
+}
+
+}  // namespace wl
+
+#endif  // WL_COMMON_H

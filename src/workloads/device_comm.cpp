@@ -1,0 +1,183 @@
+#include "workloads/device_comm.h"
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "tmpi/tmpi.h"
+
+namespace wl {
+
+namespace {
+
+using namespace tmpi;
+
+void fill_chunk(std::byte* buf, std::size_t n, int rank, int g, int iter) {
+  for (std::size_t i = 0; i < n; ++i) {
+    buf[i] = static_cast<std::byte>(pattern_byte(static_cast<std::uint64_t>(rank),
+                                                 static_cast<std::uint64_t>(g),
+                                                 static_cast<std::uint64_t>(iter), i));
+  }
+}
+
+void verify_chunk(const std::byte* buf, std::size_t n, int rank, int g, int iter,
+                  std::uint64_t* checksum) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto expect = pattern_byte(static_cast<std::uint64_t>(rank),
+                                     static_cast<std::uint64_t>(g),
+                                     static_cast<std::uint64_t>(iter), i);
+    if (buf[i] != static_cast<std::byte>(expect)) {
+      throw std::runtime_error("device chunk mismatch");
+    }
+    checksum_mix(checksum, expect + i);
+  }
+}
+
+}  // namespace
+
+const char* to_string(DeviceMech m) {
+  switch (m) {
+    case DeviceMech::kHostOrchestrated: return "host-orchestrated";
+    case DeviceMech::kDevicePartitioned: return "device-partitioned";
+    case DeviceMech::kPersistentProxy: return "persistent-proxy";
+  }
+  return "?";
+}
+
+RunResult run_device_comm(const DeviceParams& p) {
+  const int G = p.device_threads;
+  const std::size_t cb = p.chunk_bytes;
+
+  WorldConfig wc;
+  wc.nranks = 2;
+  wc.ranks_per_node = 1;
+  wc.num_vcis = (p.mech == DeviceMech::kHostOrchestrated) ? 1 : G;
+  wc.cost = p.cost;
+  World world(wc);
+
+  std::atomic<std::uint64_t> checksum{0};
+
+  world.run([&](Rank& rank) {
+    Comm wcomm = rank.world_comm();
+    const int my = rank.rank();
+    const int peer = 1 - my;
+    std::vector<std::byte> sstage(static_cast<std::size_t>(G) * cb);
+    std::vector<std::byte> rstage(static_cast<std::size_t>(G) * cb);
+    auto& clk = rank.clock();
+    std::uint64_t local = 0;
+
+    switch (p.mech) {
+      case DeviceMech::kHostOrchestrated: {
+        // Per iteration: run the kernel (launch + compute), return control
+        // to the CPU, which then issues every chunk serially.
+        std::vector<Request> reqs(static_cast<std::size_t>(2 * G));
+        for (int iter = 0; iter < p.iters; ++iter) {
+          clk.advance(p.kernel_launch_ns);
+          // The kernel computes all workers' chunks concurrently on-device.
+          clk.advance(p.compute_ns);
+          for (int g = 0; g < G; ++g) {
+            fill_chunk(sstage.data() + static_cast<std::size_t>(g) * cb, cb, my, g, iter);
+          }
+          for (int g = 0; g < G; ++g) {
+            reqs[static_cast<std::size_t>(g)] =
+                irecv(rstage.data() + static_cast<std::size_t>(g) * cb, static_cast<int>(cb),
+                      kByte, peer, static_cast<Tag>(g), wcomm);
+            reqs[static_cast<std::size_t>(G + g)] =
+                isend(sstage.data() + static_cast<std::size_t>(g) * cb, static_cast<int>(cb),
+                      kByte, peer, static_cast<Tag>(g), wcomm);
+          }
+          wait_all(reqs.data(), reqs.size());
+          for (int g = 0; g < G; ++g) {
+            verify_chunk(rstage.data() + static_cast<std::size_t>(g) * cb, cb, peer, g, iter,
+                         &local);
+          }
+        }
+        break;
+      }
+
+      case DeviceMech::kDevicePartitioned: {
+        // Setup off the critical path (CPU, once): one partitioned send and
+        // receive with a partition per device worker, spread over G VCIs.
+        Info info;
+        info.set("tmpi_part_vcis", G);
+        Request sreq = psend_init(sstage.data(), G, static_cast<int>(cb), kByte, peer, 1,
+                                  wcomm, info);
+        Request rreq = precv_init(rstage.data(), G, static_cast<int>(cb), kByte, peer, 1,
+                                  wcomm, info);
+        start(sreq);
+        start(rreq);
+        for (int iter = 0; iter < p.iters; ++iter) {
+          // The kernel must be relaunched every iteration: completion and
+          // restart happen on the CPU (Lesson 20's limitation).
+          clk.advance(p.kernel_launch_ns);
+          rank.parallel(G, [&](int g) {
+            auto& dclk = net::ThreadClock::get();
+            dclk.advance(p.compute_ns);
+            fill_chunk(sstage.data() + static_cast<std::size_t>(g) * cb, cb, my, g, iter);
+            pready(g, sreq);                 // lightweight device-side trigger
+            await_partition(rreq, g);        // lightweight device-side arrival check
+            std::uint64_t cs = 0;
+            verify_chunk(rstage.data() + static_cast<std::size_t>(g) * cb, cb, peer, g, iter,
+                         &cs);
+            checksum.fetch_add(cs);
+          });
+          sreq.wait();
+          rreq.wait();
+          if (iter + 1 < p.iters) {
+            start(sreq);
+            start(rreq);
+          }
+        }
+        break;
+      }
+
+      case DeviceMech::kPersistentProxy: {
+        // One launch; afterwards device workers hand chunks to a CPU proxy
+        // through flags. The proxy communicates through per-worker endpoints
+        // so remote channels stay parallel even though it is one thread.
+        auto eps = wcomm.create_endpoints(G);
+        clk.advance(p.kernel_launch_ns);  // single persistent launch
+        std::vector<Request> reqs(static_cast<std::size_t>(2 * G));
+        for (int iter = 0; iter < p.iters; ++iter) {
+          // Device phase: compute + flag (the parallel-join models the
+          // flag handshake with the proxy).
+          rank.parallel(G, [&](int g) {
+            auto& dclk = net::ThreadClock::get();
+            dclk.advance(p.compute_ns + p.flag_ns);
+            fill_chunk(sstage.data() + static_cast<std::size_t>(g) * cb, cb, my, g, iter);
+          });
+          // Proxy phase: the CPU thread issues every chunk, each through its
+          // worker's endpoint.
+          for (int g = 0; g < G; ++g) {
+            const Comm& ep = eps[static_cast<std::size_t>(g)];
+            const int peer_ep = peer * G + g;
+            reqs[static_cast<std::size_t>(g)] =
+                irecv(rstage.data() + static_cast<std::size_t>(g) * cb, static_cast<int>(cb),
+                      kByte, peer_ep, 1, ep);
+            reqs[static_cast<std::size_t>(G + g)] =
+                isend(sstage.data() + static_cast<std::size_t>(g) * cb, static_cast<int>(cb),
+                      kByte, peer_ep, 1, ep);
+          }
+          wait_all(reqs.data(), reqs.size());
+          for (int g = 0; g < G; ++g) {
+            verify_chunk(rstage.data() + static_cast<std::size_t>(g) * cb, cb, peer, g, iter,
+                         &local);
+          }
+        }
+        break;
+      }
+    }
+    checksum.fetch_add(local);
+  });
+
+  RunResult r;
+  r.elapsed_ns = world.elapsed();
+  r.checksum = checksum.load();
+  r.aux = static_cast<std::uint64_t>(p.iters) * static_cast<std::uint64_t>(G);
+  r.net = world.snapshot();
+  r.messages = r.net.messages;
+  r.bytes = r.net.bytes;
+  return r;
+}
+
+}  // namespace wl

@@ -1,0 +1,59 @@
+#ifndef WL_DEVICE_COMM_H
+#define WL_DEVICE_COMM_H
+
+#include "net/cost_model.h"
+#include "workloads/common.h"
+
+/// \file device_comm.h
+/// §III-D / Lesson 20: communication in accelerated applications.
+///
+/// The paper does not measure GPUs (no study existed yet); it argues
+/// structurally. We simulate the structure: a "device" is a thread team
+/// whose (re)launch costs `kernel_launch_ns` — the system/runtime overhead
+/// that limits accelerated applications — and whose workers each own a data
+/// chunk exchanged with the peer process every iteration.
+///
+///  - kHostOrchestrated  — the status quo: control returns to the CPU every
+///                         iteration (kernel relaunch), and the host thread
+///                         issues all chunks' communication serially.
+///  - kDevicePartitioned — Lesson 20's partitioned path: Psend/Precv are set
+///                         up once on the CPU (off the critical path);
+///                         device workers drive partitions with lightweight
+///                         Pready/Parrived. But completion (MPI_Wait +
+///                         restart) still returns to the CPU, so the kernel
+///                         relaunches every iteration — the "repeated
+///                         transfers of control" the paper warns about.
+///  - kPersistentProxy   — the application-level alternative the paper
+///                         sketches: one persistent kernel (a single launch)
+///                         whose workers signal a CPU proxy through flags;
+///                         the proxy issues the communication.
+///
+/// Payloads carry the usual verified pattern; all modes move identical data.
+
+namespace wl {
+
+enum class DeviceMech {
+  kHostOrchestrated,
+  kDevicePartitioned,
+  kPersistentProxy,
+};
+
+const char* to_string(DeviceMech m);
+
+struct DeviceParams {
+  DeviceMech mech = DeviceMech::kDevicePartitioned;
+  int device_threads = 8;         ///< device workers (thread blocks) per process
+  int iters = 8;
+  std::size_t chunk_bytes = 2048; ///< per-worker halo chunk
+  tmpi::net::Time kernel_launch_ns = 8000;  ///< device (re)launch overhead
+  tmpi::net::Time compute_ns = 2000;        ///< per-worker compute per iteration
+  tmpi::net::Time flag_ns = 100;            ///< device->CPU flag signal cost
+  tmpi::net::CostModel cost{};
+};
+
+/// Runs a pairwise exchange between 2 processes; throws on data mismatch.
+RunResult run_device_comm(const DeviceParams& p);
+
+}  // namespace wl
+
+#endif  // WL_DEVICE_COMM_H

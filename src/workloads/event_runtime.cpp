@@ -1,0 +1,258 @@
+#include "workloads/event_runtime.h"
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "tmpi/tmpi.h"
+
+namespace wl {
+
+namespace {
+
+using namespace tmpi;
+
+void fill_event(std::byte* buf, std::size_t n, int rank, int tid, int seq) {
+  for (std::size_t i = 0; i < n; ++i) {
+    buf[i] = static_cast<std::byte>(pattern_byte(static_cast<std::uint64_t>(rank),
+                                                 static_cast<std::uint64_t>(tid),
+                                                 static_cast<std::uint64_t>(seq), i));
+  }
+}
+
+void verify_event(const std::byte* buf, std::size_t n, int rank, int tid, int seq,
+                  std::uint64_t* checksum) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto expect = pattern_byte(static_cast<std::uint64_t>(rank),
+                                     static_cast<std::uint64_t>(tid),
+                                     static_cast<std::uint64_t>(seq), i);
+    if (buf[i] != static_cast<std::byte>(expect)) {
+      throw std::runtime_error("event payload mismatch");
+    }
+    checksum_mix(checksum, expect + i);
+  }
+}
+
+/// Emit this task thread's event stream, round-robin over remote ranks.
+/// `send` issues one event: send(target_rank, tid, seq).
+template <typename SendFn>
+void emit_events(int nranks, int my, int events, const SendFn& send) {
+  for (int j = 0; j < events; ++j) {
+    const int target = (my + 1 + j % (nranks - 1)) % nranks;
+    send(target, j);
+  }
+}
+
+}  // namespace
+
+const char* to_string(EventMech m) {
+  switch (m) {
+    case EventMech::kSerial: return "serial";
+    case EventMech::kComms: return "comms";
+    case EventMech::kTags: return "tags";
+    case EventMech::kEndpoints: return "endpoints";
+    case EventMech::kEverywhere: return "everywhere";
+  }
+  return "?";
+}
+
+RunResult run_event_runtime(const EventParams& p) {
+  TMPI_REQUIRE(p.nranks >= 2, Errc::kInvalidArg, "event runtime needs >= 2 ranks");
+  TMPI_REQUIRE(p.events_per_thread % (p.nranks - 1) == 0, Errc::kInvalidArg,
+               "events_per_thread must divide evenly over peers");
+  const int T = p.task_threads;
+  const int E = p.events_per_thread;
+  const std::size_t bytes = p.msg_bytes;
+
+  std::atomic<std::uint64_t> checksum{0};
+  std::atomic<std::uint64_t> processed{0};
+
+  WorldConfig wc;
+  wc.cost = p.cost;
+  wc.ranks_per_node = 1;
+
+  if (p.mech == EventMech::kEverywhere) {
+    // One rank per task thread; each drains its own incoming queue.
+    wc.nranks = p.nranks * T;
+    wc.ranks_per_node = T;
+    wc.num_vcis = 1;
+    World world(wc);
+    world.run([&](Rank& rank) {
+      Comm comm = rank.world_comm();
+      const int n = world.nranks();
+      const int my = rank.rank();
+      std::vector<std::byte> sbuf(bytes);
+      std::vector<std::byte> rbuf(bytes);
+      std::uint64_t local = 0;
+      // Interleave sends and receives to avoid unbounded buffering.
+      int sent = 0;
+      int got = 0;
+      while (sent < E || got < E) {
+        if (sent < E) {
+          const int target = (my + 1 + sent % (n - 1)) % n;
+          fill_event(sbuf.data(), bytes, my, 0, sent);
+          send(sbuf.data(), static_cast<int>(bytes), kByte, target, sent, comm);
+          ++sent;
+        }
+        if (got < E) {
+          const Status st =
+              recv(rbuf.data(), static_cast<int>(bytes), kByte, kAnySource, kAnyTag, comm);
+          verify_event(rbuf.data(), bytes, st.source, 0, st.tag, &local);
+          net::ThreadClock::get().advance(p.process_ns);
+          ++got;
+        }
+      }
+      checksum.fetch_add(local);
+      processed.fetch_add(static_cast<std::uint64_t>(E));
+    });
+    RunResult r;
+    r.elapsed_ns = world.elapsed();
+    r.messages = static_cast<std::uint64_t>(world.nranks()) * static_cast<std::uint64_t>(E);
+    r.bytes = r.messages * bytes;
+    r.checksum = checksum.load();
+    r.aux = processed.load();
+    r.net = world.snapshot();
+    return r;
+  }
+
+  wc.nranks = p.nranks;
+  wc.num_vcis = (p.mech == EventMech::kSerial) ? 1 : p.num_vcis;
+  World world(wc);
+  const std::uint64_t incoming = static_cast<std::uint64_t>(T) * static_cast<std::uint64_t>(E);
+
+  world.run([&](Rank& rank) {
+    Comm wcomm = rank.world_comm();
+    const int my = rank.rank();
+
+    switch (p.mech) {
+      case EventMech::kSerial:
+      case EventMech::kTags: {
+        Comm comm = wcomm;
+        if (p.mech == EventMech::kTags) {
+          // Wildcards are required, so only overtaking can be asserted:
+          // sends spread, receives serialize (Section II-A).
+          Info info;
+          info.set("mpi_assert_allow_overtaking", "true");
+          info.set("tmpi_num_vcis", T);
+          comm = wcomm.dup_with_info(info);
+        }
+        rank.parallel(T + 1, [&](int tid) {
+          if (tid < T) {
+            std::vector<std::byte> sbuf(bytes);
+            emit_events(p.nranks, my, E, [&](int target, int seq) {
+              fill_event(sbuf.data(), bytes, my, tid, seq);
+              const auto tag = static_cast<Tag>((tid << 12) | seq);
+              send(sbuf.data(), static_cast<int>(bytes), kByte, target, tag, comm);
+            });
+          } else {
+            std::vector<std::byte> rbuf(bytes);
+            std::uint64_t local = 0;
+            for (std::uint64_t k = 0; k < incoming; ++k) {
+              const Status st =
+                  recv(rbuf.data(), static_cast<int>(bytes), kByte, kAnySource, kAnyTag, comm);
+              verify_event(rbuf.data(), bytes, st.source, st.tag >> 12, st.tag & 0xFFF, &local);
+              net::ThreadClock::get().advance(p.process_ns);
+            }
+            checksum.fetch_add(local);
+            processed.fetch_add(incoming);
+          }
+        });
+        break;
+      }
+
+      case EventMech::kComms: {
+        // One communicator per task-thread class (Fig. 5 left).
+        std::vector<Comm> comms;
+        comms.reserve(static_cast<std::size_t>(T));
+        for (int i = 0; i < T; ++i) comms.push_back(wcomm.dup());
+        rank.parallel(T + 1, [&](int tid) {
+          if (tid < T) {
+            std::vector<std::byte> sbuf(bytes);
+            const Comm& c = comms[static_cast<std::size_t>(tid)];
+            emit_events(p.nranks, my, E, [&](int target, int seq) {
+              fill_event(sbuf.data(), bytes, my, tid, seq);
+              send(sbuf.data(), static_cast<int>(bytes), kByte, target, seq, c);
+            });
+          } else {
+            // The polling thread iterates the task-thread communicators
+            // (Lesson 5): one outstanding wildcard receive per comm, visited
+            // round-robin; each visit charges a sweep step and blocks on
+            // that comm's next event (head-of-line).
+            std::vector<std::vector<std::byte>> rbufs(
+                static_cast<std::size_t>(T), std::vector<std::byte>(bytes));
+            std::vector<Request> reqs(static_cast<std::size_t>(T));
+            for (int i = 0; i < T; ++i) {
+              reqs[static_cast<std::size_t>(i)] =
+                  irecv(rbufs[static_cast<std::size_t>(i)].data(), static_cast<int>(bytes),
+                        kByte, kAnySource, kAnyTag, comms[static_cast<std::size_t>(i)]);
+            }
+            std::uint64_t local = 0;
+            auto& clk = net::ThreadClock::get();
+            for (std::uint64_t k = 0; k < incoming; ++k) {
+              const int idx = static_cast<int>(k) % T;
+              // One sweep over all T communicators to find the ready one —
+              // the iteration overhead Lesson 5 describes grows with T.
+              clk.advance(p.poll_step_ns * static_cast<net::Time>(T));
+              const Status st = reqs[static_cast<std::size_t>(idx)].wait();
+              verify_event(rbufs[static_cast<std::size_t>(idx)].data(), bytes, st.source, idx,
+                           st.tag, &local);
+              clk.advance(p.process_ns);
+              if (k + static_cast<std::uint64_t>(T) < incoming) {
+                reqs[static_cast<std::size_t>(idx)] =
+                    irecv(rbufs[static_cast<std::size_t>(idx)].data(), static_cast<int>(bytes),
+                          kByte, kAnySource, kAnyTag, comms[static_cast<std::size_t>(idx)]);
+              }
+            }
+            checksum.fetch_add(local);
+            processed.fetch_add(incoming);
+          }
+        });
+        break;
+      }
+
+      case EventMech::kEndpoints: {
+        // T task endpoints + 1 polling endpoint per process (Fig. 5 right).
+        auto eps = wcomm.create_endpoints(T + 1);
+        rank.parallel(T + 1, [&](int tid) {
+          const Comm& my_ep = eps[static_cast<std::size_t>(tid)];
+          if (tid < T) {
+            std::vector<std::byte> sbuf(bytes);
+            emit_events(p.nranks, my, E, [&](int target, int seq) {
+              fill_event(sbuf.data(), bytes, my, tid, seq);
+              const int polling_ep = target * (T + 1) + T;
+              const auto tag = static_cast<Tag>((tid << 12) | seq);
+              send(sbuf.data(), static_cast<int>(bytes), kByte, polling_ep, tag, my_ep);
+            });
+          } else {
+            std::vector<std::byte> rbuf(bytes);
+            std::uint64_t local = 0;
+            for (std::uint64_t k = 0; k < incoming; ++k) {
+              const Status st =
+                  recv(rbuf.data(), static_cast<int>(bytes), kByte, kAnySource, kAnyTag, my_ep);
+              const int src_rank = st.source / (T + 1);
+              verify_event(rbuf.data(), bytes, src_rank, st.tag >> 12, st.tag & 0xFFF, &local);
+              net::ThreadClock::get().advance(p.process_ns);
+            }
+            checksum.fetch_add(local);
+            processed.fetch_add(incoming);
+          }
+        });
+        break;
+      }
+
+      case EventMech::kEverywhere:
+        break;  // handled above
+    }
+  });
+
+  RunResult r;
+  r.elapsed_ns = world.elapsed();
+  r.messages = static_cast<std::uint64_t>(p.nranks) * incoming;
+  r.bytes = r.messages * bytes;
+  r.checksum = checksum.load();
+  r.aux = processed.load();
+  r.net = world.snapshot();
+  return r;
+}
+
+}  // namespace wl

@@ -1,0 +1,56 @@
+#ifndef WL_EVENT_RUNTIME_H
+#define WL_EVENT_RUNTIME_H
+
+#include "net/cost_model.h"
+#include "workloads/common.h"
+
+/// \file event_runtime.h
+/// A Legion/Realm-style event-based runtime (Fig. 5): every process runs
+/// task threads that push small event messages to remote processes, and one
+/// polling thread that drains incoming events — with wildcard receives,
+/// because the sender set is dynamic.
+///
+/// Mechanisms:
+///  - kSerial     — everything on one communicator / VCI ("Original").
+///  - kComms      — a communicator per task-thread class. Task sends are
+///                  parallel, but the polling thread must *iterate* over the
+///                  communicators (Lesson 5): head-of-line blocking and
+///                  per-comm sweep overhead slow event processing.
+///  - kTags       — one comm with allow_overtaking only: sends spread over
+///                  VCIs, but wildcard receives funnel through one channel.
+///  - kEndpoints  — a dedicated endpoint per task thread plus one for the
+///                  polling thread, which keeps its wildcard receives on its
+///                  own matching engine (the design Fig. 5 advocates).
+///  - kEverywhere — MPI everywhere: one rank per task thread, each draining
+///                  its own queue (no shared polling thread).
+
+namespace wl {
+
+enum class EventMech {
+  kSerial,
+  kComms,
+  kTags,
+  kEndpoints,
+  kEverywhere,
+};
+
+const char* to_string(EventMech m);
+
+struct EventParams {
+  EventMech mech = EventMech::kEndpoints;
+  int nranks = 4;             ///< processes (nodes)
+  int task_threads = 4;       ///< task threads per process
+  int events_per_thread = 64; ///< events each task thread emits (divisible by nranks-1)
+  std::size_t msg_bytes = 64;
+  tmpi::net::Time process_ns = 500;   ///< polling-thread work per event
+  tmpi::net::Time poll_step_ns = 120; ///< cost of checking one communicator in a sweep
+  int num_vcis = 16;
+  tmpi::net::CostModel cost{};
+};
+
+/// Returns results with aux = events processed; throws on payload mismatch.
+RunResult run_event_runtime(const EventParams& p);
+
+}  // namespace wl
+
+#endif  // WL_EVENT_RUNTIME_H

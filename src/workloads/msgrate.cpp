@@ -1,0 +1,183 @@
+#include "workloads/msgrate.h"
+
+#include <vector>
+
+#include "tmpi/tmpi.h"
+
+namespace wl {
+
+namespace {
+
+/// One worker's half of a windowed ping stream (the osu_mbw_mr pattern):
+/// `msgs` messages of `bytes` through `comm` to `peer` with `tag`, `window`
+/// in flight, with a zero-byte acknowledgement per window (`ack_tag`,
+/// reverse direction). The ack keeps the unexpected queue bounded by the
+/// window, which also keeps virtual times independent of host scheduling.
+void stream_send(const tmpi::Comm& comm, int peer, tmpi::Tag tag, tmpi::Tag ack_tag, int msgs,
+                 int window, const std::vector<std::byte>& buf) {
+  std::vector<tmpi::Request> reqs(static_cast<std::size_t>(window));
+  int issued = 0;
+  while (issued < msgs) {
+    const int burst = std::min(window, msgs - issued);
+    for (int i = 0; i < burst; ++i) {
+      reqs[static_cast<std::size_t>(i)] =
+          tmpi::isend(buf.data(), static_cast<int>(buf.size()), tmpi::kByte, peer, tag, comm);
+    }
+    tmpi::wait_all(reqs.data(), static_cast<std::size_t>(burst));
+    tmpi::recv(nullptr, 0, tmpi::kByte, peer, ack_tag, comm);
+    issued += burst;
+  }
+}
+
+void stream_recv(const tmpi::Comm& comm, int peer, tmpi::Tag tag, tmpi::Tag ack_tag, int msgs,
+                 int window, std::vector<std::byte>& buf) {
+  std::vector<tmpi::Request> reqs(static_cast<std::size_t>(window));
+  int done = 0;
+  while (done < msgs) {
+    const int burst = std::min(window, msgs - done);
+    for (int i = 0; i < burst; ++i) {
+      reqs[static_cast<std::size_t>(i)] =
+          tmpi::irecv(buf.data(), static_cast<int>(buf.size()), tmpi::kByte, peer, tag, comm);
+    }
+    tmpi::wait_all(reqs.data(), static_cast<std::size_t>(burst));
+    tmpi::send(nullptr, 0, tmpi::kByte, peer, ack_tag, comm);
+    done += burst;
+  }
+}
+
+}  // namespace
+
+const char* to_string(MsgRateMode m) {
+  switch (m) {
+    case MsgRateMode::kEverywhere: return "everywhere";
+    case MsgRateMode::kThreadsOriginal: return "threads-original";
+    case MsgRateMode::kThreadsEndpoints: return "threads-endpoints";
+    case MsgRateMode::kThreadsTags: return "threads-tags";
+    case MsgRateMode::kThreadsTagsHash: return "threads-tags-hash";
+    case MsgRateMode::kThreadsComms: return "threads-comms";
+  }
+  return "?";
+}
+
+RunResult run_msgrate(const MsgRateParams& p) {
+  using namespace tmpi;
+  const int W = p.workers;
+  const int msgs = p.msgs_per_worker;
+  const std::size_t bytes = p.msg_bytes;
+
+  WorldConfig wc;
+  wc.cost = p.cost;
+  if (p.mode == MsgRateMode::kEverywhere) {
+    wc.nranks = 2 * W;
+    wc.ranks_per_node = W;
+    wc.num_vcis = 1;
+  } else {
+    wc.nranks = 2;
+    wc.ranks_per_node = 1;
+    // The VCI pool mirrors what a tuned MPICH would provide: one VCI for the
+    // "original" mode, a pool of W for the logically-parallel modes.
+    wc.num_vcis = (p.mode == MsgRateMode::kThreadsOriginal) ? 1 : W;
+  }
+  World world(wc);
+
+  world.run([&](Rank& rank) {
+    Comm wcomm = rank.world_comm();
+    std::vector<std::byte> buf(bytes, std::byte{0x5A});
+
+    switch (p.mode) {
+      case MsgRateMode::kEverywhere: {
+        // Rank i on node 0 pairs with rank i+W on node 1.
+        if (rank.rank() < W) {
+          stream_send(wcomm, rank.rank() + W, 1, 2, msgs, p.window, buf);
+        } else {
+          stream_recv(wcomm, rank.rank() - W, 1, 2, msgs, p.window, buf);
+        }
+        break;
+      }
+      case MsgRateMode::kThreadsOriginal: {
+        rank.parallel(W, [&](int tid) {
+          std::vector<std::byte> tbuf(bytes, std::byte{0x5A});
+          if (rank.rank() == 0) {
+            stream_send(wcomm, 1, static_cast<Tag>(tid), static_cast<Tag>(W + tid), msgs, p.window, tbuf);
+          } else {
+            stream_recv(wcomm, 0, static_cast<Tag>(tid), static_cast<Tag>(W + tid), msgs, p.window, tbuf);
+          }
+        });
+        break;
+      }
+      case MsgRateMode::kThreadsEndpoints: {
+        auto eps = wcomm.create_endpoints(W);
+        rank.parallel(W, [&](int tid) {
+          std::vector<std::byte> tbuf(bytes, std::byte{0x5A});
+          const Comm& my = eps[static_cast<std::size_t>(tid)];
+          if (rank.rank() == 0) {
+            stream_send(my, /*peer ep=*/1 * W + tid, 1, 2, msgs, p.window, tbuf);
+          } else {
+            stream_recv(my, /*peer ep=*/0 * W + tid, 1, 2, msgs, p.window, tbuf);
+          }
+        });
+        break;
+      }
+      case MsgRateMode::kThreadsTags:
+      case MsgRateMode::kThreadsTagsHash: {
+        // Thread-id field width sized to the worker count (Listing 2's
+        // layout); two fields plus app bits must fit the tag.
+        int bits = 1;
+        while ((1 << bits) < W) ++bits;
+        const int tb = world.config().tag_bits;
+        TMPI_REQUIRE(2 * bits + 2 <= tb, Errc::kInvalidArg,
+                     "too many workers for the tag width (Lesson 9)");
+        Info info;
+        info.set("mpi_assert_allow_overtaking", "true");
+        info.set("mpi_assert_no_any_tag", "true");
+        info.set("mpi_assert_no_any_source", "true");
+        info.set("tmpi_num_vcis", W);
+        if (p.mode == MsgRateMode::kThreadsTags) {
+          // The Listing-2 mapping hints; without them the library falls back
+          // to hashing whole tags into VCIs (Lesson 7's "tedious" delta).
+          info.set("tmpi_num_tag_bits_vci", bits);
+          info.set("tmpi_place_tag_bits_local_vci", "MSB");
+          info.set("tmpi_tag_vci_hash_type", "one-to-one");
+        }
+        Comm tcomm = wcomm.dup_with_info(info);
+        rank.parallel(W, [&](int tid) {
+          std::vector<std::byte> tbuf(bytes, std::byte{0x5A});
+          // src tid in the top bits, dst tid in the next field (Listing 2).
+          const auto tag =
+              static_cast<Tag>((static_cast<unsigned>(tid) << (tb - bits)) |
+                               (static_cast<unsigned>(tid) << (tb - 2 * bits)) | 1u);
+          if (rank.rank() == 0) {
+            stream_send(tcomm, 1, tag, static_cast<Tag>(tag + 1), msgs, p.window, tbuf);
+          } else {
+            stream_recv(tcomm, 0, tag, static_cast<Tag>(tag + 1), msgs, p.window, tbuf);
+          }
+        });
+        break;
+      }
+      case MsgRateMode::kThreadsComms: {
+        std::vector<Comm> comms;
+        comms.reserve(static_cast<std::size_t>(W));
+        for (int i = 0; i < W; ++i) comms.push_back(wcomm.dup());
+        rank.parallel(W, [&](int tid) {
+          std::vector<std::byte> tbuf(bytes, std::byte{0x5A});
+          const Comm& c = comms[static_cast<std::size_t>(tid)];
+          if (rank.rank() == 0) {
+            stream_send(c, 1, 1, 2, msgs, p.window, tbuf);
+          } else {
+            stream_recv(c, 0, 1, 2, msgs, p.window, tbuf);
+          }
+        });
+        break;
+      }
+    }
+  });
+
+  RunResult r;
+  r.elapsed_ns = world.elapsed();
+  r.messages = static_cast<std::uint64_t>(W) * static_cast<std::uint64_t>(msgs);
+  r.bytes = r.messages * bytes;
+  r.net = world.snapshot();
+  return r;
+}
+
+}  // namespace wl

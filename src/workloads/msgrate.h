@@ -1,0 +1,52 @@
+#ifndef WL_MSGRATE_H
+#define WL_MSGRATE_H
+
+#include "net/cost_model.h"
+#include "workloads/common.h"
+
+/// \file msgrate.h
+/// The Fig. 1(a) microbenchmark: message rate between two nodes as a
+/// function of the number of workers, under the communication models the
+/// paper compares.
+///
+///  - kEverywhere        — MPI everywhere: one single-threaded rank per
+///                         worker (workers ranks per node).
+///  - kThreadsOriginal   — MPI+threads, no logically parallel communication:
+///                         one rank per node, all threads share one
+///                         communicator and therefore one VCI.
+///  - kThreadsEndpoints  — MPI+threads, one endpoint (and VCI) per thread.
+///  - kThreadsTags       — MPI+threads, tags + hints (one-to-one VCI map).
+///  - kThreadsComms      — MPI+threads, one duplicated communicator per
+///                         thread (VCI pool sized to match).
+///
+/// The paper's expected shape: Everywhere, Endpoints, Tags, and Comms scale
+/// with workers; Original stays flat (serialization on the single channel).
+
+namespace wl {
+
+enum class MsgRateMode {
+  kEverywhere,
+  kThreadsOriginal,
+  kThreadsEndpoints,
+  kThreadsTags,      ///< one-to-one tag-bit hints (optimal mapping, Lesson 7)
+  kThreadsTagsHash,  ///< assertions only; the library hashes tags to VCIs
+  kThreadsComms,
+};
+
+const char* to_string(MsgRateMode m);
+
+struct MsgRateParams {
+  MsgRateMode mode = MsgRateMode::kThreadsEndpoints;
+  int workers = 4;            ///< sender threads (or ranks per node)
+  int msgs_per_worker = 512;  ///< total messages each worker sends
+  int window = 32;            ///< nonblocking messages in flight per worker
+  std::size_t msg_bytes = 8;
+  tmpi::net::CostModel cost{};
+};
+
+/// Run the benchmark on a fresh 2-node world; returns virtual-time results.
+RunResult run_msgrate(const MsgRateParams& p);
+
+}  // namespace wl
+
+#endif  // WL_MSGRATE_H

@@ -1,0 +1,53 @@
+#ifndef WL_SPARSE_MATMUL_H
+#define WL_SPARSE_MATMUL_H
+
+#include "net/cost_model.h"
+#include "workloads/common.h"
+
+/// \file sparse_matmul.h
+/// NWChem's get-compute-update block-sparse matrix multiplication over RMA
+/// (Fig. 6): threads MPI_Get the A and B tiles a task needs, multiply, and
+/// MPI_Accumulate into the owner of the C tile. All accumulates to one
+/// process must stay atomic with respect to each other.
+///
+/// Mechanisms (the Lesson 16 design space):
+///  - kStrictWindow  — one window, default accumulate ordering: atomics from
+///                     one origin to one target serialize on one channel.
+///  - kRelaxedHash   — `accumulate_ordering=none` + multiple window VCIs:
+///                     operations spread by a target-location hash, but hash
+///                     collisions still serialize independent updates.
+///  - kEndpointsWin  — windows over an endpoints communicator: every thread
+///                     issues through its own endpoint, parallel *and*
+///                     atomic (the paper's case for endpoints).
+///
+/// Matrices hold small integers so double-precision sums are exact; the
+/// final C is compared against a serial reference.
+
+namespace wl {
+
+enum class RmaMech {
+  kStrictWindow,
+  kRelaxedHash,
+  kEndpointsWin,
+};
+
+const char* to_string(RmaMech m);
+
+struct MatmulParams {
+  RmaMech mech = RmaMech::kEndpointsWin;
+  int nranks = 4;
+  int threads = 4;
+  int nb = 4;          ///< blocks per matrix dimension
+  int bs = 8;          ///< block size (bs x bs doubles)
+  int keep_mod = 2;    ///< keep a (i,j,k) task iff hash % keep_mod == 0
+  double flops_per_ns = 8.0;  ///< virtual compute rate for the tile multiply
+  tmpi::net::CostModel cost{};
+};
+
+/// Returns results with aux = tasks executed; throws if C mismatches the
+/// serial reference.
+RunResult run_sparse_matmul(const MatmulParams& p);
+
+}  // namespace wl
+
+#endif  // WL_SPARSE_MATMUL_H

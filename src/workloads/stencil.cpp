@@ -1,0 +1,445 @@
+#include "workloads/stencil.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <functional>
+#include <stdexcept>
+#include <vector>
+
+#include "tmpi/tmpi.h"
+
+namespace wl {
+
+namespace {
+
+using rp::PlanStrategy;
+using rp::StencilPlan;
+using rp::Vec3;
+using namespace tmpi;
+
+struct Geometry {
+  StencilParams p;
+  std::vector<Vec3> dirs;
+
+  [[nodiscard]] int nthreads() const { return p.tx * p.ty * p.tz; }
+  [[nodiscard]] int nprocs() const { return p.px * p.py * p.pz; }
+  [[nodiscard]] Vec3 proc_of(int rank) const {
+    return Vec3{rank % p.px, (rank / p.px) % p.py, rank / (p.px * p.py)};
+  }
+  [[nodiscard]] int rank_of(Vec3 proc) const {
+    return (proc.z * p.py + proc.y) * p.px + proc.x;
+  }
+  [[nodiscard]] Vec3 thr_of(int tid) const {
+    return Vec3{tid % p.tx, (tid / p.tx) % p.ty, tid / (p.tx * p.ty)};
+  }
+  [[nodiscard]] int tid_of(Vec3 t) const { return (t.z * p.ty + t.y) * p.tx + t.x; }
+  [[nodiscard]] int dir_id(Vec3 d) const {
+    for (std::size_t i = 0; i < dirs.size(); ++i) {
+      if (dirs[i] == d) return static_cast<int>(i);
+    }
+    throw std::logic_error("unknown direction");
+  }
+  [[nodiscard]] static Vec3 opposite(Vec3 d) { return Vec3{-d.x, -d.y, -d.z}; }
+};
+
+/// One exchange a thread performs each iteration.
+struct Exchange {
+  Vec3 dir;          ///< from this thread toward the partner
+  int dir_send = 0;  ///< dir id of the *send* direction of the inbound message
+  int dir_out = 0;   ///< dir id of our outbound send
+  int partner_rank = 0;
+  int partner_tid = 0;
+};
+
+std::vector<Exchange> exchanges_for(const Geometry& g, const StencilPlan& plan, int rank,
+                                    int tid) {
+  std::vector<Exchange> out;
+  const Vec3 proc = g.proc_of(rank);
+  const Vec3 thr = g.thr_of(tid);
+  for (const Vec3& d : g.dirs) {
+    Vec3 pp;
+    Vec3 pt;
+    if (!plan.partner(proc, thr, d, &pp, &pt) || !plan.is_inter_process(thr, d)) continue;
+    Exchange e;
+    e.dir = d;
+    e.dir_out = g.dir_id(d);
+    // The inbound message along d was *sent* toward -d by the partner.
+    e.dir_send = g.dir_id(Geometry::opposite(d));
+    e.partner_rank = g.rank_of(pp);
+    e.partner_tid = g.tid_of(pt);
+    out.push_back(e);
+  }
+  return out;
+}
+
+void fill_pattern(std::byte* buf, std::size_t n, int rank, int tid, int salt) {
+  for (std::size_t i = 0; i < n; ++i) {
+    buf[i] = static_cast<std::byte>(pattern_byte(static_cast<std::uint64_t>(rank),
+                                                 static_cast<std::uint64_t>(tid),
+                                                 static_cast<std::uint64_t>(salt), i));
+  }
+}
+
+void verify_pattern(const std::byte* buf, std::size_t n, int rank, int tid, int salt,
+                    std::uint64_t* checksum) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto expect = pattern_byte(static_cast<std::uint64_t>(rank),
+                                     static_cast<std::uint64_t>(tid),
+                                     static_cast<std::uint64_t>(salt), i);
+    if (buf[i] != static_cast<std::byte>(expect)) {
+      throw std::runtime_error("stencil halo data mismatch");
+    }
+    checksum_mix(checksum, expect + i);
+  }
+}
+
+int salt_of(int dir_send, int iter) { return dir_send * 1024 + iter; }
+
+/// The nonblocking-exchange body shared by kSerial/kComms/kTags/kEndpoints;
+/// mechanism differences are factored into the comm/tag/rank selectors.
+struct EagerSelectors {
+  // (exchange) -> comm for the send / recv sides
+  std::function<const Comm&(const Exchange&)> send_comm;
+  std::function<const Comm&(const Exchange&)> recv_comm;
+  // (exchange, my tid) -> wire tag for the send / the posted recv
+  std::function<Tag(const Exchange&, int)> send_tag;
+  std::function<Tag(const Exchange&, int)> recv_tag;
+  // (exchange) -> destination/source rank in the respective comm
+  std::function<int(const Exchange&)> dst_rank;
+  std::function<int(const Exchange&)> src_rank;
+};
+
+std::uint64_t eager_thread_loop(const Geometry& g, const StencilPlan& plan, int rank, int tid,
+                                const EagerSelectors& sel) {
+  const std::size_t hb = g.p.halo_bytes;
+  const auto exs = exchanges_for(g, plan, rank, tid);
+  std::vector<std::vector<std::byte>> sbufs(exs.size(), std::vector<std::byte>(hb));
+  std::vector<std::vector<std::byte>> rbufs(exs.size(), std::vector<std::byte>(hb));
+  std::vector<Request> reqs(2 * exs.size());
+  std::uint64_t checksum = 0;
+
+  for (int iter = 0; iter < g.p.iters; ++iter) {
+    for (std::size_t i = 0; i < exs.size(); ++i) {
+      const Exchange& e = exs[i];
+      reqs[i] = irecv(rbufs[i].data(), static_cast<int>(hb), kByte, sel.src_rank(e),
+                      sel.recv_tag(e, tid), sel.recv_comm(e));
+    }
+    for (std::size_t i = 0; i < exs.size(); ++i) {
+      const Exchange& e = exs[i];
+      fill_pattern(sbufs[i].data(), hb, rank, tid, salt_of(e.dir_out, iter));
+      reqs[exs.size() + i] = isend(sbufs[i].data(), static_cast<int>(hb), kByte,
+                                   sel.dst_rank(e), sel.send_tag(e, tid), sel.send_comm(e));
+    }
+    wait_all(reqs.data(), reqs.size());
+    for (std::size_t i = 0; i < exs.size(); ++i) {
+      const Exchange& e = exs[i];
+      verify_pattern(rbufs[i].data(), hb, e.partner_rank, e.partner_tid,
+                     salt_of(e.dir_send, iter), &checksum);
+    }
+  }
+  return checksum;
+}
+
+/// Listing 4: persistent partitioned operations at the process level — one
+/// psend/precv per neighbor *process*, one partition per thread-exchange
+/// (so diagonal halos crossing a single boundary ride in that boundary's
+/// message). Completion happens in a single thread followed by a team
+/// barrier (the Lesson 14 synchronization).
+void run_partitioned(const Geometry& g, const StencilPlan& plan, Rank& rank, Comm& wcomm,
+                     std::atomic<std::uint64_t>* checksum, std::atomic<int>* comms_used) {
+  const int my = rank.rank();
+  const Vec3 proc = g.proc_of(my);
+  const std::size_t hb = g.p.halo_bytes;
+  const int nthreads = g.nthreads();
+  Info pinfo;
+  pinfo.set("tmpi_part_vcis", g.p.part_vcis);
+
+  // The process offset an exchange crosses (0,0,0 if intra-process).
+  auto proc_offset = [&](Vec3 thr, Vec3 d) {
+    Vec3 off{0, 0, 0};
+    if (d.x == 1 && thr.x == g.p.tx - 1) off.x = 1;
+    if (d.x == -1 && thr.x == 0) off.x = -1;
+    if (d.y == 1 && thr.y == g.p.ty - 1) off.y = 1;
+    if (d.y == -1 && thr.y == 0) off.y = -1;
+    if (d.z == 1 && thr.z == g.p.tz - 1) off.z = 1;
+    if (d.z == -1 && thr.z == 0) off.z = -1;
+    return off;
+  };
+  auto offset_id = [](Vec3 off) {
+    return ((off.z + 1) * 3 + (off.y + 1)) * 3 + (off.x + 1);
+  };
+
+  struct Lane {
+    int tid = 0;          ///< local thread driving this partition
+    int dir = 0;          ///< dir id of the local thread's exchange direction
+    int sender_tid = 0;   ///< the *sending* thread (== tid on the send side)
+    int sender_dir = 0;   ///< dir id of the send direction (canonical order key)
+  };
+  struct NbrOp {
+    Vec3 off;  ///< neighbor process offset
+    int nbr = 0;
+    std::vector<Lane> out;  ///< partitions we send, ordered by (tid, dir)
+    std::vector<Lane> in;   ///< partitions we receive, same order on the sender
+    std::vector<std::byte> sstage;
+    std::vector<std::byte> rstage;
+    Request sreq;
+    Request rreq;
+  };
+
+  std::vector<NbrOp> ops;
+  for (const Vec3& off : g.dirs) {  // candidate neighbor offsets
+    const Vec3 np{proc.x + off.x, proc.y + off.y, proc.z + off.z};
+    if (np.x < 0 || np.x >= g.p.px || np.y < 0 || np.y >= g.p.py || np.z < 0 ||
+        np.z >= g.p.pz) {
+      continue;
+    }
+    NbrOp op;
+    op.off = off;
+    op.nbr = g.rank_of(np);
+    // Enumerate exchanges in (tid, dir) order — this is simultaneously the
+    // sender's and (computed from partner info) the receiver's canonical
+    // partition order, so both sides index partitions identically.
+    for (int tid = 0; tid < nthreads; ++tid) {
+      const Vec3 thr = g.thr_of(tid);
+      for (const Vec3& d : g.dirs) {
+        if (!plan.partner(proc, thr, d, nullptr, nullptr)) continue;
+        if (proc_offset(thr, d) == off) {
+          op.out.push_back(Lane{tid, g.dir_id(d), tid, g.dir_id(d)});
+        }
+      }
+    }
+    // Incoming: our exchanges whose partner process sits at `off`; ordered
+    // by the *sender's* (tid, dir).
+    for (int tid = 0; tid < nthreads; ++tid) {
+      const Vec3 thr = g.thr_of(tid);
+      for (const Vec3& d : g.dirs) {
+        Vec3 pp;
+        Vec3 pt;
+        if (!plan.partner(proc, thr, d, &pp, &pt)) continue;
+        if (proc_offset(thr, d) == off) {
+          op.in.push_back(
+              Lane{tid, g.dir_id(d), g.tid_of(pt), g.dir_id(Geometry::opposite(d))});
+        }
+      }
+    }
+    std::sort(op.in.begin(), op.in.end(), [](const Lane& a, const Lane& b) {
+      return a.sender_tid != b.sender_tid ? a.sender_tid < b.sender_tid
+                                          : a.sender_dir < b.sender_dir;
+    });
+    if (op.out.empty() && op.in.empty()) continue;
+    op.sstage.resize(op.out.size() * hb);
+    op.rstage.resize(op.in.size() * hb);
+    // Tags: the send direction's offset id; the matching receive names the
+    // sender's offset as seen from the sender (= -off from our side).
+    if (!op.out.empty()) {
+      op.sreq = psend_init(op.sstage.data(), static_cast<int>(op.out.size()),
+                           static_cast<int>(hb), kByte, op.nbr,
+                           static_cast<Tag>(offset_id(op.off)), wcomm, pinfo);
+    }
+    if (!op.in.empty()) {
+      op.rreq = precv_init(
+          op.rstage.data(), static_cast<int>(op.in.size()), static_cast<int>(hb), kByte,
+          op.nbr, static_cast<Tag>(offset_id(Vec3{-op.off.x, -op.off.y, -op.off.z})), wcomm,
+          pinfo);
+    }
+    ops.push_back(std::move(op));
+  }
+  if (my == 0) comms_used->store(1);
+
+  auto start_all = [&] {
+    for (auto& op : ops) {
+      if (op.sreq.valid()) start(op.sreq);
+      if (op.rreq.valid()) start(op.rreq);
+    }
+  };
+  start_all();
+
+  for (int iter = 0; iter < g.p.iters; ++iter) {
+    rank.parallel(nthreads, [&](int tid) {
+      const Vec3 thr = g.thr_of(tid);
+      std::uint64_t local = 0;
+      for (auto& op : ops) {
+        for (std::size_t k = 0; k < op.out.size(); ++k) {
+          if (op.out[k].tid != tid) continue;
+          fill_pattern(op.sstage.data() + k * hb, hb, my, tid,
+                       salt_of(op.out[k].dir, iter));
+          pready(static_cast<int>(k), op.sreq);
+        }
+      }
+      for (auto& op : ops) {
+        for (std::size_t k = 0; k < op.in.size(); ++k) {
+          if (op.in[k].tid != tid) continue;
+          await_partition(op.rreq, static_cast<int>(k));
+          verify_pattern(op.rstage.data() + k * hb, hb, op.nbr, op.in[k].sender_tid,
+                         salt_of(op.in[k].sender_dir, iter), &local);
+        }
+      }
+      checksum->fetch_add(local);
+      (void)thr;
+    });
+    // Listing 4's "omp single" block: one thread completes the requests; the
+    // parallel() join above plays the implicit barrier.
+    for (auto& op : ops) {
+      if (op.sreq.valid()) op.sreq.wait();
+      if (op.rreq.valid()) op.rreq.wait();
+    }
+    if (iter + 1 < g.p.iters) start_all();
+  }
+}
+
+}  // namespace
+
+const char* to_string(StencilMech m) {
+  switch (m) {
+    case StencilMech::kSerial: return "serial";
+    case StencilMech::kComms: return "comms";
+    case StencilMech::kTags: return "tags";
+    case StencilMech::kEndpoints: return "endpoints";
+    case StencilMech::kPartitioned: return "partitioned";
+  }
+  return "?";
+}
+
+StencilResult run_stencil(const StencilParams& p) {
+  const bool three_d = p.pz > 1 || p.tz > 1;
+  Geometry g{p, rp::stencil_dirs(three_d, p.diagonals)};
+  const int nthreads = g.nthreads();
+  // The plan doubles as the geometry oracle for every mechanism.
+  StencilPlan plan(Vec3{p.px, p.py, p.pz}, Vec3{p.tx, p.ty, p.tz}, p.diagonals,
+                   p.mech == StencilMech::kComms ? p.strategy : PlanStrategy::kMirrored);
+
+  WorldConfig wc;
+  wc.nranks = g.nprocs();
+  wc.ranks_per_node = p.ranks_per_node;
+  wc.num_vcis = (p.mech == StencilMech::kSerial) ? 1 : p.num_vcis;
+  wc.cost = p.cost;
+  World world(wc);
+
+  std::atomic<std::uint64_t> checksum{0};
+  std::atomic<int> comms_used{0};
+
+  world.run([&](Rank& rank) {
+    Comm wcomm = rank.world_comm();
+    const int my = rank.rank();
+
+    switch (p.mech) {
+      case StencilMech::kSerial: {
+        // "Original": everything on the world comm's single VCI; thread ids
+        // ride in the tag purely for matching.
+        EagerSelectors sel;
+        sel.send_comm = [&](const Exchange&) -> const Comm& { return wcomm; };
+        sel.recv_comm = sel.send_comm;
+        sel.dst_rank = [](const Exchange& e) { return e.partner_rank; };
+        sel.src_rank = sel.dst_rank;
+        sel.send_tag = [&](const Exchange& e, int tid) {
+          // 5 bits hold any of the 26 3D directions.
+          return static_cast<Tag>(((tid * nthreads + e.partner_tid) << 5) | e.dir_out);
+        };
+        sel.recv_tag = [&](const Exchange& e, int tid) {
+          return static_cast<Tag>(((e.partner_tid * nthreads + tid) << 5) | e.dir_send);
+        };
+        if (my == 0) comms_used.store(1);
+        rank.parallel(nthreads, [&](int tid) {
+          checksum.fetch_add(eager_thread_loop(g, plan, my, tid, sel));
+        });
+        break;
+      }
+
+      case StencilMech::kComms: {
+        std::vector<Comm> table;
+        table.reserve(static_cast<std::size_t>(plan.num_comms()));
+        for (int i = 0; i < plan.num_comms(); ++i) table.push_back(wcomm.dup());
+        if (my == 0) comms_used.store(plan.num_comms());
+        rank.parallel(nthreads, [&](int tid) {
+          const Vec3 proc = g.proc_of(my);
+          const Vec3 thr = g.thr_of(tid);
+          EagerSelectors s;
+          s.send_comm = [&, proc, thr](const Exchange& e) -> const Comm& {
+            return table[static_cast<std::size_t>(plan.comm_for_send(proc, thr, e.dir))];
+          };
+          s.recv_comm = [&, proc, thr](const Exchange& e) -> const Comm& {
+            return table[static_cast<std::size_t>(plan.comm_for_recv(proc, thr, e.dir))];
+          };
+          s.dst_rank = [](const Exchange& e) { return e.partner_rank; };
+          s.src_rank = s.dst_rank;
+          s.send_tag = [&](const Exchange& e, int) { return static_cast<Tag>(e.dir_out); };
+          s.recv_tag = [&](const Exchange& e, int) { return static_cast<Tag>(e.dir_send); };
+          checksum.fetch_add(eager_thread_loop(g, plan, my, tid, s));
+        });
+        break;
+      }
+
+      case StencilMech::kTags: {
+        Info info;
+        info.set("mpi_assert_allow_overtaking", "true");
+        info.set("mpi_assert_no_any_tag", "true");
+        info.set("mpi_assert_no_any_source", "true");
+        info.set("tmpi_num_vcis", nthreads);
+        int bits = 1;
+        while ((1 << bits) < nthreads) ++bits;
+        info.set("tmpi_num_tag_bits_vci", bits);
+        info.set("tmpi_place_tag_bits_local_vci", "MSB");
+        info.set("tmpi_tag_vci_hash_type", "one-to-one");
+        Comm tcomm = wcomm.dup_with_info(info);
+        if (my == 0) comms_used.store(1);
+        const int tb = world.config().tag_bits;
+        EagerSelectors sel;
+        sel.send_comm = [&](const Exchange&) -> const Comm& { return tcomm; };
+        sel.recv_comm = sel.send_comm;
+        sel.dst_rank = [](const Exchange& e) { return e.partner_rank; };
+        sel.src_rank = sel.dst_rank;
+        sel.send_tag = [&, tb, bits](const Exchange& e, int tid) {
+          return static_cast<Tag>((static_cast<unsigned>(tid) << (tb - bits)) |
+                                  (static_cast<unsigned>(e.partner_tid) << (tb - 2 * bits)) |
+                                  static_cast<unsigned>(e.dir_out));
+        };
+        sel.recv_tag = [&, tb, bits](const Exchange& e, int tid) {
+          return static_cast<Tag>((static_cast<unsigned>(e.partner_tid) << (tb - bits)) |
+                                  (static_cast<unsigned>(tid) << (tb - 2 * bits)) |
+                                  static_cast<unsigned>(e.dir_send));
+        };
+        rank.parallel(nthreads, [&](int tid) {
+          checksum.fetch_add(eager_thread_loop(g, plan, my, tid, sel));
+        });
+        break;
+      }
+
+      case StencilMech::kEndpoints: {
+        auto eps = wcomm.create_endpoints(nthreads);
+        if (my == 0) comms_used.store(nthreads);
+        rank.parallel(nthreads, [&](int tid) {
+          const Comm& myep = eps[static_cast<std::size_t>(tid)];
+          EagerSelectors s;
+          s.send_comm = [&](const Exchange&) -> const Comm& { return myep; };
+          s.recv_comm = s.send_comm;
+          s.dst_rank = [&](const Exchange& e) {
+            return e.partner_rank * nthreads + e.partner_tid;  // Listing 3 addressing
+          };
+          s.src_rank = s.dst_rank;
+          s.send_tag = [&](const Exchange& e, int) { return static_cast<Tag>(e.dir_out); };
+          s.recv_tag = [&](const Exchange& e, int) { return static_cast<Tag>(e.dir_send); };
+          checksum.fetch_add(eager_thread_loop(g, plan, my, tid, s));
+        });
+        break;
+      }
+
+      case StencilMech::kPartitioned: {
+        run_partitioned(g, plan, rank, wcomm, &checksum, &comms_used);
+        break;
+      }
+    }
+  });
+
+  StencilResult out;
+  out.run.elapsed_ns = world.elapsed();
+  out.run.checksum = checksum.load();
+  out.run.net = world.snapshot();
+  out.run.messages = out.run.net.messages;
+  out.run.bytes = out.run.net.bytes;
+  out.comms_used = comms_used.load();
+  if (p.mech == StencilMech::kComms) out.plan_conflicts = plan.analyze().conflict_pairs;
+  return out;
+}
+
+}  // namespace wl

@@ -1,0 +1,65 @@
+#ifndef WL_STENCIL_H
+#define WL_STENCIL_H
+
+#include "core/planner.h"
+#include "net/cost_model.h"
+#include "workloads/common.h"
+
+/// \file stencil.h
+/// Stencil halo exchange (the hypre / Smilei / Pencil pattern of Figs. 4
+/// and Listings 1, 3, 4) over a px*py[*pz] process grid with tx*ty[*tz]
+/// threads per process, one patch per thread — 2D 5/9-point or 3D 7/27-point
+/// (hypre's real pattern) — under every mechanism the paper compares:
+///
+///  - kSerial       — "MPI+threads (Original)": one communicator, tids in
+///                    tags, a single VCI.
+///  - kComms        — communicators from a planner-generated map (mirrored
+///                    ideal, or the naive half-parallel map of Lesson 2).
+///  - kTags         — MPI 4.0 assertions + tag-bit VCI hints (Listing 2).
+///  - kEndpoints    — one endpoint per thread (Listing 3).
+///  - kPartitioned  — persistent partitioned ops per direction, one
+///                    partition per lane thread (Listing 4), including its
+///                    end-of-iteration single-thread completion + barrier.
+///
+/// Each boundary thread exchanges `halo_bytes` with each inter-process
+/// neighbor per iteration (diagonals included for the 9-point variant);
+/// payloads carry a deterministic pattern verified on arrival.
+
+namespace wl {
+
+enum class StencilMech {
+  kSerial,
+  kComms,
+  kTags,
+  kEndpoints,
+  kPartitioned,
+};
+
+const char* to_string(StencilMech m);
+
+struct StencilParams {
+  StencilMech mech = StencilMech::kEndpoints;
+  rp::PlanStrategy strategy = rp::PlanStrategy::kMirrored;  ///< kComms only
+  int px = 2, py = 2, pz = 1;  ///< process grid (pz > 1: 3D domain)
+  int tx = 3, ty = 3, tz = 1;  ///< thread grid per process (tz > 1: 3D patches)
+  int iters = 4;
+  std::size_t halo_bytes = 512;
+  bool diagonals = true;   ///< 9-point vs 5-point
+  int num_vcis = 16;       ///< base VCI pool per rank
+  int ranks_per_node = 1;  ///< >1 models MPI everywhere sharing a node's NIC
+  int part_vcis = 1;      ///< kPartitioned: VCIs partitions spread over
+  tmpi::net::CostModel cost{};
+};
+
+struct StencilResult {
+  RunResult run;
+  int comms_used = 0;  ///< communicators (or endpoints) the mechanism created
+  long plan_conflicts = 0;  ///< planner conflicts (kComms only)
+};
+
+/// Run the halo exchange; throws on any data mismatch.
+StencilResult run_stencil(const StencilParams& p);
+
+}  // namespace wl
+
+#endif  // WL_STENCIL_H

@@ -1,0 +1,100 @@
+#include "core/capabilities.h"
+
+#include <gtest/gtest.h>
+
+#include "core/planner.h"
+
+namespace rp {
+namespace {
+
+TEST(Capabilities, TableOneScope) {
+  // Table I: point-to-point row.
+  EXPECT_TRUE(capabilities(Backend::kComms).pt2p);
+  EXPECT_TRUE(capabilities(Backend::kTags).pt2p);
+  EXPECT_TRUE(capabilities(Backend::kEndpoints).pt2p);
+  EXPECT_TRUE(capabilities(Backend::kPartitioned).pt2p);
+  // RMA row: windows / endpoints; partitioned RMA is TBD.
+  EXPECT_TRUE(capabilities(Backend::kComms).rma);
+  EXPECT_TRUE(capabilities(Backend::kEndpoints).rma);
+  EXPECT_FALSE(capabilities(Backend::kPartitioned).rma);
+  EXPECT_FALSE(capabilities(Backend::kPartitioned).rma_defined);
+  // Collective row: comms (+user intranode), endpoints; partitioned TBD.
+  EXPECT_TRUE(capabilities(Backend::kComms).collectives);
+  EXPECT_TRUE(capabilities(Backend::kEndpoints).collectives);
+  EXPECT_FALSE(capabilities(Backend::kPartitioned).collectives_defined);
+}
+
+TEST(Capabilities, OnlyEndpointsAreFullyGeneral) {
+  // Section IV: "users need to be aware of only one mechanism: endpoints,
+  // which applies uniformly to all types of MPI operations."
+  int fully_general = 0;
+  for (Backend b : all_backends()) {
+    const auto c = capabilities(b);
+    if (c.pt2p && c.rma && c.collectives && c.wildcards && c.dynamic_patterns) {
+      ++fully_general;
+      EXPECT_EQ(b, Backend::kEndpoints);
+    }
+  }
+  EXPECT_EQ(fully_general, 1);
+}
+
+TEST(Capabilities, LessonFourteenSharedRequest) {
+  EXPECT_FALSE(capabilities(Backend::kPartitioned).full_thread_independence);
+  EXPECT_TRUE(capabilities(Backend::kEndpoints).full_thread_independence);
+  EXPECT_TRUE(capabilities(Backend::kComms).full_thread_independence);
+}
+
+TEST(Capabilities, LessonNineteenDuplication) {
+  EXPECT_TRUE(capabilities(Backend::kEndpoints).duplicates_coll_buffers);
+  EXPECT_FALSE(capabilities(Backend::kComms).duplicates_coll_buffers);
+  EXPECT_FALSE(capabilities(Backend::kPartitioned).duplicates_coll_buffers);
+}
+
+TEST(Capabilities, PortabilityStory) {
+  // Lessons 8 & 12-13: tags/comms need impl hints; endpoints and partitioned
+  // bake mapping into the interface.
+  EXPECT_FALSE(capabilities(Backend::kTags).portable_mapping);
+  EXPECT_FALSE(capabilities(Backend::kComms).portable_mapping);
+  EXPECT_TRUE(capabilities(Backend::kEndpoints).portable_mapping);
+  EXPECT_TRUE(capabilities(Backend::kPartitioned).portable_mapping);
+  // Only endpoints are not standardized (the suspended proposal).
+  EXPECT_FALSE(capabilities(Backend::kEndpoints).standardized);
+  EXPECT_TRUE(capabilities(Backend::kTags).standardized);
+}
+
+TEST(Capabilities, OverloadingExistingObjects) {
+  // Lesson 4 vs Lessons 11/13.
+  EXPECT_TRUE(capabilities(Backend::kComms).overloads_existing);
+  EXPECT_TRUE(capabilities(Backend::kTags).overloads_existing);
+  EXPECT_FALSE(capabilities(Backend::kEndpoints).overloads_existing);
+  EXPECT_FALSE(capabilities(Backend::kPartitioned).overloads_existing);
+}
+
+TEST(Usability, Stencil27CommsBlowup) {
+  const auto comms = stencil27_usability(Backend::kComms, 4, 4, 4);
+  const auto eps = stencil27_usability(Backend::kEndpoints, 4, 4, 4);
+  EXPECT_EQ(comms.setup_objects, 808);
+  EXPECT_EQ(eps.setup_objects, 56);
+  EXPECT_TRUE(comms.needs_mirroring);
+  EXPECT_FALSE(eps.needs_mirroring);
+  EXPECT_GT(static_cast<double>(comms.setup_objects) / eps.setup_objects, 14.0);
+}
+
+TEST(Usability, TagsNeedImplementationHints) {
+  const auto tags = stencil27_usability(Backend::kTags, 4, 4, 4);
+  EXPECT_EQ(tags.setup_objects, 1);
+  EXPECT_GT(tags.impl_specific_hints, 0);  // Lessons 7-8
+  EXPECT_TRUE(tags.intuitive);             // Lesson 6
+  const auto eps = stencil27_usability(Backend::kEndpoints, 4, 4, 4);
+  EXPECT_EQ(eps.impl_specific_hints, 0);  // Lesson 12
+}
+
+TEST(Usability, NamesResolve) {
+  for (Backend b : all_backends()) {
+    EXPECT_STRNE(to_string(b), "?");
+    EXPECT_FALSE(capabilities(b).summary.empty());
+  }
+}
+
+}  // namespace
+}  // namespace rp

@@ -1,0 +1,179 @@
+#include "core/planner.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+namespace rp {
+namespace {
+
+TEST(Formulas, PaperComms27ptReproducesThe808) {
+  // Lesson 3: [4,4,4] threads need 808 communicators...
+  EXPECT_EQ(paper_comms_27pt(4, 4, 4), 808);
+}
+
+TEST(Formulas, Channels27ptReproducesThe56) {
+  // ...but only 56 parallel channels (communicating threads).
+  EXPECT_EQ(channels_27pt(4, 4, 4), 56);
+}
+
+TEST(Formulas, RatioIsThePapers14x) {
+  const double ratio = static_cast<double>(paper_comms_27pt(4, 4, 4)) /
+                       static_cast<double>(channels_27pt(4, 4, 4));
+  EXPECT_GT(ratio, 14.0);  // "over 14x higher"
+  EXPECT_LT(ratio, 14.6);  // 14.43 (the paper quotes 14.4x for endpoints)
+}
+
+TEST(Formulas, ChannelsNeverExceedThreads) {
+  for (int x = 1; x <= 6; ++x) {
+    for (int y = 1; y <= 6; ++y) {
+      for (int z = 1; z <= 6; ++z) {
+        EXPECT_LE(channels_27pt(x, y, z), static_cast<long>(x) * y * z);
+        EXPECT_GE(channels_27pt(x, y, z), 0);
+      }
+    }
+  }
+}
+
+TEST(Formulas, SmallGridsAllThreadsCommunicate) {
+  // With any dimension <= 2 there is no interior: every thread talks.
+  EXPECT_EQ(channels_27pt(2, 2, 2), 8);
+  EXPECT_EQ(channels_27pt(1, 4, 4), 16);
+}
+
+TEST(Dirs, CountsMatchStencilKind) {
+  EXPECT_EQ(stencil_dirs(false, false).size(), 4u);   // 5-point
+  EXPECT_EQ(stencil_dirs(false, true).size(), 8u);    // 9-point
+  EXPECT_EQ(stencil_dirs(true, false).size(), 6u);    // 7-point
+  EXPECT_EQ(stencil_dirs(true, true).size(), 26u);    // 27-point
+}
+
+/// Parameter: (proc grid, thread grid, diagonals).
+using PlanParam = std::tuple<Vec3, Vec3, bool>;
+
+class PlanP : public ::testing::TestWithParam<PlanParam> {};
+
+TEST_P(PlanP, MatchingConstraintHolds) {
+  // Property: for every exchange, the sender's communicator equals the
+  // receiver's (for both strategies) — MPI's matching requirement.
+  const auto& [pg, tg, diag] = GetParam();
+  for (auto strategy : {PlanStrategy::kMirrored, PlanStrategy::kNaive}) {
+    StencilPlan plan(pg, tg, diag, strategy);
+    const auto dirs = stencil_dirs(tg.z > 1 || pg.z > 1, diag);
+    for (int px = 0; px < pg.x; ++px) {
+      for (int py = 0; py < pg.y; ++py) {
+        for (int pz = 0; pz < pg.z; ++pz) {
+          for (int tx = 0; tx < tg.x; ++tx) {
+            for (int ty = 0; ty < tg.y; ++ty) {
+              for (int tz = 0; tz < tg.z; ++tz) {
+                const Vec3 proc{px, py, pz};
+                const Vec3 thr{tx, ty, tz};
+                for (const Vec3& d : dirs) {
+                  const int send_comm = plan.comm_for_send(proc, thr, d);
+                  Vec3 pp;
+                  Vec3 pt;
+                  if (send_comm < 0) continue;
+                  ASSERT_TRUE(plan.partner(proc, thr, d, &pp, &pt));
+                  const Vec3 back{-d.x, -d.y, -d.z};
+                  const int recv_comm = plan.comm_for_recv(pp, pt, back);
+                  ASSERT_EQ(send_comm, recv_comm)
+                      << "proc(" << px << "," << py << "," << pz << ") thr(" << tx << ","
+                      << ty << "," << tz << ") dir(" << d.x << "," << d.y << "," << d.z
+                      << ")";
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST_P(PlanP, MirroredPlanHasZeroConflicts) {
+  // Property: the ideal plan never forces two threads of one process onto
+  // one communicator (Lesson 1's goal).
+  const auto& [pg, tg, diag] = GetParam();
+  StencilPlan plan(pg, tg, diag, PlanStrategy::kMirrored);
+  const auto m = plan.analyze();
+  EXPECT_EQ(m.conflict_pairs, 0) << "comms=" << plan.num_comms();
+  EXPECT_EQ(m.parallel_fraction(), 1.0);
+}
+
+TEST_P(PlanP, NaivePlanLosesRoughlyHalfTheParallelism) {
+  // Lesson 2: the intuitive map exposes "only half of the available
+  // parallelism" — opposite-edge threads collide on one communicator.
+  const auto& [pg, tg, diag] = GetParam();
+  if (pg.x < 2 || pg.y < 2) return;         // needs both axes to have neighbors
+  if (tg.x * tg.y * tg.z < 2) return;       // conflicts need >= 2 threads
+  StencilPlan plan(pg, tg, diag, PlanStrategy::kNaive);
+  const auto m = plan.analyze();
+  EXPECT_GT(m.conflict_pairs, 0);
+  EXPECT_LT(m.parallel_fraction(), 1.0);
+}
+
+TEST_P(PlanP, MirroredUsesMoreCommsThanNaiveButBounded) {
+  const auto& [pg, tg, diag] = GetParam();
+  StencilPlan mirrored(pg, tg, diag, PlanStrategy::kMirrored);
+  StencilPlan naive(pg, tg, diag, PlanStrategy::kNaive);
+  EXPECT_EQ(naive.num_comms(), tg.x * tg.y * tg.z);
+  EXPECT_GT(mirrored.num_comms(), 0);
+  // Lesson 3's blowup: far more comms than threads for diagonal stencils on
+  // multi-process grids, yet independent of the process grid size.
+  StencilPlan bigger(Vec3{pg.x + 2, pg.y + 2, pg.z}, tg, diag, PlanStrategy::kMirrored);
+  EXPECT_LE(mirrored.num_comms(), bigger.num_comms());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PlanP,
+    ::testing::Values(PlanParam{Vec3{2, 2, 1}, Vec3{3, 3, 1}, true},
+                      PlanParam{Vec3{2, 2, 1}, Vec3{3, 3, 1}, false},
+                      PlanParam{Vec3{3, 2, 1}, Vec3{2, 4, 1}, true},
+                      PlanParam{Vec3{4, 4, 1}, Vec3{1, 1, 1}, true},
+                      PlanParam{Vec3{3, 3, 1}, Vec3{4, 2, 1}, true},
+                      PlanParam{Vec3{2, 2, 2}, Vec3{2, 2, 2}, true},
+                      PlanParam{Vec3{3, 2, 2}, Vec3{2, 3, 2}, true},
+                      PlanParam{Vec3{2, 2, 2}, Vec3{4, 4, 4}, false},
+                      PlanParam{Vec3{1, 3, 1}, Vec3{5, 2, 1}, true}),
+    [](const ::testing::TestParamInfo<PlanParam>& info) {
+      const Vec3 pg = std::get<0>(info.param);
+      const Vec3 tg = std::get<1>(info.param);
+      const bool diag = std::get<2>(info.param);
+      return "p" + std::to_string(pg.x) + std::to_string(pg.y) + std::to_string(pg.z) + "t" +
+             std::to_string(tg.x) + std::to_string(tg.y) + std::to_string(tg.z) +
+             (diag ? "diag" : "axes");
+    });
+
+TEST(Plan, IntraProcessExchangesHaveNoComm) {
+  StencilPlan plan(Vec3{2, 2, 1}, Vec3{3, 3, 1}, true, PlanStrategy::kMirrored);
+  // The center thread of a 3x3 grid never leaves the process.
+  const Vec3 center{1, 1, 0};
+  for (const Vec3& d : stencil_dirs(false, true)) {
+    EXPECT_EQ(plan.comm_for_send(Vec3{0, 0, 0}, center, d), -1);
+  }
+}
+
+TEST(Plan, DomainEdgeHasNoExchange) {
+  StencilPlan plan(Vec3{2, 1, 1}, Vec3{2, 2, 1}, false, PlanStrategy::kMirrored);
+  // Westmost process, west edge thread: no W neighbor.
+  EXPECT_EQ(plan.comm_for_send(Vec3{0, 0, 0}, Vec3{0, 0, 0}, Vec3{-1, 0, 0}), -1);
+  // But its east edge talks to process 1.
+  EXPECT_GE(plan.comm_for_send(Vec3{0, 0, 0}, Vec3{1, 0, 0}, Vec3{1, 0, 0}), 0);
+}
+
+TEST(Plan, ListingOneMirroringStructure) {
+  // Listing 1's a/b sets: adjacent processes along an axis use different
+  // comms for the same thread's same-direction exchange; processes two
+  // apart reuse them.
+  StencilPlan plan(Vec3{1, 4, 1}, Vec3{2, 2, 1}, false, PlanStrategy::kMirrored);
+  const Vec3 thr{0, 1, 0};  // top edge thread sends north
+  const Vec3 north{0, 1, 0};
+  const int c0 = plan.comm_for_send(Vec3{0, 0, 0}, thr, north);
+  const int c1 = plan.comm_for_send(Vec3{0, 1, 0}, thr, north);
+  const int c2 = plan.comm_for_send(Vec3{0, 2, 0}, thr, north);
+  EXPECT_NE(c0, c1);  // boundary parity flips
+  EXPECT_EQ(c0, c2);  // and repeats
+}
+
+}  // namespace
+}  // namespace rp

@@ -1,0 +1,309 @@
+#include "core/session.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+namespace rp {
+namespace {
+
+using tmpi::Rank;
+using tmpi::World;
+using tmpi::WorldConfig;
+
+World make_world(int nranks) {
+  WorldConfig wc;
+  wc.nranks = nranks;
+  wc.num_vcis = 4;
+  return World(wc);
+}
+
+class SessionP : public ::testing::TestWithParam<Backend> {};
+
+TEST_P(SessionP, StreamsExchangePointToPoint) {
+  const Backend backend = GetParam();
+  if (backend == Backend::kPartitioned) return;  // no dynamic sends (Lesson 15)
+  World w = make_world(2);
+  constexpr int kStreams = 3;
+  w.run([&](Rank& rank) {
+    SessionConfig cfg;
+    cfg.backend = backend;
+    cfg.streams = kStreams;
+    Session s = Session::create(rank, cfg);
+    EXPECT_EQ(s.streams(), kStreams);
+    rank.parallel(kStreams, [&](int tid) {
+      Channel ch = s.channel(tid);
+      const PeerAddr peer{1 - rank.rank(), tid};
+      int out = rank.rank() * 10 + tid;
+      int in = -1;
+      tmpi::Request rr = ch.irecv(&in, sizeof(in), peer, 2);
+      tmpi::Request sr = ch.isend(&out, sizeof(out), peer, 2);
+      sr.wait();
+      rr.wait();
+      EXPECT_EQ(in, (1 - rank.rank()) * 10 + tid);
+    });
+  });
+}
+
+TEST_P(SessionP, CrossStreamAddressing) {
+  const Backend backend = GetParam();
+  if (backend == Backend::kPartitioned) return;
+  World w = make_world(2);
+  w.run([&](Rank& rank) {
+    SessionConfig cfg;
+    cfg.backend = backend;
+    cfg.streams = 2;
+    Session s = Session::create(rank, cfg);
+    // Stream 0 of rank 0 talks to stream 1 of rank 1.
+    if (rank.rank() == 0) {
+      int out = 99;
+      s.channel(0).isend(&out, sizeof(out), PeerAddr{1, 1}, 0).wait();
+    } else {
+      int in = 0;
+      s.channel(1).irecv(&in, sizeof(in), PeerAddr{0, 0}, 0).wait();
+      EXPECT_EQ(in, 99);
+    }
+  });
+}
+
+TEST_P(SessionP, PersistentChannelsWorkOnEveryBackend) {
+  const Backend backend = GetParam();
+  World w = make_world(2);
+  constexpr int kParts = 4;
+  w.run([&](Rank& rank) {
+    SessionConfig cfg;
+    cfg.backend = backend;
+    cfg.streams = 2;
+    Session s = Session::create(rank, cfg);
+    std::vector<std::int32_t> buf(kParts);
+    Channel ch = s.channel(0);
+    if (rank.rank() == 0) {
+      tmpi::Request req = ch.persistent_send(buf.data(), kParts, sizeof(std::int32_t),
+                                             PeerAddr{1, 0}, 1);
+      for (int it = 0; it < 2; ++it) {
+        tmpi::start(req);
+        for (int p = 0; p < kParts; ++p) {
+          buf[static_cast<std::size_t>(p)] = it * 100 + p;
+          tmpi::pready(p, req);
+        }
+        req.wait();
+      }
+    } else {
+      tmpi::Request req = ch.persistent_recv(buf.data(), kParts, sizeof(std::int32_t),
+                                             PeerAddr{0, 0}, 1);
+      for (int it = 0; it < 2; ++it) {
+        tmpi::start(req);
+        req.wait();
+        for (int p = 0; p < kParts; ++p) {
+          EXPECT_EQ(buf[static_cast<std::size_t>(p)], it * 100 + p);
+        }
+      }
+    }
+  });
+}
+
+TEST_P(SessionP, CapabilitiesMatchBackend) {
+  const Backend backend = GetParam();
+  World w = make_world(1);
+  w.run([&](Rank& rank) {
+    SessionConfig cfg;
+    cfg.backend = backend;
+    cfg.streams = 2;
+    Session s = Session::create(rank, cfg);
+    EXPECT_EQ(s.caps().backend, backend);
+    EXPECT_EQ(s.backend(), backend);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, SessionP,
+                         ::testing::Values(Backend::kComms, Backend::kTags,
+                                           Backend::kEndpoints, Backend::kPartitioned),
+                         [](const ::testing::TestParamInfo<Backend>& info) {
+                           std::string n = to_string(info.param);
+                           for (char& c : n) {
+                             if (c == '+' || c == '-') c = '_';
+                           }
+                           return n;
+                         });
+
+TEST(Session, EndpointsWildcardReceive) {
+  World w = make_world(2);
+  w.run([&](Rank& rank) {
+    SessionConfig cfg;
+    cfg.backend = Backend::kEndpoints;
+    cfg.streams = 2;
+    Session s = Session::create(rank, cfg);
+    if (rank.rank() == 0) {
+      int out = 5;
+      s.channel(1).isend(&out, sizeof(out), PeerAddr{1, 0}, 3).wait();
+    } else {
+      int in = 0;
+      Channel ch = s.channel(0);
+      tmpi::Status st{};
+      tmpi::Request r = ch.irecv_any(&in, sizeof(in));
+      st = r.wait();
+      EXPECT_EQ(in, 5);
+      const PeerAddr from = ch.decode_source(st);
+      EXPECT_EQ(from.rank, 0);
+      EXPECT_EQ(from.stream, 1);
+    }
+  });
+}
+
+TEST(Session, CommsBackendRejectsWildcards) {
+  World w = make_world(1);
+  w.run([&](Rank& rank) {
+    SessionConfig cfg;
+    cfg.backend = Backend::kComms;
+    cfg.streams = 2;
+    Session s = Session::create(rank, cfg);
+    int v = 0;
+    EXPECT_THROW((void)s.channel(0).irecv_any(&v, sizeof(v)), Unsupported);
+  });
+}
+
+TEST(Session, TagsBackendWildcardsNeedConfig) {
+  World w = make_world(2);
+  w.run([&](Rank& rank) {
+    {
+      SessionConfig cfg;
+      cfg.backend = Backend::kTags;
+      cfg.streams = 2;
+      Session s = Session::create(rank, cfg);
+      int v = 0;
+      EXPECT_THROW((void)s.channel(0).irecv_any(&v, sizeof(v)), Unsupported);
+    }
+    {
+      SessionConfig cfg;
+      cfg.backend = Backend::kTags;
+      cfg.streams = 2;
+      cfg.need_wildcards = true;
+      Session s = Session::create(rank, cfg);
+      if (rank.rank() == 0) {
+        int out = 7;
+        s.channel(0).isend(&out, sizeof(out), PeerAddr{1, 0}, 1).wait();
+      } else {
+        int in = 0;
+        tmpi::Status st = s.channel(0).irecv_any(&in, sizeof(in)).wait();
+        EXPECT_EQ(in, 7);
+        EXPECT_EQ(s.channel(0).decode_source(st).rank, 0);
+      }
+    }
+  });
+}
+
+TEST(Session, PartitionedBackendRejectsDynamicOps) {
+  World w = make_world(1);
+  w.run([&](Rank& rank) {
+    SessionConfig cfg;
+    cfg.backend = Backend::kPartitioned;
+    Session s = Session::create(rank, cfg);
+    int v = 0;
+    EXPECT_THROW((void)s.channel(0).isend(&v, sizeof(v), PeerAddr{0, 0}, 0), Unsupported);
+    EXPECT_THROW((void)s.channel(0).irecv(&v, sizeof(v), PeerAddr{0, 0}, 0), Unsupported);
+    EXPECT_THROW((void)s.channel(0).irecv_any(&v, sizeof(v)), Unsupported);
+    EXPECT_THROW((void)s.channel(0).coll_comm(), Unsupported);
+  });
+}
+
+TEST(Session, PartitionedBackendRejectsWildcardConfig) {
+  World w = make_world(1);
+  w.run([&](Rank& rank) {
+    SessionConfig cfg;
+    cfg.backend = Backend::kPartitioned;
+    cfg.need_wildcards = true;
+    EXPECT_THROW((void)Session::create(rank, cfg), Unsupported);
+  });
+}
+
+TEST(Session, CollCommPerBackend) {
+  World w = make_world(2);
+  w.run([&](Rank& rank) {
+    {
+      SessionConfig cfg;
+      cfg.backend = Backend::kComms;
+      cfg.streams = 2;
+      Session s = Session::create(rank, cfg);
+      rank.parallel(2, [&](int tid) {
+        tmpi::Comm c = s.channel(tid).coll_comm();
+        double x = 1.0;
+        double y = 0.0;
+        tmpi::allreduce(&x, &y, 1, tmpi::kDouble, tmpi::Op::kSum, c);
+        EXPECT_EQ(y, 2.0);  // internode only: user combines intranode
+      });
+    }
+    {
+      SessionConfig cfg;
+      cfg.backend = Backend::kEndpoints;
+      cfg.streams = 2;
+      Session s = Session::create(rank, cfg);
+      rank.parallel(2, [&](int tid) {
+        tmpi::Comm c = s.channel(tid).coll_comm();
+        double x = 1.0;
+        double y = 0.0;
+        tmpi::allreduce(&x, &y, 1, tmpi::kDouble, tmpi::Op::kSum, c);
+        EXPECT_EQ(y, 4.0);  // one step over all endpoints (Lesson 18)
+      });
+    }
+    {
+      SessionConfig cfg;
+      cfg.backend = Backend::kTags;
+      cfg.streams = 2;
+      Session s = Session::create(rank, cfg);
+      EXPECT_THROW((void)s.channel(0).coll_comm(), Unsupported);
+    }
+  });
+}
+
+TEST(Session, SetupCostsReflectLessons) {
+  World w = make_world(2);
+  w.run([&](Rank& rank) {
+    SessionConfig cfg;
+    cfg.streams = 4;
+    cfg.backend = Backend::kComms;
+    const auto comms_cost = Session::create(rank, cfg).setup_cost();
+    cfg.backend = Backend::kTags;
+    const auto tags_cost = Session::create(rank, cfg).setup_cost();
+    cfg.backend = Backend::kEndpoints;
+    const auto eps_cost = Session::create(rank, cfg).setup_cost();
+    EXPECT_EQ(comms_cost.setup_objects, 4 * 4 + 4);  // quadratic (Lesson 3)
+    EXPECT_EQ(eps_cost.setup_objects, 4);            // linear (Lesson 12)
+    EXPECT_EQ(tags_cost.setup_objects, 1);
+    EXPECT_GT(tags_cost.impl_specific_hints, 0);  // Lessons 7-8
+    EXPECT_EQ(eps_cost.impl_specific_hints, 0);
+  });
+}
+
+TEST(Session, TagEncodingOverflowSurfacesLessonNine) {
+  World w = make_world(1);
+  w.run([&](Rank& rank) {
+    SessionConfig cfg;
+    cfg.backend = Backend::kTags;
+    cfg.streams = 2;
+    Session s = Session::create(rank, cfg);
+    int v = 0;
+    // Default world: 23 tag bits, 1 stream bit each side -> 21 app bits.
+    const int too_big = 1 << 21;
+    try {
+      (void)s.channel(0).isend(&v, sizeof(v), PeerAddr{0, 0}, too_big);
+      FAIL() << "expected tag overflow";
+    } catch (const tmpi::Error& e) {
+      EXPECT_EQ(e.code(), tmpi::Errc::kTagOverflow);
+    }
+  });
+}
+
+TEST(Session, InvalidStreamThrows) {
+  World w = make_world(1);
+  w.run([&](Rank& rank) {
+    SessionConfig cfg;
+    cfg.streams = 2;
+    Session s = Session::create(rank, cfg);
+    EXPECT_THROW((void)s.channel(2), tmpi::Error);
+    EXPECT_THROW((void)s.channel(-1), tmpi::Error);
+  });
+}
+
+}  // namespace
+}  // namespace rp

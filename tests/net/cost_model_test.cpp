@@ -1,0 +1,59 @@
+#include "net/cost_model.h"
+
+#include <gtest/gtest.h>
+
+namespace tmpi::net {
+namespace {
+
+TEST(CostModel, WireTimeIsLatencyPlusBandwidth) {
+  CostModel cm;
+  cm.wire_latency_ns = 1000;
+  cm.bandwidth_bytes_per_ns = 10.0;
+  EXPECT_EQ(cm.wire_time(0), 1000u);
+  EXPECT_EQ(cm.wire_time(100), 1010u);
+  EXPECT_EQ(cm.wire_time(10000), 2000u);
+}
+
+TEST(CostModel, ShmTimeIsFasterThanWireForDefaults) {
+  const CostModel cm;
+  for (std::size_t bytes : {0ul, 64ul, 4096ul, 1048576ul}) {
+    EXPECT_LT(cm.shm_time(bytes), cm.wire_time(bytes)) << bytes;
+  }
+}
+
+TEST(CostModel, WireTimeMonotonicInSize) {
+  const CostModel cm;
+  Time prev = 0;
+  for (std::size_t bytes = 0; bytes <= 1 << 20; bytes += 4096) {
+    const Time t = cm.wire_time(bytes);
+    EXPECT_GE(t, prev);
+    prev = t;
+  }
+}
+
+TEST(CostModel, OmnipathPresetHasBoundedContexts) {
+  const CostModel cm = CostModel::omnipath();
+  EXPECT_EQ(cm.max_hw_contexts, 160);  // the paper's Lesson 3 figure
+  EXPECT_EQ(cm.name, "omnipath");
+}
+
+TEST(CostModel, InfinibandPresetIsEffectivelyUnbounded) {
+  const CostModel cm = CostModel::infiniband();
+  EXPECT_GT(cm.max_hw_contexts, 100000);
+  EXPECT_GT(cm.bandwidth_bytes_per_ns, CostModel::omnipath().bandwidth_bytes_per_ns);
+}
+
+TEST(CostModel, SlowSerialPresetAmplifiesSerialization) {
+  const CostModel cm = CostModel::slow_serial();
+  const CostModel base;
+  EXPECT_GT(cm.ctx_inject_ns, base.ctx_inject_ns);
+  EXPECT_GT(cm.lock_contended_ns, base.lock_contended_ns);
+}
+
+TEST(CostModel, DefaultEagerThresholdIs64K) {
+  const CostModel cm;
+  EXPECT_EQ(cm.eager_threshold_bytes, 64u * 1024u);
+}
+
+}  // namespace
+}  // namespace tmpi::net

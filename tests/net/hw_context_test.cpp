@@ -1,0 +1,150 @@
+#include "net/hw_context.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace tmpi::net {
+namespace {
+
+TEST(HwContext, InjectionAdvancesClockByOverhead) {
+  NetStats stats;
+  HwContext ctx(0, &stats);
+  ctx.add_sharer();
+  CostModel cm;
+  cm.ctx_inject_ns = 100;
+  VirtualClock clk(0);
+  const Time done = ctx.inject(clk, cm);
+  EXPECT_EQ(done, 100u);
+  EXPECT_EQ(clk.now(), 100u);
+}
+
+TEST(HwContext, BackToBackInjectionsSerialize) {
+  NetStats stats;
+  HwContext ctx(0, &stats);
+  ctx.add_sharer();
+  CostModel cm;
+  cm.ctx_inject_ns = 100;
+  VirtualClock clk(0);
+  ctx.inject(clk, cm);
+  ctx.inject(clk, cm);
+  ctx.inject(clk, cm);
+  EXPECT_EQ(clk.now(), 300u);
+}
+
+TEST(HwContext, LateArrivalStartsAtItsOwnClock) {
+  NetStats stats;
+  HwContext ctx(0, &stats);
+  ctx.add_sharer();
+  CostModel cm;
+  cm.ctx_inject_ns = 100;
+  VirtualClock early(0);
+  ctx.inject(early, cm);  // busy until 100
+  VirtualClock late(500);
+  const Time done = ctx.inject(late, cm);
+  EXPECT_EQ(done, 600u);  // starts at max(500, 100)
+}
+
+TEST(HwContext, SharingAddsPenalty) {
+  NetStats stats;
+  HwContext ctx(0, &stats);
+  ctx.add_sharer();
+  ctx.add_sharer();  // two VCIs on one context
+  CostModel cm;
+  cm.ctx_inject_ns = 100;
+  cm.ctx_share_penalty_ns = 50;
+  VirtualClock clk(0);
+  ctx.inject(clk, cm);
+  EXPECT_EQ(clk.now(), 150u);
+  EXPECT_EQ(stats.snapshot().shared_ctx_injections, 1u);
+}
+
+TEST(HwContext, ContendingThreadsSerializeInVirtualTime) {
+  NetStats stats;
+  HwContext ctx(0, &stats);
+  ctx.add_sharer();
+  CostModel cm;
+  cm.ctx_inject_ns = 100;
+  constexpr int kThreads = 8;
+  constexpr int kInjectsPerThread = 50;
+  std::vector<VirtualClock> clocks(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kInjectsPerThread; ++i) clocks[t].advance_to(0), ctx.inject(clocks[t], cm);
+    });
+  }
+  for (auto& th : threads) th.join();
+  // All injections serialized: the busy horizon equals the total work.
+  EXPECT_EQ(ctx.busy_until(), static_cast<Time>(kThreads * kInjectsPerThread * 100));
+  Time max_clock = 0;
+  for (const auto& c : clocks) max_clock = std::max(max_clock, c.now());
+  EXPECT_EQ(max_clock, ctx.busy_until());
+  EXPECT_EQ(stats.snapshot().injections, static_cast<std::uint64_t>(kThreads * kInjectsPerThread));
+}
+
+TEST(HwContext, StatsTrackBusyTime) {
+  NetStats stats;
+  HwContext ctx(0, &stats);
+  ctx.add_sharer();
+  CostModel cm;
+  cm.ctx_inject_ns = 70;
+  VirtualClock clk;
+  ctx.inject(clk, cm);
+  ctx.inject(clk, cm);
+  EXPECT_EQ(stats.snapshot().ctx_busy_ns, 140u);
+}
+
+}  // namespace
+}  // namespace tmpi::net
+
+namespace tmpi::net {
+namespace {
+
+TEST(HwContext, DuplexReceiveSharesTheQueue) {
+  // Transmit and receive work serialize on one context: an arrival while the
+  // owner injects delays whichever comes second.
+  NetStats stats;
+  HwContext ctx(0, &stats);
+  ctx.add_sharer();
+  CostModel cm;
+  cm.ctx_inject_ns = 100;
+  cm.ctx_rx_ns = 40;
+  VirtualClock tx(0);
+  ctx.inject(tx, cm);  // busy until 100
+  VirtualClock rx(50);
+  const Time done = ctx.receive(rx, cm);
+  EXPECT_EQ(done, 140u);  // starts after the injection finished
+}
+
+TEST(HwContext, OccupyGeneralizesCosts) {
+  NetStats stats;
+  HwContext ctx(0, &stats);
+  ctx.add_sharer();
+  CostModel cm;
+  VirtualClock clk(0);
+  const Time done = ctx.occupy(clk, cm, 333);
+  EXPECT_EQ(done, 333u);
+  EXPECT_EQ(clk.now(), 333u);
+}
+
+TEST(NetStats, SnapshotDifferenceIsElementwise) {
+  NetStats stats;
+  stats.add_message(10);
+  stats.add_part_lock();
+  const auto before = stats.snapshot();
+  stats.add_message(5);
+  stats.add_part_lock();
+  stats.add_rma(true);
+  const auto d = stats.snapshot() - before;
+  EXPECT_EQ(d.messages, 1u);
+  EXPECT_EQ(d.bytes, 5u);
+  EXPECT_EQ(d.part_lock_acquisitions, 1u);
+  EXPECT_EQ(d.rma_ops, 1u);
+  EXPECT_EQ(d.atomic_ops, 1u);
+}
+
+}  // namespace
+}  // namespace tmpi::net

@@ -1,0 +1,72 @@
+#include "net/virtual_clock.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace tmpi::net {
+namespace {
+
+TEST(VirtualClock, StartsAtZero) {
+  VirtualClock c;
+  EXPECT_EQ(c.now(), 0u);
+}
+
+TEST(VirtualClock, StartsAtGivenTime) {
+  VirtualClock c(42);
+  EXPECT_EQ(c.now(), 42u);
+}
+
+TEST(VirtualClock, AdvanceAccumulates) {
+  VirtualClock c;
+  c.advance(10);
+  c.advance(5);
+  EXPECT_EQ(c.now(), 15u);
+}
+
+TEST(VirtualClock, AdvanceToIsMonotonic) {
+  VirtualClock c(100);
+  c.advance_to(50);  // past: no-op
+  EXPECT_EQ(c.now(), 100u);
+  c.advance_to(150);
+  EXPECT_EQ(c.now(), 150u);
+}
+
+TEST(VirtualClock, AdvanceToSameTimeIsNoop) {
+  VirtualClock c(7);
+  c.advance_to(7);
+  EXPECT_EQ(c.now(), 7u);
+}
+
+TEST(ThreadClock, BindAndGet) {
+  VirtualClock c(5);
+  ScopedClockBind bind(&c);
+  EXPECT_TRUE(ThreadClock::bound());
+  EXPECT_EQ(ThreadClock::get().now(), 5u);
+  ThreadClock::get().advance(3);
+  EXPECT_EQ(c.now(), 8u);
+}
+
+TEST(ThreadClock, ScopedBindRestoresPrevious) {
+  VirtualClock outer(1);
+  VirtualClock inner(2);
+  ScopedClockBind b1(&outer);
+  {
+    ScopedClockBind b2(&inner);
+    EXPECT_EQ(ThreadClock::get().now(), 2u);
+  }
+  EXPECT_EQ(ThreadClock::get().now(), 1u);
+}
+
+TEST(ThreadClock, BindIsPerThread) {
+  VirtualClock main_clock(10);
+  ScopedClockBind bind(&main_clock);
+  bool other_thread_bound = true;
+  std::thread t([&] { other_thread_bound = ThreadClock::bound(); });
+  t.join();
+  EXPECT_FALSE(other_thread_bound);
+  EXPECT_TRUE(ThreadClock::bound());
+}
+
+}  // namespace
+}  // namespace tmpi::net

@@ -1,0 +1,154 @@
+// Randomized collectives against locally computed references: every rank
+// contributes pseudo-random (seeded, exact-in-double) data; the result of
+// each collective must equal the directly computed expectation.
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "tmpi/tmpi.h"
+
+namespace tmpi {
+namespace {
+
+/// Deterministic contribution of (rank, element) for a given seed: small
+/// integers, so double arithmetic is exact in any association order.
+double value_of(unsigned seed, int rank, int i) {
+  std::uint64_t x = seed * 0x9E3779B97F4A7C15ull + static_cast<std::uint64_t>(rank) * 0x85EBCA77ull +
+                    static_cast<std::uint64_t>(i) * 0xC2B2AE3Dull;
+  x ^= x >> 31;
+  return static_cast<double>(static_cast<int>(x % 17)) - 8.0;
+}
+
+struct FuzzCase {
+  unsigned seed;
+  int nranks;
+  int rpn;
+  int count;
+  Op op;
+};
+
+class CollFuzz : public ::testing::TestWithParam<FuzzCase> {};
+
+TEST_P(CollFuzz, AllreduceReduceBcastAgree) {
+  const FuzzCase fc = GetParam();
+  WorldConfig wc;
+  wc.nranks = fc.nranks;
+  wc.ranks_per_node = fc.rpn;
+  wc.num_vcis = 2;
+  World w(wc);
+
+  // Reference.
+  std::vector<double> expect(static_cast<std::size_t>(fc.count));
+  for (int i = 0; i < fc.count; ++i) {
+    double acc = value_of(fc.seed, 0, i);
+    for (int r = 1; r < fc.nranks; ++r) {
+      const double v = value_of(fc.seed, r, i);
+      switch (fc.op) {
+        case Op::kSum: acc += v; break;
+        case Op::kProd: acc *= v; break;
+        case Op::kMax: acc = std::max(acc, v); break;
+        case Op::kMin: acc = std::min(acc, v); break;
+        default: break;
+      }
+    }
+    expect[static_cast<std::size_t>(i)] = acc;
+  }
+
+  w.run([&](Rank& rank) {
+    Comm c = rank.world_comm();
+    std::vector<double> in(static_cast<std::size_t>(fc.count));
+    for (int i = 0; i < fc.count; ++i) {
+      in[static_cast<std::size_t>(i)] = value_of(fc.seed, rank.rank(), i);
+    }
+
+    // allreduce
+    std::vector<double> out(static_cast<std::size_t>(fc.count), -1);
+    allreduce(in.data(), out.data(), fc.count, kDouble, fc.op, c);
+    EXPECT_EQ(out, expect);
+
+    // reduce to a rotating root + bcast back
+    const int root = static_cast<int>(fc.seed) % fc.nranks;
+    std::vector<double> rout(static_cast<std::size_t>(fc.count), -1);
+    reduce(in.data(), rout.data(), fc.count, kDouble, fc.op, root, c);
+    if (rank.rank() != root) rout.assign(static_cast<std::size_t>(fc.count), 0);
+    bcast(rout.data(), fc.count, kDouble, root, c);
+    EXPECT_EQ(rout, expect);
+
+    // reduce_scatter_block of the same data, checked blockwise
+    if (fc.count % fc.nranks == 0) {
+      const int block = fc.count / fc.nranks;
+      std::vector<double> mine(static_cast<std::size_t>(block), -1);
+      reduce_scatter_block(in.data(), mine.data(), block, kDouble, fc.op, c);
+      for (int i = 0; i < block; ++i) {
+        EXPECT_EQ(mine[static_cast<std::size_t>(i)],
+                  expect[static_cast<std::size_t>(rank.rank() * block + i)]);
+      }
+    }
+  });
+}
+
+std::vector<FuzzCase> make_cases() {
+  std::vector<FuzzCase> cases;
+  const Op ops[] = {Op::kSum, Op::kProd, Op::kMax, Op::kMin};
+  unsigned seed = 101;
+  for (int n : {2, 3, 5, 8}) {
+    for (Op op : ops) {
+      cases.push_back(FuzzCase{seed, n, (n > 2) ? 2 : 1, n * 3, op});
+      seed += 7;
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Cases, CollFuzz, ::testing::ValuesIn(make_cases()),
+                         [](const ::testing::TestParamInfo<FuzzCase>& info) {
+                           return "n" + std::to_string(info.param.nranks) + "_" +
+                                  std::string(to_string(info.param.op)) + "_s" +
+                                  std::to_string(info.param.seed);
+                         });
+
+TEST(P2PFuzz, RandomTagTrafficDeliversExactly) {
+  // Random multi-rank traffic with per-pair FIFO verification: messages
+  // between each (src, dst) pair with a shared tag must arrive in order.
+  for (unsigned seed : {7u, 19u, 42u}) {
+    WorldConfig wc;
+    wc.nranks = 4;
+    wc.num_vcis = 2;
+    World w(wc);
+    constexpr int kMsgs = 60;
+    w.run([&](Rank& rank) {
+      Comm c = rank.world_comm();
+      const int n = w.nranks();
+      std::mt19937 rng(seed + static_cast<unsigned>(rank.rank()) * 1000);
+      // Everyone sends kMsgs messages to deterministic targets with a
+      // payload encoding (sender, sequence-to-that-target).
+      std::vector<int> seq_to(static_cast<std::size_t>(n), 0);
+      for (int i = 0; i < kMsgs; ++i) {
+        const int dst = static_cast<int>(rng() % static_cast<unsigned>(n - 1));
+        const int target = dst >= rank.rank() ? dst + 1 : dst;
+        const std::int64_t payload =
+            rank.rank() * 1'000'000 + seq_to[static_cast<std::size_t>(target)]++;
+        send(&payload, 1, kInt64, target, 5, c);
+      }
+      // Tell everyone how many messages to expect from us.
+      std::vector<std::int64_t> counts_out(static_cast<std::size_t>(n));
+      for (int r = 0; r < n; ++r) counts_out[static_cast<std::size_t>(r)] = seq_to[static_cast<std::size_t>(r)];
+      std::vector<std::int64_t> counts_in(static_cast<std::size_t>(n));
+      alltoall(counts_out.data(), 1, kInt64, counts_in.data(), c);
+      // Drain: per-sender FIFO on the shared tag.
+      std::vector<int> next_from(static_cast<std::size_t>(n), 0);
+      for (int r = 0; r < n; ++r) {
+        for (std::int64_t k = 0; k < counts_in[static_cast<std::size_t>(r)]; ++k) {
+          std::int64_t v = -1;
+          recv(&v, 1, kInt64, r, 5, c);
+          EXPECT_EQ(v, r * 1'000'000 + next_from[static_cast<std::size_t>(r)]++);
+        }
+      }
+    });
+  }
+}
+
+}  // namespace
+}  // namespace tmpi

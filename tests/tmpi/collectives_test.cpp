@@ -1,0 +1,301 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "tmpi/tmpi.h"
+
+namespace tmpi {
+namespace {
+
+/// Parameter: (nranks, ranks_per_node, count, algorithm).
+using CollParam = std::tuple<int, int, int, const char*>;
+
+class CollectivesP : public ::testing::TestWithParam<CollParam> {
+ protected:
+  [[nodiscard]] World make_world() const {
+    const auto& [nranks, rpn, count, alg] = GetParam();
+    (void)count;
+    (void)alg;
+    WorldConfig wc;
+    wc.nranks = nranks;
+    wc.ranks_per_node = rpn;
+    wc.num_vcis = 2;
+    return World(wc);
+  }
+  [[nodiscard]] Comm comm_for(Rank& rank) const {
+    const auto& [nranks, rpn, count, alg] = GetParam();
+    (void)nranks;
+    (void)rpn;
+    (void)count;
+    Info info;
+    info.set("tmpi_coll_algorithm", alg);
+    return rank.world_comm().dup_with_info(info);
+  }
+  [[nodiscard]] int count() const { return std::get<2>(GetParam()); }
+};
+
+TEST_P(CollectivesP, Barrier) {
+  World w = make_world();
+  std::atomic<int> arrived{0};
+  w.run([&](Rank& rank) {
+    Comm c = comm_for(rank);
+    arrived.fetch_add(1);
+    barrier(c);
+    // After the barrier every rank must have arrived.
+    EXPECT_EQ(arrived.load(), w.nranks());
+    barrier(c);
+  });
+}
+
+TEST_P(CollectivesP, BcastFromEveryRoot) {
+  World w = make_world();
+  const int n = count();
+  w.run([&](Rank& rank) {
+    Comm c = comm_for(rank);
+    for (int root = 0; root < c.size(); ++root) {
+      std::vector<std::int64_t> buf(static_cast<std::size_t>(n));
+      if (c.rank() == root) {
+        for (int i = 0; i < n; ++i) buf[static_cast<std::size_t>(i)] = root * 1000 + i;
+      }
+      bcast(buf.data(), n, kInt64, root, c);
+      for (int i = 0; i < n; ++i) {
+        ASSERT_EQ(buf[static_cast<std::size_t>(i)], root * 1000 + i);
+      }
+    }
+  });
+}
+
+TEST_P(CollectivesP, ReduceSumToEveryRoot) {
+  World w = make_world();
+  const int n = count();
+  w.run([&](Rank& rank) {
+    Comm c = comm_for(rank);
+    const int P = c.size();
+    for (int root = 0; root < P; ++root) {
+      std::vector<std::int64_t> in(static_cast<std::size_t>(n));
+      std::vector<std::int64_t> out(static_cast<std::size_t>(n), -1);
+      for (int i = 0; i < n; ++i) {
+        in[static_cast<std::size_t>(i)] = c.rank() + i;
+      }
+      reduce(in.data(), out.data(), n, kInt64, Op::kSum, root, c);
+      if (c.rank() == root) {
+        for (int i = 0; i < n; ++i) {
+          ASSERT_EQ(out[static_cast<std::size_t>(i)], P * (P - 1) / 2 + P * i);
+        }
+      }
+    }
+  });
+}
+
+TEST_P(CollectivesP, AllreduceSumAndMax) {
+  World w = make_world();
+  const int n = count();
+  w.run([&](Rank& rank) {
+    Comm c = comm_for(rank);
+    const int P = c.size();
+    std::vector<double> in(static_cast<std::size_t>(n));
+    std::vector<double> out(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) in[static_cast<std::size_t>(i)] = c.rank() * 1.0 + i;
+    allreduce(in.data(), out.data(), n, kDouble, Op::kSum, c);
+    for (int i = 0; i < n; ++i) {
+      ASSERT_EQ(out[static_cast<std::size_t>(i)], P * (P - 1) / 2.0 + P * static_cast<double>(i));
+    }
+    allreduce(in.data(), out.data(), n, kDouble, Op::kMax, c);
+    for (int i = 0; i < n; ++i) {
+      ASSERT_EQ(out[static_cast<std::size_t>(i)], P - 1.0 + i);
+    }
+  });
+}
+
+TEST_P(CollectivesP, GatherScatterRoundTrip) {
+  World w = make_world();
+  const int n = count();
+  w.run([&](Rank& rank) {
+    Comm c = comm_for(rank);
+    const int P = c.size();
+    std::vector<std::int32_t> mine(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) mine[static_cast<std::size_t>(i)] = c.rank() * n + i;
+    std::vector<std::int32_t> all(static_cast<std::size_t>(n) * static_cast<std::size_t>(P));
+    gather(mine.data(), n, kInt32, all.data(), 0, c);
+    if (c.rank() == 0) {
+      for (int i = 0; i < n * P; ++i) ASSERT_EQ(all[static_cast<std::size_t>(i)], i);
+    }
+    std::vector<std::int32_t> back(static_cast<std::size_t>(n), -1);
+    scatter(all.data(), back.data(), n, kInt32, 0, c);
+    for (int i = 0; i < n; ++i) ASSERT_EQ(back[static_cast<std::size_t>(i)], c.rank() * n + i);
+  });
+}
+
+TEST_P(CollectivesP, AllgatherMatchesGatherEverywhere) {
+  World w = make_world();
+  const int n = count();
+  w.run([&](Rank& rank) {
+    Comm c = comm_for(rank);
+    const int P = c.size();
+    std::vector<std::int32_t> mine(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) mine[static_cast<std::size_t>(i)] = c.rank() * n + i;
+    std::vector<std::int32_t> all(static_cast<std::size_t>(n) * static_cast<std::size_t>(P), -1);
+    allgather(mine.data(), n, kInt32, all.data(), c);
+    for (int i = 0; i < n * P; ++i) ASSERT_EQ(all[static_cast<std::size_t>(i)], i);
+  });
+}
+
+TEST_P(CollectivesP, AlltoallPersonalized) {
+  World w = make_world();
+  const int n = count();
+  w.run([&](Rank& rank) {
+    Comm c = comm_for(rank);
+    const int P = c.size();
+    std::vector<std::int32_t> out(static_cast<std::size_t>(n) * static_cast<std::size_t>(P));
+    std::vector<std::int32_t> in(out.size(), -1);
+    for (int r = 0; r < P; ++r) {
+      for (int i = 0; i < n; ++i) {
+        out[static_cast<std::size_t>(r * n + i)] = c.rank() * 10000 + r * 100 + i;
+      }
+    }
+    alltoall(out.data(), n, kInt32, in.data(), c);
+    for (int r = 0; r < P; ++r) {
+      for (int i = 0; i < n; ++i) {
+        ASSERT_EQ(in[static_cast<std::size_t>(r * n + i)], r * 10000 + c.rank() * 100 + i);
+      }
+    }
+  });
+}
+
+TEST_P(CollectivesP, ReduceScatterBlock) {
+  World w = make_world();
+  const int n = count();
+  w.run([&](Rank& rank) {
+    Comm c = comm_for(rank);
+    const int P = c.size();
+    std::vector<std::int64_t> in(static_cast<std::size_t>(n) * static_cast<std::size_t>(P));
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      in[i] = static_cast<std::int64_t>(i) + c.rank();
+    }
+    std::vector<std::int64_t> out(static_cast<std::size_t>(n), -1);
+    reduce_scatter_block(in.data(), out.data(), n, kInt64, Op::kSum, c);
+    for (int i = 0; i < n; ++i) {
+      const std::int64_t base = static_cast<std::int64_t>(c.rank()) * n + i;
+      ASSERT_EQ(out[static_cast<std::size_t>(i)],
+                P * base + static_cast<std::int64_t>(P) * (P - 1) / 2);
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CollectivesP,
+    ::testing::Values(CollParam{1, 1, 4, "flat"}, CollParam{2, 1, 1, "flat"},
+                      CollParam{3, 1, 5, "flat"}, CollParam{4, 2, 8, "flat"},
+                      CollParam{5, 2, 3, "flat"}, CollParam{8, 4, 16, "flat"},
+                      CollParam{2, 1, 1, "hier"}, CollParam{4, 2, 8, "hier"},
+                      CollParam{5, 2, 3, "hier"}, CollParam{6, 3, 7, "hier"},
+                      CollParam{8, 2, 16, "hier"}, CollParam{8, 8, 4, "hier"}),
+    [](const ::testing::TestParamInfo<CollParam>& info) {
+      return std::string("n") + std::to_string(std::get<0>(info.param)) + "rpn" +
+             std::to_string(std::get<1>(info.param)) + "c" +
+             std::to_string(std::get<2>(info.param)) + std::get<3>(info.param);
+    });
+
+TEST(Collectives, ConcurrentCollectivesOnOneCommThrow) {
+  WorldConfig wc;
+  wc.nranks = 2;
+  World w(wc);
+  std::atomic<bool> caught{false};
+  w.run([&](Rank& rank) {
+    Comm c = rank.world_comm();
+    if (rank.rank() == 0) {
+      // Two threads hit the same comm: one blocks inside a barrier (rank 1
+      // holds off joining), the other must get kConcurrentCollective.
+      rank.parallel(2, [&](int) {
+        while (!caught.load()) {
+          try {
+            barrier(c);
+            return;  // we were the blocked-then-released participant
+          } catch (const Error& e) {
+            EXPECT_EQ(e.code(), Errc::kConcurrentCollective);
+            caught.store(true);
+          }
+        }
+      });
+    } else {
+      while (!caught.load()) std::this_thread::yield();
+      barrier(c);  // release rank 0's blocked thread
+    }
+  });
+  EXPECT_TRUE(caught.load());
+}
+
+TEST(Collectives, ParallelCollectivesOnDistinctCommsWork) {
+  WorldConfig wc;
+  wc.nranks = 2;
+  wc.num_vcis = 4;
+  World w(wc);
+  constexpr int kThreads = 4;
+  w.run([&](Rank& rank) {
+    std::vector<Comm> comms;
+    for (int t = 0; t < kThreads; ++t) comms.push_back(rank.world_comm().dup());
+    rank.parallel(kThreads, [&](int tid) {
+      double x = rank.rank() + tid * 10.0;
+      double y = 0.0;
+      allreduce(&x, &y, 1, kDouble, Op::kSum, comms[static_cast<std::size_t>(tid)]);
+      EXPECT_EQ(y, 1.0 + tid * 20.0);
+    });
+  });
+}
+
+TEST(Collectives, EndpointCollectiveSpansAllEndpoints) {
+  // Lesson 18: all threads join one collective through their endpoints; the
+  // library handles intranode and internode portions.
+  WorldConfig wc;
+  wc.nranks = 2;
+  wc.ranks_per_node = 1;
+  World w(wc);
+  constexpr int kEps = 3;
+  w.run([&](Rank& rank) {
+    auto eps = rank.world_comm().create_endpoints(kEps);
+    rank.parallel(kEps, [&](int tid) {
+      const Comm& ep = eps[static_cast<std::size_t>(tid)];
+      std::int64_t x = ep.rank();  // endpoint ranks 0..5
+      std::int64_t y = -1;
+      allreduce(&x, &y, 1, kInt64, Op::kSum, ep);
+      EXPECT_EQ(y, 15);  // 0+1+2+3+4+5
+    });
+  });
+}
+
+TEST(Collectives, HierAndFlatAgreeOnSplitComms) {
+  WorldConfig wc;
+  wc.nranks = 6;
+  wc.ranks_per_node = 3;
+  World w(wc);
+  w.run([&](Rank& rank) {
+    Comm sub = rank.world_comm().split(rank.rank() % 2, rank.rank());
+    std::int64_t x = rank.rank() + 1;
+    std::int64_t flat_y = 0;
+    std::int64_t hier_y = 0;
+    Info fi;
+    fi.set("tmpi_coll_algorithm", "flat");
+    Comm fc = sub.dup_with_info(fi);
+    allreduce(&x, &flat_y, 1, kInt64, Op::kSum, fc);
+    allreduce(&x, &hier_y, 1, kInt64, Op::kSum, sub);
+    EXPECT_EQ(flat_y, hier_y);
+  });
+}
+
+TEST(Collectives, InvalidRootThrows) {
+  WorldConfig wc;
+  wc.nranks = 2;
+  World w(wc);
+  w.run([](Rank& rank) {
+    double x = 0;
+    EXPECT_THROW(bcast(&x, 1, kDouble, 5, rank.world_comm()), Error);
+    EXPECT_THROW(reduce(&x, &x, 1, kDouble, Op::kSum, -1, rank.world_comm()), Error);
+  });
+}
+
+}  // namespace
+}  // namespace tmpi

@@ -1,0 +1,208 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "tmpi/tmpi.h"
+
+namespace tmpi {
+namespace {
+
+TEST(Endpoints, ThreadsExchangeThroughOwnEndpoints) {
+  WorldConfig wc;
+  wc.nranks = 2;
+  World w(wc);
+  constexpr int kEps = 4;
+  w.run([&](Rank& rank) {
+    auto eps = rank.world_comm().create_endpoints(kEps);
+    rank.parallel(kEps, [&](int tid) {
+      const Comm& my = eps[static_cast<std::size_t>(tid)];
+      const int peer_ep = (1 - rank.rank()) * kEps + tid;
+      int out = rank.rank() * 100 + tid;
+      int in = -1;
+      sendrecv(&out, 1, kInt32, peer_ep, 0, &in, 1, kInt32, peer_ep, 0, my);
+      EXPECT_EQ(in, (1 - rank.rank()) * 100 + tid);
+    });
+  });
+}
+
+TEST(Endpoints, MessagesBetweenEndpointsOfOneProcess) {
+  WorldConfig wc;
+  wc.nranks = 1;
+  World w(wc);
+  w.run([](Rank& rank) {
+    auto eps = rank.world_comm().create_endpoints(2);
+    rank.parallel(2, [&](int tid) {
+      const Comm& my = eps[static_cast<std::size_t>(tid)];
+      const int other = 1 - tid;
+      int out = tid + 7;
+      int in = -1;
+      sendrecv(&out, 1, kInt32, other, 0, &in, 1, kInt32, other, 0, my);
+      EXPECT_EQ(in, other + 7);
+    });
+  });
+}
+
+TEST(Endpoints, WildcardsConfinedToOneEndpoint) {
+  // A wildcard receive on endpoint E must only match messages addressed to
+  // E, not to the process's other endpoints (the Fig. 5 polling pattern).
+  WorldConfig wc;
+  wc.nranks = 2;
+  World w(wc);
+  w.run([](Rank& rank) {
+    auto eps = rank.world_comm().create_endpoints(2);
+    if (rank.rank() == 0) {
+      // Send to both endpoints of rank 1: ep 2 and ep 3.
+      int to_a = 111;
+      int to_b = 222;
+      send(&to_a, 1, kInt32, 2, 0, eps[0]);
+      send(&to_b, 1, kInt32, 3, 0, eps[0]);
+    } else {
+      int got_a = 0;
+      int got_b = 0;
+      Status sa = recv(&got_a, 1, kInt32, kAnySource, kAnyTag, eps[0]);
+      Status sb = recv(&got_b, 1, kInt32, kAnySource, kAnyTag, eps[1]);
+      EXPECT_EQ(got_a, 111);
+      EXPECT_EQ(got_b, 222);
+      EXPECT_EQ(sa.source, 0);  // sender endpoint rank
+      EXPECT_EQ(sb.source, 0);
+    }
+  });
+}
+
+TEST(Endpoints, ThreadsNotBoundToEndpoints) {
+  // Lesson 10: "a thread is free to use any endpoint at any time".
+  WorldConfig wc;
+  wc.nranks = 1;
+  World w(wc);
+  w.run([](Rank& rank) {
+    auto eps = rank.world_comm().create_endpoints(3);
+    // One thread drives all three endpoints.
+    int v0 = 5;
+    int v1 = -1;
+    Request rr = irecv(&v1, 1, kInt32, 0, 0, eps[2]);  // ep 2 receives from ep 0
+    Request sr = isend(&v0, 1, kInt32, 2, 0, eps[0]);
+    sr.wait();
+    rr.wait();
+    EXPECT_EQ(v1, 5);
+  });
+}
+
+TEST(Endpoints, OrderingNotGuaranteedAcrossEndpointsButDataIntact) {
+  // Messages from different endpoints are logically parallel; each still
+  // arrives exactly once.
+  WorldConfig wc;
+  wc.nranks = 2;
+  World w(wc);
+  constexpr int kEps = 3;
+  constexpr int kMsgs = 8;
+  std::atomic<int> sum{0};
+  w.run([&](Rank& rank) {
+    auto eps = rank.world_comm().create_endpoints(kEps);
+    if (rank.rank() == 0) {
+      rank.parallel(kEps, [&](int tid) {
+        for (int i = 0; i < kMsgs; ++i) {
+          const int v = tid * kMsgs + i;
+          send(&v, 1, kInt32, kEps + tid, 0, eps[static_cast<std::size_t>(tid)]);
+        }
+      });
+    } else {
+      rank.parallel(kEps, [&](int tid) {
+        for (int i = 0; i < kMsgs; ++i) {
+          int v = -1;
+          recv(&v, 1, kInt32, tid, 0, eps[static_cast<std::size_t>(tid)]);
+          sum.fetch_add(v);
+        }
+      });
+    }
+  });
+  EXPECT_EQ(sum.load(), kEps * kMsgs * (kEps * kMsgs - 1) / 2);
+}
+
+TEST(Endpoints, PoolOfNetworkResourcesGrowsForEndpoints) {
+  // Section II-B: implementations pre-create/grow a pool of network
+  // resources and map endpoints onto them.
+  WorldConfig wc;
+  wc.nranks = 2;
+  wc.num_vcis = 1;
+  World w(wc);
+  w.run([&](Rank& rank) {
+    (void)rank.world_comm().create_endpoints(4);
+  });
+  // 1 base VCI + 4 endpoint VCIs per rank, all on dedicated hw contexts.
+  EXPECT_EQ(w.fabric().nic(0).contexts_in_use(), 5);
+}
+
+}  // namespace
+}  // namespace tmpi
+
+namespace tmpi {
+namespace {
+
+TEST(Endpoints, DupPreservesEndpointRouting) {
+  // Duplicating an endpoints comm yields another endpoints comm: each
+  // handle keeps its rank and dedicated channel.
+  WorldConfig wc;
+  wc.nranks = 2;
+  World w(wc);
+  w.run([](Rank& rank) {
+    auto eps = rank.world_comm().create_endpoints(2);
+    rank.parallel(2, [&](int tid) {
+      Comm dup = eps[static_cast<std::size_t>(tid)].dup();
+      EXPECT_TRUE(dup.is_endpoints());
+      EXPECT_EQ(dup.policy(), VciPolicyKind::kEndpoint);
+      EXPECT_EQ(dup.rank(), eps[static_cast<std::size_t>(tid)].rank());
+      const int peer_ep = (1 - rank.rank()) * 2 + tid;
+      int out = dup.rank() + 50;
+      int in = -1;
+      sendrecv(&out, 1, kInt32, peer_ep, 0, &in, 1, kInt32, peer_ep, 0, dup);
+      EXPECT_EQ(in, peer_ep + 50);
+    });
+  });
+}
+
+TEST(Endpoints, SplitYieldsEndpointSubcomms) {
+  WorldConfig wc;
+  wc.nranks = 2;
+  World w(wc);
+  w.run([](Rank& rank) {
+    auto eps = rank.world_comm().create_endpoints(2);
+    rank.parallel(2, [&](int tid) {
+      // Color by endpoint parity across the 4 endpoints (2 per rank).
+      const Comm& ep = eps[static_cast<std::size_t>(tid)];
+      Comm sub = ep.split(ep.rank() % 2, ep.rank());
+      EXPECT_TRUE(sub.is_endpoints());
+      EXPECT_EQ(sub.size(), 2);
+      // Exchange within the parity group: world eps {0,2} and {1,3}.
+      const int other = 1 - sub.rank();
+      int out = sub.rank() + 7;
+      int in = -1;
+      sendrecv(&out, 1, kInt32, other, 0, &in, 1, kInt32, other, 0, sub);
+      EXPECT_EQ(in, other + 7);
+    });
+  });
+}
+
+TEST(Endpoints, ProbeOnEndpointQueue) {
+  WorldConfig wc;
+  wc.nranks = 2;
+  World w(wc);
+  w.run([](Rank& rank) {
+    auto eps = rank.world_comm().create_endpoints(2);
+    if (rank.rank() == 0) {
+      int v = 3;
+      send(&v, 1, kInt32, /*ep*/ 3, 6, eps[1]);  // to rank 1's second ep
+    } else {
+      // The message sits on ep 3's queue only; ep 2 sees nothing.
+      Status st = probe(kAnySource, kAnyTag, eps[1]);
+      EXPECT_EQ(st.tag, 6);
+      EXPECT_FALSE(iprobe(kAnySource, kAnyTag, eps[0]));
+      int v = 0;
+      recv(&v, 1, kInt32, st.source, st.tag, eps[1]);
+      EXPECT_EQ(v, 3);
+    }
+  });
+}
+
+}  // namespace
+}  // namespace tmpi

@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "tmpi/datatype.h"
+#include "tmpi/error.h"
+#include "tmpi/info.h"
+
+namespace tmpi {
+namespace {
+
+TEST(Info, SetGetRoundTrip) {
+  Info info;
+  info.set("key", "value");
+  EXPECT_EQ(info.get("key"), "value");
+  EXPECT_FALSE(info.get("missing").has_value());
+}
+
+TEST(Info, IntAndBoolAccessors) {
+  Info info;
+  info.set("n", 42).set("flag", "true").set("off", "false");
+  EXPECT_EQ(info.get_int("n", -1), 42);
+  EXPECT_EQ(info.get_int("absent", -1), -1);
+  EXPECT_TRUE(info.get_bool("flag"));
+  EXPECT_FALSE(info.get_bool("off"));
+  EXPECT_FALSE(info.get_bool("absent"));
+  EXPECT_TRUE(info.get_bool("absent", true));
+}
+
+TEST(Info, MpichAliasResolvesForTmpiKeys) {
+  Info info;
+  info.set("mpich_num_vcis", 8);
+  EXPECT_EQ(info.get_int("tmpi_num_vcis", 0), 8);
+  info.set("mpich_tag_vci_hash_type", "one-to-one");
+  EXPECT_EQ(info.get_string("tmpi_tag_vci_hash_type", ""), "one-to-one");
+}
+
+TEST(Info, DirectKeyWinsOverAlias) {
+  Info info;
+  info.set("mpich_num_vcis", 8).set("tmpi_num_vcis", 4);
+  EXPECT_EQ(info.get_int("tmpi_num_vcis", 0), 4);
+}
+
+TEST(Info, MergedWithOverrides) {
+  Info base;
+  base.set("a", "1").set("b", "2");
+  Info over;
+  over.set("b", "3").set("c", "4");
+  const Info merged = base.merged_with(over);
+  EXPECT_EQ(merged.get_string("a", ""), "1");
+  EXPECT_EQ(merged.get_string("b", ""), "3");
+  EXPECT_EQ(merged.get_string("c", ""), "4");
+  EXPECT_EQ(base.get_string("b", ""), "2");  // base untouched
+}
+
+TEST(Datatype, SizesMatchC) {
+  EXPECT_EQ(kByte.size(), 1u);
+  EXPECT_EQ(kChar.size(), 1u);
+  EXPECT_EQ(kInt32.size(), 4u);
+  EXPECT_EQ(kInt64.size(), 8u);
+  EXPECT_EQ(kUint64.size(), 8u);
+  EXPECT_EQ(kFloat.size(), 4u);
+  EXPECT_EQ(kDouble.size(), 8u);
+  EXPECT_EQ(kDouble.extent(3), 24u);
+}
+
+TEST(ReduceApply, SumInt32) {
+  std::int32_t inout[3] = {1, 2, 3};
+  const std::int32_t in[3] = {10, 20, 30};
+  reduce_apply(Op::kSum, kInt32, inout, in, 3);
+  EXPECT_EQ(inout[0], 11);
+  EXPECT_EQ(inout[1], 22);
+  EXPECT_EQ(inout[2], 33);
+}
+
+TEST(ReduceApply, MaxMinDouble) {
+  double inout[2] = {1.5, 9.0};
+  const double in[2] = {2.5, 3.0};
+  reduce_apply(Op::kMax, kDouble, inout, in, 2);
+  EXPECT_EQ(inout[0], 2.5);
+  EXPECT_EQ(inout[1], 9.0);
+  reduce_apply(Op::kMin, kDouble, inout, in, 2);
+  EXPECT_EQ(inout[0], 2.5);
+  EXPECT_EQ(inout[1], 3.0);
+}
+
+TEST(ReduceApply, ProdInt64) {
+  std::int64_t inout[2] = {3, -4};
+  const std::int64_t in[2] = {5, 6};
+  reduce_apply(Op::kProd, kInt64, inout, in, 2);
+  EXPECT_EQ(inout[0], 15);
+  EXPECT_EQ(inout[1], -24);
+}
+
+TEST(ReduceApply, ReplaceOverwrites) {
+  float inout[2] = {1.0f, 2.0f};
+  const float in[2] = {7.0f, 8.0f};
+  reduce_apply(Op::kReplace, kFloat, inout, in, 2);
+  EXPECT_EQ(inout[0], 7.0f);
+  EXPECT_EQ(inout[1], 8.0f);
+}
+
+TEST(ReduceApply, NoOpLeavesTarget) {
+  std::uint64_t inout[1] = {11};
+  const std::uint64_t in[1] = {99};
+  reduce_apply(Op::kNoOp, kUint64, inout, in, 1);
+  EXPECT_EQ(inout[0], 11u);
+}
+
+TEST(ReduceApply, ByteSum) {
+  std::uint8_t inout[2] = {250, 1};
+  const std::uint8_t in[2] = {10, 1};
+  reduce_apply(Op::kSum, kByte, inout, in, 2);
+  EXPECT_EQ(inout[0], static_cast<std::uint8_t>(4));  // wraps mod 256
+  EXPECT_EQ(inout[1], 2);
+}
+
+TEST(ReduceApply, NegativeCountThrows) {
+  int x = 0;
+  EXPECT_THROW(reduce_apply(Op::kSum, kInt32, &x, &x, -1), Error);
+}
+
+TEST(ErrorStrings, AllCodesNamed) {
+  for (auto c : {Errc::kInvalidArg, Errc::kTagOverflow, Errc::kWildcardViolation,
+                 Errc::kConcurrentCollective, Errc::kThreadLevel, Errc::kTruncate,
+                 Errc::kPartitionState, Errc::kInternal}) {
+    EXPECT_STRNE(to_string(c), "?");
+  }
+}
+
+TEST(Error, CarriesCodeAndMessage) {
+  try {
+    fail(Errc::kTagOverflow, "boom");
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), Errc::kTagOverflow);
+    EXPECT_NE(std::string(e.what()).find("boom"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace tmpi

@@ -1,0 +1,171 @@
+// Unit tests of the MatchingEngine in isolation (no world).
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "net/cost_model.h"
+#include "net/stats.h"
+#include "tmpi/matching.h"
+
+namespace tmpi::detail {
+namespace {
+
+Envelope make_env(int ctx, int src, Tag tag, const char* payload) {
+  Envelope e;
+  e.ctx_id = ctx;
+  e.src = src;
+  e.tag = tag;
+  e.bytes = std::strlen(payload);
+  e.payload.resize(e.bytes);
+  std::memcpy(e.payload.data(), payload, e.bytes);
+  return e;
+}
+
+struct Recv {
+  std::shared_ptr<ReqState> req = std::make_shared<ReqState>();
+  char buf[64] = {};
+
+  PostedRecv posted(int ctx, int src, Tag tag, std::size_t cap = 64) {
+    PostedRecv pr;
+    pr.ctx_id = ctx;
+    pr.src = src;
+    pr.tag = tag;
+    pr.buf = reinterpret_cast<std::byte*>(buf);
+    pr.capacity = cap;
+    pr.req = req;
+    return pr;
+  }
+};
+
+class MatchingTest : public ::testing::Test {
+ protected:
+  MatchingEngine eng;
+  net::CostModel cm;
+  net::NetStats stats;
+  net::VirtualClock clk;
+};
+
+TEST_F(MatchingTest, DepositThenPostMatches) {
+  eng.deposit(make_env(1, 0, 5, "hello"), clk, cm, &stats);
+  EXPECT_EQ(eng.unexpected_depth(), 1u);
+  Recv r;
+  eng.post_recv(r.posted(1, 0, 5), clk, cm, &stats);
+  EXPECT_EQ(eng.unexpected_depth(), 0u);
+  EXPECT_TRUE(r.req->complete);
+  EXPECT_STREQ(r.buf, "hello");
+  EXPECT_EQ(r.req->status.source, 0);
+  EXPECT_EQ(r.req->status.tag, 5);
+  EXPECT_EQ(r.req->status.bytes, 5u);
+}
+
+TEST_F(MatchingTest, PostThenDepositMatches) {
+  Recv r;
+  eng.post_recv(r.posted(1, 0, 5), clk, cm, &stats);
+  EXPECT_EQ(eng.posted_depth(), 1u);
+  eng.deposit(make_env(1, 0, 5, "abc"), clk, cm, &stats);
+  EXPECT_EQ(eng.posted_depth(), 0u);
+  EXPECT_TRUE(r.req->complete);
+  EXPECT_STREQ(r.buf, "abc");
+}
+
+TEST_F(MatchingTest, ContextIsolatesMatching) {
+  Recv r;
+  eng.post_recv(r.posted(2, 0, 5), clk, cm, &stats);
+  eng.deposit(make_env(1, 0, 5, "x"), clk, cm, &stats);
+  EXPECT_FALSE(r.req->complete);
+  EXPECT_EQ(eng.unexpected_depth(), 1u);
+  EXPECT_EQ(eng.posted_depth(), 1u);
+}
+
+TEST_F(MatchingTest, NonOvertakingFifoForSameSignature) {
+  eng.deposit(make_env(1, 0, 5, "first"), clk, cm, &stats);
+  eng.deposit(make_env(1, 0, 5, "second"), clk, cm, &stats);
+  Recv r1;
+  Recv r2;
+  eng.post_recv(r1.posted(1, 0, 5), clk, cm, &stats);
+  eng.post_recv(r2.posted(1, 0, 5), clk, cm, &stats);
+  EXPECT_STREQ(r1.buf, "first");
+  EXPECT_STREQ(r2.buf, "second");
+}
+
+TEST_F(MatchingTest, PostedQueueMatchedInPostOrder) {
+  Recv r1;
+  Recv r2;
+  eng.post_recv(r1.posted(1, kAnySource, kAnyTag), clk, cm, &stats);
+  eng.post_recv(r2.posted(1, kAnySource, kAnyTag), clk, cm, &stats);
+  eng.deposit(make_env(1, 3, 9, "m1"), clk, cm, &stats);
+  EXPECT_TRUE(r1.req->complete);
+  EXPECT_FALSE(r2.req->complete);
+  EXPECT_EQ(r1.req->status.source, 3);
+  EXPECT_EQ(r1.req->status.tag, 9);
+}
+
+TEST_F(MatchingTest, WildcardSourceMatchesAnySender) {
+  Recv r;
+  eng.post_recv(r.posted(1, kAnySource, 7), clk, cm, &stats);
+  eng.deposit(make_env(1, 42, 7, "w"), clk, cm, &stats);
+  EXPECT_TRUE(r.req->complete);
+  EXPECT_EQ(r.req->status.source, 42);
+}
+
+TEST_F(MatchingTest, SpecificTagSkipsNonMatching) {
+  eng.deposit(make_env(1, 0, 1, "one"), clk, cm, &stats);
+  eng.deposit(make_env(1, 0, 2, "two"), clk, cm, &stats);
+  Recv r;
+  eng.post_recv(r.posted(1, 0, 2), clk, cm, &stats);
+  EXPECT_STREQ(r.buf, "two");
+  EXPECT_EQ(eng.unexpected_depth(), 1u);
+}
+
+TEST_F(MatchingTest, TruncationMarksRequestErrored) {
+  eng.deposit(make_env(1, 0, 0, "0123456789"), clk, cm, &stats);
+  Recv r;
+  eng.post_recv(r.posted(1, 0, 0, /*cap=*/4), clk, cm, &stats);
+  EXPECT_TRUE(r.req->complete);
+  EXPECT_TRUE(r.req->errored);
+}
+
+TEST_F(MatchingTest, MatchingChargesProbeCosts) {
+  cm.match_probe_ns = 10;
+  cm.match_insert_ns = 100;
+  eng.deposit(make_env(1, 0, 1, "a"), clk, cm, &stats);  // insert: +100
+  const net::Time after_insert = clk.now();
+  EXPECT_GE(after_insert, 100u);
+  Recv r;
+  eng.post_recv(r.posted(1, 0, 1), clk, cm, &stats);  // one probe: +10
+  EXPECT_GE(clk.now(), after_insert + 10);
+  EXPECT_GT(stats.snapshot().match_probes, 0u);
+}
+
+TEST_F(MatchingTest, CompletionTimeRespectsArrival) {
+  // A message arriving at t=5000 matched by a receive posted at t=0
+  // completes no earlier than 5000.
+  Recv r;
+  eng.post_recv(r.posted(1, 0, 0), clk, cm, &stats);
+  net::VirtualClock arrival(5000);
+  eng.deposit(make_env(1, 0, 0, "late"), arrival, cm, &stats);
+  EXPECT_GE(r.req->complete_time, 5000u);
+}
+
+TEST_F(MatchingTest, CompletionTimeRespectsPostTime) {
+  // A message arriving at t=0 matched by a receive posted at t=7000
+  // completes no earlier than 7000.
+  eng.deposit(make_env(1, 0, 0, "early"), clk, cm, &stats);
+  net::VirtualClock late(7000);
+  Recv r;
+  eng.post_recv(r.posted(1, 0, 0), late, cm, &stats);
+  EXPECT_GE(r.req->complete_time, 7000u);
+}
+
+TEST_F(MatchingTest, UnexpectedCountTracked) {
+  eng.deposit(make_env(1, 0, 1, "u"), clk, cm, &stats);
+  EXPECT_EQ(stats.snapshot().unexpected_messages, 1u);
+  Recv r;
+  eng.post_recv(r.posted(1, 0, 9), clk, cm, &stats);  // no match: posted
+  eng.deposit(make_env(1, 0, 9, "v"), clk, cm, &stats);
+  EXPECT_EQ(stats.snapshot().unexpected_messages, 1u);  // matched: not unexpected
+}
+
+}  // namespace
+}  // namespace tmpi::detail

@@ -1,0 +1,354 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "tmpi/tmpi.h"
+
+namespace tmpi {
+namespace {
+
+World make_world(int nranks, int num_vcis = 2) {
+  WorldConfig wc;
+  wc.nranks = nranks;
+  wc.num_vcis = num_vcis;
+  return World(wc);
+}
+
+TEST(P2P, BlockingRoundTripCarriesData) {
+  World w = make_world(2);
+  w.run([](Rank& rank) {
+    Comm c = rank.world_comm();
+    std::vector<double> buf(16);
+    if (rank.rank() == 0) {
+      std::iota(buf.begin(), buf.end(), 1.0);
+      send(buf.data(), 16, kDouble, 1, 3, c);
+    } else {
+      Status st = recv(buf.data(), 16, kDouble, 0, 3, c);
+      EXPECT_EQ(st.source, 0);
+      EXPECT_EQ(st.tag, 3);
+      EXPECT_EQ(st.bytes, 16 * sizeof(double));
+      EXPECT_EQ(st.count(sizeof(double)), 16);
+      for (int i = 0; i < 16; ++i) EXPECT_EQ(buf[static_cast<std::size_t>(i)], i + 1.0);
+    }
+  });
+}
+
+TEST(P2P, NonOvertakingOrderSameTag) {
+  // Two same-tag messages must match posted receives in send order.
+  World w = make_world(2);
+  w.run([](Rank& rank) {
+    Comm c = rank.world_comm();
+    if (rank.rank() == 0) {
+      int a = 1;
+      int b = 2;
+      send(&a, 1, kInt32, 1, 5, c);
+      send(&b, 1, kInt32, 1, 5, c);
+    } else {
+      int x = 0;
+      int y = 0;
+      Request r1 = irecv(&x, 1, kInt32, 0, 5, c);
+      Request r2 = irecv(&y, 1, kInt32, 0, 5, c);
+      r1.wait();
+      r2.wait();
+      EXPECT_EQ(x, 1);
+      EXPECT_EQ(y, 2);
+    }
+  });
+}
+
+TEST(P2P, UnexpectedMessagesMatchInArrivalOrder) {
+  World w = make_world(2);
+  w.run([](Rank& rank) {
+    Comm c = rank.world_comm();
+    if (rank.rank() == 0) {
+      for (int i = 0; i < 4; ++i) send(&i, 1, kInt32, 1, 9, c);
+      int done = 1;
+      send(&done, 1, kInt32, 1, 10, c);
+    } else {
+      // Let all messages land unexpectedly first.
+      int sync = 0;
+      recv(&sync, 1, kInt32, 0, 10, c);
+      for (int i = 0; i < 4; ++i) {
+        int v = -1;
+        recv(&v, 1, kInt32, 0, 9, c);
+        EXPECT_EQ(v, i);
+      }
+    }
+  });
+}
+
+TEST(P2P, AnySourceAnyTagWildcards) {
+  World w = make_world(3);
+  w.run([](Rank& rank) {
+    Comm c = rank.world_comm();
+    if (rank.rank() != 0) {
+      const int v = rank.rank() * 100;
+      send(&v, 1, kInt32, 0, rank.rank(), c);
+    } else {
+      int seen = 0;
+      for (int i = 0; i < 2; ++i) {
+        int v = 0;
+        Status st = recv(&v, 1, kInt32, kAnySource, kAnyTag, c);
+        EXPECT_EQ(v, st.source * 100);
+        EXPECT_EQ(st.tag, st.source);
+        seen |= 1 << st.source;
+      }
+      EXPECT_EQ(seen, 0b110);
+    }
+  });
+}
+
+TEST(P2P, RecvBySpecificTagOutOfOrder) {
+  World w = make_world(2);
+  w.run([](Rank& rank) {
+    Comm c = rank.world_comm();
+    if (rank.rank() == 0) {
+      int a = 10;
+      int b = 20;
+      send(&a, 1, kInt32, 1, 1, c);
+      send(&b, 1, kInt32, 1, 2, c);
+    } else {
+      int x = 0;
+      recv(&x, 1, kInt32, 0, 2, c);  // pick tag 2 first
+      EXPECT_EQ(x, 20);
+      recv(&x, 1, kInt32, 0, 1, c);
+      EXPECT_EQ(x, 10);
+    }
+  });
+}
+
+TEST(P2P, RendezvousLargeMessage) {
+  WorldConfig wc;
+  wc.nranks = 2;
+  wc.cost.eager_threshold_bytes = 1024;  // force rendezvous
+  World w(wc);
+  const std::size_t n = 8192;
+  w.run([&](Rank& rank) {
+    Comm c = rank.world_comm();
+    std::vector<std::uint8_t> buf(n);
+    int sync = 0;
+    if (rank.rank() == 0) {
+      for (std::size_t i = 0; i < n; ++i) buf[i] = static_cast<std::uint8_t>(i * 7);
+      Request sr = isend(buf.data(), static_cast<int>(n), kByte, 1, 0, c);
+      // The receiver has not posted yet (it blocks on the sync message), so
+      // the rendezvous send cannot have completed.
+      EXPECT_FALSE(sr.test());
+      send(&sync, 1, kInt32, 1, 1, c);
+      sr.wait();
+    } else {
+      recv(&sync, 1, kInt32, 0, 1, c);
+      recv(buf.data(), static_cast<int>(n), kByte, 0, 0, c);
+      for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(buf[i], static_cast<std::uint8_t>(i * 7));
+      }
+    }
+  });
+  EXPECT_EQ(w.snapshot().rendezvous_messages, 1u);
+}
+
+TEST(P2P, RendezvousSenderWaitsForLateReceiver) {
+  WorldConfig wc;
+  wc.nranks = 2;
+  wc.cost.eager_threshold_bytes = 16;
+  World w(wc);
+  w.run([&](Rank& rank) {
+    Comm c = rank.world_comm();
+    std::vector<std::byte> buf(1024, std::byte{1});
+    if (rank.rank() == 0) {
+      send(buf.data(), 1024, kByte, 1, 0, c);  // blocks until matched
+    } else {
+      // Delay the receive in virtual time; sender completion must be later.
+      rank.clock().advance(1'000'000);
+      recv(buf.data(), 1024, kByte, 0, 0, c);
+    }
+  });
+  // Sender's clock was dragged past the receiver's delay by the rendezvous.
+  EXPECT_GT(w.elapsed(), 1'000'000u);
+}
+
+TEST(P2P, SelfSendMatches) {
+  World w = make_world(1);
+  w.run([](Rank& rank) {
+    Comm c = rank.world_comm();
+    int v = 77;
+    Request rr = irecv(&v, 1, kInt32, 0, 4, c);
+    int s = 88;
+    Request sr = isend(&s, 1, kInt32, 0, 4, c);
+    sr.wait();
+    rr.wait();
+    EXPECT_EQ(v, 88);
+  });
+}
+
+TEST(P2P, TruncationThrowsOnWait) {
+  World w = make_world(2);
+  std::atomic<int> truncated{0};
+  w.run([&](Rank& rank) {
+    Comm c = rank.world_comm();
+    if (rank.rank() == 0) {
+      std::vector<int> big(8, 3);
+      send(big.data(), 8, kInt32, 1, 0, c);
+    } else {
+      int small[2];
+      try {
+        recv(small, 2, kInt32, 0, 0, c);
+      } catch (const Error& e) {
+        EXPECT_EQ(e.code(), Errc::kTruncate);
+        truncated.fetch_add(1);
+      }
+    }
+  });
+  EXPECT_EQ(truncated.load(), 1);
+}
+
+TEST(P2P, TagOverflowThrows) {
+  WorldConfig wc;
+  wc.nranks = 1;
+  wc.tag_bits = 8;  // tag_ub = 255 (Lesson 9's shrunken tag space)
+  World w(wc);
+  w.run([](Rank& rank) {
+    Comm c = rank.world_comm();
+    int v = 0;
+    EXPECT_NO_THROW((void)irecv(&v, 1, kInt32, 0, 255, c));
+    try {
+      send(&v, 1, kInt32, 0, 256, c);
+      FAIL() << "expected tag overflow";
+    } catch (const Error& e) {
+      EXPECT_EQ(e.code(), Errc::kTagOverflow);
+    }
+    // Drain the posted recv so the world quiesces.
+    send(&v, 1, kInt32, 0, 255, c);
+  });
+}
+
+TEST(P2P, NegativeUserTagThrows) {
+  World w = make_world(1);
+  w.run([](Rank& rank) {
+    int v = 0;
+    EXPECT_THROW(send(&v, 1, kInt32, 0, -5, rank.world_comm()), Error);
+  });
+}
+
+TEST(P2P, RankOutOfRangeThrows) {
+  World w = make_world(2);
+  w.run([](Rank& rank) {
+    int v = 0;
+    EXPECT_THROW(send(&v, 1, kInt32, 7, 0, rank.world_comm()), Error);
+    EXPECT_THROW((void)irecv(&v, 1, kInt32, -3, 0, rank.world_comm()), Error);
+  });
+}
+
+TEST(P2P, WildcardViolatesNoAnyTagAssertion) {
+  World w = make_world(2);
+  w.run([](Rank& rank) {
+    Info info;
+    info.set("mpi_assert_allow_overtaking", "true");
+    info.set("mpi_assert_no_any_tag", "true");
+    info.set("mpi_assert_no_any_source", "true");
+    info.set("tmpi_num_vcis", 2);
+    Comm c = rank.world_comm().dup_with_info(info);
+    int v = 0;
+    try {
+      (void)irecv(&v, 1, kInt32, 0, kAnyTag, c);
+      FAIL() << "expected wildcard violation";
+    } catch (const Error& e) {
+      EXPECT_EQ(e.code(), Errc::kWildcardViolation);
+    }
+    try {
+      (void)irecv(&v, 1, kInt32, kAnySource, 3, c);
+      FAIL() << "expected wildcard violation";
+    } catch (const Error& e) {
+      EXPECT_EQ(e.code(), Errc::kWildcardViolation);
+    }
+  });
+}
+
+TEST(P2P, MessagesDoNotCrossCommunicators) {
+  World w = make_world(2);
+  w.run([](Rank& rank) {
+    Comm base = rank.world_comm();
+    Comm other = base.dup();
+    if (rank.rank() == 0) {
+      int a = 1;
+      int b = 2;
+      send(&a, 1, kInt32, 1, 0, base);
+      send(&b, 1, kInt32, 1, 0, other);
+    } else {
+      int x = 0;
+      recv(&x, 1, kInt32, 0, 0, other);
+      EXPECT_EQ(x, 2);  // the base-comm message must not match
+      recv(&x, 1, kInt32, 0, 0, base);
+      EXPECT_EQ(x, 1);
+    }
+  });
+}
+
+TEST(P2P, SendrecvExchanges) {
+  World w = make_world(2);
+  w.run([](Rank& rank) {
+    Comm c = rank.world_comm();
+    const int peer = 1 - rank.rank();
+    int out = rank.rank() + 10;
+    int in = -1;
+    sendrecv(&out, 1, kInt32, peer, 0, &in, 1, kInt32, peer, 0, c);
+    EXPECT_EQ(in, peer + 10);
+  });
+}
+
+TEST(P2P, ManyConcurrentThreadsOnDistinctTags) {
+  World w = make_world(2, /*num_vcis=*/4);
+  constexpr int kThreads = 6;
+  constexpr int kMsgs = 20;
+  w.run([&](Rank& rank) {
+    Comm c = rank.world_comm();
+    rank.parallel(kThreads, [&](int tid) {
+      const int peer = 1 - rank.rank();
+      for (int i = 0; i < kMsgs; ++i) {
+        int out = tid * 1000 + i;
+        int in = -1;
+        sendrecv(&out, 1, kInt32, peer, static_cast<Tag>(tid), &in, 1, kInt32, peer,
+                 static_cast<Tag>(tid), c);
+        EXPECT_EQ(in, out);
+      }
+    });
+  });
+}
+
+TEST(P2P, ZeroByteMessages) {
+  World w = make_world(2);
+  w.run([](Rank& rank) {
+    Comm c = rank.world_comm();
+    if (rank.rank() == 0) {
+      send(nullptr, 0, kByte, 1, 0, c);
+    } else {
+      Status st = recv(nullptr, 0, kByte, 0, 0, c);
+      EXPECT_EQ(st.bytes, 0u);
+    }
+  });
+}
+
+TEST(P2P, VirtualTimeAdvancesWithTraffic) {
+  World w = make_world(2);
+  const auto before = w.snapshot();
+  w.run([](Rank& rank) {
+    Comm c = rank.world_comm();
+    std::vector<std::byte> buf(256);
+    if (rank.rank() == 0) {
+      for (int i = 0; i < 10; ++i) send(buf.data(), 256, kByte, 1, 0, c);
+    } else {
+      for (int i = 0; i < 10; ++i) recv(buf.data(), 256, kByte, 0, 0, c);
+    }
+  });
+  const auto after = w.snapshot() - before;
+  EXPECT_EQ(after.messages, 10u);
+  EXPECT_EQ(after.bytes, 2560u);
+  EXPECT_GT(w.elapsed(), 0u);
+  // Sanity: 10 small messages across one wire should land in the microsecond
+  // range, not milliseconds.
+  EXPECT_LT(w.elapsed(), 1'000'000u);
+}
+
+}  // namespace
+}  // namespace tmpi

@@ -1,0 +1,298 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "tmpi/tmpi.h"
+
+namespace tmpi {
+namespace {
+
+TEST(Partitioned, BasicTransfer) {
+  WorldConfig wc;
+  wc.nranks = 2;
+  World w(wc);
+  constexpr int kParts = 4;
+  constexpr int kCount = 8;
+  w.run([&](Rank& rank) {
+    Comm c = rank.world_comm();
+    std::vector<std::int32_t> buf(kParts * kCount);
+    if (rank.rank() == 0) {
+      std::iota(buf.begin(), buf.end(), 0);
+      Request req = psend_init(buf.data(), kParts, kCount, kInt32, 1, 3, c);
+      start(req);
+      for (int p = 0; p < kParts; ++p) pready(p, req);
+      req.wait();
+    } else {
+      Request req = precv_init(buf.data(), kParts, kCount, kInt32, 0, 3, c);
+      start(req);
+      Status st = req.wait();
+      EXPECT_EQ(st.source, 0);
+      EXPECT_EQ(st.bytes, static_cast<std::size_t>(kParts * kCount) * 4);
+      for (int i = 0; i < kParts * kCount; ++i) {
+        EXPECT_EQ(buf[static_cast<std::size_t>(i)], i);
+      }
+    }
+  });
+}
+
+TEST(Partitioned, OutOfOrderPready) {
+  WorldConfig wc;
+  wc.nranks = 2;
+  World w(wc);
+  constexpr int kParts = 5;
+  w.run([&](Rank& rank) {
+    Comm c = rank.world_comm();
+    std::vector<double> buf(kParts);
+    if (rank.rank() == 0) {
+      for (int i = 0; i < kParts; ++i) buf[static_cast<std::size_t>(i)] = i * 1.5;
+      Request req = psend_init(buf.data(), kParts, 1, kDouble, 1, 0, c);
+      start(req);
+      for (int p : {3, 0, 4, 1, 2}) pready(p, req);
+      req.wait();
+    } else {
+      Request req = precv_init(buf.data(), kParts, 1, kDouble, 0, 0, c);
+      start(req);
+      req.wait();
+      for (int i = 0; i < kParts; ++i) EXPECT_EQ(buf[static_cast<std::size_t>(i)], i * 1.5);
+    }
+  });
+}
+
+TEST(Partitioned, SendBeforeRecvStartIsBuffered) {
+  WorldConfig wc;
+  wc.nranks = 2;
+  World w(wc);
+  w.run([&](Rank& rank) {
+    Comm c = rank.world_comm();
+    std::vector<std::int32_t> buf(2);
+    if (rank.rank() == 0) {
+      buf = {7, 8};
+      Request req = psend_init(buf.data(), 2, 1, kInt32, 1, 0, c);
+      start(req);
+      pready(0, req);
+      pready(1, req);
+      req.wait();
+      int sync = 1;
+      send(&sync, 1, kInt32, 1, 99, c);
+    } else {
+      // Ensure all partitions were sent before the receive is even created.
+      int sync = 0;
+      recv(&sync, 1, kInt32, 0, 99, c);
+      Request req = precv_init(buf.data(), 2, 1, kInt32, 0, 0, c);
+      start(req);
+      req.wait();
+      EXPECT_EQ(buf[0], 7);
+      EXPECT_EQ(buf[1], 8);
+    }
+  });
+}
+
+TEST(Partitioned, PersistentAcrossIterations) {
+  WorldConfig wc;
+  wc.nranks = 2;
+  World w(wc);
+  constexpr int kParts = 3;
+  constexpr int kIters = 4;
+  w.run([&](Rank& rank) {
+    Comm c = rank.world_comm();
+    std::vector<std::int32_t> buf(kParts);
+    Request req = rank.rank() == 0 ? psend_init(buf.data(), kParts, 1, kInt32, 1, 5, c)
+                                   : precv_init(buf.data(), kParts, 1, kInt32, 0, 5, c);
+    for (int it = 0; it < kIters; ++it) {
+      start(req);
+      if (rank.rank() == 0) {
+        for (int p = 0; p < kParts; ++p) {
+          buf[static_cast<std::size_t>(p)] = it * 10 + p;
+          pready(p, req);
+        }
+        req.wait();
+      } else {
+        req.wait();
+        for (int p = 0; p < kParts; ++p) {
+          EXPECT_EQ(buf[static_cast<std::size_t>(p)], it * 10 + p);
+        }
+      }
+    }
+  });
+}
+
+TEST(Partitioned, ThreadsDrivePartitionsConcurrently) {
+  WorldConfig wc;
+  wc.nranks = 2;
+  World w(wc);
+  constexpr int kParts = 6;
+  w.run([&](Rank& rank) {
+    Comm c = rank.world_comm();
+    std::vector<std::int64_t> buf(kParts);
+    if (rank.rank() == 0) {
+      Request req = psend_init(buf.data(), kParts, 1, kInt64, 1, 0, c);
+      start(req);
+      rank.parallel(kParts, [&](int tid) {
+        buf[static_cast<std::size_t>(tid)] = tid * 11;
+        pready(tid, req);
+      });
+      req.wait();
+    } else {
+      Request req = precv_init(buf.data(), kParts, 1, kInt64, 0, 0, c);
+      start(req);
+      rank.parallel(kParts, [&](int tid) {
+        await_partition(req, tid);
+        EXPECT_EQ(buf[static_cast<std::size_t>(tid)], tid * 11);
+      });
+      req.wait();
+    }
+  });
+  // The shared request was the serialization point (Lesson 14).
+  EXPECT_GT(w.snapshot().part_lock_acquisitions, 0u);
+}
+
+TEST(Partitioned, ParrivedPollsIndividually) {
+  WorldConfig wc;
+  wc.nranks = 2;
+  World w(wc);
+  w.run([&](Rank& rank) {
+    Comm c = rank.world_comm();
+    std::vector<std::int32_t> buf(2);
+    if (rank.rank() == 0) {
+      buf = {1, 2};
+      Request req = psend_init(buf.data(), 2, 1, kInt32, 1, 0, c);
+      start(req);
+      pready(0, req);
+      int sync = 0;
+      recv(&sync, 1, kInt32, 1, 50, c);  // wait until peer saw partition 0
+      pready(1, req);
+      req.wait();
+    } else {
+      Request req = precv_init(buf.data(), 2, 1, kInt32, 0, 0, c);
+      start(req);
+      await_partition(req, 0);
+      EXPECT_TRUE(parrived(req, 0));
+      EXPECT_FALSE(parrived(req, 1));  // partition 1 not sent yet
+      int sync = 1;
+      send(&sync, 1, kInt32, 0, 50, c);
+      await_partition(req, 1);
+      EXPECT_TRUE(parrived(req, 1));
+      req.wait();
+    }
+  });
+}
+
+TEST(Partitioned, StateErrors) {
+  WorldConfig wc;
+  wc.nranks = 2;
+  World w(wc);
+  w.run([&](Rank& rank) {
+    Comm c = rank.world_comm();
+    std::vector<std::int32_t> buf(2);
+    if (rank.rank() == 0) {
+      Request req = psend_init(buf.data(), 2, 1, kInt32, 1, 0, c);
+      // pready before start
+      EXPECT_THROW(pready(0, req), Error);
+      start(req);
+      pready(0, req);
+      // double pready of one partition
+      EXPECT_THROW(pready(0, req), Error);
+      // out-of-range partition
+      EXPECT_THROW(pready(5, req), Error);
+      pready(1, req);
+      req.wait();
+    } else {
+      Request req = precv_init(buf.data(), 2, 1, kInt32, 0, 0, c);
+      EXPECT_THROW((void)parrived(req, 0), Error);  // inactive
+      start(req);
+      EXPECT_THROW((void)parrived(req, 9), Error);  // out of range
+      req.wait();
+    }
+  });
+}
+
+TEST(Partitioned, WildcardsRejected) {
+  WorldConfig wc;
+  wc.nranks = 2;
+  World w(wc);
+  w.run([&](Rank& rank) {
+    std::vector<std::int32_t> buf(2);
+    EXPECT_THROW(
+        (void)precv_init(buf.data(), 2, 1, kInt32, kAnySource, 0, rank.world_comm()), Error);
+  });
+}
+
+TEST(Partitioned, MismatchedPartitioningRejected) {
+  WorldConfig wc;
+  wc.nranks = 2;
+  World w(wc);
+  std::atomic<int> caught{0};
+  w.run([&](Rank& rank) {
+    Comm c = rank.world_comm();
+    std::vector<std::int32_t> buf(4);
+    if (rank.rank() == 0) {
+      Request req = psend_init(buf.data(), 4, 1, kInt32, 1, 0, c);
+      int sync = 0;
+      recv(&sync, 1, kInt32, 1, 60, c);  // wait for the receive to be active
+      start(req);
+      try {
+        for (int p = 0; p < 4; ++p) pready(p, req);
+        req.wait();
+      } catch (const Error& e) {
+        EXPECT_EQ(e.code(), Errc::kPartitionState);
+        caught.fetch_add(1);
+      }
+      int done = 1;
+      send(&done, 1, kInt32, 1, 61, c);
+    } else {
+      Request req = precv_init(buf.data(), 2, 2, kInt32, 0, 0, c);  // 2 parts, not 4
+      start(req);
+      int sync = 1;
+      send(&sync, 1, kInt32, 0, 60, c);
+      // Keep the receive request registered until the sender is done.
+      recv(&sync, 1, kInt32, 0, 61, c);
+    }
+  });
+  EXPECT_EQ(caught.load(), 1);
+}
+
+TEST(Partitioned, DedicatedPartitionVcis) {
+  WorldConfig wc;
+  wc.nranks = 2;
+  wc.num_vcis = 1;
+  World w(wc);
+  w.run([&](Rank& rank) {
+    Comm c = rank.world_comm();
+    Info info;
+    info.set("tmpi_part_vcis", 4);
+    std::vector<std::int32_t> buf(8);
+    if (rank.rank() == 0) {
+      std::iota(buf.begin(), buf.end(), 100);
+      Request req = psend_init(buf.data(), 8, 1, kInt32, 1, 0, c, info);
+      start(req);
+      for (int p = 0; p < 8; ++p) pready(p, req);
+      req.wait();
+    } else {
+      Request req = precv_init(buf.data(), 8, 1, kInt32, 0, 0, c, info);
+      start(req);
+      req.wait();
+      for (int i = 0; i < 8; ++i) EXPECT_EQ(buf[static_cast<std::size_t>(i)], 100 + i);
+    }
+  });
+  // Sender grew its pool by 4 dedicated VCIs: 1 base + 4 = 5 contexts.
+  EXPECT_EQ(w.fabric().nic(0).contexts_in_use(), 5);
+}
+
+TEST(Partitioned, StartOnPlainRequestThrows) {
+  WorldConfig wc;
+  wc.nranks = 1;
+  World w(wc);
+  w.run([](Rank& rank) {
+    int v = 0;
+    Request r = irecv(&v, 1, kInt32, 0, 0, rank.world_comm());
+    EXPECT_THROW(start(r), Error);
+    int s = 9;
+    send(&s, 1, kInt32, 0, 0, rank.world_comm());
+    r.wait();
+  });
+}
+
+}  // namespace
+}  // namespace tmpi

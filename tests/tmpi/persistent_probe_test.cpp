@@ -1,0 +1,192 @@
+// Persistent point-to-point operations and probe.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "tmpi/tmpi.h"
+
+namespace tmpi {
+namespace {
+
+TEST(Persistent, SendRecvAcrossIterations) {
+  WorldConfig wc;
+  wc.nranks = 2;
+  World w(wc);
+  constexpr int kIters = 5;
+  w.run([&](Rank& rank) {
+    Comm c = rank.world_comm();
+    std::vector<std::int32_t> buf(4);
+    Request req = rank.rank() == 0 ? send_init(buf.data(), 4, kInt32, 1, 3, c)
+                                   : recv_init(buf.data(), 4, kInt32, 0, 3, c);
+    for (int it = 0; it < kIters; ++it) {
+      if (rank.rank() == 0) {
+        std::iota(buf.begin(), buf.end(), it * 100);
+        start(req);
+        req.wait();
+      } else {
+        start(req);
+        Status st = req.wait();
+        EXPECT_EQ(st.source, 0);
+        EXPECT_EQ(st.tag, 3);
+        for (int i = 0; i < 4; ++i) EXPECT_EQ(buf[static_cast<std::size_t>(i)], it * 100 + i);
+      }
+    }
+  });
+}
+
+TEST(Persistent, InactiveRequestWaitsImmediately) {
+  WorldConfig wc;
+  wc.nranks = 1;
+  World w(wc);
+  w.run([](Rank& rank) {
+    int v = 0;
+    Request req = send_init(&v, 1, kInt32, 0, 0, rank.world_comm());
+    // MPI: waiting on an inactive persistent request returns immediately.
+    EXPECT_NO_THROW(req.wait());
+  });
+}
+
+TEST(Persistent, StartWhileActiveThrows) {
+  WorldConfig wc;
+  wc.nranks = 2;
+  World w(wc);
+  w.run([](Rank& rank) {
+    Comm c = rank.world_comm();
+    int v = 0;
+    if (rank.rank() == 1) {
+      Request req = recv_init(&v, 1, kInt32, 0, 2, c);
+      start(req);
+      // The message has not been sent yet (the peer waits for our signal),
+      // so the request is active and incomplete: a second start must throw.
+      EXPECT_THROW(start(req), Error);
+      int go = 1;
+      send(&go, 1, kInt32, 0, 8, c);
+      req.wait();
+      EXPECT_EQ(v, 5);
+    } else {
+      int go = 0;
+      recv(&go, 1, kInt32, 1, 8, c);
+      int s = 5;
+      send(&s, 1, kInt32, 1, 2, c);
+    }
+  });
+}
+
+TEST(Persistent, RecvInitAcceptsWildcards) {
+  WorldConfig wc;
+  wc.nranks = 2;
+  World w(wc);
+  w.run([](Rank& rank) {
+    Comm c = rank.world_comm();
+    if (rank.rank() == 0) {
+      int v = 42;
+      send(&v, 1, kInt32, 1, 17, c);
+    } else {
+      int v = 0;
+      Request req = recv_init(&v, 1, kInt32, kAnySource, kAnyTag, c);
+      start(req);
+      Status st = req.wait();
+      EXPECT_EQ(v, 42);
+      EXPECT_EQ(st.source, 0);
+      EXPECT_EQ(st.tag, 17);
+    }
+  });
+}
+
+TEST(Persistent, StartOnPlainRequestStillThrows) {
+  WorldConfig wc;
+  wc.nranks = 1;
+  World w(wc);
+  w.run([](Rank& rank) {
+    int v = 0;
+    Request r = irecv(&v, 1, kInt32, 0, 0, rank.world_comm());
+    EXPECT_THROW(start(r), Error);
+    int s = 1;
+    send(&s, 1, kInt32, 0, 0, rank.world_comm());
+    r.wait();
+  });
+}
+
+TEST(Probe, IprobeSeesUnreceivedMessage) {
+  WorldConfig wc;
+  wc.nranks = 2;
+  World w(wc);
+  w.run([](Rank& rank) {
+    Comm c = rank.world_comm();
+    if (rank.rank() == 0) {
+      std::vector<double> v(3, 1.5);
+      send(v.data(), 3, kDouble, 1, 6, c);
+      int sync = 1;
+      send(&sync, 1, kInt32, 1, 7, c);
+    } else {
+      int sync = 0;
+      recv(&sync, 1, kInt32, 0, 7, c);  // by now the tag-6 message arrived
+      Status st;
+      EXPECT_TRUE(iprobe(0, 6, c, &st));
+      EXPECT_EQ(st.source, 0);
+      EXPECT_EQ(st.tag, 6);
+      EXPECT_EQ(st.bytes, 3 * sizeof(double));
+      // Probing does not consume: still there.
+      EXPECT_TRUE(iprobe(kAnySource, kAnyTag, c, &st));
+      std::vector<double> v(st.count(sizeof(double)));
+      recv(v.data(), static_cast<int>(v.size()), kDouble, st.source, st.tag, c);
+      EXPECT_EQ(v[0], 1.5);
+      EXPECT_FALSE(iprobe(0, 6, c));
+    }
+  });
+}
+
+TEST(Probe, IprobeFalseWhenNothingPending) {
+  WorldConfig wc;
+  wc.nranks = 1;
+  World w(wc);
+  w.run([](Rank& rank) {
+    EXPECT_FALSE(iprobe(kAnySource, kAnyTag, rank.world_comm()));
+  });
+}
+
+TEST(Probe, BlockingProbeWaits) {
+  WorldConfig wc;
+  wc.nranks = 2;
+  World w(wc);
+  w.run([](Rank& rank) {
+    Comm c = rank.world_comm();
+    if (rank.rank() == 0) {
+      int v = 9;
+      send(&v, 1, kInt32, 1, 4, c);
+    } else {
+      Status st = probe(kAnySource, kAnyTag, c);
+      EXPECT_EQ(st.source, 0);
+      EXPECT_EQ(st.tag, 4);
+      int v = 0;
+      recv(&v, 1, kInt32, st.source, st.tag, c);
+      EXPECT_EQ(v, 9);
+    }
+  });
+}
+
+TEST(Probe, ProbeRecvPatternSizesBuffer) {
+  // The classic probe-then-allocate pattern irregular codes use.
+  WorldConfig wc;
+  wc.nranks = 2;
+  World w(wc);
+  w.run([](Rank& rank) {
+    Comm c = rank.world_comm();
+    if (rank.rank() == 0) {
+      std::vector<std::int64_t> data(37);
+      std::iota(data.begin(), data.end(), 0);
+      send(data.data(), 37, kInt64, 1, 0, c);
+    } else {
+      Status st = probe(0, 0, c);
+      std::vector<std::int64_t> data(st.count(sizeof(std::int64_t)));
+      ASSERT_EQ(data.size(), 37u);
+      recv(data.data(), 37, kInt64, 0, 0, c);
+      EXPECT_EQ(data[36], 36);
+    }
+  });
+}
+
+}  // namespace
+}  // namespace tmpi

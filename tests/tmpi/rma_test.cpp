@@ -1,0 +1,302 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "tmpi/tmpi.h"
+
+namespace tmpi {
+namespace {
+
+TEST(Rma, PutThenGetRoundTrip) {
+  WorldConfig wc;
+  wc.nranks = 2;
+  World w(wc);
+  std::vector<std::vector<double>> mem(2, std::vector<double>(8, 0.0));
+  w.run([&](Rank& rank) {
+    Comm c = rank.world_comm();
+    Window win = Window::create(mem[static_cast<std::size_t>(rank.rank())].data(),
+                                8 * sizeof(double), c);
+    win.fence();
+    if (rank.rank() == 0) {
+      const double v[2] = {3.5, 4.5};
+      win.put(v, 2, kDouble, 1, 4);
+      win.flush(1);
+    }
+    win.fence();
+    if (rank.rank() == 1) {
+      EXPECT_EQ(mem[1][4], 3.5);
+      EXPECT_EQ(mem[1][5], 4.5);
+      double back[2] = {0, 0};
+      win.get(back, 2, kDouble, 1, 4);  // local get through the window
+      win.flush_all();
+      EXPECT_EQ(back[0], 3.5);
+    }
+    win.fence();
+  });
+}
+
+TEST(Rma, GetReadsRemote) {
+  WorldConfig wc;
+  wc.nranks = 2;
+  World w(wc);
+  std::vector<std::vector<std::int64_t>> mem(2, std::vector<std::int64_t>(4));
+  w.run([&](Rank& rank) {
+    for (int i = 0; i < 4; ++i) {
+      mem[static_cast<std::size_t>(rank.rank())][static_cast<std::size_t>(i)] =
+          rank.rank() * 100 + i;
+    }
+    Comm c = rank.world_comm();
+    Window win = Window::create(mem[static_cast<std::size_t>(rank.rank())].data(),
+                                4 * sizeof(std::int64_t), c);
+    win.fence();
+    std::int64_t got[4];
+    const int peer = 1 - rank.rank();
+    win.get(got, 4, kInt64, peer, 0);
+    win.flush_all();
+    for (int i = 0; i < 4; ++i) EXPECT_EQ(got[i], peer * 100 + i);
+    win.fence();
+  });
+}
+
+TEST(Rma, AccumulateIsAtomicUnderThreads) {
+  WorldConfig wc;
+  wc.nranks = 2;
+  wc.num_vcis = 4;
+  World w(wc);
+  constexpr int kThreads = 4;
+  constexpr int kOps = 64;
+  std::vector<std::int64_t> target(1, 0);
+  w.run([&](Rank& rank) {
+    Comm c = rank.world_comm();
+    void* base = rank.rank() == 0 ? static_cast<void*>(target.data()) : nullptr;
+    Window win = Window::create(base, rank.rank() == 0 ? sizeof(std::int64_t) : 0, c);
+    win.fence();
+    if (rank.rank() == 1) {
+      rank.parallel(kThreads, [&](int) {
+        const std::int64_t one = 1;
+        for (int i = 0; i < kOps; ++i) {
+          win.accumulate(&one, 1, kInt64, 0, 0, Op::kSum);
+        }
+        win.flush_all();
+      });
+    }
+    win.fence();
+  });
+  EXPECT_EQ(target[0], static_cast<std::int64_t>(kThreads) * kOps);
+}
+
+TEST(Rma, AccumulateAtomicAcrossEndpointWindows) {
+  // Lesson 16: endpoints give parallel channels *and* atomicity within one
+  // window's memory.
+  WorldConfig wc;
+  wc.nranks = 2;
+  World w(wc);
+  constexpr int kEps = 4;
+  constexpr int kOps = 64;
+  std::vector<std::int64_t> target(1, 0);
+  w.run([&](Rank& rank) {
+    auto eps = rank.world_comm().create_endpoints(kEps);
+    rank.parallel(kEps, [&](int tid) {
+      const Comm& ep = eps[static_cast<std::size_t>(tid)];
+      void* base = rank.rank() == 0 ? static_cast<void*>(target.data()) : nullptr;
+      Window win = Window::create(base, rank.rank() == 0 ? sizeof(std::int64_t) : 0, ep);
+      win.fence();
+      if (rank.rank() == 1) {
+        const std::int64_t one = 1;
+        for (int i = 0; i < kOps; ++i) {
+          // Target endpoint tid of rank 0: all endpoints share the memory.
+          win.accumulate(&one, 1, kInt64, tid, 0, Op::kSum);
+        }
+        win.flush_all();
+      }
+      win.fence();
+    });
+  });
+  EXPECT_EQ(target[0], static_cast<std::int64_t>(kEps) * kOps);
+}
+
+TEST(Rma, FetchOpReturnsPreviousValue) {
+  WorldConfig wc;
+  wc.nranks = 2;
+  World w(wc);
+  std::vector<std::int64_t> counter(1, 0);
+  std::atomic<std::int64_t> seen_sum{0};
+  w.run([&](Rank& rank) {
+    Comm c = rank.world_comm();
+    void* base = rank.rank() == 0 ? static_cast<void*>(counter.data()) : nullptr;
+    Window win = Window::create(base, rank.rank() == 0 ? sizeof(std::int64_t) : 0, c);
+    win.fence();
+    if (rank.rank() == 1) {
+      rank.parallel(3, [&](int) {
+        const std::int64_t one = 1;
+        for (int i = 0; i < 10; ++i) {
+          std::int64_t prev = -1;
+          win.get_accumulate(&one, &prev, 1, kInt64, 0, 0, Op::kSum);
+          seen_sum.fetch_add(prev);
+        }
+      });
+    }
+    win.fence();
+  });
+  EXPECT_EQ(counter[0], 30);
+  // The 30 fetches saw each value 0..29 exactly once.
+  EXPECT_EQ(seen_sum.load(), 29 * 30 / 2);
+}
+
+TEST(Rma, OrderingInfoSelectsChannelPolicy) {
+  WorldConfig wc;
+  wc.nranks = 2;
+  wc.num_vcis = 4;
+  World w(wc);
+  std::vector<double> mem(64, 0.0);
+  w.run([&](Rank& rank) {
+    Comm c = rank.world_comm();
+    Info none;
+    none.set("accumulate_ordering", "none");
+    none.set("tmpi_num_vcis", 4);
+    void* base = rank.rank() == 0 ? static_cast<void*>(mem.data()) : nullptr;
+    Window strict = Window::create(base, rank.rank() == 0 ? mem.size() * 8 : 0, c);
+    Window relaxed = Window::create(base, rank.rank() == 0 ? mem.size() * 8 : 0, c, none);
+    EXPECT_EQ(strict.ordering(), AccumulateOrdering::kStrict);
+    EXPECT_EQ(relaxed.ordering(), AccumulateOrdering::kNone);
+    EXPECT_EQ(strict.vcis().size(), 1u);
+    EXPECT_EQ(relaxed.vcis().size(), 4u);
+    strict.fence();
+    relaxed.fence();
+  });
+}
+
+TEST(Rma, OutOfBoundsAccessThrows) {
+  WorldConfig wc;
+  wc.nranks = 1;
+  World w(wc);
+  std::vector<double> mem(4);
+  w.run([&](Rank& rank) {
+    Window win = Window::create(mem.data(), 4 * sizeof(double), rank.world_comm());
+    double v = 0.0;
+    EXPECT_THROW(win.put(&v, 1, kDouble, 0, 4), Error);
+    EXPECT_THROW(win.get(&v, 2, kDouble, 0, 3), Error);
+    EXPECT_NO_THROW(win.put(&v, 1, kDouble, 0, 3));
+    win.flush_all();
+  });
+}
+
+TEST(Rma, PutReplacesAccumulateSums) {
+  WorldConfig wc;
+  wc.nranks = 2;
+  World w(wc);
+  std::vector<std::int32_t> mem(2, 5);
+  w.run([&](Rank& rank) {
+    Comm c = rank.world_comm();
+    void* base = rank.rank() == 0 ? static_cast<void*>(mem.data()) : nullptr;
+    Window win = Window::create(base, rank.rank() == 0 ? 8 : 0, c);
+    win.fence();
+    if (rank.rank() == 1) {
+      const std::int32_t v = 7;
+      win.put(&v, 1, kInt32, 0, 0);
+      win.accumulate(&v, 1, kInt32, 0, 1, Op::kSum);
+      win.flush_all();
+    }
+    win.fence();
+  });
+  EXPECT_EQ(mem[0], 7);   // replaced
+  EXPECT_EQ(mem[1], 12);  // 5 + 7
+}
+
+TEST(Rma, FlushAdvancesVirtualClockToCompletion) {
+  WorldConfig wc;
+  wc.nranks = 2;
+  World w(wc);
+  std::vector<std::byte> mem(1 << 16);
+  w.run([&](Rank& rank) {
+    Comm c = rank.world_comm();
+    void* base = rank.rank() == 0 ? static_cast<void*>(mem.data()) : nullptr;
+    Window win = Window::create(base, rank.rank() == 0 ? mem.size() : 0, c);
+    win.fence();
+    if (rank.rank() == 1) {
+      std::vector<std::byte> big(1 << 15);
+      const net::Time before = rank.clock().now();
+      win.put(big.data(), static_cast<int>(big.size()), kByte, 0, 0);
+      const net::Time issued = rank.clock().now();
+      win.flush_all();
+      const net::Time flushed = rank.clock().now();
+      EXPECT_GT(flushed, issued);  // completion includes wire time
+      EXPECT_GT(issued, before);   // issue charged something
+    }
+    win.fence();
+  });
+}
+
+}  // namespace
+}  // namespace tmpi
+
+namespace tmpi {
+namespace {
+
+TEST(Rma, RequestReturningVariants) {
+  WorldConfig wc;
+  wc.nranks = 2;
+  World w(wc);
+  std::vector<std::int64_t> mem(4, 10);
+  w.run([&](Rank& rank) {
+    Comm c = rank.world_comm();
+    void* base = rank.rank() == 0 ? static_cast<void*>(mem.data()) : nullptr;
+    Window win = Window::create(base, rank.rank() == 0 ? 32 : 0, c);
+    win.fence();
+    if (rank.rank() == 1) {
+      const std::int64_t v = 5;
+      Request pr = win.rput(&v, 1, kInt64, 0, 0);
+      Request ar = win.raccumulate(&v, 1, kInt64, 0, 1, Op::kSum);
+      pr.wait();
+      ar.wait();
+      std::int64_t back[2] = {0, 0};
+      Request gr = win.rget(back, 2, kInt64, 0, 0);
+      gr.wait();
+      EXPECT_EQ(back[0], 5);
+      EXPECT_EQ(back[1], 15);
+      // The get's request completes no earlier than the wire round trip.
+      EXPECT_GT(rank.clock().now(), 0u);
+    }
+    win.fence();
+  });
+  EXPECT_EQ(mem[0], 5);
+  EXPECT_EQ(mem[1], 15);
+}
+
+}  // namespace
+}  // namespace tmpi
+
+namespace tmpi {
+namespace {
+
+TEST(Rma, WindowOverSplitSubcomm) {
+  // Windows work on derived communicators; ranks outside the subcomm are
+  // not part of the window.
+  WorldConfig wc;
+  wc.nranks = 4;
+  World w(wc);
+  std::vector<std::vector<std::int32_t>> mem(4, std::vector<std::int32_t>(2, 0));
+  w.run([&](Rank& rank) {
+    Comm sub = rank.world_comm().split(rank.rank() % 2, rank.rank());
+    ASSERT_EQ(sub.size(), 2);
+    Window win = Window::create(mem[static_cast<std::size_t>(rank.rank())].data(),
+                                2 * sizeof(std::int32_t), sub);
+    win.fence();
+    // Subcomm rank 0 writes into subcomm rank 1's memory.
+    if (sub.rank() == 0) {
+      const std::int32_t v = 100 + rank.rank();
+      win.put(&v, 1, kInt32, 1, 0);
+      win.flush_all();
+    }
+    win.fence();
+  });
+  // World ranks 2 and 3 are subcomm rank 1 of the even/odd groups.
+  EXPECT_EQ(mem[2][0], 100);  // written by world rank 0
+  EXPECT_EQ(mem[3][0], 101);  // written by world rank 1
+  EXPECT_EQ(mem[0][0], 0);
+  EXPECT_EQ(mem[1][0], 0);
+}
+
+}  // namespace
+}  // namespace tmpi

@@ -1,0 +1,194 @@
+// Variable-count collectives and prefix scans.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "tmpi/tmpi.h"
+
+namespace tmpi {
+namespace {
+
+class VCollP : public ::testing::TestWithParam<int> {  // nranks
+ protected:
+  [[nodiscard]] World make_world() const {
+    WorldConfig wc;
+    wc.nranks = GetParam();
+    wc.ranks_per_node = 2;
+    return World(wc);
+  }
+};
+
+TEST_P(VCollP, ScanInclusive) {
+  World w = make_world();
+  w.run([](Rank& rank) {
+    Comm c = rank.world_comm();
+    std::int64_t in = rank.rank() + 1;
+    std::int64_t out = -1;
+    scan(&in, &out, 1, kInt64, Op::kSum, c);
+    const std::int64_t r = rank.rank();
+    EXPECT_EQ(out, (r + 1) * (r + 2) / 2);
+  });
+}
+
+TEST_P(VCollP, ExscanExclusive) {
+  World w = make_world();
+  w.run([](Rank& rank) {
+    Comm c = rank.world_comm();
+    std::int64_t in = rank.rank() + 1;
+    std::int64_t out = -777;
+    exscan(&in, &out, 1, kInt64, Op::kSum, c);
+    if (rank.rank() == 0) {
+      EXPECT_EQ(out, -777);  // untouched at rank 0
+    } else {
+      const std::int64_t r = rank.rank();
+      EXPECT_EQ(out, r * (r + 1) / 2);
+    }
+  });
+}
+
+TEST_P(VCollP, ScanMaxAndProd) {
+  World w = make_world();
+  w.run([](Rank& rank) {
+    Comm c = rank.world_comm();
+    double in = (rank.rank() % 2 == 0) ? rank.rank() + 1.0 : 0.5;
+    double out = 0;
+    scan(&in, &out, 1, kDouble, Op::kMax, c);
+    double expect = 0.5;
+    for (int r = 0; r <= rank.rank(); ++r) {
+      expect = std::max(expect, (r % 2 == 0) ? r + 1.0 : 0.5);
+    }
+    EXPECT_EQ(out, expect);
+  });
+}
+
+TEST_P(VCollP, GathervScattervRoundTrip) {
+  World w = make_world();
+  w.run([&](Rank& rank) {
+    Comm c = rank.world_comm();
+    const int n = c.size();
+    // Rank r contributes r+1 elements.
+    std::vector<int> counts(static_cast<std::size_t>(n));
+    std::vector<int> displs(static_cast<std::size_t>(n));
+    int total = 0;
+    for (int r = 0; r < n; ++r) {
+      counts[static_cast<std::size_t>(r)] = r + 1;
+      displs[static_cast<std::size_t>(r)] = total;
+      total += r + 1;
+    }
+    const int mine = c.rank() + 1;
+    std::vector<std::int32_t> sbuf(static_cast<std::size_t>(mine));
+    for (int i = 0; i < mine; ++i) sbuf[static_cast<std::size_t>(i)] = c.rank() * 100 + i;
+
+    for (int root = 0; root < n; ++root) {
+      std::vector<std::int32_t> all(static_cast<std::size_t>(total), -1);
+      gatherv(sbuf.data(), mine, kInt32, all.data(), counts.data(), displs.data(), root, c);
+      if (c.rank() == root) {
+        for (int r = 0; r < n; ++r) {
+          for (int i = 0; i <= r; ++i) {
+            ASSERT_EQ(all[static_cast<std::size_t>(displs[static_cast<std::size_t>(r)] + i)],
+                      r * 100 + i);
+          }
+        }
+        // Scatter it back out.
+        std::vector<std::int32_t> back(static_cast<std::size_t>(mine), -1);
+        scatterv(all.data(), counts.data(), displs.data(), back.data(), mine, kInt32, root, c);
+        EXPECT_EQ(back, sbuf);
+      } else {
+        std::vector<std::int32_t> back(static_cast<std::size_t>(mine), -1);
+        scatterv(nullptr, counts.data(), displs.data(), back.data(), mine, kInt32, root, c);
+        EXPECT_EQ(back, sbuf);
+      }
+    }
+  });
+}
+
+TEST_P(VCollP, Allgatherv) {
+  World w = make_world();
+  w.run([&](Rank& rank) {
+    Comm c = rank.world_comm();
+    const int n = c.size();
+    std::vector<int> counts(static_cast<std::size_t>(n));
+    std::vector<int> displs(static_cast<std::size_t>(n));
+    int total = 0;
+    for (int r = 0; r < n; ++r) {
+      counts[static_cast<std::size_t>(r)] = 2 * r + 1;
+      displs[static_cast<std::size_t>(r)] = total;
+      total += 2 * r + 1;
+    }
+    const int mine = 2 * c.rank() + 1;
+    std::vector<std::int32_t> sbuf(static_cast<std::size_t>(mine));
+    for (int i = 0; i < mine; ++i) sbuf[static_cast<std::size_t>(i)] = c.rank() * 1000 + i;
+    std::vector<std::int32_t> all(static_cast<std::size_t>(total), -1);
+    allgatherv(sbuf.data(), mine, kInt32, all.data(), counts.data(), displs.data(), c);
+    for (int r = 0; r < n; ++r) {
+      for (int i = 0; i < counts[static_cast<std::size_t>(r)]; ++i) {
+        ASSERT_EQ(all[static_cast<std::size_t>(displs[static_cast<std::size_t>(r)] + i)],
+                  r * 1000 + i);
+      }
+    }
+  });
+}
+
+TEST_P(VCollP, Alltoallv) {
+  World w = make_world();
+  w.run([&](Rank& rank) {
+    Comm c = rank.world_comm();
+    const int n = c.size();
+    const int me = c.rank();
+    // Rank r sends (r + d + 1) % 3 + 1 elements to rank d.
+    auto count_of = [](int src, int dst) { return (src + dst + 1) % 3 + 1; };
+    std::vector<int> scounts(static_cast<std::size_t>(n));
+    std::vector<int> sdispls(static_cast<std::size_t>(n));
+    std::vector<int> rcounts(static_cast<std::size_t>(n));
+    std::vector<int> rdispls(static_cast<std::size_t>(n));
+    int stotal = 0;
+    int rtotal = 0;
+    for (int r = 0; r < n; ++r) {
+      scounts[static_cast<std::size_t>(r)] = count_of(me, r);
+      sdispls[static_cast<std::size_t>(r)] = stotal;
+      stotal += scounts[static_cast<std::size_t>(r)];
+      rcounts[static_cast<std::size_t>(r)] = count_of(r, me);
+      rdispls[static_cast<std::size_t>(r)] = rtotal;
+      rtotal += rcounts[static_cast<std::size_t>(r)];
+    }
+    std::vector<std::int32_t> sbuf(static_cast<std::size_t>(stotal));
+    for (int d = 0; d < n; ++d) {
+      for (int i = 0; i < scounts[static_cast<std::size_t>(d)]; ++i) {
+        sbuf[static_cast<std::size_t>(sdispls[static_cast<std::size_t>(d)] + i)] =
+            me * 10000 + d * 100 + i;
+      }
+    }
+    std::vector<std::int32_t> rbuf(static_cast<std::size_t>(rtotal), -1);
+    alltoallv(sbuf.data(), scounts.data(), sdispls.data(), rbuf.data(), rcounts.data(),
+              rdispls.data(), kInt32, c);
+    for (int s = 0; s < n; ++s) {
+      for (int i = 0; i < rcounts[static_cast<std::size_t>(s)]; ++i) {
+        ASSERT_EQ(rbuf[static_cast<std::size_t>(rdispls[static_cast<std::size_t>(s)] + i)],
+                  s * 10000 + me * 100 + i);
+      }
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, VCollP, ::testing::Values(1, 2, 3, 4, 6, 8),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "n" + std::to_string(info.param);
+                         });
+
+TEST(VColl, GathervCountMismatchThrows) {
+  WorldConfig wc;
+  wc.nranks = 1;
+  World w(wc);
+  w.run([](Rank& rank) {
+    int v = 0;
+    int out = 0;
+    const int counts[1] = {2};  // root claims 2, contributes 1
+    const int displs[1] = {0};
+    EXPECT_THROW(gatherv(&v, 1, kInt32, &out, counts, displs, 0, rank.world_comm()), Error);
+  });
+}
+
+}  // namespace
+}  // namespace tmpi

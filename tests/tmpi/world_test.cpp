@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+
+#include "tmpi/tmpi.h"
+
+namespace tmpi {
+namespace {
+
+TEST(World, RanksAndNodesLaidOut) {
+  WorldConfig wc;
+  wc.nranks = 6;
+  wc.ranks_per_node = 2;
+  World w(wc);
+  EXPECT_EQ(w.nranks(), 6);
+  EXPECT_EQ(w.num_nodes(), 3);
+  EXPECT_EQ(w.node_of(0), 0);
+  EXPECT_EQ(w.node_of(1), 0);
+  EXPECT_EQ(w.node_of(2), 1);
+  EXPECT_EQ(w.node_of(5), 2);
+}
+
+TEST(World, TagUbFollowsTagBits) {
+  WorldConfig wc;
+  wc.nranks = 1;
+  wc.tag_bits = 10;
+  World w(wc);
+  EXPECT_EQ(w.tag_ub(), 1023);
+}
+
+TEST(World, InvalidConfigThrows) {
+  WorldConfig wc;
+  wc.nranks = 0;
+  EXPECT_THROW(World{wc}, Error);
+  wc.nranks = 2;
+  wc.num_vcis = 0;
+  EXPECT_THROW(World{wc}, Error);
+  wc.num_vcis = 1;
+  wc.tag_bits = 2;
+  EXPECT_THROW(World{wc}, Error);
+}
+
+TEST(World, RunExecutesEveryRankOnce) {
+  WorldConfig wc;
+  wc.nranks = 5;
+  World w(wc);
+  std::atomic<int> mask{0};
+  w.run([&](Rank& rank) { mask.fetch_or(1 << rank.rank()); });
+  EXPECT_EQ(mask.load(), 0b11111);
+}
+
+TEST(World, RunRethrowsRankException) {
+  WorldConfig wc;
+  wc.nranks = 3;
+  World w(wc);
+  EXPECT_THROW(w.run([&](Rank& rank) {
+    if (rank.rank() == 1) throw std::runtime_error("boom");
+  }),
+               std::runtime_error);
+}
+
+TEST(World, RepeatedRunsAccumulateVirtualTime) {
+  WorldConfig wc;
+  wc.nranks = 2;
+  World w(wc);
+  w.run([](Rank& rank) { rank.clock().advance(100); });
+  const net::Time first = w.elapsed();
+  EXPECT_GE(first, 100u);
+  w.run([](Rank& rank) { rank.clock().advance(100); });
+  EXPECT_GE(w.elapsed(), first + 100);
+}
+
+TEST(World, ParallelForkJoinMergesClocks) {
+  WorldConfig wc;
+  wc.nranks = 1;
+  World w(wc);
+  w.run([&](Rank& rank) {
+    const net::Time start = rank.clock().now();
+    rank.parallel(4, [&](int tid) {
+      net::ThreadClock::get().advance(static_cast<net::Time>(tid) * 1000);
+    });
+    // Parent catches up to the slowest child plus the sync charge.
+    EXPECT_EQ(rank.clock().now(), start + 3000 + w.cost().thread_sync_ns);
+  });
+}
+
+TEST(World, ParallelPropagatesChildException) {
+  WorldConfig wc;
+  wc.nranks = 1;
+  World w(wc);
+  EXPECT_THROW(w.run([](Rank& rank) {
+    rank.parallel(3, [](int tid) {
+      if (tid == 2) throw std::logic_error("child");
+    });
+  }),
+               std::logic_error);
+}
+
+TEST(World, NestedParallelRegions) {
+  WorldConfig wc;
+  wc.nranks = 1;
+  World w(wc);
+  std::atomic<int> count{0};
+  w.run([&](Rank& rank) {
+    rank.parallel(2, [&](int) {
+      rank.parallel(3, [&](int) { count.fetch_add(1); });
+    });
+  });
+  EXPECT_EQ(count.load(), 6);
+}
+
+TEST(World, CallGuardEnforcesThreadLevel) {
+  WorldConfig wc;
+  wc.nranks = 1;
+  wc.level = ThreadLevel::kSerialized;
+  World w(wc);
+  w.run([&](Rank& rank) {
+    detail::CallGuard outer(rank.state(), ThreadLevel::kSerialized);
+    // A second concurrent runtime call below THREAD_MULTIPLE is rejected...
+    try {
+      detail::CallGuard inner(rank.state(), ThreadLevel::kSerialized);
+      FAIL() << "expected thread level violation";
+    } catch (const Error& e) {
+      EXPECT_EQ(e.code(), Errc::kThreadLevel);
+    }
+    // ...and tolerated at THREAD_MULTIPLE.
+    detail::CallGuard multiple(rank.state(), ThreadLevel::kMultiple);
+  });
+  // The failed guard must not corrupt the counter: a fresh call still works.
+  w.run([&](Rank& rank) {
+    detail::CallGuard again(rank.state(), ThreadLevel::kSerialized);
+  });
+}
+
+TEST(World, ThreadLevelMultipleAllowsConcurrency) {
+  WorldConfig wc;
+  wc.nranks = 2;
+  wc.level = ThreadLevel::kMultiple;
+  World w(wc);
+  w.run([&](Rank& rank) {
+    Comm c = rank.world_comm();
+    rank.parallel(4, [&](int tid) {
+      const int peer = 1 - rank.rank();
+      int out = tid;
+      int in = -1;
+      sendrecv(&out, 1, kInt32, peer, static_cast<Tag>(tid), &in, 1, kInt32, peer,
+               static_cast<Tag>(tid), c);
+      EXPECT_EQ(in, tid);
+    });
+  });
+}
+
+TEST(World, ElapsedIsMaxOverRanks) {
+  WorldConfig wc;
+  wc.nranks = 3;
+  World w(wc);
+  w.run([](Rank& rank) {
+    rank.clock().advance(static_cast<net::Time>(rank.rank()) * 500);
+  });
+  EXPECT_EQ(w.elapsed(), 1000u);
+}
+
+}  // namespace
+}  // namespace tmpi

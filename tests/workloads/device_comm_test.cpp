@@ -1,0 +1,66 @@
+#include "workloads/device_comm.h"
+
+#include <gtest/gtest.h>
+
+namespace wl {
+namespace {
+
+DeviceParams base_params(DeviceMech mech) {
+  DeviceParams p;
+  p.mech = mech;
+  p.device_threads = 4;
+  p.iters = 3;
+  p.chunk_bytes = 256;
+  return p;
+}
+
+TEST(DeviceComm, AllMechanismsMoveIdenticalChunks) {
+  std::uint64_t expect = 0;
+  for (auto mech : {DeviceMech::kHostOrchestrated, DeviceMech::kDevicePartitioned,
+                    DeviceMech::kPersistentProxy}) {
+    const auto r = run_device_comm(base_params(mech));  // throws on mismatch
+    EXPECT_EQ(r.aux, 12u) << to_string(mech);
+    if (expect == 0) expect = r.checksum;
+    EXPECT_EQ(r.checksum, expect) << to_string(mech);
+  }
+}
+
+TEST(DeviceComm, PersistentProxyAvoidsRelaunchCosts) {
+  // With expensive launches, a single persistent launch must beat one
+  // relaunch per iteration (Lesson 20's argument).
+  DeviceParams p = base_params(DeviceMech::kDevicePartitioned);
+  p.kernel_launch_ns = 50000;
+  p.iters = 8;
+  const auto part = run_device_comm(p);
+  p.mech = DeviceMech::kPersistentProxy;
+  const auto proxy = run_device_comm(p);
+  EXPECT_LT(proxy.elapsed_ns + 6 * p.kernel_launch_ns, part.elapsed_ns);
+}
+
+TEST(DeviceComm, DevicePartitionedBeatsHostSerialIssueAtScale) {
+  // Many workers: the host thread's serial issue loop loses to parallel
+  // device-driven partitions.
+  DeviceParams p = base_params(DeviceMech::kHostOrchestrated);
+  p.device_threads = 32;
+  p.chunk_bytes = 1024;
+  const auto host = run_device_comm(p);
+  p.mech = DeviceMech::kDevicePartitioned;
+  const auto dev = run_device_comm(p);
+  EXPECT_LT(dev.elapsed_ns, host.elapsed_ns);
+}
+
+TEST(DeviceComm, LaunchCostDominatesHostOrchestrationAtHighIters) {
+  DeviceParams p = base_params(DeviceMech::kHostOrchestrated);
+  p.kernel_launch_ns = 100000;
+  p.iters = 4;
+  const auto few = run_device_comm(p);
+  p.iters = 8;
+  const auto many = run_device_comm(p);
+  // Per-iteration cost is launch-bound: doubling iterations ~doubles time.
+  const double ratio = static_cast<double>(many.elapsed_ns) / static_cast<double>(few.elapsed_ns);
+  EXPECT_GT(ratio, 1.8);
+  EXPECT_LT(ratio, 2.2);
+}
+
+}  // namespace
+}  // namespace wl

@@ -1,0 +1,92 @@
+#include "workloads/sparse_matmul.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+namespace wl {
+namespace {
+
+/// Parameter: (nranks, threads, nb, keep_mod).
+using MatmulGrid = std::tuple<int, int, int, int>;
+
+class MatmulP : public ::testing::TestWithParam<MatmulGrid> {};
+
+TEST_P(MatmulP, AllMechanismsMatchSerialReference) {
+  const auto& [nranks, threads, nb, keep] = GetParam();
+  std::uint64_t first = 0;
+  bool have_first = false;
+  for (auto mech :
+       {RmaMech::kStrictWindow, RmaMech::kRelaxedHash, RmaMech::kEndpointsWin}) {
+    MatmulParams p;
+    p.mech = mech;
+    p.nranks = nranks;
+    p.threads = threads;
+    p.nb = nb;
+    p.bs = 4;
+    p.keep_mod = keep;
+    const auto r = run_sparse_matmul(p);  // throws on mismatch
+    if (!have_first) {
+      first = r.checksum;
+      have_first = true;
+    } else {
+      EXPECT_EQ(r.checksum, first) << to_string(mech);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grids, MatmulP,
+                         ::testing::Values(MatmulGrid{2, 2, 3, 1}, MatmulGrid{2, 4, 4, 2},
+                                           MatmulGrid{4, 2, 4, 2}, MatmulGrid{3, 3, 5, 3},
+                                           MatmulGrid{1, 4, 3, 1}),
+                         [](const ::testing::TestParamInfo<MatmulGrid>& info) {
+                           return "r" + std::to_string(std::get<0>(info.param)) + "t" +
+                                  std::to_string(std::get<1>(info.param)) + "nb" +
+                                  std::to_string(std::get<2>(info.param)) + "k" +
+                                  std::to_string(std::get<3>(info.param));
+                         });
+
+TEST(Matmul, EndpointsNotSlowerThanStrictWindow) {
+  // Lesson 16: parallel atomic channels should beat the strict single
+  // channel when many threads accumulate.
+  MatmulParams p;
+  p.nranks = 2;
+  p.threads = 8;
+  p.nb = 6;
+  p.bs = 8;
+  p.keep_mod = 1;
+  p.mech = RmaMech::kStrictWindow;
+  const auto strict = run_sparse_matmul(p);
+  p.mech = RmaMech::kEndpointsWin;
+  const auto eps = run_sparse_matmul(p);
+  EXPECT_LT(eps.elapsed_ns, strict.elapsed_ns);
+}
+
+TEST(Matmul, RelaxedHashBetweenStrictAndEndpoints) {
+  MatmulParams p;
+  p.nranks = 2;
+  p.threads = 8;
+  p.nb = 6;
+  p.bs = 8;
+  p.keep_mod = 1;
+  p.mech = RmaMech::kStrictWindow;
+  const auto strict = run_sparse_matmul(p);
+  p.mech = RmaMech::kRelaxedHash;
+  const auto relaxed = run_sparse_matmul(p);
+  EXPECT_LT(relaxed.elapsed_ns, strict.elapsed_ns);
+}
+
+TEST(Matmul, TasksPartitionedAcrossRanksAndThreads) {
+  MatmulParams p;
+  p.nranks = 2;
+  p.threads = 2;
+  p.nb = 4;
+  p.keep_mod = 1;
+  const auto r = run_sparse_matmul(p);
+  EXPECT_EQ(r.aux, 64u);  // nb^3 tasks, keep_mod 1 keeps all
+  EXPECT_GT(r.net.rma_ops, 0u);
+  EXPECT_GT(r.net.atomic_ops, 0u);
+}
+
+}  // namespace
+}  // namespace wl

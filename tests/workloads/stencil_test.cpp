@@ -1,0 +1,218 @@
+#include "workloads/stencil.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <tuple>
+
+namespace wl {
+namespace {
+
+/// Parameter: (px, py, tx, ty, diagonals).
+using StencilGrid = std::tuple<int, int, int, int, bool>;
+
+class StencilP : public ::testing::TestWithParam<StencilGrid> {
+ protected:
+  [[nodiscard]] StencilParams params(StencilMech mech) const {
+    const auto& [px, py, tx, ty, diag] = GetParam();
+    StencilParams p;
+    p.mech = mech;
+    p.px = px;
+    p.py = py;
+    p.tx = tx;
+    p.ty = ty;
+    p.diagonals = diag;
+    p.iters = 2;
+    p.halo_bytes = 96;
+    return p;
+  }
+};
+
+TEST_P(StencilP, AllMechanismsMoveIdenticalHalos) {
+  std::map<StencilMech, std::uint64_t> sums;
+  for (auto mech : {StencilMech::kSerial, StencilMech::kComms, StencilMech::kTags,
+                    StencilMech::kEndpoints, StencilMech::kPartitioned}) {
+    const auto r = run_stencil(params(mech));
+    sums[mech] = r.run.checksum;
+    EXPECT_GT(r.run.checksum, 0u) << to_string(mech);
+  }
+  for (const auto& [mech, sum] : sums) {
+    EXPECT_EQ(sum, sums.begin()->second) << to_string(mech);
+  }
+}
+
+TEST_P(StencilP, NaiveCommPlanAlsoCorrect) {
+  auto mirrored = params(StencilMech::kComms);
+  auto naive = mirrored;
+  naive.strategy = rp::PlanStrategy::kNaive;
+  const auto rm = run_stencil(mirrored);
+  const auto rn = run_stencil(naive);
+  EXPECT_EQ(rm.run.checksum, rn.run.checksum);
+  EXPECT_EQ(rm.plan_conflicts, 0);  // the ideal map serializes nothing
+  const auto& [px, py, tx, ty, diag] = GetParam();
+  if (px >= 2 && py >= 2 && tx * ty >= 2) {
+    EXPECT_GT(rn.plan_conflicts, 0);  // Lesson 2's lost parallelism
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grids, StencilP,
+                         ::testing::Values(StencilGrid{2, 2, 3, 3, true},
+                                           StencilGrid{2, 2, 3, 3, false},
+                                           StencilGrid{3, 2, 2, 4, true},
+                                           StencilGrid{2, 3, 4, 2, false},
+                                           StencilGrid{1, 4, 2, 2, true},
+                                           StencilGrid{4, 1, 3, 1, false},
+                                           StencilGrid{3, 3, 2, 2, true}),
+                         [](const ::testing::TestParamInfo<StencilGrid>& info) {
+                           return "p" + std::to_string(std::get<0>(info.param)) +
+                                  std::to_string(std::get<1>(info.param)) + "t" +
+                                  std::to_string(std::get<2>(info.param)) +
+                                  std::to_string(std::get<3>(info.param)) +
+                                  (std::get<4>(info.param) ? "nine" : "five");
+                         });
+
+TEST(Stencil, CommsUsedMatchesMechanism) {
+  StencilParams p;
+  p.px = 2;
+  p.py = 2;
+  p.tx = 3;
+  p.ty = 3;
+  p.iters = 1;
+  p.mech = StencilMech::kSerial;
+  EXPECT_EQ(run_stencil(p).comms_used, 1);
+  p.mech = StencilMech::kTags;
+  EXPECT_EQ(run_stencil(p).comms_used, 1);
+  p.mech = StencilMech::kEndpoints;
+  EXPECT_EQ(run_stencil(p).comms_used, 9);  // one endpoint per thread
+  p.mech = StencilMech::kComms;
+  const auto r = run_stencil(p);
+  EXPECT_GT(r.comms_used, 9);  // Lesson 3: more comms than threads
+}
+
+TEST(Stencil, ParallelMechanismsBeatSerial) {
+  StencilParams p;
+  p.px = 2;
+  p.py = 2;
+  p.tx = 4;
+  p.ty = 4;
+  p.iters = 3;
+  p.halo_bytes = 64;
+  p.mech = StencilMech::kSerial;
+  const auto serial = run_stencil(p);
+  for (auto mech : {StencilMech::kComms, StencilMech::kTags, StencilMech::kEndpoints}) {
+    p.mech = mech;
+    const auto r = run_stencil(p);
+    EXPECT_LT(r.run.elapsed_ns, serial.run.elapsed_ns) << to_string(mech);
+  }
+}
+
+TEST(Stencil, PartitionedSpreadingHelps) {
+  StencilParams p;
+  p.px = 2;
+  p.py = 1;
+  p.tx = 8;
+  p.ty = 1;
+  p.iters = 3;
+  p.halo_bytes = 2048;
+  p.mech = StencilMech::kPartitioned;
+  p.part_vcis = 1;
+  const auto one = run_stencil(p);
+  p.part_vcis = 8;
+  const auto eight = run_stencil(p);
+  EXPECT_EQ(one.run.checksum, eight.run.checksum);
+  // Spreading partitions over VCIs must not be slower.
+  EXPECT_LE(eight.run.elapsed_ns, one.run.elapsed_ns);
+}
+
+TEST(Stencil, BoundedFabricSlowsCommsMechanism) {
+  // Lesson 3 / Omni-Path: when the plan needs more channels than the NIC has
+  // contexts, the comms mechanism pays sharing penalties endpoints avoid.
+  StencilParams p;
+  p.px = 2;
+  p.py = 2;
+  p.tx = 4;
+  p.ty = 4;
+  p.iters = 2;
+  p.num_vcis = 64;
+  p.cost.max_hw_contexts = 8;  // scarce fabric
+  p.mech = StencilMech::kComms;
+  const auto comms = run_stencil(p);
+  p.mech = StencilMech::kEndpoints;
+  const auto eps = run_stencil(p);
+  EXPECT_EQ(comms.run.checksum, eps.run.checksum);
+  EXPECT_GT(comms.run.net.shared_ctx_injections, 0u);
+}
+
+}  // namespace
+}  // namespace wl
+
+namespace wl {
+namespace {
+
+TEST(Stencil3D, AllMechanismsAgreeOn27Point) {
+  // hypre's real pattern (Lesson 3): 3D 27-point halo exchange.
+  StencilParams p;
+  p.px = 2;
+  p.py = 2;
+  p.pz = 2;
+  p.tx = 2;
+  p.ty = 2;
+  p.tz = 2;
+  p.iters = 2;
+  p.halo_bytes = 64;
+  p.diagonals = true;
+  p.num_vcis = 8;
+  std::uint64_t expect = 0;
+  for (auto mech : {StencilMech::kSerial, StencilMech::kComms, StencilMech::kTags,
+                    StencilMech::kEndpoints, StencilMech::kPartitioned}) {
+    p.mech = mech;
+    const auto r = run_stencil(p);
+    if (expect == 0) expect = r.run.checksum;
+    EXPECT_EQ(r.run.checksum, expect) << to_string(mech);
+  }
+}
+
+TEST(Stencil3D, SevenPointAxesOnly) {
+  StencilParams p;
+  p.px = 3;
+  p.py = 1;
+  p.pz = 2;
+  p.tx = 2;
+  p.ty = 3;
+  p.tz = 2;
+  p.iters = 2;
+  p.halo_bytes = 32;
+  p.diagonals = false;  // 7-point
+  std::uint64_t expect = 0;
+  for (auto mech : {StencilMech::kEndpoints, StencilMech::kComms, StencilMech::kPartitioned}) {
+    p.mech = mech;
+    const auto r = run_stencil(p);
+    if (expect == 0) expect = r.run.checksum;
+    EXPECT_EQ(r.run.checksum, expect) << to_string(mech);
+  }
+}
+
+TEST(Stencil3D, CommsNeedFarMoreObjectsThanEndpoints) {
+  // Lesson 3 measured on the runnable 3D pattern (not just the formula).
+  StencilParams p;
+  p.px = 2;
+  p.py = 2;
+  p.pz = 2;
+  p.tx = 3;
+  p.ty = 3;
+  p.tz = 3;
+  p.iters = 1;
+  p.halo_bytes = 16;
+  p.diagonals = true;
+  p.num_vcis = 4;
+  p.mech = StencilMech::kComms;
+  const auto comms = run_stencil(p);
+  p.mech = StencilMech::kEndpoints;
+  const auto eps = run_stencil(p);
+  EXPECT_EQ(comms.run.checksum, eps.run.checksum);
+  EXPECT_EQ(eps.comms_used, 27);
+  EXPECT_GT(comms.comms_used, 3 * eps.comms_used);
+}
+
+}  // namespace
+}  // namespace wl
