@@ -75,6 +75,54 @@ class FigureTable {
   std::map<std::pair<double, std::string>, double> values_;
 };
 
+/// Print the transport layer's per-VCI telemetry: how traffic spread (or
+/// failed to spread) across channels — the quantity the paper is about.
+/// `max_rows` caps the channel listing for large worlds (busiest first).
+inline void print_channel_telemetry(const char* title, const tmpi::net::NetStatsSnapshot& s,
+                                    std::size_t max_rows = 16) {
+  std::printf("\n--- transport telemetry: %s ---\n", title);
+  std::printf("messages=%llu bytes=%llu rendezvous=%llu unexpected=%llu rma=%llu "
+              "channel_ops=%llu\n",
+              static_cast<unsigned long long>(s.messages),
+              static_cast<unsigned long long>(s.bytes),
+              static_cast<unsigned long long>(s.rendezvous_messages),
+              static_cast<unsigned long long>(s.unexpected_messages),
+              static_cast<unsigned long long>(s.rma_ops),
+              static_cast<unsigned long long>(s.channel_ops));
+  std::printf("message sizes (log2 histogram, non-empty buckets): ");
+  for (int b = 0; b < tmpi::net::kMsgSizeBuckets; ++b) {
+    const auto n = s.size_hist[static_cast<std::size_t>(b)];
+    if (n != 0) {
+      std::printf("[%s%dB]=%llu ", b == 0 ? "" : "<=2^", b == 0 ? 0 : b,
+                  static_cast<unsigned long long>(n));
+    }
+  }
+  std::printf("\n");
+
+  std::vector<tmpi::net::ChannelStatsSnapshot> ch = s.channels;
+  std::sort(ch.begin(), ch.end(), [](const auto& a, const auto& b) {
+    return a.injections + a.rx_ops > b.injections + b.rx_ops;
+  });
+  std::printf("%-6s %-5s %10s %10s %10s %10s %12s %12s\n", "rank", "vci", "inject", "rx",
+              "deposits", "locks", "contended", "busy_ns");
+  std::size_t shown = 0;
+  for (const auto& c : ch) {
+    if (c.injections + c.rx_ops + c.lock_acquisitions == 0) continue;
+    if (shown++ == max_rows) {
+      std::printf("  ... %zu more active channels\n", ch.size() - max_rows);
+      break;
+    }
+    std::printf("%-6d %-5d %10llu %10llu %10llu %10llu %12llu %12llu\n", c.rank, c.vci,
+                static_cast<unsigned long long>(c.injections),
+                static_cast<unsigned long long>(c.rx_ops),
+                static_cast<unsigned long long>(c.deposits),
+                static_cast<unsigned long long>(c.lock_acquisitions),
+                static_cast<unsigned long long>(c.contended_acquisitions),
+                static_cast<unsigned long long>(c.busy_ns));
+  }
+  if (shown == 0) std::printf("  (no channel traffic)\n");
+}
+
 /// Print a free-form note line (paper-claimed comparisons).
 inline void note(const char* fmt, ...) {
   std::va_list args;

@@ -15,6 +15,14 @@ bench::FigureTable& table() {
   return t;
 }
 
+/// Per-VCI transport snapshots captured at workers=4, one per mode: shows
+/// 'Original' funneling everything through one channel while the parallel
+/// mechanisms spread it.
+std::vector<std::pair<std::string, tmpi::net::NetStatsSnapshot>>& telemetry() {
+  static std::vector<std::pair<std::string, tmpi::net::NetStatsSnapshot>> v;
+  return v;
+}
+
 void BM_MsgRate(benchmark::State& state, wl::MsgRateMode mode) {
   wl::MsgRateParams p;
   p.mode = mode;
@@ -30,6 +38,7 @@ void BM_MsgRate(benchmark::State& state, wl::MsgRateMode mode) {
   const double mrate = r.msg_rate() * 1e-6;
   state.counters["Mmsg_per_s"] = mrate;
   table().add(to_string(mode), p.workers, mrate);
+  if (p.workers == 4) telemetry().emplace_back(to_string(mode), r.net);
 }
 
 void register_all() {
@@ -50,6 +59,9 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   table().print();
+  for (const auto& [mode, snap] : telemetry()) {
+    bench::print_channel_telemetry((mode + ", workers=4").c_str(), snap);
+  }
   bench::note(
       "paper: 'Original' flat; everywhere/endpoints/tags/comms scale with workers "
       "(MPICH 4.0 on Skylake + Omni-Path)");

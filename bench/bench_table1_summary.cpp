@@ -6,8 +6,10 @@
 
 #include <cstdio>
 
+#include "bench_common.h"
 #include "core/capabilities.h"
 #include "core/planner.h"
+#include "workloads/msgrate.h"
 
 namespace {
 
@@ -70,6 +72,23 @@ void print_usability() {
   std::printf("(paper: 808 communicators vs 56 endpoints, 14.4x — Lessons 3 and 12)\n");
 }
 
+/// A small representative run through each mechanism, reported via the
+/// unified transport's per-VCI snapshot: Table I's qualitative rows, backed
+/// by the channel counters the runtime now keeps on every message.
+void print_transport_sample() {
+  for (auto mode : {wl::MsgRateMode::kThreadsOriginal, wl::MsgRateMode::kThreadsEndpoints}) {
+    wl::MsgRateParams p;
+    p.mode = mode;
+    p.workers = 4;
+    p.msgs_per_worker = 256;
+    p.window = 16;
+    p.msg_bytes = 8;
+    const wl::RunResult r = wl::run_msgrate(p);
+    bench::print_channel_telemetry((std::string(to_string(mode)) + ", 4 workers").c_str(),
+                                   r.net);
+  }
+}
+
 void BM_CapabilityLookup(benchmark::State& state) {
   for (auto _ : state) {
     for (rp::Backend b : rp::all_backends()) {
@@ -86,5 +105,6 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   print_table1();
   print_usability();
+  print_transport_sample();
   return 0;
 }

@@ -22,12 +22,12 @@ class CommsBackend final : public SessionBackend {
 
   tmpi::Request isend(int stream, const void* buf, std::size_t bytes, PeerAddr to,
                       int tag) override {
-    return tmpi::isend(buf, static_cast<int>(bytes), tmpi::kByte, to.rank, tag,
+    return tmpi::detail::channel_isend(buf, static_cast<int>(bytes), tmpi::kByte, to.rank, tag,
                        pair_comm(stream, to.stream));
   }
 
   tmpi::Request irecv(int stream, void* buf, std::size_t cap, PeerAddr from, int tag) override {
-    return tmpi::irecv(buf, static_cast<int>(cap), tmpi::kByte, from.rank, tag,
+    return tmpi::detail::channel_irecv(buf, static_cast<int>(cap), tmpi::kByte, from.rank, tag,
                        pair_comm(from.stream, stream));
   }
 

@@ -16,19 +16,19 @@ class EndpointsBackend final : public SessionBackend {
 
   tmpi::Request isend(int stream, const void* buf, std::size_t bytes, PeerAddr to,
                       int tag) override {
-    return tmpi::isend(buf, static_cast<int>(bytes), tmpi::kByte, ep_rank(to), tag,
+    return tmpi::detail::channel_isend(buf, static_cast<int>(bytes), tmpi::kByte, ep_rank(to), tag,
                        handles_[static_cast<std::size_t>(stream)]);
   }
 
   tmpi::Request irecv(int stream, void* buf, std::size_t cap, PeerAddr from, int tag) override {
-    return tmpi::irecv(buf, static_cast<int>(cap), tmpi::kByte, ep_rank(from), tag,
+    return tmpi::detail::channel_irecv(buf, static_cast<int>(cap), tmpi::kByte, ep_rank(from), tag,
                        handles_[static_cast<std::size_t>(stream)]);
   }
 
   tmpi::Request irecv_any(int stream, void* buf, std::size_t cap) override {
     // Wildcards are confined to this endpoint's stream — matching stays
     // correct while the polling thread keeps its own channel (Fig. 5).
-    return tmpi::irecv(buf, static_cast<int>(cap), tmpi::kByte, tmpi::kAnySource, tmpi::kAnyTag,
+    return tmpi::detail::channel_irecv(buf, static_cast<int>(cap), tmpi::kByte, tmpi::kAnySource, tmpi::kAnyTag,
                        handles_[static_cast<std::size_t>(stream)]);
   }
 

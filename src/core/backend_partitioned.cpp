@@ -41,6 +41,9 @@ class PartitionedBackend final : public SessionBackend {
     throw Unsupported("no wildcard receives on the partitioned backend (Lesson 15)");
   }
 
+  // All traffic of this backend is partitioned: each pready() flows through
+  // the unified transport (OpKind::kPartition), the same choke point as the
+  // channel_isend/channel_irecv traffic of the other backends.
   tmpi::Request persistent_send(int stream, const void* buf, int partitions,
                                 std::size_t part_bytes, PeerAddr to, int tag) override {
     tmpi::Info info;

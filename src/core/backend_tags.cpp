@@ -39,12 +39,12 @@ class TagsBackend final : public SessionBackend {
   tmpi::Request isend(int stream, const void* buf, std::size_t bytes, PeerAddr to,
                       int tag) override {
     const tmpi::Tag t = encode_tag(stream, to.stream, tag, bits_, total_bits_);
-    return tmpi::isend(buf, static_cast<int>(bytes), tmpi::kByte, to.rank, t, comm_);
+    return tmpi::detail::channel_isend(buf, static_cast<int>(bytes), tmpi::kByte, to.rank, t, comm_);
   }
 
   tmpi::Request irecv(int stream, void* buf, std::size_t cap, PeerAddr from, int tag) override {
     const tmpi::Tag t = encode_tag(from.stream, stream, tag, bits_, total_bits_);
-    return tmpi::irecv(buf, static_cast<int>(cap), tmpi::kByte, from.rank, t, comm_);
+    return tmpi::detail::channel_irecv(buf, static_cast<int>(cap), tmpi::kByte, from.rank, t, comm_);
   }
 
   tmpi::Request irecv_any(int stream, void* buf, std::size_t cap) override {
@@ -55,7 +55,7 @@ class TagsBackend final : public SessionBackend {
           "recreate the session with need_wildcards");
     }
     (void)stream;  // receives serialize on the comm's first VCI regardless
-    return tmpi::irecv(buf, static_cast<int>(cap), tmpi::kByte, tmpi::kAnySource, tmpi::kAnyTag,
+    return tmpi::detail::channel_irecv(buf, static_cast<int>(cap), tmpi::kByte, tmpi::kAnySource, tmpi::kAnyTag,
                        comm_);
   }
 

@@ -39,12 +39,14 @@ class ContentionLock {
   /// contention is *counted* (stats) but not clock-charged, because the
   /// number of host-thread collisions is a scheduling artifact, not a
   /// property of the simulated execution.
-  void lock(VirtualClock& clk, const CostModel& cm, NetStats* stats) {
+  void lock(VirtualClock& clk, const CostModel& cm, NetStats* stats,
+            ChannelStats* ch = nullptr) {
     const int waiters = queued_.fetch_add(1, std::memory_order_acq_rel);
     mu_.lock();
     const bool contended = waiters > 0;
     clk.advance(cm.lock_uncontended_ns);
     if (stats != nullptr) stats->add_lock(contended);
+    if (ch != nullptr) ch->add_lock(contended);
   }
 
   void unlock(VirtualClock& /*clk*/) {
@@ -55,9 +57,10 @@ class ContentionLock {
   /// RAII guard.
   class Guard {
    public:
-    Guard(ContentionLock& l, VirtualClock& clk, const CostModel& cm, NetStats* stats)
+    Guard(ContentionLock& l, VirtualClock& clk, const CostModel& cm, NetStats* stats,
+          ChannelStats* ch = nullptr)
         : l_(l), clk_(clk) {
-      l_.lock(clk_, cm, stats);
+      l_.lock(clk_, cm, stats, ch);
     }
     ~Guard() { l_.unlock(clk_); }
     Guard(const Guard&) = delete;

@@ -37,8 +37,11 @@ class HwContext {
   /// Occupy the context for `base_cost` of work (plus the sharing penalty if
   /// >1 VCI maps here). Advances the caller's virtual clock past the busy
   /// horizon and returns the completion time. The context is duplex-serial:
-  /// transmit and receive work funnel through the same queue.
-  Time occupy(VirtualClock& clk, const CostModel& cm, Time base_cost) {
+  /// transmit and receive work funnel through the same queue. When the
+  /// occupying VCI passes its `ch` counter block, the charge is also
+  /// attributed to that channel.
+  Time occupy(VirtualClock& clk, const CostModel& cm, Time base_cost,
+              ChannelStats* ch = nullptr) {
     const int nsh = sharers();
     const bool shared = nsh > 1;
     Time cost = base_cost;
@@ -52,17 +55,20 @@ class HwContext {
 
     clk.advance_to(done);
     if (stats_ != nullptr) stats_->add_injection(shared, cost);
+    if (ch != nullptr) ch->add_busy(cost);
     return done;
   }
 
   /// Inject one message descriptor (transmit-side occupancy).
-  Time inject(VirtualClock& clk, const CostModel& cm) {
-    return occupy(clk, cm, cm.ctx_inject_ns);
+  Time inject(VirtualClock& clk, const CostModel& cm, ChannelStats* ch = nullptr) {
+    if (ch != nullptr) ch->add_injection();
+    return occupy(clk, cm, cm.ctx_inject_ns, ch);
   }
 
   /// Process one arriving message (receive-side occupancy).
-  Time receive(VirtualClock& clk, const CostModel& cm) {
-    return occupy(clk, cm, cm.ctx_rx_ns);
+  Time receive(VirtualClock& clk, const CostModel& cm, ChannelStats* ch = nullptr) {
+    if (ch != nullptr) ch->add_rx();
+    return occupy(clk, cm, cm.ctx_rx_ns, ch);
   }
 
   /// Busy horizon (for tests/diagnostics; racy by nature).

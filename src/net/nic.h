@@ -29,6 +29,7 @@ class Nic {
   Nic& operator=(const Nic&) = delete;
 
   [[nodiscard]] int node_id() const { return node_id_; }
+  [[nodiscard]] NetStats* stats() const { return stats_; }
 
   /// Acquire a hardware context for a new VCI. Dedicated while the pool has
   /// capacity; shared round-robin afterwards. The returned reference stays

@@ -1,8 +1,14 @@
 #ifndef TMPI_NET_STATS_H
 #define TMPI_NET_STATS_H
 
+#include <array>
 #include <atomic>
+#include <bit>
 #include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
 
 #include "net/virtual_clock.h"
 
@@ -12,8 +18,70 @@
 /// Counters are relaxed atomics: they are diagnostics, not synchronization.
 /// `snapshot()` gives a consistent-enough copy for reporting after a
 /// workload's threads have joined.
+///
+/// In addition to the global tallies, the fabric keeps a registry of
+/// per-channel counter blocks (`ChannelStats`), one per (rank, VCI). The
+/// transport layer threads the owning channel's block through every lock
+/// acquisition, context occupancy, and matching-engine deposit, so a bench
+/// can show exactly how traffic spread (or failed to spread) across VCIs —
+/// the quantity the reproduced paper is about.
 
 namespace tmpi::net {
+
+/// Plain-value copy of one channel's counters.
+struct ChannelStatsSnapshot {
+  int rank = 0;  ///< owning world rank
+  int vci = 0;   ///< pool index on that rank
+  std::uint64_t injections = 0;            ///< transmit-side context occupations
+  std::uint64_t rx_ops = 0;                ///< receive-side context occupations
+  std::uint64_t deposits = 0;              ///< messages deposited into the matching engine
+  std::uint64_t lock_acquisitions = 0;     ///< VCI lock acquisitions
+  std::uint64_t contended_acquisitions = 0;
+  Time busy_ns = 0;  ///< virtual busy time this channel added to its context
+};
+
+/// Per-(rank, VCI) counter block. Registered once at VCI creation and shared
+/// by every thread that routes through the channel; all counters relaxed.
+class ChannelStats {
+ public:
+  ChannelStats(int rank, int vci) : rank_(rank), vci_(vci) {}
+
+  void add_injection() { injections_.fetch_add(1, std::memory_order_relaxed); }
+  void add_rx() { rx_ops_.fetch_add(1, std::memory_order_relaxed); }
+  void add_deposit() { deposits_.fetch_add(1, std::memory_order_relaxed); }
+  void add_lock(bool contended) {
+    lock_acquisitions_.fetch_add(1, std::memory_order_relaxed);
+    if (contended) contended_acquisitions_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void add_busy(Time ns) { busy_ns_.fetch_add(ns, std::memory_order_relaxed); }
+
+  [[nodiscard]] ChannelStatsSnapshot snapshot() const {
+    ChannelStatsSnapshot s;
+    s.rank = rank_;
+    s.vci = vci_;
+    s.injections = injections_.load(std::memory_order_relaxed);
+    s.rx_ops = rx_ops_.load(std::memory_order_relaxed);
+    s.deposits = deposits_.load(std::memory_order_relaxed);
+    s.lock_acquisitions = lock_acquisitions_.load(std::memory_order_relaxed);
+    s.contended_acquisitions = contended_acquisitions_.load(std::memory_order_relaxed);
+    s.busy_ns = busy_ns_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+ private:
+  int rank_;
+  int vci_;
+  std::atomic<std::uint64_t> injections_{0};
+  std::atomic<std::uint64_t> rx_ops_{0};
+  std::atomic<std::uint64_t> deposits_{0};
+  std::atomic<std::uint64_t> lock_acquisitions_{0};
+  std::atomic<std::uint64_t> contended_acquisitions_{0};
+  std::atomic<Time> busy_ns_{0};
+};
+
+/// Message-size histogram bucket count: bucket i holds messages with
+/// bit_width(bytes) == i (bucket 0: zero-byte messages), up to >= 2^30.
+inline constexpr int kMsgSizeBuckets = 32;
 
 /// Plain-value snapshot of NetStats (safe to copy around and diff).
 struct NetStatsSnapshot {
@@ -29,7 +97,10 @@ struct NetStatsSnapshot {
   std::uint64_t rendezvous_messages = 0;
   std::uint64_t rma_ops = 0;
   std::uint64_t atomic_ops = 0;
+  std::uint64_t channel_ops = 0;  ///< ops issued through rp::Channel backends
   Time ctx_busy_ns = 0;  ///< total virtual busy time accumulated across contexts
+  std::array<std::uint64_t, kMsgSizeBuckets> size_hist{};  ///< log2 message sizes
+  std::vector<ChannelStatsSnapshot> channels;  ///< per-(rank, VCI), creation order
 
   NetStatsSnapshot operator-(const NetStatsSnapshot& o) const {
     NetStatsSnapshot d;
@@ -45,7 +116,29 @@ struct NetStatsSnapshot {
     d.rendezvous_messages = rendezvous_messages - o.rendezvous_messages;
     d.rma_ops = rma_ops - o.rma_ops;
     d.atomic_ops = atomic_ops - o.atomic_ops;
+    d.channel_ops = channel_ops - o.channel_ops;
     d.ctx_busy_ns = ctx_busy_ns - o.ctx_busy_ns;
+    for (int i = 0; i < kMsgSizeBuckets; ++i) {
+      d.size_hist[static_cast<std::size_t>(i)] = size_hist[static_cast<std::size_t>(i)] -
+                                                 o.size_hist[static_cast<std::size_t>(i)];
+    }
+    // Channels present only on the newer side pass through unchanged.
+    std::map<std::pair<int, int>, const ChannelStatsSnapshot*> old;
+    for (const auto& c : o.channels) old[{c.rank, c.vci}] = &c;
+    for (const auto& c : channels) {
+      ChannelStatsSnapshot dc = c;
+      auto it = old.find({c.rank, c.vci});
+      if (it != old.end()) {
+        const ChannelStatsSnapshot& b = *it->second;
+        dc.injections -= b.injections;
+        dc.rx_ops -= b.rx_ops;
+        dc.deposits -= b.deposits;
+        dc.lock_acquisitions -= b.lock_acquisitions;
+        dc.contended_acquisitions -= b.contended_acquisitions;
+        dc.busy_ns -= b.busy_ns;
+      }
+      d.channels.push_back(dc);
+    }
     return d;
   }
 };
@@ -56,6 +149,9 @@ class NetStats {
   void add_message(std::uint64_t bytes) {
     messages_.fetch_add(1, std::memory_order_relaxed);
     bytes_.fetch_add(bytes, std::memory_order_relaxed);
+    const int b = bytes == 0 ? 0 : std::bit_width(bytes);
+    size_hist_[static_cast<std::size_t>(b < kMsgSizeBuckets ? b : kMsgSizeBuckets - 1)]
+        .fetch_add(1, std::memory_order_relaxed);
   }
   void add_injection(bool shared_ctx, Time busy) {
     injections_.fetch_add(1, std::memory_order_relaxed);
@@ -76,6 +172,21 @@ class NetStats {
     rma_ops_.fetch_add(1, std::memory_order_relaxed);
     if (atomic) atomic_ops_.fetch_add(1, std::memory_order_relaxed);
   }
+  void add_channel_op() { channel_ops_.fetch_add(1, std::memory_order_relaxed); }
+
+  /// Per-channel counter block for (rank, vci); created on first use. The
+  /// returned reference stays valid for the NetStats lifetime. Called once
+  /// per VCI at construction (cold path) — per-message accounting then goes
+  /// straight to the block, lock-free.
+  [[nodiscard]] ChannelStats& channel(int rank, int vci) {
+    std::scoped_lock lk(ch_mu_);
+    auto& slot = channels_[{rank, vci}];
+    if (!slot) {
+      slot = std::make_unique<ChannelStats>(rank, vci);
+      ch_order_.push_back(slot.get());
+    }
+    return *slot;
+  }
 
   [[nodiscard]] NetStatsSnapshot snapshot() const {
     NetStatsSnapshot s;
@@ -91,7 +202,17 @@ class NetStats {
     s.rendezvous_messages = rendezvous_messages_.load(std::memory_order_relaxed);
     s.rma_ops = rma_ops_.load(std::memory_order_relaxed);
     s.atomic_ops = atomic_ops_.load(std::memory_order_relaxed);
+    s.channel_ops = channel_ops_.load(std::memory_order_relaxed);
     s.ctx_busy_ns = ctx_busy_ns_.load(std::memory_order_relaxed);
+    for (int i = 0; i < kMsgSizeBuckets; ++i) {
+      s.size_hist[static_cast<std::size_t>(i)] =
+          size_hist_[static_cast<std::size_t>(i)].load(std::memory_order_relaxed);
+    }
+    {
+      std::scoped_lock lk(ch_mu_);
+      s.channels.reserve(ch_order_.size());
+      for (const ChannelStats* c : ch_order_) s.channels.push_back(c->snapshot());
+    }
     return s;
   }
 
@@ -108,7 +229,13 @@ class NetStats {
   std::atomic<std::uint64_t> rendezvous_messages_{0};
   std::atomic<std::uint64_t> rma_ops_{0};
   std::atomic<std::uint64_t> atomic_ops_{0};
+  std::atomic<std::uint64_t> channel_ops_{0};
   std::atomic<Time> ctx_busy_ns_{0};
+  std::array<std::atomic<std::uint64_t>, kMsgSizeBuckets> size_hist_{};
+
+  mutable std::mutex ch_mu_;
+  std::map<std::pair<int, int>, std::unique_ptr<ChannelStats>> channels_;
+  std::vector<ChannelStats*> ch_order_;
 };
 
 }  // namespace tmpi::net

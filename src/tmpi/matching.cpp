@@ -9,14 +9,12 @@ void MatchingEngine::deliver(Envelope& env, PostedRecv& pr, net::Time match_time
   st.bytes = env.bytes;
 
   if (env.bytes > pr.capacity) {
-    // Truncation: surface the error through the receive request. The errored
-    // flag is set before finish() so no waiter can observe success first.
-    {
-      std::scoped_lock lk(pr.req->mu);
-      pr.req->errored = true;
-    }
+    // Truncation: surface the error through the receive request. errored and
+    // complete are published together (one lock, one notify) so a waiter can
+    // never observe completion without the error. The sender is not at
+    // fault: its request completes normally on both protocols.
     st.bytes = 0;
-    pr.req->finish(match_time, st);
+    pr.req->finish_error(match_time, st);
     if (env.rendezvous && env.send_req) env.send_req->finish(match_time);
     return;
   }

@@ -4,6 +4,7 @@
 
 #include "tmpi/error.h"
 #include "tmpi/matching.h"
+#include "tmpi/transport.h"
 #include "tmpi/world.h"
 
 namespace tmpi {
@@ -11,6 +12,8 @@ namespace tmpi {
 namespace {
 
 using detail::Envelope;
+using detail::OpDesc;
+using detail::OpKind;
 using detail::PostedRecv;
 using detail::ReqKind;
 using detail::ReqState;
@@ -29,14 +32,7 @@ Request isend_impl(const void* buf, std::size_t bytes, int ctx_id, int dst, Tag 
   World& w = comm.world();
   const detail::CommImpl& c = *comm.impl();
   const Route route = detail::route_send(c, comm.rank(), dst, tag);
-
-  const int my_wr = c.world_rank_of(comm.rank());
-  const int dst_wr = c.world_rank_of(dst);
-  detail::RankState& me = w.rank_state(my_wr);
-  detail::RankState& peer = w.rank_state(dst_wr);
   const net::CostModel& cm = w.cost();
-  net::NetStats* stats = &w.fabric().stats();
-  auto& clk = net::ThreadClock::get();
 
   if (!req) {
     req = std::make_shared<ReqState>();
@@ -44,57 +40,43 @@ Request isend_impl(const void* buf, std::size_t bytes, int ctx_id, int dst, Tag 
   }
 
   const bool rndv = bytes > cm.eager_threshold_bytes;
-  const int src_node = me.node;
-  const int dst_node = peer.node;
 
-  // Inject through the local VCI: lock (software serialization) + hardware
-  // context occupancy.
-  detail::Vci& lv = me.vcis.at(route.local);
-  net::Time inject_done = 0;
-  {
-    net::ContentionLock::Guard g(lv.lock(), clk, cm, stats);
-    inject_done = lv.ctx().inject(clk, cm);
-  }
-  stats->add_message(bytes);
+  OpDesc op;
+  op.kind = ctx_id == c.coll_ctx_id ? OpKind::kCollFragment
+                                    : (rndv ? OpKind::kRendezvousP2p : OpKind::kEagerP2p);
+  op.rendezvous = rndv;
+  op.bytes = bytes;
+  op.src_world_rank = c.world_rank_of(comm.rank());
+  op.dst_world_rank = c.world_rank_of(dst);
+  op.local_vci = route.local;
+  op.remote_vci = route.remote;
+
+  const detail::InjectResult ir = w.transport().inject(op);
+  const int src_node = w.rank_state(op.src_world_rank).node;
+  const int dst_node = w.rank_state(op.dst_world_rank).node;
 
   Envelope env;
   env.ctx_id = ctx_id;
   env.src = comm.rank();
   env.tag = tag;
   env.bytes = bytes;
-  net::Time arrival = 0;
   if (rndv) {
-    stats->add_rendezvous();
     env.rendezvous = true;
     env.rndv_src = static_cast<const std::byte*>(buf);
     env.send_req = req;
-    // RTS header travels empty; CTS + payload costs apply after the match.
-    arrival = inject_done + w.fabric().transfer_time(src_node, dst_node, 0);
+    // CTS + payload costs apply after the match.
     env.rndv_extra_ns = w.fabric().transfer_time(src_node, dst_node, 0) +
                         w.fabric().transfer_time(src_node, dst_node, bytes);
   } else {
     env.payload.resize(bytes);
     if (bytes > 0) std::memcpy(env.payload.data(), buf, bytes);
-    arrival = inject_done + w.fabric().transfer_time(src_node, dst_node, bytes);
     env.copy_ns = static_cast<net::Time>(static_cast<double>(bytes) /
                                          cm.shm_bandwidth_bytes_per_ns);
     // Eager: the send buffer is reusable once the message left the NIC.
-    req->finish(inject_done);
+    req->finish(ir.inject_done);
   }
 
-  // Arrival processing at the target VCI, on an arrival clock — the sender's
-  // own virtual time is not consumed by remote-side matching. The receive
-  // work occupies the target VCI's (duplex) hardware context, so inbound
-  // traffic competes with the channel owner's own sends — the serialization
-  // a shared communicator causes (Lessons 1-2).
-  detail::Vci& rv = peer.vcis.at(route.remote);
-  net::VirtualClock aclk(arrival);
-  rv.ctx().receive(aclk, cm);
-  {
-    net::ContentionLock::Guard g(rv.lock(), aclk, cm, stats);
-    rv.engine().deposit(std::move(env), aclk, cm, stats);
-  }
-  rv.note_deposit();
+  w.transport().deliver(op, std::move(env), ir.arrival);
   return Request(req);
 }
 
@@ -103,12 +85,6 @@ Request irecv_impl(void* buf, std::size_t capacity, int ctx_id, int src, Tag tag
   World& w = comm.world();
   const detail::CommImpl& c = *comm.impl();
   const int lvci = detail::route_recv(c, comm.rank(), src, tag);
-
-  const int my_wr = c.world_rank_of(comm.rank());
-  detail::RankState& me = w.rank_state(my_wr);
-  const net::CostModel& cm = w.cost();
-  net::NetStats* stats = &w.fabric().stats();
-  auto& clk = net::ThreadClock::get();
 
   if (!req) {
     req = std::make_shared<ReqState>();
@@ -123,11 +99,7 @@ Request irecv_impl(void* buf, std::size_t capacity, int ctx_id, int src, Tag tag
   pr.capacity = capacity;
   pr.req = req;
 
-  detail::Vci& v = me.vcis.at(lvci);
-  {
-    net::ContentionLock::Guard g(v.lock(), clk, cm, stats);
-    v.engine().post_recv(std::move(pr), clk, cm, stats);
-  }
+  w.transport().post_recv(c.world_rank_of(comm.rank()), lvci, std::move(pr));
   return Request(req);
 }
 
@@ -171,12 +143,7 @@ bool iprobe(int src, Tag tag, const Comm& comm, Status* st) {
                "probe tag exceeds tag_ub");
   const detail::CommImpl& c = *comm.impl();
   const int lvci = detail::route_recv(c, comm.rank(), src, tag);
-  detail::RankState& me = w.rank_state(c.world_rank_of(comm.rank()));
-  const net::CostModel& cm = w.cost();
-  auto& clk = net::ThreadClock::get();
-  detail::Vci& v = me.vcis.at(lvci);
-  net::ContentionLock::Guard g(v.lock(), clk, cm, &w.fabric().stats());
-  return v.engine().probe_unexpected(c.ctx_id, src, tag, clk, cm, &w.fabric().stats(), st);
+  return w.transport().probe(c.world_rank_of(comm.rank()), lvci, c.ctx_id, src, tag, st);
 }
 
 Status probe(int src, Tag tag, const Comm& comm) {
@@ -223,6 +190,19 @@ void isend_reusing(const std::shared_ptr<ReqState>& req, const void* buf, std::s
 void irecv_reusing(const std::shared_ptr<ReqState>& req, void* buf, std::size_t capacity,
                    int ctx_id, int src, Tag tag, const Comm& comm) {
   (void)irecv_impl(buf, capacity, ctx_id, src, tag, comm, req);
+}
+
+Request channel_isend(const void* buf, int count, Datatype dt, int dst, Tag tag,
+                      const Comm& comm) {
+  TMPI_REQUIRE(comm.valid(), Errc::kInvalidArg, "invalid comm");
+  comm.world().fabric().stats().add_channel_op();
+  return isend(buf, count, dt, dst, tag, comm);
+}
+
+Request channel_irecv(void* buf, int count, Datatype dt, int src, Tag tag, const Comm& comm) {
+  TMPI_REQUIRE(comm.valid(), Errc::kInvalidArg, "invalid comm");
+  comm.world().fabric().stats().add_channel_op();
+  return irecv(buf, count, dt, src, tag, comm);
 }
 
 }  // namespace detail

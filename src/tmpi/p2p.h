@@ -60,6 +60,14 @@ void isend_reusing(const std::shared_ptr<ReqState>& req, const void* buf, std::s
                    int ctx_id, int dst, Tag tag, const Comm& comm);
 void irecv_reusing(const std::shared_ptr<ReqState>& req, void* buf, std::size_t capacity,
                    int ctx_id, int src, Tag tag, const Comm& comm);
+
+/// Entry points for the rp::Channel session backends: identical semantics to
+/// isend/irecv, but the traffic is tallied separately (NetStats channel_ops)
+/// so transport telemetry can attribute it. All of it flows through the same
+/// Transport choke point as user traffic.
+Request channel_isend(const void* buf, int count, Datatype dt, int dst, Tag tag,
+                      const Comm& comm);
+Request channel_irecv(void* buf, int count, Datatype dt, int src, Tag tag, const Comm& comm);
 }  // namespace detail
 
 }  // namespace tmpi

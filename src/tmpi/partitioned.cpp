@@ -7,6 +7,7 @@
 
 #include "net/contention_lock.h"
 #include "tmpi/error.h"
+#include "tmpi/transport.h"
 #include "tmpi/world.h"
 
 namespace tmpi {
@@ -267,20 +268,16 @@ void pready(int partition, Request& req) {
                "pready called twice for one partition");
 
   // Transfer the partition through this request's channel set.
-  const int lvci =
-      s->vcis[static_cast<std::size_t>(partition) % s->vcis.size()];
-  const int my_wr = s->comm->world_rank_of(s->my_rank);
-  const int dst_wr = s->comm->world_rank_of(s->peer);
-  detail::RankState& me = w.rank_state(my_wr);
-  detail::Vci& v = me.vcis.at(lvci);
-  net::Time inject_done = 0;
-  {
-    net::ContentionLock::Guard g(v.lock(), clk, cm, stats);
-    inject_done = v.ctx().inject(clk, cm);
-  }
-  stats->add_message(s->part_bytes);
-  net::Time arrival =
-      inject_done + w.fabric().transfer_time(me.node, w.node_of(dst_wr), s->part_bytes);
+  detail::OpDesc op;
+  op.kind = detail::OpKind::kPartition;
+  op.bytes = s->part_bytes;
+  op.src_world_rank = s->comm->world_rank_of(s->my_rank);
+  op.dst_world_rank = s->comm->world_rank_of(s->peer);
+  op.local_vci = s->vcis[static_cast<std::size_t>(partition) % s->vcis.size()];
+
+  const detail::InjectResult ir = w.transport().inject(op);
+  const net::Time inject_done = ir.inject_done;
+  net::Time arrival = ir.arrival;
 
   const std::byte* src_ptr = s->buf + static_cast<std::size_t>(partition) * s->part_bytes;
   {
@@ -288,11 +285,8 @@ void pready(int partition, Request& req) {
     detail::PartRecvState* r = s->chan->recv;
     if (r != nullptr) {
       // Receive-side occupancy at the receiver's channel for this partition.
-      const int rvci =
-          r->vcis[static_cast<std::size_t>(partition) % r->vcis.size()];
-      net::VirtualClock aclk(arrival);
-      w.rank_state(dst_wr).vcis.at(rvci).ctx().receive(aclk, cm);
-      arrival = aclk.now();
+      op.remote_vci = r->vcis[static_cast<std::size_t>(partition) % r->vcis.size()];
+      arrival = w.transport().occupy_rx(op, arrival);
     }
     if (r != nullptr && r->active) {
       TMPI_REQUIRE(r->partitions == s->partitions && r->part_bytes == s->part_bytes,

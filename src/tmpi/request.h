@@ -55,6 +55,21 @@ struct ReqState {
     }
     cv.notify_all();
   }
+
+  /// Mark complete *and errored* (e.g. truncation) atomically: both flags are
+  /// published under one lock acquisition and one notify, so no waiter can
+  /// observe `complete` without `errored` and report success for a failed
+  /// operation.
+  void finish_error(net::Time t, const Status& st) {
+    {
+      std::scoped_lock lk(mu);
+      errored = true;
+      complete = true;
+      complete_time = t;
+      status = st;
+    }
+    cv.notify_all();
+  }
 };
 
 }  // namespace detail

@@ -8,6 +8,7 @@
 #include "tmpi/collectives.h"
 #include "tmpi/error.h"
 #include "tmpi/matching.h"
+#include "tmpi/transport.h"
 #include "tmpi/world.h"
 
 namespace tmpi {
@@ -134,44 +135,37 @@ struct IssueResult {
   int owner_world_rank = 0;
 };
 
-/// Origin-side issue: charge issue cost, inject through the chosen VCI, and
-/// compute arrival. `payload_bytes` is what travels origin->target.
+/// Origin-side issue through the unified transport: issue cost + injection
+/// through the chosen VCI + arrival, then receive-side occupancy at the
+/// target's channel (duplex context): RMA traffic through one window channel
+/// competes with the target's own use of it — the collision effect Lesson 16
+/// describes. `payload_bytes` is what travels origin->target.
 IssueResult rma_issue(const Window& win_handle, const WindowImpl& w, const CommImpl& c,
                       int target, std::size_t disp, std::size_t len, std::size_t payload_bytes,
                       bool atomic) {
   World& world = *w.world;
-  const net::CostModel& cm = world.cost();
-  auto& clk = net::ThreadClock::get();
-  net::NetStats* stats = &world.fabric().stats();
 
   const int origin_rank = win_handle.rank();
   const auto& t = w.targets.at(static_cast<std::size_t>(target));
   TMPI_REQUIRE(disp + len <= t.bytes, Errc::kInvalidArg, "RMA access beyond window bounds");
 
-  clk.advance(cm.rma_issue_ns);
   const int lvci = rma_local_vci(w, c, origin_rank, target, disp, atomic);
-  detail::RankState& me = world.rank_state(c.world_rank_of(origin_rank));
-  detail::Vci& v = me.vcis.at(lvci);
-  net::Time inject_done = 0;
-  {
-    net::ContentionLock::Guard g(v.lock(), clk, cm, stats);
-    inject_done = v.ctx().inject(clk, cm);
-  }
-  stats->add_rma(atomic);
+
+  detail::OpDesc op;
+  op.kind = detail::OpKind::kRmaOp;
+  op.atomic = atomic;
+  op.bytes = payload_bytes;
+  op.src_world_rank = c.world_rank_of(origin_rank);
+  op.dst_world_rank = t.world_rank;
+  op.local_vci = lvci;
+  op.remote_vci = w.endpoints ? c.eps[static_cast<std::size_t>(target)].vci : lvci;
+
+  const detail::InjectResult ir = world.transport().inject(op);
 
   IssueResult r;
   r.owner_world_rank = t.world_rank;
   r.target_ptr = t.base + disp;
-  r.arrival = inject_done +
-              world.fabric().transfer_time(me.node, world.node_of(t.world_rank), payload_bytes);
-
-  // Receive-side occupancy at the target's channel (duplex context): RMA
-  // traffic through one window channel competes with the target's own use
-  // of it — the collision effect Lesson 16 describes.
-  const int rvci = w.endpoints ? c.eps[static_cast<std::size_t>(target)].vci : lvci;
-  net::VirtualClock aclk(r.arrival);
-  world.rank_state(t.world_rank).vcis.at(rvci).ctx().receive(aclk, cm);
-  r.arrival = aclk.now();
+  r.arrival = world.transport().occupy_rx(op, ir.arrival);
   return r;
 }
 

@@ -1,0 +1,90 @@
+#include "tmpi/transport.h"
+
+#include "tmpi/world.h"
+
+namespace tmpi::detail {
+
+InjectResult Transport::inject(const OpDesc& op) {
+  World& w = *w_;
+  const net::CostModel& cm = w.cost();
+  net::NetStats* stats = &w.fabric().stats();
+  auto& clk = net::ThreadClock::get();
+
+  // One-sided ops pay their software issue cost before touching the channel.
+  if (op.kind == OpKind::kRmaOp) clk.advance(cm.rma_issue_ns);
+
+  RankState& me = w.rank_state(op.src_world_rank);
+  RankState& peer = w.rank_state(op.dst_world_rank);
+
+  // Inject through the local VCI: lock (software serialization) + hardware
+  // context occupancy.
+  Vci& lv = me.vcis.at(op.local_vci);
+  InjectResult r;
+  {
+    net::ContentionLock::Guard g(lv.lock(), clk, cm, stats, lv.chstats());
+    r.inject_done = lv.ctx().inject(clk, cm, lv.chstats());
+  }
+
+  if (op.kind == OpKind::kRmaOp) {
+    stats->add_rma(op.atomic);
+  } else {
+    stats->add_message(op.bytes);
+    if (op.rendezvous) stats->add_rendezvous();
+  }
+
+  // Rendezvous: only the RTS header travels now; CTS + payload costs apply
+  // after the match (carried in the envelope's rndv_extra_ns).
+  const std::size_t wire_bytes = op.rendezvous ? 0 : op.bytes;
+  r.arrival = r.inject_done + w.fabric().transfer_time(me.node, peer.node, wire_bytes);
+  return r;
+}
+
+void Transport::deliver(const OpDesc& op, Envelope env, net::Time arrival) {
+  World& w = *w_;
+  const net::CostModel& cm = w.cost();
+  net::NetStats* stats = &w.fabric().stats();
+
+  // Arrival processing at the target VCI, on an arrival clock — the sender's
+  // own virtual time is not consumed by remote-side matching. The receive
+  // work occupies the target VCI's (duplex) hardware context, so inbound
+  // traffic competes with the channel owner's own sends — the serialization
+  // a shared communicator causes (Lessons 1-2).
+  Vci& rv = w.rank_state(op.dst_world_rank).vcis.at(op.remote_vci);
+  net::VirtualClock aclk(arrival);
+  rv.ctx().receive(aclk, cm, rv.chstats());
+  {
+    net::ContentionLock::Guard g(rv.lock(), aclk, cm, stats, rv.chstats());
+    rv.engine().deposit(std::move(env), aclk, cm, stats);
+  }
+  if (rv.chstats() != nullptr) rv.chstats()->add_deposit();
+  rv.note_deposit();
+}
+
+net::Time Transport::occupy_rx(const OpDesc& op, net::Time arrival) {
+  Vci& rv = w_->rank_state(op.dst_world_rank).vcis.at(op.remote_vci);
+  net::VirtualClock aclk(arrival);
+  rv.ctx().receive(aclk, w_->cost(), rv.chstats());
+  return aclk.now();
+}
+
+void Transport::post_recv(int world_rank, int local_vci, PostedRecv pr) {
+  const net::CostModel& cm = w_->cost();
+  net::NetStats* stats = &w_->fabric().stats();
+  auto& clk = net::ThreadClock::get();
+  Vci& v = w_->rank_state(world_rank).vcis.at(local_vci);
+  net::ContentionLock::Guard g(v.lock(), clk, cm, stats, v.chstats());
+  v.engine().post_recv(std::move(pr), clk, cm, stats);
+}
+
+bool Transport::probe(int world_rank, int local_vci, int ctx_id, int src, Tag tag, Status* st) {
+  const net::CostModel& cm = w_->cost();
+  net::NetStats* stats = &w_->fabric().stats();
+  auto& clk = net::ThreadClock::get();
+  Vci& v = w_->rank_state(world_rank).vcis.at(local_vci);
+  net::ContentionLock::Guard g(v.lock(), clk, cm, stats, v.chstats());
+  return v.engine().probe_unexpected(ctx_id, src, tag, clk, cm, stats, st);
+}
+
+net::NetStatsSnapshot Transport::snapshot() const { return w_->fabric().stats().snapshot(); }
+
+}  // namespace tmpi::detail

@@ -1,0 +1,101 @@
+#ifndef TMPI_TRANSPORT_H
+#define TMPI_TRANSPORT_H
+
+#include <cstddef>
+
+#include "net/stats.h"
+#include "net/virtual_clock.h"
+#include "tmpi/matching.h"
+
+/// \file transport.h
+/// The unified transport layer: every message in the runtime — eager and
+/// rendezvous point-to-point, RMA, partitioned transfers, and the collective
+/// fragments built on p2p — flows through this one module.
+///
+/// The sender-side pipeline (ContentionLock acquisition, HwContext injection
+/// occupancy, fabric transfer time) and the receiver-side pipeline (arrival
+/// clock, receive occupancy, matching-engine deposit, blocking-probe wakeup)
+/// used to be hand-rolled in four places; centralizing them gives future
+/// features (async progress, fault injection, tracing, batching) a single
+/// choke point, and lets per-VCI telemetry observe *all* traffic.
+///
+/// Virtual-time discipline: the charge order in inject()/deliver() is exactly
+/// the order the pre-refactor call sites used — lock, then context occupancy,
+/// then wire time on the sender; receive occupancy, then lock, then deposit
+/// on the arrival clock. tests/tmpi/transport_test.cpp pins completion times
+/// to golden values recorded before the refactor (DESIGN.md §6).
+
+namespace tmpi {
+class World;
+}
+
+namespace tmpi::detail {
+
+/// What kind of operation a descriptor represents; selects the global-stats
+/// tallies (message vs RMA counters) and the wire-size rule.
+enum class OpKind {
+  kEagerP2p,       ///< payload travels with the envelope
+  kRendezvousP2p,  ///< empty RTS travels; payload charged at the match
+  kRmaOp,          ///< one-sided; bypasses the matching engine
+  kPartition,      ///< one partition of a partitioned transfer
+  kCollFragment,   ///< p2p fragment issued by a collective algorithm
+};
+
+/// One operation through the transport: kind, size, and the (world rank, VCI
+/// pool index) route on both ends.
+struct OpDesc {
+  OpKind kind = OpKind::kEagerP2p;
+  bool rendezvous = false;  ///< true iff only the RTS header travels now
+  bool atomic = false;      ///< RMA accumulate-class op (kRmaOp only)
+  std::size_t bytes = 0;    ///< logical payload size
+  int src_world_rank = 0;
+  int dst_world_rank = 0;
+  int local_vci = 0;   ///< pool index on the source rank
+  int remote_vci = 0;  ///< pool index on the destination rank
+};
+
+/// Sender-side outcome of inject().
+struct InjectResult {
+  net::Time inject_done = 0;  ///< descriptor left the local NIC context
+  net::Time arrival = 0;      ///< wire payload reached the remote NIC
+};
+
+/// The choke point. Owned by World; stateless beyond the back-pointer, so
+/// concurrent use from all rank threads is safe.
+class Transport {
+ public:
+  explicit Transport(World& w) : w_(&w) {}
+
+  Transport(const Transport&) = delete;
+  Transport& operator=(const Transport&) = delete;
+
+  /// Sender side: charge the issue cost (RMA), acquire the local VCI's lock,
+  /// occupy its hardware context, tally the op, and compute the wire arrival
+  /// time. Advances the calling thread's clock.
+  InjectResult inject(const OpDesc& op);
+
+  /// Receiver side of two-sided traffic, on an arrival clock: receive
+  /// occupancy at the remote VCI's context, lock, matching-engine deposit,
+  /// and the blocking-probe wakeup. Does not touch the caller's clock.
+  void deliver(const OpDesc& op, Envelope env, net::Time arrival);
+
+  /// Receive-side context occupancy only (RMA and partitioned traffic, which
+  /// bypass the matching engine). Returns the adjusted arrival time.
+  net::Time occupy_rx(const OpDesc& op, net::Time arrival);
+
+  /// Post a receive on `local_vci` of `world_rank`, charging the caller.
+  void post_recv(int world_rank, int local_vci, PostedRecv pr);
+
+  /// Probe the unexpected queue of `local_vci` of `world_rank` (nonblocking).
+  bool probe(int world_rank, int local_vci, int ctx_id, int src, Tag tag, Status* st);
+
+  /// Fabric-wide telemetry, including the per-VCI channel counters.
+  [[nodiscard]] net::NetStatsSnapshot snapshot() const;
+
+ private:
+  World* w_;
+};
+
+}  // namespace tmpi::detail
+
+#endif  // TMPI_TRANSPORT_H

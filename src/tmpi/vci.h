@@ -1,12 +1,13 @@
 #ifndef TMPI_VCI_H
 #define TMPI_VCI_H
 
+#include <array>
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
-#include <vector>
+#include <stdexcept>
 
 #include "net/contention_lock.h"
 #include "net/nic.h"
@@ -26,7 +27,7 @@ namespace tmpi::detail {
 
 class Vci {
  public:
-  explicit Vci(net::Nic& nic) : ctx_(&nic.acquire_context()) {}
+  Vci(net::Nic& nic, net::ChannelStats* ch) : ctx_(&nic.acquire_context()), chstats_(ch) {}
 
   Vci(const Vci&) = delete;
   Vci& operator=(const Vci&) = delete;
@@ -34,6 +35,8 @@ class Vci {
   [[nodiscard]] net::HwContext& ctx() { return *ctx_; }
   [[nodiscard]] net::ContentionLock& lock() { return lock_; }
   [[nodiscard]] MatchingEngine& engine() { return engine_; }
+  /// Per-channel telemetry block (owned by the fabric's NetStats registry).
+  [[nodiscard]] net::ChannelStats* chstats() const { return chstats_; }
 
   /// Deposit event counter + wakeup, used by blocking probe: a prober waits
   /// until the count changes instead of charging per-poll costs.
@@ -58,6 +61,7 @@ class Vci {
 
  private:
   net::HwContext* ctx_;
+  net::ChannelStats* chstats_;
   net::ContentionLock lock_;
   MatchingEngine engine_;
   std::atomic<std::uint64_t> deposits_{0};
@@ -67,43 +71,84 @@ class Vci {
 
 /// Per-rank pool of VCIs. Grows on demand (endpoint creation, comm hints);
 /// never shrinks. Index stability: references stay valid forever.
+///
+/// `at()`/`size()` are lock-free: every message on every channel resolves its
+/// VCI here, so a mutex acquisition per message would be pure overhead on the
+/// hot path. Slots live in fixed-size blocks behind an atomic pointer table,
+/// so growth never moves an existing Vci.
+///
+/// Publication order (the invariant that makes reader-side relaxed loads
+/// safe): a writer, under `writer_mu_`, (1) allocates/stores the block
+/// pointer, (2) fully constructs the Vci into its slot, and only then
+/// (3) release-stores the new count into `size_`. A reader acquire-loads
+/// `size_` first; any index below that count therefore happens-after the
+/// slot's construction, so the subsequent relaxed block/slot loads are safe.
+/// Indices >= size() are never handed out.
 class VciPool {
  public:
-  VciPool(net::Nic& nic, int initial) : nic_(&nic) {
-    for (int i = 0; i < initial; ++i) vcis_.push_back(std::make_unique<Vci>(*nic_));
+  VciPool(net::Nic& nic, int owner_rank, int initial) : nic_(&nic), owner_rank_(owner_rank) {
+    ensure(initial);
   }
 
   VciPool(const VciPool&) = delete;
   VciPool& operator=(const VciPool&) = delete;
 
-  [[nodiscard]] Vci& at(int i) {
-    std::scoped_lock lk(mu_);
-    return *vcis_.at(static_cast<std::size_t>(i));
+  ~VciPool() {
+    for (auto& b : blocks_) delete b.load(std::memory_order_relaxed);
   }
 
-  [[nodiscard]] int size() const {
-    std::scoped_lock lk(mu_);
-    return static_cast<int>(vcis_.size());
+  [[nodiscard]] Vci& at(int i) {
+    const int n = size_.load(std::memory_order_acquire);
+    if (i < 0 || i >= n) throw std::out_of_range("VciPool::at");
+    Block* b = blocks_[static_cast<std::size_t>(i) >> kBlockBits].load(std::memory_order_relaxed);
+    return *b->slots[static_cast<std::size_t>(i) & (kBlockSize - 1)];
   }
+
+  [[nodiscard]] int size() const { return size_.load(std::memory_order_acquire); }
 
   /// Grow to at least `n` VCIs; returns the new size.
   int ensure(int n) {
-    std::scoped_lock lk(mu_);
-    while (static_cast<int>(vcis_.size()) < n) vcis_.push_back(std::make_unique<Vci>(*nic_));
-    return static_cast<int>(vcis_.size());
+    std::scoped_lock lk(writer_mu_);
+    while (size_.load(std::memory_order_relaxed) < n) append_locked();
+    return size_.load(std::memory_order_relaxed);
   }
 
   /// Append one VCI; returns its index.
   int add() {
-    std::scoped_lock lk(mu_);
-    vcis_.push_back(std::make_unique<Vci>(*nic_));
-    return static_cast<int>(vcis_.size()) - 1;
+    std::scoped_lock lk(writer_mu_);
+    return append_locked();
   }
 
  private:
+  static constexpr int kBlockBits = 6;
+  static constexpr int kBlockSize = 1 << kBlockBits;
+  static constexpr int kMaxBlocks = 1024;  // 65536 VCIs per rank; plenty
+
+  struct Block {
+    std::array<std::unique_ptr<Vci>, kBlockSize> slots;
+  };
+
+  /// Caller holds writer_mu_. Returns the new slot's index.
+  int append_locked() {
+    const int idx = size_.load(std::memory_order_relaxed);
+    const auto blk = static_cast<std::size_t>(idx) >> kBlockBits;
+    if (blk >= kMaxBlocks) throw std::length_error("VciPool: too many VCIs");
+    Block* b = blocks_[blk].load(std::memory_order_relaxed);
+    if (b == nullptr) {
+      b = new Block();
+      blocks_[blk].store(b, std::memory_order_relaxed);
+    }
+    b->slots[static_cast<std::size_t>(idx) & (kBlockSize - 1)] =
+        std::make_unique<Vci>(*nic_, &nic_->stats()->channel(owner_rank_, idx));
+    size_.store(idx + 1, std::memory_order_release);  // publish (see class comment)
+    return idx;
+  }
+
   net::Nic* nic_;
-  mutable std::mutex mu_;
-  std::vector<std::unique_ptr<Vci>> vcis_;
+  int owner_rank_;
+  std::mutex writer_mu_;
+  std::array<std::atomic<Block*>, kMaxBlocks> blocks_{};
+  std::atomic<int> size_{0};
 };
 
 }  // namespace tmpi::detail

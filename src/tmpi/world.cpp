@@ -3,6 +3,8 @@
 #include <exception>
 #include <thread>
 
+#include "tmpi/transport.h"
+
 namespace tmpi {
 
 World::World(WorldConfig cfg) : cfg_(std::move(cfg)) {
@@ -14,6 +16,7 @@ World::World(WorldConfig cfg) : cfg_(std::move(cfg)) {
 
   const int nodes = (cfg_.nranks + cfg_.ranks_per_node - 1) / cfg_.ranks_per_node;
   fabric_ = std::make_unique<net::Fabric>(nodes, cfg_.cost);
+  transport_ = std::make_unique<detail::Transport>(*this);
 
   states_.reserve(static_cast<std::size_t>(cfg_.nranks));
   for (int r = 0; r < cfg_.nranks; ++r) {

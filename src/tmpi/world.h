@@ -40,6 +40,8 @@ struct WorldConfig {
 
 namespace detail {
 
+class Transport;
+
 struct RankState {
   int rank;
   int node;
@@ -48,7 +50,7 @@ struct RankState {
   std::atomic<int> active_calls{0};
 
   RankState(int r, int nd, net::Nic& nic, int nvcis)
-      : rank(r), node(nd), vcis(nic, nvcis) {}
+      : rank(r), node(nd), vcis(nic, r, nvcis) {}
 };
 
 /// RAII thread-level enforcement: counts concurrent runtime calls per rank
@@ -99,6 +101,8 @@ class World {
   [[nodiscard]] net::Fabric& fabric() { return *fabric_; }
   [[nodiscard]] const net::Fabric& fabric() const { return *fabric_; }
   [[nodiscard]] const net::CostModel& cost() const { return fabric_->cost(); }
+  /// The unified message pipeline all runtime traffic flows through.
+  [[nodiscard]] detail::Transport& transport() { return *transport_; }
   [[nodiscard]] net::NetStatsSnapshot snapshot() const { return fabric_->stats().snapshot(); }
 
   /// Max virtual time across rank clocks (call after run()).
@@ -121,6 +125,7 @@ class World {
  private:
   WorldConfig cfg_;
   std::unique_ptr<net::Fabric> fabric_;
+  std::unique_ptr<detail::Transport> transport_;
   std::vector<std::unique_ptr<detail::RankState>> states_;
   std::shared_ptr<detail::CommImpl> world_comm_;
   std::atomic<int> next_ctx_{0};

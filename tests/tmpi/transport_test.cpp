@@ -1,0 +1,394 @@
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+#include "tmpi/tmpi.h"
+#include "workloads/msgrate.h"
+
+/// Virtual-time charge-parity suite for the unified transport layer.
+///
+/// Every scenario below pins the full inject→wire→deposit pipeline to golden
+/// completion times recorded from the pre-transport (seed) implementation.
+/// The scenarios are single-actor-per-channel and phase-ordered (each phase
+/// is a separate World::run so host scheduling cannot reorder deposits vs
+/// posts), which makes virtual times bit-exact per DESIGN.md §6 — the
+/// reproducibility guarantee is the refactor's correctness oracle.
+
+namespace {
+
+using namespace tmpi;
+
+WorldConfig two_node_config() {
+  WorldConfig wc;
+  wc.nranks = 2;
+  wc.ranks_per_node = 1;
+  wc.num_vcis = 1;
+  return wc;
+}
+
+net::Time now() { return net::ThreadClock::get().now(); }
+
+// ---------------------------------------------------------------------------
+// Eager point-to-point, receive posted before the message arrives.
+TEST(TransportParity, EagerPostedFirst) {
+  World world(two_node_config());
+  std::vector<std::byte> sbuf(8, std::byte{0x11});
+  std::vector<std::byte> rbuf(8);
+  Request rreq;
+  net::Time send_done = 0;
+  net::Time recv_done = 0;
+
+  world.run([&](Rank& rank) {
+    if (rank.rank() == 1) {
+      rreq = irecv(rbuf.data(), 8, kByte, 0, 7, rank.world_comm());
+    }
+  });
+  world.run([&](Rank& rank) {
+    if (rank.rank() == 0) {
+      isend(sbuf.data(), 8, kByte, 1, 7, rank.world_comm()).wait();
+      send_done = now();
+    }
+  });
+  world.run([&](Rank& rank) {
+    if (rank.rank() == 1) {
+      Status st = rreq.wait();
+      recv_done = now();
+      EXPECT_EQ(st.bytes, 8u);
+      EXPECT_EQ(st.source, 0);
+      EXPECT_EQ(st.tag, 7);
+    }
+  });
+
+  EXPECT_EQ(send_done, 140u);
+  EXPECT_EQ(recv_done, 1132u);
+}
+
+// ---------------------------------------------------------------------------
+// Eager point-to-point, message arrives before the receive is posted
+// (unexpected-queue path: insert charge on the arrival clock, probe charge
+// on the receiver's clock).
+TEST(TransportParity, EagerUnexpected) {
+  World world(two_node_config());
+  std::vector<std::byte> sbuf(8, std::byte{0x22});
+  std::vector<std::byte> rbuf(8);
+  net::Time send_done = 0;
+  net::Time recv_done = 0;
+
+  world.run([&](Rank& rank) {
+    if (rank.rank() == 0) {
+      isend(sbuf.data(), 8, kByte, 1, 3, rank.world_comm()).wait();
+      send_done = now();
+    }
+  });
+  world.run([&](Rank& rank) {
+    if (rank.rank() == 1) {
+      Status st = recv(rbuf.data(), 8, kByte, 0, 3, rank.world_comm());
+      recv_done = now();
+      EXPECT_EQ(st.bytes, 8u);
+    }
+  });
+
+  EXPECT_EQ(send_done, 140u);
+  EXPECT_EQ(recv_done, 1150u);
+}
+
+// ---------------------------------------------------------------------------
+// Rendezvous point-to-point (payload above the eager threshold), receive
+// posted first: the send request completes at the match, plus the CTS round
+// trip and payload wire time.
+TEST(TransportParity, RendezvousPostedFirst) {
+  World world(two_node_config());
+  const std::size_t kBytes = 128 * 1024;  // > 64 KiB eager threshold
+  std::vector<std::byte> sbuf(kBytes, std::byte{0x33});
+  std::vector<std::byte> rbuf(kBytes);
+  Request rreq;
+  Request sreq;
+  net::Time send_done = 0;
+  net::Time recv_done = 0;
+
+  world.run([&](Rank& rank) {
+    if (rank.rank() == 1) {
+      rreq = irecv(rbuf.data(), static_cast<int>(kBytes), kByte, 0, 1, rank.world_comm());
+    }
+  });
+  world.run([&](Rank& rank) {
+    if (rank.rank() == 0) {
+      sreq = isend(sbuf.data(), static_cast<int>(kBytes), kByte, 1, 1, rank.world_comm());
+      sreq.wait();
+      send_done = now();
+    }
+  });
+  world.run([&](Rank& rank) {
+    if (rank.rank() == 1) {
+      rreq.wait();
+      recv_done = now();
+    }
+  });
+
+  EXPECT_EQ(send_done, 13417u);
+  EXPECT_EQ(recv_done, 13417u);
+  EXPECT_EQ(rbuf[12345], std::byte{0x33});
+}
+
+// ---------------------------------------------------------------------------
+// Rendezvous, sender first (unexpected RTS; the match happens when the
+// receive posts, on the receiver's thread).
+TEST(TransportParity, RendezvousUnexpected) {
+  World world(two_node_config());
+  const std::size_t kBytes = 128 * 1024;
+  std::vector<std::byte> sbuf(kBytes, std::byte{0x44});
+  std::vector<std::byte> rbuf(kBytes);
+  Request sreq;
+  net::Time send_done = 0;
+  net::Time recv_done = 0;
+
+  world.run([&](Rank& rank) {
+    if (rank.rank() == 0) {
+      sreq = isend(sbuf.data(), static_cast<int>(kBytes), kByte, 1, 1, rank.world_comm());
+    }
+  });
+  world.run([&](Rank& rank) {
+    if (rank.rank() == 1) {
+      recv(rbuf.data(), static_cast<int>(kBytes), kByte, 0, 1, rank.world_comm());
+      recv_done = now();
+    }
+  });
+  world.run([&](Rank& rank) {
+    if (rank.rank() == 0) {
+      sreq.wait();
+      send_done = now();
+    }
+  });
+
+  EXPECT_EQ(send_done, 13435u);
+  EXPECT_EQ(recv_done, 13435u);
+}
+
+// ---------------------------------------------------------------------------
+// RMA pipeline: put / get / accumulate / get_accumulate through one window
+// channel, origin-side flush horizons.
+TEST(TransportParity, RmaPipeline) {
+  World world(two_node_config());
+  std::array<net::Time, 4> t{};
+
+  world.run([&](Rank& rank) {
+    std::vector<double> mem(64, rank.rank() == 0 ? 1.0 : 2.0);
+    Window win = Window::create(mem.data(), mem.size() * sizeof(double), rank.world_comm());
+    if (rank.rank() == 0) {
+      const double v = 5.0;
+      win.put(&v, 1, kDouble, 1, 3);
+      win.flush_all();
+      t[0] = now();
+
+      double got = 0.0;
+      win.get(&got, 1, kDouble, 1, 3);
+      win.flush_all();
+      t[1] = now();
+      EXPECT_EQ(got, 5.0);
+
+      win.accumulate(&v, 1, kDouble, 1, 3, Op::kSum);
+      win.flush_all();
+      t[2] = now();
+
+      double fetched = 0.0;
+      win.get_accumulate(&v, &fetched, 1, kDouble, 1, 3, Op::kSum);
+      t[3] = now();
+      EXPECT_EQ(fetched, 10.0);
+    }
+  });
+
+  EXPECT_EQ(t[0], 1200u);
+  EXPECT_EQ(t[1], 3300u);
+  EXPECT_EQ(t[2], 4580u);
+  EXPECT_EQ(t[3], 6760u);
+}
+
+// ---------------------------------------------------------------------------
+// Partitioned pipeline: 4 partitions through one channel, phase-ordered so
+// the receive side is registered and active before the first pready.
+TEST(TransportParity, PartitionedPipeline) {
+  World world(two_node_config());
+  constexpr int kParts = 4;
+  constexpr int kCount = 16;
+  std::vector<std::byte> sbuf(kParts * kCount, std::byte{0x55});
+  std::vector<std::byte> rbuf(kParts * kCount);
+  Request sreq, rreq;
+  net::Time send_done = 0;
+  net::Time recv_done = 0;
+
+  world.run([&](Rank& rank) {
+    if (rank.rank() == 0) {
+      sreq = psend_init(sbuf.data(), kParts, kCount, kByte, 1, 9, rank.world_comm());
+      start(sreq);
+    } else {
+      rreq = precv_init(rbuf.data(), kParts, kCount, kByte, 0, 9, rank.world_comm());
+      start(rreq);
+    }
+  });
+  world.run([&](Rank& rank) {
+    if (rank.rank() == 0) {
+      for (int p = 0; p < kParts; ++p) pready(p, sreq);
+      sreq.wait();
+      send_done = now();
+    }
+  });
+  world.run([&](Rank& rank) {
+    if (rank.rank() == 1) {
+      for (int p = 0; p < kParts; ++p) await_partition(rreq, p);
+      rreq.wait();
+      recv_done = now();
+    }
+  });
+
+  EXPECT_EQ(send_done, 740u);
+  EXPECT_EQ(recv_done, 1701u);
+  EXPECT_EQ(rbuf[17], std::byte{0x55});
+}
+
+// ---------------------------------------------------------------------------
+// Collective fragments ride the same pipeline; the root's clock after a
+// bcast is deterministic (only its own sends charge it).
+TEST(TransportParity, CollectiveRootClock) {
+  World world(two_node_config());
+  net::Time root_done = 0;
+  net::Time leaf_done = 0;
+
+  world.run([&](Rank& rank) {
+    std::vector<std::int32_t> buf(16);
+    if (rank.rank() == 0) {
+      for (std::size_t i = 0; i < buf.size(); ++i) buf[i] = static_cast<std::int32_t>(i);
+    }
+    bcast(buf.data(), 16, kInt32, 0, rank.world_comm());
+    if (rank.rank() == 0) {
+      root_done = now();
+    } else {
+      leaf_done = now();
+      EXPECT_EQ(buf[7], 7u);
+    }
+  });
+
+  EXPECT_EQ(root_done, 140u);
+  // The leaf's match path depends on deposit/post interleaving (host order);
+  // its completion stays within one probe/insert charge of the golden value.
+  EXPECT_NEAR(static_cast<double>(leaf_done), 1156.0, 100.0);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end workload makespans: single-worker message-rate runs per mode.
+// These cover routing through comm policies, endpoints, and tag hints.
+TEST(TransportParity, MsgrateElapsed) {
+  auto elapsed = [](wl::MsgRateMode mode) {
+    wl::MsgRateParams p;
+    p.mode = mode;
+    p.workers = 1;
+    p.msgs_per_worker = 256;
+    p.window = 16;
+    p.msg_bytes = 8;
+    return wl::run_msgrate(p).elapsed_ns;
+  };
+
+  // Makespans carry a sub-0.2% host-order jitter in the match path (probe
+  // vs insert charges, DESIGN.md §6); pin to the seed value with a 400 ns
+  // band, far tighter than the <2% reproducibility guarantee.
+  EXPECT_NEAR(static_cast<double>(elapsed(wl::MsgRateMode::kEverywhere)), 69940.0, 400.0);
+  EXPECT_NEAR(static_cast<double>(elapsed(wl::MsgRateMode::kThreadsOriginal)), 70220.0, 400.0);
+  EXPECT_NEAR(static_cast<double>(elapsed(wl::MsgRateMode::kThreadsEndpoints)), 70220.0, 400.0);
+  EXPECT_NEAR(static_cast<double>(elapsed(wl::MsgRateMode::kThreadsTags)), 70220.0, 400.0);
+  EXPECT_NEAR(static_cast<double>(elapsed(wl::MsgRateMode::kThreadsComms)), 70220.0, 400.0);
+}
+
+// ---------------------------------------------------------------------------
+// Regression: truncation detected at match time must surface as kTruncate
+// from wait()/test() on the receive request, for BOTH protocols and BOTH
+// match orders (posted-first and unexpected).
+TEST(TransportTruncation, EagerBothOrders) {
+  for (const bool posted_first : {true, false}) {
+    World world(two_node_config());
+    std::vector<std::byte> sbuf(64, std::byte{0x66});
+    std::vector<std::byte> rbuf(8);
+    Request rreq, sreq;
+
+    auto post = [&](Rank& rank) {
+      if (rank.rank() == 1) {
+        rreq = irecv(rbuf.data(), 8, kByte, 0, 2, rank.world_comm());
+      }
+    };
+    auto send = [&](Rank& rank) {
+      if (rank.rank() == 0) {
+        sreq = isend(sbuf.data(), 64, kByte, 1, 2, rank.world_comm());
+      }
+    };
+    if (posted_first) {
+      world.run(post);
+      world.run(send);
+    } else {
+      world.run(send);
+      world.run(post);
+    }
+    world.run([&](Rank& rank) {
+      if (rank.rank() == 1) {
+        Status st;
+        try {
+          rreq.wait();
+          FAIL() << "truncated eager receive did not throw (posted_first=" << posted_first
+                 << ")";
+        } catch (const Error& e) {
+          EXPECT_EQ(e.code(), Errc::kTruncate);
+        }
+        // test() must keep reporting the error, not success.
+        try {
+          (void)rreq.test(&st);
+          FAIL() << "test() after truncation did not throw";
+        } catch (const Error& e) {
+          EXPECT_EQ(e.code(), Errc::kTruncate);
+        }
+      } else {
+        sreq.wait();  // eager send completes regardless of remote truncation
+      }
+    });
+  }
+}
+
+TEST(TransportTruncation, RendezvousBothOrders) {
+  const std::size_t kBytes = 128 * 1024;
+  for (const bool posted_first : {true, false}) {
+    World world(two_node_config());
+    std::vector<std::byte> sbuf(kBytes, std::byte{0x77});
+    std::vector<std::byte> rbuf(64);
+    Request rreq, sreq;
+
+    auto post = [&](Rank& rank) {
+      if (rank.rank() == 1) {
+        rreq = irecv(rbuf.data(), 64, kByte, 0, 2, rank.world_comm());
+      }
+    };
+    auto send = [&](Rank& rank) {
+      if (rank.rank() == 0) {
+        sreq = isend(sbuf.data(), static_cast<int>(kBytes), kByte, 1, 2, rank.world_comm());
+      }
+    };
+    if (posted_first) {
+      world.run(post);
+      world.run(send);
+    } else {
+      world.run(send);
+      world.run(post);
+    }
+    world.run([&](Rank& rank) {
+      if (rank.rank() == 1) {
+        try {
+          rreq.wait();
+          FAIL() << "truncated rendezvous receive did not throw (posted_first=" << posted_first
+                 << ")";
+        } catch (const Error& e) {
+          EXPECT_EQ(e.code(), Errc::kTruncate);
+        }
+      } else {
+        sreq.wait();  // sender still completes: the RTS matched
+      }
+    });
+  }
+}
+
+}  // namespace
