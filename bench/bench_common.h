@@ -89,6 +89,16 @@ inline void print_channel_telemetry(const char* title, const tmpi::net::NetStats
               static_cast<unsigned long long>(s.unexpected_messages),
               static_cast<unsigned long long>(s.rma_ops),
               static_cast<unsigned long long>(s.channel_ops));
+  if (s.drops + s.corrupts + s.delays + s.retransmits + s.timeouts + s.failovers != 0) {
+    std::printf("faults: drops=%llu corrupts=%llu delays=%llu retransmits=%llu timeouts=%llu "
+                "failovers=%llu\n",
+                static_cast<unsigned long long>(s.drops),
+                static_cast<unsigned long long>(s.corrupts),
+                static_cast<unsigned long long>(s.delays),
+                static_cast<unsigned long long>(s.retransmits),
+                static_cast<unsigned long long>(s.timeouts),
+                static_cast<unsigned long long>(s.failovers));
+  }
   std::printf("message sizes (log2 histogram, non-empty buckets): ");
   for (int b = 0; b < tmpi::net::kMsgSizeBuckets; ++b) {
     const auto n = s.size_hist[static_cast<std::size_t>(b)];
@@ -103,8 +113,8 @@ inline void print_channel_telemetry(const char* title, const tmpi::net::NetStats
   std::sort(ch.begin(), ch.end(), [](const auto& a, const auto& b) {
     return a.injections + a.rx_ops > b.injections + b.rx_ops;
   });
-  std::printf("%-6s %-5s %10s %10s %10s %10s %12s %12s\n", "rank", "vci", "inject", "rx",
-              "deposits", "locks", "contended", "busy_ns");
+  std::printf("%-6s %-5s %10s %10s %10s %10s %12s %12s %8s %8s\n", "rank", "vci", "inject", "rx",
+              "deposits", "locks", "contended", "busy_ns", "faults", "retx");
   std::size_t shown = 0;
   for (const auto& c : ch) {
     if (c.injections + c.rx_ops + c.lock_acquisitions == 0) continue;
@@ -112,13 +122,15 @@ inline void print_channel_telemetry(const char* title, const tmpi::net::NetStats
       std::printf("  ... %zu more active channels\n", ch.size() - max_rows);
       break;
     }
-    std::printf("%-6d %-5d %10llu %10llu %10llu %10llu %12llu %12llu\n", c.rank, c.vci,
-                static_cast<unsigned long long>(c.injections),
+    std::printf("%-6d %-5d %10llu %10llu %10llu %10llu %12llu %12llu %8llu %8llu\n", c.rank,
+                c.vci, static_cast<unsigned long long>(c.injections),
                 static_cast<unsigned long long>(c.rx_ops),
                 static_cast<unsigned long long>(c.deposits),
                 static_cast<unsigned long long>(c.lock_acquisitions),
                 static_cast<unsigned long long>(c.contended_acquisitions),
-                static_cast<unsigned long long>(c.busy_ns));
+                static_cast<unsigned long long>(c.busy_ns),
+                static_cast<unsigned long long>(c.drops + c.corrupts + c.delays + c.timeouts),
+                static_cast<unsigned long long>(c.retransmits));
   }
   if (shown == 0) std::printf("  (no channel traffic)\n");
 }

@@ -76,6 +76,14 @@ struct CostModel {
   /// Cost of a Pready / Parrived flag operation excluding locking.
   Time partition_flag_ns = 25;
 
+  // --- Fault recovery (DESIGN.md §7) ---------------------------------------
+  /// Ack-timeout the sender waits before the first retransmission of a
+  /// dropped (or checksum-discarded) message; doubles on every further
+  /// attempt (exponential backoff).
+  Time retrans_backoff_ns = 400;
+  /// Cap on a single backoff interval.
+  Time retrans_backoff_max_ns = 25600;
+
   // --- Protocol ------------------------------------------------------------
   /// Messages larger than this use the rendezvous protocol: the sender's
   /// completion additionally waits for the match plus one wire round trip.

@@ -1,0 +1,150 @@
+#include "net/fault.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace tmpi::net {
+
+namespace {
+
+/// splitmix64 finalizer: the stateless hash behind the probabilistic rates.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+/// Uniform double in [0, 1) from (seed, rank, vci, op, attempt). Counter-based
+/// (no stream state), so a channel's fault sequence depends only on the order
+/// of its own operations — the determinism contract of DESIGN.md §7.
+double u01(std::uint64_t seed, int rank, int vci, std::uint64_t op, int attempt) {
+  std::uint64_t h = mix64(seed ^ 0xC0FFEEull);
+  h = mix64(h ^ static_cast<std::uint64_t>(rank));
+  h = mix64(h ^ (static_cast<std::uint64_t>(vci) << 20));
+  h = mix64(h ^ op);
+  h = mix64(h ^ (static_cast<std::uint64_t>(attempt) << 40));
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+FaultAction action_from(const std::string& name) {
+  if (name == "drop") return FaultAction::kDrop;
+  if (name == "corrupt") return FaultAction::kCorrupt;
+  if (name == "delay") return FaultAction::kDelay;
+  throw std::invalid_argument("FaultPlan: unknown action '" + name + "'");
+}
+
+}  // namespace
+
+void FaultPlan::parse_plan(const std::string& grammar) {
+  std::size_t pos = 0;
+  while (pos < grammar.size()) {
+    std::size_t end = grammar.find(';', pos);
+    if (end == std::string::npos) end = grammar.size();
+    const std::string tok = grammar.substr(pos, end - pos);
+    pos = end + 1;
+    if (tok.empty()) continue;
+
+    const std::size_t at = tok.find('@');
+    const std::size_t c1 = tok.find(':', at == std::string::npos ? 0 : at + 1);
+    const std::size_t c2 = c1 == std::string::npos ? std::string::npos : tok.find(':', c1 + 1);
+    if (at == std::string::npos || c1 == std::string::npos || c2 == std::string::npos) {
+      throw std::invalid_argument("FaultPlan: malformed event '" + tok +
+                                  "' (want action@rank:vci:op)");
+    }
+    Event e;
+    const std::string action = tok.substr(0, at);
+    if (action == "down") {
+      e.ctx_down = true;
+    } else {
+      e.action = action_from(action);
+    }
+    e.rank = std::stoi(tok.substr(at + 1, c1 - at - 1));
+    e.vci = std::stoi(tok.substr(c1 + 1, c2 - c1 - 1));
+    e.op = std::stoull(tok.substr(c2 + 1));
+    events.push_back(e);
+  }
+}
+
+bool FaultPlan::set(const std::string& key, const std::string& value) {
+  if (key == "tmpi_fault_seed") {
+    seed = std::stoull(value);
+  } else if (key == "tmpi_fault_drop_rate") {
+    drop_rate = std::stod(value);
+  } else if (key == "tmpi_fault_corrupt_rate") {
+    corrupt_rate = std::stod(value);
+  } else if (key == "tmpi_fault_delay_rate") {
+    delay_rate = std::stod(value);
+  } else if (key == "tmpi_fault_delay_ns") {
+    delay_ns = static_cast<Time>(std::stoull(value));
+  } else if (key == "tmpi_fault_max_retries") {
+    max_retries = std::stoi(value);
+  } else if (key == "tmpi_fault_timeout_ns") {
+    timeout_ns = static_cast<Time>(std::stoull(value));
+  } else if (key == "tmpi_fault_plan") {
+    parse_plan(value);
+  } else {
+    return false;
+  }
+  return true;
+}
+
+FaultPlan FaultPlan::from_env(FaultPlan base) {
+  static constexpr const char* kKeys[] = {
+      "tmpi_fault_seed",       "tmpi_fault_drop_rate",   "tmpi_fault_corrupt_rate",
+      "tmpi_fault_delay_rate", "tmpi_fault_delay_ns",    "tmpi_fault_max_retries",
+      "tmpi_fault_timeout_ns", "tmpi_fault_plan",
+  };
+  for (const char* key : kKeys) {
+    std::string env_name(key);
+    for (char& c : env_name) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+    if (const char* v = std::getenv(env_name.c_str()); v != nullptr) {
+      base.set(key, v);
+    }
+  }
+  return base;
+}
+
+std::uint64_t FaultInjector::channel_op(int rank, int vci) {
+  std::scoped_lock lk(mu_);
+  return op_counts_[{rank, vci}]++;
+}
+
+FaultVerdict FaultInjector::verdict(int rank, int vci, std::uint64_t op, int attempt) const {
+  FaultVerdict v;
+  if (attempt == 0) {
+    for (const FaultPlan::Event& e : plan_.events) {
+      if (!e.ctx_down && e.rank == rank && e.vci == vci && e.op == op) {
+        v.action = e.action;
+        if (v.action == FaultAction::kDelay) v.delay_ns = plan_.delay_ns;
+        return v;
+      }
+    }
+  }
+  const double u = u01(plan_.seed, rank, vci, op, attempt);
+  if (u < plan_.drop_rate) {
+    v.action = FaultAction::kDrop;
+  } else if (u < plan_.drop_rate + plan_.corrupt_rate) {
+    v.action = FaultAction::kCorrupt;
+  } else if (u < plan_.drop_rate + plan_.corrupt_rate + plan_.delay_rate) {
+    v.action = FaultAction::kDelay;
+    v.delay_ns = plan_.delay_ns;
+  }
+  return v;
+}
+
+bool FaultInjector::context_down_due(int rank, int vci, std::uint64_t op) {
+  bool due = false;
+  std::scoped_lock lk(mu_);
+  for (std::size_t i = 0; i < plan_.events.size(); ++i) {
+    const FaultPlan::Event& e = plan_.events[i];
+    if (e.ctx_down && !down_fired_[i] && e.rank == rank && e.vci == vci && op >= e.op) {
+      down_fired_[i] = true;
+      due = true;
+    }
+  }
+  return due;
+}
+
+}  // namespace tmpi::net

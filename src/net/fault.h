@@ -1,0 +1,141 @@
+#ifndef TMPI_NET_FAULT_H
+#define TMPI_NET_FAULT_H
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/virtual_clock.h"
+
+/// \file fault.h
+/// Deterministic fault injection for the transport choke point.
+///
+/// A FaultPlan programs per-(rank, VCI) drop / corrupt / delay / context-down
+/// behaviour, either probabilistically (seeded rates applied through a
+/// counter-based hash, so identical seeds replay identical fault sequences)
+/// or as explicit scheduled events ("drop the 3rd operation on rank 0's
+/// VCI 1"). The FaultInjector evaluates the plan inside Transport::inject()
+/// and deliver(); it never sleeps or consults real time, so every injected
+/// fault — and every recovery action it provokes (retransmission backoff,
+/// TMPI_ERR_TIMEOUT, VCI failover) — is reproducible in virtual time.
+///
+/// Plan grammar (the `tmpi_fault_plan` Info key / TMPI_FAULT_PLAN env var):
+///   plan    := event (';' event)*
+///   event   := action '@' rank ':' vci ':' op
+///   action  := 'drop' | 'corrupt' | 'delay' | 'down'
+/// `op` is the zero-based index of the operation in the channel's stream
+/// (inject / deliver / post_recv touches, in order; probes don't count).
+/// drop/corrupt/delay events fire on the first transmit attempt of that
+/// operation; 'down' marks the channel's hardware context down when the
+/// stream reaches op index `op`, triggering failover (DESIGN.md §7).
+///
+/// Scalar keys (Info key, env var = upper-cased key):
+///   tmpi_fault_seed          u64   hash seed for the probabilistic rates
+///   tmpi_fault_drop_rate     [0,1] per-attempt probability of a clean loss
+///   tmpi_fault_corrupt_rate  [0,1] per-attempt probability of a checksum-
+///                                  detected corruption (discarded like a
+///                                  drop, counted separately)
+///   tmpi_fault_delay_rate    [0,1] per-attempt probability of extra latency
+///   tmpi_fault_delay_ns      u64   the extra latency an injected delay adds
+///   tmpi_fault_max_retries   int   retransmissions before TMPI_ERR_TIMEOUT
+///   tmpi_fault_timeout_ns    u64   cumulative-backoff budget (0 = retries
+///                                  bound only)
+///   tmpi_fault_plan          str   scheduled events, grammar above
+/// An empty plan (all rates zero, no events) disables the layer entirely:
+/// the transport takes its pre-fault fast path, bit-exactly.
+
+namespace tmpi::net {
+
+/// What the injector decided for one transmit attempt.
+enum class FaultAction {
+  kDeliver,  ///< no fault: the message proceeds normally
+  kDrop,     ///< clean loss on the wire; sender's ack timer will expire
+  kCorrupt,  ///< payload damaged; receiver checksum discards it (== a drop
+             ///< on the timing path, tallied separately)
+  kDelay,    ///< message arrives late by `delay_ns`
+};
+
+struct FaultVerdict {
+  FaultAction action = FaultAction::kDeliver;
+  Time delay_ns = 0;  ///< extra arrival latency (kDelay only)
+};
+
+/// Programmable fault schedule. Value type; parsed from Info keys and/or
+/// TMPI_FAULT_* environment variables (env wins).
+struct FaultPlan {
+  std::uint64_t seed = 1;
+  double drop_rate = 0.0;
+  double corrupt_rate = 0.0;
+  double delay_rate = 0.0;
+  Time delay_ns = 2000;
+  int max_retries = 8;
+  Time timeout_ns = 0;  ///< 0 = bound by max_retries only
+
+  struct Event {
+    FaultAction action = FaultAction::kDrop;
+    bool ctx_down = false;  ///< 'down' events are not per-attempt verdicts
+    int rank = 0;
+    int vci = 0;
+    std::uint64_t op = 0;
+  };
+  std::vector<Event> events;
+
+  /// True when any fault can actually fire. A disabled plan keeps the
+  /// transport on its zero-overhead fast path.
+  [[nodiscard]] bool enabled() const {
+    return drop_rate > 0.0 || corrupt_rate > 0.0 || delay_rate > 0.0 || !events.empty();
+  }
+
+  /// Apply one `tmpi_fault_*` key; returns false for unrecognized keys
+  /// (callers pass whole Info dictionaries through).
+  bool set(const std::string& key, const std::string& value);
+
+  /// Parse the scheduled-event grammar, appending to `events`. Malformed
+  /// tokens throw std::invalid_argument.
+  void parse_plan(const std::string& grammar);
+
+  /// Overlay TMPI_FAULT_* environment variables onto `base`.
+  static FaultPlan from_env(FaultPlan base);
+  static FaultPlan from_env() { return from_env(FaultPlan{}); }
+};
+
+/// Evaluates a FaultPlan at the transport choke point. Thread-safe; all
+/// decisions are pure functions of (seed, rank, vci, op index, attempt), so
+/// any execution that orders a channel's operations the same way sees the
+/// same faults.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {}
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+
+  /// Count one transport operation through channel (rank, vci) and return
+  /// its zero-based index in that channel's stream.
+  std::uint64_t channel_op(int rank, int vci);
+
+  /// The verdict for transmit attempt `attempt` (0 = first transmission) of
+  /// operation `op` on channel (rank, vci). Scheduled drop/corrupt/delay
+  /// events apply to attempt 0 only — retransmissions of a scheduled fault
+  /// go through clean unless a probabilistic rate also fires.
+  [[nodiscard]] FaultVerdict verdict(int rank, int vci, std::uint64_t op, int attempt) const;
+
+  /// True exactly once per scheduled 'down' event, when channel (rank, vci)
+  /// reaches op index `op`. The caller is expected to fail the stream over.
+  bool context_down_due(int rank, int vci, std::uint64_t op);
+
+ private:
+  FaultPlan plan_;
+  std::mutex mu_;
+  std::map<std::pair<int, int>, std::uint64_t> op_counts_;
+  std::vector<bool> down_fired_ = std::vector<bool>(plan_.events.size(), false);
+};
+
+}  // namespace tmpi::net
+
+#endif  // TMPI_NET_FAULT_H

@@ -34,6 +34,12 @@ class HwContext {
   void add_sharer() { sharers_.fetch_add(1, std::memory_order_relaxed); }
   [[nodiscard]] int sharers() const { return sharers_.load(std::memory_order_relaxed); }
 
+  /// Fault layer (DESIGN.md §7): a context marked down no longer carries
+  /// traffic reliably; VciPool::fail_over redirects the affected stream to a
+  /// fallback VCI. The flag is sticky — simulated hardware does not recover.
+  void mark_down() { down_.store(true, std::memory_order_release); }
+  [[nodiscard]] bool is_down() const { return down_.load(std::memory_order_acquire); }
+
   /// Occupy the context for `base_cost` of work (plus the sharing penalty if
   /// >1 VCI maps here). Advances the caller's virtual clock past the busy
   /// horizon and returns the completion time. The context is duplex-serial:
@@ -81,6 +87,7 @@ class HwContext {
   int id_;
   NetStats* stats_;
   std::atomic<int> sharers_{0};
+  std::atomic<bool> down_{false};
   mutable std::mutex mu_;
   Time busy_until_ = 0;
 };

@@ -38,6 +38,13 @@ struct ChannelStatsSnapshot {
   std::uint64_t lock_acquisitions = 0;     ///< VCI lock acquisitions
   std::uint64_t contended_acquisitions = 0;
   Time busy_ns = 0;  ///< virtual busy time this channel added to its context
+  // Fault layer (DESIGN.md §7); all zero unless a FaultPlan is active.
+  std::uint64_t drops = 0;        ///< injected clean losses
+  std::uint64_t corrupts = 0;     ///< checksum-detected corruptions (discarded)
+  std::uint64_t delays = 0;       ///< injected extra-latency events
+  std::uint64_t retransmits = 0;  ///< retransmissions after a loss
+  std::uint64_t timeouts = 0;     ///< operations that exhausted their retries
+  std::uint64_t failovers = 0;    ///< streams failed over *away from* this channel
 };
 
 /// Per-(rank, VCI) counter block. Registered once at VCI creation and shared
@@ -54,6 +61,12 @@ class ChannelStats {
     if (contended) contended_acquisitions_.fetch_add(1, std::memory_order_relaxed);
   }
   void add_busy(Time ns) { busy_ns_.fetch_add(ns, std::memory_order_relaxed); }
+  void add_drop() { drops_.fetch_add(1, std::memory_order_relaxed); }
+  void add_corrupt() { corrupts_.fetch_add(1, std::memory_order_relaxed); }
+  void add_delay() { delays_.fetch_add(1, std::memory_order_relaxed); }
+  void add_retransmit() { retransmits_.fetch_add(1, std::memory_order_relaxed); }
+  void add_timeout() { timeouts_.fetch_add(1, std::memory_order_relaxed); }
+  void add_failover() { failovers_.fetch_add(1, std::memory_order_relaxed); }
 
   [[nodiscard]] ChannelStatsSnapshot snapshot() const {
     ChannelStatsSnapshot s;
@@ -65,6 +78,12 @@ class ChannelStats {
     s.lock_acquisitions = lock_acquisitions_.load(std::memory_order_relaxed);
     s.contended_acquisitions = contended_acquisitions_.load(std::memory_order_relaxed);
     s.busy_ns = busy_ns_.load(std::memory_order_relaxed);
+    s.drops = drops_.load(std::memory_order_relaxed);
+    s.corrupts = corrupts_.load(std::memory_order_relaxed);
+    s.delays = delays_.load(std::memory_order_relaxed);
+    s.retransmits = retransmits_.load(std::memory_order_relaxed);
+    s.timeouts = timeouts_.load(std::memory_order_relaxed);
+    s.failovers = failovers_.load(std::memory_order_relaxed);
     return s;
   }
 
@@ -77,6 +96,12 @@ class ChannelStats {
   std::atomic<std::uint64_t> lock_acquisitions_{0};
   std::atomic<std::uint64_t> contended_acquisitions_{0};
   std::atomic<Time> busy_ns_{0};
+  std::atomic<std::uint64_t> drops_{0};
+  std::atomic<std::uint64_t> corrupts_{0};
+  std::atomic<std::uint64_t> delays_{0};
+  std::atomic<std::uint64_t> retransmits_{0};
+  std::atomic<std::uint64_t> timeouts_{0};
+  std::atomic<std::uint64_t> failovers_{0};
 };
 
 /// Message-size histogram bucket count: bucket i holds messages with
@@ -98,6 +123,13 @@ struct NetStatsSnapshot {
   std::uint64_t rma_ops = 0;
   std::uint64_t atomic_ops = 0;
   std::uint64_t channel_ops = 0;  ///< ops issued through rp::Channel backends
+  // Fault layer aggregates (DESIGN.md §7).
+  std::uint64_t drops = 0;
+  std::uint64_t corrupts = 0;
+  std::uint64_t delays = 0;
+  std::uint64_t retransmits = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t failovers = 0;
   Time ctx_busy_ns = 0;  ///< total virtual busy time accumulated across contexts
   std::array<std::uint64_t, kMsgSizeBuckets> size_hist{};  ///< log2 message sizes
   std::vector<ChannelStatsSnapshot> channels;  ///< per-(rank, VCI), creation order
@@ -117,6 +149,12 @@ struct NetStatsSnapshot {
     d.rma_ops = rma_ops - o.rma_ops;
     d.atomic_ops = atomic_ops - o.atomic_ops;
     d.channel_ops = channel_ops - o.channel_ops;
+    d.drops = drops - o.drops;
+    d.corrupts = corrupts - o.corrupts;
+    d.delays = delays - o.delays;
+    d.retransmits = retransmits - o.retransmits;
+    d.timeouts = timeouts - o.timeouts;
+    d.failovers = failovers - o.failovers;
     d.ctx_busy_ns = ctx_busy_ns - o.ctx_busy_ns;
     for (int i = 0; i < kMsgSizeBuckets; ++i) {
       d.size_hist[static_cast<std::size_t>(i)] = size_hist[static_cast<std::size_t>(i)] -
@@ -136,6 +174,12 @@ struct NetStatsSnapshot {
         dc.lock_acquisitions -= b.lock_acquisitions;
         dc.contended_acquisitions -= b.contended_acquisitions;
         dc.busy_ns -= b.busy_ns;
+        dc.drops -= b.drops;
+        dc.corrupts -= b.corrupts;
+        dc.delays -= b.delays;
+        dc.retransmits -= b.retransmits;
+        dc.timeouts -= b.timeouts;
+        dc.failovers -= b.failovers;
       }
       d.channels.push_back(dc);
     }
@@ -173,6 +217,12 @@ class NetStats {
     if (atomic) atomic_ops_.fetch_add(1, std::memory_order_relaxed);
   }
   void add_channel_op() { channel_ops_.fetch_add(1, std::memory_order_relaxed); }
+  void add_drop() { drops_.fetch_add(1, std::memory_order_relaxed); }
+  void add_corrupt() { corrupts_.fetch_add(1, std::memory_order_relaxed); }
+  void add_delay() { delays_.fetch_add(1, std::memory_order_relaxed); }
+  void add_retransmit() { retransmits_.fetch_add(1, std::memory_order_relaxed); }
+  void add_timeout() { timeouts_.fetch_add(1, std::memory_order_relaxed); }
+  void add_failover() { failovers_.fetch_add(1, std::memory_order_relaxed); }
 
   /// Per-channel counter block for (rank, vci); created on first use. The
   /// returned reference stays valid for the NetStats lifetime. Called once
@@ -203,6 +253,12 @@ class NetStats {
     s.rma_ops = rma_ops_.load(std::memory_order_relaxed);
     s.atomic_ops = atomic_ops_.load(std::memory_order_relaxed);
     s.channel_ops = channel_ops_.load(std::memory_order_relaxed);
+    s.drops = drops_.load(std::memory_order_relaxed);
+    s.corrupts = corrupts_.load(std::memory_order_relaxed);
+    s.delays = delays_.load(std::memory_order_relaxed);
+    s.retransmits = retransmits_.load(std::memory_order_relaxed);
+    s.timeouts = timeouts_.load(std::memory_order_relaxed);
+    s.failovers = failovers_.load(std::memory_order_relaxed);
     s.ctx_busy_ns = ctx_busy_ns_.load(std::memory_order_relaxed);
     for (int i = 0; i < kMsgSizeBuckets; ++i) {
       s.size_hist[static_cast<std::size_t>(i)] =
@@ -230,6 +286,12 @@ class NetStats {
   std::atomic<std::uint64_t> rma_ops_{0};
   std::atomic<std::uint64_t> atomic_ops_{0};
   std::atomic<std::uint64_t> channel_ops_{0};
+  std::atomic<std::uint64_t> drops_{0};
+  std::atomic<std::uint64_t> corrupts_{0};
+  std::atomic<std::uint64_t> delays_{0};
+  std::atomic<std::uint64_t> retransmits_{0};
+  std::atomic<std::uint64_t> timeouts_{0};
+  std::atomic<std::uint64_t> failovers_{0};
   std::atomic<Time> ctx_busy_ns_{0};
   std::array<std::atomic<std::uint64_t>, kMsgSizeBuckets> size_hist_{};
 

@@ -111,6 +111,7 @@ const char* to_string(Errc code) {
     case Errc::kThreadLevel: return "thread level violation";
     case Errc::kTruncate: return "message truncated";
     case Errc::kPartitionState: return "partitioned operation state error";
+    case Errc::kTimeout: return "operation timed out";
     case Errc::kInternal: return "internal error";
   }
   return "?";

@@ -20,8 +20,12 @@ enum class Errc {
   kThreadLevel,          ///< call pattern exceeds the requested thread level
   kTruncate,             ///< receive buffer smaller than the matched message
   kPartitionState,       ///< partitioned op used while inactive / double-ready
+  kTimeout,              ///< retransmission budget exhausted under injected loss
   kInternal,
 };
+
+/// MPI-style spelling of the fault-recovery error (DESIGN.md §7).
+inline constexpr Errc TMPI_ERR_TIMEOUT = Errc::kTimeout;
 
 const char* to_string(Errc code);
 

@@ -87,6 +87,18 @@ class MatchingEngine {
   bool probe_unexpected(int ctx_id, int src, Tag tag, net::VirtualClock& clk,
                         const net::CostModel& cm, net::NetStats* stats, Status* st) const;
 
+  /// Failover queue migration (DESIGN.md §7): splice every queued receive and
+  /// unexpected message out of `from` into this engine, preserving order.
+  /// Caller holds both VCIs' ContentionLocks. Best-effort: an in-flight
+  /// deposit that resolved its VCI before the redirect was published can
+  /// still land in `from` afterwards — deterministic tests phase-order
+  /// traffic around the failover, and the stress suite injects no ctx-down
+  /// events.
+  void absorb(MatchingEngine& from) {
+    unexpected_.splice(unexpected_.end(), from.unexpected_);
+    posted_.splice(posted_.end(), from.posted_);
+  }
+
   [[nodiscard]] std::size_t posted_depth() const { return posted_.size(); }
   [[nodiscard]] std::size_t unexpected_depth() const { return unexpected_.size(); }
 

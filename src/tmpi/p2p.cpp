@@ -52,6 +52,16 @@ Request isend_impl(const void* buf, std::size_t bytes, int ctx_id, int dst, Tag 
   op.remote_vci = route.remote;
 
   const detail::InjectResult ir = w.transport().inject(op);
+  if (ir.timed_out) {
+    // Retransmission budget exhausted (DESIGN.md §7): nothing reached the
+    // wire. The request fails with TMPI_ERR_TIMEOUT; wait()/test() throw.
+    Status st;
+    st.source = comm.rank();
+    st.tag = tag;
+    st.bytes = 0;
+    req->finish_error(net::ThreadClock::get().now(), st, Errc::kTimeout);
+    return Request(req);
+  }
   const int src_node = w.rank_state(op.src_world_rank).node;
   const int dst_node = w.rank_state(op.dst_world_rank).node;
 
@@ -151,9 +161,12 @@ Status probe(int src, Tag tag, const Comm& comm) {
   const detail::CommImpl& c = *comm.impl();
   World& w = comm.world();
   const int lvci = detail::route_recv(c, comm.rank(), src, tag);
-  detail::Vci& v = w.rank_state(c.world_rank_of(comm.rank())).vcis.at(lvci);
+  detail::VciPool& pool = w.rank_state(c.world_rank_of(comm.rank())).vcis;
   Status st;
   for (;;) {
+    // Re-resolve each round: a failover mid-wait moves deposits (and their
+    // wakeups) to the fallback channel.
+    detail::Vci& v = pool.at(pool.resolve(lvci));
     const std::uint64_t seen = v.deposit_count();
     if (iprobe(src, tag, comm, &st)) return st;
     // Sleep until another message lands on this channel; no virtual-time

@@ -276,6 +276,19 @@ void pready(int partition, Request& req) {
   op.local_vci = s->vcis[static_cast<std::size_t>(partition) % s->vcis.size()];
 
   const detail::InjectResult ir = w.transport().inject(op);
+  if (ir.timed_out) {
+    // The partition never reached the wire (DESIGN.md §7): fail the whole
+    // partitioned send with TMPI_ERR_TIMEOUT rather than silently complete a
+    // partial transfer. The partition stays un-ready.
+    Status st;
+    st.source = s->my_rank;
+    st.tag = s->tag;
+    st.bytes = 0;
+    std::scoped_lock lk(s->chan->mu);
+    s->finish_error(clk.now(), st, Errc::kTimeout);
+    s->chan->cv.notify_all();
+    return;
+  }
   const net::Time inject_done = ir.inject_done;
   net::Time arrival = ir.arrival;
 

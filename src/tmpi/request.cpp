@@ -18,6 +18,16 @@ void startall(Request* reqs, std::size_t n) {
   for (std::size_t i = 0; i < n; ++i) start(reqs[i]);
 }
 
+namespace {
+
+[[noreturn]] void raise_request_error(Errc code) {
+  fail(code, code == Errc::kTimeout
+                 ? "operation timed out after exhausting retransmissions"
+                 : "receive buffer smaller than matched message");
+}
+
+}  // namespace
+
 Status Request::wait() {
   TMPI_REQUIRE(valid(), Errc::kInvalidArg, "wait on invalid request");
   auto& clk = net::ThreadClock::get();
@@ -25,8 +35,9 @@ Status Request::wait() {
   s_->cv.wait(lk, [&] { return s_->complete; });
   clk.advance_to(s_->complete_time);
   if (s_->errored) {
+    const Errc code = s_->err;
     lk.unlock();
-    fail(Errc::kTruncate, "receive buffer smaller than matched message");
+    raise_request_error(code);
   }
   return s_->status;
 }
@@ -38,8 +49,9 @@ bool Request::test(Status* st) {
   if (!s_->complete) return false;
   clk.advance_to(s_->complete_time);
   if (s_->errored) {
+    const Errc code = s_->err;
     lk.unlock();
-    fail(Errc::kTruncate, "receive buffer smaller than matched message");
+    raise_request_error(code);
   }
   if (st != nullptr) *st = s_->status;
   return true;

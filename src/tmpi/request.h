@@ -6,6 +6,7 @@
 #include <mutex>
 
 #include "net/virtual_clock.h"
+#include "tmpi/error.h"
 #include "tmpi/status.h"
 
 /// \file request.h
@@ -31,7 +32,8 @@ struct ReqState {
   std::mutex mu;
   std::condition_variable cv;
   bool complete = false;
-  bool errored = false;  ///< e.g. truncation; wait() throws
+  bool errored = false;          ///< e.g. truncation or timeout; wait() throws
+  Errc err = Errc::kTruncate;    ///< which error wait()/test() raise (if errored)
   net::Time complete_time = 0;
   Status status;
   ReqKind kind = ReqKind::kNone;
@@ -56,14 +58,15 @@ struct ReqState {
     cv.notify_all();
   }
 
-  /// Mark complete *and errored* (e.g. truncation) atomically: both flags are
-  /// published under one lock acquisition and one notify, so no waiter can
-  /// observe `complete` without `errored` and report success for a failed
-  /// operation.
-  void finish_error(net::Time t, const Status& st) {
+  /// Mark complete *and errored* (truncation, TMPI_ERR_TIMEOUT) atomically:
+  /// all flags are published under one lock acquisition and one notify, so no
+  /// waiter can observe `complete` without `errored` and report success for a
+  /// failed operation.
+  void finish_error(net::Time t, const Status& st, Errc code = Errc::kTruncate) {
     {
       std::scoped_lock lk(mu);
       errored = true;
+      err = code;
       complete = true;
       complete_time = t;
       status = st;

@@ -161,6 +161,10 @@ IssueResult rma_issue(const Window& win_handle, const WindowImpl& w, const CommI
   op.remote_vci = w.endpoints ? c.eps[static_cast<std::size_t>(target)].vci : lvci;
 
   const detail::InjectResult ir = world.transport().inject(op);
+  // RMA ops are synchronous at the issue site; a retransmission budget
+  // exhausted here surfaces immediately as TMPI_ERR_TIMEOUT (DESIGN.md §7).
+  TMPI_REQUIRE(!ir.timed_out, Errc::kTimeout,
+               "RMA operation timed out after exhausting retransmissions");
 
   IssueResult r;
   r.owner_world_rank = t.world_rank;

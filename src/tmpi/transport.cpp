@@ -1,8 +1,60 @@
 #include "tmpi/transport.h"
 
+#include <algorithm>
+
+#include "net/fault.h"
 #include "tmpi/world.h"
 
 namespace tmpi::detail {
+
+namespace {
+
+/// Global-stats tallies for one injected op. Shared by the fast and fault
+/// paths so the two stay in agreement.
+void tally_op(const OpDesc& op, net::NetStats* stats) {
+  if (op.kind == OpKind::kRmaOp) {
+    stats->add_rma(op.atomic);
+  } else {
+    stats->add_message(op.bytes);
+    if (op.rendezvous) stats->add_rendezvous();
+  }
+}
+
+/// Graceful degradation (DESIGN.md §7): fail `rank`'s `vci` stream over to a
+/// fallback channel and migrate its queued matching state. No-op when the
+/// stream is already redirected or the pool has no healthy fallback (the
+/// stream then keeps using the degraded context — there is nowhere to go).
+void fail_over_stream(World& w, int rank, int vci, net::VirtualClock& clk) {
+  RankState& st = w.rank_state(rank);
+  const int to = st.vcis.fail_over(vci);
+  if (to < 0) return;
+  net::NetStats* stats = &w.fabric().stats();
+  const net::CostModel& cm = w.cost();
+  Vci& from = st.vcis.at(vci);
+  Vci& dst = st.vcis.at(to);
+  // Migrate queued receives and unexpected messages under both VCI locks,
+  // ordered by pool index so concurrent failovers cannot deadlock.
+  Vci& first = vci < to ? from : dst;
+  Vci& second = vci < to ? dst : from;
+  net::ContentionLock::Guard g1(first.lock(), clk, cm, stats, first.chstats());
+  net::ContentionLock::Guard g2(second.lock(), clk, cm, stats, second.chstats());
+  dst.engine().absorb(from.engine());
+  stats->add_failover();
+  if (from.chstats() != nullptr) from.chstats()->add_failover();
+}
+
+/// Count one op on channel (rank, vci), fire any due ctx-down event, and
+/// return the VCI actually carrying the stream after redirects. Fault path
+/// only (`fi` non-null). `clk` absorbs the failover's lock charges.
+int fault_route(World& w, net::FaultInjector& fi, int rank, int vci, net::VirtualClock& clk,
+                std::uint64_t* opidx_out = nullptr) {
+  const std::uint64_t opidx = fi.channel_op(rank, vci);
+  if (opidx_out != nullptr) *opidx_out = opidx;
+  if (fi.context_down_due(rank, vci, opidx)) fail_over_stream(w, rank, vci, clk);
+  return w.rank_state(rank).vcis.resolve(vci);
+}
+
+}  // namespace
 
 InjectResult Transport::inject(const OpDesc& op) {
   World& w = *w_;
@@ -15,28 +67,84 @@ InjectResult Transport::inject(const OpDesc& op) {
 
   RankState& me = w.rank_state(op.src_world_rank);
   RankState& peer = w.rank_state(op.dst_world_rank);
-
-  // Inject through the local VCI: lock (software serialization) + hardware
-  // context occupancy.
-  Vci& lv = me.vcis.at(op.local_vci);
-  InjectResult r;
-  {
-    net::ContentionLock::Guard g(lv.lock(), clk, cm, stats, lv.chstats());
-    r.inject_done = lv.ctx().inject(clk, cm, lv.chstats());
-  }
-
-  if (op.kind == OpKind::kRmaOp) {
-    stats->add_rma(op.atomic);
-  } else {
-    stats->add_message(op.bytes);
-    if (op.rendezvous) stats->add_rendezvous();
-  }
-
-  // Rendezvous: only the RTS header travels now; CTS + payload costs apply
-  // after the match (carried in the envelope's rndv_extra_ns).
   const std::size_t wire_bytes = op.rendezvous ? 0 : op.bytes;
-  r.arrival = r.inject_done + w.fabric().transfer_time(me.node, peer.node, wire_bytes);
-  return r;
+
+  InjectResult r;
+  r.vci_used = op.local_vci;
+
+  net::FaultInjector* fi = w.fault_injector();
+  if (fi == nullptr) {
+    // Fast path — no FaultPlan active. Charge order identical to the
+    // pre-fault transport; the golden suite pins it bit-exactly.
+    Vci& lv = me.vcis.at(op.local_vci);
+    {
+      net::ContentionLock::Guard g(lv.lock(), clk, cm, stats, lv.chstats());
+      r.inject_done = lv.ctx().inject(clk, cm, lv.chstats());
+    }
+    tally_op(op, stats);
+    r.arrival = r.inject_done + w.fabric().transfer_time(me.node, peer.node, wire_bytes);
+    return r;
+  }
+
+  // Fault path. Count this op on the sender's channel, honour a pending
+  // ctx-down event, resolve any redirect, then transmit — retrying lost
+  // attempts with exponential backoff until delivery or budget exhaustion.
+  std::uint64_t opidx = 0;
+  const int lvci = fault_route(w, *fi, op.src_world_rank, op.local_vci, clk, &opidx);
+  r.vci_used = lvci;
+  Vci& lv = me.vcis.at(lvci);
+
+  net::Time backoff = cm.retrans_backoff_ns;
+  net::Time waited = 0;
+  const int max_attempts = std::max(1, fi->plan().max_retries + 1);
+
+  for (int attempt = 0;; ++attempt) {
+    {
+      net::ContentionLock::Guard g(lv.lock(), clk, cm, stats, lv.chstats());
+      r.inject_done = lv.ctx().inject(clk, cm, lv.chstats());
+    }
+    r.attempts = attempt + 1;
+    if (attempt == 0) tally_op(op, stats);
+
+    const net::FaultVerdict v = fi->verdict(op.src_world_rank, lvci, opidx, attempt);
+    if (v.action == net::FaultAction::kDeliver || v.action == net::FaultAction::kDelay) {
+      if (v.action == net::FaultAction::kDelay) {
+        stats->add_delay();
+        if (lv.chstats() != nullptr) lv.chstats()->add_delay();
+      }
+      r.arrival =
+          r.inject_done + w.fabric().transfer_time(me.node, peer.node, wire_bytes) + v.delay_ns;
+      return r;
+    }
+
+    // The attempt was lost: a clean drop, or a corruption the receiver's
+    // checksum discards (same timing as a drop, tallied separately).
+    if (v.action == net::FaultAction::kDrop) {
+      stats->add_drop();
+      if (lv.chstats() != nullptr) lv.chstats()->add_drop();
+    } else {
+      stats->add_corrupt();
+      if (lv.chstats() != nullptr) lv.chstats()->add_corrupt();
+    }
+
+    const bool budget_left =
+        attempt + 1 < max_attempts &&
+        (fi->plan().timeout_ns == 0 || waited + backoff <= fi->plan().timeout_ns);
+    if (!budget_left) {
+      stats->add_timeout();
+      if (lv.chstats() != nullptr) lv.chstats()->add_timeout();
+      r.timed_out = true;
+      r.arrival = 0;
+      return r;
+    }
+
+    // Ack timer expires: wait the backoff in virtual time, then retransmit.
+    clk.advance(backoff);
+    waited += backoff;
+    backoff = std::min(backoff * 2, cm.retrans_backoff_max_ns);
+    stats->add_retransmit();
+    if (lv.chstats() != nullptr) lv.chstats()->add_retransmit();
+  }
 }
 
 void Transport::deliver(const OpDesc& op, Envelope env, net::Time arrival) {
@@ -49,8 +157,12 @@ void Transport::deliver(const OpDesc& op, Envelope env, net::Time arrival) {
   // work occupies the target VCI's (duplex) hardware context, so inbound
   // traffic competes with the channel owner's own sends — the serialization
   // a shared communicator causes (Lessons 1-2).
-  Vci& rv = w.rank_state(op.dst_world_rank).vcis.at(op.remote_vci);
   net::VirtualClock aclk(arrival);
+  int rvci = op.remote_vci;
+  if (net::FaultInjector* fi = w.fault_injector()) {
+    rvci = fault_route(w, *fi, op.dst_world_rank, op.remote_vci, aclk);
+  }
+  Vci& rv = w.rank_state(op.dst_world_rank).vcis.at(rvci);
   rv.ctx().receive(aclk, cm, rv.chstats());
   {
     net::ContentionLock::Guard g(rv.lock(), aclk, cm, stats, rv.chstats());
@@ -61,26 +173,41 @@ void Transport::deliver(const OpDesc& op, Envelope env, net::Time arrival) {
 }
 
 net::Time Transport::occupy_rx(const OpDesc& op, net::Time arrival) {
-  Vci& rv = w_->rank_state(op.dst_world_rank).vcis.at(op.remote_vci);
+  World& w = *w_;
   net::VirtualClock aclk(arrival);
-  rv.ctx().receive(aclk, w_->cost(), rv.chstats());
+  int rvci = op.remote_vci;
+  if (net::FaultInjector* fi = w.fault_injector()) {
+    rvci = fault_route(w, *fi, op.dst_world_rank, op.remote_vci, aclk);
+  }
+  Vci& rv = w.rank_state(op.dst_world_rank).vcis.at(rvci);
+  rv.ctx().receive(aclk, w.cost(), rv.chstats());
   return aclk.now();
 }
 
 void Transport::post_recv(int world_rank, int local_vci, PostedRecv pr) {
-  const net::CostModel& cm = w_->cost();
-  net::NetStats* stats = &w_->fabric().stats();
+  World& w = *w_;
+  const net::CostModel& cm = w.cost();
+  net::NetStats* stats = &w.fabric().stats();
   auto& clk = net::ThreadClock::get();
-  Vci& v = w_->rank_state(world_rank).vcis.at(local_vci);
+  int vci = local_vci;
+  if (net::FaultInjector* fi = w.fault_injector()) {
+    vci = fault_route(w, *fi, world_rank, local_vci, clk);
+  }
+  Vci& v = w.rank_state(world_rank).vcis.at(vci);
   net::ContentionLock::Guard g(v.lock(), clk, cm, stats, v.chstats());
   v.engine().post_recv(std::move(pr), clk, cm, stats);
 }
 
 bool Transport::probe(int world_rank, int local_vci, int ctx_id, int src, Tag tag, Status* st) {
-  const net::CostModel& cm = w_->cost();
-  net::NetStats* stats = &w_->fabric().stats();
+  World& w = *w_;
+  const net::CostModel& cm = w.cost();
+  net::NetStats* stats = &w.fabric().stats();
   auto& clk = net::ThreadClock::get();
-  Vci& v = w_->rank_state(world_rank).vcis.at(local_vci);
+  int vci = local_vci;
+  // Probes follow a redirect but do not advance the channel's op stream —
+  // polling loops must not perturb the fault schedule.
+  if (w.fault_injector() != nullptr) vci = w.rank_state(world_rank).vcis.resolve(local_vci);
+  Vci& v = w.rank_state(world_rank).vcis.at(vci);
   net::ContentionLock::Guard g(v.lock(), clk, cm, stats, v.chstats());
   return v.engine().probe_unexpected(ctx_id, src, tag, clk, cm, stats, st);
 }

@@ -24,6 +24,13 @@
 /// then wire time on the sender; receive occupancy, then lock, then deposit
 /// on the arrival clock. tests/tmpi/transport_test.cpp pins completion times
 /// to golden values recorded before the refactor (DESIGN.md §6).
+///
+/// Fault layer (DESIGN.md §7): when the World carries an active FaultPlan,
+/// every transport entry point consults its FaultInjector. Injected losses
+/// trigger retransmission with exponential backoff (and eventually
+/// TMPI_ERR_TIMEOUT); a hardware context marked down fails the stream over to
+/// a fallback VCI. With no plan active the injector pointer is null and the
+/// pre-fault charge sequence runs unchanged, bit-exactly.
 
 namespace tmpi {
 class World;
@@ -58,6 +65,12 @@ struct OpDesc {
 struct InjectResult {
   net::Time inject_done = 0;  ///< descriptor left the local NIC context
   net::Time arrival = 0;      ///< wire payload reached the remote NIC
+  bool timed_out = false;     ///< retransmission budget exhausted; the op
+                              ///< failed with TMPI_ERR_TIMEOUT and nothing
+                              ///< arrives (`arrival` is meaningless)
+  int attempts = 1;           ///< transmit attempts (1 = no retransmission)
+  int vci_used = 0;           ///< local VCI that carried the op (!= the
+                              ///< requested VCI after a failover)
 };
 
 /// The choke point. Owned by World; stateless beyond the back-pointer, so
@@ -71,7 +84,9 @@ class Transport {
 
   /// Sender side: charge the issue cost (RMA), acquire the local VCI's lock,
   /// occupy its hardware context, tally the op, and compute the wire arrival
-  /// time. Advances the calling thread's clock.
+  /// time. Advances the calling thread's clock. Under an active FaultPlan,
+  /// lost transmissions are retried with exponential backoff here; callers
+  /// must check InjectResult::timed_out before scheduling delivery.
   InjectResult inject(const OpDesc& op);
 
   /// Receiver side of two-sided traffic, on an arrival clock: receive

@@ -8,6 +8,7 @@
 #include <memory>
 #include <mutex>
 #include <stdexcept>
+#include <vector>
 
 #include "net/contention_lock.h"
 #include "net/nic.h"
@@ -59,11 +60,17 @@ class Vci {
     deposit_cv_.wait(lk, [&] { return deposit_count() != seen; });
   }
 
+  /// Fault layer (DESIGN.md §7): when this VCI's hardware context is marked
+  /// down, traffic is redirected to a fallback VCI. -1 means "no redirect".
+  [[nodiscard]] int redirect() const { return redirect_.load(std::memory_order_acquire); }
+  void set_redirect(int to) { redirect_.store(to, std::memory_order_release); }
+
  private:
   net::HwContext* ctx_;
   net::ChannelStats* chstats_;
   net::ContentionLock lock_;
   MatchingEngine engine_;
+  std::atomic<int> redirect_{-1};
   std::atomic<std::uint64_t> deposits_{0};
   std::mutex deposit_mu_;
   std::condition_variable deposit_cv_;
@@ -119,6 +126,51 @@ class VciPool {
     return append_locked();
   }
 
+  /// One recorded graceful-degradation event (DESIGN.md §7).
+  struct FailoverEvent {
+    int from;  ///< VCI whose hardware context went down
+    int to;    ///< fallback VCI that absorbed its stream
+  };
+
+  /// Follow the redirect chain from `i` to the VCI actually carrying its
+  /// traffic. Chains are short (one hop unless fallbacks also die), so the
+  /// loop is bounded by the number of failovers.
+  [[nodiscard]] int resolve(int i) {
+    for (;;) {
+      const int next = at(i).redirect();
+      if (next < 0) return i;
+      i = next;
+    }
+  }
+
+  /// Graceful degradation: mark VCI `i`'s hardware context down and redirect
+  /// its stream to the next VCI (by index, wrapping) whose context is still
+  /// up. Returns the fallback index if this call performed the transition, or
+  /// -1 if `i` was already redirected / no fallback exists (single-VCI pool:
+  /// the stream keeps using the degraded context — there is nowhere to go).
+  int fail_over(int i) {
+    std::scoped_lock lk(writer_mu_);
+    Vci& v = at(i);
+    v.ctx().mark_down();
+    if (v.redirect() >= 0) return -1;  // already failed over
+    const int n = size_.load(std::memory_order_relaxed);
+    for (int step = 1; step < n; ++step) {
+      const int cand = (i + step) % n;
+      if (!at(cand).ctx().is_down()) {
+        v.set_redirect(cand);
+        failover_log_.push_back({i, cand});
+        return cand;
+      }
+    }
+    return -1;
+  }
+
+  /// Copy of the recorded failover events (tests/telemetry).
+  [[nodiscard]] std::vector<FailoverEvent> failover_log() {
+    std::scoped_lock lk(writer_mu_);
+    return failover_log_;
+  }
+
  private:
   static constexpr int kBlockBits = 6;
   static constexpr int kBlockSize = 1 << kBlockBits;
@@ -149,6 +201,7 @@ class VciPool {
   std::mutex writer_mu_;
   std::array<std::atomic<Block*>, kMaxBlocks> blocks_{};
   std::atomic<int> size_{0};
+  std::vector<FailoverEvent> failover_log_;
 };
 
 }  // namespace tmpi::detail

@@ -18,6 +18,14 @@ World::World(WorldConfig cfg) : cfg_(std::move(cfg)) {
   fabric_ = std::make_unique<net::Fabric>(nodes, cfg_.cost);
   transport_ = std::make_unique<detail::Transport>(*this);
 
+  // Fault layer (DESIGN.md §7): Info hints first, TMPI_FAULT_* env on top.
+  // The injector exists only when the plan can actually fire, so a fault-free
+  // world pays nothing.
+  net::FaultPlan plan;
+  for (const auto& [k, v] : cfg_.fault_info.entries()) plan.set(k, v);
+  plan = net::FaultPlan::from_env(std::move(plan));
+  if (plan.enabled()) fault_injector_ = std::make_unique<net::FaultInjector>(std::move(plan));
+
   states_.reserve(static_cast<std::size_t>(cfg_.nranks));
   for (int r = 0; r < cfg_.nranks; ++r) {
     const int node = node_of(r);

@@ -7,8 +7,10 @@
 #include <vector>
 
 #include "net/fabric.h"
+#include "net/fault.h"
 #include "tmpi/comm.h"
 #include "tmpi/error.h"
+#include "tmpi/info.h"
 #include "tmpi/types.h"
 #include "tmpi/vci.h"
 
@@ -36,6 +38,11 @@ struct WorldConfig {
   int tag_bits = 23;
   ThreadLevel level = ThreadLevel::kMultiple;
   net::CostModel cost{};
+  /// Fault-injection hints (`tmpi_fault_*` keys; see net/fault.h for the key
+  /// reference and plan grammar). TMPI_FAULT_* environment variables overlay
+  /// these. Leave empty for a fault-free world — the transport then skips the
+  /// fault layer entirely (pay-for-what-you-use).
+  Info fault_info{};
 };
 
 namespace detail {
@@ -103,6 +110,9 @@ class World {
   [[nodiscard]] const net::CostModel& cost() const { return fabric_->cost(); }
   /// The unified message pipeline all runtime traffic flows through.
   [[nodiscard]] detail::Transport& transport() { return *transport_; }
+  /// Fault layer (DESIGN.md §7): null when no FaultPlan is active, which
+  /// keeps the transport on its zero-overhead fast path.
+  [[nodiscard]] net::FaultInjector* fault_injector() const { return fault_injector_.get(); }
   [[nodiscard]] net::NetStatsSnapshot snapshot() const { return fabric_->stats().snapshot(); }
 
   /// Max virtual time across rank clocks (call after run()).
@@ -126,6 +136,7 @@ class World {
   WorldConfig cfg_;
   std::unique_ptr<net::Fabric> fabric_;
   std::unique_ptr<detail::Transport> transport_;
+  std::unique_ptr<net::FaultInjector> fault_injector_;
   std::vector<std::unique_ptr<detail::RankState>> states_;
   std::shared_ptr<detail::CommImpl> world_comm_;
   std::atomic<int> next_ctx_{0};

@@ -1,0 +1,437 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "net/fault.h"
+#include "tmpi/tmpi.h"
+
+/// Deterministic fault-injection scenarios (DESIGN.md §7).
+///
+/// Every scenario is phase-ordered (separate World::run calls per phase), so
+/// each channel's operation stream — and therefore the counter-based fault
+/// schedule — is identical on every execution. Completion times are pinned
+/// exactly: recovery actions (retransmission backoff, failover lock charges,
+/// injected delays) are deterministic virtual-time charges on top of the
+/// golden fault-free values from transport_test.cpp.
+
+namespace {
+
+using namespace tmpi;
+
+WorldConfig two_node_config() {
+  WorldConfig wc;
+  wc.nranks = 2;
+  wc.ranks_per_node = 1;
+  wc.num_vcis = 1;
+  return wc;
+}
+
+net::Time now() { return net::ThreadClock::get().now(); }
+
+// ---------------------------------------------------------------------------
+// FaultPlan parsing: grammar, Info keys, enabled() gating, env overlay.
+TEST(FaultPlan, ParsesScheduledEventGrammar) {
+  net::FaultPlan p;
+  p.parse_plan("drop@0:1:3;corrupt@1:0:2;delay@0:0:7;down@1:2:0");
+  ASSERT_EQ(p.events.size(), 4u);
+  EXPECT_EQ(p.events[0].action, net::FaultAction::kDrop);
+  EXPECT_EQ(p.events[0].rank, 0);
+  EXPECT_EQ(p.events[0].vci, 1);
+  EXPECT_EQ(p.events[0].op, 3u);
+  EXPECT_EQ(p.events[1].action, net::FaultAction::kCorrupt);
+  EXPECT_EQ(p.events[2].action, net::FaultAction::kDelay);
+  EXPECT_TRUE(p.events[3].ctx_down);
+  EXPECT_EQ(p.events[3].rank, 1);
+  EXPECT_EQ(p.events[3].vci, 2);
+
+  EXPECT_THROW(p.parse_plan("drop@0:1"), std::invalid_argument);
+  EXPECT_THROW(p.parse_plan("explode@0:1:2"), std::invalid_argument);
+}
+
+TEST(FaultPlan, SetAcceptsFaultKeysAndRejectsOthers) {
+  net::FaultPlan p;
+  EXPECT_FALSE(p.enabled());
+  EXPECT_TRUE(p.set("tmpi_fault_seed", "99"));
+  EXPECT_TRUE(p.set("tmpi_fault_drop_rate", "0.25"));
+  EXPECT_TRUE(p.set("tmpi_fault_corrupt_rate", "0.1"));
+  EXPECT_TRUE(p.set("tmpi_fault_delay_rate", "0.5"));
+  EXPECT_TRUE(p.set("tmpi_fault_delay_ns", "1234"));
+  EXPECT_TRUE(p.set("tmpi_fault_max_retries", "4"));
+  EXPECT_TRUE(p.set("tmpi_fault_timeout_ns", "50000"));
+  EXPECT_TRUE(p.set("tmpi_fault_plan", "drop@0:0:0"));
+  EXPECT_FALSE(p.set("tmpi_num_vcis", "4"));  // not a fault key: pass through
+  EXPECT_EQ(p.seed, 99u);
+  EXPECT_DOUBLE_EQ(p.drop_rate, 0.25);
+  EXPECT_EQ(p.delay_ns, 1234u);
+  EXPECT_EQ(p.max_retries, 4);
+  EXPECT_EQ(p.timeout_ns, 50000u);
+  EXPECT_TRUE(p.enabled());
+}
+
+TEST(FaultPlan, EnvOverlayWins) {
+  ::setenv("TMPI_FAULT_DROP_RATE", "0.75", 1);
+  ::setenv("TMPI_FAULT_SEED", "321", 1);
+  net::FaultPlan base;
+  base.drop_rate = 0.1;
+  const net::FaultPlan p = net::FaultPlan::from_env(base);
+  ::unsetenv("TMPI_FAULT_DROP_RATE");
+  ::unsetenv("TMPI_FAULT_SEED");
+  EXPECT_DOUBLE_EQ(p.drop_rate, 0.75);
+  EXPECT_EQ(p.seed, 321u);
+  EXPECT_TRUE(p.enabled());
+}
+
+TEST(FaultPlan, InjectorVerdictsAreAPureFunctionOfInputs) {
+  net::FaultPlan p;
+  p.seed = 17;
+  p.drop_rate = 0.5;
+  net::FaultInjector a(p);
+  net::FaultInjector b(p);
+  for (int op = 0; op < 64; ++op) {
+    const auto va = a.verdict(0, 0, static_cast<std::uint64_t>(op), 0);
+    const auto vb = b.verdict(0, 0, static_cast<std::uint64_t>(op), 0);
+    EXPECT_EQ(va.action, vb.action) << "op " << op;
+  }
+  // The op counter is per channel and starts at zero.
+  EXPECT_EQ(a.channel_op(3, 1), 0u);
+  EXPECT_EQ(a.channel_op(3, 1), 1u);
+  EXPECT_EQ(a.channel_op(3, 2), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// A single scheduled drop: the eager send retransmits once and completes,
+// shifted by exactly backoff(400) + lock(20) + inject(120) = 540 ns over the
+// golden fault-free values (140 / 1132). The payload arrives intact.
+TEST(FaultInjection, SingleDropRetransmitCompletes) {
+  WorldConfig wc = two_node_config();
+  wc.fault_info.set("tmpi_fault_plan", "drop@0:0:0");
+  World world(wc);
+  ASSERT_NE(world.fault_injector(), nullptr);
+
+  std::vector<std::byte> sbuf(8, std::byte{0x5A});
+  std::vector<std::byte> rbuf(8);
+  Request rreq;
+  net::Time send_done = 0;
+  net::Time recv_done = 0;
+
+  world.run([&](Rank& rank) {
+    if (rank.rank() == 1) {
+      rreq = irecv(rbuf.data(), 8, kByte, 0, 7, rank.world_comm());
+    }
+  });
+  world.run([&](Rank& rank) {
+    if (rank.rank() == 0) {
+      isend(sbuf.data(), 8, kByte, 1, 7, rank.world_comm()).wait();
+      send_done = now();
+    }
+  });
+  world.run([&](Rank& rank) {
+    if (rank.rank() == 1) {
+      Status st = rreq.wait();
+      recv_done = now();
+      EXPECT_EQ(st.bytes, 8u);
+    }
+  });
+
+  EXPECT_EQ(send_done, 140u + 540u);
+  EXPECT_EQ(recv_done, 1132u + 540u);
+  EXPECT_EQ(rbuf[3], std::byte{0x5A});  // retransmission carries the payload
+
+  const net::NetStatsSnapshot s = world.snapshot();
+  EXPECT_EQ(s.drops, 1u);
+  EXPECT_EQ(s.retransmits, 1u);
+  EXPECT_EQ(s.timeouts, 0u);
+  EXPECT_EQ(s.corrupts, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// A checksum-detected corruption behaves like a drop on the timing path but
+// is tallied separately.
+TEST(FaultInjection, CorruptionDiscardsAndRetransmits) {
+  WorldConfig wc = two_node_config();
+  wc.fault_info.set("tmpi_fault_plan", "corrupt@0:0:0");
+  World world(wc);
+
+  std::vector<std::byte> sbuf(8, std::byte{0x77});
+  std::vector<std::byte> rbuf(8);
+  net::Time send_done = 0;
+
+  world.run([&](Rank& rank) {
+    if (rank.rank() == 1) {
+      (void)irecv(rbuf.data(), 8, kByte, 0, 1, rank.world_comm());
+    }
+  });
+  world.run([&](Rank& rank) {
+    if (rank.rank() == 0) {
+      isend(sbuf.data(), 8, kByte, 1, 1, rank.world_comm()).wait();
+      send_done = now();
+    }
+  });
+
+  EXPECT_EQ(send_done, 140u + 540u);  // same recovery timing as a clean drop
+  const net::NetStatsSnapshot s = world.snapshot();
+  EXPECT_EQ(s.corrupts, 1u);
+  EXPECT_EQ(s.drops, 0u);
+  EXPECT_EQ(s.retransmits, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// An injected delay shifts the arrival — and only the arrival — by exactly
+// delay_ns: the sender's completion stays at the golden 140.
+TEST(FaultInjection, DelayShiftsArrivalExactly) {
+  WorldConfig wc = two_node_config();
+  wc.fault_info.set("tmpi_fault_plan", "delay@0:0:0");
+  wc.fault_info.set("tmpi_fault_delay_ns", "5000");
+  World world(wc);
+
+  std::vector<std::byte> sbuf(8, std::byte{0x11});
+  std::vector<std::byte> rbuf(8);
+  Request rreq;
+  net::Time send_done = 0;
+  net::Time recv_done = 0;
+
+  world.run([&](Rank& rank) {
+    if (rank.rank() == 1) {
+      rreq = irecv(rbuf.data(), 8, kByte, 0, 7, rank.world_comm());
+    }
+  });
+  world.run([&](Rank& rank) {
+    if (rank.rank() == 0) {
+      isend(sbuf.data(), 8, kByte, 1, 7, rank.world_comm()).wait();
+      send_done = now();
+    }
+  });
+  world.run([&](Rank& rank) {
+    if (rank.rank() == 1) {
+      rreq.wait();
+      recv_done = now();
+    }
+  });
+
+  EXPECT_EQ(send_done, 140u);            // golden: injection is unaffected
+  EXPECT_EQ(recv_done, 1132u + 5000u);   // golden + delay_ns
+  const net::NetStatsSnapshot s = world.snapshot();
+  EXPECT_EQ(s.delays, 1u);
+  EXPECT_EQ(s.retransmits, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Every attempt dropped: the sender exhausts max_retries, the request fails
+// with TMPI_ERR_TIMEOUT from wait() AND test(), and nothing is delivered.
+TEST(FaultInjection, RepeatedDropsTimeout) {
+  WorldConfig wc = two_node_config();
+  wc.fault_info.set("tmpi_fault_drop_rate", "1.0");
+  wc.fault_info.set("tmpi_fault_max_retries", 2);
+  World world(wc);
+
+  std::vector<std::byte> sbuf(8, std::byte{0x42});
+
+  world.run([&](Rank& rank) {
+    if (rank.rank() == 0) {
+      Request sreq = isend(sbuf.data(), 8, kByte, 1, 5, rank.world_comm());
+      try {
+        sreq.wait();
+        FAIL() << "timed-out send did not throw";
+      } catch (const Error& e) {
+        EXPECT_EQ(e.code(), TMPI_ERR_TIMEOUT);
+      }
+      try {
+        Status st;
+        (void)sreq.test(&st);
+        FAIL() << "test() after timeout did not throw";
+      } catch (const Error& e) {
+        EXPECT_EQ(e.code(), Errc::kTimeout);
+      }
+    }
+  });
+
+  const net::NetStatsSnapshot s = world.snapshot();
+  EXPECT_EQ(s.drops, 3u);        // initial attempt + 2 retries, all lost
+  EXPECT_EQ(s.retransmits, 2u);  // max_retries
+  EXPECT_EQ(s.timeouts, 1u);
+  EXPECT_EQ(s.messages, 1u);     // the op itself is tallied once
+}
+
+// ---------------------------------------------------------------------------
+// The cumulative-backoff budget (`tmpi_fault_timeout_ns`) bounds recovery
+// even when max_retries would allow more attempts.
+TEST(FaultInjection, TimeoutBudgetBoundsRetries) {
+  WorldConfig wc = two_node_config();
+  wc.fault_info.set("tmpi_fault_drop_rate", "1.0");
+  wc.fault_info.set("tmpi_fault_max_retries", 100);
+  // Backoffs are 400, 800, 1600, ... ; a 1000 ns budget admits only the
+  // first retransmission (400) — the second (800) would exceed it.
+  wc.fault_info.set("tmpi_fault_timeout_ns", "1000");
+  World world(wc);
+
+  std::vector<std::byte> sbuf(8, std::byte{0x43});
+  world.run([&](Rank& rank) {
+    if (rank.rank() == 0) {
+      try {
+        isend(sbuf.data(), 8, kByte, 1, 5, rank.world_comm()).wait();
+        FAIL() << "budget-bounded send did not throw";
+      } catch (const Error& e) {
+        EXPECT_EQ(e.code(), Errc::kTimeout);
+      }
+    }
+  });
+
+  const net::NetStatsSnapshot s = world.snapshot();
+  EXPECT_EQ(s.retransmits, 1u);
+  EXPECT_EQ(s.drops, 2u);
+  EXPECT_EQ(s.timeouts, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// A hardware context marked down fails the stream over to the next healthy
+// VCI: traffic proceeds on the fallback, the event is recorded, and the
+// recovery cost (two migration lock charges) is deterministic.
+TEST(FaultInjection, ContextDownFailsOverToFallback) {
+  WorldConfig wc = two_node_config();
+  wc.num_vcis = 2;
+  wc.fault_info.set("tmpi_fault_plan", "down@0:0:0");
+  World world(wc);
+
+  std::vector<std::byte> sbuf(8, std::byte{0x66});
+  std::vector<std::byte> rbuf(8);
+  Request rreq;
+  net::Time send_done = 0;
+  net::Time recv_done = 0;
+
+  world.run([&](Rank& rank) {
+    if (rank.rank() == 1) {
+      rreq = irecv(rbuf.data(), 8, kByte, 0, 7, rank.world_comm());
+    }
+  });
+  world.run([&](Rank& rank) {
+    if (rank.rank() == 0) {
+      isend(sbuf.data(), 8, kByte, 1, 7, rank.world_comm()).wait();
+      send_done = now();
+    }
+  });
+  world.run([&](Rank& rank) {
+    if (rank.rank() == 1) {
+      Status st = rreq.wait();
+      recv_done = now();
+      EXPECT_EQ(st.bytes, 8u);
+    }
+  });
+
+  EXPECT_EQ(rbuf[0], std::byte{0x66});
+  // Failover adds the two queue-migration lock charges (2 x 20 ns) before
+  // the injection proceeds on the fallback channel.
+  EXPECT_EQ(send_done, 140u + 40u);
+  EXPECT_EQ(recv_done, 1132u + 40u);
+
+  const auto log = world.rank_state(0).vcis.failover_log();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0].from, 0);
+  EXPECT_EQ(log[0].to, 1);
+  EXPECT_TRUE(world.rank_state(0).vcis.at(0).ctx().is_down());
+
+  const net::NetStatsSnapshot s = world.snapshot();
+  EXPECT_EQ(s.failovers, 1u);
+  for (const auto& c : s.channels) {
+    if (c.rank == 0 && c.vci == 0) {
+      EXPECT_EQ(c.injections, 0u);  // stream moved...
+      EXPECT_EQ(c.failovers, 1u);
+    }
+    if (c.rank == 0 && c.vci == 1) {
+      EXPECT_EQ(c.injections, 1u);  // ...to the fallback
+    }
+  }
+
+  // Later traffic keeps using the fallback without further failover events.
+  world.run([&](Rank& rank) {
+    if (rank.rank() == 1) {
+      rreq = irecv(rbuf.data(), 8, kByte, 0, 8, rank.world_comm());
+    }
+  });
+  world.run([&](Rank& rank) {
+    if (rank.rank() == 0) {
+      isend(sbuf.data(), 8, kByte, 1, 8, rank.world_comm()).wait();
+    }
+  });
+  world.run([&](Rank& rank) {
+    if (rank.rank() == 1) rreq.wait();
+  });
+  EXPECT_EQ(world.snapshot().failovers, 1u);
+  EXPECT_EQ(world.rank_state(0).vcis.failover_log().size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Determinism contract: identical seed => identical completion times and
+// identical fault tallies across independent executions; phase-ordered
+// probabilistic traffic is fully reproducible.
+TEST(FaultInjection, DeterministicAcrossRuns) {
+  struct Outcome {
+    net::Time send_done = 0;
+    net::Time recv_done = 0;
+    std::uint64_t drops = 0;
+    std::uint64_t delays = 0;
+    std::uint64_t retransmits = 0;
+    bool operator==(const Outcome& o) const {
+      return send_done == o.send_done && recv_done == o.recv_done && drops == o.drops &&
+             delays == o.delays && retransmits == o.retransmits;
+    }
+  };
+
+  auto run_once = [](int seed) {
+    WorldConfig wc = two_node_config();
+    wc.fault_info.set("tmpi_fault_seed", seed);
+    wc.fault_info.set("tmpi_fault_drop_rate", "0.3");
+    wc.fault_info.set("tmpi_fault_delay_rate", "0.2");
+    wc.fault_info.set("tmpi_fault_delay_ns", "1500");
+    World world(wc);
+
+    constexpr int kMsgs = 16;
+    std::vector<std::byte> sbuf(8, std::byte{0x31});
+    std::vector<std::vector<std::byte>> rbufs(kMsgs, std::vector<std::byte>(8));
+    std::vector<Request> rreqs(kMsgs);
+    Outcome out;
+
+    world.run([&](Rank& rank) {
+      if (rank.rank() == 1) {
+        for (int i = 0; i < kMsgs; ++i) {
+          rreqs[static_cast<std::size_t>(i)] =
+              irecv(rbufs[static_cast<std::size_t>(i)].data(), 8, kByte, 0, i,
+                    rank.world_comm());
+        }
+      }
+    });
+    world.run([&](Rank& rank) {
+      if (rank.rank() == 0) {
+        for (int i = 0; i < kMsgs; ++i) {
+          isend(sbuf.data(), 8, kByte, 1, i, rank.world_comm()).wait();
+        }
+        out.send_done = now();
+      }
+    });
+    world.run([&](Rank& rank) {
+      if (rank.rank() == 1) {
+        for (auto& r : rreqs) r.wait();
+        out.recv_done = now();
+      }
+    });
+
+    const net::NetStatsSnapshot s = world.snapshot();
+    out.drops = s.drops;
+    out.delays = s.delays;
+    out.retransmits = s.retransmits;
+    EXPECT_EQ(s.timeouts, 0u);  // default max_retries shrugs off 30% loss
+    return out;
+  };
+
+  const Outcome a1 = run_once(7);
+  const Outcome a2 = run_once(7);
+  EXPECT_TRUE(a1 == a2) << "identical seed must replay identically";
+  EXPECT_GT(a1.drops + a1.delays, 0u) << "plan should actually fire at these rates";
+  EXPECT_EQ(a1.drops, a1.retransmits);  // every loss recovered (no timeouts)
+
+  const Outcome b = run_once(8);
+  EXPECT_TRUE(run_once(8) == b);
+}
+
+}  // namespace

@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "tmpi/tmpi.h"
+
+/// Multithreaded fault/recovery stress (DESIGN.md §7; `ctest -L stress`).
+///
+/// Two ranks, eight threads each, mixing all four traffic classes — eager
+/// p2p, rendezvous p2p, RMA, partitioned — under a 5% seeded drop plan. Host
+/// interleaving decides which thread gets which channel-op index, so exact
+/// virtual times are NOT pinned here; what must hold on every schedule:
+///   - every payload arrives intact (retransmission correctness),
+///   - no operation times out (12 retries shrug off 5% loss),
+///   - retransmits == drops: every injected loss was recovered exactly once.
+/// The test is TSan-clean: all shared state is owned by the runtime or
+/// thread-partitioned, and the plan schedules no ctx-down events (failover
+/// queue migration is only phase-ordered deterministic; see transport.cpp).
+
+namespace {
+
+using namespace tmpi;
+
+constexpr int kThreads = 8;
+constexpr int kEagerIters = 16;
+constexpr int kEagerBytes = 512;
+constexpr int kRndvIters = 3;
+constexpr std::size_t kRndvBytes = 128 * 1024;  // > 64 KiB eager threshold
+constexpr int kRmaIters = 16;
+constexpr int kPartIters = 4;
+constexpr int kParts = 4;
+constexpr int kPartBytes = 64;
+
+void eager_worker(Rank& rank, int tid) {
+  const Comm comm = rank.world_comm();
+  const int peer = 1 - rank.rank();
+  std::vector<std::byte> sbuf(kEagerBytes, std::byte{static_cast<unsigned char>(tid + 1)});
+  std::vector<std::byte> rbuf(kEagerBytes);
+  for (int it = 0; it < kEagerIters; ++it) {
+    const Tag tag = 10000 + tid * 100 + it;
+    Request rr = irecv(rbuf.data(), kEagerBytes, kByte, peer, tag, comm);
+    Request sr = isend(sbuf.data(), kEagerBytes, kByte, peer, tag, comm);
+    sr.wait();
+    const Status st = rr.wait();
+    ASSERT_EQ(st.bytes, static_cast<std::size_t>(kEagerBytes));
+    ASSERT_EQ(rbuf[static_cast<std::size_t>(it % kEagerBytes)],
+              std::byte{static_cast<unsigned char>(tid + 1)});
+  }
+}
+
+void rendezvous_worker(Rank& rank, int tid) {
+  const Comm comm = rank.world_comm();
+  const int peer = 1 - rank.rank();
+  std::vector<std::byte> sbuf(kRndvBytes, std::byte{static_cast<unsigned char>(tid + 65)});
+  std::vector<std::byte> rbuf(kRndvBytes);
+  for (int it = 0; it < kRndvIters; ++it) {
+    const Tag tag = 20000 + tid * 100 + it;
+    Request rr = irecv(rbuf.data(), static_cast<int>(kRndvBytes), kByte, peer, tag, comm);
+    Request sr = isend(sbuf.data(), static_cast<int>(kRndvBytes), kByte, peer, tag, comm);
+    sr.wait();
+    rr.wait();
+    ASSERT_EQ(rbuf[kRndvBytes - 1], std::byte{static_cast<unsigned char>(tid + 65)});
+  }
+}
+
+void rma_worker(Rank& rank, int tid, Window& win, const std::vector<double>& /*mem*/) {
+  const int peer = 1 - rank.rank();
+  for (int it = 0; it < kRmaIters; ++it) {
+    const double v = tid * 1000.0 + it;
+    const std::size_t slot = static_cast<std::size_t>(tid) * kRmaIters + static_cast<std::size_t>(it);
+    win.put(&v, 1, kDouble, peer, slot);
+    win.flush_all();
+    double got = 0.0;
+    win.get(&got, 1, kDouble, peer, slot);
+    win.flush_all();
+    ASSERT_EQ(got, v);
+  }
+}
+
+void partitioned_worker(Rank& rank, int tid) {
+  const Comm comm = rank.world_comm();
+  const Tag tag = 30000 + tid;
+  std::vector<std::byte> buf(static_cast<std::size_t>(kParts) * kPartBytes,
+                             std::byte{static_cast<unsigned char>(tid + 17)});
+  if (rank.rank() == 0) {
+    Request sreq = psend_init(buf.data(), kParts, kPartBytes, kByte, 1, tag, comm);
+    for (int it = 0; it < kPartIters; ++it) {
+      start(sreq);
+      for (int p = 0; p < kParts; ++p) pready(p, sreq);
+      sreq.wait();
+    }
+  } else {
+    std::vector<std::byte> rbuf(buf.size());
+    Request rreq = precv_init(rbuf.data(), kParts, kPartBytes, kByte, 0, tag, comm);
+    for (int it = 0; it < kPartIters; ++it) {
+      start(rreq);
+      for (int p = 0; p < kParts; ++p) await_partition(rreq, p);
+      rreq.wait();
+      ASSERT_EQ(rbuf[buf.size() - 1], std::byte{static_cast<unsigned char>(tid + 17)});
+    }
+  }
+}
+
+TEST(FaultStress, MixedTrafficUnderFivePercentDrop) {
+  WorldConfig wc;
+  wc.nranks = 2;
+  wc.ranks_per_node = 1;
+  wc.num_vcis = kThreads;
+  wc.fault_info.set("tmpi_fault_seed", 123);
+  wc.fault_info.set("tmpi_fault_drop_rate", "0.05");
+  wc.fault_info.set("tmpi_fault_max_retries", 12);
+  World world(wc);
+  ASSERT_NE(world.fault_injector(), nullptr);
+
+  world.run([&](Rank& rank) {
+    // One RMA window per world, created collectively before the thread fan-out;
+    // spread across 4 channels so faults hit more than one VCI.
+    std::vector<double> mem(static_cast<std::size_t>(kThreads) * kRmaIters, 0.0);
+    Info wininfo;
+    wininfo.set("tmpi_num_vcis", 4);
+    Window win = Window::create(mem.data(), mem.size() * sizeof(double), rank.world_comm(),
+                                wininfo);
+
+    rank.parallel(kThreads, [&](int tid) {
+      switch (tid % 4) {
+        case 0: eager_worker(rank, tid); break;
+        case 1: rendezvous_worker(rank, tid); break;
+        case 2: rma_worker(rank, tid, win, mem); break;
+        default: partitioned_worker(rank, tid); break;
+      }
+    });
+
+    // All one-sided traffic visible before the window dies with this scope.
+    win.fence();
+  });
+
+  const net::NetStatsSnapshot s = world.snapshot();
+  EXPECT_GT(s.drops, 0u) << "5% plan over this much traffic must fire";
+  EXPECT_EQ(s.timeouts, 0u) << "12 retries must absorb 5% loss";
+  EXPECT_EQ(s.corrupts, 0u);
+  EXPECT_EQ(s.delays, 0u);
+  EXPECT_EQ(s.failovers, 0u);
+  // Conservation: every injected loss was recovered by exactly one
+  // retransmission (nothing timed out, nothing double-counted).
+  EXPECT_EQ(s.retransmits, s.drops);
+
+  // Per-channel tallies sum to the global ones.
+  std::uint64_t ch_drops = 0;
+  std::uint64_t ch_retx = 0;
+  for (const auto& c : s.channels) {
+    ch_drops += c.drops;
+    ch_retx += c.retransmits;
+  }
+  EXPECT_EQ(ch_drops, s.drops);
+  EXPECT_EQ(ch_retx, s.retransmits);
+}
+
+}  // namespace

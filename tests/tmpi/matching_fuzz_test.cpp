@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "net/cost_model.h"
+#include "net/fault.h"
 #include "net/stats.h"
 #include "tmpi/matching.h"
 
@@ -173,6 +174,162 @@ TEST_P(MatchingFuzz, EngineAgreesWithOracle) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, MatchingFuzz,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u, 55u, 89u),
+                         [](const ::testing::TestParamInfo<unsigned>& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+// ---------------------------------------------------------------------------
+// Same property under injected faults (DESIGN.md §7): a seeded FaultInjector
+// sits in front of the engine; dropped/corrupted messages are retransmitted
+// after a backoff (arriving *later* than messages sent after them), delayed
+// messages slip by a fixed number of steps. Wildcard receives interleave
+// throughout. MPI's non-overtaking guarantee applies to *arrival* order, so
+// the oracle sees each message when it actually deposits — the engine and
+// the oracle must still agree on every assignment, and every lost message
+// must eventually arrive (no loss is forever under retransmission).
+class FaultyMatchingFuzz : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(FaultyMatchingFuzz, EngineAgreesWithOracleUnderFaults) {
+  std::mt19937 rng(GetParam() * 7919u + 13u);
+  MatchingEngine eng;
+  Oracle oracle;
+  net::CostModel cm;
+  net::NetStats stats;
+  net::VirtualClock clk;
+
+  net::FaultPlan plan;
+  plan.seed = GetParam();
+  plan.drop_rate = 0.20;
+  plan.corrupt_rate = 0.05;
+  plan.delay_rate = 0.15;
+  net::FaultInjector fi(plan);
+
+  struct Wire {
+    OracleMsg m;
+    std::uint64_t op = 0;  ///< channel-op index driving the fault schedule
+    int attempt = 0;
+    int due = 0;  ///< step at which this transmission reaches the engine
+    bool delay_done = false;  ///< verdict is pure in (op, attempt); apply delay once
+  };
+  std::deque<Wire> inflight;
+  constexpr int kRetransmitSteps = 3;  ///< backoff, in fuzz steps
+  constexpr int kDelaySteps = 2;
+
+  std::vector<LiveRecv> recvs;
+  std::map<std::uint64_t, std::uint64_t> oracle_assign;
+  std::uint64_t next_msg = 1;
+  std::uint64_t next_recv = 1;
+  std::uint64_t retransmissions = 0;
+
+  auto rand_ctx = [&] { return static_cast<int>(rng() % 2); };
+  auto rand_src = [&](bool allow_any) {
+    const int r = static_cast<int>(rng() % (allow_any ? 5 : 4));
+    return r == 4 ? kAnySource : r;
+  };
+  auto rand_tag = [&](bool allow_any) {
+    const int t = static_cast<int>(rng() % (allow_any ? 4 : 3));
+    return t == 3 ? kAnyTag : static_cast<Tag>(t);
+  };
+
+  auto deposit_now = [&](const OracleMsg& m) {
+    Envelope env;
+    env.ctx_id = m.ctx;
+    env.src = m.src;
+    env.tag = m.tag;
+    env.bytes = sizeof(m.id);
+    env.payload.resize(sizeof(m.id));
+    std::memcpy(env.payload.data(), &m.id, sizeof(m.id));
+    eng.deposit(std::move(env), clk, cm, &stats);
+    if (const auto rid = oracle.deposit(m)) oracle_assign[m.id] = *rid;
+  };
+
+  /// Run every due transmission through the injector; lost ones re-enqueue.
+  auto pump_wire = [&](int step) {
+    for (std::size_t i = 0; i < inflight.size();) {
+      Wire& w = inflight[i];
+      if (w.due > step) {
+        ++i;
+        continue;
+      }
+      Wire cur = w;
+      inflight.erase(inflight.begin() + static_cast<std::ptrdiff_t>(i));
+      const net::FaultVerdict v = fi.verdict(0, 0, cur.op, cur.attempt);
+      if (v.action == net::FaultAction::kDrop || v.action == net::FaultAction::kCorrupt) {
+        cur.attempt++;
+        cur.delay_done = false;
+        cur.due = step + kRetransmitSteps;
+        retransmissions++;
+        inflight.push_back(cur);
+      } else if (v.action == net::FaultAction::kDelay && !cur.delay_done) {
+        cur.delay_done = true;
+        cur.due = step + kDelaySteps;
+        inflight.push_back(cur);
+      } else {
+        deposit_now(cur.m);
+      }
+    }
+  };
+
+  constexpr int kSteps = 400;
+  for (int step = 0; step < kSteps; ++step) {
+    if (rng() % 2 == 0) {
+      Wire w;
+      w.m.ctx = rand_ctx();
+      w.m.src = rand_src(false);
+      w.m.tag = rand_tag(false);
+      w.m.id = next_msg++;
+      w.op = fi.channel_op(0, 0);
+      w.due = step;
+      inflight.push_back(w);
+    } else {
+      OracleRecv r;
+      r.ctx = rand_ctx();
+      r.src = rand_src(true);
+      r.tag = rand_tag(true);
+      r.rid = next_recv++;
+
+      LiveRecv live;
+      live.req = std::make_shared<ReqState>();
+      live.buf = std::make_unique<std::uint64_t>(0);
+      live.rid = r.rid;
+
+      PostedRecv pr;
+      pr.ctx_id = r.ctx;
+      pr.src = r.src;
+      pr.tag = r.tag;
+      pr.buf = reinterpret_cast<std::byte*>(live.buf.get());
+      pr.capacity = sizeof(std::uint64_t);
+      pr.req = live.req;
+      eng.post_recv(std::move(pr), clk, cm, &stats);
+
+      if (const auto mid = oracle.post(r)) oracle_assign[*mid] = r.rid;
+      recvs.push_back(std::move(live));
+    }
+    pump_wire(step);
+
+    ASSERT_EQ(eng.posted_depth(), oracle.posted_depth()) << "step " << step;
+    ASSERT_EQ(eng.unexpected_depth(), oracle.unexpected_depth()) << "step " << step;
+  }
+
+  // Drain the wire: retransmission guarantees every message lands eventually.
+  for (int step = kSteps; !inflight.empty(); ++step) {
+    ASSERT_LT(step, kSteps + 10000) << "wire failed to drain";
+    pump_wire(step);
+  }
+  EXPECT_GT(retransmissions, 0u) << "fault plan should have fired at these rates";
+
+  std::map<std::uint64_t, std::uint64_t> engine_assign;
+  for (const LiveRecv& r : recvs) {
+    std::scoped_lock lk(r.req->mu);
+    if (r.req->complete) {
+      engine_assign[*r.buf] = r.rid;
+    }
+  }
+  EXPECT_EQ(engine_assign, oracle_assign);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FaultyMatchingFuzz,
                          ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u, 55u, 89u),
                          [](const ::testing::TestParamInfo<unsigned>& info) {
                            return "seed" + std::to_string(info.param);

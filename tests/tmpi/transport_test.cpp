@@ -299,6 +299,62 @@ TEST(TransportParity, MsgrateElapsed) {
 }
 
 // ---------------------------------------------------------------------------
+// Pay-for-what-you-use (DESIGN.md §7): a configured-but-empty FaultPlan (all
+// rates zero, no scheduled events) must not instantiate the fault layer at
+// all — the golden eager times reproduce bit-exactly, and no fault counters
+// move anywhere in the fabric.
+TEST(TransportParity, ZeroFaultPlanBitExact) {
+  WorldConfig wc = two_node_config();
+  wc.fault_info.set("tmpi_fault_seed", 42);
+  wc.fault_info.set("tmpi_fault_drop_rate", "0.0");
+  wc.fault_info.set("tmpi_fault_corrupt_rate", "0.0");
+  wc.fault_info.set("tmpi_fault_delay_rate", "0.0");
+  wc.fault_info.set("tmpi_fault_max_retries", 3);
+  World world(wc);
+  EXPECT_EQ(world.fault_injector(), nullptr);  // plan can't fire: no injector
+
+  std::vector<std::byte> sbuf(8, std::byte{0x11});
+  std::vector<std::byte> rbuf(8);
+  Request rreq;
+  net::Time send_done = 0;
+  net::Time recv_done = 0;
+
+  world.run([&](Rank& rank) {
+    if (rank.rank() == 1) {
+      rreq = irecv(rbuf.data(), 8, kByte, 0, 7, rank.world_comm());
+    }
+  });
+  world.run([&](Rank& rank) {
+    if (rank.rank() == 0) {
+      isend(sbuf.data(), 8, kByte, 1, 7, rank.world_comm()).wait();
+      send_done = now();
+    }
+  });
+  world.run([&](Rank& rank) {
+    if (rank.rank() == 1) {
+      Status st = rreq.wait();
+      recv_done = now();
+      EXPECT_EQ(st.bytes, 8u);
+    }
+  });
+
+  // Bit-exact golden values from EagerPostedFirst above.
+  EXPECT_EQ(send_done, 140u);
+  EXPECT_EQ(recv_done, 1132u);
+
+  const net::NetStatsSnapshot s = world.snapshot();
+  EXPECT_EQ(s.drops, 0u);
+  EXPECT_EQ(s.corrupts, 0u);
+  EXPECT_EQ(s.delays, 0u);
+  EXPECT_EQ(s.retransmits, 0u);
+  EXPECT_EQ(s.timeouts, 0u);
+  EXPECT_EQ(s.failovers, 0u);
+  for (const auto& c : s.channels) {
+    EXPECT_EQ(c.drops + c.corrupts + c.delays + c.retransmits + c.timeouts + c.failovers, 0u);
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Regression: truncation detected at match time must surface as kTruncate
 // from wait()/test() on the receive request, for BOTH protocols and BOTH
 // match orders (posted-first and unexpected).
