@@ -99,6 +99,15 @@ inline void print_channel_telemetry(const char* title, const tmpi::net::NetStats
                 static_cast<unsigned long long>(s.timeouts),
                 static_cast<unsigned long long>(s.failovers));
   }
+  if (s.credit_stalls + s.overflows + s.watchdog_trips + s.deadlocks + s.unexpected_hwm != 0) {
+    std::printf("overload: credit_stalls=%llu overflows=%llu watchdog_trips=%llu "
+                "deadlocks=%llu unexpected_hwm=%llu\n",
+                static_cast<unsigned long long>(s.credit_stalls),
+                static_cast<unsigned long long>(s.overflows),
+                static_cast<unsigned long long>(s.watchdog_trips),
+                static_cast<unsigned long long>(s.deadlocks),
+                static_cast<unsigned long long>(s.unexpected_hwm));
+  }
   std::printf("message sizes (log2 histogram, non-empty buckets): ");
   for (int b = 0; b < tmpi::net::kMsgSizeBuckets; ++b) {
     const auto n = s.size_hist[static_cast<std::size_t>(b)];

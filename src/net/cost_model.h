@@ -84,6 +84,13 @@ struct CostModel {
   /// Cap on a single backoff interval.
   Time retrans_backoff_max_ns = 25600;
 
+  // --- Overload (DESIGN.md §8) ---------------------------------------------
+  /// Sender-side cost of discovering the destination channel's eager credits
+  /// are spent and falling back to rendezvous (one cache-line read of the
+  /// remote credit counter plus protocol switch). Only ever charged when
+  /// flow control is enabled, so the zero-config path is unaffected.
+  Time credit_stall_ns = 60;
+
   // --- Protocol ------------------------------------------------------------
   /// Messages larger than this use the rendezvous protocol: the sender's
   /// completion additionally waits for the match plus one wire round trip.

@@ -45,6 +45,11 @@ struct ChannelStatsSnapshot {
   std::uint64_t retransmits = 0;  ///< retransmissions after a loss
   std::uint64_t timeouts = 0;     ///< operations that exhausted their retries
   std::uint64_t failovers = 0;    ///< streams failed over *away from* this channel
+  // Overload layer (DESIGN.md §8); all zero unless flow control is configured.
+  std::uint64_t credit_stalls = 0;   ///< eager sends denied a credit (degraded to rendezvous)
+  std::uint64_t overflows = 0;       ///< deposits rejected at the unexpected-queue hard cap
+  std::uint64_t watchdog_trips = 0;  ///< blocked ops on this channel failed by the watchdog
+  std::uint64_t unexpected_hwm = 0;  ///< unexpected-queue depth high-water mark
 };
 
 /// Per-(rank, VCI) counter block. Registered once at VCI creation and shared
@@ -67,6 +72,15 @@ class ChannelStats {
   void add_retransmit() { retransmits_.fetch_add(1, std::memory_order_relaxed); }
   void add_timeout() { timeouts_.fetch_add(1, std::memory_order_relaxed); }
   void add_failover() { failovers_.fetch_add(1, std::memory_order_relaxed); }
+  void add_credit_stall() { credit_stalls_.fetch_add(1, std::memory_order_relaxed); }
+  void add_overflow() { overflows_.fetch_add(1, std::memory_order_relaxed); }
+  void add_watchdog_trip() { watchdog_trips_.fetch_add(1, std::memory_order_relaxed); }
+  void note_unexpected_depth(std::uint64_t depth) {
+    std::uint64_t cur = unexpected_hwm_.load(std::memory_order_relaxed);
+    while (depth > cur &&
+           !unexpected_hwm_.compare_exchange_weak(cur, depth, std::memory_order_relaxed)) {
+    }
+  }
 
   [[nodiscard]] ChannelStatsSnapshot snapshot() const {
     ChannelStatsSnapshot s;
@@ -84,6 +98,10 @@ class ChannelStats {
     s.retransmits = retransmits_.load(std::memory_order_relaxed);
     s.timeouts = timeouts_.load(std::memory_order_relaxed);
     s.failovers = failovers_.load(std::memory_order_relaxed);
+    s.credit_stalls = credit_stalls_.load(std::memory_order_relaxed);
+    s.overflows = overflows_.load(std::memory_order_relaxed);
+    s.watchdog_trips = watchdog_trips_.load(std::memory_order_relaxed);
+    s.unexpected_hwm = unexpected_hwm_.load(std::memory_order_relaxed);
     return s;
   }
 
@@ -102,6 +120,10 @@ class ChannelStats {
   std::atomic<std::uint64_t> retransmits_{0};
   std::atomic<std::uint64_t> timeouts_{0};
   std::atomic<std::uint64_t> failovers_{0};
+  std::atomic<std::uint64_t> credit_stalls_{0};
+  std::atomic<std::uint64_t> overflows_{0};
+  std::atomic<std::uint64_t> watchdog_trips_{0};
+  std::atomic<std::uint64_t> unexpected_hwm_{0};
 };
 
 /// Message-size histogram bucket count: bucket i holds messages with
@@ -130,6 +152,12 @@ struct NetStatsSnapshot {
   std::uint64_t retransmits = 0;
   std::uint64_t timeouts = 0;
   std::uint64_t failovers = 0;
+  // Overload layer aggregates (DESIGN.md §8).
+  std::uint64_t credit_stalls = 0;   ///< eager sends degraded to rendezvous for want of credit
+  std::uint64_t overflows = 0;       ///< deposits rejected at the unexpected-queue hard cap
+  std::uint64_t watchdog_trips = 0;  ///< blocked ops failed by the progress watchdog
+  std::uint64_t deadlocks = 0;       ///< wait-for-graph cycles the watchdog diagnosed
+  std::uint64_t unexpected_hwm = 0;  ///< max unexpected-queue depth seen on any channel
   Time ctx_busy_ns = 0;  ///< total virtual busy time accumulated across contexts
   std::array<std::uint64_t, kMsgSizeBuckets> size_hist{};  ///< log2 message sizes
   std::vector<ChannelStatsSnapshot> channels;  ///< per-(rank, VCI), creation order
@@ -155,6 +183,11 @@ struct NetStatsSnapshot {
     d.retransmits = retransmits - o.retransmits;
     d.timeouts = timeouts - o.timeouts;
     d.failovers = failovers - o.failovers;
+    d.credit_stalls = credit_stalls - o.credit_stalls;
+    d.overflows = overflows - o.overflows;
+    d.watchdog_trips = watchdog_trips - o.watchdog_trips;
+    d.deadlocks = deadlocks - o.deadlocks;
+    d.unexpected_hwm = unexpected_hwm;  // high-water mark passes through, not a delta
     d.ctx_busy_ns = ctx_busy_ns - o.ctx_busy_ns;
     for (int i = 0; i < kMsgSizeBuckets; ++i) {
       d.size_hist[static_cast<std::size_t>(i)] = size_hist[static_cast<std::size_t>(i)] -
@@ -180,6 +213,10 @@ struct NetStatsSnapshot {
         dc.retransmits -= b.retransmits;
         dc.timeouts -= b.timeouts;
         dc.failovers -= b.failovers;
+        dc.credit_stalls -= b.credit_stalls;
+        dc.overflows -= b.overflows;
+        dc.watchdog_trips -= b.watchdog_trips;
+        // unexpected_hwm passes through: a max, not a monotone delta.
       }
       d.channels.push_back(dc);
     }
@@ -223,6 +260,16 @@ class NetStats {
   void add_retransmit() { retransmits_.fetch_add(1, std::memory_order_relaxed); }
   void add_timeout() { timeouts_.fetch_add(1, std::memory_order_relaxed); }
   void add_failover() { failovers_.fetch_add(1, std::memory_order_relaxed); }
+  void add_credit_stall() { credit_stalls_.fetch_add(1, std::memory_order_relaxed); }
+  void add_overflow() { overflows_.fetch_add(1, std::memory_order_relaxed); }
+  void add_watchdog_trip() { watchdog_trips_.fetch_add(1, std::memory_order_relaxed); }
+  void add_deadlock() { deadlocks_.fetch_add(1, std::memory_order_relaxed); }
+  void note_unexpected_depth(std::uint64_t depth) {
+    std::uint64_t cur = unexpected_hwm_.load(std::memory_order_relaxed);
+    while (depth > cur &&
+           !unexpected_hwm_.compare_exchange_weak(cur, depth, std::memory_order_relaxed)) {
+    }
+  }
 
   /// Per-channel counter block for (rank, vci); created on first use. The
   /// returned reference stays valid for the NetStats lifetime. Called once
@@ -259,6 +306,11 @@ class NetStats {
     s.retransmits = retransmits_.load(std::memory_order_relaxed);
     s.timeouts = timeouts_.load(std::memory_order_relaxed);
     s.failovers = failovers_.load(std::memory_order_relaxed);
+    s.credit_stalls = credit_stalls_.load(std::memory_order_relaxed);
+    s.overflows = overflows_.load(std::memory_order_relaxed);
+    s.watchdog_trips = watchdog_trips_.load(std::memory_order_relaxed);
+    s.deadlocks = deadlocks_.load(std::memory_order_relaxed);
+    s.unexpected_hwm = unexpected_hwm_.load(std::memory_order_relaxed);
     s.ctx_busy_ns = ctx_busy_ns_.load(std::memory_order_relaxed);
     for (int i = 0; i < kMsgSizeBuckets; ++i) {
       s.size_hist[static_cast<std::size_t>(i)] =
@@ -292,6 +344,11 @@ class NetStats {
   std::atomic<std::uint64_t> retransmits_{0};
   std::atomic<std::uint64_t> timeouts_{0};
   std::atomic<std::uint64_t> failovers_{0};
+  std::atomic<std::uint64_t> credit_stalls_{0};
+  std::atomic<std::uint64_t> overflows_{0};
+  std::atomic<std::uint64_t> watchdog_trips_{0};
+  std::atomic<std::uint64_t> deadlocks_{0};
+  std::atomic<std::uint64_t> unexpected_hwm_{0};
   std::atomic<Time> ctx_busy_ns_{0};
   std::array<std::atomic<std::uint64_t>, kMsgSizeBuckets> size_hist_{};
 

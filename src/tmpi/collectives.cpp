@@ -145,304 +145,357 @@ bool use_hier(const Comm& comm) {
          comm.impl()->leaders.size() > 1;
 }
 
+/// Collective entry wrapper (DESIGN.md §8). Under errors-are-fatal failures
+/// propagate as exceptions, unchanged. Under errors-return, a recoverable
+/// failure thrown by an internal fragment — fragment requests always throw,
+/// they are stamped fatal regardless of the comm's handler — is translated
+/// to the collective's return code.
+template <typename Fn>
+Errc coll_entry(const Comm& comm, Fn&& fn) {
+  if (comm.impl()->errhandler != ErrorHandler::kErrorsReturn) {
+    fn();
+    return Errc::kSuccess;
+  }
+  try {
+    fn();
+  } catch (const Error& e) {
+    return e.code();
+  }
+  return Errc::kSuccess;
+}
+
 }  // namespace
 
-void barrier(const Comm& comm) {
-  CollGuard g(comm);
-  const int n = comm.size();
-  const int me = comm.rank();
-  char dummy = 0;
-  int round = 0;
-  for (int k = 1; k < n; k <<= 1, ++round) {
-    const int dst = (me + k) % n;
-    const int src = (me - k + n) % n;
-    char in = 0;
-    coll_sendrecv(&dummy, 1, dst, &in, 1, src, g.tag(round), comm);
-  }
+Errc barrier(const Comm& comm) {
+  return coll_entry(comm, [&] {
+    CollGuard g(comm);
+    const int n = comm.size();
+    const int me = comm.rank();
+    char dummy = 0;
+    int round = 0;
+    for (int k = 1; k < n; k <<= 1, ++round) {
+      const int dst = (me + k) % n;
+      const int src = (me - k + n) % n;
+      char in = 0;
+      coll_sendrecv(&dummy, 1, dst, &in, 1, src, g.tag(round), comm);
+    }
+  });
 }
 
-void bcast(void* buf, int count, Datatype dt, int root, const Comm& comm) {
+Errc bcast(void* buf, int count, Datatype dt, int root, const Comm& comm) {
   TMPI_REQUIRE(root >= 0 && root < comm.size(), Errc::kInvalidArg, "bcast root out of range");
-  CollGuard g(comm);
-  subgroup_bcast(buf, dt.extent(count), all_ranks(comm), comm.rank(), root, g.tag(0), comm);
+  return coll_entry(comm, [&] {
+    CollGuard g(comm);
+    subgroup_bcast(buf, dt.extent(count), all_ranks(comm), comm.rank(), root, g.tag(0), comm);
+  });
 }
 
-void reduce(const void* sbuf, void* rbuf, int count, Datatype dt, Op op, int root,
+Errc reduce(const void* sbuf, void* rbuf, int count, Datatype dt, Op op, int root,
             const Comm& comm) {
   TMPI_REQUIRE(root >= 0 && root < comm.size(), Errc::kInvalidArg, "reduce root out of range");
-  CollGuard g(comm);
-  const std::size_t bytes = dt.extent(count);
-  std::vector<std::byte> acc(bytes);
-  if (bytes > 0) std::memcpy(acc.data(), sbuf, bytes);
-  subgroup_reduce(acc.data(), count, dt, op, all_ranks(comm), comm.rank(), root, g.tag(0), comm);
-  if (comm.rank() == root && bytes > 0) std::memcpy(rbuf, acc.data(), bytes);
+  return coll_entry(comm, [&] {
+    CollGuard g(comm);
+    const std::size_t bytes = dt.extent(count);
+    std::vector<std::byte> acc(bytes);
+    if (bytes > 0) std::memcpy(acc.data(), sbuf, bytes);
+    subgroup_reduce(acc.data(), count, dt, op, all_ranks(comm), comm.rank(), root, g.tag(0),
+                    comm);
+    if (comm.rank() == root && bytes > 0) std::memcpy(rbuf, acc.data(), bytes);
+  });
 }
 
-void allreduce(const void* sbuf, void* rbuf, int count, Datatype dt, Op op, const Comm& comm) {
-  CollGuard g(comm);
-  const std::size_t bytes = dt.extent(count);
-  if (bytes > 0 && rbuf != sbuf) std::memcpy(rbuf, sbuf, bytes);
+Errc allreduce(const void* sbuf, void* rbuf, int count, Datatype dt, Op op, const Comm& comm) {
+  return coll_entry(comm, [&] {
+    CollGuard g(comm);
+    const std::size_t bytes = dt.extent(count);
+    if (bytes > 0 && rbuf != sbuf) std::memcpy(rbuf, sbuf, bytes);
 
-  if (!use_hier(comm)) {
-    const auto ranks = all_ranks(comm);
-    subgroup_reduce(rbuf, count, dt, op, ranks, comm.rank(), 0, g.tag(0), comm);
-    subgroup_bcast(rbuf, bytes, ranks, comm.rank(), 0, g.tag(1), comm);
-    return;
-  }
+    if (!use_hier(comm)) {
+      const auto ranks = all_ranks(comm);
+      subgroup_reduce(rbuf, count, dt, op, ranks, comm.rank(), 0, g.tag(0), comm);
+      subgroup_bcast(rbuf, bytes, ranks, comm.rank(), 0, g.tag(1), comm);
+      return;
+    }
 
-  // Hierarchical: intranode reduce to the node leader (shared-memory paths),
-  // internode allreduce among leaders, intranode bcast.
-  const CommImpl& c = *comm.impl();
-  const auto members = node_ranks(comm);
-  const int my_pos = position_of(members, comm.rank());
-  const int leader = c.leader_of_rank[static_cast<std::size_t>(comm.rank())];
-  const int leader_pos = position_of(members, leader);
+    // Hierarchical: intranode reduce to the node leader (shared-memory
+    // paths), internode allreduce among leaders, intranode bcast.
+    const CommImpl& c = *comm.impl();
+    const auto members = node_ranks(comm);
+    const int my_pos = position_of(members, comm.rank());
+    const int leader = c.leader_of_rank[static_cast<std::size_t>(comm.rank())];
+    const int leader_pos = position_of(members, leader);
 
-  subgroup_reduce(rbuf, count, dt, op, members, my_pos, leader_pos, g.tag(0), comm);
-  if (comm.rank() == leader) {
-    const auto& leaders = c.leaders;
-    const int lp = position_of(leaders, comm.rank());
-    subgroup_reduce(rbuf, count, dt, op, leaders, lp, 0, g.tag(1), comm);
-    subgroup_bcast(rbuf, bytes, leaders, lp, 0, g.tag(2), comm);
-  }
-  subgroup_bcast(rbuf, bytes, members, my_pos, leader_pos, g.tag(3), comm);
+    subgroup_reduce(rbuf, count, dt, op, members, my_pos, leader_pos, g.tag(0), comm);
+    if (comm.rank() == leader) {
+      const auto& leaders = c.leaders;
+      const int lp = position_of(leaders, comm.rank());
+      subgroup_reduce(rbuf, count, dt, op, leaders, lp, 0, g.tag(1), comm);
+      subgroup_bcast(rbuf, bytes, leaders, lp, 0, g.tag(2), comm);
+    }
+    subgroup_bcast(rbuf, bytes, members, my_pos, leader_pos, g.tag(3), comm);
+  });
 }
 
-void gather(const void* sbuf, int scount, Datatype dt, void* rbuf, int root, const Comm& comm) {
+Errc gather(const void* sbuf, int scount, Datatype dt, void* rbuf, int root, const Comm& comm) {
   TMPI_REQUIRE(root >= 0 && root < comm.size(), Errc::kInvalidArg, "gather root out of range");
-  CollGuard g(comm);
-  const std::size_t block = dt.extent(scount);
-  const int n = comm.size();
-  if (comm.rank() == root) {
-    auto* out = static_cast<std::byte*>(rbuf);
-    std::vector<Request> reqs;
-    reqs.reserve(static_cast<std::size_t>(n - 1));
-    for (int r = 0; r < n; ++r) {
-      if (r == root) {
-        if (block > 0) std::memcpy(out + static_cast<std::size_t>(r) * block, sbuf, block);
-      } else {
-        reqs.push_back(detail::irecv_on_ctx(out + static_cast<std::size_t>(r) * block, block,
-                                            comm.impl()->coll_ctx_id, r, g.tag(0), comm));
+  return coll_entry(comm, [&] {
+    CollGuard g(comm);
+    const std::size_t block = dt.extent(scount);
+    const int n = comm.size();
+    if (comm.rank() == root) {
+      auto* out = static_cast<std::byte*>(rbuf);
+      std::vector<Request> reqs;
+      reqs.reserve(static_cast<std::size_t>(n - 1));
+      for (int r = 0; r < n; ++r) {
+        if (r == root) {
+          if (block > 0) std::memcpy(out + static_cast<std::size_t>(r) * block, sbuf, block);
+        } else {
+          reqs.push_back(detail::irecv_on_ctx(out + static_cast<std::size_t>(r) * block, block,
+                                              comm.impl()->coll_ctx_id, r, g.tag(0), comm));
+        }
       }
-    }
-    wait_all(reqs.data(), reqs.size());
-  } else {
-    coll_send(sbuf, block, root, g.tag(0), comm);
-  }
-}
-
-void scatter(const void* sbuf, void* rbuf, int rcount, Datatype dt, int root, const Comm& comm) {
-  TMPI_REQUIRE(root >= 0 && root < comm.size(), Errc::kInvalidArg, "scatter root out of range");
-  CollGuard g(comm);
-  const std::size_t block = dt.extent(rcount);
-  const int n = comm.size();
-  if (comm.rank() == root) {
-    const auto* in = static_cast<const std::byte*>(sbuf);
-    std::vector<Request> reqs;
-    reqs.reserve(static_cast<std::size_t>(n - 1));
-    for (int r = 0; r < n; ++r) {
-      if (r == root) {
-        if (block > 0) std::memcpy(rbuf, in + static_cast<std::size_t>(r) * block, block);
-      } else {
-        reqs.push_back(detail::isend_on_ctx(in + static_cast<std::size_t>(r) * block, block,
-                                            comm.impl()->coll_ctx_id, r, g.tag(0), comm));
-      }
-    }
-    wait_all(reqs.data(), reqs.size());
-  } else {
-    coll_recv(rbuf, block, root, g.tag(0), comm);
-  }
-}
-
-void allgather(const void* sbuf, int scount, Datatype dt, void* rbuf, const Comm& comm) {
-  CollGuard g(comm);
-  const std::size_t block = dt.extent(scount);
-  const int n = comm.size();
-  const int me = comm.rank();
-  auto* out = static_cast<std::byte*>(rbuf);
-  if (block > 0) std::memcpy(out + static_cast<std::size_t>(me) * block, sbuf, block);
-  // Ring: in step s we forward the block we received in step s-1.
-  const int right = (me + 1) % n;
-  const int left = (me - 1 + n) % n;
-  for (int s = 0; s < n - 1; ++s) {
-    const int send_block = (me - s + n) % n;
-    const int recv_block = (me - s - 1 + n) % n;
-    coll_sendrecv(out + static_cast<std::size_t>(send_block) * block, block, right,
-                  out + static_cast<std::size_t>(recv_block) * block, block, left, g.tag(s % 60),
-                  comm);
-  }
-}
-
-void alltoall(const void* sbuf, int scount, Datatype dt, void* rbuf, const Comm& comm) {
-  CollGuard g(comm);
-  const std::size_t block = dt.extent(scount);
-  const int n = comm.size();
-  const int me = comm.rank();
-  const auto* in = static_cast<const std::byte*>(sbuf);
-  auto* out = static_cast<std::byte*>(rbuf);
-  if (block > 0) {
-    std::memcpy(out + static_cast<std::size_t>(me) * block,
-                in + static_cast<std::size_t>(me) * block, block);
-  }
-  for (int s = 1; s < n; ++s) {
-    const int dst = (me + s) % n;
-    const int src = (me - s + n) % n;
-    coll_sendrecv(in + static_cast<std::size_t>(dst) * block, block, dst,
-                  out + static_cast<std::size_t>(src) * block, block, src, g.tag(s % 60), comm);
-  }
-}
-
-void scan(const void* sbuf, void* rbuf, int count, Datatype dt, Op op, const Comm& comm) {
-  CollGuard g(comm);
-  const std::size_t bytes = dt.extent(count);
-  const int me = comm.rank();
-  const int n = comm.size();
-  if (bytes > 0 && rbuf != sbuf) std::memcpy(rbuf, sbuf, bytes);
-  // Linear chain: rank r-1 forwards its inclusive prefix to rank r. Simple
-  // and exact for non-commutative-safe ordering.
-  std::vector<std::byte> incoming(bytes);
-  if (me > 0) {
-    coll_recv(incoming.data(), bytes, me - 1, g.tag(0), comm);
-    // prefix(0..me) = prefix(0..me-1) op mine, applied in rank order.
-    std::vector<std::byte> mine(bytes);
-    if (bytes > 0) std::memcpy(mine.data(), rbuf, bytes);
-    if (bytes > 0) std::memcpy(rbuf, incoming.data(), bytes);
-    reduce_apply(op, dt, rbuf, mine.data(), count);
-  }
-  if (me + 1 < n) coll_send(rbuf, bytes, me + 1, g.tag(0), comm);
-}
-
-void exscan(const void* sbuf, void* rbuf, int count, Datatype dt, Op op, const Comm& comm) {
-  CollGuard g(comm);
-  const std::size_t bytes = dt.extent(count);
-  const int me = comm.rank();
-  const int n = comm.size();
-  // Chain the *inclusive* prefix forward; each rank keeps what it received
-  // (the exclusive prefix) and forwards received-op-mine.
-  std::vector<std::byte> prefix(bytes);
-  if (me > 0) {
-    coll_recv(prefix.data(), bytes, me - 1, g.tag(0), comm);
-    if (bytes > 0) std::memcpy(rbuf, prefix.data(), bytes);
-  }
-  if (me + 1 < n) {
-    std::vector<std::byte> forward(bytes);
-    if (me == 0) {
-      if (bytes > 0) std::memcpy(forward.data(), sbuf, bytes);
+      wait_all(reqs.data(), reqs.size());
     } else {
-      forward = prefix;
-      reduce_apply(op, dt, forward.data(), sbuf, count);
+      coll_send(sbuf, block, root, g.tag(0), comm);
     }
-    coll_send(forward.data(), bytes, me + 1, g.tag(0), comm);
-  }
+  });
 }
 
-void gatherv(const void* sbuf, int scount, Datatype dt, void* rbuf, const int* counts,
+Errc scatter(const void* sbuf, void* rbuf, int rcount, Datatype dt, int root, const Comm& comm) {
+  TMPI_REQUIRE(root >= 0 && root < comm.size(), Errc::kInvalidArg, "scatter root out of range");
+  return coll_entry(comm, [&] {
+    CollGuard g(comm);
+    const std::size_t block = dt.extent(rcount);
+    const int n = comm.size();
+    if (comm.rank() == root) {
+      const auto* in = static_cast<const std::byte*>(sbuf);
+      std::vector<Request> reqs;
+      reqs.reserve(static_cast<std::size_t>(n - 1));
+      for (int r = 0; r < n; ++r) {
+        if (r == root) {
+          if (block > 0) std::memcpy(rbuf, in + static_cast<std::size_t>(r) * block, block);
+        } else {
+          reqs.push_back(detail::isend_on_ctx(in + static_cast<std::size_t>(r) * block, block,
+                                              comm.impl()->coll_ctx_id, r, g.tag(0), comm));
+        }
+      }
+      wait_all(reqs.data(), reqs.size());
+    } else {
+      coll_recv(rbuf, block, root, g.tag(0), comm);
+    }
+  });
+}
+
+Errc allgather(const void* sbuf, int scount, Datatype dt, void* rbuf, const Comm& comm) {
+  return coll_entry(comm, [&] {
+    CollGuard g(comm);
+    const std::size_t block = dt.extent(scount);
+    const int n = comm.size();
+    const int me = comm.rank();
+    auto* out = static_cast<std::byte*>(rbuf);
+    if (block > 0) std::memcpy(out + static_cast<std::size_t>(me) * block, sbuf, block);
+    // Ring: in step s we forward the block we received in step s-1.
+    const int right = (me + 1) % n;
+    const int left = (me - 1 + n) % n;
+    for (int s = 0; s < n - 1; ++s) {
+      const int send_block = (me - s + n) % n;
+      const int recv_block = (me - s - 1 + n) % n;
+      coll_sendrecv(out + static_cast<std::size_t>(send_block) * block, block, right,
+                    out + static_cast<std::size_t>(recv_block) * block, block, left,
+                    g.tag(s % 60), comm);
+    }
+  });
+}
+
+Errc alltoall(const void* sbuf, int scount, Datatype dt, void* rbuf, const Comm& comm) {
+  return coll_entry(comm, [&] {
+    CollGuard g(comm);
+    const std::size_t block = dt.extent(scount);
+    const int n = comm.size();
+    const int me = comm.rank();
+    const auto* in = static_cast<const std::byte*>(sbuf);
+    auto* out = static_cast<std::byte*>(rbuf);
+    if (block > 0) {
+      std::memcpy(out + static_cast<std::size_t>(me) * block,
+                  in + static_cast<std::size_t>(me) * block, block);
+    }
+    for (int s = 1; s < n; ++s) {
+      const int dst = (me + s) % n;
+      const int src = (me - s + n) % n;
+      coll_sendrecv(in + static_cast<std::size_t>(dst) * block, block, dst,
+                    out + static_cast<std::size_t>(src) * block, block, src, g.tag(s % 60),
+                    comm);
+    }
+  });
+}
+
+Errc scan(const void* sbuf, void* rbuf, int count, Datatype dt, Op op, const Comm& comm) {
+  return coll_entry(comm, [&] {
+    CollGuard g(comm);
+    const std::size_t bytes = dt.extent(count);
+    const int me = comm.rank();
+    const int n = comm.size();
+    if (bytes > 0 && rbuf != sbuf) std::memcpy(rbuf, sbuf, bytes);
+    // Linear chain: rank r-1 forwards its inclusive prefix to rank r. Simple
+    // and exact for non-commutative-safe ordering.
+    std::vector<std::byte> incoming(bytes);
+    if (me > 0) {
+      coll_recv(incoming.data(), bytes, me - 1, g.tag(0), comm);
+      // prefix(0..me) = prefix(0..me-1) op mine, applied in rank order.
+      std::vector<std::byte> mine(bytes);
+      if (bytes > 0) std::memcpy(mine.data(), rbuf, bytes);
+      if (bytes > 0) std::memcpy(rbuf, incoming.data(), bytes);
+      reduce_apply(op, dt, rbuf, mine.data(), count);
+    }
+    if (me + 1 < n) coll_send(rbuf, bytes, me + 1, g.tag(0), comm);
+  });
+}
+
+Errc exscan(const void* sbuf, void* rbuf, int count, Datatype dt, Op op, const Comm& comm) {
+  return coll_entry(comm, [&] {
+    CollGuard g(comm);
+    const std::size_t bytes = dt.extent(count);
+    const int me = comm.rank();
+    const int n = comm.size();
+    // Chain the *inclusive* prefix forward; each rank keeps what it received
+    // (the exclusive prefix) and forwards received-op-mine.
+    std::vector<std::byte> prefix(bytes);
+    if (me > 0) {
+      coll_recv(prefix.data(), bytes, me - 1, g.tag(0), comm);
+      if (bytes > 0) std::memcpy(rbuf, prefix.data(), bytes);
+    }
+    if (me + 1 < n) {
+      std::vector<std::byte> forward(bytes);
+      if (me == 0) {
+        if (bytes > 0) std::memcpy(forward.data(), sbuf, bytes);
+      } else {
+        forward = prefix;
+        reduce_apply(op, dt, forward.data(), sbuf, count);
+      }
+      coll_send(forward.data(), bytes, me + 1, g.tag(0), comm);
+    }
+  });
+}
+
+Errc gatherv(const void* sbuf, int scount, Datatype dt, void* rbuf, const int* counts,
              const int* displs, int root, const Comm& comm) {
   TMPI_REQUIRE(root >= 0 && root < comm.size(), Errc::kInvalidArg, "gatherv root out of range");
-  CollGuard g(comm);
-  const int n = comm.size();
-  if (comm.rank() == root) {
-    auto* out = static_cast<std::byte*>(rbuf);
-    std::vector<Request> reqs;
-    reqs.reserve(static_cast<std::size_t>(n - 1));
-    for (int r = 0; r < n; ++r) {
-      std::byte* dst = out + static_cast<std::size_t>(displs[r]) * dt.size();
-      const std::size_t bytes = dt.extent(counts[r]);
-      if (r == root) {
-        TMPI_REQUIRE(counts[r] == scount, Errc::kInvalidArg, "gatherv root count mismatch");
-        if (bytes > 0) std::memcpy(dst, sbuf, bytes);
-      } else {
-        reqs.push_back(
-            detail::irecv_on_ctx(dst, bytes, comm.impl()->coll_ctx_id, r, g.tag(0), comm));
+  return coll_entry(comm, [&] {
+    CollGuard g(comm);
+    const int n = comm.size();
+    if (comm.rank() == root) {
+      auto* out = static_cast<std::byte*>(rbuf);
+      std::vector<Request> reqs;
+      reqs.reserve(static_cast<std::size_t>(n - 1));
+      for (int r = 0; r < n; ++r) {
+        std::byte* dst = out + static_cast<std::size_t>(displs[r]) * dt.size();
+        const std::size_t bytes = dt.extent(counts[r]);
+        if (r == root) {
+          TMPI_REQUIRE(counts[r] == scount, Errc::kInvalidArg, "gatherv root count mismatch");
+          if (bytes > 0) std::memcpy(dst, sbuf, bytes);
+        } else {
+          reqs.push_back(
+              detail::irecv_on_ctx(dst, bytes, comm.impl()->coll_ctx_id, r, g.tag(0), comm));
+        }
       }
+      wait_all(reqs.data(), reqs.size());
+    } else {
+      coll_send(sbuf, dt.extent(scount), root, g.tag(0), comm);
     }
-    wait_all(reqs.data(), reqs.size());
-  } else {
-    coll_send(sbuf, dt.extent(scount), root, g.tag(0), comm);
-  }
+  });
 }
 
-void scatterv(const void* sbuf, const int* counts, const int* displs, void* rbuf, int rcount,
+Errc scatterv(const void* sbuf, const int* counts, const int* displs, void* rbuf, int rcount,
               Datatype dt, int root, const Comm& comm) {
   TMPI_REQUIRE(root >= 0 && root < comm.size(), Errc::kInvalidArg,
                "scatterv root out of range");
-  CollGuard g(comm);
-  const int n = comm.size();
-  if (comm.rank() == root) {
-    const auto* in = static_cast<const std::byte*>(sbuf);
-    std::vector<Request> reqs;
-    reqs.reserve(static_cast<std::size_t>(n - 1));
-    for (int r = 0; r < n; ++r) {
-      const std::byte* src = in + static_cast<std::size_t>(displs[r]) * dt.size();
-      const std::size_t bytes = dt.extent(counts[r]);
-      if (r == root) {
-        TMPI_REQUIRE(counts[r] == rcount, Errc::kInvalidArg, "scatterv root count mismatch");
-        if (bytes > 0) std::memcpy(rbuf, src, bytes);
-      } else {
-        reqs.push_back(
-            detail::isend_on_ctx(src, bytes, comm.impl()->coll_ctx_id, r, g.tag(0), comm));
+  return coll_entry(comm, [&] {
+    CollGuard g(comm);
+    const int n = comm.size();
+    if (comm.rank() == root) {
+      const auto* in = static_cast<const std::byte*>(sbuf);
+      std::vector<Request> reqs;
+      reqs.reserve(static_cast<std::size_t>(n - 1));
+      for (int r = 0; r < n; ++r) {
+        const std::byte* src = in + static_cast<std::size_t>(displs[r]) * dt.size();
+        const std::size_t bytes = dt.extent(counts[r]);
+        if (r == root) {
+          TMPI_REQUIRE(counts[r] == rcount, Errc::kInvalidArg, "scatterv root count mismatch");
+          if (bytes > 0) std::memcpy(rbuf, src, bytes);
+        } else {
+          reqs.push_back(
+              detail::isend_on_ctx(src, bytes, comm.impl()->coll_ctx_id, r, g.tag(0), comm));
+        }
       }
+      wait_all(reqs.data(), reqs.size());
+    } else {
+      coll_recv(rbuf, dt.extent(rcount), root, g.tag(0), comm);
     }
-    wait_all(reqs.data(), reqs.size());
-  } else {
-    coll_recv(rbuf, dt.extent(rcount), root, g.tag(0), comm);
-  }
+  });
 }
 
-void allgatherv(const void* sbuf, int scount, Datatype dt, void* rbuf, const int* counts,
+Errc allgatherv(const void* sbuf, int scount, Datatype dt, void* rbuf, const int* counts,
                 const int* displs, const Comm& comm) {
-  CollGuard g(comm);
-  const int n = comm.size();
-  const int me = comm.rank();
-  auto* out = static_cast<std::byte*>(rbuf);
-  TMPI_REQUIRE(counts[me] == scount, Errc::kInvalidArg, "allgatherv own count mismatch");
-  if (dt.extent(scount) > 0) {
-    std::memcpy(out + static_cast<std::size_t>(displs[me]) * dt.size(), sbuf,
-                dt.extent(scount));
-  }
-  // Ring with per-step variable block sizes.
-  const int right = (me + 1) % n;
-  const int left = (me - 1 + n) % n;
-  for (int s = 0; s < n - 1; ++s) {
-    const int send_block = (me - s + n) % n;
-    const int recv_block = (me - s - 1 + n) % n;
-    coll_sendrecv(out + static_cast<std::size_t>(displs[send_block]) * dt.size(),
-                  dt.extent(counts[send_block]), right,
-                  out + static_cast<std::size_t>(displs[recv_block]) * dt.size(),
-                  dt.extent(counts[recv_block]), left, g.tag(s % 60), comm);
-  }
+  return coll_entry(comm, [&] {
+    CollGuard g(comm);
+    const int n = comm.size();
+    const int me = comm.rank();
+    auto* out = static_cast<std::byte*>(rbuf);
+    TMPI_REQUIRE(counts[me] == scount, Errc::kInvalidArg, "allgatherv own count mismatch");
+    if (dt.extent(scount) > 0) {
+      std::memcpy(out + static_cast<std::size_t>(displs[me]) * dt.size(), sbuf,
+                  dt.extent(scount));
+    }
+    // Ring with per-step variable block sizes.
+    const int right = (me + 1) % n;
+    const int left = (me - 1 + n) % n;
+    for (int s = 0; s < n - 1; ++s) {
+      const int send_block = (me - s + n) % n;
+      const int recv_block = (me - s - 1 + n) % n;
+      coll_sendrecv(out + static_cast<std::size_t>(displs[send_block]) * dt.size(),
+                    dt.extent(counts[send_block]), right,
+                    out + static_cast<std::size_t>(displs[recv_block]) * dt.size(),
+                    dt.extent(counts[recv_block]), left, g.tag(s % 60), comm);
+    }
+  });
 }
 
-void alltoallv(const void* sbuf, const int* scounts, const int* sdispls, void* rbuf,
+Errc alltoallv(const void* sbuf, const int* scounts, const int* sdispls, void* rbuf,
                const int* rcounts, const int* rdispls, Datatype dt, const Comm& comm) {
-  CollGuard g(comm);
-  const int n = comm.size();
-  const int me = comm.rank();
-  const auto* in = static_cast<const std::byte*>(sbuf);
-  auto* out = static_cast<std::byte*>(rbuf);
-  TMPI_REQUIRE(scounts[me] == rcounts[me], Errc::kInvalidArg, "alltoallv self count mismatch");
-  if (dt.extent(scounts[me]) > 0) {
-    std::memcpy(out + static_cast<std::size_t>(rdispls[me]) * dt.size(),
-                in + static_cast<std::size_t>(sdispls[me]) * dt.size(), dt.extent(scounts[me]));
-  }
-  for (int s = 1; s < n; ++s) {
-    const int dst = (me + s) % n;
-    const int src = (me - s + n) % n;
-    coll_sendrecv(in + static_cast<std::size_t>(sdispls[dst]) * dt.size(),
-                  dt.extent(scounts[dst]), dst,
-                  out + static_cast<std::size_t>(rdispls[src]) * dt.size(),
-                  dt.extent(rcounts[src]), src, g.tag(s % 60), comm);
-  }
+  return coll_entry(comm, [&] {
+    CollGuard g(comm);
+    const int n = comm.size();
+    const int me = comm.rank();
+    const auto* in = static_cast<const std::byte*>(sbuf);
+    auto* out = static_cast<std::byte*>(rbuf);
+    TMPI_REQUIRE(scounts[me] == rcounts[me], Errc::kInvalidArg,
+                 "alltoallv self count mismatch");
+    if (dt.extent(scounts[me]) > 0) {
+      std::memcpy(out + static_cast<std::size_t>(rdispls[me]) * dt.size(),
+                  in + static_cast<std::size_t>(sdispls[me]) * dt.size(),
+                  dt.extent(scounts[me]));
+    }
+    for (int s = 1; s < n; ++s) {
+      const int dst = (me + s) % n;
+      const int src = (me - s + n) % n;
+      coll_sendrecv(in + static_cast<std::size_t>(sdispls[dst]) * dt.size(),
+                    dt.extent(scounts[dst]), dst,
+                    out + static_cast<std::size_t>(rdispls[src]) * dt.size(),
+                    dt.extent(rcounts[src]), src, g.tag(s % 60), comm);
+    }
+  });
 }
 
-void reduce_scatter_block(const void* sbuf, void* rbuf, int rcount, Datatype dt, Op op,
+Errc reduce_scatter_block(const void* sbuf, void* rbuf, int rcount, Datatype dt, Op op,
                           const Comm& comm) {
   const int n = comm.size();
   const std::size_t block = dt.extent(rcount);
   std::vector<std::byte> full(block * static_cast<std::size_t>(n));
-  // reduce + scatter keeps this simple and correct for any size.
-  reduce(sbuf, full.data(), rcount * n, dt, op, 0, comm);
-  scatter(full.data(), rbuf, rcount, dt, 0, comm);
+  // reduce + scatter keeps this simple and correct for any size; each stage
+  // already honours the comm's error handler, so just propagate the codes.
+  const Errc e = reduce(sbuf, full.data(), rcount * n, dt, op, 0, comm);
+  if (e != Errc::kSuccess) return e;
+  return scatter(full.data(), rbuf, rcount, dt, 0, comm);
 }
 
 }  // namespace tmpi

@@ -18,60 +18,66 @@
 /// The default "hier" algorithm is node-aware (intranode shared-memory step,
 /// internode step between node leaders); `tmpi_coll_algorithm=flat` selects
 /// topology-oblivious algorithms for ablation.
+///
+/// Every collective returns Errc (MPI-style). On the default
+/// errors-are-fatal handler failures throw, so the return value is always
+/// kSuccess and existing call sites may ignore it; on an errors-return
+/// communicator (DESIGN.md §8) a failure — kTimeout under injected loss,
+/// kResourceExhausted at a channel cap — comes back as the return code.
 
 namespace tmpi {
 
-void barrier(const Comm& comm);
-void bcast(void* buf, int count, Datatype dt, int root, const Comm& comm);
-void reduce(const void* sbuf, void* rbuf, int count, Datatype dt, Op op, int root,
+Errc barrier(const Comm& comm);
+Errc bcast(void* buf, int count, Datatype dt, int root, const Comm& comm);
+Errc reduce(const void* sbuf, void* rbuf, int count, Datatype dt, Op op, int root,
             const Comm& comm);
-void allreduce(const void* sbuf, void* rbuf, int count, Datatype dt, Op op, const Comm& comm);
+Errc allreduce(const void* sbuf, void* rbuf, int count, Datatype dt, Op op, const Comm& comm);
 
 /// Gather `scount` elements from every rank into rank-order blocks of `rbuf`
 /// at the root (`rbuf` significant only at root).
-void gather(const void* sbuf, int scount, Datatype dt, void* rbuf, int root, const Comm& comm);
+Errc gather(const void* sbuf, int scount, Datatype dt, void* rbuf, int root, const Comm& comm);
 
 /// Scatter rank-order blocks of `sbuf` (significant only at root), `rcount`
 /// elements to each rank.
-void scatter(const void* sbuf, void* rbuf, int rcount, Datatype dt, int root, const Comm& comm);
+Errc scatter(const void* sbuf, void* rbuf, int rcount, Datatype dt, int root, const Comm& comm);
 
 /// All ranks receive every rank's `scount`-element block, rank-ordered.
-void allgather(const void* sbuf, int scount, Datatype dt, void* rbuf, const Comm& comm);
+Errc allgather(const void* sbuf, int scount, Datatype dt, void* rbuf, const Comm& comm);
 
 /// Personalized all-to-all exchange of `scount`-element blocks.
-void alltoall(const void* sbuf, int scount, Datatype dt, void* rbuf, const Comm& comm);
+Errc alltoall(const void* sbuf, int scount, Datatype dt, void* rbuf, const Comm& comm);
 
 /// Elementwise reduction of size*rcount elements; rank r receives block r.
-void reduce_scatter_block(const void* sbuf, void* rbuf, int rcount, Datatype dt, Op op,
+Errc reduce_scatter_block(const void* sbuf, void* rbuf, int rcount, Datatype dt, Op op,
                           const Comm& comm);
 
 /// Inclusive prefix reduction: rank r receives op over ranks 0..r.
-void scan(const void* sbuf, void* rbuf, int count, Datatype dt, Op op, const Comm& comm);
+Errc scan(const void* sbuf, void* rbuf, int count, Datatype dt, Op op, const Comm& comm);
 
 /// Exclusive prefix reduction: rank r receives op over ranks 0..r-1
 /// (rank 0's rbuf is left untouched, as in MPI).
-void exscan(const void* sbuf, void* rbuf, int count, Datatype dt, Op op, const Comm& comm);
+Errc exscan(const void* sbuf, void* rbuf, int count, Datatype dt, Op op, const Comm& comm);
 
 /// Variable-count gather: rank r contributes counts[r] elements; the root
 /// receives them at displs[r] (element offsets). counts/displs significant
 /// only at the root, except counts[comm.rank()] which every rank must pass
 /// consistently via `scount`.
-void gatherv(const void* sbuf, int scount, Datatype dt, void* rbuf, const int* counts,
+Errc gatherv(const void* sbuf, int scount, Datatype dt, void* rbuf, const int* counts,
              const int* displs, int root, const Comm& comm);
 
 /// Variable-count scatter (inverse of gatherv).
-void scatterv(const void* sbuf, const int* counts, const int* displs, void* rbuf, int rcount,
+Errc scatterv(const void* sbuf, const int* counts, const int* displs, void* rbuf, int rcount,
               Datatype dt, int root, const Comm& comm);
 
 /// Variable-count allgather: counts/displs are significant (and identical)
 /// on every rank.
-void allgatherv(const void* sbuf, int scount, Datatype dt, void* rbuf, const int* counts,
+Errc allgatherv(const void* sbuf, int scount, Datatype dt, void* rbuf, const int* counts,
                 const int* displs, const Comm& comm);
 
 /// Variable-count personalized all-to-all: rank r sends scounts[d] elements
 /// from sdispls[d] to each d, and receives rcounts[s] at rdispls[s] from
 /// each s. All arrays are per-rank local views (as in MPI_Alltoallv).
-void alltoallv(const void* sbuf, const int* scounts, const int* sdispls, void* rbuf,
+Errc alltoallv(const void* sbuf, const int* scounts, const int* sdispls, void* rbuf,
                const int* rcounts, const int* rdispls, Datatype dt, const Comm& comm);
 
 }  // namespace tmpi

@@ -42,6 +42,14 @@ int tid_field(Tag tag, int field /*0 = src (MSB), 1 = dst*/, int bits, int total
 }  // namespace
 
 void CommImpl::finalize_structure() {
+  // Error-handler hint (DESIGN.md §8). Parsed here rather than in
+  // configure_policy so endpoints communicators (which skip policy
+  // configuration) honour it too.
+  const std::string eh = info.get_string("tmpi_errhandler", "fatal");
+  TMPI_REQUIRE(eh == "fatal" || eh == "return", Errc::kInvalidArg,
+               "tmpi_errhandler must be 'fatal' or 'return'");
+  errhandler = eh == "return" ? ErrorHandler::kErrorsReturn : ErrorHandler::kErrorsAreFatal;
+
   const int n = size();
   coll_active = std::make_unique<std::atomic<int>[]>(static_cast<std::size_t>(n));
   coll_seq = std::make_unique<std::uint64_t[]>(static_cast<std::size_t>(n));

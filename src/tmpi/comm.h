@@ -10,6 +10,7 @@
 #include <mutex>
 #include <vector>
 
+#include "tmpi/error.h"
 #include "tmpi/info.h"
 #include "tmpi/types.h"
 
@@ -95,6 +96,12 @@ struct CommImpl {
   bool allow_overtaking = false;
   bool no_any_tag = false;
   bool no_any_source = false;
+
+  /// How recoverable failures (kTimeout, kResourceExhausted) surface on this
+  /// communicator (DESIGN.md §8). Parsed from the `tmpi_errhandler` info key
+  /// in finalize_structure, so every creation path — world, dup, split,
+  /// endpoints — honours it; mutable later via Comm::set_errhandler.
+  ErrorHandler errhandler = ErrorHandler::kErrorsAreFatal;
 
   /// Collective serialization guard and per-rank collective sequence numbers
   /// (all ranks observe the same sequence because collectives are serial per
@@ -192,6 +199,12 @@ class Comm {
   [[nodiscard]] VciPolicyKind policy() const { return impl_->policy; }
   [[nodiscard]] const std::vector<int>& vcis() const { return impl_->comm_vcis; }
   [[nodiscard]] int world_rank_of(int comm_rank) const { return impl_->world_rank_of(comm_rank); }
+
+  /// MPI_Comm_set_errhandler / MPI_Comm_get_errhandler (DESIGN.md §8).
+  /// Affects every handle onto this communicator; not retroactive for
+  /// already-issued operations.
+  [[nodiscard]] ErrorHandler errhandler() const { return impl_->errhandler; }
+  void set_errhandler(ErrorHandler h) const { impl_->errhandler = h; }
 
   /// MPI_Comm_dup: collective over all ranks of this comm.
   [[nodiscard]] Comm dup() const;

@@ -104,6 +104,7 @@ void reduce_apply(Op op, Datatype dt, void* inout, const void* in, int count) {
 
 const char* to_string(Errc code) {
   switch (code) {
+    case Errc::kSuccess: return "success";
     case Errc::kInvalidArg: return "invalid argument";
     case Errc::kTagOverflow: return "tag overflow";
     case Errc::kWildcardViolation: return "wildcard violates comm assertion";
@@ -112,9 +113,24 @@ const char* to_string(Errc code) {
     case Errc::kTruncate: return "message truncated";
     case Errc::kPartitionState: return "partitioned operation state error";
     case Errc::kTimeout: return "operation timed out";
+    case Errc::kResourceExhausted: return "channel resources exhausted";
     case Errc::kInternal: return "internal error";
   }
   return "?";
+}
+
+const char* to_string(ErrorHandler handler) {
+  switch (handler) {
+    case ErrorHandler::kErrorsAreFatal: return "errors-are-fatal";
+    case ErrorHandler::kErrorsReturn: return "errors-return";
+  }
+  return "?";
+}
+
+Errc errc_from_int(int value) {
+  TMPI_REQUIRE(value >= 0 && value < kErrcCount, Errc::kInvalidArg,
+               "errc_from_int: value out of range");
+  return static_cast<Errc>(value);
 }
 
 }  // namespace tmpi

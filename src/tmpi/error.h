@@ -9,10 +9,17 @@
 /// hints, concurrent collectives on one communicator, tag overflow) throws
 /// tmpi::Error with a specific code — behaviour a real MPI leaves undefined
 /// is surfaced loudly here so the comparison experiments can *count* misuse.
+///
+/// Recoverable communication failures (retransmission timeout, exhausted
+/// channel resources) additionally honour the owning communicator's error
+/// handler (DESIGN.md §8): under kErrorsAreFatal they throw like misuse
+/// does; under kErrorsReturn they come back as a Status::err / Errc return
+/// value so the workload can degrade instead of dying.
 
 namespace tmpi {
 
 enum class Errc {
+  kSuccess,              ///< not an error: the Status::err of a clean completion
   kInvalidArg,
   kTagOverflow,          ///< tag exceeds the configured tag_ub (Lesson 9)
   kWildcardViolation,    ///< wildcard used on a comm asserting no-wildcards
@@ -21,13 +28,43 @@ enum class Errc {
   kTruncate,             ///< receive buffer smaller than the matched message
   kPartitionState,       ///< partitioned op used while inactive / double-ready
   kTimeout,              ///< retransmission budget exhausted under injected loss
+  kResourceExhausted,    ///< bounded channel resources exhausted (DESIGN.md §8)
   kInternal,
 };
 
-/// MPI-style spelling of the fault-recovery error (DESIGN.md §7).
+/// Number of Errc enumerators; kept in lockstep with the enum so the
+/// round-trip helpers and the to_string exhaustiveness test can iterate.
+inline constexpr int kErrcCount = static_cast<int>(Errc::kInternal) + 1;
+
+/// MPI-style spellings (DESIGN.md §7-§8).
+inline constexpr Errc TMPI_SUCCESS = Errc::kSuccess;
+inline constexpr Errc TMPI_ERR_ARG = Errc::kInvalidArg;
+inline constexpr Errc TMPI_ERR_TAG = Errc::kTagOverflow;
+inline constexpr Errc TMPI_ERR_WILDCARD = Errc::kWildcardViolation;
+inline constexpr Errc TMPI_ERR_COLL = Errc::kConcurrentCollective;
+inline constexpr Errc TMPI_ERR_THREAD_LEVEL = Errc::kThreadLevel;
+inline constexpr Errc TMPI_ERR_TRUNCATE = Errc::kTruncate;
+inline constexpr Errc TMPI_ERR_PART_STATE = Errc::kPartitionState;
 inline constexpr Errc TMPI_ERR_TIMEOUT = Errc::kTimeout;
+inline constexpr Errc TMPI_ERR_RESOURCE_EXHAUSTED = Errc::kResourceExhausted;
+inline constexpr Errc TMPI_ERR_INTERNAL = Errc::kInternal;
+
+/// MPI_Error_class-style integer round trip: every Errc maps to a stable
+/// small int and back.
+[[nodiscard]] constexpr int errc_to_int(Errc code) { return static_cast<int>(code); }
+[[nodiscard]] Errc errc_from_int(int value);  ///< throws kInvalidArg when out of range
+
+/// Per-communicator error handler (MPI_ERRORS_ARE_FATAL / MPI_ERRORS_RETURN).
+/// Selected via the `tmpi_errhandler` Info key ("fatal" | "return") or
+/// Comm::set_errhandler; inherited by derived communicators through their
+/// merged Info, like every other hint.
+enum class ErrorHandler {
+  kErrorsAreFatal,  ///< recoverable failures throw tmpi::Error (default)
+  kErrorsReturn,    ///< recoverable failures surface as Status::err / Errc
+};
 
 const char* to_string(Errc code);
+const char* to_string(ErrorHandler handler);
 
 class Error : public std::runtime_error {
  public:

@@ -2,7 +2,21 @@
 
 namespace tmpi::detail {
 
+namespace {
+
+/// Return an envelope's flow-control credit to its channel (DESIGN.md §8).
+/// Idempotent per envelope: the pointer is nulled once released.
+void release_credit(Envelope& env) {
+  if (env.eager_credit != nullptr) {
+    env.eager_credit->fetch_add(1, std::memory_order_relaxed);
+    env.eager_credit = nullptr;
+  }
+}
+
+}  // namespace
+
 void MatchingEngine::deliver(Envelope& env, PostedRecv& pr, net::Time match_time) {
+  release_credit(env);
   Status st;
   st.source = env.src;
   st.tag = env.tag;
@@ -32,8 +46,8 @@ void MatchingEngine::deliver(Envelope& env, PostedRecv& pr, net::Time match_time
   }
 }
 
-void MatchingEngine::deposit(Envelope env, net::VirtualClock& clk, const net::CostModel& cm,
-                             net::NetStats* stats) {
+bool MatchingEngine::deposit(Envelope env, net::VirtualClock& clk, const net::CostModel& cm,
+                             net::NetStats* stats, std::size_t unexpected_cap) {
   std::uint64_t probes = 0;
   for (auto it = posted_.begin(); it != posted_.end(); ++it) {
     ++probes;
@@ -43,16 +57,21 @@ void MatchingEngine::deposit(Envelope env, net::VirtualClock& clk, const net::Co
       const net::Time match_time = std::max(clk.now(), it->post_time);
       deliver(env, *it, match_time);
       posted_.erase(it);
-      return;
+      return true;
     }
   }
-  if (stats != nullptr) {
-    stats->add_match_probes(probes);
-    stats->add_unexpected();
+  if (stats != nullptr) stats->add_match_probes(probes);
+  if (unexpected_cap > 0 && unexpected_.size() >= unexpected_cap) {
+    // Hard cap (DESIGN.md §8): the message is rejected, not queued. No
+    // insert cost is charged — the NIC refused the work.
+    release_credit(env);
+    return false;
   }
+  if (stats != nullptr) stats->add_unexpected();
   clk.advance(cm.match_insert_ns);
   env.ready_time = clk.now();
   unexpected_.push_back(std::move(env));
+  return true;
 }
 
 bool MatchingEngine::probe_unexpected(int ctx_id, int src, Tag tag, net::VirtualClock& clk,
@@ -100,6 +119,26 @@ void MatchingEngine::post_recv(PostedRecv pr, net::VirtualClock& clk, const net:
   clk.advance(cm.match_insert_ns);
   pr.post_time = clk.now();
   posted_.push_back(std::move(pr));
+}
+
+void MatchingEngine::absorb(MatchingEngine& from) {
+  // Per-element scan-splice rather than std::list::merge: the queues are not
+  // guaranteed internally sorted (arrival clocks of different senders are
+  // independent), and merge's behaviour is undefined on unsorted input. Each
+  // migrated entry lands before the first entry of this engine with a
+  // strictly later enqueue time, so post-failover matching order is what a
+  // single channel observing both histories would have produced.
+  auto merge_by = [](auto& dst, auto& src, auto enqueue_time) {
+    while (!src.empty()) {
+      const net::Time t = enqueue_time(src.front());
+      auto pos = dst.begin();
+      while (pos != dst.end() && enqueue_time(*pos) <= t) ++pos;
+      dst.splice(pos, src, src.begin());
+    }
+  };
+  merge_by(unexpected_, from.unexpected_,
+           [](const Envelope& e) { return e.ready_time; });
+  merge_by(posted_, from.posted_, [](const PostedRecv& p) { return p.post_time; });
 }
 
 }  // namespace tmpi::detail

@@ -1,6 +1,7 @@
 #ifndef TMPI_MATCHING_H
 #define TMPI_MATCHING_H
 
+#include <atomic>
 #include <cstddef>
 #include <cstring>
 #include <list>
@@ -50,6 +51,13 @@ struct Envelope {
 
   net::Time copy_ns = 0;     ///< receive-side copy-out cost
   net::Time ready_time = 0;  ///< virtual time the arrival finished processing
+
+  /// Eager-credit cell this message holds one unit of (flow control,
+  /// DESIGN.md §8). Released when the engine consumes the envelope — at
+  /// match, truncation, or cap rejection — and survives failover migration
+  /// because the pointer travels with the queue entry. Null when flow
+  /// control is off or the message is rendezvous.
+  std::atomic<int>* eager_credit = nullptr;
 };
 
 /// A receive posted to a VCI and not yet matched.
@@ -73,8 +81,13 @@ class MatchingEngine {
   /// Matches the earliest-posted compatible receive, completing it (and the
   /// sender's request, for rendezvous); otherwise enqueues the message on the
   /// unexpected queue.
-  void deposit(Envelope env, net::VirtualClock& clk, const net::CostModel& cm,
-               net::NetStats* stats);
+  ///
+  /// `unexpected_cap` > 0 bounds the unexpected queue (DESIGN.md §8): a
+  /// message that would have to enqueue while the queue is at the cap is
+  /// rejected — its eager credit is released and the function returns false
+  /// so the transport can surface kResourceExhausted. 0 means unbounded.
+  bool deposit(Envelope env, net::VirtualClock& clk, const net::CostModel& cm,
+               net::NetStats* stats, std::size_t unexpected_cap = 0);
 
   /// Post a receive from the owning rank's thread (its own clock). Matches
   /// the earliest-arrived compatible unexpected message, completing the
@@ -87,17 +100,16 @@ class MatchingEngine {
   bool probe_unexpected(int ctx_id, int src, Tag tag, net::VirtualClock& clk,
                         const net::CostModel& cm, net::NetStats* stats, Status* st) const;
 
-  /// Failover queue migration (DESIGN.md §7): splice every queued receive and
-  /// unexpected message out of `from` into this engine, preserving order.
-  /// Caller holds both VCIs' ContentionLocks. Best-effort: an in-flight
-  /// deposit that resolved its VCI before the redirect was published can
-  /// still land in `from` afterwards — deterministic tests phase-order
-  /// traffic around the failover, and the stress suite injects no ctx-down
-  /// events.
-  void absorb(MatchingEngine& from) {
-    unexpected_.splice(unexpected_.end(), from.unexpected_);
-    posted_.splice(posted_.end(), from.posted_);
-  }
+  /// Failover queue migration (DESIGN.md §7): merge every queued receive and
+  /// unexpected message out of `from` into this engine, interleaved by
+  /// virtual enqueue time (ready_time / post_time) so the merged engine
+  /// matches in the order a single channel would have. Ties keep this
+  /// engine's entries first. Caller holds both VCIs' ContentionLocks.
+  /// Best-effort: an in-flight deposit that resolved its VCI before the
+  /// redirect was published can still land in `from` afterwards —
+  /// deterministic tests phase-order traffic around the failover, and the
+  /// stress suite injects no ctx-down events.
+  void absorb(MatchingEngine& from);
 
   [[nodiscard]] std::size_t posted_depth() const { return posted_.size(); }
   [[nodiscard]] std::size_t unexpected_depth() const { return unexpected_.size(); }

@@ -39,22 +39,53 @@ Request isend_impl(const void* buf, std::size_t bytes, int ctx_id, int dst, Tag 
     req->kind = ReqKind::kSend;
   }
 
-  const bool rndv = bytes > cm.eager_threshold_bytes;
+  const int src_wr = c.world_rank_of(comm.rank());
+  const int dst_wr = c.world_rank_of(dst);
+
+  bool rndv = bytes > cm.eager_threshold_bytes;
+  std::atomic<int>* credit = nullptr;
+  if (!rndv) {
+    const detail::Transport::EagerGrant grant = w.transport().try_reserve_eager(dst_wr, route.remote);
+    if (grant.granted) {
+      credit = grant.slot;
+    } else {
+      // Backpressure (DESIGN.md §8): the destination channel's eager credits
+      // are spent, so the message degrades to rendezvous — the payload stays
+      // in the sender's buffer until the receiver matches, instead of
+      // growing the unexpected queue.
+      rndv = true;
+      net::ThreadClock::get().advance(cm.credit_stall_ns);
+    }
+  }
+
+  // Error/watchdog metadata (DESIGN.md §8). Collective fragments keep the
+  // throwing behaviour regardless of the comm's handler so the collective
+  // entry wrapper can catch and translate; the watchdog covers both.
+  req->errors_return =
+      ctx_id == c.ctx_id && c.errhandler == ErrorHandler::kErrorsReturn;
+  req->wd = w.watchdog();
+  req->wd_rank = src_wr;
+  req->wd_vci = route.local;
+  req->wd_peer = dst_wr;
+  req->wd_tag = tag;
+  req->wd_op = "Send";
 
   OpDesc op;
   op.kind = ctx_id == c.coll_ctx_id ? OpKind::kCollFragment
                                     : (rndv ? OpKind::kRendezvousP2p : OpKind::kEagerP2p);
   op.rendezvous = rndv;
   op.bytes = bytes;
-  op.src_world_rank = c.world_rank_of(comm.rank());
-  op.dst_world_rank = c.world_rank_of(dst);
+  op.src_world_rank = src_wr;
+  op.dst_world_rank = dst_wr;
   op.local_vci = route.local;
   op.remote_vci = route.remote;
 
   const detail::InjectResult ir = w.transport().inject(op);
   if (ir.timed_out) {
     // Retransmission budget exhausted (DESIGN.md §7): nothing reached the
-    // wire. The request fails with TMPI_ERR_TIMEOUT; wait()/test() throw.
+    // wire. The request fails with TMPI_ERR_TIMEOUT; under errors-are-fatal
+    // wait()/test() throw, under errors-return they report Status::err.
+    if (credit != nullptr) credit->fetch_add(1, std::memory_order_relaxed);
     Status st;
     st.source = comm.rank();
     st.tag = tag;
@@ -82,11 +113,23 @@ Request isend_impl(const void* buf, std::size_t bytes, int ctx_id, int dst, Tag 
     if (bytes > 0) std::memcpy(env.payload.data(), buf, bytes);
     env.copy_ns = static_cast<net::Time>(static_cast<double>(bytes) /
                                          cm.shm_bandwidth_bytes_per_ns);
-    // Eager: the send buffer is reusable once the message left the NIC.
-    req->finish(ir.inject_done);
+    env.eager_credit = credit;  // released when the engine consumes the message
   }
 
-  w.transport().deliver(op, std::move(env), ir.arrival);
+  if (!w.transport().deliver(op, std::move(env), ir.arrival)) {
+    // The destination's unexpected-queue cap rejected the message
+    // (DESIGN.md §8); its eager credit was released inside the engine.
+    Status st;
+    st.source = comm.rank();
+    st.tag = tag;
+    st.bytes = 0;
+    req->finish_error(net::ThreadClock::get().now(), st, Errc::kResourceExhausted);
+    return Request(req);
+  }
+  // Eager: the send buffer is reusable once the message left the NIC. The
+  // completion timestamp is still inject_done — delivery order only decides
+  // whether the send succeeded at all (cap rejection above).
+  if (!rndv) req->finish(ir.inject_done);
   return Request(req);
 }
 
@@ -100,6 +143,15 @@ Request irecv_impl(void* buf, std::size_t capacity, int ctx_id, int src, Tag tag
     req = std::make_shared<ReqState>();
     req->kind = ReqKind::kRecv;
   }
+
+  req->errors_return =
+      ctx_id == c.ctx_id && c.errhandler == ErrorHandler::kErrorsReturn;
+  req->wd = w.watchdog();
+  req->wd_rank = c.world_rank_of(comm.rank());
+  req->wd_vci = lvci;
+  req->wd_peer = src == kAnySource ? -1 : c.world_rank_of(src);
+  req->wd_tag = tag;
+  req->wd_op = "Recv";
 
   PostedRecv pr;
   pr.ctx_id = ctx_id;
@@ -137,8 +189,8 @@ Request irecv(void* buf, int count, Datatype dt, int src, Tag tag, const Comm& c
   return irecv_impl(buf, dt.extent(count), comm.impl()->ctx_id, src, tag, comm);
 }
 
-void send(const void* buf, int count, Datatype dt, int dst, Tag tag, const Comm& comm) {
-  isend(buf, count, dt, dst, tag, comm).wait();
+Errc send(const void* buf, int count, Datatype dt, int dst, Tag tag, const Comm& comm) {
+  return isend(buf, count, dt, dst, tag, comm).wait().err;
 }
 
 Status recv(void* buf, int count, Datatype dt, int src, Tag tag, const Comm& comm) {

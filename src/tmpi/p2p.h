@@ -26,8 +26,10 @@ Request isend(const void* buf, int count, Datatype dt, int dst, Tag tag, const C
 /// Nonblocking receive into `buf` (capacity `count` elements).
 Request irecv(void* buf, int count, Datatype dt, int src, Tag tag, const Comm& comm);
 
-/// Blocking send (isend + wait).
-void send(const void* buf, int count, Datatype dt, int dst, Tag tag, const Comm& comm);
+/// Blocking send (isend + wait). Returns kSuccess, or — on an errors-return
+/// communicator (DESIGN.md §8) — the failure code (kTimeout,
+/// kResourceExhausted) instead of throwing.
+Errc send(const void* buf, int count, Datatype dt, int dst, Tag tag, const Comm& comm);
 
 /// Blocking receive; returns the matched Status.
 Status recv(void* buf, int count, Datatype dt, int src, Tag tag, const Comm& comm);

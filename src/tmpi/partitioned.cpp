@@ -8,6 +8,7 @@
 #include "net/contention_lock.h"
 #include "tmpi/error.h"
 #include "tmpi/transport.h"
+#include "tmpi/watchdog.h"
 #include "tmpi/world.h"
 
 namespace tmpi {
@@ -166,6 +167,14 @@ Request psend_init(const void* buf, int partitions, int count, Datatype dt, int 
   s->ready.assign(static_cast<std::size_t>(partitions), 0);
   s->vcis = detail::part_vcis(comm, info, dst, tag, /*sender=*/true);
 
+  s->errors_return = comm.impl()->errhandler == ErrorHandler::kErrorsReturn;
+  s->wd = w.watchdog();
+  s->wd_rank = comm.world_rank_of(comm.rank());
+  s->wd_vci = s->vcis[0];
+  s->wd_peer = comm.world_rank_of(dst);
+  s->wd_tag = tag;
+  s->wd_op = "PartSend";
+
   const detail::PartKey key{comm.rank(), dst, tag};
   s->chan = detail::channel_for(*comm.impl(), key);
   {
@@ -200,6 +209,14 @@ Request precv_init(void* buf, int partitions, int count, Datatype dt, int src, T
   s->arrived.assign(static_cast<std::size_t>(partitions), 0);
   s->arrive_time.assign(static_cast<std::size_t>(partitions), 0);
   s->vcis = detail::part_vcis(comm, info, src, tag, /*sender=*/false);
+
+  s->errors_return = comm.impl()->errhandler == ErrorHandler::kErrorsReturn;
+  s->wd = w.watchdog();
+  s->wd_rank = comm.world_rank_of(comm.rank());
+  s->wd_vci = s->vcis[0];
+  s->wd_peer = comm.world_rank_of(src);
+  s->wd_tag = tag;
+  s->wd_op = "PartRecv";
 
   const detail::PartKey key{src, comm.rank(), tag};
   s->chan = detail::channel_for(*comm.impl(), key);
@@ -247,7 +264,7 @@ void detail::PartRecvState::on_start() {
   chan->cv.notify_all();
 }
 
-void pready(int partition, Request& req) {
+Errc pready(int partition, Request& req) {
   auto s = detail::part_cast<detail::PartSendState>(req, detail::ReqKind::kPartSend,
                                                     "pready on a non-partitioned-send request");
   World& w = *s->comm->world;
@@ -287,7 +304,7 @@ void pready(int partition, Request& req) {
     std::scoped_lock lk(s->chan->mu);
     s->finish_error(clk.now(), st, Errc::kTimeout);
     s->chan->cv.notify_all();
-    return;
+    return Errc::kTimeout;
   }
   const net::Time inject_done = ir.inject_done;
   net::Time arrival = ir.arrival;
@@ -325,6 +342,7 @@ void pready(int partition, Request& req) {
     if (s->ready_count == s->partitions) s->finish(s->max_done);
     s->chan->cv.notify_all();
   }
+  return Errc::kSuccess;
 }
 
 bool parrived(Request& req, int partition) {
@@ -351,7 +369,7 @@ bool parrived(Request& req, int partition) {
   return false;
 }
 
-void await_partition(Request& req, int partition) {
+Errc await_partition(Request& req, int partition) {
   auto r = detail::part_cast<detail::PartRecvState>(
       req, detail::ReqKind::kPartRecv, "await_partition on a non-partitioned-recv request");
   World& w = *r->comm->world;
@@ -360,10 +378,48 @@ void await_partition(Request& req, int partition) {
 
   TMPI_REQUIRE(partition >= 0 && partition < r->partitions, Errc::kInvalidArg,
                "partition index out of range");
+
+  // Watchdog registration (DESIGN.md §8) — before the channel lock, and with
+  // a wake hook on the channel cv this wait sleeps on (not the request cv).
+  detail::ProgressWatchdog::BlockedOp bop;
+  if (r->wd != nullptr) {
+    bop.req = r;
+    bop.rank = r->wd_rank;
+    bop.vci = r->wd_vci;
+    bop.peer = r->wd_peer;
+    bop.tag = r->wd_tag;
+    bop.opname = r->wd_op;
+    bop.block_vtime = clk.now();
+    std::shared_ptr<detail::PartChannel> chan = r->chan;
+    bop.wake = [chan] {
+      std::scoped_lock wk(chan->mu);
+      chan->cv.notify_all();
+    };
+  }
+  detail::BlockedScope watchdog_reg(r->wd, std::move(bop));
   {
     std::unique_lock lk(r->chan->mu);
     TMPI_REQUIRE(r->active, Errc::kPartitionState, "await_partition on an inactive request");
-    r->chan->cv.wait(lk, [&] { return r->arrived[static_cast<std::size_t>(partition)] != 0; });
+    r->chan->cv.wait(lk, [&] {
+      if (r->arrived[static_cast<std::size_t>(partition)] != 0) return true;
+      std::scoped_lock st_lk(r->mu);  // chan->mu -> req->mu, same as delivery
+      return r->errored;
+    });
+    if (r->arrived[static_cast<std::size_t>(partition)] == 0) {
+      // The request failed (fault path or watchdog trip) and this partition
+      // will never arrive.
+      Errc code = Errc::kTimeout;
+      net::Time t = 0;
+      {
+        std::scoped_lock st_lk(r->mu);
+        code = r->err;
+        t = r->complete_time;
+      }
+      clk.advance_to(t);
+      if (r->errors_return) return code;
+      lk.unlock();
+      fail(code, "partitioned operation failed while awaiting a partition");
+    }
   }
   // One polling round on the shared request (Lesson 14), then catch up to
   // the partition's arrival.
@@ -372,6 +428,7 @@ void await_partition(Request& req, int partition) {
   clk.advance(cm.partition_flag_ns);
   std::scoped_lock lk(r->chan->mu);
   clk.advance_to(r->arrive_time[static_cast<std::size_t>(partition)]);
+  return Errc::kSuccess;
 }
 
 }  // namespace tmpi

@@ -40,7 +40,9 @@ Request precv_init(void* buf, int partitions, int count, Datatype dt, int src, T
 
 /// Mark partition `partition` of an active partitioned send ready; the
 /// partition's data is transferred. Callable concurrently from many threads.
-void pready(int partition, Request& req);
+/// Returns kSuccess, or kTimeout when the partition never reached the wire
+/// (DESIGN.md §7/§8) — the whole request is failed in that case.
+Errc pready(int partition, Request& req);
 
 /// Check whether partition `partition` of an active partitioned receive has
 /// arrived. Callable concurrently from many threads. On success the caller's
@@ -49,8 +51,10 @@ bool parrived(Request& req, int partition);
 
 /// Extension: block until the partition arrives (equivalent to a parrived
 /// poll loop, but deterministic in virtual time — it charges one shared-lock
-/// round instead of a host-scheduling-dependent number of polls).
-void await_partition(Request& req, int partition);
+/// round instead of a host-scheduling-dependent number of polls). If the
+/// request fails while waiting (fault path, watchdog trip), returns the
+/// failure code on an errors-return communicator and throws otherwise.
+Errc await_partition(Request& req, int partition);
 
 }  // namespace tmpi
 

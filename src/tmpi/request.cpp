@@ -2,6 +2,7 @@
 
 #include "net/virtual_clock.h"
 #include "tmpi/error.h"
+#include "tmpi/watchdog.h"
 
 namespace tmpi {
 
@@ -21,9 +22,33 @@ void startall(Request* reqs, std::size_t n) {
 namespace {
 
 [[noreturn]] void raise_request_error(Errc code) {
-  fail(code, code == Errc::kTimeout
-                 ? "operation timed out after exhausting retransmissions"
-                 : "receive buffer smaller than matched message");
+  switch (code) {
+    case Errc::kTimeout:
+      fail(code, "operation timed out after exhausting retransmissions");
+    case Errc::kResourceExhausted:
+      fail(code, "destination channel rejected the message at its unexpected-queue cap");
+    default:
+      fail(code, "receive buffer smaller than matched message");
+  }
+}
+
+/// Registration handle for the progress watchdog. No-op (one pointer test)
+/// unless the world runs a watchdog. Must be constructed before the wait
+/// takes s->mu: registration acquires the watchdog's registry mutex, which
+/// must never nest inside a request lock (the watchdog takes them in the
+/// opposite order when failing a blocked op).
+detail::BlockedScope make_blocked_scope(const std::shared_ptr<detail::ReqState>& s) {
+  detail::ProgressWatchdog::BlockedOp op;
+  if (s->wd != nullptr) {
+    op.req = s;
+    op.rank = s->wd_rank;
+    op.vci = s->wd_vci;
+    op.peer = s->wd_peer;
+    op.tag = s->wd_tag;
+    op.opname = s->wd_op;
+    op.block_vtime = net::ThreadClock::get().now();
+  }
+  return detail::BlockedScope(s->wd, std::move(op));
 }
 
 }  // namespace
@@ -31,10 +56,12 @@ namespace {
 Status Request::wait() {
   TMPI_REQUIRE(valid(), Errc::kInvalidArg, "wait on invalid request");
   auto& clk = net::ThreadClock::get();
+  detail::BlockedScope watchdog_reg = make_blocked_scope(s_);
   std::unique_lock lk(s_->mu);
   s_->cv.wait(lk, [&] { return s_->complete; });
   clk.advance_to(s_->complete_time);
   if (s_->errored) {
+    if (s_->errors_return) return s_->status;  // status.err carries the code
     const Errc code = s_->err;
     lk.unlock();
     raise_request_error(code);
@@ -49,6 +76,10 @@ bool Request::test(Status* st) {
   if (!s_->complete) return false;
   clk.advance_to(s_->complete_time);
   if (s_->errored) {
+    if (s_->errors_return) {
+      if (st != nullptr) *st = s_->status;
+      return true;
+    }
     const Errc code = s_->err;
     lk.unlock();
     raise_request_error(code);

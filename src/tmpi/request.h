@@ -20,6 +20,8 @@ namespace tmpi {
 
 namespace detail {
 
+class ProgressWatchdog;
+
 enum class ReqKind { kNone, kSend, kRecv, kPartSend, kPartRecv, kPersistSend, kPersistRecv };
 
 struct ReqState {
@@ -37,6 +39,15 @@ struct ReqState {
   net::Time complete_time = 0;
   Status status;
   ReqKind kind = ReqKind::kNone;
+
+  // Overload layer metadata (DESIGN.md §8), stamped at issue time.
+  bool errors_return = false;  ///< comm handler: wait()/test() report Status::err, don't throw
+  ProgressWatchdog* wd = nullptr;  ///< world's watchdog; null when it is off
+  int wd_rank = -1;                ///< issuing world rank
+  int wd_vci = 0;                  ///< local VCI carrying the operation
+  int wd_peer = -1;                ///< world rank waited on (-1 = unknown/wildcard)
+  Tag wd_tag = 0;
+  const char* wd_op = "op";
 
   /// Mark complete at virtual time `t` and wake waiters.
   void finish(net::Time t) {
@@ -70,8 +81,28 @@ struct ReqState {
       complete = true;
       complete_time = t;
       status = st;
+      status.err = code;
     }
     cv.notify_all();
+  }
+
+  /// finish_error that loses gracefully against a racing real completion
+  /// (used by the watchdog, which runs concurrently with the transport):
+  /// returns false without touching anything if the request already
+  /// completed.
+  bool try_finish_error(net::Time t, const Status& st, Errc code) {
+    {
+      std::scoped_lock lk(mu);
+      if (complete) return false;
+      errored = true;
+      err = code;
+      complete = true;
+      complete_time = t;
+      status = st;
+      status.err = code;
+    }
+    cv.notify_all();
+    return true;
   }
 };
 

@@ -133,6 +133,7 @@ struct IssueResult {
   net::Time arrival = 0;  ///< op arrived at the target NIC
   std::byte* target_ptr = nullptr;
   int owner_world_rank = 0;
+  Errc err = Errc::kSuccess;  ///< non-success only under errors-return (§8)
 };
 
 /// Origin-side issue through the unified transport: issue cost + injection
@@ -163,8 +164,16 @@ IssueResult rma_issue(const Window& win_handle, const WindowImpl& w, const CommI
   const detail::InjectResult ir = world.transport().inject(op);
   // RMA ops are synchronous at the issue site; a retransmission budget
   // exhausted here surfaces immediately as TMPI_ERR_TIMEOUT (DESIGN.md §7).
-  TMPI_REQUIRE(!ir.timed_out, Errc::kTimeout,
-               "RMA operation timed out after exhausting retransmissions");
+  // On an errors-return communicator (§8) the code comes back to the caller
+  // and the target memory is not touched; otherwise it throws, as before.
+  if (ir.timed_out) {
+    if (c.errhandler == ErrorHandler::kErrorsReturn) {
+      IssueResult r;
+      r.err = Errc::kTimeout;
+      return r;
+    }
+    fail(Errc::kTimeout, "RMA operation timed out after exhausting retransmissions");
+  }
 
   IssueResult r;
   r.owner_world_rank = t.world_rank;
@@ -212,23 +221,26 @@ Window Window::create(void* base, std::size_t bytes, const Comm& comm, const Inf
 AccumulateOrdering Window::ordering() const { return impl_->ordering; }
 const std::vector<int>& Window::vcis() const { return impl_->win_vcis; }
 
-void Window::put(const void* origin, int count, Datatype dt, int target, std::size_t disp) {
+Errc Window::put(const void* origin, int count, Datatype dt, int target, std::size_t disp) {
   const std::size_t len = dt.extent(count);
   auto r = detail::rma_issue(*this, *impl_, *comm_.impl(), target, disp * dt.size(), len, len,
                              /*atomic=*/false);
+  if (r.err != Errc::kSuccess) return r.err;
   {
     detail::Stripe& st = impl_->stripe(r.owner_world_rank, disp * dt.size());
     std::scoped_lock lk(st.mu);
     if (len > 0) std::memcpy(r.target_ptr, origin, len);
   }
   detail::note_outstanding(impl_.get(), r.arrival);
+  return Errc::kSuccess;
 }
 
-void Window::get(void* origin, int count, Datatype dt, int target, std::size_t disp) {
+Errc Window::get(void* origin, int count, Datatype dt, int target, std::size_t disp) {
   const std::size_t len = dt.extent(count);
   // The request header travels out; the payload travels back.
   auto r = detail::rma_issue(*this, *impl_, *comm_.impl(), target, disp * dt.size(), len, 0,
                              /*atomic=*/false);
+  if (r.err != Errc::kSuccess) return r.err;
   {
     detail::Stripe& st = impl_->stripe(r.owner_world_rank, disp * dt.size());
     std::scoped_lock lk(st.mu);
@@ -239,13 +251,15 @@ void Window::get(void* origin, int count, Datatype dt, int target, std::size_t d
       r.arrival + impl_->world->fabric().transfer_time(
                       impl_->world->node_of(r.owner_world_rank), my_node, len);
   detail::note_outstanding(impl_.get(), done);
+  return Errc::kSuccess;
 }
 
-void Window::accumulate(const void* origin, int count, Datatype dt, int target, std::size_t disp,
+Errc Window::accumulate(const void* origin, int count, Datatype dt, int target, std::size_t disp,
                         Op op) {
   const std::size_t len = dt.extent(count);
   auto r = detail::rma_issue(*this, *impl_, *comm_.impl(), target, disp * dt.size(), len, len,
                              /*atomic=*/true);
+  if (r.err != Errc::kSuccess) return r.err;
   const net::CostModel& cm = impl_->world->cost();
   {
     detail::Stripe& st = impl_->stripe(r.owner_world_rank, disp * dt.size());
@@ -253,13 +267,15 @@ void Window::accumulate(const void* origin, int count, Datatype dt, int target, 
     reduce_apply(op, dt, r.target_ptr, origin, count);
   }
   detail::note_outstanding(impl_.get(), r.arrival + cm.atomic_apply_ns);
+  return Errc::kSuccess;
 }
 
-void Window::get_accumulate(const void* origin, void* result, int count, Datatype dt, int target,
+Errc Window::get_accumulate(const void* origin, void* result, int count, Datatype dt, int target,
                             std::size_t disp, Op op) {
   const std::size_t len = dt.extent(count);
   auto r = detail::rma_issue(*this, *impl_, *comm_.impl(), target, disp * dt.size(), len, len,
                              /*atomic=*/true);
+  if (r.err != Errc::kSuccess) return r.err;
   const net::CostModel& cm = impl_->world->cost();
   const net::Time applied = r.arrival + cm.atomic_apply_ns;
   {
@@ -274,6 +290,7 @@ void Window::get_accumulate(const void* origin, void* result, int count, Datatyp
                     impl_->world->node_of(r.owner_world_rank), my_node, len);
   detail::note_outstanding(impl_.get(), done);
   net::ThreadClock::get().advance_to(done);  // fetch-result is synchronous
+  return Errc::kSuccess;
 }
 
 namespace {
@@ -285,21 +302,34 @@ tmpi::Request completed_request(tmpi::net::Time done) {
   return tmpi::Request(st);
 }
 
+/// A request already failed with `code` (errors-return path: wait()/test()
+/// report Status::err instead of throwing).
+tmpi::Request errored_request(tmpi::Errc code) {
+  auto st = std::make_shared<tmpi::detail::ReqState>();
+  st->errors_return = true;
+  tmpi::Status s;
+  st->finish_error(tmpi::net::ThreadClock::get().now(), s, code);
+  return tmpi::Request(st);
+}
+
 }  // namespace
 
 Request Window::rput(const void* origin, int count, Datatype dt, int target, std::size_t disp) {
-  put(origin, count, dt, target, disp);
+  const Errc e = put(origin, count, dt, target, disp);
+  if (e != Errc::kSuccess) return errored_request(e);
   return completed_request(detail::tl_last_op_done);
 }
 
 Request Window::rget(void* origin, int count, Datatype dt, int target, std::size_t disp) {
-  get(origin, count, dt, target, disp);
+  const Errc e = get(origin, count, dt, target, disp);
+  if (e != Errc::kSuccess) return errored_request(e);
   return completed_request(detail::tl_last_op_done);
 }
 
 Request Window::raccumulate(const void* origin, int count, Datatype dt, int target,
                             std::size_t disp, Op op) {
-  accumulate(origin, count, dt, target, disp, op);
+  const Errc e = accumulate(origin, count, dt, target, disp, op);
+  if (e != Errc::kSuccess) return errored_request(e);
   return completed_request(detail::tl_last_op_done);
 }
 
@@ -315,9 +345,9 @@ void Window::flush_all() {
   detail::tl_outstanding.erase(it);
 }
 
-void Window::fence() {
+Errc Window::fence() {
   flush_all();
-  barrier(comm_);
+  return barrier(comm_);
 }
 
 }  // namespace tmpi

@@ -31,6 +31,11 @@
 /// caller's virtual clock to the completion of its outstanding operations.
 /// As in MPI, reading results of a `get` (or the target of a `put`) is only
 /// valid after a flush/fence.
+///
+/// Error model (DESIGN.md §8): on a communicator with the errors-return
+/// handler, a failed issue (retransmission budget exhausted → kTimeout)
+/// surfaces as the operation's return code and the target memory is left
+/// untouched; under errors-are-fatal the operation throws, as before.
 
 namespace tmpi {
 
@@ -57,19 +62,19 @@ class Window {
   [[nodiscard]] const Comm& comm() const { return comm_; }
 
   /// Nonatomic write of `count` elements to (target, disp).
-  void put(const void* origin, int count, Datatype dt, int target, std::size_t disp);
+  Errc put(const void* origin, int count, Datatype dt, int target, std::size_t disp);
 
   /// Nonatomic read of `count` elements from (target, disp).
-  void get(void* origin, int count, Datatype dt, int target, std::size_t disp);
+  Errc get(void* origin, int count, Datatype dt, int target, std::size_t disp);
 
   /// Atomic elementwise update (MPI_Accumulate).
-  void accumulate(const void* origin, int count, Datatype dt, int target, std::size_t disp,
+  Errc accumulate(const void* origin, int count, Datatype dt, int target, std::size_t disp,
                   Op op);
 
   /// Atomic fetch-and-op (MPI_Get_accumulate / MPI_Fetch_and_op): `result`
   /// receives the pre-update target contents. Completes synchronously (the
   /// caller's clock advances to the round trip's end).
-  void get_accumulate(const void* origin, void* result, int count, Datatype dt, int target,
+  Errc get_accumulate(const void* origin, void* result, int count, Datatype dt, int target,
                       std::size_t disp, Op op);
 
   /// Request-returning variants (MPI_Rput / MPI_Rget / MPI_Raccumulate):
@@ -80,12 +85,14 @@ class Window {
   Request raccumulate(const void* origin, int count, Datatype dt, int target, std::size_t disp,
                       Op op);
 
-  /// Complete this thread's outstanding operations to `target`.
+  /// Complete this thread's outstanding operations to `target`. Advancing a
+  /// clock cannot fail, so flushes stay void even under errors-return.
   void flush(int target);
   /// Complete all of this thread's outstanding operations on the window.
   void flush_all();
-  /// Collective: barrier + flush_all (MPI_Win_fence flavour).
-  void fence();
+  /// Collective: barrier + flush_all (MPI_Win_fence flavour). Under
+  /// errors-return, propagates the barrier's code.
+  Errc fence();
 
  private:
   Window(std::shared_ptr<detail::WindowImpl> impl, Comm comm)

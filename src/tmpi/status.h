@@ -3,6 +3,7 @@
 
 #include <cstddef>
 
+#include "tmpi/error.h"
 #include "tmpi/types.h"
 
 /// \file status.h
@@ -14,6 +15,7 @@ struct Status {
   int source = kAnySource;  ///< comm rank of the sender
   Tag tag = kAnyTag;        ///< matched tag
   std::size_t bytes = 0;    ///< received payload size
+  Errc err = Errc::kSuccess;  ///< per-op error code under errors-return (DESIGN.md §8)
 
   /// Element count for a datatype of the given size.
   [[nodiscard]] int count(std::size_t elem_size) const {

@@ -61,6 +61,7 @@ InjectResult Transport::inject(const OpDesc& op) {
   const net::CostModel& cm = w.cost();
   net::NetStats* stats = &w.fabric().stats();
   auto& clk = net::ThreadClock::get();
+  if (ProgressWatchdog* wd = w.watchdog()) wd->note_progress();
 
   // One-sided ops pay their software issue cost before touching the channel.
   if (op.kind == OpKind::kRmaOp) clk.advance(cm.rma_issue_ns);
@@ -147,10 +148,11 @@ InjectResult Transport::inject(const OpDesc& op) {
   }
 }
 
-void Transport::deliver(const OpDesc& op, Envelope env, net::Time arrival) {
+bool Transport::deliver(const OpDesc& op, Envelope env, net::Time arrival) {
   World& w = *w_;
   const net::CostModel& cm = w.cost();
   net::NetStats* stats = &w.fabric().stats();
+  if (ProgressWatchdog* wd = w.watchdog()) wd->note_progress();
 
   // Arrival processing at the target VCI, on an arrival clock — the sender's
   // own virtual time is not consumed by remote-side matching. The receive
@@ -162,14 +164,48 @@ void Transport::deliver(const OpDesc& op, Envelope env, net::Time arrival) {
   if (net::FaultInjector* fi = w.fault_injector()) {
     rvci = fault_route(w, *fi, op.dst_world_rank, op.remote_vci, aclk);
   }
+  const std::size_t cap = static_cast<std::size_t>(w.overload().unexpected_cap);
   Vci& rv = w.rank_state(op.dst_world_rank).vcis.at(rvci);
   rv.ctx().receive(aclk, cm, rv.chstats());
+  bool accepted = true;
+  std::size_t depth = 0;
   {
     net::ContentionLock::Guard g(rv.lock(), aclk, cm, stats, rv.chstats());
-    rv.engine().deposit(std::move(env), aclk, cm, stats);
+    accepted = rv.engine().deposit(std::move(env), aclk, cm, stats, cap);
+    depth = rv.engine().unexpected_depth();
+  }
+  if (w.overload().enabled()) {
+    stats->note_unexpected_depth(depth);
+    if (rv.chstats() != nullptr) rv.chstats()->note_unexpected_depth(depth);
+  }
+  if (!accepted) {
+    stats->add_overflow();
+    if (rv.chstats() != nullptr) rv.chstats()->add_overflow();
+    return false;
   }
   if (rv.chstats() != nullptr) rv.chstats()->add_deposit();
   rv.note_deposit();
+  return true;
+}
+
+Transport::EagerGrant Transport::try_reserve_eager(int dst_world_rank, int remote_vci) {
+  World& w = *w_;
+  if (w.overload().eager_credits <= 0) return {};  // flow control off: free grant
+  VciPool& pool = w.rank_state(dst_world_rank).vcis;
+  int vci = remote_vci;
+  if (w.fault_injector() != nullptr) vci = pool.resolve(remote_vci);
+  Vci& v = pool.at(vci);
+  std::atomic<int>& cell = v.eager_credits();
+  int have = cell.load(std::memory_order_relaxed);
+  while (have > 0) {
+    if (cell.compare_exchange_weak(have, have - 1, std::memory_order_acq_rel)) {
+      return {true, &cell};
+    }
+  }
+  net::NetStats* stats = &w.fabric().stats();
+  stats->add_credit_stall();
+  if (v.chstats() != nullptr) v.chstats()->add_credit_stall();
+  return {false, nullptr};
 }
 
 net::Time Transport::occupy_rx(const OpDesc& op, net::Time arrival) {
@@ -189,6 +225,7 @@ void Transport::post_recv(int world_rank, int local_vci, PostedRecv pr) {
   const net::CostModel& cm = w.cost();
   net::NetStats* stats = &w.fabric().stats();
   auto& clk = net::ThreadClock::get();
+  if (ProgressWatchdog* wd = w.watchdog()) wd->note_progress();
   int vci = local_vci;
   if (net::FaultInjector* fi = w.fault_injector()) {
     vci = fault_route(w, *fi, world_rank, local_vci, clk);

@@ -1,6 +1,7 @@
 #ifndef TMPI_TRANSPORT_H
 #define TMPI_TRANSPORT_H
 
+#include <atomic>
 #include <cstddef>
 
 #include "net/stats.h"
@@ -92,7 +93,23 @@ class Transport {
   /// Receiver side of two-sided traffic, on an arrival clock: receive
   /// occupancy at the remote VCI's context, lock, matching-engine deposit,
   /// and the blocking-probe wakeup. Does not touch the caller's clock.
-  void deliver(const OpDesc& op, Envelope env, net::Time arrival);
+  ///
+  /// Returns false when the destination's unexpected-queue cap rejected the
+  /// message (DESIGN.md §8) — the sender must fail its request with
+  /// Errc::kResourceExhausted. Always true with the cap unconfigured.
+  [[nodiscard]] bool deliver(const OpDesc& op, Envelope env, net::Time arrival);
+
+  /// Flow-control grant for one eager message (DESIGN.md §8).
+  struct EagerGrant {
+    bool granted = true;             ///< false: budget exhausted, degrade to rendezvous
+    std::atomic<int>* slot = nullptr;  ///< credit cell to release (null: no credit taken)
+  };
+
+  /// Try to take one eager credit on the destination channel. With flow
+  /// control off (eager_credits == 0) this grants immediately without
+  /// touching any counter — the zero-config fast path. A denial bumps the
+  /// destination channel's credit-stall counters.
+  EagerGrant try_reserve_eager(int dst_world_rank, int remote_vci);
 
   /// Receive-side context occupancy only (RMA and partitioned traffic, which
   /// bypass the matching engine). Returns the adjusted arrival time.

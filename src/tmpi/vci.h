@@ -65,11 +65,18 @@ class Vci {
   [[nodiscard]] int redirect() const { return redirect_.load(std::memory_order_acquire); }
   void set_redirect(int to) { redirect_.store(to, std::memory_order_release); }
 
+  /// Eager-credit budget for traffic *destined to* this channel (flow
+  /// control, DESIGN.md §8). Senders CAS it down through
+  /// Transport::try_reserve_eager; the matching engine releases through
+  /// Envelope::eager_credit. Stays 0 when flow control is off.
+  [[nodiscard]] std::atomic<int>& eager_credits() { return eager_credits_; }
+
  private:
   net::HwContext* ctx_;
   net::ChannelStats* chstats_;
   net::ContentionLock lock_;
   MatchingEngine engine_;
+  std::atomic<int> eager_credits_{0};
   std::atomic<int> redirect_{-1};
   std::atomic<std::uint64_t> deposits_{0};
   std::mutex deposit_mu_;
@@ -93,7 +100,9 @@ class Vci {
 /// Indices >= size() are never handed out.
 class VciPool {
  public:
-  VciPool(net::Nic& nic, int owner_rank, int initial) : nic_(&nic), owner_rank_(owner_rank) {
+  /// `eager_credits` seeds every channel's flow-control budget (0 = off).
+  VciPool(net::Nic& nic, int owner_rank, int initial, int eager_credits = 0)
+      : nic_(&nic), owner_rank_(owner_rank), eager_credits_default_(eager_credits) {
     ensure(initial);
   }
 
@@ -190,14 +199,16 @@ class VciPool {
       b = new Block();
       blocks_[blk].store(b, std::memory_order_relaxed);
     }
-    b->slots[static_cast<std::size_t>(idx) & (kBlockSize - 1)] =
-        std::make_unique<Vci>(*nic_, &nic_->stats()->channel(owner_rank_, idx));
+    auto& slot = b->slots[static_cast<std::size_t>(idx) & (kBlockSize - 1)];
+    slot = std::make_unique<Vci>(*nic_, &nic_->stats()->channel(owner_rank_, idx));
+    slot->eager_credits().store(eager_credits_default_, std::memory_order_relaxed);
     size_.store(idx + 1, std::memory_order_release);  // publish (see class comment)
     return idx;
   }
 
   net::Nic* nic_;
   int owner_rank_;
+  int eager_credits_default_;
   std::mutex writer_mu_;
   std::array<std::atomic<Block*>, kMaxBlocks> blocks_{};
   std::atomic<int> size_{0};

@@ -1,0 +1,200 @@
+#include "tmpi/watchdog.h"
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "net/stats.h"
+#include "tmpi/request.h"
+#include "tmpi/world.h"
+
+namespace tmpi {
+
+bool OverloadConfig::set(const std::string& key, const std::string& value) {
+  if (key == "tmpi_eager_credits") {
+    eager_credits = std::stoi(value);
+  } else if (key == "tmpi_unexpected_cap") {
+    unexpected_cap = std::stoi(value);
+  } else if (key == "tmpi_watchdog_ns") {
+    watchdog_ns = static_cast<net::Time>(std::stoll(value));
+  } else {
+    return false;
+  }
+  return true;
+}
+
+OverloadConfig OverloadConfig::from_env(OverloadConfig base) {
+  static constexpr const char* kKeys[] = {"tmpi_eager_credits", "tmpi_unexpected_cap",
+                                          "tmpi_watchdog_ns"};
+  for (const char* key : kKeys) {
+    std::string env_name(key);
+    std::transform(env_name.begin(), env_name.end(), env_name.begin(),
+                   [](unsigned char c) { return static_cast<char>(std::toupper(c)); });
+    if (const char* v = std::getenv(env_name.c_str()); v != nullptr && *v != '\0') {
+      base.set(key, v);
+    }
+  }
+  return base;
+}
+
+namespace detail {
+
+namespace {
+
+/// Consecutive frozen-epoch scans before the cycle check runs. One scan can
+/// catch a thread between two operations; several in a row with registered
+/// waiters means nothing is moving.
+constexpr int kCycleScans = 3;
+/// Frozen scans before a cycle-less stall (e.g. a recv nobody will ever
+/// send to) is failed anyway.
+constexpr int kStallScans = 12;
+constexpr auto kPollInterval = std::chrono::milliseconds(20);
+
+}  // namespace
+
+ProgressWatchdog::ProgressWatchdog(World& w, net::Time budget_ns)
+    : w_(&w), budget_ns_(budget_ns) {
+  thread_ = std::thread([this] { scan_loop(); });
+}
+
+ProgressWatchdog::~ProgressWatchdog() {
+  {
+    std::scoped_lock lk(stop_mu_);
+    stop_ = true;
+  }
+  stop_cv_.notify_all();
+  thread_.join();
+}
+
+std::uint64_t ProgressWatchdog::register_blocked(BlockedOp op) {
+  std::scoped_lock lk(mu_);
+  // A thread reaching a new wait was running a moment ago: that is progress
+  // as far as the stall detector is concerned.
+  epoch_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t token = next_token_++;
+  blocked_.emplace(token, std::move(op));
+  return token;
+}
+
+void ProgressWatchdog::deregister(std::uint64_t token) {
+  std::scoped_lock lk(mu_);
+  epoch_.fetch_add(1, std::memory_order_relaxed);
+  blocked_.erase(token);  // may be gone already if the watchdog failed it
+}
+
+std::vector<std::string> ProgressWatchdog::reports() const {
+  std::scoped_lock lk(mu_);
+  return reports_;
+}
+
+void ProgressWatchdog::scan_loop() {
+  std::uint64_t last_epoch = epoch_.load(std::memory_order_relaxed);
+  int frozen = 0;
+  for (;;) {
+    {
+      std::unique_lock lk(stop_mu_);
+      stop_cv_.wait_for(lk, kPollInterval, [&] { return stop_; });
+      if (stop_) return;
+    }
+    const std::uint64_t ep = epoch_.load(std::memory_order_acquire);
+    std::scoped_lock lk(mu_);
+    if (blocked_.empty() || ep != last_epoch) {
+      last_epoch = ep;
+      frozen = 0;
+      continue;
+    }
+    ++frozen;
+    if (frozen < kCycleScans) continue;
+    if (analyze_locked(frozen >= kStallScans)) frozen = 0;
+  }
+}
+
+bool ProgressWatchdog::analyze_locked(bool force_stall) {
+  // Rank-level wait-for graph: rank R -> rank P for each of R's blocked ops
+  // whose peer P is itself blocked. Wildcard waits (peer < 0) contribute no
+  // edge — an ANY_SOURCE recv cannot prove a deadlock.
+  std::map<int, std::vector<const BlockedOp*>> by_rank;
+  for (const auto& [token, op] : blocked_) by_rank[op.rank].push_back(&op);
+
+  std::vector<int> path;
+  std::set<int> on_path;
+  std::set<int> done;
+  std::vector<int> cycle;
+  // NOLINTNEXTLINE(misc-no-recursion): depth bounded by the rank count
+  std::function<bool(int)> dfs = [&](int r) -> bool {
+    path.push_back(r);
+    on_path.insert(r);
+    for (const BlockedOp* op : by_rank[r]) {
+      const int p = op->peer;
+      if (p < 0 || p == r || by_rank.find(p) == by_rank.end() || done.count(p) != 0) continue;
+      if (on_path.count(p) != 0) {
+        cycle.assign(std::find(path.begin(), path.end(), p), path.end());
+        return true;
+      }
+      if (dfs(p)) return true;
+    }
+    path.pop_back();
+    on_path.erase(r);
+    done.insert(r);
+    return false;
+  };
+  for (const auto& [r, ops] : by_rank) {
+    if (done.count(r) == 0 && dfs(r)) break;
+  }
+
+  if (cycle.empty() && !force_stall) return false;
+
+  std::set<int> to_fail(cycle.begin(), cycle.end());
+  if (cycle.empty()) {
+    for (const auto& [r, ops] : by_rank) to_fail.insert(r);
+  }
+
+  std::ostringstream report;
+  if (!cycle.empty()) {
+    report << "tmpi watchdog: deadlock cycle detected (stall budget " << budget_ns_
+           << " virtual ns):\n";
+  } else {
+    report << "tmpi watchdog: progress stall, no wait-for cycle (stall budget " << budget_ns_
+           << " virtual ns):\n";
+  }
+
+  net::NetStats& stats = w_->fabric().stats();
+  std::vector<std::uint64_t> failed_tokens;
+  for (const auto& [token, op] : blocked_) {
+    if (to_fail.count(op.rank) == 0) continue;
+    report << "  rank " << op.rank << " vci " << op.vci << ": " << op.opname << " tag " << op.tag
+           << " waiting on "
+           << (op.peer >= 0 ? "rank " + std::to_string(op.peer) : std::string("any source"))
+           << "\n";
+    Status st;
+    st.source = op.peer;
+    st.tag = op.tag;
+    st.bytes = 0;
+    // Deterministic virtual failure time: the waiter's blocking time plus
+    // the configured budget — independent of real-time scan jitter.
+    if (op.req != nullptr &&
+        op.req->try_finish_error(op.block_vtime + budget_ns_, st, Errc::kTimeout)) {
+      trips_.fetch_add(1, std::memory_order_relaxed);
+      stats.add_watchdog_trip();
+      stats.channel(op.rank, op.vci).add_watchdog_trip();
+    }
+    if (op.wake) op.wake();
+    failed_tokens.push_back(token);
+  }
+  if (!cycle.empty()) stats.add_deadlock();
+  for (const std::uint64_t t : failed_tokens) blocked_.erase(t);
+
+  const std::string text = report.str();
+  std::fputs(text.c_str(), stderr);
+  reports_.push_back(text);
+  return true;
+}
+
+}  // namespace detail
+
+}  // namespace tmpi

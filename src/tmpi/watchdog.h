@@ -1,0 +1,157 @@
+#ifndef TMPI_WATCHDOG_H
+#define TMPI_WATCHDOG_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/virtual_clock.h"
+#include "tmpi/types.h"
+
+/// \file watchdog.h
+/// Overload-hardening layer (DESIGN.md §8): configuration knobs plus the
+/// progress watchdog.
+///
+/// The paper's Lesson 3 — communication resources are finite — implies two
+/// failure shapes this layer makes survivable and observable instead of
+/// silent: *overload* (unbounded unexpected queues / in-flight eager data)
+/// and *stall* (an application blocked forever on a message that cannot
+/// arrive). Flow control handles the first; the watchdog diagnoses the
+/// second with a wait-for-graph cycle check across ranks.
+
+namespace tmpi {
+
+class World;
+
+/// Knobs for the overload layer. All default to 0 (= off): the zero-config
+/// transport path is bit-exact with previous releases. Configure through
+/// WorldConfig::overload_info (`tmpi_*` Info keys) or the same names
+/// uppercased as environment variables (env wins).
+struct OverloadConfig {
+  /// Per-(rank, VCI) budget of in-flight eager messages *destined to* that
+  /// channel. A sender that cannot take a credit degrades the message to
+  /// rendezvous (backpressure, not loss). 0 = unbounded.
+  int eager_credits = 0;
+  /// Hard cap on a matching engine's unexpected-queue depth. A message that
+  /// would exceed it is rejected and the send completes with
+  /// Errc::kResourceExhausted. 0 = unbounded.
+  int unexpected_cap = 0;
+  /// Virtual-time stall budget: a blocking operation stuck past this with no
+  /// transport progress anywhere is failed with Errc::kTimeout and a
+  /// diagnostic report (deadlock cycle when one exists). 0 = watchdog off.
+  net::Time watchdog_ns = 0;
+
+  [[nodiscard]] bool enabled() const {
+    return eager_credits > 0 || unexpected_cap > 0 || watchdog_ns > 0;
+  }
+
+  /// Apply one Info entry; returns false for keys this layer does not own.
+  bool set(const std::string& key, const std::string& value);
+  /// Overlay TMPI_EAGER_CREDITS / TMPI_UNEXPECTED_CAP / TMPI_WATCHDOG_NS
+  /// environment variables onto `base` (env wins), mirroring FaultPlan.
+  static OverloadConfig from_env(OverloadConfig base);
+};
+
+namespace detail {
+
+struct ReqState;
+
+/// Deadlock / stall detector. Runs a real-time monitor thread that watches a
+/// registry of blocked operations against a transport-progress epoch: when
+/// the epoch freezes for several consecutive scans while operations are
+/// registered, it builds a rank-level wait-for graph and fails the members
+/// of any cycle (or, after a longer grace period, every blocked op) with
+/// Errc::kTimeout at the deterministic virtual time block_vtime +
+/// watchdog_ns, printing a report that names each stuck (rank, vci, op,
+/// tag). Exists only when watchdog_ns > 0, so the default path never pays
+/// for it.
+class ProgressWatchdog {
+ public:
+  /// One blocked operation, registered for the duration of its wait.
+  struct BlockedOp {
+    std::shared_ptr<ReqState> req;  ///< request to fail on a trip
+    int rank = -1;                  ///< world rank doing the waiting
+    int vci = 0;                    ///< channel carrying the operation
+    int peer = -1;                  ///< world rank waited on (-1 = unknown/wildcard)
+    Tag tag = 0;
+    const char* opname = "op";
+    net::Time block_vtime = 0;  ///< waiter's virtual time when it blocked
+    /// Extra wakeup for waiters not sleeping on the request cv (e.g. the
+    /// partitioned channel cv). Must take only its own lock.
+    std::function<void()> wake;
+  };
+
+  ProgressWatchdog(World& w, net::Time budget_ns);
+  ~ProgressWatchdog();
+
+  ProgressWatchdog(const ProgressWatchdog&) = delete;
+  ProgressWatchdog& operator=(const ProgressWatchdog&) = delete;
+
+  /// Register a blocked operation; returns a token for deregister().
+  std::uint64_t register_blocked(BlockedOp op);
+  void deregister(std::uint64_t token);
+
+  /// Called by the transport on every inject/deliver/post_recv: any real
+  /// traffic movement resets the stall detector.
+  void note_progress() { epoch_.fetch_add(1, std::memory_order_relaxed); }
+
+  [[nodiscard]] net::Time budget_ns() const { return budget_ns_; }
+  [[nodiscard]] std::uint64_t trips() const { return trips_.load(std::memory_order_relaxed); }
+  /// Diagnostic reports emitted so far (also printed to stderr).
+  [[nodiscard]] std::vector<std::string> reports() const;
+
+ private:
+  void scan_loop();
+  /// Caller holds mu_. Fails cycle members (or everything when
+  /// `force_stall`). Returns true if it tripped.
+  bool analyze_locked(bool force_stall);
+
+  World* w_;
+  net::Time budget_ns_;
+  std::atomic<std::uint64_t> epoch_{0};
+  std::atomic<std::uint64_t> trips_{0};
+
+  mutable std::mutex mu_;
+  std::map<std::uint64_t, BlockedOp> blocked_;
+  std::uint64_t next_token_ = 1;
+  std::vector<std::string> reports_;
+
+  std::mutex stop_mu_;
+  std::condition_variable stop_cv_;
+  bool stop_ = false;
+  std::thread thread_;  // last: joins in ~ProgressWatchdog before members die
+};
+
+/// RAII registration around a blocking wait. Construct *before* taking any
+/// lock the wait sleeps under (registration takes the watchdog's registry
+/// mutex and must not nest inside request/channel locks); destruction after
+/// the wait deregisters. Null watchdog = no-op, so the default path costs a
+/// pointer test.
+class BlockedScope {
+ public:
+  BlockedScope(ProgressWatchdog* wd, ProgressWatchdog::BlockedOp op) : wd_(wd) {
+    if (wd_ != nullptr) token_ = wd_->register_blocked(std::move(op));
+  }
+  ~BlockedScope() {
+    if (wd_ != nullptr) wd_->deregister(token_);
+  }
+  BlockedScope(const BlockedScope&) = delete;
+  BlockedScope& operator=(const BlockedScope&) = delete;
+
+ private:
+  ProgressWatchdog* wd_;
+  std::uint64_t token_ = 0;
+};
+
+}  // namespace detail
+
+}  // namespace tmpi
+
+#endif  // TMPI_WATCHDOG_H

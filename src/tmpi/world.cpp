@@ -26,11 +26,18 @@ World::World(WorldConfig cfg) : cfg_(std::move(cfg)) {
   plan = net::FaultPlan::from_env(std::move(plan));
   if (plan.enabled()) fault_injector_ = std::make_unique<net::FaultInjector>(std::move(plan));
 
+  // Overload layer (DESIGN.md §8): same Info-then-env layering as faults.
+  // All knobs default to 0 (= off), keeping the zero-config path bit-exact.
+  for (const auto& [k, v] : cfg_.overload_info.entries()) overload_.set(k, v);
+  overload_ = OverloadConfig::from_env(overload_);
+  TMPI_REQUIRE(overload_.eager_credits >= 0, Errc::kInvalidArg, "tmpi_eager_credits must be >= 0");
+  TMPI_REQUIRE(overload_.unexpected_cap >= 0, Errc::kInvalidArg, "tmpi_unexpected_cap must be >= 0");
+
   states_.reserve(static_cast<std::size_t>(cfg_.nranks));
   for (int r = 0; r < cfg_.nranks; ++r) {
     const int node = node_of(r);
-    states_.push_back(
-        std::make_unique<detail::RankState>(r, node, fabric_->nic(node), cfg_.num_vcis));
+    states_.push_back(std::make_unique<detail::RankState>(r, node, fabric_->nic(node),
+                                                          cfg_.num_vcis, overload_.eager_credits));
   }
 
   // COMM_WORLD.
@@ -47,6 +54,12 @@ World::World(WorldConfig cfg) : cfg_(std::move(cfg)) {
   }
   detail::configure_policy(*world_comm_);
   world_comm_->finalize_structure();
+
+  // Started last: the watchdog's monitor thread may touch rank state and
+  // stats, so everything it reads exists before the thread runs.
+  if (overload_.watchdog_ns > 0) {
+    watchdog_ = std::make_unique<detail::ProgressWatchdog>(*this, overload_.watchdog_ns);
+  }
 }
 
 World::~World() = default;

@@ -13,6 +13,7 @@
 #include "tmpi/info.h"
 #include "tmpi/types.h"
 #include "tmpi/vci.h"
+#include "tmpi/watchdog.h"
 
 /// \file world.h
 /// The simulated MPI world: ranks, nodes, VCI pools, and the run harness.
@@ -43,6 +44,11 @@ struct WorldConfig {
   /// these. Leave empty for a fault-free world — the transport then skips the
   /// fault layer entirely (pay-for-what-you-use).
   Info fault_info{};
+  /// Overload-hardening hints (`tmpi_eager_credits`, `tmpi_unexpected_cap`,
+  /// `tmpi_watchdog_ns`; see tmpi/watchdog.h). The same names uppercased as
+  /// environment variables overlay these. Leave empty for the unbounded,
+  /// watchdog-free configuration — bit-exact with previous releases.
+  Info overload_info{};
 };
 
 namespace detail {
@@ -56,8 +62,8 @@ struct RankState {
   VciPool vcis;
   std::atomic<int> active_calls{0};
 
-  RankState(int r, int nd, net::Nic& nic, int nvcis)
-      : rank(r), node(nd), vcis(nic, r, nvcis) {}
+  RankState(int r, int nd, net::Nic& nic, int nvcis, int eager_credits = 0)
+      : rank(r), node(nd), vcis(nic, r, nvcis, eager_credits) {}
 };
 
 /// RAII thread-level enforcement: counts concurrent runtime calls per rank
@@ -113,6 +119,10 @@ class World {
   /// Fault layer (DESIGN.md §7): null when no FaultPlan is active, which
   /// keeps the transport on its zero-overhead fast path.
   [[nodiscard]] net::FaultInjector* fault_injector() const { return fault_injector_.get(); }
+  /// Overload layer (DESIGN.md §8): resolved flow-control/watchdog knobs.
+  [[nodiscard]] const OverloadConfig& overload() const { return overload_; }
+  /// Progress watchdog; null unless `tmpi_watchdog_ns` > 0.
+  [[nodiscard]] detail::ProgressWatchdog* watchdog() const { return watchdog_.get(); }
   [[nodiscard]] net::NetStatsSnapshot snapshot() const { return fabric_->stats().snapshot(); }
 
   /// Max virtual time across rank clocks (call after run()).
@@ -134,6 +144,7 @@ class World {
 
  private:
   WorldConfig cfg_;
+  OverloadConfig overload_;
   std::unique_ptr<net::Fabric> fabric_;
   std::unique_ptr<detail::Transport> transport_;
   std::unique_ptr<net::FaultInjector> fault_injector_;
@@ -141,6 +152,9 @@ class World {
   std::shared_ptr<detail::CommImpl> world_comm_;
   std::atomic<int> next_ctx_{0};
   std::atomic<std::uint64_t> comm_seq_{0};
+  /// Declared last: destroyed first, so the monitor thread joins while every
+  /// rank state and stats block it might touch is still alive.
+  std::unique_ptr<detail::ProgressWatchdog> watchdog_;
 };
 
 /// Per-rank execution handle passed to the World::run callback.

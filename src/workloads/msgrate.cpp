@@ -67,6 +67,7 @@ RunResult run_msgrate(const MsgRateParams& p) {
 
   WorldConfig wc;
   wc.cost = p.cost;
+  wc.overload_info = p.overload;
   if (p.mode == MsgRateMode::kEverywhere) {
     wc.nranks = 2 * W;
     wc.ranks_per_node = W;

@@ -2,6 +2,7 @@
 #define WL_MSGRATE_H
 
 #include "net/cost_model.h"
+#include "tmpi/info.h"
 #include "workloads/common.h"
 
 /// \file msgrate.h
@@ -42,6 +43,10 @@ struct MsgRateParams {
   int window = 32;            ///< nonblocking messages in flight per worker
   std::size_t msg_bytes = 8;
   tmpi::net::CostModel cost{};
+  /// Overload knobs (`tmpi_eager_credits`, `tmpi_unexpected_cap`,
+  /// `tmpi_watchdog_ns`) forwarded to WorldConfig::overload_info; empty
+  /// keeps the bit-exact default path (DESIGN.md §8).
+  tmpi::Info overload{};
 };
 
 /// Run the benchmark on a fresh 2-node world; returns virtual-time results.

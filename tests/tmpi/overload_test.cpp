@@ -1,0 +1,518 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "tmpi/tmpi.h"
+#include "workloads/msgrate.h"
+
+/// Overload-hardening scenarios (DESIGN.md §8): credit-based flow control,
+/// bounded unexpected queues, and per-communicator error handlers.
+///
+/// Like the fault-injection suite, every world-level scenario is
+/// phase-ordered (separate World::run calls per phase) so channel operation
+/// streams — and therefore credit grants and cap rejections — replay
+/// identically on every execution.
+
+namespace {
+
+using namespace tmpi;
+
+WorldConfig two_node_config() {
+  WorldConfig wc;
+  wc.nranks = 2;
+  wc.ranks_per_node = 1;
+  wc.num_vcis = 1;
+  return wc;
+}
+
+// ---------------------------------------------------------------------------
+// OverloadConfig: Info keys, enabled() gating, env overlay (mirrors FaultPlan).
+TEST(OverloadConfig, SetAcceptsOverloadKeysAndRejectsOthers) {
+  OverloadConfig c;
+  EXPECT_FALSE(c.enabled());
+  EXPECT_TRUE(c.set("tmpi_eager_credits", "16"));
+  EXPECT_TRUE(c.set("tmpi_unexpected_cap", "128"));
+  EXPECT_TRUE(c.set("tmpi_watchdog_ns", "500000"));
+  EXPECT_FALSE(c.set("tmpi_fault_seed", "1"));  // not an overload key: pass through
+  EXPECT_FALSE(c.set("tmpi_num_vcis", "4"));
+  EXPECT_EQ(c.eager_credits, 16);
+  EXPECT_EQ(c.unexpected_cap, 128);
+  EXPECT_EQ(c.watchdog_ns, 500000u);
+  EXPECT_TRUE(c.enabled());
+}
+
+TEST(OverloadConfig, EachKnobAloneEnablesTheLayer) {
+  OverloadConfig a;
+  a.eager_credits = 1;
+  EXPECT_TRUE(a.enabled());
+  OverloadConfig b;
+  b.unexpected_cap = 1;
+  EXPECT_TRUE(b.enabled());
+  OverloadConfig c;
+  c.watchdog_ns = 1;
+  EXPECT_TRUE(c.enabled());
+  EXPECT_FALSE(OverloadConfig{}.enabled());
+}
+
+TEST(OverloadConfig, EnvOverlayWins) {
+  ::setenv("TMPI_EAGER_CREDITS", "7", 1);
+  ::setenv("TMPI_WATCHDOG_NS", "123456", 1);
+  OverloadConfig base;
+  base.eager_credits = 2;
+  base.unexpected_cap = 9;
+  const OverloadConfig c = OverloadConfig::from_env(base);
+  ::unsetenv("TMPI_EAGER_CREDITS");
+  ::unsetenv("TMPI_WATCHDOG_NS");
+  EXPECT_EQ(c.eager_credits, 7);       // env wins
+  EXPECT_EQ(c.unexpected_cap, 9);      // base survives where env is silent
+  EXPECT_EQ(c.watchdog_ns, 123456u);
+  EXPECT_TRUE(c.enabled());
+}
+
+TEST(OverloadConfig, WorldResolvesKnobsAndSeedsChannelCredits) {
+  WorldConfig wc = two_node_config();
+  wc.overload_info.set("tmpi_eager_credits", 3);
+  World world(wc);
+  EXPECT_EQ(world.overload().eager_credits, 3);
+  EXPECT_EQ(world.overload().unexpected_cap, 0);
+  EXPECT_EQ(world.watchdog(), nullptr);  // no watchdog_ns => no monitor thread
+  // Every channel's budget is seeded from the resolved config.
+  EXPECT_EQ(world.rank_state(0).vcis.at(0).eager_credits().load(), 3);
+  EXPECT_EQ(world.rank_state(1).vcis.at(0).eager_credits().load(), 3);
+}
+
+// ---------------------------------------------------------------------------
+// Errc <-> int round trip and to_string exhaustiveness.
+TEST(Errc, IntRoundTripCoversEveryCode) {
+  for (int i = 0; i < kErrcCount; ++i) {
+    const Errc code = static_cast<Errc>(i);
+    EXPECT_EQ(errc_to_int(code), i);
+    EXPECT_EQ(errc_from_int(i), code);
+  }
+  EXPECT_THROW((void)errc_from_int(-1), Error);
+  EXPECT_THROW((void)errc_from_int(kErrcCount), Error);
+  try {
+    (void)errc_from_int(kErrcCount + 5);
+    FAIL() << "out-of-range errc_from_int did not throw";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), Errc::kInvalidArg);
+  }
+}
+
+TEST(Errc, ToStringIsExhaustiveAndDistinct) {
+  std::set<std::string> names;
+  for (int i = 0; i < kErrcCount; ++i) {
+    const char* name = to_string(static_cast<Errc>(i));
+    ASSERT_NE(name, nullptr);
+    EXPECT_STRNE(name, "");
+    EXPECT_STRNE(name, "?") << "code " << i << " missing from to_string(Errc)";
+    names.insert(name);
+  }
+  EXPECT_EQ(names.size(), static_cast<std::size_t>(kErrcCount));
+  EXPECT_STRNE(to_string(ErrorHandler::kErrorsAreFatal), "?");
+  EXPECT_STRNE(to_string(ErrorHandler::kErrorsReturn), "?");
+  EXPECT_STRNE(to_string(ErrorHandler::kErrorsAreFatal), to_string(ErrorHandler::kErrorsReturn));
+}
+
+TEST(Errc, MpiStyleAliasesMatchTheEnum) {
+  EXPECT_EQ(TMPI_SUCCESS, Errc::kSuccess);
+  EXPECT_EQ(TMPI_ERR_TIMEOUT, Errc::kTimeout);
+  EXPECT_EQ(TMPI_ERR_RESOURCE_EXHAUSTED, Errc::kResourceExhausted);
+  EXPECT_EQ(TMPI_ERR_TRUNCATE, Errc::kTruncate);
+  EXPECT_EQ(TMPI_ERR_INTERNAL, Errc::kInternal);
+}
+
+// ---------------------------------------------------------------------------
+// Flow control: with a 2-credit budget, the third-through-sixth unmatched
+// eager sends degrade to rendezvous (backpressure, not loss). Everything
+// still arrives, in order, with the right payloads.
+TEST(FlowControl, EagerDegradesToRendezvousWhenCreditsExhausted) {
+  constexpr int kMsgs = 6;
+  WorldConfig wc = two_node_config();
+  wc.overload_info.set("tmpi_eager_credits", 2);
+  World world(wc);
+
+  std::vector<std::vector<std::byte>> sbufs;
+  for (int i = 0; i < kMsgs; ++i) {
+    sbufs.emplace_back(8, static_cast<std::byte>(0x10 + i));
+  }
+  std::vector<std::vector<std::byte>> rbufs(kMsgs, std::vector<std::byte>(8));
+  std::vector<Request> sreqs(kMsgs);
+
+  // Phase 1: sender issues all six without waiting; no receives are posted,
+  // so the two credits are taken and never returned within this phase.
+  world.run([&](Rank& rank) {
+    if (rank.rank() == 0) {
+      for (int i = 0; i < kMsgs; ++i) {
+        sreqs[static_cast<std::size_t>(i)] =
+            isend(sbufs[static_cast<std::size_t>(i)].data(), 8, kByte, 1, i, rank.world_comm());
+      }
+    }
+  });
+  EXPECT_EQ(world.rank_state(1).vcis.at(0).eager_credits().load(), 0);
+  EXPECT_EQ(world.rank_state(1).vcis.at(0).engine().unexpected_depth(),
+            static_cast<std::size_t>(kMsgs));
+
+  // Phase 2: receiver drains; rendezvous matches complete the stuck sends.
+  world.run([&](Rank& rank) {
+    if (rank.rank() == 1) {
+      for (int i = 0; i < kMsgs; ++i) {
+        Status st = recv(rbufs[static_cast<std::size_t>(i)].data(), 8, kByte, 0, i,
+                         rank.world_comm());
+        EXPECT_EQ(st.bytes, 8u);
+      }
+    }
+  });
+  world.run([&](Rank& rank) {
+    if (rank.rank() == 0) wait_all(sreqs.data(), sreqs.size());
+  });
+
+  for (int i = 0; i < kMsgs; ++i) {
+    EXPECT_EQ(rbufs[static_cast<std::size_t>(i)][0], static_cast<std::byte>(0x10 + i));
+  }
+  // Credits return to the full budget once the engine consumed the envelopes.
+  EXPECT_EQ(world.rank_state(1).vcis.at(0).eager_credits().load(), 2);
+
+  const net::NetStatsSnapshot s = world.snapshot();
+  EXPECT_EQ(s.messages, static_cast<std::uint64_t>(kMsgs));
+  EXPECT_EQ(s.credit_stalls, static_cast<std::uint64_t>(kMsgs - 2));
+  EXPECT_EQ(s.rendezvous_messages, static_cast<std::uint64_t>(kMsgs - 2));
+  EXPECT_EQ(s.unexpected_hwm, static_cast<std::uint64_t>(kMsgs));
+  EXPECT_EQ(s.overflows, 0u);  // backpressure, never rejection
+}
+
+// Messages above the eager threshold were already rendezvous; they must not
+// consume credits or count as credit stalls.
+TEST(FlowControl, RendezvousSizedMessagesBypassCredits) {
+  WorldConfig wc = two_node_config();
+  wc.overload_info.set("tmpi_eager_credits", 1);
+  World world(wc);
+  const auto big = static_cast<int>(world.cost().eager_threshold_bytes) + 1;
+
+  std::vector<std::byte> sbuf(static_cast<std::size_t>(big), std::byte{0x3C});
+  std::vector<std::byte> rbuf(static_cast<std::size_t>(big));
+  Request sreq;
+
+  world.run([&](Rank& rank) {
+    if (rank.rank() == 0) sreq = isend(sbuf.data(), big, kByte, 1, 4, rank.world_comm());
+  });
+  EXPECT_EQ(world.rank_state(1).vcis.at(0).eager_credits().load(), 1);  // untouched
+  world.run([&](Rank& rank) {
+    if (rank.rank() == 1) {
+      Status st = recv(rbuf.data(), big, kByte, 0, 4, rank.world_comm());
+      EXPECT_EQ(st.bytes, static_cast<std::size_t>(big));
+    }
+  });
+  world.run([&](Rank& rank) {
+    if (rank.rank() == 0) sreq.wait();
+  });
+
+  EXPECT_EQ(rbuf[static_cast<std::size_t>(big) - 1], std::byte{0x3C});
+  const net::NetStatsSnapshot s = world.snapshot();
+  EXPECT_EQ(s.credit_stalls, 0u);
+  EXPECT_EQ(s.rendezvous_messages, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Unexpected-queue cap, errors-are-fatal: the overflowing send throws
+// Errc::kResourceExhausted; accepted traffic is undisturbed.
+TEST(UnexpectedCap, OverflowThrowsUnderFatalHandler) {
+  WorldConfig wc = two_node_config();
+  wc.overload_info.set("tmpi_unexpected_cap", 2);
+  World world(wc);
+
+  std::vector<std::byte> sbuf(8, std::byte{0x21});
+  std::vector<std::byte> rbuf(8);
+
+  world.run([&](Rank& rank) {
+    if (rank.rank() == 0) {
+      EXPECT_EQ(send(sbuf.data(), 8, kByte, 1, 0, rank.world_comm()), Errc::kSuccess);
+      EXPECT_EQ(send(sbuf.data(), 8, kByte, 1, 1, rank.world_comm()), Errc::kSuccess);
+      try {
+        isend(sbuf.data(), 8, kByte, 1, 2, rank.world_comm()).wait();
+        FAIL() << "send over the unexpected cap did not throw";
+      } catch (const Error& e) {
+        EXPECT_EQ(e.code(), Errc::kResourceExhausted);
+      }
+    }
+  });
+  world.run([&](Rank& rank) {
+    if (rank.rank() == 1) {
+      for (Tag t = 0; t < 2; ++t) {
+        Status st = recv(rbuf.data(), 8, kByte, 0, t, rank.world_comm());
+        EXPECT_EQ(st.bytes, 8u);
+        EXPECT_EQ(rbuf[0], std::byte{0x21});
+      }
+    }
+  });
+
+  const net::NetStatsSnapshot s = world.snapshot();
+  EXPECT_EQ(s.overflows, 1u);
+  EXPECT_EQ(s.unexpected_hwm, 2u);
+}
+
+// Same overload, errors-return: rejections come back as Errc return values /
+// Status::err and the workload keeps going.
+TEST(UnexpectedCap, OverflowReturnsCodeUnderErrorsReturn) {
+  constexpr int kMsgs = 6;
+  constexpr int kCap = 4;
+  WorldConfig wc = two_node_config();
+  wc.overload_info.set("tmpi_unexpected_cap", kCap);
+  World world(wc);
+  Comm(world.world_comm_impl(), 0).set_errhandler(ErrorHandler::kErrorsReturn);
+
+  std::vector<std::vector<std::byte>> sbufs;
+  for (int i = 0; i < kMsgs; ++i) {
+    sbufs.emplace_back(8, static_cast<std::byte>(0x40 + i));
+  }
+  std::vector<std::byte> rbuf(8);
+  std::vector<Errc> codes(kMsgs, Errc::kInternal);
+
+  world.run([&](Rank& rank) {
+    if (rank.rank() == 0) {
+      for (int i = 0; i < kMsgs; ++i) {
+        codes[static_cast<std::size_t>(i)] =
+            send(sbufs[static_cast<std::size_t>(i)].data(), 8, kByte, 1, i, rank.world_comm());
+      }
+    }
+  });
+  for (int i = 0; i < kMsgs; ++i) {
+    EXPECT_EQ(codes[static_cast<std::size_t>(i)],
+              i < kCap ? Errc::kSuccess : Errc::kResourceExhausted)
+        << "message " << i;
+  }
+
+  // The receiver can probe and drain exactly the accepted prefix.
+  world.run([&](Rank& rank) {
+    if (rank.rank() == 1) {
+      Status pst;
+      EXPECT_TRUE(iprobe(0, 0, rank.world_comm(), &pst));
+      EXPECT_EQ(pst.bytes, 8u);
+      EXPECT_FALSE(iprobe(0, kCap, rank.world_comm()));  // rejected: never arrived
+      for (int i = 0; i < kCap; ++i) {
+        Status st = recv(rbuf.data(), 8, kByte, 0, i, rank.world_comm());
+        EXPECT_EQ(st.err, Errc::kSuccess);
+        EXPECT_EQ(rbuf[0], static_cast<std::byte>(0x40 + i));
+      }
+    }
+  });
+
+  const net::NetStatsSnapshot s = world.snapshot();
+  EXPECT_EQ(s.overflows, static_cast<std::uint64_t>(kMsgs - kCap));
+  EXPECT_EQ(s.unexpected_hwm, static_cast<std::uint64_t>(kCap));
+  EXPECT_EQ(world.rank_state(1).vcis.at(0).engine().unexpected_depth(), 0u);
+}
+
+// Concurrent producers hammering one capped channel: the cap admits exactly
+// `kCap` messages regardless of interleaving; every other send reports
+// kResourceExhausted, and probe/unexpected_depth agree with the tally.
+TEST(UnexpectedCap, ConcurrentProducersAtTheCap) {
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 8;
+  constexpr int kCap = 8;
+  WorldConfig wc = two_node_config();
+  wc.overload_info.set("tmpi_unexpected_cap", kCap);
+  World world(wc);
+  Comm(world.world_comm_impl(), 0).set_errhandler(ErrorHandler::kErrorsReturn);
+
+  std::atomic<int> accepted{0};
+  std::atomic<int> rejected{0};
+  std::atomic<int> other{0};
+
+  world.run([&](Rank& rank) {
+    if (rank.rank() == 0) {
+      rank.parallel(kThreads, [&](int tid) {
+        std::vector<std::byte> buf(8, static_cast<std::byte>(tid));
+        for (int i = 0; i < kPerThread; ++i) {
+          const Errc e = send(buf.data(), 8, kByte, 1, static_cast<Tag>(tid * kPerThread + i),
+                              rank.world_comm());
+          if (e == Errc::kSuccess) {
+            accepted.fetch_add(1);
+          } else if (e == Errc::kResourceExhausted) {
+            rejected.fetch_add(1);
+          } else {
+            other.fetch_add(1);
+          }
+        }
+      });
+    }
+  });
+  EXPECT_EQ(accepted.load(), kCap);
+  EXPECT_EQ(rejected.load(), kThreads * kPerThread - kCap);
+  EXPECT_EQ(other.load(), 0);
+  EXPECT_EQ(world.rank_state(1).vcis.at(0).engine().unexpected_depth(),
+            static_cast<std::size_t>(kCap));
+
+  // Drain: which kCap messages survived depends on thread interleaving, but
+  // there are exactly kCap of them, each intact.
+  world.run([&](Rank& rank) {
+    if (rank.rank() == 1) {
+      std::vector<std::byte> rbuf(8);
+      EXPECT_TRUE(iprobe(kAnySource, kAnyTag, rank.world_comm()));
+      for (int i = 0; i < kCap; ++i) {
+        Status st = recv(rbuf.data(), 8, kByte, kAnySource, kAnyTag, rank.world_comm());
+        EXPECT_EQ(st.err, Errc::kSuccess);
+        EXPECT_EQ(st.bytes, 8u);
+      }
+      EXPECT_FALSE(iprobe(kAnySource, kAnyTag, rank.world_comm()));
+    }
+  });
+  EXPECT_EQ(world.rank_state(1).vcis.at(0).engine().unexpected_depth(), 0u);
+  EXPECT_EQ(world.snapshot().overflows,
+            static_cast<std::uint64_t>(kThreads * kPerThread - kCap));
+}
+
+// ---------------------------------------------------------------------------
+// Acceptance scenario from the issue: an 8-thread msgrate run under a tiny
+// credit budget completes with zero loss — the eager stream degrades to
+// rendezvous instead of overwhelming the receiver.
+TEST(FlowControl, MsgRateCompletesUnderLowCredits) {
+  wl::MsgRateParams p;
+  p.mode = wl::MsgRateMode::kThreadsOriginal;
+  p.workers = 8;
+  p.msgs_per_worker = 64;
+  p.window = 16;
+  p.msg_bytes = 8;
+  p.overload.set("tmpi_eager_credits", 4);
+  const wl::RunResult r = wl::run_msgrate(p);
+
+  EXPECT_EQ(r.messages, 8u * 64u);
+  EXPECT_GE(r.net.messages, 8u * 64u);  // all data messages traversed the fabric
+  EXPECT_GT(r.net.credit_stalls, 0u) << "a 4-credit budget must throttle 128 in-flight sends";
+  EXPECT_GT(r.net.rendezvous_messages, 0u);
+  EXPECT_EQ(r.net.overflows, 0u);  // flow control is lossless
+  EXPECT_EQ(r.net.timeouts, 0u);
+  EXPECT_GT(r.elapsed_ns, 0u);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Failover queue migration (satellite of DESIGN.md §7, regression for
+// MatchingEngine::absorb): merged queues must interleave by virtual enqueue
+// time so the surviving engine matches exactly as a single channel would.
+namespace tmpi::detail {
+namespace {
+
+Envelope mk_env(int ctx, int src, Tag tag, const char* payload) {
+  Envelope e;
+  e.ctx_id = ctx;
+  e.src = src;
+  e.tag = tag;
+  e.bytes = std::strlen(payload);
+  e.payload.resize(e.bytes);
+  std::memcpy(e.payload.data(), payload, e.bytes);
+  return e;
+}
+
+struct AbsorbRecv {
+  std::shared_ptr<ReqState> req = std::make_shared<ReqState>();
+  char buf[64] = {};
+
+  PostedRecv posted(int ctx, int src, Tag tag) {
+    PostedRecv pr;
+    pr.ctx_id = ctx;
+    pr.src = src;
+    pr.tag = tag;
+    pr.buf = reinterpret_cast<std::byte*>(buf);
+    pr.capacity = 64;
+    pr.req = req;
+    return pr;
+  }
+};
+
+TEST(Absorb, UnexpectedQueuesMergeByArrivalTime) {
+  MatchingEngine a;
+  MatchingEngine b;
+  net::CostModel cm;
+  net::NetStats stats;
+  net::VirtualClock clk;
+
+  // Interleaved arrivals across the two engines: a0 < b0 < a1 < b1.
+  a.deposit(mk_env(1, 0, 5, "a0"), clk, cm, &stats);
+  clk.advance(1000);
+  b.deposit(mk_env(1, 0, 5, "b0"), clk, cm, &stats);
+  clk.advance(1000);
+  a.deposit(mk_env(1, 0, 5, "a1"), clk, cm, &stats);
+  clk.advance(1000);
+  b.deposit(mk_env(1, 0, 5, "b1"), clk, cm, &stats);
+  clk.advance(1000);
+
+  a.absorb(b);
+  EXPECT_EQ(a.unexpected_depth(), 4u);
+  EXPECT_EQ(b.unexpected_depth(), 0u);
+
+  const char* expected[] = {"a0", "b0", "a1", "b1"};
+  for (const char* want : expected) {
+    AbsorbRecv r;
+    a.post_recv(r.posted(1, 0, 5), clk, cm, &stats);
+    ASSERT_TRUE(r.req->complete);
+    EXPECT_STREQ(r.buf, want) << "merged unexpected queue out of arrival order";
+  }
+}
+
+TEST(Absorb, PostedReceivesMigrateAndMatchInPostOrder) {
+  MatchingEngine a;
+  MatchingEngine b;
+  net::CostModel cm;
+  net::NetStats stats;
+  net::VirtualClock clk;
+
+  // Interleaved posts across the two engines: ra0 < rb0 < ra1 < rb1.
+  AbsorbRecv ra0;
+  AbsorbRecv rb0;
+  AbsorbRecv ra1;
+  AbsorbRecv rb1;
+  a.post_recv(ra0.posted(1, kAnySource, kAnyTag), clk, cm, &stats);
+  clk.advance(1000);
+  b.post_recv(rb0.posted(1, kAnySource, kAnyTag), clk, cm, &stats);
+  clk.advance(1000);
+  a.post_recv(ra1.posted(1, kAnySource, kAnyTag), clk, cm, &stats);
+  clk.advance(1000);
+  b.post_recv(rb1.posted(1, kAnySource, kAnyTag), clk, cm, &stats);
+  clk.advance(1000);
+
+  // Regression: absorb() used to drop `from`'s posted queue entirely —
+  // receives posted to the dead channel would hang forever after failover.
+  a.absorb(b);
+  EXPECT_EQ(a.posted_depth(), 4u);
+  EXPECT_EQ(b.posted_depth(), 0u);
+
+  a.deposit(mk_env(1, 2, 9, "m1"), clk, cm, &stats);
+  a.deposit(mk_env(1, 2, 9, "m2"), clk, cm, &stats);
+  a.deposit(mk_env(1, 2, 9, "m3"), clk, cm, &stats);
+  a.deposit(mk_env(1, 2, 9, "m4"), clk, cm, &stats);
+
+  EXPECT_STREQ(ra0.buf, "m1");
+  EXPECT_STREQ(rb0.buf, "m2") << "migrated posted receive matched out of post order";
+  EXPECT_STREQ(ra1.buf, "m3");
+  EXPECT_STREQ(rb1.buf, "m4");
+  EXPECT_EQ(a.posted_depth(), 0u);
+}
+
+TEST(Absorb, MigratedEntriesKeepWorkingWithTheCap) {
+  MatchingEngine a;
+  MatchingEngine b;
+  net::CostModel cm;
+  net::NetStats stats;
+  net::VirtualClock clk;
+
+  a.deposit(mk_env(1, 0, 1, "x"), clk, cm, &stats);
+  clk.advance(1000);
+  b.deposit(mk_env(1, 0, 2, "y"), clk, cm, &stats);
+  clk.advance(1000);
+  a.absorb(b);
+
+  // The merged queue counts toward the cap as one queue.
+  EXPECT_FALSE(a.deposit(mk_env(1, 0, 3, "z"), clk, cm, &stats, /*unexpected_cap=*/2));
+  EXPECT_EQ(a.unexpected_depth(), 2u);
+  EXPECT_TRUE(a.deposit(mk_env(1, 0, 3, "z"), clk, cm, &stats, /*unexpected_cap=*/3));
+  EXPECT_EQ(a.unexpected_depth(), 3u);
+}
+
+}  // namespace
+}  // namespace tmpi::detail

@@ -1,0 +1,213 @@
+#include <gtest/gtest.h>
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "tmpi/tmpi.h"
+
+/// Progress-watchdog scenarios (DESIGN.md §8). These tests block ranks on
+/// purpose and rely on the real-time monitor thread to diagnose the stall,
+/// so they run under the `stress` ctest label with a generous per-test
+/// timeout: a regression that breaks detection shows up as a *hung* test
+/// killed by ctest, with the missing deadlock report in the log.
+
+namespace {
+
+using namespace tmpi;
+
+WorldConfig two_node_config() {
+  WorldConfig wc;
+  wc.nranks = 2;
+  wc.ranks_per_node = 1;
+  wc.num_vcis = 1;
+  return wc;
+}
+
+// ---------------------------------------------------------------------------
+// The classic two-rank deadlock: each rank blocks receiving from the other.
+// Under errors-return the watchdog fails both waits with kTimeout at the
+// deterministic virtual time block + budget, names the full cycle in its
+// report, and the world stays usable afterwards.
+TEST(Watchdog, MutualRecvDeadlockDetectedAndReported) {
+  WorldConfig wc = two_node_config();
+  wc.overload_info.set("tmpi_watchdog_ns", 5000);
+  World world(wc);
+  ASSERT_NE(world.watchdog(), nullptr);
+  // A TMPI_WATCHDOG_NS environment overlay (the CI stress job sets one) wins
+  // over the Info key, so assert against the resolved budget.
+  const net::Time kBudget = world.watchdog()->budget_ns();
+  EXPECT_GT(kBudget, 0u);
+  Comm(world.world_comm_impl(), 0).set_errhandler(ErrorHandler::kErrorsReturn);
+
+  std::array<Errc, 2> codes{Errc::kSuccess, Errc::kSuccess};
+  std::array<net::Time, 2> blocked_at{};
+  std::array<net::Time, 2> failed_at{};
+
+  world.run([&](Rank& rank) {
+    std::byte b{};
+    blocked_at[static_cast<std::size_t>(rank.rank())] = net::ThreadClock::get().now();
+    Status st = recv(&b, 1, kByte, 1 - rank.rank(), 7, rank.world_comm());
+    codes[static_cast<std::size_t>(rank.rank())] = st.err;
+    failed_at[static_cast<std::size_t>(rank.rank())] = net::ThreadClock::get().now();
+    EXPECT_EQ(st.tag, 7);
+  });
+
+  EXPECT_EQ(codes[0], Errc::kTimeout);
+  EXPECT_EQ(codes[1], Errc::kTimeout);
+  // Virtual failure time is block time + budget — a deterministic charge,
+  // independent of how long the real-time monitor took to notice.
+  EXPECT_GE(failed_at[0], blocked_at[0] + kBudget);
+  EXPECT_GE(failed_at[1], blocked_at[1] + kBudget);
+
+  EXPECT_EQ(world.watchdog()->trips(), 2u);
+  const std::vector<std::string> reports = world.watchdog()->reports();
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_NE(reports[0].find("deadlock cycle detected"), std::string::npos) << reports[0];
+  EXPECT_NE(reports[0].find("rank 0 vci 0: Recv tag 7 waiting on rank 1"), std::string::npos)
+      << reports[0];
+  EXPECT_NE(reports[0].find("rank 1 vci 0: Recv tag 7 waiting on rank 0"), std::string::npos)
+      << reports[0];
+
+  const net::NetStatsSnapshot s = world.snapshot();
+  EXPECT_EQ(s.deadlocks, 1u);
+  EXPECT_EQ(s.watchdog_trips, 2u);
+
+  // The workload continues: a well-formed exchange on the same world works.
+  world.run([&](Rank& rank) {
+    std::byte x{std::byte{0x7E}};
+    std::byte y{};
+    if (rank.rank() == 0) {
+      EXPECT_EQ(send(&x, 1, kByte, 1, 9, rank.world_comm()), Errc::kSuccess);
+    } else {
+      Status st = recv(&y, 1, kByte, 0, 9, rank.world_comm());
+      EXPECT_EQ(st.err, Errc::kSuccess);
+      EXPECT_EQ(y, std::byte{0x7E});
+    }
+  });
+  EXPECT_EQ(world.snapshot().deadlocks, 1u);  // no new trips
+}
+
+// Under the default errors-are-fatal handler the same deadlock throws
+// tmpi::Error(kTimeout) out of the blocking receive on every cycle member.
+TEST(Watchdog, MutualRecvDeadlockThrowsUnderFatalHandler) {
+  WorldConfig wc = two_node_config();
+  wc.overload_info.set("tmpi_watchdog_ns", 5000);
+  World world(wc);
+
+  std::array<Errc, 2> caught{Errc::kSuccess, Errc::kSuccess};
+  world.run([&](Rank& rank) {
+    std::byte b{};
+    try {
+      (void)recv(&b, 1, kByte, 1 - rank.rank(), 3, rank.world_comm());
+      FAIL() << "deadlocked recv did not throw on rank " << rank.rank();
+    } catch (const Error& e) {
+      caught[static_cast<std::size_t>(rank.rank())] = e.code();
+    }
+  });
+  EXPECT_EQ(caught[0], Errc::kTimeout);
+  EXPECT_EQ(caught[1], Errc::kTimeout);
+  EXPECT_EQ(world.snapshot().deadlocks, 1u);
+}
+
+// A receive nobody will ever send to is not a cycle; after the longer stall
+// grace period the watchdog fails it anyway, with the stall-shaped report.
+TEST(Watchdog, CyclelessStallFailsAfterGracePeriod) {
+  WorldConfig wc = two_node_config();
+  wc.overload_info.set("tmpi_watchdog_ns", 2000);
+  World world(wc);
+  Comm(world.world_comm_impl(), 0).set_errhandler(ErrorHandler::kErrorsReturn);
+
+  Errc code = Errc::kSuccess;
+  world.run([&](Rank& rank) {
+    if (rank.rank() == 0) {
+      std::byte b{};
+      Status st = recv(&b, 1, kByte, 1, 9, rank.world_comm());
+      code = st.err;
+    }
+    // Rank 1 exits immediately: no counterpart, no cycle.
+  });
+
+  EXPECT_EQ(code, Errc::kTimeout);
+  EXPECT_EQ(world.watchdog()->trips(), 1u);
+  const std::vector<std::string> reports = world.watchdog()->reports();
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_NE(reports[0].find("progress stall, no wait-for cycle"), std::string::npos)
+      << reports[0];
+  EXPECT_NE(reports[0].find("rank 0 vci 0: Recv tag 9 waiting on rank 1"), std::string::npos)
+      << reports[0];
+
+  const net::NetStatsSnapshot s = world.snapshot();
+  EXPECT_EQ(s.deadlocks, 0u);  // a stall is not a proven deadlock
+  EXPECT_EQ(s.watchdog_trips, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Error-handler integration with the PR 2 fault layer: a retransmission
+// timeout on an errors-return communicator comes back as a return code and
+// the workload carries on — no watchdog needed, no exception thrown.
+TEST(ErrorHandlers, FaultTimeoutReturnsAsStatusCodeAndWorkloadContinues) {
+  WorldConfig wc = two_node_config();
+  wc.fault_info.set("tmpi_fault_plan", "drop@0:0:0");
+  wc.fault_info.set("tmpi_fault_max_retries", 0);  // first loss exhausts the budget
+  World world(wc);
+  Comm(world.world_comm_impl(), 0).set_errhandler(ErrorHandler::kErrorsReturn);
+
+  std::vector<std::byte> sbuf(8, std::byte{0x55});
+  std::vector<std::byte> rbuf(8);
+  Request rreq;
+  Errc e1 = Errc::kSuccess;
+  Errc e2 = Errc::kInternal;
+
+  world.run([&](Rank& rank) {
+    if (rank.rank() == 1) {
+      rreq = irecv(rbuf.data(), 8, kByte, 0, 2, rank.world_comm());
+    }
+  });
+  world.run([&](Rank& rank) {
+    if (rank.rank() == 0) {
+      e1 = send(sbuf.data(), 8, kByte, 1, 1, rank.world_comm());  // op 0: dropped
+      e2 = send(sbuf.data(), 8, kByte, 1, 2, rank.world_comm());  // op 1: clean
+    }
+  });
+  world.run([&](Rank& rank) {
+    if (rank.rank() == 1) {
+      Status st = rreq.wait();
+      EXPECT_EQ(st.err, Errc::kSuccess);
+      EXPECT_EQ(st.bytes, 8u);
+    }
+  });
+
+  EXPECT_EQ(e1, Errc::kTimeout) << "lost send must surface as a code, not an exception";
+  EXPECT_EQ(e2, Errc::kSuccess) << "the communicator stays usable after a returned error";
+  EXPECT_EQ(rbuf[0], std::byte{0x55});
+
+  const net::NetStatsSnapshot s = world.snapshot();
+  EXPECT_EQ(s.timeouts, 1u);
+  EXPECT_EQ(s.drops, 1u);
+  EXPECT_EQ(s.retransmits, 0u);
+}
+
+// test() honours errors-return the same way wait() does.
+TEST(ErrorHandlers, TestReportsStatusErrWithoutThrowing) {
+  WorldConfig wc = two_node_config();
+  wc.fault_info.set("tmpi_fault_drop_rate", "1.0");
+  wc.fault_info.set("tmpi_fault_max_retries", 0);
+  World world(wc);
+  Comm(world.world_comm_impl(), 0).set_errhandler(ErrorHandler::kErrorsReturn);
+
+  std::vector<std::byte> sbuf(8, std::byte{0x66});
+  world.run([&](Rank& rank) {
+    if (rank.rank() == 0) {
+      Request sreq = isend(sbuf.data(), 8, kByte, 1, 5, rank.world_comm());
+      Status st;
+      EXPECT_TRUE(sreq.test(&st));  // already failed at issue time
+      EXPECT_EQ(st.err, Errc::kTimeout);
+      Status st2 = sreq.wait();  // repeat queries stay non-throwing
+      EXPECT_EQ(st2.err, Errc::kTimeout);
+    }
+  });
+  EXPECT_EQ(world.snapshot().timeouts, 1u);
+}
+
+}  // namespace
