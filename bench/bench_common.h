@@ -142,6 +142,71 @@ inline void print_channel_telemetry(const char* title, const tmpi::net::NetStats
                 static_cast<unsigned long long>(c.retransmits));
   }
   if (shown == 0) std::printf("  (no channel traffic)\n");
+
+  // Per-op latency percentiles, present when the run traced (DESIGN.md §9:
+  // World::snapshot() computes them from the recorder's spans).
+  if (!s.op_latency.empty()) {
+    std::printf("op latency (virtual ns, from trace spans):\n");
+    std::printf("  %-12s %10s %8s %10s %10s %10s\n", "op", "count", "errors", "p50", "p90",
+                "p99");
+    for (const auto& ol : s.op_latency) {
+      std::printf("  %-12s %10llu %8llu %10llu %10llu %10llu\n", ol.op.c_str(),
+                  static_cast<unsigned long long>(ol.count),
+                  static_cast<unsigned long long>(ol.errors),
+                  static_cast<unsigned long long>(ol.p50),
+                  static_cast<unsigned long long>(ol.p90),
+                  static_cast<unsigned long long>(ol.p99));
+    }
+  }
+}
+
+/// --stats flag (satellite of DESIGN.md §9): every bench binary accepts
+/// `--stats` and then prints the per-VCI channel table + size histogram for
+/// each snapshot the benchmark handed to collect_stats(). Off by default so
+/// figure output stays uncluttered.
+inline bool& stats_requested() {
+  static bool on = false;
+  return on;
+}
+
+/// Strip `--stats` from argv before benchmark::Initialize (google-benchmark
+/// rejects flags it does not know).
+inline void parse_stats_flag(int* argc, char** argv) {
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::string(argv[i]) == "--stats") {
+      stats_requested() = true;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+}
+
+namespace detail {
+inline std::vector<std::pair<std::string, tmpi::net::NetStatsSnapshot>>& collected_stats() {
+  static std::vector<std::pair<std::string, tmpi::net::NetStatsSnapshot>> v;
+  return v;
+}
+}  // namespace detail
+
+/// Stash a labelled snapshot for the end-of-run `--stats` report. No-op
+/// (and no storage) when --stats was not given.
+inline void collect_stats(const std::string& label, const tmpi::net::NetStatsSnapshot& s) {
+  if (!stats_requested()) return;
+  detail::collected_stats().emplace_back(label, s);
+}
+
+/// Print every collected snapshot. Call at the end of main(); quiet when
+/// --stats was not given or nothing was collected.
+inline void print_collected_stats(std::size_t max_rows = 16) {
+  if (!stats_requested()) return;
+  for (const auto& [label, snap] : detail::collected_stats()) {
+    print_channel_telemetry(label.c_str(), snap, max_rows);
+  }
+  if (detail::collected_stats().empty()) {
+    std::printf("\n--stats: no snapshots collected by this benchmark\n");
+  }
 }
 
 /// Print a free-form note line (paper-claimed comparisons).

@@ -39,6 +39,8 @@ void BM_MsgRate(benchmark::State& state, wl::MsgRateMode mode) {
   state.counters["Mmsg_per_s"] = mrate;
   table().add(to_string(mode), p.workers, mrate);
   if (p.workers == 4) telemetry().emplace_back(to_string(mode), r.net);
+  bench::collect_stats(std::string(to_string(mode)) + "/workers=" + std::to_string(p.workers),
+                       r.net);
 }
 
 void register_all() {
@@ -56,8 +58,10 @@ void register_all() {
 
 int main(int argc, char** argv) {
   register_all();
+  bench::parse_stats_flag(&argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  bench::print_collected_stats();
   table().print();
   for (const auto& [mode, snap] : telemetry()) {
     bench::print_channel_telemetry((mode + ", workers=4").c_str(), snap);

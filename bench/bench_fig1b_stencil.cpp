@@ -61,6 +61,8 @@ void BM_Stencil(benchmark::State& state, const char* series) {
   const double us_per_iter = static_cast<double>(r.run.elapsed_ns) / kIters * 1e-3;
   state.counters["us_per_iter"] = us_per_iter;
   table().add(series, t * t * t, us_per_iter);
+  bench::collect_stats(std::string(series) + "/threads=" + std::to_string(t * t * t),
+                       r.run.net);
 }
 
 void register_all() {
@@ -75,8 +77,10 @@ void register_all() {
 
 int main(int argc, char** argv) {
   register_all();
+  bench::parse_stats_flag(&argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  bench::print_collected_stats();
   table().print();
   bench::note(
       "paper: Uintah/hypre on KNL + Omni-Path — MPI+threads with logically parallel "

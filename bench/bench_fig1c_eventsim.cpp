@@ -30,6 +30,8 @@ void BM_Events(benchmark::State& state, wl::EventMech mech) {
   const double events_per_ms = static_cast<double>(r.aux) / (r.seconds() * 1e3);
   state.counters["events_per_ms"] = events_per_ms;
   table().add(to_string(mech), p.task_threads, events_per_ms);
+  bench::collect_stats(
+      std::string(to_string(mech)) + "/threads=" + std::to_string(p.task_threads), r.net);
 }
 
 void register_all() {
@@ -46,8 +48,10 @@ void register_all() {
 
 int main(int argc, char** argv) {
   register_all();
+  bench::parse_stats_flag(&argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  bench::print_collected_stats();
   table().print();
   bench::note(
       "paper: Legion circuit on Broadwell + Omni-Path — logically parallel MPI+threads "

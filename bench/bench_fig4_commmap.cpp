@@ -55,6 +55,7 @@ void BM_Map(benchmark::State& state, const char* series) {
   }
   time_table().add(series, t * t, static_cast<double>(r.run.elapsed_ns) / kIters * 1e-3);
   state.counters["objects"] = r.comms_used;
+  bench::collect_stats(std::string(series) + "/threads=" + std::to_string(t * t), r.run.net);
 
   if (p.mech == wl::StencilMech::kComms) {
     rp::StencilPlan plan(rp::Vec3{2, 2, 1}, rp::Vec3{t, t, 1}, true, p.strategy);
@@ -79,8 +80,10 @@ void register_all() {
 
 int main(int argc, char** argv) {
   register_all();
+  bench::parse_stats_flag(&argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  bench::print_collected_stats();
   time_table().print();
   par_table().print();
   bench::note("paper Lesson 2: the naive map exposes 'only half of the available parallelism'");

@@ -35,6 +35,8 @@ void BM_Polling(benchmark::State& state, wl::EventMech mech) {
       static_cast<double>(r.elapsed_ns) / (static_cast<double>(r.aux) / p.nranks);
   state.counters["ns_per_event"] = ns_per_event;
   table().add(to_string(mech), p.task_threads, ns_per_event);
+  bench::collect_stats(
+      std::string(to_string(mech)) + "/threads=" + std::to_string(p.task_threads), r.net);
   if (p.task_threads == 8) {
     if (mech == wl::EventMech::kComms) g_comms_ns_per_event = ns_per_event;
     if (mech == wl::EventMech::kEndpoints) g_eps_ns_per_event = ns_per_event;
@@ -54,8 +56,10 @@ void register_all() {
 
 int main(int argc, char** argv) {
   register_all();
+  bench::parse_stats_flag(&argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  bench::print_collected_stats();
   table().print();
   if (g_eps_ns_per_event > 0) {
     bench::note("measured comms/endpoints slowdown at 8 task threads: %.2fx",

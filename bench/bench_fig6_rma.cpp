@@ -32,6 +32,8 @@ void BM_Rma(benchmark::State& state, wl::RmaMech mech) {
   state.counters["tasks"] = static_cast<double>(r.aux);
   state.counters["atomic_ops"] = static_cast<double>(r.net.atomic_ops);
   table().add(to_string(mech), p.threads, static_cast<double>(r.elapsed_ns) * 1e-6);
+  bench::collect_stats(std::string(to_string(mech)) + "/threads=" + std::to_string(p.threads),
+                       r.net);
 }
 
 void register_all() {
@@ -48,8 +50,10 @@ void register_all() {
 
 int main(int argc, char** argv) {
   register_all();
+  bench::parse_stats_flag(&argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  bench::print_collected_stats();
   table().print();
   bench::note(
       "paper Lesson 16: relaxing ordering helps but any hash collides; endpoints expose "

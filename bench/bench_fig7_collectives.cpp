@@ -41,6 +41,8 @@ void BM_Coll(benchmark::State& state, wl::CollMech mech) {
   time_table().add(to_string(mech), p.threads, us);
   mem_table().add(to_string(mech), p.threads,
                   static_cast<double>(r.result_buffer_bytes) / 1024.0);
+  bench::collect_stats(std::string(to_string(mech)) + "/threads=" + std::to_string(p.threads),
+                       r.net);
   if (p.threads == 8) {
     if (mech == wl::CollMech::kSingleThread) g_single_us = us;
     if (mech == wl::CollMech::kPerThreadComms) g_multi_us = us;
@@ -61,8 +63,10 @@ void register_all() {
 
 int main(int argc, char** argv) {
   register_all();
+  bench::parse_stats_flag(&argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  bench::print_collected_stats();
   time_table().print();
   if (g_multi_us > 0) {
     bench::note("measured per-thread-comms speedup over single-threaded at T=8: %.2fx",

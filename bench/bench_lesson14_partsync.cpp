@@ -50,6 +50,7 @@ void BM_Part(benchmark::State& state, const char* series) {
   table().add(series, t * t, static_cast<double>(r.run.elapsed_ns) / kIters * 1e-3);
   lock_table().add(series, t * t,
                    static_cast<double>(r.run.net.part_lock_acquisitions) / kIters);
+  bench::collect_stats(std::string(series) + "/threads=" + std::to_string(t * t), r.run.net);
 }
 
 void register_all() {
@@ -64,8 +65,10 @@ void register_all() {
 
 int main(int argc, char** argv) {
   register_all();
+  bench::parse_stats_flag(&argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  bench::print_collected_stats();
   table().print();
   lock_table().print();
   bench::note(

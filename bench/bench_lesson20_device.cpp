@@ -36,6 +36,8 @@ void BM_Device(benchmark::State& state, wl::DeviceMech mech) {
   }
   table().add(to_string(mech), p.device_threads,
               static_cast<double>(r.elapsed_ns) / kIters * 1e-3);
+  bench::collect_stats(
+      std::string(to_string(mech)) + "/threads=" + std::to_string(p.device_threads), r.net);
 }
 
 void register_all() {
@@ -68,8 +70,10 @@ void launch_sweep() {
 
 int main(int argc, char** argv) {
   register_all();
+  bench::parse_stats_flag(&argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  bench::print_collected_stats();
   table().print();
   launch_sweep();
   launch_table().print();

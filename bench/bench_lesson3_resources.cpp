@@ -57,6 +57,8 @@ void BM_BoundedFabric(benchmark::State& state, wl::StencilMech mech) {
   state.counters["shared_ctx_injections"] = static_cast<double>(r.run.net.shared_ctx_injections);
   contention_table().add(to_string(mech), t * t * t,
                          static_cast<double>(r.run.elapsed_ns) / kIters * 1e-3);
+  bench::collect_stats(std::string(to_string(mech)) + "/threads=" + std::to_string(t * t * t),
+                       r.run.net);
 }
 
 void register_all() {
@@ -73,8 +75,10 @@ void register_all() {
 
 int main(int argc, char** argv) {
   register_all();
+  bench::parse_stats_flag(&argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  bench::print_collected_stats();
 
   // Closed-form counts (the paper's [4,4,4] -> 808 vs 56 example).
   for (int t : {2, 3, 4, 5, 6}) {

@@ -31,6 +31,8 @@ void BM_TagMap(benchmark::State& state, wl::MsgRateMode mode) {
     bench::set_virtual_time(state, r.elapsed_ns);
   }
   rate_table().add(to_string(mode), p.workers, r.msg_rate() * 1e-6);
+  bench::collect_stats(std::string(to_string(mode)) + "/workers=" + std::to_string(p.workers),
+                       r.net);
 }
 
 void register_all() {
@@ -77,8 +79,10 @@ void print_tag_budget() {
 
 int main(int argc, char** argv) {
   register_all();
+  bench::parse_stats_flag(&argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  bench::print_collected_stats();
   rate_table().print();
   bench::note(
       "paper Lesson 7: without the one-to-one hints the library's tag hash decides the "

@@ -64,6 +64,8 @@ tmpi::net::Time run_dynamic(rp::Backend backend, int streams) {
       }
     });
   });
+  bench::collect_stats(std::string(to_string(backend)) + "/streams=" + std::to_string(streams),
+                       world.snapshot());
   return world.elapsed();
 }
 
@@ -100,6 +102,7 @@ tmpi::net::Time run_partitioned(int streams) {
       rreq.wait();
     }
   });
+  bench::collect_stats("partitioned/streams=" + std::to_string(streams), world.snapshot());
   return world.elapsed();
 }
 
@@ -128,8 +131,10 @@ void register_all() {
 
 int main(int argc, char** argv) {
   register_all();
+  bench::parse_stats_flag(&argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  bench::print_collected_stats();
   time_table().print();
   cost_table().print();
   bench::note(

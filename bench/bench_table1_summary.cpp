@@ -86,6 +86,7 @@ void print_transport_sample() {
     const wl::RunResult r = wl::run_msgrate(p);
     bench::print_channel_telemetry((std::string(to_string(mode)) + ", 4 workers").c_str(),
                                    r.net);
+    bench::collect_stats(std::string(to_string(mode)) + "/workers=4", r.net);
   }
 }
 
@@ -101,8 +102,10 @@ BENCHMARK(BM_CapabilityLookup);
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::parse_stats_flag(&argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  bench::print_collected_stats();
   print_table1();
   print_usability();
   print_transport_sample();

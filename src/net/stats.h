@@ -8,6 +8,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "net/virtual_clock.h"
@@ -16,8 +17,22 @@
 /// Aggregate fabric statistics.
 ///
 /// Counters are relaxed atomics: they are diagnostics, not synchronization.
-/// `snapshot()` gives a consistent-enough copy for reporting after a
-/// workload's threads have joined.
+/// Snapshots may be taken *while* workload threads are still counting (bench
+/// sampling, the watchdog, tests), so derived-counter pairs need one rule to
+/// stay invariant-consistent:
+///
+///   Writers bump the SOURCE counter first (relaxed), then the DERIVED
+///   counter with memory_order_release; snapshot() loads every DERIVED
+///   counter first with memory_order_acquire, then the source counters.
+///
+/// If the reader observes the k-th derived increment (released), the acquire
+/// pairs with that release and the matching source increment — which
+/// happened-before it on the writer thread — is visible too. Hence a
+/// snapshot can never show `contended_acquisitions > lock_acquisitions`,
+/// `shared_ctx_injections > injections`, `atomic_ops > rma_ops`, or
+/// `retransmits + timeouts > drops + corrupts` (every lost attempt counts a
+/// drop/corrupt before its retransmit-or-timeout verdict).
+/// tests/net/stats_snapshot_test.cpp hammers these invariants concurrently.
 ///
 /// In addition to the global tallies, the fabric keeps a registry of
 /// per-channel counter blocks (`ChannelStats`), one per (rank, VCI). The
@@ -62,15 +77,20 @@ class ChannelStats {
   void add_rx() { rx_ops_.fetch_add(1, std::memory_order_relaxed); }
   void add_deposit() { deposits_.fetch_add(1, std::memory_order_relaxed); }
   void add_lock(bool contended) {
+    // Source first, derived with release (see the snapshot-ordering rule in
+    // the file comment): a snapshot that sees the contended increment must
+    // also see the total it belongs to.
     lock_acquisitions_.fetch_add(1, std::memory_order_relaxed);
-    if (contended) contended_acquisitions_.fetch_add(1, std::memory_order_relaxed);
+    if (contended) contended_acquisitions_.fetch_add(1, std::memory_order_release);
   }
   void add_busy(Time ns) { busy_ns_.fetch_add(ns, std::memory_order_relaxed); }
   void add_drop() { drops_.fetch_add(1, std::memory_order_relaxed); }
   void add_corrupt() { corrupts_.fetch_add(1, std::memory_order_relaxed); }
   void add_delay() { delays_.fetch_add(1, std::memory_order_relaxed); }
-  void add_retransmit() { retransmits_.fetch_add(1, std::memory_order_relaxed); }
-  void add_timeout() { timeouts_.fetch_add(1, std::memory_order_relaxed); }
+  // Derived from drops/corrupts: every lost attempt counts one of those
+  // before its retransmit-or-timeout verdict.
+  void add_retransmit() { retransmits_.fetch_add(1, std::memory_order_release); }
+  void add_timeout() { timeouts_.fetch_add(1, std::memory_order_release); }
   void add_failover() { failovers_.fetch_add(1, std::memory_order_relaxed); }
   void add_credit_stall() { credit_stalls_.fetch_add(1, std::memory_order_relaxed); }
   void add_overflow() { overflows_.fetch_add(1, std::memory_order_relaxed); }
@@ -86,17 +106,20 @@ class ChannelStats {
     ChannelStatsSnapshot s;
     s.rank = rank_;
     s.vci = vci_;
+    // Derived counters first, acquire; sources after (file comment). The
+    // load order is what keeps contended <= total and retransmits+timeouts
+    // <= drops+corrupts under concurrent counting.
+    s.contended_acquisitions = contended_acquisitions_.load(std::memory_order_acquire);
+    s.retransmits = retransmits_.load(std::memory_order_acquire);
+    s.timeouts = timeouts_.load(std::memory_order_acquire);
     s.injections = injections_.load(std::memory_order_relaxed);
     s.rx_ops = rx_ops_.load(std::memory_order_relaxed);
     s.deposits = deposits_.load(std::memory_order_relaxed);
     s.lock_acquisitions = lock_acquisitions_.load(std::memory_order_relaxed);
-    s.contended_acquisitions = contended_acquisitions_.load(std::memory_order_relaxed);
     s.busy_ns = busy_ns_.load(std::memory_order_relaxed);
     s.drops = drops_.load(std::memory_order_relaxed);
     s.corrupts = corrupts_.load(std::memory_order_relaxed);
     s.delays = delays_.load(std::memory_order_relaxed);
-    s.retransmits = retransmits_.load(std::memory_order_relaxed);
-    s.timeouts = timeouts_.load(std::memory_order_relaxed);
     s.failovers = failovers_.load(std::memory_order_relaxed);
     s.credit_stalls = credit_stalls_.load(std::memory_order_relaxed);
     s.overflows = overflows_.load(std::memory_order_relaxed);
@@ -130,6 +153,19 @@ class ChannelStats {
 /// bit_width(bytes) == i (bucket 0: zero-byte messages), up to >= 2^30.
 inline constexpr int kMsgSizeBuckets = 32;
 
+/// Per-operation-family latency percentiles (virtual ns, post -> complete).
+/// Filled from the trace recorder when tracing is enabled (DESIGN.md §9);
+/// empty otherwise. Carried on the snapshot so bench binaries get
+/// percentiles through the same World::snapshot() call they already make.
+struct OpLatency {
+  std::string op;             ///< family label ("Send", "Recv", "Rma", ...)
+  std::uint64_t count = 0;    ///< completed spans measured
+  std::uint64_t errors = 0;   ///< spans that ended in kError
+  Time p50 = 0;
+  Time p90 = 0;
+  Time p99 = 0;
+};
+
 /// Plain-value snapshot of NetStats (safe to copy around and diff).
 struct NetStatsSnapshot {
   std::uint64_t messages = 0;
@@ -161,6 +197,7 @@ struct NetStatsSnapshot {
   Time ctx_busy_ns = 0;  ///< total virtual busy time accumulated across contexts
   std::array<std::uint64_t, kMsgSizeBuckets> size_hist{};  ///< log2 message sizes
   std::vector<ChannelStatsSnapshot> channels;  ///< per-(rank, VCI), creation order
+  std::vector<OpLatency> op_latency;  ///< per-op percentiles; tracing only (§9)
 
   NetStatsSnapshot operator-(const NetStatsSnapshot& o) const {
     NetStatsSnapshot d;
@@ -220,6 +257,9 @@ struct NetStatsSnapshot {
       }
       d.channels.push_back(dc);
     }
+    // Percentiles are distribution summaries, not monotone counters: the
+    // newer side's rows pass through unchanged.
+    d.op_latency = op_latency;
     return d;
   }
 };
@@ -234,14 +274,17 @@ class NetStats {
     size_hist_[static_cast<std::size_t>(b < kMsgSizeBuckets ? b : kMsgSizeBuckets - 1)]
         .fetch_add(1, std::memory_order_relaxed);
   }
+  // Derived counters (shared_ctx_injections, contended_acquisitions,
+  // atomic_ops, retransmits, timeouts) are bumped with release after their
+  // source counter; snapshot() loads them first with acquire (file comment).
   void add_injection(bool shared_ctx, Time busy) {
     injections_.fetch_add(1, std::memory_order_relaxed);
-    if (shared_ctx) shared_ctx_injections_.fetch_add(1, std::memory_order_relaxed);
+    if (shared_ctx) shared_ctx_injections_.fetch_add(1, std::memory_order_release);
     ctx_busy_ns_.fetch_add(busy, std::memory_order_relaxed);
   }
   void add_lock(bool contended) {
     lock_acquisitions_.fetch_add(1, std::memory_order_relaxed);
-    if (contended) contended_acquisitions_.fetch_add(1, std::memory_order_relaxed);
+    if (contended) contended_acquisitions_.fetch_add(1, std::memory_order_release);
   }
   void add_part_lock() { part_lock_acquisitions_.fetch_add(1, std::memory_order_relaxed); }
   void add_match_probes(std::uint64_t n) {
@@ -251,14 +294,14 @@ class NetStats {
   void add_rendezvous() { rendezvous_messages_.fetch_add(1, std::memory_order_relaxed); }
   void add_rma(bool atomic) {
     rma_ops_.fetch_add(1, std::memory_order_relaxed);
-    if (atomic) atomic_ops_.fetch_add(1, std::memory_order_relaxed);
+    if (atomic) atomic_ops_.fetch_add(1, std::memory_order_release);
   }
   void add_channel_op() { channel_ops_.fetch_add(1, std::memory_order_relaxed); }
   void add_drop() { drops_.fetch_add(1, std::memory_order_relaxed); }
   void add_corrupt() { corrupts_.fetch_add(1, std::memory_order_relaxed); }
   void add_delay() { delays_.fetch_add(1, std::memory_order_relaxed); }
-  void add_retransmit() { retransmits_.fetch_add(1, std::memory_order_relaxed); }
-  void add_timeout() { timeouts_.fetch_add(1, std::memory_order_relaxed); }
+  void add_retransmit() { retransmits_.fetch_add(1, std::memory_order_release); }
+  void add_timeout() { timeouts_.fetch_add(1, std::memory_order_release); }
   void add_failover() { failovers_.fetch_add(1, std::memory_order_relaxed); }
   void add_credit_stall() { credit_stalls_.fetch_add(1, std::memory_order_relaxed); }
   void add_overflow() { overflows_.fetch_add(1, std::memory_order_relaxed); }
@@ -287,24 +330,25 @@ class NetStats {
 
   [[nodiscard]] NetStatsSnapshot snapshot() const {
     NetStatsSnapshot s;
+    // Derived counters first, acquire; sources after (file comment).
+    s.shared_ctx_injections = shared_ctx_injections_.load(std::memory_order_acquire);
+    s.contended_acquisitions = contended_acquisitions_.load(std::memory_order_acquire);
+    s.atomic_ops = atomic_ops_.load(std::memory_order_acquire);
+    s.retransmits = retransmits_.load(std::memory_order_acquire);
+    s.timeouts = timeouts_.load(std::memory_order_acquire);
     s.messages = messages_.load(std::memory_order_relaxed);
     s.bytes = bytes_.load(std::memory_order_relaxed);
     s.injections = injections_.load(std::memory_order_relaxed);
-    s.shared_ctx_injections = shared_ctx_injections_.load(std::memory_order_relaxed);
     s.lock_acquisitions = lock_acquisitions_.load(std::memory_order_relaxed);
-    s.contended_acquisitions = contended_acquisitions_.load(std::memory_order_relaxed);
     s.part_lock_acquisitions = part_lock_acquisitions_.load(std::memory_order_relaxed);
     s.match_probes = match_probes_.load(std::memory_order_relaxed);
     s.unexpected_messages = unexpected_messages_.load(std::memory_order_relaxed);
     s.rendezvous_messages = rendezvous_messages_.load(std::memory_order_relaxed);
     s.rma_ops = rma_ops_.load(std::memory_order_relaxed);
-    s.atomic_ops = atomic_ops_.load(std::memory_order_relaxed);
     s.channel_ops = channel_ops_.load(std::memory_order_relaxed);
     s.drops = drops_.load(std::memory_order_relaxed);
     s.corrupts = corrupts_.load(std::memory_order_relaxed);
     s.delays = delays_.load(std::memory_order_relaxed);
-    s.retransmits = retransmits_.load(std::memory_order_relaxed);
-    s.timeouts = timeouts_.load(std::memory_order_relaxed);
     s.failovers = failovers_.load(std::memory_order_relaxed);
     s.credit_stalls = credit_stalls_.load(std::memory_order_relaxed);
     s.overflows = overflows_.load(std::memory_order_relaxed);

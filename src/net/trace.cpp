@@ -1,0 +1,596 @@
+#include "net/trace.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <ostream>
+#include <set>
+#include <sstream>
+#include <utility>
+
+namespace tmpi::net {
+
+const char* to_string(TraceEv ev) {
+  switch (ev) {
+    case TraceEv::kPost: return "post";
+    case TraceEv::kCreditDecision: return "credit_decision";
+    case TraceEv::kLockAcquired: return "lock_acquired";
+    case TraceEv::kInject: return "inject";
+    case TraceEv::kRxOccupy: return "rx_occupy";
+    case TraceEv::kDeposit: return "deposit";
+    case TraceEv::kPostRecv: return "post_recv";
+    case TraceEv::kProbe: return "probe";
+    case TraceEv::kComplete: return "complete";
+    case TraceEv::kError: return "error";
+    case TraceEv::kDrop: return "drop";
+    case TraceEv::kCorrupt: return "corrupt";
+    case TraceEv::kDelay: return "delay";
+    case TraceEv::kRetransmit: return "retransmit";
+    case TraceEv::kTimeout: return "timeout";
+    case TraceEv::kFailover: return "failover";
+    case TraceEv::kCreditStall: return "credit_stall";
+    case TraceEv::kOverflow: return "overflow";
+    case TraceEv::kWatchdogTrip: return "watchdog_trip";
+    case TraceEv::kUnexpectedDepth: return "unexpected_depth";
+    case TraceEv::kCtxBacklog: return "ctx_backlog";
+  }
+  return "unknown";
+}
+
+const char* to_string(TraceOp op) {
+  switch (op) {
+    case TraceOp::kNone: return "None";
+    case TraceOp::kSend: return "Send";
+    case TraceOp::kRecv: return "Recv";
+    case TraceOp::kRma: return "Rma";
+    case TraceOp::kPartition: return "Partition";
+    case TraceOp::kColl: return "Coll";
+    case TraceOp::kProbe: return "Probe";
+  }
+  return "unknown";
+}
+
+bool TraceConfig::set(const std::string& key, const std::string& value) {
+  if (key == "tmpi_trace") {
+    enabled = value == "1" || value == "true" || value == "yes" || value == "on";
+  } else if (key == "tmpi_trace_path") {
+    path = value;
+  } else if (key == "tmpi_trace_buffer_events") {
+    buffer_events = static_cast<std::size_t>(std::stoull(value));
+  } else {
+    return false;
+  }
+  return true;
+}
+
+TraceConfig TraceConfig::from_env(TraceConfig base) {
+  static constexpr const char* kKeys[] = {"tmpi_trace", "tmpi_trace_path",
+                                          "tmpi_trace_buffer_events"};
+  for (const char* key : kKeys) {
+    std::string env_name(key);
+    std::transform(env_name.begin(), env_name.end(), env_name.begin(),
+                   [](unsigned char c) { return static_cast<char>(std::toupper(c)); });
+    if (const char* v = std::getenv(env_name.c_str()); v != nullptr && *v != '\0') {
+      base.set(key, v);
+    }
+  }
+  return base;
+}
+
+namespace {
+
+/// Process-wide recorder id source, plus the per-thread (recorder id ->
+/// buffer) cache. The id keys the cache instead of the recorder address:
+/// a later World allocated at a freed recorder's address must not inherit a
+/// stale buffer pointer.
+std::atomic<std::uint64_t> g_recorder_ids{0};
+
+struct TlCache {
+  std::uint64_t recorder_id = 0;
+  void* buffer = nullptr;
+};
+thread_local TlCache tl_cache;
+
+}  // namespace
+
+TraceRecorder::TraceRecorder(TraceConfig cfg)
+    : cfg_(std::move(cfg)),
+      cap_(std::max<std::size_t>(cfg_.buffer_events, 4)),
+      id_(g_recorder_ids.fetch_add(1, std::memory_order_relaxed) + 1) {}
+
+TraceRecorder::ThreadBuffer& TraceRecorder::local() {
+  if (tl_cache.recorder_id == id_ && tl_cache.buffer != nullptr) {
+    return *static_cast<ThreadBuffer*>(tl_cache.buffer);
+  }
+  std::scoped_lock lk(reg_mu_);
+  const std::thread::id me = std::this_thread::get_id();
+  for (auto& b : buffers_) {
+    if (b->owner == me) {
+      tl_cache = {id_, b.get()};
+      return *b;
+    }
+  }
+  buffers_.push_back(std::make_unique<ThreadBuffer>());
+  ThreadBuffer& b = *buffers_.back();
+  b.owner = me;
+  b.ring.reserve(std::min<std::size_t>(cap_, 1024));
+  tl_cache = {id_, &b};
+  return b;
+}
+
+void TraceRecorder::record(TraceEvent ev) {
+  ev.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  ThreadBuffer& b = local();
+  {
+    std::scoped_lock lk(b.mu);
+    if (b.ring.size() < cap_) {
+      b.ring.push_back(ev);
+    } else {
+      b.ring[static_cast<std::size_t>(b.count % cap_)] = ev;
+    }
+    ++b.count;
+  }
+  if (has_sink_.load(std::memory_order_acquire)) sink_(ev);
+}
+
+void TraceRecorder::set_sink(std::function<void(const TraceEvent&)> sink) {
+  has_sink_.store(false, std::memory_order_release);
+  sink_ = std::move(sink);
+  if (sink_) has_sink_.store(true, std::memory_order_release);
+}
+
+std::uint64_t TraceRecorder::recorded() const {
+  std::scoped_lock lk(reg_mu_);
+  std::uint64_t n = 0;
+  for (const auto& b : buffers_) {
+    std::scoped_lock blk(b->mu);
+    n += b->count;
+  }
+  return n;
+}
+
+std::uint64_t TraceRecorder::dropped() const {
+  std::scoped_lock lk(reg_mu_);
+  std::uint64_t n = 0;
+  for (const auto& b : buffers_) {
+    std::scoped_lock blk(b->mu);
+    if (b->count > b->ring.size()) n += b->count - b->ring.size();
+  }
+  return n;
+}
+
+std::vector<TraceEvent> TraceRecorder::merged() const {
+  std::vector<TraceEvent> out;
+  {
+    std::scoped_lock lk(reg_mu_);
+    for (const auto& b : buffers_) {
+      std::scoped_lock blk(b->mu);
+      out.insert(out.end(), b->ring.begin(), b->ring.end());
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const TraceEvent& a, const TraceEvent& b) {
+    return a.ts != b.ts ? a.ts < b.ts : a.seq < b.seq;
+  });
+  return out;
+}
+
+std::vector<TraceEvent> TraceRecorder::tail(int rank, int vci, std::size_t n) const {
+  std::vector<TraceEvent> all = merged();
+  std::vector<TraceEvent> hits;
+  for (const TraceEvent& ev : all) {
+    if (ev.rank == rank && (ev.vci == vci || ev.vci < 0)) hits.push_back(ev);
+  }
+  if (hits.size() > n) hits.erase(hits.begin(), hits.end() - static_cast<std::ptrdiff_t>(n));
+  return hits;
+}
+
+std::string format_trace_event(const TraceEvent& ev) {
+  std::ostringstream os;
+  os << "[t=" << ev.ts << "] rank " << ev.rank << " vci " << ev.vci << " " << to_string(ev.kind);
+  if (ev.op != TraceOp::kNone) os << " " << (ev.name != nullptr ? ev.name : to_string(ev.op));
+  if (ev.span != 0) os << " span " << ev.span;
+  if (ev.tag >= 0) os << " tag " << ev.tag;
+  if (ev.peer >= 0) os << " peer " << ev.peer;
+  if (ev.dur != 0) os << " dur " << ev.dur;
+  if (ev.value != 0) os << " value " << ev.value;
+  return os.str();
+}
+
+namespace {
+
+void json_escape(std::ostream& os, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      os << '\\' << c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      os << "\\u00" << "0123456789abcdef"[(c >> 4) & 0xF] << "0123456789abcdef"[c & 0xF];
+    } else {
+      os << c;
+    }
+  }
+}
+
+/// Chrome trace timestamps are microseconds; keep nanosecond resolution as a
+/// fixed-point decimal so virtual times stay exact.
+void write_us(std::ostream& os, Time ns) {
+  os << ns / 1000 << "." << static_cast<char>('0' + (ns / 100) % 10)
+     << static_cast<char>('0' + (ns / 10) % 10) << static_cast<char>('0' + ns % 10);
+}
+
+const char* event_name(const TraceEvent& ev) {
+  if (ev.name != nullptr) return ev.name;
+  if (ev.op != TraceOp::kNone) return to_string(ev.op);
+  return to_string(ev.kind);
+}
+
+}  // namespace
+
+void TraceRecorder::write_chrome_trace(std::ostream& os) const {
+  const std::vector<TraceEvent> evs = merged();
+
+  // Track discovery: one Chrome "process" per rank, one "thread" per VCI.
+  // Rank-level events (vci < 0) land on a synthetic tid one past the last
+  // real VCI so they do not pollute a channel's occupancy row.
+  std::map<int, int> max_vci;
+  for (const TraceEvent& ev : evs) {
+    if (ev.rank < 0) continue;
+    auto [it, inserted] = max_vci.emplace(ev.rank, ev.vci < 0 ? 0 : ev.vci);
+    if (!inserted && ev.vci > it->second) it->second = ev.vci;
+  }
+
+  os << "{\"displayTimeUnit\":\"ns\",\"otherData\":{\"recorded\":" << recorded()
+     << ",\"dropped\":" << dropped() << "},\"traceEvents\":[";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) os << ",";
+    first = false;
+    os << "\n";
+  };
+
+  for (const auto& [rank, mv] : max_vci) {
+    sep();
+    os << "{\"ph\":\"M\",\"pid\":" << rank << ",\"tid\":0,\"ts\":0,"
+       << "\"name\":\"process_name\",\"args\":{\"name\":\"rank " << rank << "\"}}";
+    for (int v = 0; v <= mv + 1; ++v) {
+      sep();
+      os << "{\"ph\":\"M\",\"pid\":" << rank << ",\"tid\":" << v << ",\"ts\":0,"
+         << "\"name\":\"thread_name\",\"args\":{\"name\":\""
+         << (v <= mv ? "vci " + std::to_string(v) : std::string("rank events")) << "\"}}";
+      sep();
+      os << "{\"ph\":\"M\",\"pid\":" << rank << ",\"tid\":" << v << ",\"ts\":0,"
+         << "\"name\":\"thread_sort_index\",\"args\":{\"sort_index\":" << v << "}}";
+    }
+  }
+
+  for (const TraceEvent& ev : evs) {
+    const int pid = ev.rank < 0 ? 0 : ev.rank;
+    const int tid = ev.vci >= 0 ? ev.vci : (max_vci.count(pid) != 0 ? max_vci[pid] + 1 : 0);
+    sep();
+    switch (ev.kind) {
+      case TraceEv::kInject:
+      case TraceEv::kRxOccupy:
+      case TraceEv::kDeposit:
+        os << "{\"ph\":\"X\",\"pid\":" << pid << ",\"tid\":" << tid << ",\"ts\":";
+        write_us(os, ev.ts);
+        os << ",\"dur\":";
+        write_us(os, ev.dur);
+        os << ",\"cat\":\"transport\",\"name\":\"" << to_string(ev.kind) << " ";
+        json_escape(os, event_name(ev));
+        os << "\",\"args\":{\"span\":" << ev.span << ",\"bytes\":" << ev.value
+           << ",\"tag\":" << ev.tag << ",\"peer\":" << ev.peer << "}}";
+        break;
+      case TraceEv::kPost:
+        os << "{\"ph\":\"b\",\"cat\":\"op\",\"id\":" << ev.span << ",\"pid\":" << pid
+           << ",\"tid\":" << tid << ",\"ts\":";
+        write_us(os, ev.ts);
+        os << ",\"name\":\"";
+        json_escape(os, event_name(ev));
+        os << "\",\"args\":{\"bytes\":" << ev.value << ",\"tag\":" << ev.tag
+           << ",\"peer\":" << ev.peer << "}}";
+        break;
+      case TraceEv::kComplete:
+      case TraceEv::kError:
+        os << "{\"ph\":\"e\",\"cat\":\"op\",\"id\":" << ev.span << ",\"pid\":" << pid
+           << ",\"tid\":" << tid << ",\"ts\":";
+        write_us(os, ev.ts);
+        os << ",\"name\":\"";
+        json_escape(os, event_name(ev));
+        os << "\",\"args\":{\"ok\":" << (ev.kind == TraceEv::kComplete ? "true" : "false")
+           << ",\"errc\":" << ev.value << "}}";
+        break;
+      case TraceEv::kUnexpectedDepth:
+      case TraceEv::kCtxBacklog:
+        os << "{\"ph\":\"C\",\"pid\":" << pid << ",\"tid\":" << tid << ",\"ts\":";
+        write_us(os, ev.ts);
+        os << ",\"name\":\"" << to_string(ev.kind) << "\",\"args\":{\"value\":" << ev.value
+           << "}}";
+        break;
+      default:
+        os << "{\"ph\":\"i\",\"s\":\"t\",\"pid\":" << pid << ",\"tid\":" << tid << ",\"ts\":";
+        write_us(os, ev.ts);
+        os << ",\"name\":\"" << to_string(ev.kind)
+           << "\",\"args\":{\"span\":" << ev.span << ",\"value\":" << ev.value
+           << ",\"tag\":" << ev.tag << ",\"peer\":" << ev.peer << "}}";
+        break;
+    }
+  }
+  os << "\n]}\n";
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON parser + Chrome-trace schema checks (the checked-in validator
+// used by tests and tools/trace_validate; no external dependencies).
+
+namespace {
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject } kind = Kind::kNull;
+  bool b = false;
+  double num = 0;
+  std::string str;
+  std::vector<JsonValue> arr;
+  std::vector<std::pair<std::string, JsonValue>> obj;
+
+  [[nodiscard]] const JsonValue* find(const std::string& key) const {
+    for (const auto& [k, v] : obj) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+struct JsonParser {
+  const char* p;
+  const char* end;
+  std::string err;
+
+  void skip_ws() {
+    while (p < end && (*p == ' ' || *p == '\t' || *p == '\n' || *p == '\r')) ++p;
+  }
+
+  bool fail(const std::string& what) {
+    if (err.empty()) err = what;
+    return false;
+  }
+
+  bool parse_value(JsonValue* out, int depth) {
+    if (depth > 64) return fail("nesting too deep");
+    skip_ws();
+    if (p >= end) return fail("unexpected end of input");
+    switch (*p) {
+      case '{': return parse_object(out, depth);
+      case '[': return parse_array(out, depth);
+      case '"':
+        out->kind = JsonValue::Kind::kString;
+        return parse_string(&out->str);
+      case 't':
+        if (end - p >= 4 && std::string_view(p, 4) == "true") {
+          out->kind = JsonValue::Kind::kBool;
+          out->b = true;
+          p += 4;
+          return true;
+        }
+        return fail("bad literal");
+      case 'f':
+        if (end - p >= 5 && std::string_view(p, 5) == "false") {
+          out->kind = JsonValue::Kind::kBool;
+          out->b = false;
+          p += 5;
+          return true;
+        }
+        return fail("bad literal");
+      case 'n':
+        if (end - p >= 4 && std::string_view(p, 4) == "null") {
+          out->kind = JsonValue::Kind::kNull;
+          p += 4;
+          return true;
+        }
+        return fail("bad literal");
+      default: return parse_number(out);
+    }
+  }
+
+  bool parse_string(std::string* out) {
+    ++p;  // opening quote
+    while (p < end && *p != '"') {
+      if (*p == '\\') {
+        ++p;
+        if (p >= end) return fail("bad escape");
+        switch (*p) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'b': out->push_back('\b'); break;
+          case 'f': out->push_back('\f'); break;
+          case 'n': out->push_back('\n'); break;
+          case 'r': out->push_back('\r'); break;
+          case 't': out->push_back('\t'); break;
+          case 'u': {
+            if (end - p < 5) return fail("bad \\u escape");
+            for (int i = 1; i <= 4; ++i) {
+              if (std::isxdigit(static_cast<unsigned char>(p[i])) == 0) {
+                return fail("bad \\u escape");
+              }
+            }
+            out->push_back('?');  // placeholder; validation only
+            p += 4;
+            break;
+          }
+          default: return fail("bad escape");
+        }
+        ++p;
+      } else if (static_cast<unsigned char>(*p) < 0x20) {
+        return fail("raw control character in string");
+      } else {
+        out->push_back(*p++);
+      }
+    }
+    if (p >= end) return fail("unterminated string");
+    ++p;  // closing quote
+    return true;
+  }
+
+  bool parse_number(JsonValue* out) {
+    const char* start = p;
+    if (p < end && *p == '-') ++p;
+    while (p < end && (std::isdigit(static_cast<unsigned char>(*p)) != 0 || *p == '.' ||
+                       *p == 'e' || *p == 'E' || *p == '+' || *p == '-')) {
+      ++p;
+    }
+    if (p == start) return fail("expected a value");
+    char* parsed_end = nullptr;
+    out->num = std::strtod(std::string(start, p).c_str(), &parsed_end);
+    out->kind = JsonValue::Kind::kNumber;
+    return true;
+  }
+
+  bool parse_array(JsonValue* out, int depth) {
+    out->kind = JsonValue::Kind::kArray;
+    ++p;  // '['
+    skip_ws();
+    if (p < end && *p == ']') {
+      ++p;
+      return true;
+    }
+    for (;;) {
+      JsonValue v;
+      if (!parse_value(&v, depth + 1)) return false;
+      out->arr.push_back(std::move(v));
+      skip_ws();
+      if (p < end && *p == ',') {
+        ++p;
+        continue;
+      }
+      if (p < end && *p == ']') {
+        ++p;
+        return true;
+      }
+      return fail("expected ',' or ']' in array");
+    }
+  }
+
+  bool parse_object(JsonValue* out, int depth) {
+    out->kind = JsonValue::Kind::kObject;
+    ++p;  // '{'
+    skip_ws();
+    if (p < end && *p == '}') {
+      ++p;
+      return true;
+    }
+    for (;;) {
+      skip_ws();
+      if (p >= end || *p != '"') return fail("expected object key");
+      std::string key;
+      if (!parse_string(&key)) return false;
+      skip_ws();
+      if (p >= end || *p != ':') return fail("expected ':' after key");
+      ++p;
+      JsonValue v;
+      if (!parse_value(&v, depth + 1)) return false;
+      out->obj.emplace_back(std::move(key), std::move(v));
+      skip_ws();
+      if (p < end && *p == ',') {
+        ++p;
+        continue;
+      }
+      if (p < end && *p == '}') {
+        ++p;
+        return true;
+      }
+      return fail("expected ',' or '}' in object");
+    }
+  }
+};
+
+bool parse_json(const std::string& text, JsonValue* out, std::string* error) {
+  JsonParser ps{text.data(), text.data() + text.size(), {}};
+  if (!ps.parse_value(out, 0)) {
+    if (error != nullptr) {
+      *error = ps.err + " (at offset " + std::to_string(ps.p - text.data()) + ")";
+    }
+    return false;
+  }
+  ps.skip_ws();
+  if (ps.p != ps.end) {
+    if (error != nullptr) *error = "trailing content after JSON value";
+    return false;
+  }
+  return true;
+}
+
+bool schema_fail(std::string* error, std::size_t index, const std::string& what) {
+  if (error != nullptr) *error = "traceEvents[" + std::to_string(index) + "]: " + what;
+  return false;
+}
+
+}  // namespace
+
+bool validate_json_text(const std::string& text, std::string* error) {
+  JsonValue root;
+  return parse_json(text, &root, error);
+}
+
+bool validate_chrome_trace_json(const std::string& text, std::string* error) {
+  JsonValue root;
+  if (!parse_json(text, &root, error)) return false;
+  if (root.kind != JsonValue::Kind::kObject) {
+    if (error != nullptr) *error = "root is not an object";
+    return false;
+  }
+  const JsonValue* events = root.find("traceEvents");
+  if (events == nullptr || events->kind != JsonValue::Kind::kArray) {
+    if (error != nullptr) *error = "missing traceEvents array";
+    return false;
+  }
+
+  // Per-(pid, tid) virtual timestamps must be monotonically non-decreasing
+  // in stream order — the exporter writes the merged, time-sorted stream.
+  std::map<std::pair<double, double>, double> last_ts;
+  for (std::size_t i = 0; i < events->arr.size(); ++i) {
+    const JsonValue& ev = events->arr[i];
+    if (ev.kind != JsonValue::Kind::kObject) return schema_fail(error, i, "not an object");
+    const JsonValue* ph = ev.find("ph");
+    if (ph == nullptr || ph->kind != JsonValue::Kind::kString || ph->str.size() != 1) {
+      return schema_fail(error, i, "missing ph");
+    }
+    const JsonValue* pid = ev.find("pid");
+    const JsonValue* tid = ev.find("tid");
+    const JsonValue* ts = ev.find("ts");
+    const JsonValue* name = ev.find("name");
+    if (pid == nullptr || pid->kind != JsonValue::Kind::kNumber) {
+      return schema_fail(error, i, "missing pid");
+    }
+    if (tid == nullptr || tid->kind != JsonValue::Kind::kNumber) {
+      return schema_fail(error, i, "missing tid");
+    }
+    if (ts == nullptr || ts->kind != JsonValue::Kind::kNumber || ts->num < 0) {
+      return schema_fail(error, i, "missing or negative ts");
+    }
+    if (name == nullptr || name->kind != JsonValue::Kind::kString || name->str.empty()) {
+      return schema_fail(error, i, "missing name");
+    }
+    const char phc = ph->str[0];
+    if (phc == 'M') continue;  // metadata: no timeline position
+    if (phc == 'X') {
+      const JsonValue* dur = ev.find("dur");
+      if (dur == nullptr || dur->kind != JsonValue::Kind::kNumber || dur->num < 0) {
+        return schema_fail(error, i, "X event missing or negative dur");
+      }
+    }
+    if ((phc == 'b' || phc == 'e') && ev.find("id") == nullptr) {
+      return schema_fail(error, i, "async event missing id");
+    }
+    auto [it, inserted] = last_ts.emplace(std::make_pair(pid->num, tid->num), ts->num);
+    if (!inserted) {
+      if (ts->num < it->second) {
+        return schema_fail(error, i, "timestamp not monotonic on its (pid, tid) track");
+      }
+      it->second = ts->num;
+    }
+  }
+  return true;
+}
+
+}  // namespace tmpi::net

@@ -1,0 +1,202 @@
+#ifndef TMPI_NET_TRACE_H
+#define TMPI_NET_TRACE_H
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/virtual_clock.h"
+
+/// \file trace.h
+/// Virtual-time tracing at the transport choke point (DESIGN.md §9).
+///
+/// Every operation through the runtime — p2p, RMA, partitioned, collectives —
+/// becomes a *span* (an id allocated at post time) whose phase edges the
+/// transport records as it charges virtual time: post, credit/rendezvous
+/// decision, lock acquisition, context injection, receive occupancy, matching
+/// deposit, completion or error. Fault, failover, watchdog and credit-stall
+/// occurrences are instant events; unexpected-queue depth and per-injection
+/// context backlog are sampled gauges.
+///
+/// Recording discipline: the recorder NEVER touches a virtual clock and never
+/// blocks on anything but its own per-thread buffer mutex, so an enabled
+/// trace observes exactly the virtual times the untraced run would produce —
+/// the golden parity suite pins this bit-exactly. Disabled tracing is a null
+/// `World::tracer()` pointer: the transport pays one pointer test.
+///
+/// Storage is one fixed-capacity ring buffer per recording thread
+/// (`tmpi_trace_buffer_events` events each). When a ring wraps, the oldest
+/// events are overwritten and counted as dropped — bounded memory, never a
+/// stall. `merged()` yields the global stream sorted by virtual time.
+///
+/// Exporters: Chrome `trace_event` JSON (`write_chrome_trace`; one "process"
+/// per rank, one "thread" per VCI, so chrome://tracing / Perfetto render the
+/// per-VCI occupancy timeline the paper draws by hand) and the metrics
+/// JSON/CSV dumps in tmpi/profiler.h.
+///
+/// Knobs (Info keys on WorldConfig::trace_info; the same names uppercased as
+/// environment variables overlay them, env wins — the fault/overload
+/// pattern):
+///   tmpi_trace               bool  enable recording (default off)
+///   tmpi_trace_path          str   Chrome-trace output path, written when the
+///                                  World is destroyed; the metrics dumps go
+///                                  to <path minus .json>.metrics.{json,csv}.
+///                                  Empty = record but never write files.
+///   tmpi_trace_buffer_events u64   per-thread ring capacity (default 16384)
+
+namespace tmpi::net {
+
+/// Event taxonomy (DESIGN.md §9). Phase edges carry the span id of the
+/// operation they belong to; instants and gauges may carry span 0.
+enum class TraceEv : std::uint8_t {
+  // Span phase edges.
+  kPost,            ///< operation posted (span begins)
+  kCreditDecision,  ///< eager-credit verdict (value: 1 granted, 0 degraded)
+  kLockAcquired,    ///< VCI contention lock held, after the lock charge
+  kInject,          ///< tx context occupancy (duration event)
+  kRxOccupy,        ///< rx context occupancy at the target (duration event)
+  kDeposit,         ///< matching-engine deposit (duration event)
+  kPostRecv,        ///< receive posted into the matching engine
+  kProbe,           ///< unexpected-queue probe
+  kComplete,        ///< operation completed (span ends)
+  kError,           ///< operation failed (span ends; value = errc int)
+  // Instants (fault/overload occurrences, DESIGN.md §7/§8).
+  kDrop,            ///< injected clean loss
+  kCorrupt,         ///< checksum-detected corruption
+  kDelay,           ///< injected extra latency (value = delay ns)
+  kRetransmit,      ///< retransmission after a loss
+  kTimeout,         ///< retransmission budget exhausted
+  kFailover,        ///< stream failed over (value = fallback VCI)
+  kCreditStall,     ///< eager send denied a credit
+  kOverflow,        ///< deposit rejected at the unexpected-queue cap
+  kWatchdogTrip,    ///< watchdog failed a blocked op
+  // Sampled gauges (value = sample).
+  kUnexpectedDepth,  ///< unexpected-queue depth after a deposit
+  kCtxBacklog,       ///< ns the tx context was already busy at injection
+};
+[[nodiscard]] const char* to_string(TraceEv ev);
+
+/// Operation family a span belongs to; the percentile aggregation key.
+enum class TraceOp : std::uint8_t { kNone, kSend, kRecv, kRma, kPartition, kColl, kProbe };
+[[nodiscard]] const char* to_string(TraceOp op);
+
+/// One recorded event. Plain data; ~72 bytes.
+struct TraceEvent {
+  Time ts = 0;                ///< virtual timestamp (ns)
+  Time dur = 0;               ///< duration for kInject/kRxOccupy/kDeposit
+  std::uint64_t span = 0;     ///< owning operation span (0 = none)
+  std::uint64_t value = 0;    ///< bytes / gauge sample / errc, per kind
+  std::uint64_t seq = 0;      ///< global record order (sort tiebreak)
+  const char* name = nullptr;  ///< op label (string literal); null = family
+  std::int32_t rank = -1;     ///< world rank owning the track
+  std::int32_t vci = -1;      ///< VCI within the rank (-1 = rank-level)
+  std::int32_t peer = -1;     ///< remote world rank (-1 = none)
+  std::int32_t tag = -1;      ///< message tag (-1 = none)
+  TraceEv kind = TraceEv::kPost;
+  TraceOp op = TraceOp::kNone;
+};
+
+/// Resolved tracing knobs. Mirrors OverloadConfig/FaultPlan: Info keys first,
+/// TMPI_TRACE* environment overlay on top (env wins).
+struct TraceConfig {
+  bool enabled = false;
+  std::string path = "tmpi_trace.json";
+  std::size_t buffer_events = 16384;
+
+  /// Apply one Info entry; returns false for keys this layer does not own.
+  bool set(const std::string& key, const std::string& value);
+  /// Overlay TMPI_TRACE / TMPI_TRACE_PATH / TMPI_TRACE_BUFFER_EVENTS.
+  static TraceConfig from_env(TraceConfig base);
+};
+
+/// Thread-local ring-buffer event recorder. One per World when tracing is
+/// enabled; shared by every thread that touches the transport.
+///
+/// record() is safe from any thread; each thread writes its own ring under a
+/// per-ring mutex that only the exporters and the watchdog's tail reader ever
+/// contend on. Span ids come from an atomic counter; `seq` gives a total
+/// order for same-timestamp events.
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(TraceConfig cfg);
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  [[nodiscard]] const TraceConfig& config() const { return cfg_; }
+
+  /// Allocate a fresh span id (>= 1).
+  [[nodiscard]] std::uint64_t begin_span() {
+    return next_span_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
+  /// Append one event to the calling thread's ring (assigns `seq`).
+  void record(TraceEvent ev);
+
+  /// Subscribe a callback invoked synchronously for every record() (the
+  /// PMPI-style hook bridge, tmpi/profiler.h). Pass nullptr to detach.
+  /// Attach/detach only while no thread is inside the runtime; the callback
+  /// itself must be thread-safe — record() runs on every rank thread.
+  void set_sink(std::function<void(const TraceEvent&)> sink);
+
+  /// Events recorded / overwritten-by-wrap, summed over all rings.
+  [[nodiscard]] std::uint64_t recorded() const;
+  [[nodiscard]] std::uint64_t dropped() const;
+
+  /// All retained events, sorted by (ts, seq).
+  [[nodiscard]] std::vector<TraceEvent> merged() const;
+
+  /// The last `n` retained events on channel (rank, vci), oldest first.
+  /// Events with vci < 0 match any vci of the rank. Safe concurrently with
+  /// recording (the watchdog calls this from its monitor thread).
+  [[nodiscard]] std::vector<TraceEvent> tail(int rank, int vci, std::size_t n) const;
+
+  /// Serialize the merged stream as Chrome `trace_event` JSON: one "process"
+  /// per rank, one "thread" per VCI, async spans per operation, counter
+  /// tracks for the gauges.
+  void write_chrome_trace(std::ostream& os) const;
+
+ private:
+  struct ThreadBuffer {
+    mutable std::mutex mu;
+    std::thread::id owner;
+    std::vector<TraceEvent> ring;  ///< grows to capacity, then wraps
+    std::uint64_t count = 0;       ///< total events ever written
+  };
+
+  ThreadBuffer& local();
+
+  TraceConfig cfg_;
+  std::size_t cap_;
+  std::uint64_t id_;  ///< process-unique recorder id (thread-cache key)
+  std::atomic<std::uint64_t> next_span_{0};
+  std::atomic<std::uint64_t> next_seq_{0};
+  mutable std::mutex reg_mu_;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+  std::function<void(const TraceEvent&)> sink_;
+  std::atomic<bool> has_sink_{false};
+};
+
+/// One-line human rendering ("[t=140] rank 0 vci 1 inject Send tag 7 ...");
+/// used by the watchdog report's trace history.
+[[nodiscard]] std::string format_trace_event(const TraceEvent& ev);
+
+/// Validate that `text` is a well-formed Chrome trace: JSON parses, the root
+/// object carries a `traceEvents` array, every event has the required fields
+/// for its phase, and per-(pid, tid) track timestamps are monotonically
+/// non-decreasing. On failure returns false and stores a diagnostic in
+/// `*error` (may be null). Shared by tests and tools/trace_validate.
+[[nodiscard]] bool validate_chrome_trace_json(const std::string& text, std::string* error);
+
+/// Syntax-only JSON check (used for the metrics dump round trip).
+[[nodiscard]] bool validate_json_text(const std::string& text, std::string* error);
+
+}  // namespace tmpi::net
+
+#endif  // TMPI_NET_TRACE_H

@@ -150,24 +150,58 @@ bool use_hier(const Comm& comm) {
 /// failure thrown by an internal fragment — fragment requests always throw,
 /// they are stamped fatal regardless of the comm's handler — is translated
 /// to the collective's return code.
+/// Tracing (DESIGN.md §9): one span per collective call, wrapping all the
+/// p2p fragments the algorithm issues. `name` must be a string literal (the
+/// recorder stores the pointer, not a copy).
+struct CollTraceScope {
+  net::TraceRecorder* tr = nullptr;
+  net::TraceEvent ev;
+
+  CollTraceScope(const Comm& comm, const char* name) {
+    tr = comm.world().tracer();
+    if (tr == nullptr) return;
+    ev.ts = net::ThreadClock::get().now();
+    ev.kind = net::TraceEv::kPost;
+    ev.op = net::TraceOp::kColl;
+    ev.span = tr->begin_span();
+    ev.name = name;
+    ev.rank = comm.world_rank_of(comm.rank());
+    ev.vci = 0;
+    tr->record(ev);
+  }
+
+  void close(Errc code) {
+    if (tr == nullptr) return;
+    ev.ts = net::ThreadClock::get().now();
+    ev.kind = code == Errc::kSuccess ? net::TraceEv::kComplete : net::TraceEv::kError;
+    ev.value = code == Errc::kSuccess ? 0 : static_cast<std::uint64_t>(errc_to_int(code));
+    tr->record(ev);
+    tr = nullptr;
+  }
+};
+
 template <typename Fn>
-Errc coll_entry(const Comm& comm, Fn&& fn) {
+Errc coll_entry(const Comm& comm, const char* name, Fn&& fn) {
+  CollTraceScope scope(comm, name);
   if (comm.impl()->errhandler != ErrorHandler::kErrorsReturn) {
     fn();
+    scope.close(Errc::kSuccess);
     return Errc::kSuccess;
   }
   try {
     fn();
   } catch (const Error& e) {
+    scope.close(e.code());
     return e.code();
   }
+  scope.close(Errc::kSuccess);
   return Errc::kSuccess;
 }
 
 }  // namespace
 
 Errc barrier(const Comm& comm) {
-  return coll_entry(comm, [&] {
+  return coll_entry(comm, "barrier", [&] {
     CollGuard g(comm);
     const int n = comm.size();
     const int me = comm.rank();
@@ -184,7 +218,7 @@ Errc barrier(const Comm& comm) {
 
 Errc bcast(void* buf, int count, Datatype dt, int root, const Comm& comm) {
   TMPI_REQUIRE(root >= 0 && root < comm.size(), Errc::kInvalidArg, "bcast root out of range");
-  return coll_entry(comm, [&] {
+  return coll_entry(comm, "bcast", [&] {
     CollGuard g(comm);
     subgroup_bcast(buf, dt.extent(count), all_ranks(comm), comm.rank(), root, g.tag(0), comm);
   });
@@ -193,7 +227,7 @@ Errc bcast(void* buf, int count, Datatype dt, int root, const Comm& comm) {
 Errc reduce(const void* sbuf, void* rbuf, int count, Datatype dt, Op op, int root,
             const Comm& comm) {
   TMPI_REQUIRE(root >= 0 && root < comm.size(), Errc::kInvalidArg, "reduce root out of range");
-  return coll_entry(comm, [&] {
+  return coll_entry(comm, "reduce", [&] {
     CollGuard g(comm);
     const std::size_t bytes = dt.extent(count);
     std::vector<std::byte> acc(bytes);
@@ -205,7 +239,7 @@ Errc reduce(const void* sbuf, void* rbuf, int count, Datatype dt, Op op, int roo
 }
 
 Errc allreduce(const void* sbuf, void* rbuf, int count, Datatype dt, Op op, const Comm& comm) {
-  return coll_entry(comm, [&] {
+  return coll_entry(comm, "allreduce", [&] {
     CollGuard g(comm);
     const std::size_t bytes = dt.extent(count);
     if (bytes > 0 && rbuf != sbuf) std::memcpy(rbuf, sbuf, bytes);
@@ -238,7 +272,7 @@ Errc allreduce(const void* sbuf, void* rbuf, int count, Datatype dt, Op op, cons
 
 Errc gather(const void* sbuf, int scount, Datatype dt, void* rbuf, int root, const Comm& comm) {
   TMPI_REQUIRE(root >= 0 && root < comm.size(), Errc::kInvalidArg, "gather root out of range");
-  return coll_entry(comm, [&] {
+  return coll_entry(comm, "gather", [&] {
     CollGuard g(comm);
     const std::size_t block = dt.extent(scount);
     const int n = comm.size();
@@ -263,7 +297,7 @@ Errc gather(const void* sbuf, int scount, Datatype dt, void* rbuf, int root, con
 
 Errc scatter(const void* sbuf, void* rbuf, int rcount, Datatype dt, int root, const Comm& comm) {
   TMPI_REQUIRE(root >= 0 && root < comm.size(), Errc::kInvalidArg, "scatter root out of range");
-  return coll_entry(comm, [&] {
+  return coll_entry(comm, "scatter", [&] {
     CollGuard g(comm);
     const std::size_t block = dt.extent(rcount);
     const int n = comm.size();
@@ -287,7 +321,7 @@ Errc scatter(const void* sbuf, void* rbuf, int rcount, Datatype dt, int root, co
 }
 
 Errc allgather(const void* sbuf, int scount, Datatype dt, void* rbuf, const Comm& comm) {
-  return coll_entry(comm, [&] {
+  return coll_entry(comm, "allgather", [&] {
     CollGuard g(comm);
     const std::size_t block = dt.extent(scount);
     const int n = comm.size();
@@ -308,7 +342,7 @@ Errc allgather(const void* sbuf, int scount, Datatype dt, void* rbuf, const Comm
 }
 
 Errc alltoall(const void* sbuf, int scount, Datatype dt, void* rbuf, const Comm& comm) {
-  return coll_entry(comm, [&] {
+  return coll_entry(comm, "alltoall", [&] {
     CollGuard g(comm);
     const std::size_t block = dt.extent(scount);
     const int n = comm.size();
@@ -330,7 +364,7 @@ Errc alltoall(const void* sbuf, int scount, Datatype dt, void* rbuf, const Comm&
 }
 
 Errc scan(const void* sbuf, void* rbuf, int count, Datatype dt, Op op, const Comm& comm) {
-  return coll_entry(comm, [&] {
+  return coll_entry(comm, "scan", [&] {
     CollGuard g(comm);
     const std::size_t bytes = dt.extent(count);
     const int me = comm.rank();
@@ -352,7 +386,7 @@ Errc scan(const void* sbuf, void* rbuf, int count, Datatype dt, Op op, const Com
 }
 
 Errc exscan(const void* sbuf, void* rbuf, int count, Datatype dt, Op op, const Comm& comm) {
-  return coll_entry(comm, [&] {
+  return coll_entry(comm, "exscan", [&] {
     CollGuard g(comm);
     const std::size_t bytes = dt.extent(count);
     const int me = comm.rank();
@@ -380,7 +414,7 @@ Errc exscan(const void* sbuf, void* rbuf, int count, Datatype dt, Op op, const C
 Errc gatherv(const void* sbuf, int scount, Datatype dt, void* rbuf, const int* counts,
              const int* displs, int root, const Comm& comm) {
   TMPI_REQUIRE(root >= 0 && root < comm.size(), Errc::kInvalidArg, "gatherv root out of range");
-  return coll_entry(comm, [&] {
+  return coll_entry(comm, "gatherv", [&] {
     CollGuard g(comm);
     const int n = comm.size();
     if (comm.rank() == root) {
@@ -409,7 +443,7 @@ Errc scatterv(const void* sbuf, const int* counts, const int* displs, void* rbuf
               Datatype dt, int root, const Comm& comm) {
   TMPI_REQUIRE(root >= 0 && root < comm.size(), Errc::kInvalidArg,
                "scatterv root out of range");
-  return coll_entry(comm, [&] {
+  return coll_entry(comm, "scatterv", [&] {
     CollGuard g(comm);
     const int n = comm.size();
     if (comm.rank() == root) {
@@ -436,7 +470,7 @@ Errc scatterv(const void* sbuf, const int* counts, const int* displs, void* rbuf
 
 Errc allgatherv(const void* sbuf, int scount, Datatype dt, void* rbuf, const int* counts,
                 const int* displs, const Comm& comm) {
-  return coll_entry(comm, [&] {
+  return coll_entry(comm, "allgatherv", [&] {
     CollGuard g(comm);
     const int n = comm.size();
     const int me = comm.rank();
@@ -462,7 +496,7 @@ Errc allgatherv(const void* sbuf, int scount, Datatype dt, void* rbuf, const int
 
 Errc alltoallv(const void* sbuf, const int* scounts, const int* sdispls, void* rbuf,
                const int* rcounts, const int* rdispls, Datatype dt, const Comm& comm) {
-  return coll_entry(comm, [&] {
+  return coll_entry(comm, "alltoallv", [&] {
     CollGuard g(comm);
     const int n = comm.size();
     const int me = comm.rank();

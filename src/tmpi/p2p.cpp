@@ -42,6 +42,28 @@ Request isend_impl(const void* buf, std::size_t bytes, int ctx_id, int dst, Tag 
   const int src_wr = c.world_rank_of(comm.rank());
   const int dst_wr = c.world_rank_of(dst);
 
+  // Tracing (DESIGN.md §9): open the op span before any phase decision so
+  // the credit/rendezvous edge and every transport event nest under it.
+  // Persistent sends get a fresh span per restart.
+  net::TraceRecorder* tr = w.tracer();
+  if (tr != nullptr) {
+    req->tracer = tr;
+    req->trace_span = tr->begin_span();
+    req->trace_op = net::TraceOp::kSend;
+    net::TraceEvent ev;
+    ev.ts = net::ThreadClock::get().now();
+    ev.kind = net::TraceEv::kPost;
+    ev.op = net::TraceOp::kSend;
+    ev.span = req->trace_span;
+    ev.name = "Send";
+    ev.rank = src_wr;
+    ev.vci = route.local;
+    ev.peer = dst_wr;
+    ev.tag = tag;
+    ev.value = bytes;
+    tr->record(ev);
+  }
+
   bool rndv = bytes > cm.eager_threshold_bytes;
   std::atomic<int>* credit = nullptr;
   if (!rndv) {
@@ -56,6 +78,19 @@ Request isend_impl(const void* buf, std::size_t bytes, int ctx_id, int dst, Tag 
       rndv = true;
       net::ThreadClock::get().advance(cm.credit_stall_ns);
     }
+  }
+  if (tr != nullptr) {
+    net::TraceEvent ev;
+    ev.ts = net::ThreadClock::get().now();
+    ev.kind = net::TraceEv::kCreditDecision;
+    ev.op = net::TraceOp::kSend;
+    ev.span = req->trace_span;
+    ev.rank = src_wr;
+    ev.vci = route.local;
+    ev.peer = dst_wr;
+    ev.tag = tag;
+    ev.value = rndv ? 0 : 1;  // 1 = eager granted, 0 = rendezvous
+    tr->record(ev);
   }
 
   // Error/watchdog metadata (DESIGN.md §8). Collective fragments keep the
@@ -79,6 +114,8 @@ Request isend_impl(const void* buf, std::size_t bytes, int ctx_id, int dst, Tag 
   op.dst_world_rank = dst_wr;
   op.local_vci = route.local;
   op.remote_vci = route.remote;
+  op.span = req->trace_span;
+  op.tag = tag;
 
   const detail::InjectResult ir = w.transport().inject(op);
   if (ir.timed_out) {
@@ -152,6 +189,24 @@ Request irecv_impl(void* buf, std::size_t capacity, int ctx_id, int src, Tag tag
   req->wd_peer = src == kAnySource ? -1 : c.world_rank_of(src);
   req->wd_tag = tag;
   req->wd_op = "Recv";
+
+  if (net::TraceRecorder* tr = w.tracer()) {
+    req->tracer = tr;
+    req->trace_span = tr->begin_span();
+    req->trace_op = net::TraceOp::kRecv;
+    net::TraceEvent ev;
+    ev.ts = net::ThreadClock::get().now();
+    ev.kind = net::TraceEv::kPost;
+    ev.op = net::TraceOp::kRecv;
+    ev.span = req->trace_span;
+    ev.name = "Recv";
+    ev.rank = req->wd_rank;
+    ev.vci = lvci;
+    ev.peer = req->wd_peer;
+    ev.tag = tag;
+    ev.value = capacity;
+    tr->record(ev);
+  }
 
   PostedRecv pr;
   pr.ctx_id = ctx_id;

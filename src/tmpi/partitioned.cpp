@@ -143,6 +143,30 @@ std::shared_ptr<T> part_cast(Request& req, ReqKind kind, const char* what) {
   return s;
 }
 
+/// Open a fresh trace span for a partitioned request (§9). Used at init and
+/// on every restart; a restart gets its own span so per-iteration latency is
+/// visible. No-op when tracing is off or the caller has no bound clock (the
+/// restart path can run from World teardown helpers).
+void trace_part_post(World& w, PartStateBase& s) {
+  net::TraceRecorder* tr = w.tracer();
+  if (tr == nullptr || !net::ThreadClock::bound()) return;
+  s.tracer = tr;
+  s.trace_span = tr->begin_span();
+  s.trace_op = net::TraceOp::kPartition;
+  net::TraceEvent ev;
+  ev.ts = net::ThreadClock::get().now();
+  ev.kind = net::TraceEv::kPost;
+  ev.op = net::TraceOp::kPartition;
+  ev.span = s.trace_span;
+  ev.name = s.wd_op;
+  ev.rank = s.wd_rank;
+  ev.vci = s.wd_vci;
+  ev.peer = s.wd_peer;
+  ev.tag = s.tag;
+  ev.value = s.part_bytes * static_cast<std::size_t>(s.partitions);
+  tr->record(ev);
+}
+
 }  // namespace
 }  // namespace detail
 
@@ -174,6 +198,7 @@ Request psend_init(const void* buf, int partitions, int count, Datatype dt, int 
   s->wd_peer = comm.world_rank_of(dst);
   s->wd_tag = tag;
   s->wd_op = "PartSend";
+  detail::trace_part_post(w, *s);
 
   const detail::PartKey key{comm.rank(), dst, tag};
   s->chan = detail::channel_for(*comm.impl(), key);
@@ -217,6 +242,7 @@ Request precv_init(void* buf, int partitions, int count, Datatype dt, int src, T
   s->wd_peer = comm.world_rank_of(src);
   s->wd_tag = tag;
   s->wd_op = "PartRecv";
+  detail::trace_part_post(w, *s);
 
   const detail::PartKey key{src, comm.rank(), tag};
   s->chan = detail::channel_for(*comm.impl(), key);
@@ -233,12 +259,15 @@ void detail::PartSendState::on_start() {
   std::scoped_lock clk_lk(chan->mu);
   TMPI_REQUIRE(!active || ready_count == partitions, Errc::kPartitionState,
                "start on an incomplete active partitioned send");
-  std::scoped_lock st_lk(mu);
-  active = true;
-  complete = false;
-  ready.assign(static_cast<std::size_t>(partitions), 0);
-  ready_count = 0;
-  max_done = 0;
+  {
+    std::scoped_lock st_lk(mu);
+    active = true;
+    complete = false;
+    ready.assign(static_cast<std::size_t>(partitions), 0);
+    ready_count = 0;
+    max_done = 0;
+  }
+  detail::trace_part_post(*comm->world, *this);
 }
 
 void detail::PartRecvState::on_start() {
@@ -255,6 +284,7 @@ void detail::PartRecvState::on_start() {
   arrive_time.assign(static_cast<std::size_t>(partitions), 0);
   arrived_count = 0;
   max_arrival = 0;
+  detail::trace_part_post(*comm->world, *this);
   // Drain partitions that arrived before this start.
   while (!chan->pending.empty() && arrived_count < partitions) {
     detail::PendingPart p = std::move(chan->pending.front());
@@ -291,6 +321,8 @@ Errc pready(int partition, Request& req) {
   op.src_world_rank = s->comm->world_rank_of(s->my_rank);
   op.dst_world_rank = s->comm->world_rank_of(s->peer);
   op.local_vci = s->vcis[static_cast<std::size_t>(partition) % s->vcis.size()];
+  op.span = s->trace_span;
+  op.tag = s->tag;
 
   const detail::InjectResult ir = w.transport().inject(op);
   if (ir.timed_out) {

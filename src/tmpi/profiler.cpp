@@ -1,0 +1,120 @@
+#include "tmpi/profiler.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <map>
+#include <ostream>
+#include <string>
+
+#include "tmpi/world.h"
+
+namespace tmpi {
+
+bool attach_tool(World& w, ToolHooks* hooks) {
+  net::TraceRecorder* tr = w.tracer();
+  if (tr == nullptr || hooks == nullptr) return false;
+  tr->set_sink([hooks](const net::TraceEvent& ev) {
+    hooks->on_event(ev);
+    switch (ev.kind) {
+      case net::TraceEv::kPost: hooks->on_post(ev); break;
+      case net::TraceEv::kComplete: hooks->on_complete(ev); break;
+      case net::TraceEv::kError: hooks->on_error(ev); break;
+      case net::TraceEv::kUnexpectedDepth:
+      case net::TraceEv::kCtxBacklog: hooks->on_gauge(ev); break;
+      default: hooks->on_instant(ev); break;
+    }
+  });
+  return true;
+}
+
+void detach_tool(World& w) {
+  if (net::TraceRecorder* tr = w.tracer()) tr->set_sink(nullptr);
+}
+
+namespace {
+
+net::Time nearest_rank(const std::vector<net::Time>& sorted, double q) {
+  if (sorted.empty()) return 0;
+  std::size_t idx = static_cast<std::size_t>(q * static_cast<double>(sorted.size()) + 0.999999);
+  if (idx == 0) idx = 1;
+  if (idx > sorted.size()) idx = sorted.size();
+  return sorted[idx - 1];
+}
+
+}  // namespace
+
+std::vector<net::OpLatency> compute_op_latency(const net::TraceRecorder& rec) {
+  const std::vector<net::TraceEvent> evs = rec.merged();
+
+  // Walk the time-ordered stream: each span's most recent post is the start
+  // of its current activation (partitioned/persistent requests re-post).
+  struct Open {
+    net::Time ts = 0;
+    net::TraceOp op = net::TraceOp::kNone;
+  };
+  std::map<std::uint64_t, Open> open;
+  std::map<std::string, std::vector<net::Time>> latencies;
+  std::map<std::string, std::uint64_t> errors;
+
+  for (const net::TraceEvent& ev : evs) {
+    if (ev.span == 0) continue;
+    if (ev.kind == net::TraceEv::kPost) {
+      open[ev.span] = {ev.ts, ev.op};
+    } else if (ev.kind == net::TraceEv::kComplete || ev.kind == net::TraceEv::kError) {
+      const auto it = open.find(ev.span);
+      if (it == open.end()) continue;  // post fell off the ring
+      const net::TraceOp fam = ev.op != net::TraceOp::kNone ? ev.op : it->second.op;
+      const std::string key = net::to_string(fam);
+      if (ev.kind == net::TraceEv::kError) {
+        ++errors[key];
+      } else if (ev.ts >= it->second.ts) {
+        latencies[key].push_back(ev.ts - it->second.ts);
+      }
+    }
+  }
+
+  std::vector<net::OpLatency> out;
+  for (auto& [key, lat] : latencies) {
+    std::sort(lat.begin(), lat.end());
+    net::OpLatency row;
+    row.op = key;
+    row.count = lat.size();
+    row.errors = errors.count(key) != 0 ? errors[key] : 0;
+    row.p50 = nearest_rank(lat, 0.50);
+    row.p90 = nearest_rank(lat, 0.90);
+    row.p99 = nearest_rank(lat, 0.99);
+    out.push_back(std::move(row));
+  }
+  // Families that only ever errored still get a row (count 0).
+  for (const auto& [key, n] : errors) {
+    if (latencies.count(key) != 0) continue;
+    net::OpLatency row;
+    row.op = key;
+    row.errors = n;
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+void write_metrics_json(const net::TraceRecorder& rec, std::ostream& os) {
+  const std::vector<net::OpLatency> rows = compute_op_latency(rec);
+  os << "{\"events_recorded\":" << rec.recorded() << ",\"events_dropped\":" << rec.dropped()
+     << ",\"ops\":[";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const net::OpLatency& r = rows[i];
+    os << (i == 0 ? "" : ",") << "\n{\"op\":\"" << r.op << "\",\"count\":" << r.count
+       << ",\"errors\":" << r.errors << ",\"p50_ns\":" << r.p50 << ",\"p90_ns\":" << r.p90
+       << ",\"p99_ns\":" << r.p99 << "}";
+  }
+  os << "\n]}\n";
+}
+
+void write_metrics_csv(const net::TraceRecorder& rec, std::ostream& os) {
+  os << "op,count,errors,p50_ns,p90_ns,p99_ns\n";
+  for (const net::OpLatency& r : compute_op_latency(rec)) {
+    os << r.op << "," << r.count << "," << r.errors << "," << r.p50 << "," << r.p90 << ","
+       << r.p99 << "\n";
+  }
+}
+
+}  // namespace tmpi

@@ -1,0 +1,57 @@
+#ifndef TMPI_PROFILER_H
+#define TMPI_PROFILER_H
+
+#include <iosfwd>
+#include <vector>
+
+#include "net/stats.h"
+#include "net/trace.h"
+
+/// \file profiler.h
+/// Consumers of the trace stream (DESIGN.md §9): per-op latency percentiles,
+/// machine-readable metrics dumps, and the PMPI-style tool hook interface.
+///
+/// Everything here reads the recorder; nothing feeds back into virtual time,
+/// so attaching a profiler or tool cannot perturb the simulated schedule.
+
+namespace tmpi {
+
+class World;
+
+/// PMPI-style tool callback interface: subclass, override what you need, and
+/// attach to a world whose tracing is enabled. Callbacks run synchronously on
+/// whichever thread records the event — implementations must be thread-safe
+/// and must not call back into the runtime. on_event() fires for every event
+/// in addition to the kind-specific hook.
+class ToolHooks {
+ public:
+  virtual ~ToolHooks() = default;
+
+  virtual void on_event(const net::TraceEvent& /*ev*/) {}
+  virtual void on_post(const net::TraceEvent& /*ev*/) {}
+  virtual void on_complete(const net::TraceEvent& /*ev*/) {}
+  virtual void on_error(const net::TraceEvent& /*ev*/) {}
+  virtual void on_instant(const net::TraceEvent& /*ev*/) {}
+  virtual void on_gauge(const net::TraceEvent& /*ev*/) {}
+};
+
+/// Subscribe `hooks` to every event `w` records. Returns false (and attaches
+/// nothing) when the world's tracing is disabled. Attach/detach only while no
+/// thread is inside the runtime; `hooks` must outlive the subscription.
+bool attach_tool(World& w, ToolHooks* hooks);
+void detach_tool(World& w);
+
+/// Pair kPost/kComplete/kError events by span and aggregate post->finish
+/// latency percentiles per operation family (nearest-rank p50/p90/p99).
+/// Re-posted spans (persistent/partitioned restarts) measure each activation
+/// against its most recent post.
+[[nodiscard]] std::vector<net::OpLatency> compute_op_latency(const net::TraceRecorder& rec);
+
+/// Machine-readable metrics dumps consumed by CI and bench tooling: the
+/// per-op percentile rows plus recorder totals, as JSON / CSV.
+void write_metrics_json(const net::TraceRecorder& rec, std::ostream& os);
+void write_metrics_csv(const net::TraceRecorder& rec, std::ostream& os);
+
+}  // namespace tmpi
+
+#endif  // TMPI_PROFILER_H

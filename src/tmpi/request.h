@@ -5,6 +5,7 @@
 #include <memory>
 #include <mutex>
 
+#include "net/trace.h"
 #include "net/virtual_clock.h"
 #include "tmpi/error.h"
 #include "tmpi/status.h"
@@ -49,6 +50,32 @@ struct ReqState {
   Tag wd_tag = 0;
   const char* wd_op = "op";
 
+  // Tracing metadata (DESIGN.md §9), stamped at issue time alongside wd_*.
+  // The finish paths record the span's kComplete/kError edge here, which
+  // covers every completion uniformly: eager and rendezvous p2p on both
+  // sides, partitioned transfers, persistent restarts, and watchdog trips.
+  net::TraceRecorder* tracer = nullptr;  ///< world's recorder; null = off
+  std::uint64_t trace_span = 0;
+  net::TraceOp trace_op = net::TraceOp::kNone;
+
+  /// Record this request's span end. Runs outside the request lock and never
+  /// touches a clock, so it cannot perturb completion timing.
+  void trace_finish(net::Time t, bool error, Errc code) {
+    if (tracer == nullptr) return;
+    net::TraceEvent ev;
+    ev.ts = t;
+    ev.kind = error ? net::TraceEv::kError : net::TraceEv::kComplete;
+    ev.op = trace_op;
+    ev.span = trace_span;
+    ev.name = wd_op;
+    ev.rank = wd_rank;
+    ev.vci = wd_vci;
+    ev.peer = wd_peer;
+    ev.tag = wd_tag;
+    if (error) ev.value = static_cast<std::uint64_t>(errc_to_int(code));
+    tracer->record(ev);
+  }
+
   /// Mark complete at virtual time `t` and wake waiters.
   void finish(net::Time t) {
     {
@@ -57,6 +84,7 @@ struct ReqState {
       complete_time = t;
     }
     cv.notify_all();
+    trace_finish(t, false, Errc::kSuccess);
   }
 
   void finish(net::Time t, const Status& st) {
@@ -67,6 +95,7 @@ struct ReqState {
       status = st;
     }
     cv.notify_all();
+    trace_finish(t, false, Errc::kSuccess);
   }
 
   /// Mark complete *and errored* (truncation, TMPI_ERR_TIMEOUT) atomically:
@@ -84,6 +113,7 @@ struct ReqState {
       status.err = code;
     }
     cv.notify_all();
+    trace_finish(t, true, code);
   }
 
   /// finish_error that loses gracefully against a racing real completion
@@ -102,6 +132,7 @@ struct ReqState {
       status.err = code;
     }
     cv.notify_all();
+    trace_finish(t, true, code);
     return true;
   }
 };

@@ -134,6 +134,10 @@ struct IssueResult {
   std::byte* target_ptr = nullptr;
   int owner_world_rank = 0;
   Errc err = Errc::kSuccess;  ///< non-success only under errors-return (§8)
+  // Tracing context (§9): the span opened at issue, closed by note_outstanding.
+  std::uint64_t span = 0;
+  int local_vci = 0;
+  int origin_world_rank = 0;
 };
 
 /// Origin-side issue through the unified transport: issue cost + injection
@@ -161,31 +165,76 @@ IssueResult rma_issue(const Window& win_handle, const WindowImpl& w, const CommI
   op.local_vci = lvci;
   op.remote_vci = w.endpoints ? c.eps[static_cast<std::size_t>(target)].vci : lvci;
 
+  net::TraceRecorder* tr = world.tracer();
+  IssueResult r;
+  r.local_vci = lvci;
+  r.origin_world_rank = op.src_world_rank;
+  if (tr != nullptr) {
+    r.span = tr->begin_span();
+    op.span = r.span;
+    net::TraceEvent ev;
+    ev.ts = net::ThreadClock::get().now();
+    ev.kind = net::TraceEv::kPost;
+    ev.op = net::TraceOp::kRma;
+    ev.span = r.span;
+    ev.name = "Rma";
+    ev.rank = op.src_world_rank;
+    ev.vci = lvci;
+    ev.peer = t.world_rank;
+    ev.value = payload_bytes;
+    tr->record(ev);
+  }
+
   const detail::InjectResult ir = world.transport().inject(op);
   // RMA ops are synchronous at the issue site; a retransmission budget
   // exhausted here surfaces immediately as TMPI_ERR_TIMEOUT (DESIGN.md §7).
   // On an errors-return communicator (§8) the code comes back to the caller
   // and the target memory is not touched; otherwise it throws, as before.
   if (ir.timed_out) {
+    if (tr != nullptr) {
+      net::TraceEvent ev;
+      ev.ts = net::ThreadClock::get().now();
+      ev.kind = net::TraceEv::kError;
+      ev.op = net::TraceOp::kRma;
+      ev.span = r.span;
+      ev.name = "Rma";
+      ev.rank = op.src_world_rank;
+      ev.vci = lvci;
+      ev.peer = t.world_rank;
+      ev.value = static_cast<std::uint64_t>(errc_to_int(Errc::kTimeout));
+      tr->record(ev);
+    }
     if (c.errhandler == ErrorHandler::kErrorsReturn) {
-      IssueResult r;
       r.err = Errc::kTimeout;
       return r;
     }
     fail(Errc::kTimeout, "RMA operation timed out after exhausting retransmissions");
   }
 
-  IssueResult r;
   r.owner_world_rank = t.world_rank;
   r.target_ptr = t.base + disp;
   r.arrival = world.transport().occupy_rx(op, ir.arrival);
   return r;
 }
 
-void note_outstanding(const WindowImpl* w, net::Time done) {
+void note_outstanding(const WindowImpl* w, const IssueResult& r, net::Time done) {
   auto& slot = tl_outstanding[w];
   slot = std::max(slot, done);
   tl_last_op_done = done;
+  // Close the RMA span at the op's logical completion horizon (§9). RMA
+  // requests from rput/rget are pre-completed and carry no span of their own.
+  if (net::TraceRecorder* tr = w->world->tracer()) {
+    net::TraceEvent ev;
+    ev.ts = done;
+    ev.kind = net::TraceEv::kComplete;
+    ev.op = net::TraceOp::kRma;
+    ev.span = r.span;
+    ev.name = "Rma";
+    ev.rank = r.origin_world_rank;
+    ev.vci = r.local_vci;
+    ev.peer = r.owner_world_rank;
+    tr->record(ev);
+  }
 }
 
 }  // namespace
@@ -231,7 +280,7 @@ Errc Window::put(const void* origin, int count, Datatype dt, int target, std::si
     std::scoped_lock lk(st.mu);
     if (len > 0) std::memcpy(r.target_ptr, origin, len);
   }
-  detail::note_outstanding(impl_.get(), r.arrival);
+  detail::note_outstanding(impl_.get(), r, r.arrival);
   return Errc::kSuccess;
 }
 
@@ -250,7 +299,7 @@ Errc Window::get(void* origin, int count, Datatype dt, int target, std::size_t d
   const net::Time done =
       r.arrival + impl_->world->fabric().transfer_time(
                       impl_->world->node_of(r.owner_world_rank), my_node, len);
-  detail::note_outstanding(impl_.get(), done);
+  detail::note_outstanding(impl_.get(), r, done);
   return Errc::kSuccess;
 }
 
@@ -266,7 +315,7 @@ Errc Window::accumulate(const void* origin, int count, Datatype dt, int target, 
     std::scoped_lock lk(st.mu);
     reduce_apply(op, dt, r.target_ptr, origin, count);
   }
-  detail::note_outstanding(impl_.get(), r.arrival + cm.atomic_apply_ns);
+  detail::note_outstanding(impl_.get(), r, r.arrival + cm.atomic_apply_ns);
   return Errc::kSuccess;
 }
 
@@ -288,7 +337,7 @@ Errc Window::get_accumulate(const void* origin, void* result, int count, Datatyp
   const net::Time done =
       applied + impl_->world->fabric().transfer_time(
                     impl_->world->node_of(r.owner_world_rank), my_node, len);
-  detail::note_outstanding(impl_.get(), done);
+  detail::note_outstanding(impl_.get(), r, done);
   net::ThreadClock::get().advance_to(done);  // fetch-result is synchronous
   return Errc::kSuccess;
 }

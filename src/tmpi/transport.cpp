@@ -20,6 +20,46 @@ void tally_op(const OpDesc& op, net::NetStats* stats) {
   }
 }
 
+/// Trace family of an op kind: collective fragments are p2p sends on the
+/// wire (the collective span itself is recorded by coll_entry).
+net::TraceOp trace_family(OpKind k) {
+  switch (k) {
+    case OpKind::kRmaOp: return net::TraceOp::kRma;
+    case OpKind::kPartition: return net::TraceOp::kPartition;
+    default: return net::TraceOp::kSend;
+  }
+}
+
+/// Sender-side event skeleton for `op` on channel (src rank, vci).
+net::TraceEvent trace_tx(const OpDesc& op, net::TraceEv kind, net::Time ts, int vci) {
+  net::TraceEvent e;
+  e.ts = ts;
+  e.kind = kind;
+  e.span = op.span;
+  e.op = trace_family(op.kind);
+  e.rank = op.src_world_rank;
+  e.vci = vci;
+  e.peer = op.dst_world_rank;
+  e.tag = op.tag;
+  e.value = op.bytes;
+  return e;
+}
+
+/// Receiver-side event skeleton on channel (dst rank, vci).
+net::TraceEvent trace_rx(const OpDesc& op, net::TraceEv kind, net::Time ts, int vci) {
+  net::TraceEvent e;
+  e.ts = ts;
+  e.kind = kind;
+  e.span = op.span;
+  e.op = trace_family(op.kind);
+  e.rank = op.dst_world_rank;
+  e.vci = vci;
+  e.peer = op.src_world_rank;
+  e.tag = op.tag;
+  e.value = op.bytes;
+  return e;
+}
+
 /// Graceful degradation (DESIGN.md §7): fail `rank`'s `vci` stream over to a
 /// fallback channel and migrate its queued matching state. No-op when the
 /// stream is already redirected or the pool has no healthy fallback (the
@@ -41,6 +81,15 @@ void fail_over_stream(World& w, int rank, int vci, net::VirtualClock& clk) {
   dst.engine().absorb(from.engine());
   stats->add_failover();
   if (from.chstats() != nullptr) from.chstats()->add_failover();
+  if (net::TraceRecorder* tr = w.tracer()) {
+    net::TraceEvent e;
+    e.ts = clk.now();
+    e.kind = net::TraceEv::kFailover;
+    e.rank = rank;
+    e.vci = vci;
+    e.value = static_cast<std::uint64_t>(to);  // fallback channel
+    tr->record(e);
+  }
 }
 
 /// Count one op on channel (rank, vci), fire any due ctx-down event, and
@@ -72,15 +121,29 @@ InjectResult Transport::inject(const OpDesc& op) {
 
   InjectResult r;
   r.vci_used = op.local_vci;
+  net::TraceRecorder* tr = w.tracer();
 
   net::FaultInjector* fi = w.fault_injector();
   if (fi == nullptr) {
     // Fast path — no FaultPlan active. Charge order identical to the
-    // pre-fault transport; the golden suite pins it bit-exactly.
+    // pre-fault transport; the golden suite pins it bit-exactly. Recording
+    // reads clocks but never advances them, so tracing cannot shift times.
     Vci& lv = me.vcis.at(op.local_vci);
     {
       net::ContentionLock::Guard g(lv.lock(), clk, cm, stats, lv.chstats());
+      if (tr != nullptr) tr->record(trace_tx(op, net::TraceEv::kLockAcquired, clk.now(), op.local_vci));
+      const net::Time t0 = clk.now();
       r.inject_done = lv.ctx().inject(clk, cm, lv.chstats());
+      if (tr != nullptr) {
+        net::TraceEvent e = trace_tx(op, net::TraceEv::kInject, t0, op.local_vci);
+        e.dur = r.inject_done > t0 ? r.inject_done - t0 : 0;
+        tr->record(e);
+        // Injection latency (queueing behind earlier ops + tx occupancy) as
+        // a per-channel gauge — the VCI occupancy timeline of DESIGN.md §9.
+        net::TraceEvent gc = trace_tx(op, net::TraceEv::kCtxBacklog, t0, op.local_vci);
+        gc.value = e.dur;
+        tr->record(gc);
+      }
     }
     tally_op(op, stats);
     r.arrival = r.inject_done + w.fabric().transfer_time(me.node, peer.node, wire_bytes);
@@ -102,7 +165,14 @@ InjectResult Transport::inject(const OpDesc& op) {
   for (int attempt = 0;; ++attempt) {
     {
       net::ContentionLock::Guard g(lv.lock(), clk, cm, stats, lv.chstats());
+      if (tr != nullptr) tr->record(trace_tx(op, net::TraceEv::kLockAcquired, clk.now(), lvci));
+      const net::Time t0 = clk.now();
       r.inject_done = lv.ctx().inject(clk, cm, lv.chstats());
+      if (tr != nullptr) {
+        net::TraceEvent e = trace_tx(op, net::TraceEv::kInject, t0, lvci);
+        e.dur = r.inject_done > t0 ? r.inject_done - t0 : 0;
+        tr->record(e);
+      }
     }
     r.attempts = attempt + 1;
     if (attempt == 0) tally_op(op, stats);
@@ -112,6 +182,11 @@ InjectResult Transport::inject(const OpDesc& op) {
       if (v.action == net::FaultAction::kDelay) {
         stats->add_delay();
         if (lv.chstats() != nullptr) lv.chstats()->add_delay();
+        if (tr != nullptr) {
+          net::TraceEvent e = trace_tx(op, net::TraceEv::kDelay, r.inject_done, lvci);
+          e.value = v.delay_ns;
+          tr->record(e);
+        }
       }
       r.arrival =
           r.inject_done + w.fabric().transfer_time(me.node, peer.node, wire_bytes) + v.delay_ns;
@@ -123,9 +198,11 @@ InjectResult Transport::inject(const OpDesc& op) {
     if (v.action == net::FaultAction::kDrop) {
       stats->add_drop();
       if (lv.chstats() != nullptr) lv.chstats()->add_drop();
+      if (tr != nullptr) tr->record(trace_tx(op, net::TraceEv::kDrop, r.inject_done, lvci));
     } else {
       stats->add_corrupt();
       if (lv.chstats() != nullptr) lv.chstats()->add_corrupt();
+      if (tr != nullptr) tr->record(trace_tx(op, net::TraceEv::kCorrupt, r.inject_done, lvci));
     }
 
     const bool budget_left =
@@ -134,6 +211,7 @@ InjectResult Transport::inject(const OpDesc& op) {
     if (!budget_left) {
       stats->add_timeout();
       if (lv.chstats() != nullptr) lv.chstats()->add_timeout();
+      if (tr != nullptr) tr->record(trace_tx(op, net::TraceEv::kTimeout, clk.now(), lvci));
       r.timed_out = true;
       r.arrival = 0;
       return r;
@@ -145,6 +223,7 @@ InjectResult Transport::inject(const OpDesc& op) {
     backoff = std::min(backoff * 2, cm.retrans_backoff_max_ns);
     stats->add_retransmit();
     if (lv.chstats() != nullptr) lv.chstats()->add_retransmit();
+    if (tr != nullptr) tr->record(trace_tx(op, net::TraceEv::kRetransmit, clk.now(), lvci));
   }
 }
 
@@ -166,13 +245,33 @@ bool Transport::deliver(const OpDesc& op, Envelope env, net::Time arrival) {
   }
   const std::size_t cap = static_cast<std::size_t>(w.overload().unexpected_cap);
   Vci& rv = w.rank_state(op.dst_world_rank).vcis.at(rvci);
+  net::TraceRecorder* tr = w.tracer();
   rv.ctx().receive(aclk, cm, rv.chstats());
+  const net::Time rx_done = aclk.now();
   bool accepted = true;
   std::size_t depth = 0;
+  net::Time dep_start = rx_done;
+  net::Time dep_done = rx_done;
   {
     net::ContentionLock::Guard g(rv.lock(), aclk, cm, stats, rv.chstats());
+    dep_start = aclk.now();
     accepted = rv.engine().deposit(std::move(env), aclk, cm, stats, cap);
     depth = rv.engine().unexpected_depth();
+    dep_done = aclk.now();
+  }
+  if (tr != nullptr) {
+    // Receiver-side occupancy timeline: rx context busy, then the deposit
+    // under the VCI lock, then the resulting unexpected-queue depth gauge.
+    net::TraceEvent rx = trace_rx(op, net::TraceEv::kRxOccupy, arrival, rvci);
+    rx.dur = rx_done > arrival ? rx_done - arrival : 0;
+    tr->record(rx);
+    net::TraceEvent dep = trace_rx(op, net::TraceEv::kDeposit, dep_start, rvci);
+    dep.dur = dep_done > dep_start ? dep_done - dep_start : 0;
+    tr->record(dep);
+    net::TraceEvent gq = trace_rx(op, net::TraceEv::kUnexpectedDepth, dep_done, rvci);
+    gq.value = depth;
+    tr->record(gq);
+    if (!accepted) tr->record(trace_rx(op, net::TraceEv::kOverflow, dep_done, rvci));
   }
   if (w.overload().enabled()) {
     stats->note_unexpected_depth(depth);
@@ -205,6 +304,15 @@ Transport::EagerGrant Transport::try_reserve_eager(int dst_world_rank, int remot
   net::NetStats* stats = &w.fabric().stats();
   stats->add_credit_stall();
   if (v.chstats() != nullptr) v.chstats()->add_credit_stall();
+  if (net::TraceRecorder* tr = w.tracer()) {
+    net::TraceEvent e;
+    e.ts = net::ThreadClock::bound() ? net::ThreadClock::get().now() : 0;
+    e.kind = net::TraceEv::kCreditStall;
+    e.op = net::TraceOp::kSend;
+    e.rank = dst_world_rank;  // the stalled destination channel
+    e.vci = vci;
+    tr->record(e);
+  }
   return {false, nullptr};
 }
 
@@ -217,6 +325,11 @@ net::Time Transport::occupy_rx(const OpDesc& op, net::Time arrival) {
   }
   Vci& rv = w.rank_state(op.dst_world_rank).vcis.at(rvci);
   rv.ctx().receive(aclk, w.cost(), rv.chstats());
+  if (net::TraceRecorder* tr = w.tracer()) {
+    net::TraceEvent e = trace_rx(op, net::TraceEv::kRxOccupy, arrival, rvci);
+    e.dur = aclk.now() > arrival ? aclk.now() - arrival : 0;
+    tr->record(e);
+  }
   return aclk.now();
 }
 
@@ -231,8 +344,21 @@ void Transport::post_recv(int world_rank, int local_vci, PostedRecv pr) {
     vci = fault_route(w, *fi, world_rank, local_vci, clk);
   }
   Vci& v = w.rank_state(world_rank).vcis.at(vci);
+  const std::uint64_t span = pr.req != nullptr ? pr.req->trace_span : 0;
+  const Tag tag = pr.tag;
   net::ContentionLock::Guard g(v.lock(), clk, cm, stats, v.chstats());
   v.engine().post_recv(std::move(pr), clk, cm, stats);
+  if (net::TraceRecorder* tr = w.tracer()) {
+    net::TraceEvent e;
+    e.ts = clk.now();
+    e.kind = net::TraceEv::kPostRecv;
+    e.op = net::TraceOp::kRecv;
+    e.span = span;
+    e.rank = world_rank;
+    e.vci = vci;
+    e.tag = tag;
+    tr->record(e);
+  }
 }
 
 bool Transport::probe(int world_rank, int local_vci, int ctx_id, int src, Tag tag, Status* st) {
@@ -246,7 +372,23 @@ bool Transport::probe(int world_rank, int local_vci, int ctx_id, int src, Tag ta
   if (w.fault_injector() != nullptr) vci = w.rank_state(world_rank).vcis.resolve(local_vci);
   Vci& v = w.rank_state(world_rank).vcis.at(vci);
   net::ContentionLock::Guard g(v.lock(), clk, cm, stats, v.chstats());
-  return v.engine().probe_unexpected(ctx_id, src, tag, clk, cm, stats, st);
+  const bool found = v.engine().probe_unexpected(ctx_id, src, tag, clk, cm, stats, st);
+  // Only successful probes are recorded: polling loops spin here and would
+  // otherwise flood the ring with identical misses.
+  if (found) {
+    if (net::TraceRecorder* tr = w.tracer()) {
+      net::TraceEvent e;
+      e.ts = clk.now();
+      e.kind = net::TraceEv::kProbe;
+      e.op = net::TraceOp::kProbe;
+      e.rank = world_rank;
+      e.vci = vci;
+      e.peer = src;
+      e.tag = tag;
+      tr->record(e);
+    }
+  }
+  return found;
 }
 
 net::NetStatsSnapshot Transport::snapshot() const { return w_->fabric().stats().snapshot(); }

@@ -60,6 +60,9 @@ struct OpDesc {
   int dst_world_rank = 0;
   int local_vci = 0;   ///< pool index on the source rank
   int remote_vci = 0;  ///< pool index on the destination rank
+  // Tracing context (DESIGN.md §9); ignored when the world has no recorder.
+  std::uint64_t span = 0;    ///< owning trace span (0 = untraced op)
+  std::int32_t tag = -1;     ///< message tag for trace labels (-1 = none)
 };
 
 /// Sender-side outcome of inject().

@@ -164,6 +164,8 @@ bool ProgressWatchdog::analyze_locked(bool force_stall) {
   }
 
   net::NetStats& stats = w_->fabric().stats();
+  net::TraceRecorder* tr = w_->tracer();
+  std::set<std::pair<int, int>> stuck_channels;
   std::vector<std::uint64_t> failed_tokens;
   for (const auto& [token, op] : blocked_) {
     if (to_fail.count(op.rank) == 0) continue;
@@ -171,6 +173,7 @@ bool ProgressWatchdog::analyze_locked(bool force_stall) {
            << " waiting on "
            << (op.peer >= 0 ? "rank " + std::to_string(op.peer) : std::string("any source"))
            << "\n";
+    stuck_channels.emplace(op.rank, op.vci);
     Status st;
     st.source = op.peer;
     st.tag = op.tag;
@@ -182,12 +185,38 @@ bool ProgressWatchdog::analyze_locked(bool force_stall) {
       trips_.fetch_add(1, std::memory_order_relaxed);
       stats.add_watchdog_trip();
       stats.channel(op.rank, op.vci).add_watchdog_trip();
+      if (tr != nullptr) {
+        net::TraceEvent ev;
+        ev.ts = op.block_vtime + budget_ns_;
+        ev.kind = net::TraceEv::kWatchdogTrip;
+        ev.name = op.opname;
+        ev.rank = op.rank;
+        ev.vci = op.vci;
+        ev.peer = op.peer;
+        ev.tag = op.tag;
+        tr->record(ev);
+      }
     }
     if (op.wake) op.wake();
     failed_tokens.push_back(token);
   }
   if (!cycle.empty()) stats.add_deadlock();
   for (const std::uint64_t t : failed_tokens) blocked_.erase(t);
+
+  // Trace-aware reporting (DESIGN.md §9): with the recorder on, attach the
+  // last few events each stuck channel saw — usually enough to tell a lost
+  // message from a never-posted receive without opening the full trace.
+  if (tr != nullptr) {
+    constexpr std::size_t kTailEvents = 8;
+    for (const auto& [rank, vci] : stuck_channels) {
+      const std::vector<net::TraceEvent> tail = tr->tail(rank, vci, kTailEvents);
+      report << "  recent trace events for rank " << rank << " vci " << vci << ":\n";
+      if (tail.empty()) report << "    (none recorded)\n";
+      for (const net::TraceEvent& ev : tail) {
+        report << "    " << net::format_trace_event(ev) << "\n";
+      }
+    }
+  }
 
   const std::string text = report.str();
   std::fputs(text.c_str(), stderr);

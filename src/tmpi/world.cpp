@@ -1,8 +1,10 @@
 #include "tmpi/world.h"
 
 #include <exception>
+#include <fstream>
 #include <thread>
 
+#include "tmpi/profiler.h"
 #include "tmpi/transport.h"
 
 namespace tmpi {
@@ -33,6 +35,13 @@ World::World(WorldConfig cfg) : cfg_(std::move(cfg)) {
   TMPI_REQUIRE(overload_.eager_credits >= 0, Errc::kInvalidArg, "tmpi_eager_credits must be >= 0");
   TMPI_REQUIRE(overload_.unexpected_cap >= 0, Errc::kInvalidArg, "tmpi_unexpected_cap must be >= 0");
 
+  // Tracing layer (DESIGN.md §9): same Info-then-env layering. The recorder
+  // exists only when enabled, so the default path pays one pointer test.
+  net::TraceConfig tc;
+  for (const auto& [k, v] : cfg_.trace_info.entries()) tc.set(k, v);
+  tc = net::TraceConfig::from_env(std::move(tc));
+  if (tc.enabled) tracer_ = std::make_unique<net::TraceRecorder>(std::move(tc));
+
   states_.reserve(static_cast<std::size_t>(cfg_.nranks));
   for (int r = 0; r < cfg_.nranks; ++r) {
     const int node = node_of(r);
@@ -62,7 +71,28 @@ World::World(WorldConfig cfg) : cfg_(std::move(cfg)) {
   }
 }
 
-World::~World() = default;
+World::~World() {
+  // Export the trace on teardown (the watchdog thread is still alive here
+  // and may record concurrently — the recorder's buffer mutexes make the
+  // export safe). An empty path records without ever touching the
+  // filesystem; successive Worlds overwrite, last one wins.
+  if (tracer_ != nullptr && !tracer_->config().path.empty()) {
+    const std::string& path = tracer_->config().path;
+    if (std::ofstream out(path); out) tracer_->write_chrome_trace(out);
+    std::string stem = path;
+    if (const auto pos = stem.rfind(".json"); pos != std::string::npos && pos == stem.size() - 5) {
+      stem.erase(pos);
+    }
+    if (std::ofstream out(stem + ".metrics.json"); out) write_metrics_json(*tracer_, out);
+    if (std::ofstream out(stem + ".metrics.csv"); out) write_metrics_csv(*tracer_, out);
+  }
+}
+
+net::NetStatsSnapshot World::snapshot() const {
+  net::NetStatsSnapshot s = fabric_->stats().snapshot();
+  if (tracer_ != nullptr) s.op_latency = compute_op_latency(*tracer_);
+  return s;
+}
 
 int World::alloc_ctx_ids() { return next_ctx_.fetch_add(3, std::memory_order_relaxed); }
 

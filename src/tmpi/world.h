@@ -8,6 +8,7 @@
 
 #include "net/fabric.h"
 #include "net/fault.h"
+#include "net/trace.h"
 #include "tmpi/comm.h"
 #include "tmpi/error.h"
 #include "tmpi/info.h"
@@ -49,6 +50,11 @@ struct WorldConfig {
   /// environment variables overlay these. Leave empty for the unbounded,
   /// watchdog-free configuration — bit-exact with previous releases.
   Info overload_info{};
+  /// Tracing hints (`tmpi_trace`, `tmpi_trace_path`,
+  /// `tmpi_trace_buffer_events`; see net/trace.h). TMPI_TRACE* environment
+  /// variables overlay these. Leave empty (or `tmpi_trace=0`) for the
+  /// recorder-free configuration — bit-exact, one null-pointer test per op.
+  Info trace_info{};
 };
 
 namespace detail {
@@ -123,7 +129,12 @@ class World {
   [[nodiscard]] const OverloadConfig& overload() const { return overload_; }
   /// Progress watchdog; null unless `tmpi_watchdog_ns` > 0.
   [[nodiscard]] detail::ProgressWatchdog* watchdog() const { return watchdog_.get(); }
-  [[nodiscard]] net::NetStatsSnapshot snapshot() const { return fabric_->stats().snapshot(); }
+  /// Tracing layer (DESIGN.md §9): null unless `tmpi_trace` is on, which
+  /// keeps the transport on its untraced fast path.
+  [[nodiscard]] net::TraceRecorder* tracer() const { return tracer_.get(); }
+  /// Fabric-wide telemetry; with tracing enabled the snapshot also carries
+  /// per-op latency percentiles computed from the trace (§9).
+  [[nodiscard]] net::NetStatsSnapshot snapshot() const;
 
   /// Max virtual time across rank clocks (call after run()).
   [[nodiscard]] net::Time elapsed() const;
@@ -148,6 +159,7 @@ class World {
   std::unique_ptr<net::Fabric> fabric_;
   std::unique_ptr<detail::Transport> transport_;
   std::unique_ptr<net::FaultInjector> fault_injector_;
+  std::unique_ptr<net::TraceRecorder> tracer_;
   std::vector<std::unique_ptr<detail::RankState>> states_;
   std::shared_ptr<detail::CommImpl> world_comm_;
   std::atomic<int> next_ctx_{0};

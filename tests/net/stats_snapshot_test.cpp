@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "net/stats.h"
+
+/// Regression tests for the snapshot-ordering rule in stats.h: writers bump
+/// the source counter first (relaxed) and the derived counter second
+/// (release); snapshot() loads derived counters first (acquire), sources
+/// after. A snapshot taken mid-flight must therefore never show a derived
+/// counter ahead of its source — the torn pairs the pre-fix relaxed loads
+/// allowed.
+
+namespace {
+
+using namespace tmpi::net;
+
+constexpr int kWriters = 4;
+constexpr int kItersPerWriter = 20000;
+
+TEST(StatsSnapshot, DerivedNeverExceedsSourceUnderConcurrentLoad) {
+  NetStats stats;
+  std::atomic<bool> done{false};
+
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&stats, w] {
+      for (int i = 0; i < kItersPerWriter; ++i) {
+        stats.add_lock(/*contended=*/(i & 3) == 0);
+        stats.add_injection(/*shared_ctx=*/(i & 1) == 0, /*busy=*/10);
+        stats.add_rma(/*atomic=*/(i & 7) == 0);
+        // Fault-layer rule: every lost attempt counts a drop/corrupt before
+        // its retransmit-or-timeout verdict.
+        if ((i & 1) == 0) {
+          stats.add_drop();
+          stats.add_retransmit();
+        } else {
+          stats.add_corrupt();
+          stats.add_timeout();
+        }
+        stats.add_message(static_cast<std::uint64_t>((w + 1) * (i % 512)));
+      }
+    });
+  }
+
+  std::thread reader([&stats, &done] {
+    std::uint64_t snaps = 0;
+    while (!done.load(std::memory_order_acquire)) {
+      const NetStatsSnapshot s = stats.snapshot();
+      ASSERT_LE(s.contended_acquisitions, s.lock_acquisitions);
+      ASSERT_LE(s.shared_ctx_injections, s.injections);
+      ASSERT_LE(s.atomic_ops, s.rma_ops);
+      ASSERT_LE(s.retransmits + s.timeouts, s.drops + s.corrupts);
+      ++snaps;
+    }
+    EXPECT_GT(snaps, 0u);
+  });
+
+  for (auto& t : writers) t.join();
+  done.store(true, std::memory_order_release);
+  reader.join();
+
+  // Quiescent totals are exact.
+  const NetStatsSnapshot s = stats.snapshot();
+  const std::uint64_t n = static_cast<std::uint64_t>(kWriters) * kItersPerWriter;
+  EXPECT_EQ(s.lock_acquisitions, n);
+  EXPECT_EQ(s.contended_acquisitions, n / 4);
+  EXPECT_EQ(s.injections, n);
+  EXPECT_EQ(s.shared_ctx_injections, n / 2);
+  EXPECT_EQ(s.rma_ops, n);
+  EXPECT_EQ(s.atomic_ops, n / 8);
+  EXPECT_EQ(s.drops, n / 2);
+  EXPECT_EQ(s.corrupts, n / 2);
+  EXPECT_EQ(s.retransmits, n / 2);
+  EXPECT_EQ(s.timeouts, n / 2);
+  EXPECT_EQ(s.messages, n);
+  EXPECT_EQ(s.ctx_busy_ns, n * 10);
+  std::uint64_t hist_total = 0;
+  for (std::uint64_t b : s.size_hist) hist_total += b;
+  EXPECT_EQ(hist_total, n);
+}
+
+TEST(StatsSnapshot, ChannelDerivedNeverExceedsSourceUnderConcurrentLoad) {
+  NetStats stats;
+  ChannelStats& ch = stats.channel(0, 0);
+  std::atomic<bool> done{false};
+
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&ch] {
+      for (int i = 0; i < kItersPerWriter; ++i) {
+        ch.add_lock(/*contended=*/(i & 3) == 0);
+        if ((i & 1) == 0) {
+          ch.add_drop();
+          ch.add_retransmit();
+        } else {
+          ch.add_corrupt();
+          ch.add_timeout();
+        }
+        ch.note_unexpected_depth(static_cast<std::uint64_t>(i % 64));
+      }
+    });
+  }
+
+  std::thread reader([&ch, &done] {
+    while (!done.load(std::memory_order_acquire)) {
+      const ChannelStatsSnapshot s = ch.snapshot();
+      ASSERT_LE(s.contended_acquisitions, s.lock_acquisitions);
+      ASSERT_LE(s.retransmits + s.timeouts, s.drops + s.corrupts);
+    }
+  });
+
+  for (auto& t : writers) t.join();
+  done.store(true, std::memory_order_release);
+  reader.join();
+
+  const ChannelStatsSnapshot s = ch.snapshot();
+  const std::uint64_t n = static_cast<std::uint64_t>(kWriters) * kItersPerWriter;
+  EXPECT_EQ(s.lock_acquisitions, n);
+  EXPECT_EQ(s.contended_acquisitions, n / 4);
+  EXPECT_EQ(s.drops, n / 2);
+  EXPECT_EQ(s.retransmits, n / 2);
+  EXPECT_EQ(s.unexpected_hwm, 63u);
+}
+
+}  // namespace

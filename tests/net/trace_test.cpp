@@ -1,0 +1,405 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "net/trace.h"
+#include "tmpi/profiler.h"
+#include "tmpi/tmpi.h"
+
+/// Tests for the virtual-time tracing subsystem (DESIGN.md §9): knob
+/// layering, bit-exact parity with tracing enabled, event-stream ordering,
+/// ring wrap/drop accounting, the Chrome trace_event exporter (validated and
+/// parsed back), the metrics percentiles, and the ToolHooks bridge.
+
+namespace {
+
+using namespace tmpi;
+
+WorldConfig traced_config(int nranks = 2, int vcis = 1) {
+  WorldConfig wc;
+  wc.nranks = nranks;
+  wc.ranks_per_node = 1;
+  wc.num_vcis = vcis;
+  wc.trace_info.set("tmpi_trace", "1");
+  wc.trace_info.set("tmpi_trace_path", "");  // record only, never write files
+  return wc;
+}
+
+net::Time now() { return net::ThreadClock::get().now(); }
+
+// ---------------------------------------------------------------------------
+// Knob resolution: Info keys, env overlay, env wins.
+
+TEST(TraceConfig, InfoKeysParse) {
+  net::TraceConfig tc;
+  EXPECT_FALSE(tc.enabled);
+  EXPECT_TRUE(tc.set("tmpi_trace", "1"));
+  EXPECT_TRUE(tc.enabled);
+  EXPECT_TRUE(tc.set("tmpi_trace", "0"));
+  EXPECT_FALSE(tc.enabled);
+  EXPECT_TRUE(tc.set("tmpi_trace", "true"));
+  EXPECT_TRUE(tc.enabled);
+  EXPECT_TRUE(tc.set("tmpi_trace_path", "/tmp/x.json"));
+  EXPECT_EQ(tc.path, "/tmp/x.json");
+  EXPECT_TRUE(tc.set("tmpi_trace_buffer_events", "128"));
+  EXPECT_EQ(tc.buffer_events, 128u);
+  EXPECT_FALSE(tc.set("tmpi_unrelated_key", "1"));
+}
+
+TEST(TraceConfig, EnvOverlayWins) {
+  ::setenv("TMPI_TRACE", "1", 1);
+  ::setenv("TMPI_TRACE_PATH", "env_path.json", 1);
+  ::setenv("TMPI_TRACE_BUFFER_EVENTS", "777", 1);
+  net::TraceConfig base;
+  base.path = "info_path.json";
+  net::TraceConfig tc = net::TraceConfig::from_env(base);
+  EXPECT_TRUE(tc.enabled);
+  EXPECT_EQ(tc.path, "env_path.json");
+  EXPECT_EQ(tc.buffer_events, 777u);
+  ::unsetenv("TMPI_TRACE");
+  ::unsetenv("TMPI_TRACE_PATH");
+  ::unsetenv("TMPI_TRACE_BUFFER_EVENTS");
+
+  // Without the env, Info-provided values survive.
+  net::TraceConfig tc2 = net::TraceConfig::from_env(base);
+  EXPECT_FALSE(tc2.enabled);
+  EXPECT_EQ(tc2.path, "info_path.json");
+}
+
+TEST(TraceConfig, WorldTracerLifecycle) {
+  WorldConfig off;
+  off.nranks = 1;
+  World w_off(off);
+  EXPECT_EQ(w_off.tracer(), nullptr);
+
+  World w_on(traced_config(1));
+  ASSERT_NE(w_on.tracer(), nullptr);
+  EXPECT_TRUE(w_on.tracer()->config().enabled);
+}
+
+// ---------------------------------------------------------------------------
+// Bit-exact parity: enabling the recorder must not move a single virtual
+// timestamp. Golden values from the seed suite (transport_test.cpp).
+
+TEST(TraceParity, EagerPostedFirstGoldenWithTracingOn) {
+  World world(traced_config());
+  ASSERT_NE(world.tracer(), nullptr);
+  std::vector<std::byte> sbuf(8, std::byte{0x11});
+  std::vector<std::byte> rbuf(8);
+  Request rreq;
+  net::Time send_done = 0;
+  net::Time recv_done = 0;
+
+  world.run([&](Rank& rank) {
+    if (rank.rank() == 1) {
+      rreq = irecv(rbuf.data(), 8, kByte, 0, 7, rank.world_comm());
+    }
+  });
+  world.run([&](Rank& rank) {
+    if (rank.rank() == 0) {
+      isend(sbuf.data(), 8, kByte, 1, 7, rank.world_comm()).wait();
+      send_done = now();
+    }
+  });
+  world.run([&](Rank& rank) {
+    if (rank.rank() == 1) {
+      rreq.wait();
+      recv_done = now();
+    }
+  });
+
+  EXPECT_EQ(send_done, 140u);
+  EXPECT_EQ(recv_done, 1132u);
+  EXPECT_GT(world.tracer()->recorded(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Event-stream structure.
+
+TEST(TraceEvents, MergedStreamSortedAndSpansOrdered) {
+  World world(traced_config());
+  std::vector<std::byte> sbuf(8, std::byte{0x33});
+  std::vector<std::byte> rbuf(8);
+  world.run([&](Rank& rank) {
+    if (rank.rank() == 0) {
+      send(sbuf.data(), 8, kByte, 1, 5, rank.world_comm());
+    } else {
+      recv(rbuf.data(), 8, kByte, 0, 5, rank.world_comm());
+    }
+  });
+
+  const std::vector<net::TraceEvent> evs = world.tracer()->merged();
+  ASSERT_FALSE(evs.empty());
+  EXPECT_TRUE(std::is_sorted(evs.begin(), evs.end(), [](const auto& a, const auto& b) {
+    return a.ts < b.ts || (a.ts == b.ts && a.seq < b.seq);
+  }));
+
+  // Every span that completes was posted first, at an earlier-or-equal ts.
+  std::map<std::uint64_t, net::Time> post_ts;
+  bool saw_post = false;
+  bool saw_inject = false;
+  bool saw_deposit = false;
+  bool saw_complete = false;
+  for (const auto& ev : evs) {
+    switch (ev.kind) {
+      case net::TraceEv::kPost:
+        post_ts[ev.span] = ev.ts;
+        saw_post = true;
+        break;
+      case net::TraceEv::kInject:
+        saw_inject = true;
+        break;
+      case net::TraceEv::kDeposit:
+        saw_deposit = true;
+        break;
+      case net::TraceEv::kComplete:
+        if (ev.span != 0) {
+          ASSERT_TRUE(post_ts.count(ev.span)) << "complete without post, span " << ev.span;
+          EXPECT_LE(post_ts[ev.span], ev.ts);
+          saw_complete = true;
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  EXPECT_TRUE(saw_post);
+  EXPECT_TRUE(saw_inject);
+  EXPECT_TRUE(saw_deposit);
+  EXPECT_TRUE(saw_complete);
+}
+
+TEST(TraceEvents, TailFiltersByChannel) {
+  World world(traced_config(2, 2));
+  std::vector<std::byte> sbuf(8, std::byte{0x44});
+  std::vector<std::byte> rbuf(8);
+  world.run([&](Rank& rank) {
+    if (rank.rank() == 0) {
+      send(sbuf.data(), 8, kByte, 1, 1, rank.world_comm());
+    } else {
+      recv(rbuf.data(), 8, kByte, 0, 1, rank.world_comm());
+    }
+  });
+
+  const auto tail0 = world.tracer()->tail(0, 0, 4);
+  ASSERT_FALSE(tail0.empty());
+  EXPECT_LE(tail0.size(), 4u);
+  for (const auto& ev : tail0) {
+    EXPECT_EQ(ev.rank, 0);
+    EXPECT_TRUE(ev.vci == 0 || ev.vci < 0);
+  }
+  // Oldest-first ordering within the tail.
+  EXPECT_TRUE(std::is_sorted(tail0.begin(), tail0.end(), [](const auto& a, const auto& b) {
+    return a.ts < b.ts || (a.ts == b.ts && a.seq < b.seq);
+  }));
+  // A rank with no traffic yields an empty tail.
+  EXPECT_TRUE(world.tracer()->tail(17, 0, 4).empty());
+
+  // format_trace_event is the watchdog's rendering; smoke its shape.
+  const std::string line = net::format_trace_event(tail0.front());
+  EXPECT_NE(line.find("rank 0"), std::string::npos);
+}
+
+TEST(TraceEvents, RingWrapAccountsDrops) {
+  WorldConfig wc = traced_config();
+  wc.trace_info.set("tmpi_trace_buffer_events", "32");
+  World world(wc);
+  std::vector<std::byte> sbuf(8, std::byte{0x55});
+  std::vector<std::byte> rbuf(8);
+  world.run([&](Rank& rank) {
+    for (int i = 0; i < 64; ++i) {
+      if (rank.rank() == 0) {
+        send(sbuf.data(), 8, kByte, 1, 2, rank.world_comm());
+      } else {
+        recv(rbuf.data(), 8, kByte, 0, 2, rank.world_comm());
+      }
+    }
+  });
+
+  const net::TraceRecorder& tr = *world.tracer();
+  EXPECT_GT(tr.dropped(), 0u) << "64 messages through 32-slot rings must wrap";
+  EXPECT_EQ(tr.recorded(), tr.dropped() + tr.merged().size());
+}
+
+// ---------------------------------------------------------------------------
+// Chrome exporter + validator.
+
+TEST(TraceChrome, ExportValidatesAndParsesBack) {
+  World world(traced_config(2, 2));
+  std::vector<std::byte> sbuf(8, std::byte{0x66});
+  std::vector<std::byte> rbuf(8);
+  world.run([&](Rank& rank) {
+    if (rank.rank() == 0) {
+      send(sbuf.data(), 8, kByte, 1, 9, rank.world_comm());
+    } else {
+      recv(rbuf.data(), 8, kByte, 0, 9, rank.world_comm());
+    }
+  });
+
+  std::ostringstream os;
+  world.tracer()->write_chrome_trace(os);
+  const std::string text = os.str();
+
+  std::string error;
+  EXPECT_TRUE(net::validate_chrome_trace_json(text, &error)) << error;
+
+  // Parse-back spot checks on the serialized structure.
+  EXPECT_NE(text.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(text.find("\"rank 0\""), std::string::npos);
+  EXPECT_NE(text.find("\"rank 1\""), std::string::npos);
+  EXPECT_NE(text.find("\"vci 0\""), std::string::npos);
+  EXPECT_NE(text.find("\"ph\":\"X\""), std::string::npos);  // duration events
+  EXPECT_NE(text.find("\"ph\":\"b\""), std::string::npos);  // span begin
+  EXPECT_NE(text.find("\"ph\":\"e\""), std::string::npos);  // span end
+}
+
+TEST(TraceChrome, ValidatorRejectsMalformedInput) {
+  std::string error;
+  EXPECT_FALSE(net::validate_chrome_trace_json("not json at all", &error));
+  EXPECT_FALSE(net::validate_chrome_trace_json("{}", &error));  // no traceEvents
+  EXPECT_FALSE(net::validate_chrome_trace_json(R"({"traceEvents": 5})", &error));
+  // Event missing its phase.
+  EXPECT_FALSE(net::validate_chrome_trace_json(
+      R"({"traceEvents":[{"pid":0,"tid":0,"ts":1,"name":"x"}]})", &error));
+  // Per-track timestamps must be monotonic.
+  EXPECT_FALSE(net::validate_chrome_trace_json(
+      R"({"traceEvents":[
+        {"ph":"i","pid":0,"tid":0,"ts":10,"name":"a"},
+        {"ph":"i","pid":0,"tid":0,"ts":5,"name":"b"}]})",
+      &error));
+  EXPECT_NE(error.find("monoton"), std::string::npos) << error;
+  // The same timestamps on different tracks are fine.
+  EXPECT_TRUE(net::validate_chrome_trace_json(
+      R"({"traceEvents":[
+        {"ph":"i","pid":0,"tid":0,"ts":10,"name":"a"},
+        {"ph":"i","pid":0,"tid":1,"ts":5,"name":"b"}]})",
+      &error))
+      << error;
+}
+
+// ---------------------------------------------------------------------------
+// Metrics: per-op percentiles across every op family.
+
+TEST(TraceMetrics, PercentilesCoverAllOpFamilies) {
+  World world(traced_config(2, 2));
+  std::vector<std::byte> sbuf(64, std::byte{0x77});
+  std::vector<std::byte> rbuf(64);
+  std::vector<double> win_mem(32, 1.0);
+  world.run([&](Rank& rank) {
+    Comm comm = rank.world_comm();
+    // p2p.
+    for (int i = 0; i < 8; ++i) {
+      if (rank.rank() == 0) {
+        send(sbuf.data(), 64, kByte, 1, 1, comm);
+      } else {
+        recv(rbuf.data(), 64, kByte, 0, 1, comm);
+      }
+    }
+    // Collectives.
+    double x = rank.rank();
+    allreduce(&x, &x, 1, kDouble, Op::kSum, comm);
+    // RMA.
+    Window win = Window::create(win_mem.data(), win_mem.size() * sizeof(double), comm);
+    if (rank.rank() == 0) {
+      double v = 3.0;
+      win.put(&v, 1, kDouble, 1, 0);
+      win.flush_all();
+    }
+    win.fence();
+    // Partitioned.
+    std::vector<std::byte> pbuf(32, std::byte{0x12});
+    std::vector<std::byte> prbuf(32);
+    if (rank.rank() == 0) {
+      Request sreq = psend_init(pbuf.data(), 4, 8, kByte, 1, 2, comm);
+      start(sreq);
+      for (int p = 0; p < 4; ++p) pready(p, sreq);
+      sreq.wait();
+    } else {
+      Request rreq = precv_init(prbuf.data(), 4, 8, kByte, 0, 2, comm);
+      start(rreq);
+      rreq.wait();
+    }
+  });
+
+  const net::NetStatsSnapshot snap = world.snapshot();
+  ASSERT_FALSE(snap.op_latency.empty());
+  std::set<std::string> families;
+  for (const auto& ol : snap.op_latency) {
+    families.insert(ol.op);
+    EXPECT_LE(ol.p50, ol.p90) << ol.op;
+    EXPECT_LE(ol.p90, ol.p99) << ol.op;
+  }
+  for (const char* fam : {"Send", "Recv", "Rma", "Partition", "Coll"}) {
+    EXPECT_TRUE(families.count(fam)) << "missing family " << fam;
+  }
+
+  // The JSON metrics dump is well-formed; the CSV carries a header + rows.
+  std::ostringstream js;
+  write_metrics_json(*world.tracer(), js);
+  std::string error;
+  EXPECT_TRUE(net::validate_json_text(js.str(), &error)) << error << "\n" << js.str();
+  std::ostringstream cs;
+  write_metrics_csv(*world.tracer(), cs);
+  EXPECT_NE(cs.str().find("op,count,errors,p50_ns,p90_ns,p99_ns"), std::string::npos);
+  EXPECT_NE(cs.str().find("Send,"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// ToolHooks: PMPI-style synchronous callbacks.
+
+class CountingHooks : public ToolHooks {
+ public:
+  std::atomic<int> events{0};
+  std::atomic<int> posts{0};
+  std::atomic<int> completes{0};
+
+  void on_event(const net::TraceEvent&) override { events.fetch_add(1); }
+  void on_post(const net::TraceEvent&) override { posts.fetch_add(1); }
+  void on_complete(const net::TraceEvent&) override { completes.fetch_add(1); }
+};
+
+TEST(TraceHooks, AttachObserveDetach) {
+  World world(traced_config());
+  CountingHooks hooks;
+  ASSERT_TRUE(attach_tool(world, &hooks));
+
+  std::vector<std::byte> sbuf(8, std::byte{0x88});
+  std::vector<std::byte> rbuf(8);
+  world.run([&](Rank& rank) {
+    if (rank.rank() == 0) {
+      send(sbuf.data(), 8, kByte, 1, 4, rank.world_comm());
+    } else {
+      recv(rbuf.data(), 8, kByte, 0, 4, rank.world_comm());
+    }
+  });
+
+  EXPECT_GT(hooks.events.load(), 0);
+  EXPECT_GE(hooks.posts.load(), 2);      // one Send, one Recv
+  EXPECT_GE(hooks.completes.load(), 2);  // both completed
+  const int seen = hooks.events.load();
+
+  detach_tool(world);
+  world.run([&](Rank& rank) {
+    if (rank.rank() == 0) {
+      send(sbuf.data(), 8, kByte, 1, 4, rank.world_comm());
+    } else {
+      recv(rbuf.data(), 8, kByte, 0, 4, rank.world_comm());
+    }
+  });
+  EXPECT_EQ(hooks.events.load(), seen) << "detached hooks must observe nothing";
+
+  // attach_tool on an untraced world reports failure.
+  WorldConfig off;
+  off.nranks = 1;
+  World w_off(off);
+  EXPECT_FALSE(attach_tool(w_off, &hooks));
+}
+
+}  // namespace

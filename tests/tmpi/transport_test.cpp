@@ -354,6 +354,45 @@ TEST(TransportParity, ZeroFaultPlanBitExact) {
   }
 }
 
+TEST(TransportParity, TracingKnobOffBitExact) {
+  WorldConfig wc = two_node_config();
+  wc.trace_info.set("tmpi_trace", "0");
+  World world(wc);
+  EXPECT_EQ(world.tracer(), nullptr);  // knob off: the recorder never exists
+
+  std::vector<std::byte> sbuf(8, std::byte{0x11});
+  std::vector<std::byte> rbuf(8);
+  Request rreq;
+  net::Time send_done = 0;
+  net::Time recv_done = 0;
+
+  world.run([&](Rank& rank) {
+    if (rank.rank() == 1) {
+      rreq = irecv(rbuf.data(), 8, kByte, 0, 7, rank.world_comm());
+    }
+  });
+  world.run([&](Rank& rank) {
+    if (rank.rank() == 0) {
+      isend(sbuf.data(), 8, kByte, 1, 7, rank.world_comm()).wait();
+      send_done = now();
+    }
+  });
+  world.run([&](Rank& rank) {
+    if (rank.rank() == 1) {
+      Status st = rreq.wait();
+      recv_done = now();
+      EXPECT_EQ(st.bytes, 8u);
+    }
+  });
+
+  // Bit-exact golden values from EagerPostedFirst above.
+  EXPECT_EQ(send_done, 140u);
+  EXPECT_EQ(recv_done, 1132u);
+
+  // And the snapshot carries no percentile rows without a recorder.
+  EXPECT_TRUE(world.snapshot().op_latency.empty());
+}
+
 // ---------------------------------------------------------------------------
 // Regression: truncation detected at match time must surface as kTruncate
 // from wait()/test() on the receive request, for BOTH protocols and BOTH

@@ -88,6 +88,36 @@ TEST(Watchdog, MutualRecvDeadlockDetectedAndReported) {
   EXPECT_EQ(world.snapshot().deadlocks, 1u);  // no new trips
 }
 
+// With tracing enabled the deadlock report carries the last recorded trace
+// events for every stuck (rank, vci) channel — the flight recorder readout
+// (DESIGN.md §9).
+TEST(Watchdog, DeadlockReportIncludesTraceTail) {
+  WorldConfig wc = two_node_config();
+  wc.overload_info.set("tmpi_watchdog_ns", 5000);
+  wc.trace_info.set("tmpi_trace", "1");
+  wc.trace_info.set("tmpi_trace_path", "");
+  World world(wc);
+  ASSERT_NE(world.tracer(), nullptr);
+  Comm(world.world_comm_impl(), 0).set_errhandler(ErrorHandler::kErrorsReturn);
+
+  world.run([&](Rank& rank) {
+    std::byte b{};
+    Status st = recv(&b, 1, kByte, 1 - rank.rank(), 7, rank.world_comm());
+    EXPECT_EQ(st.err, Errc::kTimeout);
+  });
+
+  const std::vector<std::string> reports = world.watchdog()->reports();
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_NE(reports[0].find("recent trace events for rank 0 vci 0:"), std::string::npos)
+      << reports[0];
+  EXPECT_NE(reports[0].find("recent trace events for rank 1 vci 0:"), std::string::npos)
+      << reports[0];
+  // The stuck receives themselves were traced, so the tails are non-empty
+  // and show the blocked posts.
+  EXPECT_EQ(reports[0].find("(none recorded)"), std::string::npos) << reports[0];
+  EXPECT_NE(reports[0].find("post"), std::string::npos) << reports[0];
+}
+
 // Under the default errors-are-fatal handler the same deadlock throws
 // tmpi::Error(kTimeout) out of the blocking receive on every cycle member.
 TEST(Watchdog, MutualRecvDeadlockThrowsUnderFatalHandler) {

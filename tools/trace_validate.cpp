@@ -1,0 +1,40 @@
+// Validate a Chrome trace_event JSON file produced by the tmpi trace
+// exporter (DESIGN.md §9). Exit 0 when the file parses, matches the
+// trace_event schema, and every (pid, tid) track has non-decreasing
+// timestamps; exit 1 with a diagnostic otherwise. CI runs this against the
+// trace a TMPI_TRACE=1 benchmark run emits.
+//
+// Usage: trace_validate <trace.json> [more.json ...]
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "net/trace.h"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <trace.json> [more.json ...]\n", argv[0]);
+    return 1;
+  }
+  int rc = 0;
+  for (int i = 1; i < argc; ++i) {
+    std::ifstream in(argv[i]);
+    if (!in) {
+      std::fprintf(stderr, "%s: cannot open\n", argv[i]);
+      rc = 1;
+      continue;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::string error;
+    if (!tmpi::net::validate_chrome_trace_json(buf.str(), &error)) {
+      std::fprintf(stderr, "%s: INVALID: %s\n", argv[i], error.c_str());
+      rc = 1;
+    } else {
+      std::fprintf(stdout, "%s: OK\n", argv[i]);
+    }
+  }
+  return rc;
+}
