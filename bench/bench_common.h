@@ -108,6 +108,14 @@ inline void print_channel_telemetry(const char* title, const tmpi::net::NetStats
                 static_cast<unsigned long long>(s.deadlocks),
                 static_cast<unsigned long long>(s.unexpected_hwm));
   }
+  if (s.bucket_hits + s.bucket_misses + s.wildcard_fallbacks != 0) {
+    std::printf("matching: bucket_hits=%llu bucket_misses=%llu wildcard_fallbacks=%llu "
+                "match_probes=%llu\n",
+                static_cast<unsigned long long>(s.bucket_hits),
+                static_cast<unsigned long long>(s.bucket_misses),
+                static_cast<unsigned long long>(s.wildcard_fallbacks),
+                static_cast<unsigned long long>(s.match_probes));
+  }
   std::printf("message sizes (log2 histogram, non-empty buckets): ");
   for (int b = 0; b < tmpi::net::kMsgSizeBuckets; ++b) {
     const auto n = s.size_hist[static_cast<std::size_t>(b)];

@@ -1,0 +1,226 @@
+#ifndef TMPI_NET_SLAB_POOL_H
+#define TMPI_NET_SLAB_POOL_H
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <utility>
+#include <vector>
+
+#include "net/spin.h"
+
+/// \file slab_pool.h
+/// Size-classed slab recycler for eager payloads (DESIGN.md §10).
+///
+/// Every eager message used to heap-allocate a fresh std::vector<std::byte>
+/// and free it at the match — so message-rate benches measured the allocator,
+/// not the communication design. SlabPool keeps power-of-two blocks
+/// (2^6..2^17 bytes) on per-class freelists; steady-state traffic recycles
+/// blocks without touching the heap.
+///
+/// Blocks are acquired on the *sender's* thread and released on the
+/// *receiver's* (or wherever the envelope dies — failover can migrate it to
+/// another VCI), so each class is guarded by a SpinLock; the critical
+/// section is two pointer writes. PooledBuf carries its owning pool, which
+/// must outlive the buffer — VciPool's destructor drains every matching
+/// engine before destroying any Vci (and its pool) for exactly this reason.
+///
+/// The pool charges no virtual time: allocation is host-side harness
+/// overhead the simulation never modelled (CostModel has no malloc cost),
+/// which is what keeps pooling bit-exact.
+
+namespace tmpi::net {
+
+class SlabPool {
+ public:
+  static constexpr int kMinShift = 6;   ///< smallest class: 64 B
+  static constexpr int kMaxShift = 17;  ///< largest class: 128 KiB (> eager threshold)
+  static constexpr int kClasses = kMaxShift - kMinShift + 1;
+
+  SlabPool() = default;
+  SlabPool(const SlabPool&) = delete;
+  SlabPool& operator=(const SlabPool&) = delete;
+
+  /// All outstanding blocks must be back on the freelists by now (the VCI
+  /// teardown order guarantees it); chunks are freed wholesale.
+  ~SlabPool() {
+    for (void* c : chunks_) ::operator delete(c);
+  }
+
+  /// Smallest class covering `bytes`, or -1 for oversized requests (heap
+  /// fallback; only reachable above the 128 KiB class, i.e. never on the
+  /// eager path with default cost models).
+  [[nodiscard]] static int class_for(std::size_t bytes) {
+    const int shift = bytes <= (std::size_t{1} << kMinShift)
+                          ? kMinShift
+                          : std::bit_width(bytes - 1);
+    return shift > kMaxShift ? -1 : shift - kMinShift;
+  }
+
+  [[nodiscard]] static std::size_t class_bytes(int cls) {
+    return std::size_t{1} << (cls + kMinShift);
+  }
+
+  /// Pop a block of class `cls`, refilling from the heap if the freelist is
+  /// dry. Returns uninitialized storage of class_bytes(cls).
+  [[nodiscard]] std::byte* get(int cls) {
+    Class& k = classes_[static_cast<std::size_t>(cls)];
+    k.mu.lock();
+    if (k.free == nullptr) {
+      refill_locked(cls, k);
+      misses_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+    }
+    void* p = k.free;
+    k.free = *static_cast<void**>(p);
+    k.mu.unlock();
+    return static_cast<std::byte*>(p);
+  }
+
+  /// Return a block obtained from get() with the same class.
+  void put(std::byte* p, int cls) {
+    Class& k = classes_[static_cast<std::size_t>(cls)];
+    k.mu.lock();
+    *reinterpret_cast<void**>(p) = k.free;
+    k.free = p;
+    k.mu.unlock();
+  }
+
+  [[nodiscard]] std::uint64_t hit_count() const {
+    return hits_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t miss_count() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Class {
+    SpinLock mu;
+    void* free = nullptr;
+  };
+
+  /// Carve a fresh chunk into blocks and push them on the class freelist.
+  /// Chunk size targets ~256 KiB so small classes refill rarely while the
+  /// largest class still batches a couple of blocks. Called with k.mu held;
+  /// chunks_ has its own lock because two classes can refill concurrently.
+  void refill_locked(int cls, Class& k) {
+    const std::size_t bytes = class_bytes(cls);
+    const std::size_t count = std::max<std::size_t>(2, (std::size_t{1} << 18) / bytes);
+    auto* chunk = static_cast<std::byte*>(::operator new(count * bytes));
+    chunks_mu_.lock();
+    chunks_.push_back(chunk);
+    chunks_mu_.unlock();
+    for (std::size_t i = 0; i < count; ++i) {
+      std::byte* b = chunk + i * bytes;
+      *reinterpret_cast<void**>(b) = k.free;
+      k.free = b;
+    }
+  }
+
+  std::array<Class, kClasses> classes_{};
+  std::vector<void*> chunks_;
+  SpinLock chunks_mu_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+};
+
+/// Move-only payload buffer: a slab block when pool-acquired, a plain heap
+/// allocation as fallback (oversized requests, or tests that build envelopes
+/// with resize() and no pool at hand). Carries its owning pool so release
+/// works from whichever thread — and whichever VCI, after failover — the
+/// envelope dies on.
+class PooledBuf {
+ public:
+  PooledBuf() = default;
+  PooledBuf(const PooledBuf&) = delete;
+  PooledBuf& operator=(const PooledBuf&) = delete;
+
+  PooledBuf(PooledBuf&& o) noexcept
+      : data_(std::exchange(o.data_, nullptr)),
+        size_(std::exchange(o.size_, 0)),
+        cls_(std::exchange(o.cls_, kHeap)),
+        pool_(std::exchange(o.pool_, nullptr)) {}
+
+  PooledBuf& operator=(PooledBuf&& o) noexcept {
+    if (this != &o) {
+      release();
+      data_ = std::exchange(o.data_, nullptr);
+      size_ = std::exchange(o.size_, 0);
+      cls_ = std::exchange(o.cls_, kHeap);
+      pool_ = std::exchange(o.pool_, nullptr);
+    }
+    return *this;
+  }
+
+  ~PooledBuf() { release(); }
+
+  /// Take a block of >= n bytes from `pool` (heap fallback when n exceeds
+  /// the largest class). Replaces any current contents.
+  void acquire(SlabPool& pool, std::size_t n) {
+    release();
+    if (n == 0) return;
+    const int cls = SlabPool::class_for(n);
+    if (cls < 0) {
+      data_ = static_cast<std::byte*>(::operator new(n));
+    } else {
+      data_ = pool.get(cls);
+      cls_ = cls;
+      pool_ = &pool;
+    }
+    size_ = n;
+  }
+
+  /// Plain-heap sizing, kept std::vector-compatible for envelope builders
+  /// that have no pool (unit tests, oracle fuzzers). Contents are not
+  /// preserved on growth; shrinking just adjusts size().
+  void resize(std::size_t n) {
+    if (n <= capacity()) {
+      size_ = n;
+      return;
+    }
+    release();
+    if (n > 0) data_ = static_cast<std::byte*>(::operator new(n));
+    size_ = n;
+  }
+
+  [[nodiscard]] std::byte* data() { return data_; }
+  [[nodiscard]] const std::byte* data() const { return data_; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool pooled() const { return pool_ != nullptr; }
+
+  /// Free or recycle the storage immediately (also run by the destructor).
+  void release() {
+    if (data_ != nullptr) {
+      if (pool_ != nullptr) {
+        pool_->put(data_, cls_);
+      } else {
+        ::operator delete(data_);
+      }
+    }
+    data_ = nullptr;
+    size_ = 0;
+    cls_ = kHeap;
+    pool_ = nullptr;
+  }
+
+ private:
+  static constexpr int kHeap = -1;
+
+  [[nodiscard]] std::size_t capacity() const {
+    if (data_ == nullptr) return 0;
+    return pool_ != nullptr ? SlabPool::class_bytes(cls_) : size_;
+  }
+
+  std::byte* data_ = nullptr;
+  std::size_t size_ = 0;
+  int cls_ = kHeap;
+  SlabPool* pool_ = nullptr;
+};
+
+}  // namespace tmpi::net
+
+#endif  // TMPI_NET_SLAB_POOL_H

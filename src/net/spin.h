@@ -1,0 +1,48 @@
+#ifndef TMPI_NET_SPIN_H
+#define TMPI_NET_SPIN_H
+
+#include <atomic>
+
+/// \file spin.h
+/// Tiny host-side spinning primitives for the hot-path pools (DESIGN.md §10).
+///
+/// These guard *host* data structures (freelists) whose critical sections are
+/// a handful of pointer writes; they charge no virtual time and appear in no
+/// statistics. Virtual-time lock costs stay in ContentionLock.
+
+namespace tmpi::net {
+
+/// Polite busy-wait hint for spin loops.
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+}
+
+/// Minimal test-and-test-and-set spinlock. Critical sections under it must
+/// be O(1) pointer surgery — never user code, never anything that blocks.
+class SpinLock {
+ public:
+  SpinLock() = default;
+  SpinLock(const SpinLock&) = delete;
+  SpinLock& operator=(const SpinLock&) = delete;
+
+  void lock() {
+    for (;;) {
+      if (!locked_.exchange(true, std::memory_order_acquire)) return;
+      while (locked_.load(std::memory_order_relaxed)) cpu_relax();
+    }
+  }
+  void unlock() { locked_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> locked_{false};
+};
+
+}  // namespace tmpi::net
+
+#endif  // TMPI_NET_SPIN_H

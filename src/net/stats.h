@@ -65,6 +65,10 @@ struct ChannelStatsSnapshot {
   std::uint64_t overflows = 0;       ///< deposits rejected at the unexpected-queue hard cap
   std::uint64_t watchdog_trips = 0;  ///< blocked ops on this channel failed by the watchdog
   std::uint64_t unexpected_hwm = 0;  ///< unexpected-queue depth high-water mark
+  // Matching fast path (DESIGN.md §10); all zero in list mode.
+  std::uint64_t bucket_hits = 0;          ///< exact-key bucket lookups that matched
+  std::uint64_t bucket_misses = 0;        ///< exact-key bucket lookups that found nothing
+  std::uint64_t wildcard_fallbacks = 0;   ///< ops served by the ordered-list scan
 };
 
 /// Per-(rank, VCI) counter block. Registered once at VCI creation and shared
@@ -95,6 +99,11 @@ class ChannelStats {
   void add_credit_stall() { credit_stalls_.fetch_add(1, std::memory_order_relaxed); }
   void add_overflow() { overflows_.fetch_add(1, std::memory_order_relaxed); }
   void add_watchdog_trip() { watchdog_trips_.fetch_add(1, std::memory_order_relaxed); }
+  void add_bucket_hit() { bucket_hits_.fetch_add(1, std::memory_order_relaxed); }
+  void add_bucket_miss() { bucket_misses_.fetch_add(1, std::memory_order_relaxed); }
+  void add_wildcard_fallback() {
+    wildcard_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+  }
   void note_unexpected_depth(std::uint64_t depth) {
     std::uint64_t cur = unexpected_hwm_.load(std::memory_order_relaxed);
     while (depth > cur &&
@@ -125,6 +134,9 @@ class ChannelStats {
     s.overflows = overflows_.load(std::memory_order_relaxed);
     s.watchdog_trips = watchdog_trips_.load(std::memory_order_relaxed);
     s.unexpected_hwm = unexpected_hwm_.load(std::memory_order_relaxed);
+    s.bucket_hits = bucket_hits_.load(std::memory_order_relaxed);
+    s.bucket_misses = bucket_misses_.load(std::memory_order_relaxed);
+    s.wildcard_fallbacks = wildcard_fallbacks_.load(std::memory_order_relaxed);
     return s;
   }
 
@@ -147,6 +159,9 @@ class ChannelStats {
   std::atomic<std::uint64_t> overflows_{0};
   std::atomic<std::uint64_t> watchdog_trips_{0};
   std::atomic<std::uint64_t> unexpected_hwm_{0};
+  std::atomic<std::uint64_t> bucket_hits_{0};
+  std::atomic<std::uint64_t> bucket_misses_{0};
+  std::atomic<std::uint64_t> wildcard_fallbacks_{0};
 };
 
 /// Message-size histogram bucket count: bucket i holds messages with
@@ -194,6 +209,10 @@ struct NetStatsSnapshot {
   std::uint64_t watchdog_trips = 0;  ///< blocked ops failed by the progress watchdog
   std::uint64_t deadlocks = 0;       ///< wait-for-graph cycles the watchdog diagnosed
   std::uint64_t unexpected_hwm = 0;  ///< max unexpected-queue depth seen on any channel
+  // Matching fast path aggregates (DESIGN.md §10).
+  std::uint64_t bucket_hits = 0;         ///< exact-key bucket lookups that matched
+  std::uint64_t bucket_misses = 0;       ///< exact-key bucket lookups that found nothing
+  std::uint64_t wildcard_fallbacks = 0;  ///< matching ops served by the ordered-list scan
   Time ctx_busy_ns = 0;  ///< total virtual busy time accumulated across contexts
   std::array<std::uint64_t, kMsgSizeBuckets> size_hist{};  ///< log2 message sizes
   std::vector<ChannelStatsSnapshot> channels;  ///< per-(rank, VCI), creation order
@@ -225,6 +244,9 @@ struct NetStatsSnapshot {
     d.watchdog_trips = watchdog_trips - o.watchdog_trips;
     d.deadlocks = deadlocks - o.deadlocks;
     d.unexpected_hwm = unexpected_hwm;  // high-water mark passes through, not a delta
+    d.bucket_hits = bucket_hits - o.bucket_hits;
+    d.bucket_misses = bucket_misses - o.bucket_misses;
+    d.wildcard_fallbacks = wildcard_fallbacks - o.wildcard_fallbacks;
     d.ctx_busy_ns = ctx_busy_ns - o.ctx_busy_ns;
     for (int i = 0; i < kMsgSizeBuckets; ++i) {
       d.size_hist[static_cast<std::size_t>(i)] = size_hist[static_cast<std::size_t>(i)] -
@@ -253,6 +275,9 @@ struct NetStatsSnapshot {
         dc.credit_stalls -= b.credit_stalls;
         dc.overflows -= b.overflows;
         dc.watchdog_trips -= b.watchdog_trips;
+        dc.bucket_hits -= b.bucket_hits;
+        dc.bucket_misses -= b.bucket_misses;
+        dc.wildcard_fallbacks -= b.wildcard_fallbacks;
         // unexpected_hwm passes through: a max, not a monotone delta.
       }
       d.channels.push_back(dc);
@@ -307,6 +332,11 @@ class NetStats {
   void add_overflow() { overflows_.fetch_add(1, std::memory_order_relaxed); }
   void add_watchdog_trip() { watchdog_trips_.fetch_add(1, std::memory_order_relaxed); }
   void add_deadlock() { deadlocks_.fetch_add(1, std::memory_order_relaxed); }
+  void add_bucket_hit() { bucket_hits_.fetch_add(1, std::memory_order_relaxed); }
+  void add_bucket_miss() { bucket_misses_.fetch_add(1, std::memory_order_relaxed); }
+  void add_wildcard_fallback() {
+    wildcard_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+  }
   void note_unexpected_depth(std::uint64_t depth) {
     std::uint64_t cur = unexpected_hwm_.load(std::memory_order_relaxed);
     while (depth > cur &&
@@ -355,6 +385,9 @@ class NetStats {
     s.watchdog_trips = watchdog_trips_.load(std::memory_order_relaxed);
     s.deadlocks = deadlocks_.load(std::memory_order_relaxed);
     s.unexpected_hwm = unexpected_hwm_.load(std::memory_order_relaxed);
+    s.bucket_hits = bucket_hits_.load(std::memory_order_relaxed);
+    s.bucket_misses = bucket_misses_.load(std::memory_order_relaxed);
+    s.wildcard_fallbacks = wildcard_fallbacks_.load(std::memory_order_relaxed);
     s.ctx_busy_ns = ctx_busy_ns_.load(std::memory_order_relaxed);
     for (int i = 0; i < kMsgSizeBuckets; ++i) {
       s.size_hist[static_cast<std::size_t>(i)] =
@@ -393,6 +426,9 @@ class NetStats {
   std::atomic<std::uint64_t> watchdog_trips_{0};
   std::atomic<std::uint64_t> deadlocks_{0};
   std::atomic<std::uint64_t> unexpected_hwm_{0};
+  std::atomic<std::uint64_t> bucket_hits_{0};
+  std::atomic<std::uint64_t> bucket_misses_{0};
+  std::atomic<std::uint64_t> wildcard_fallbacks_{0};
   std::atomic<Time> ctx_busy_ns_{0};
   std::array<std::atomic<std::uint64_t>, kMsgSizeBuckets> size_hist_{};
 

@@ -15,6 +15,38 @@ void release_credit(Envelope& env) {
 
 }  // namespace
 
+void MatchingEngine::configure(MatchPolicy policy, net::ChannelStats* ch) {
+  policy_ = policy;
+  ch_ = ch;
+  latched_ = policy == MatchPolicy::kList;
+  const bool positions = !latched_;
+  posted_.set_positions_enabled(positions);
+  unexpected_.set_positions_enabled(positions);
+}
+
+void MatchingEngine::latch() {
+  if (latched_) return;
+  latched_ = true;
+  posted_.drop_index();
+  unexpected_.drop_index();
+  posted_.set_positions_enabled(false);
+  unexpected_.set_positions_enabled(false);
+}
+
+void MatchingEngine::count_bucket(net::NetStats* stats, bool hit) const {
+  if (stats != nullptr) {
+    hit ? stats->add_bucket_hit() : stats->add_bucket_miss();
+  }
+  if (ch_ != nullptr) {
+    hit ? ch_->add_bucket_hit() : ch_->add_bucket_miss();
+  }
+}
+
+void MatchingEngine::count_fallback(net::NetStats* stats) const {
+  if (stats != nullptr) stats->add_wildcard_fallback();
+  if (ch_ != nullptr) ch_->add_wildcard_fallback();
+}
+
 void MatchingEngine::deliver(Envelope& env, PostedRecv& pr, net::Time match_time) {
   release_credit(env);
   Status st;
@@ -46,21 +78,9 @@ void MatchingEngine::deliver(Envelope& env, PostedRecv& pr, net::Time match_time
   }
 }
 
-bool MatchingEngine::deposit(Envelope env, net::VirtualClock& clk, const net::CostModel& cm,
-                             net::NetStats* stats, std::size_t unexpected_cap) {
-  std::uint64_t probes = 0;
-  for (auto it = posted_.begin(); it != posted_.end(); ++it) {
-    ++probes;
-    clk.advance(cm.match_probe_ns);
-    if (matches(*it, env)) {
-      if (stats != nullptr) stats->add_match_probes(probes);
-      const net::Time match_time = std::max(clk.now(), it->post_time);
-      deliver(env, *it, match_time);
-      posted_.erase(it);
-      return true;
-    }
-  }
-  if (stats != nullptr) stats->add_match_probes(probes);
+bool MatchingEngine::enqueue_unexpected(Envelope&& env, bool indexed,
+                                        net::VirtualClock& clk, const net::CostModel& cm,
+                                        net::NetStats* stats, std::size_t unexpected_cap) {
   if (unexpected_cap > 0 && unexpected_.size() >= unexpected_cap) {
     // Hard cap (DESIGN.md §8): the message is rejected, not queued. No
     // insert cost is charged — the NIC refused the work.
@@ -70,29 +90,100 @@ bool MatchingEngine::deposit(Envelope env, net::VirtualClock& clk, const net::Co
   if (stats != nullptr) stats->add_unexpected();
   clk.advance(cm.match_insert_ns);
   env.ready_time = clk.now();
-  unexpected_.push_back(std::move(env));
+  const MatchKey key{env.ctx_id, env.src, env.tag};
+  unexpected_.push_back(std::move(env), key, indexed);
   return true;
 }
 
-bool MatchingEngine::probe_unexpected(int ctx_id, int src, Tag tag, net::VirtualClock& clk,
-                                      const net::CostModel& cm, net::NetStats* stats,
-                                      Status* st) const {
+bool MatchingEngine::deposit(Envelope&& env, net::VirtualClock& clk,
+                             const net::CostModel& cm, net::NetStats* stats,
+                             std::size_t unexpected_cap) {
+  if (use_bucket(env.src, env.tag, env.fastpath)) {
+    // Exact-key fast path: the bucket FIFO head is the earliest compatible
+    // posted receive (no wildcard can be pending — a wildcard post would
+    // have latched). Virtual time is charged for the probe count the
+    // ordered scan would have made: the match's 1-based insertion-order
+    // position, or the full queue length on a miss.
+    const MatchKey key{env.ctx_id, env.src, env.tag};
+    if (auto* n = posted_.find_bucket(key)) {
+      const std::uint64_t probes = posted_.position(n);
+      clk.advance(probes * cm.match_probe_ns);
+      count_bucket(stats, true);
+      if (stats != nullptr) stats->add_match_probes(probes);
+      const net::Time match_time = std::max(clk.now(), n->item.post_time);
+      deliver(env, n->item, match_time);
+      posted_.erase(n);
+      return true;
+    }
+    const std::uint64_t probes = posted_.size();
+    clk.advance(probes * cm.match_probe_ns);
+    count_bucket(stats, false);
+    if (stats != nullptr) stats->add_match_probes(probes);
+    return enqueue_unexpected(std::move(env), /*indexed=*/true, clk, cm, stats,
+                              unexpected_cap);
+  }
+
+  count_fallback(stats);
+  std::uint64_t probes = 0;
+  for (auto* it = posted_.head(); it != nullptr; it = it->next) {
+    ++probes;
+    clk.advance(cm.match_probe_ns);
+    if (matches(it->item, env)) {
+      if (stats != nullptr) stats->add_match_probes(probes);
+      const net::Time match_time = std::max(clk.now(), it->item.post_time);
+      deliver(env, it->item, match_time);
+      posted_.erase(it);
+      return true;
+    }
+  }
+  if (stats != nullptr) stats->add_match_probes(probes);
+  return enqueue_unexpected(std::move(env),
+                            index_entry(env.src, env.tag, env.fastpath), clk, cm,
+                            stats, unexpected_cap);
+}
+
+bool MatchingEngine::probe_unexpected(int ctx_id, int src, Tag tag, bool fastpath,
+                                      net::VirtualClock& clk, const net::CostModel& cm,
+                                      net::NetStats* stats, Status* st) const {
+  if (use_bucket(src, tag, fastpath)) {
+    const MatchKey key{ctx_id, src, tag};
+    if (const auto* n = unexpected_.find_bucket(key)) {
+      const std::uint64_t probes = unexpected_.position(n);
+      clk.advance(probes * cm.match_probe_ns);
+      count_bucket(stats, true);
+      if (stats != nullptr) stats->add_match_probes(probes);
+      if (st != nullptr) {
+        st->source = n->item.src;
+        st->tag = n->item.tag;
+        st->bytes = n->item.bytes;
+      }
+      clk.advance_to(n->item.ready_time);
+      return true;
+    }
+    const std::uint64_t probes = unexpected_.size();
+    clk.advance(probes * cm.match_probe_ns);
+    count_bucket(stats, false);
+    if (stats != nullptr) stats->add_match_probes(probes);
+    return false;
+  }
+
+  count_fallback(stats);
   PostedRecv probe;
   probe.ctx_id = ctx_id;
   probe.src = src;
   probe.tag = tag;
   std::uint64_t probes = 0;
-  for (const Envelope& env : unexpected_) {
+  for (const auto* it = unexpected_.head(); it != nullptr; it = it->next) {
     ++probes;
     clk.advance(cm.match_probe_ns);
-    if (matches(probe, env)) {
+    if (matches(probe, it->item)) {
       if (stats != nullptr) stats->add_match_probes(probes);
       if (st != nullptr) {
-        st->source = env.src;
-        st->tag = env.tag;
-        st->bytes = env.bytes;
+        st->source = it->item.src;
+        st->tag = it->item.tag;
+        st->bytes = it->item.bytes;
       }
-      clk.advance_to(env.ready_time);
+      clk.advance_to(it->item.ready_time);
       return true;
     }
   }
@@ -100,17 +191,43 @@ bool MatchingEngine::probe_unexpected(int ctx_id, int src, Tag tag, net::Virtual
   return false;
 }
 
-void MatchingEngine::post_recv(PostedRecv pr, net::VirtualClock& clk, const net::CostModel& cm,
-                               net::NetStats* stats) {
+void MatchingEngine::post_recv(PostedRecv pr, net::VirtualClock& clk,
+                               const net::CostModel& cm, net::NetStats* stats) {
+  if (pr.src == kAnySource || pr.tag == kAnyTag) latch();
+
+  if (use_bucket(pr.src, pr.tag, pr.fastpath)) {
+    const MatchKey key{pr.ctx_id, pr.src, pr.tag};
+    if (auto* n = unexpected_.find_bucket(key)) {
+      const std::uint64_t probes = unexpected_.position(n);
+      clk.advance(probes * cm.match_probe_ns);
+      count_bucket(stats, true);
+      if (stats != nullptr) stats->add_match_probes(probes);
+      const net::Time match_time = std::max(clk.now(), n->item.ready_time);
+      pr.post_time = clk.now();
+      deliver(n->item, pr, match_time);
+      unexpected_.erase(n);
+      return;
+    }
+    const std::uint64_t probes = unexpected_.size();
+    clk.advance(probes * cm.match_probe_ns);
+    count_bucket(stats, false);
+    if (stats != nullptr) stats->add_match_probes(probes);
+    clk.advance(cm.match_insert_ns);
+    pr.post_time = clk.now();
+    posted_.push_back(std::move(pr), key, /*indexed=*/true);
+    return;
+  }
+
+  count_fallback(stats);
   std::uint64_t probes = 0;
-  for (auto it = unexpected_.begin(); it != unexpected_.end(); ++it) {
+  for (auto* it = unexpected_.head(); it != nullptr; it = it->next) {
     ++probes;
     clk.advance(cm.match_probe_ns);
-    if (matches(pr, *it)) {
+    if (matches(pr, it->item)) {
       if (stats != nullptr) stats->add_match_probes(probes);
-      const net::Time match_time = std::max(clk.now(), it->ready_time);
+      const net::Time match_time = std::max(clk.now(), it->item.ready_time);
       pr.post_time = clk.now();
-      deliver(*it, pr, match_time);
+      deliver(it->item, pr, match_time);
       unexpected_.erase(it);
       return;
     }
@@ -118,27 +235,38 @@ void MatchingEngine::post_recv(PostedRecv pr, net::VirtualClock& clk, const net:
   if (stats != nullptr) stats->add_match_probes(probes);
   clk.advance(cm.match_insert_ns);
   pr.post_time = clk.now();
-  posted_.push_back(std::move(pr));
+  const MatchKey key{pr.ctx_id, pr.src, pr.tag};
+  const bool indexed = index_entry(pr.src, pr.tag, pr.fastpath);
+  posted_.push_back(std::move(pr), key, indexed);
 }
 
 void MatchingEngine::absorb(MatchingEngine& from) {
-  // Per-element scan-splice rather than std::list::merge: the queues are not
-  // guaranteed internally sorted (arrival clocks of different senders are
-  // independent), and merge's behaviour is undefined on unsorted input. Each
-  // migrated entry lands before the first entry of this engine with a
-  // strictly later enqueue time, so post-failover matching order is what a
-  // single channel observing both histories would have produced.
-  auto merge_by = [](auto& dst, auto& src, auto enqueue_time) {
-    while (!src.empty()) {
-      const net::Time t = enqueue_time(src.front());
-      auto pos = dst.begin();
-      while (pos != dst.end() && enqueue_time(*pos) <= t) ++pos;
-      dst.splice(pos, src, src.begin());
-    }
-  };
-  merge_by(unexpected_, from.unexpected_,
-           [](const Envelope& e) { return e.ready_time; });
-  merge_by(posted_, from.posted_, [](const PostedRecv& p) { return p.post_time; });
+  // A latched (or list-policy) source engine may hold entries that were
+  // posted as wildcards; the merged engine must stay on the ordered path.
+  if (from.latched_) latch();
+
+  // Strip both overlays, merge the ordered lists with seed semantics, then
+  // re-index whatever still qualifies. Failover is the cold path; the O(n)
+  // rebuild keeps every hot-path invariant local to one queue.
+  posted_.drop_index();
+  unexpected_.drop_index();
+  from.posted_.drop_index();
+  from.unexpected_.drop_index();
+
+  unexpected_.absorb(from.unexpected_, [](const Envelope& e) { return e.ready_time; });
+  posted_.absorb(from.posted_, [](const PostedRecv& p) { return p.post_time; });
+
+  if (!latched_) {
+    unexpected_.reindex(
+        [this](const Envelope& e) { return index_entry(e.src, e.tag, e.fastpath); });
+    posted_.reindex(
+        [this](const PostedRecv& p) { return index_entry(p.src, p.tag, p.fastpath); });
+  }
+}
+
+void MatchingEngine::clear() {
+  posted_.clear();
+  unexpected_.clear();
 }
 
 }  // namespace tmpi::detail

@@ -1,14 +1,19 @@
 #ifndef TMPI_MATCHING_H
 #define TMPI_MATCHING_H
 
+#include <algorithm>
 #include <atomic>
+#include <bit>
 #include <cstddef>
+#include <cstdint>
 #include <cstring>
-#include <list>
 #include <memory>
+#include <new>
+#include <utility>
 #include <vector>
 
 #include "net/cost_model.h"
+#include "net/slab_pool.h"
 #include "net/stats.h"
 #include "net/virtual_clock.h"
 #include "tmpi/error.h"
@@ -16,7 +21,7 @@
 #include "tmpi/types.h"
 
 /// \file matching.h
-/// Per-VCI message matching engine.
+/// Per-VCI message matching engine, with a hint-gated O(1) fast path.
 ///
 /// Each VCI owns one MatchingEngine — MPICH's "distinct matching engine per
 /// communication channel" design the paper builds on. Matching follows MPI
@@ -26,11 +31,77 @@
 /// each other — that unordering is precisely what "logically parallel
 /// communication" exposes.
 ///
+/// ## The fast path (DESIGN.md §10)
+///
+/// The MPI-4.0 assert hints (`mpi_assert_no_any_source` +
+/// `mpi_assert_no_any_tag`, Lesson 7) promise a communicator will never use
+/// wildcards, which lets the engine index its queues by exact (ctx, src,
+/// tag) key. Both queues live in ONE storage, a MatchQueue: a pooled,
+/// intrusively linked list in insertion order (the wildcard-correct ground
+/// truth), with an open-addressed hash index overlaid on hint-qualified
+/// entries and a Fenwick tree counting live entries by insertion order.
+///
+/// A bucket lookup finds the earliest exact-key entry in O(1) host time and
+/// then charges virtual time for the *list-equivalent* probe count — the
+/// entry's 1-based position in insertion order (Fenwick prefix sum, O(log
+/// n)); a miss charges the full queue length, exactly what the scan would
+/// have cost. Virtual time is therefore bit-identical in list and bucket
+/// modes for every workload — the fast path accelerates the harness, not
+/// the simulated machine — which is what lets the golden parity suite pin
+/// both modes to the same numbers.
+///
+/// Correctness of the shortcut: a concrete-key query's compatible set is
+/// exactly its bucket (equal keys) plus same-ctx wildcard entries. Wildcard
+/// *posts* latch the engine (below) and hinted contexts can never issue them
+/// (route_recv raises kWildcardViolation), so when a bucket is consulted the
+/// compatible set is the bucket alone, and its FIFO head is the
+/// earliest-in-order compatible entry — the same entry the scan would pick.
+///
+/// ## Mode latch
+///
+/// The engine starts in bucket mode (policy kAuto/kBucket) and latches to
+/// list mode the first time a wildcard receive is posted: indexes are
+/// dropped, position tracking stops, and every subsequent operation takes
+/// the ordered-list scan. The latch is sticky — engines mixing hinted and
+/// wildcard traffic stay on the always-correct path. Policy kList starts
+/// latched (seed behaviour, the bench baseline).
+///
 /// The engine is externally synchronized: its owning Vci guards it with a
 /// ContentionLock so that software serialization (n threads funneling into
 /// one VCI) is charged to virtual time where it actually occurs.
 
 namespace tmpi::detail {
+
+/// Queue indexing discipline, selected per world (tmpi_match_mode /
+/// TMPI_MATCH_MODE: "auto" | "list" | "bucket").
+enum class MatchPolicy {
+  kAuto,    ///< index entries from no-wildcard-hinted communicators
+  kList,    ///< never index: ordered-scan only (seed behaviour)
+  kBucket,  ///< index every concrete-key entry, latch on any wildcard post
+};
+
+/// Exact matching key. Wildcards never appear in an *indexed* key.
+struct MatchKey {
+  int ctx_id = 0;
+  int src = 0;
+  Tag tag = 0;
+  friend bool operator==(const MatchKey&, const MatchKey&) = default;
+};
+
+/// 64-bit mix of a MatchKey; values 0 and 1 are reserved by the hash table
+/// (empty / tombstone).
+[[nodiscard]] inline std::uint64_t hash_match_key(const MatchKey& k) {
+  std::uint64_t h =
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(k.ctx_id)) << 32) |
+      static_cast<std::uint32_t>(k.src);
+  h ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(k.tag)) *
+       0x9e3779b97f4a7c15ULL;
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  if (h < 2) h = 0x9e3779b97f4a7c15ULL;
+  return h;
+}
 
 /// A message as it arrives at a target VCI.
 struct Envelope {
@@ -39,7 +110,12 @@ struct Envelope {
   Tag tag = 0;
 
   std::size_t bytes = 0;
-  std::vector<std::byte> payload;  ///< owned data (eager protocol)
+  net::PooledBuf payload;  ///< owned data (eager protocol), slab-recycled
+
+  /// Sender-side routing verdict: the communicator asserted no wildcards (or
+  /// this is collective traffic, which never uses them), so this envelope
+  /// may be indexed by exact key. Consistent per ctx_id by construction.
+  bool fastpath = false;
 
   // Rendezvous protocol (bytes > eager threshold): the payload stays in the
   // sender's buffer until the match; completion costs are precomputed by the
@@ -70,10 +146,399 @@ struct PostedRecv {
   std::size_t capacity = 0;
   std::shared_ptr<ReqState> req;
   net::Time post_time = 0;
+  bool fastpath = false;  ///< posted through a no-wildcard-hinted communicator
+};
+
+/// Insertion-ordered queue with an optional exact-key index overlay.
+///
+/// Storage is one intrusive doubly linked list of pool-recycled nodes, in
+/// insertion order — every scan walks it exactly like the seed's std::list,
+/// so fallback behaviour (and virtual-time charges) cannot drift. Indexed
+/// nodes additionally hang off an open-addressed hash table (linear probing,
+/// tombstones) as per-key FIFO chains, and a windowed Fenwick tree over
+/// insertion sequence numbers answers "how many live entries precede this
+/// one" in O(log n) — the list-equivalent probe count a bucket hit charges.
+///
+/// Externally synchronized, like the engine that owns it.
+template <class T>
+class MatchQueue {
+ public:
+  static constexpr std::int32_t kUnindexed = -1;
+
+  struct Node {
+    explicit Node(T&& it) : item(std::move(it)) {}
+    T item;
+    MatchKey key{};
+    std::uint64_t hash = 0;
+    std::uint64_t seq = 0;     ///< insertion sequence (windowed; see renumber())
+    Node* prev = nullptr;      ///< global insertion-order list
+    Node* next = nullptr;
+    Node* knext = nullptr;     ///< next node with the same key (bucket FIFO)
+    std::int32_t slot = kUnindexed;  ///< hash-table slot, or kUnindexed
+  };
+
+  MatchQueue() = default;
+  MatchQueue(const MatchQueue&) = delete;
+  MatchQueue& operator=(const MatchQueue&) = delete;
+
+  ~MatchQueue() {
+    clear();
+    for (void* c : chunks_) ::operator delete(c);
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] Node* head() const { return head_; }
+
+  /// Append an entry; `indexed` additionally files it under its exact key.
+  Node* push_back(T&& item, const MatchKey& key, bool indexed) {
+    Node* n = create_node(std::move(item));
+    n->key = key;
+    n->hash = hash_match_key(key);
+    link_back(n);
+    if (positions_enabled_) assign_seq(n);
+    if (indexed) index_append(n);
+    return n;
+  }
+
+  /// Head of the FIFO chain for `key`, or null when no indexed entry with
+  /// that key exists. O(1) expected.
+  [[nodiscard]] Node* find_bucket(const MatchKey& key) const {
+    if (table_.empty()) return nullptr;
+    const std::uint64_t h = hash_match_key(key);
+    const std::size_t mask = table_.size() - 1;
+    for (std::size_t i = h & mask;; i = (i + 1) & mask) {
+      const Slot& s = table_[i];
+      if (s.h == 0) return nullptr;
+      if (s.h == h && s.head != nullptr && s.head->key == key) return s.head;
+    }
+  }
+
+  /// 1-based position of `n` in insertion order among live entries — the
+  /// number of probes a front-to-back scan stopping at `n` would make.
+  /// Requires position tracking (never called after a latch).
+  [[nodiscard]] std::uint64_t position(const Node* n) const {
+    return fen_prefix(n->seq - base_);
+  }
+
+  /// Remove and destroy an entry (unindexing it first if needed).
+  void erase(Node* n) {
+    if (n->slot != kUnindexed) unindex(n);
+    if (positions_enabled_) fen_add(n->seq - base_, -1);
+    unlink(n);
+    destroy_node(n);
+  }
+
+  /// Discard the index overlay, leaving the ordered list untouched (the
+  /// bucket→list drain: O(n), once, on the first wildcard post).
+  void drop_index() {
+    for (Node* n = head_; n != nullptr; n = n->next) {
+      n->slot = kUnindexed;
+      n->knext = nullptr;
+    }
+    std::vector<Slot>().swap(table_);
+    table_used_ = 0;
+    table_live_ = 0;
+  }
+
+  /// Rebuild the index over entries selected by `pred(item)`, in list order
+  /// (preserves per-key FIFO). Index must be empty (drop_index() first).
+  template <class Pred>
+  void reindex(Pred pred) {
+    for (Node* n = head_; n != nullptr; n = n->next) {
+      if (pred(n->item)) index_append(n);
+    }
+  }
+
+  /// Enable/disable the Fenwick position tracker. Disabling frees it;
+  /// enabling renumbers existing entries.
+  void set_positions_enabled(bool on) {
+    if (on == positions_enabled_) return;
+    positions_enabled_ = on;
+    if (on) {
+      renumber();
+    } else {
+      std::vector<std::int32_t>().swap(fen_);
+      base_ = 0;
+      next_seq_ = 0;
+    }
+  }
+
+  /// Failover merge (seed semantics, DESIGN.md §7): move every entry of
+  /// `from` into this queue, each landing before the first entry with a
+  /// strictly later enqueue time — ties keep existing entries first. Items
+  /// are moved into nodes from this queue's pool; `from` is left empty.
+  /// Both indexes must have been dropped by the caller.
+  template <class TimeFn>
+  void absorb(MatchQueue& from, TimeFn enqueue_time) {
+    Node* f = from.head_;
+    while (f != nullptr) {
+      Node* fnext = f->next;
+      const net::Time t = enqueue_time(f->item);
+      Node* pos = head_;
+      while (pos != nullptr && enqueue_time(pos->item) <= t) pos = pos->next;
+      Node* n = create_node(std::move(f->item));
+      n->key = f->key;
+      n->hash = f->hash;
+      insert_before(pos, n);
+      from.destroy_node(f);
+      f = fnext;
+    }
+    from.head_ = from.tail_ = nullptr;
+    from.size_ = 0;
+    if (from.positions_enabled_) from.renumber();
+    if (positions_enabled_) renumber();
+  }
+
+  /// Destroy every entry (releasing pooled payloads etc.); keeps the node
+  /// chunks for reuse.
+  void clear() {
+    Node* n = head_;
+    while (n != nullptr) {
+      Node* nx = n->next;
+      destroy_node(n);
+      n = nx;
+    }
+    head_ = tail_ = nullptr;
+    size_ = 0;
+    std::vector<Slot>().swap(table_);
+    table_used_ = 0;
+    table_live_ = 0;
+    fen_.clear();
+    base_ = 0;
+    next_seq_ = 0;
+  }
+
+ private:
+  struct Slot {
+    std::uint64_t h = 0;  ///< 0 empty, 1 tombstone, else node hash
+    Node* head = nullptr;
+    Node* tail = nullptr;
+  };
+
+  // --- node pool -----------------------------------------------------------
+
+  static constexpr std::size_t kChunkNodes = 32;
+
+  Node* create_node(T&& item) {
+    if (free_ == nullptr) refill();
+    void* p = free_;
+    free_ = *static_cast<void**>(p);
+    return new (p) Node(std::move(item));
+  }
+
+  void destroy_node(Node* n) {
+    n->~Node();
+    *reinterpret_cast<void**>(n) = free_;
+    free_ = n;
+  }
+
+  void refill() {
+    auto* chunk = static_cast<std::byte*>(::operator new(kChunkNodes * sizeof(Node)));
+    chunks_.push_back(chunk);
+    for (std::size_t i = 0; i < kChunkNodes; ++i) {
+      void* b = chunk + i * sizeof(Node);
+      *static_cast<void**>(b) = free_;
+      free_ = b;
+    }
+  }
+
+  // --- insertion-order list ------------------------------------------------
+
+  void link_back(Node* n) {
+    n->prev = tail_;
+    n->next = nullptr;
+    if (tail_ != nullptr) {
+      tail_->next = n;
+    } else {
+      head_ = n;
+    }
+    tail_ = n;
+    ++size_;
+  }
+
+  void insert_before(Node* pos, Node* n) {
+    if (pos == nullptr) {
+      link_back(n);
+      return;
+    }
+    n->next = pos;
+    n->prev = pos->prev;
+    if (pos->prev != nullptr) {
+      pos->prev->next = n;
+    } else {
+      head_ = n;
+    }
+    pos->prev = n;
+    ++size_;
+  }
+
+  void unlink(Node* n) {
+    if (n->prev != nullptr) {
+      n->prev->next = n->next;
+    } else {
+      head_ = n->next;
+    }
+    if (n->next != nullptr) {
+      n->next->prev = n->prev;
+    } else {
+      tail_ = n->prev;
+    }
+    --size_;
+  }
+
+  // --- exact-key hash index ------------------------------------------------
+
+  void index_append(Node* n) {
+    if (table_.empty() || (table_used_ + 1) * 4 >= table_.size() * 3) {
+      rebuild_table();
+    }
+    raw_index_append(n);
+  }
+
+  /// Insert into a table guaranteed to have room. Appends to an existing
+  /// key chain or claims a tombstone/empty slot for a new one.
+  void raw_index_append(Node* n) {
+    const std::size_t mask = table_.size() - 1;
+    std::size_t place = table_.size();  // sentinel: none found yet
+    for (std::size_t i = n->hash & mask;; i = (i + 1) & mask) {
+      Slot& s = table_[i];
+      if (s.h == 0) {
+        if (place == table_.size()) place = i;
+        break;
+      }
+      if (s.h == 1) {
+        if (place == table_.size()) place = i;
+      } else if (s.h == n->hash && s.head->key == n->key) {
+        s.tail->knext = n;
+        s.tail = n;
+        n->slot = static_cast<std::int32_t>(i);
+        n->knext = nullptr;
+        return;
+      }
+    }
+    Slot& s = table_[place];
+    if (s.h == 0) ++table_used_;  // tombstone reuse keeps used_ flat
+    s.h = n->hash;
+    s.head = s.tail = n;
+    n->slot = static_cast<std::int32_t>(place);
+    n->knext = nullptr;
+    ++table_live_;
+  }
+
+  /// Re-seat every indexed node in a fresh table sized for the live count
+  /// (also purges tombstones). Rare: only on growth or tombstone pileup;
+  /// steady-state traffic reuses tombstoned slots in place.
+  void rebuild_table() {
+    std::vector<Node*> indexed;
+    indexed.reserve(table_live_);
+    for (Node* n = head_; n != nullptr; n = n->next) {
+      if (n->slot != kUnindexed) {
+        indexed.push_back(n);
+        n->slot = kUnindexed;
+        n->knext = nullptr;
+      }
+    }
+    const std::size_t cap =
+        std::max<std::size_t>(64, std::bit_ceil((indexed.size() + 1) * 2));
+    table_.assign(cap, Slot{});
+    table_used_ = 0;
+    table_live_ = 0;
+    for (Node* n : indexed) raw_index_append(n);
+  }
+
+  void unindex(Node* n) {
+    Slot& s = table_[static_cast<std::size_t>(n->slot)];
+    if (s.head == n) {
+      s.head = n->knext;
+      if (s.head == nullptr) {
+        s.h = 1;  // tombstone: probe chains crossing this slot stay intact
+        s.tail = nullptr;
+        --table_live_;
+      }
+    } else {
+      Node* p = s.head;
+      while (p->knext != n) p = p->knext;
+      p->knext = n->knext;
+      if (s.tail == n) s.tail = p;
+    }
+    n->slot = kUnindexed;
+    n->knext = nullptr;
+  }
+
+  // --- windowed Fenwick position tracker -----------------------------------
+  //
+  // Sequence numbers are dense per window [base_, base_ + fen_.size());
+  // when the window fills, renumber() re-lays live entries at 0..size-1 and
+  // re-sizes the window to >= 2x the live count, so the slack between
+  // renumbers is at least the live count — amortized O(1) maintenance, and
+  // no allocation at all once the window size stabilizes.
+
+  void assign_seq(Node* n) {
+    if (next_seq_ - base_ >= fen_.size()) {
+      // n is already linked at the tail, so the renumber sweep assigned and
+      // counted its seq — assigning again here would double-count it.
+      renumber();
+      return;
+    }
+    n->seq = next_seq_++;
+    fen_add(n->seq - base_, 1);
+  }
+
+  void renumber() {
+    const std::size_t cap = std::max<std::size_t>(
+        64, std::bit_ceil(size_ == 0 ? std::size_t{1} : size_ * 2));
+    if (fen_.size() == cap) {
+      std::fill(fen_.begin(), fen_.end(), 0);
+    } else {
+      fen_.assign(cap, 0);
+    }
+    base_ = 0;
+    next_seq_ = 0;
+    for (Node* n = head_; n != nullptr; n = n->next) {
+      n->seq = next_seq_++;
+      fen_add(n->seq, 1);
+    }
+  }
+
+  void fen_add(std::uint64_t idx, std::int32_t delta) {
+    for (std::size_t i = idx + 1; i <= fen_.size(); i += i & (~i + 1)) {
+      fen_[i - 1] += delta;
+    }
+  }
+
+  [[nodiscard]] std::uint64_t fen_prefix(std::uint64_t idx) const {
+    std::uint64_t sum = 0;
+    for (std::size_t i = idx + 1; i > 0; i -= i & (~i + 1)) {
+      sum += static_cast<std::uint64_t>(fen_[i - 1]);
+    }
+    return sum;
+  }
+
+  Node* head_ = nullptr;
+  Node* tail_ = nullptr;
+  std::size_t size_ = 0;
+
+  void* free_ = nullptr;        ///< node freelist (link in first word)
+  std::vector<void*> chunks_;   ///< owned chunk allocations
+
+  std::vector<Slot> table_;     ///< power-of-two open-addressed index
+  std::size_t table_used_ = 0;  ///< occupied + tombstoned slots
+  std::size_t table_live_ = 0;  ///< occupied slots (distinct live keys)
+
+  bool positions_enabled_ = true;
+  std::vector<std::int32_t> fen_;
+  std::uint64_t base_ = 0;
+  std::uint64_t next_seq_ = 0;
 };
 
 class MatchingEngine {
  public:
+  /// Select the indexing policy and (optionally) the owning channel's
+  /// counter block for bucket/fallback telemetry. Called once at VCI
+  /// construction, before any traffic.
+  void configure(MatchPolicy policy, net::ChannelStats* ch);
+
   /// Process an arriving message. `clk` is an *arrival* clock positioned at
   /// the message's wire-arrival time (the caller thread's own clock is not
   /// affected — matching work belongs to the target side).
@@ -86,33 +551,52 @@ class MatchingEngine {
   /// message that would have to enqueue while the queue is at the cap is
   /// rejected — its eager credit is released and the function returns false
   /// so the transport can surface kResourceExhausted. 0 means unbounded.
-  bool deposit(Envelope env, net::VirtualClock& clk, const net::CostModel& cm,
+  bool deposit(Envelope&& env, net::VirtualClock& clk, const net::CostModel& cm,
                net::NetStats* stats, std::size_t unexpected_cap = 0);
 
   /// Post a receive from the owning rank's thread (its own clock). Matches
   /// the earliest-arrived compatible unexpected message, completing the
-  /// request immediately; otherwise enqueues on the posted queue.
+  /// request immediately; otherwise enqueues on the posted queue. A wildcard
+  /// receive latches the engine to list mode first (sticky).
   void post_recv(PostedRecv pr, net::VirtualClock& clk, const net::CostModel& cm,
                  net::NetStats* stats);
 
   /// Probe: report whether an unexpected message matches (ctx, src, tag)
-  /// without consuming it. Fills `st` on success.
-  bool probe_unexpected(int ctx_id, int src, Tag tag, net::VirtualClock& clk,
-                        const net::CostModel& cm, net::NetStats* stats, Status* st) const;
+  /// without consuming it. Fills `st` on success. `fastpath` carries the
+  /// probing communicator's no-wildcard hint; probes never latch (the
+  /// ordered list answers wildcard probes correctly in any mode).
+  bool probe_unexpected(int ctx_id, int src, Tag tag, bool fastpath,
+                        net::VirtualClock& clk, const net::CostModel& cm,
+                        net::NetStats* stats, Status* st) const;
 
   /// Failover queue migration (DESIGN.md §7): merge every queued receive and
   /// unexpected message out of `from` into this engine, interleaved by
   /// virtual enqueue time (ready_time / post_time) so the merged engine
   /// matches in the order a single channel would have. Ties keep this
-  /// engine's entries first. Caller holds both VCIs' ContentionLocks.
+  /// engine's entries first. Indexed entries are re-indexed after the merge
+  /// (unless a latch — either engine's — forces list mode). Caller holds
+  /// both VCIs' ContentionLocks.
   /// Best-effort: an in-flight deposit that resolved its VCI before the
   /// redirect was published can still land in `from` afterwards —
   /// deterministic tests phase-order traffic around the failover, and the
   /// stress suite injects no ctx-down events.
   void absorb(MatchingEngine& from);
 
+  /// Drop every queued entry, releasing pooled payloads and node storage
+  /// back to their owners. VciPool's destructor drains all engines this way
+  /// before any Vci (and its slab pool) is destroyed, so cross-VCI payload
+  /// migration from failover cannot dangle.
+  void clear();
+
   [[nodiscard]] std::size_t posted_depth() const { return posted_.size(); }
   [[nodiscard]] std::size_t unexpected_depth() const { return unexpected_.size(); }
+
+  /// True while exact-key lookups are in use (not latched, policy allows).
+  [[nodiscard]] bool bucket_mode() const {
+    return !latched_ && policy_ != MatchPolicy::kList;
+  }
+  [[nodiscard]] bool latched() const { return latched_; }
+  [[nodiscard]] MatchPolicy policy() const { return policy_; }
 
  private:
   static bool matches(const PostedRecv& pr, const Envelope& env) {
@@ -120,12 +604,41 @@ class MatchingEngine {
            (pr.tag == kAnyTag || pr.tag == env.tag);
   }
 
+  /// Should an entry with this shape be filed in the exact-key index?
+  [[nodiscard]] bool index_entry(int src, Tag tag, bool fastpath) const {
+    if (latched_ || src == kAnySource || tag == kAnyTag) return false;
+    return policy_ == MatchPolicy::kBucket ||
+           (policy_ == MatchPolicy::kAuto && fastpath);
+  }
+
+  /// May a query with this shape be answered from the index? Mirrors
+  /// index_entry so a qualified query's compatible entries are all indexed.
+  [[nodiscard]] bool use_bucket(int src, Tag tag, bool fastpath) const {
+    return index_entry(src, tag, fastpath);
+  }
+
+  /// Sticky bucket→list drain: first wildcard post drops both indexes and
+  /// stops position tracking; the ordered list (which always held every
+  /// entry) simply continues as the only structure.
+  void latch();
+
+  void count_bucket(net::NetStats* stats, bool hit) const;
+  void count_fallback(net::NetStats* stats) const;
+
+  /// Append to the unexpected queue (cap-checked), charging insert cost.
+  bool enqueue_unexpected(Envelope&& env, bool indexed, net::VirtualClock& clk,
+                          const net::CostModel& cm, net::NetStats* stats,
+                          std::size_t unexpected_cap);
+
   /// Deliver `env` into `pr`, completing requests. `match_time` is the
   /// virtual time at which the match happened.
   static void deliver(Envelope& env, PostedRecv& pr, net::Time match_time);
 
-  std::list<Envelope> unexpected_;
-  std::list<PostedRecv> posted_;
+  MatchQueue<Envelope> unexpected_;
+  MatchQueue<PostedRecv> posted_;
+  MatchPolicy policy_ = MatchPolicy::kAuto;
+  bool latched_ = false;
+  net::ChannelStats* ch_ = nullptr;
 };
 
 }  // namespace tmpi::detail

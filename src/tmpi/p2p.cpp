@@ -24,6 +24,14 @@ void validate_rank(const Comm& comm, int r, bool allow_any) {
   TMPI_REQUIRE(r >= 0 && r < comm.size(), Errc::kInvalidArg, "rank out of range");
 }
 
+/// May traffic on `ctx_id` take the exact-key matching fast path (DESIGN.md
+/// §10)? Either the communicator asserted both no-wildcard hints (Lesson 7)
+/// — route_recv then rejects any wildcard — or this is internal collective
+/// traffic, which never uses wildcards by construction.
+bool fastpath_ctx(const detail::CommImpl& c, int ctx_id) {
+  return ctx_id == c.coll_ctx_id || (c.no_any_source && c.no_any_tag);
+}
+
 /// Common send path. `ctx_id` selects the matching context (user pt2p or an
 /// internal one); `tag` is already validated by the caller. A non-null `req`
 /// is completed instead of a fresh state (persistent sends).
@@ -35,7 +43,7 @@ Request isend_impl(const void* buf, std::size_t bytes, int ctx_id, int dst, Tag 
   const net::CostModel& cm = w.cost();
 
   if (!req) {
-    req = std::make_shared<ReqState>();
+    req = detail::make_req_state();
     req->kind = ReqKind::kSend;
   }
 
@@ -138,6 +146,7 @@ Request isend_impl(const void* buf, std::size_t bytes, int ctx_id, int dst, Tag 
   env.src = comm.rank();
   env.tag = tag;
   env.bytes = bytes;
+  env.fastpath = fastpath_ctx(c, ctx_id);
   if (rndv) {
     env.rendezvous = true;
     env.rndv_src = static_cast<const std::byte*>(buf);
@@ -146,7 +155,9 @@ Request isend_impl(const void* buf, std::size_t bytes, int ctx_id, int dst, Tag 
     env.rndv_extra_ns = w.fabric().transfer_time(src_node, dst_node, 0) +
                         w.fabric().transfer_time(src_node, dst_node, bytes);
   } else {
-    env.payload.resize(bytes);
+    // Slab-recycled staging block (DESIGN.md §10): acquired from the sending
+    // channel's pool, released wherever the envelope is consumed.
+    env.payload.acquire(w.rank_state(src_wr).vcis.at(route.local).payload_pool(), bytes);
     if (bytes > 0) std::memcpy(env.payload.data(), buf, bytes);
     env.copy_ns = static_cast<net::Time>(static_cast<double>(bytes) /
                                          cm.shm_bandwidth_bytes_per_ns);
@@ -177,7 +188,7 @@ Request irecv_impl(void* buf, std::size_t capacity, int ctx_id, int src, Tag tag
   const int lvci = detail::route_recv(c, comm.rank(), src, tag);
 
   if (!req) {
-    req = std::make_shared<ReqState>();
+    req = detail::make_req_state();
     req->kind = ReqKind::kRecv;
   }
 
@@ -215,6 +226,7 @@ Request irecv_impl(void* buf, std::size_t capacity, int ctx_id, int src, Tag tag
   pr.buf = static_cast<std::byte*>(buf);
   pr.capacity = capacity;
   pr.req = req;
+  pr.fastpath = fastpath_ctx(c, ctx_id);
 
   w.transport().post_recv(c.world_rank_of(comm.rank()), lvci, std::move(pr));
   return Request(req);
@@ -260,7 +272,8 @@ bool iprobe(int src, Tag tag, const Comm& comm, Status* st) {
                "probe tag exceeds tag_ub");
   const detail::CommImpl& c = *comm.impl();
   const int lvci = detail::route_recv(c, comm.rank(), src, tag);
-  return w.transport().probe(c.world_rank_of(comm.rank()), lvci, c.ctx_id, src, tag, st);
+  return w.transport().probe(c.world_rank_of(comm.rank()), lvci, c.ctx_id, src, tag, st,
+                             fastpath_ctx(c, c.ctx_id));
 }
 
 Status probe(int src, Tag tag, const Comm& comm) {

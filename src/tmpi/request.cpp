@@ -1,5 +1,11 @@
 #include "tmpi/request.h"
 
+#include <cstddef>
+#include <mutex>
+#include <new>
+#include <vector>
+
+#include "net/spin.h"
 #include "net/virtual_clock.h"
 #include "tmpi/error.h"
 #include "tmpi/watchdog.h"
@@ -9,6 +15,111 @@ namespace tmpi {
 void detail::ReqState::on_start() {
   fail(Errc::kInvalidArg, "start on a request that is not persistent or partitioned");
 }
+
+namespace detail {
+namespace {
+
+/// Process-wide recycler for request nodes (DESIGN.md §10). make_req_state
+/// uses allocate_shared, so the ReqState and its shared_ptr control block are
+/// one allocation — this pool hands that node out of a size-classed freelist,
+/// making steady-state p2p traffic allocation-free per request. Classes are
+/// 64-byte granules up to 1 KiB; larger or array requests fall through to the
+/// plain heap. Every carved block is recorded and freed in the destructor so
+/// leak checkers stay quiet.
+class ReqBlockPool {
+ public:
+  static ReqBlockPool& instance() {
+    static ReqBlockPool pool;
+    return pool;
+  }
+
+  void* get(std::size_t bytes) {
+    const std::size_t cls = class_for(bytes);
+    if (cls >= kClasses) return ::operator new(bytes);
+    Class& k = classes_[cls];
+    {
+      std::lock_guard<net::SpinLock> g(k.mu);
+      if (k.free != nullptr) {
+        void* p = k.free;
+        k.free = *static_cast<void**>(p);
+        return p;
+      }
+    }
+    void* p = ::operator new((cls + 1) * kGranule);
+    std::lock_guard<net::SpinLock> g(blocks_mu_);
+    blocks_.push_back(p);
+    return p;
+  }
+
+  void put(void* p, std::size_t bytes) {
+    const std::size_t cls = class_for(bytes);
+    if (cls >= kClasses) {
+      ::operator delete(p);
+      return;
+    }
+    Class& k = classes_[cls];
+    std::lock_guard<net::SpinLock> g(k.mu);
+    *static_cast<void**>(p) = k.free;
+    k.free = p;
+  }
+
+ private:
+  static constexpr std::size_t kGranule = 64;
+  static constexpr std::size_t kClasses = 16;  // up to 1 KiB
+
+  static std::size_t class_for(std::size_t bytes) {
+    return (bytes + kGranule - 1) / kGranule - 1;  // bytes >= 1 always
+  }
+
+  struct Class {
+    net::SpinLock mu;
+    void* free = nullptr;
+  };
+
+  ReqBlockPool() = default;
+  ~ReqBlockPool() {
+    for (void* p : blocks_) ::operator delete(p);
+  }
+
+  Class classes_[kClasses];
+  net::SpinLock blocks_mu_;
+  std::vector<void*> blocks_;
+};
+
+/// Minimal allocator over ReqBlockPool for allocate_shared. Stateless; all
+/// instances are interchangeable.
+template <typename T>
+struct ReqPoolAllocator {
+  using value_type = T;
+
+  ReqPoolAllocator() noexcept = default;
+  template <typename U>
+  ReqPoolAllocator(const ReqPoolAllocator<U>&) noexcept {}  // NOLINT(google-explicit-constructor)
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(ReqBlockPool::instance().get(n * sizeof(T)));
+  }
+  void deallocate(T* p, std::size_t n) noexcept {
+    ReqBlockPool::instance().put(p, n * sizeof(T));
+  }
+
+  template <typename U>
+  bool operator==(const ReqPoolAllocator<U>&) const noexcept {
+    return true;
+  }
+  template <typename U>
+  bool operator!=(const ReqPoolAllocator<U>&) const noexcept {
+    return false;
+  }
+};
+
+}  // namespace
+
+std::shared_ptr<ReqState> make_req_state() {
+  return std::allocate_shared<ReqState>(ReqPoolAllocator<ReqState>{});
+}
+
+}  // namespace detail
 
 void start(Request& req) {
   TMPI_REQUIRE(req.valid(), Errc::kInvalidArg, "invalid request");

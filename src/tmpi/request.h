@@ -137,6 +137,13 @@ struct ReqState {
   }
 };
 
+/// Allocate a plain ReqState via the process-wide request-block recycler
+/// (DESIGN.md §10): the object and its shared_ptr control block come out of
+/// one size-classed freelist node, so steady-state p2p traffic performs no
+/// heap allocation per request. Persistent/partitioned subclasses keep
+/// make_shared — they are reused across starts, not churned per message.
+[[nodiscard]] std::shared_ptr<ReqState> make_req_state();
+
 }  // namespace detail
 
 class Request {

@@ -346,7 +346,7 @@ namespace {
 
 /// A request already satisfied at virtual time `done`.
 tmpi::Request completed_request(tmpi::net::Time done) {
-  auto st = std::make_shared<tmpi::detail::ReqState>();
+  auto st = tmpi::detail::make_req_state();
   st->finish(done);
   return tmpi::Request(st);
 }
@@ -354,7 +354,7 @@ tmpi::Request completed_request(tmpi::net::Time done) {
 /// A request already failed with `code` (errors-return path: wait()/test()
 /// report Status::err instead of throwing).
 tmpi::Request errored_request(tmpi::Errc code) {
-  auto st = std::make_shared<tmpi::detail::ReqState>();
+  auto st = tmpi::detail::make_req_state();
   st->errors_return = true;
   tmpi::Status s;
   st->finish_error(tmpi::net::ThreadClock::get().now(), s, code);

@@ -227,7 +227,7 @@ InjectResult Transport::inject(const OpDesc& op) {
   }
 }
 
-bool Transport::deliver(const OpDesc& op, Envelope env, net::Time arrival) {
+bool Transport::deliver(const OpDesc& op, Envelope&& env, net::Time arrival) {
   World& w = *w_;
   const net::CostModel& cm = w.cost();
   net::NetStats* stats = &w.fabric().stats();
@@ -361,7 +361,8 @@ void Transport::post_recv(int world_rank, int local_vci, PostedRecv pr) {
   }
 }
 
-bool Transport::probe(int world_rank, int local_vci, int ctx_id, int src, Tag tag, Status* st) {
+bool Transport::probe(int world_rank, int local_vci, int ctx_id, int src, Tag tag, Status* st,
+                      bool fastpath) {
   World& w = *w_;
   const net::CostModel& cm = w.cost();
   net::NetStats* stats = &w.fabric().stats();
@@ -372,7 +373,8 @@ bool Transport::probe(int world_rank, int local_vci, int ctx_id, int src, Tag ta
   if (w.fault_injector() != nullptr) vci = w.rank_state(world_rank).vcis.resolve(local_vci);
   Vci& v = w.rank_state(world_rank).vcis.at(vci);
   net::ContentionLock::Guard g(v.lock(), clk, cm, stats, v.chstats());
-  const bool found = v.engine().probe_unexpected(ctx_id, src, tag, clk, cm, stats, st);
+  const bool found =
+      v.engine().probe_unexpected(ctx_id, src, tag, fastpath, clk, cm, stats, st);
   // Only successful probes are recorded: polling loops spin here and would
   // otherwise flood the ring with identical misses.
   if (found) {

@@ -100,7 +100,10 @@ class Transport {
   /// Returns false when the destination's unexpected-queue cap rejected the
   /// message (DESIGN.md §8) — the sender must fail its request with
   /// Errc::kResourceExhausted. Always true with the cap unconfigured.
-  [[nodiscard]] bool deliver(const OpDesc& op, Envelope env, net::Time arrival);
+  ///
+  /// Takes the envelope by rvalue: the payload is a pool-owned buffer that
+  /// must move, never copy, from the send path into the matching engine.
+  [[nodiscard]] bool deliver(const OpDesc& op, Envelope&& env, net::Time arrival);
 
   /// Flow-control grant for one eager message (DESIGN.md §8).
   struct EagerGrant {
@@ -122,7 +125,9 @@ class Transport {
   void post_recv(int world_rank, int local_vci, PostedRecv pr);
 
   /// Probe the unexpected queue of `local_vci` of `world_rank` (nonblocking).
-  bool probe(int world_rank, int local_vci, int ctx_id, int src, Tag tag, Status* st);
+  /// `fastpath` carries the probing communicator's no-wildcard hint (§10).
+  bool probe(int world_rank, int local_vci, int ctx_id, int src, Tag tag, Status* st,
+             bool fastpath = false);
 
   /// Fabric-wide telemetry, including the per-VCI channel counters.
   [[nodiscard]] net::NetStatsSnapshot snapshot() const;

@@ -12,6 +12,7 @@
 
 #include "net/contention_lock.h"
 #include "net/nic.h"
+#include "net/slab_pool.h"
 #include "tmpi/matching.h"
 
 /// \file vci.h
@@ -28,7 +29,10 @@ namespace tmpi::detail {
 
 class Vci {
  public:
-  Vci(net::Nic& nic, net::ChannelStats* ch) : ctx_(&nic.acquire_context()), chstats_(ch) {}
+  Vci(net::Nic& nic, net::ChannelStats* ch, MatchPolicy policy = MatchPolicy::kAuto)
+      : ctx_(&nic.acquire_context()), chstats_(ch) {
+    engine_.configure(policy, ch);
+  }
 
   Vci(const Vci&) = delete;
   Vci& operator=(const Vci&) = delete;
@@ -38,6 +42,13 @@ class Vci {
   [[nodiscard]] MatchingEngine& engine() { return engine_; }
   /// Per-channel telemetry block (owned by the fabric's NetStats registry).
   [[nodiscard]] net::ChannelStats* chstats() const { return chstats_; }
+
+  /// Slab recycler for eager payloads *sent through* this channel
+  /// (DESIGN.md §10). Declared before engine_ so the engine's queued
+  /// envelopes release their blocks while the pool is still alive; for
+  /// cross-VCI lifetimes (failover migration) VciPool's destructor drains
+  /// all engines before destroying any Vci.
+  [[nodiscard]] net::SlabPool& payload_pool() { return payload_pool_; }
 
   /// Deposit event counter + wakeup, used by blocking probe: a prober waits
   /// until the count changes instead of charging per-poll costs.
@@ -74,6 +85,7 @@ class Vci {
  private:
   net::HwContext* ctx_;
   net::ChannelStats* chstats_;
+  net::SlabPool payload_pool_;  // before engine_: teardown order (see accessor)
   net::ContentionLock lock_;
   MatchingEngine engine_;
   std::atomic<int> eager_credits_{0};
@@ -100,9 +112,14 @@ class Vci {
 /// Indices >= size() are never handed out.
 class VciPool {
  public:
-  /// `eager_credits` seeds every channel's flow-control budget (0 = off).
-  VciPool(net::Nic& nic, int owner_rank, int initial, int eager_credits = 0)
-      : nic_(&nic), owner_rank_(owner_rank), eager_credits_default_(eager_credits) {
+  /// `eager_credits` seeds every channel's flow-control budget (0 = off);
+  /// `policy` selects the matching-engine indexing discipline (§10).
+  VciPool(net::Nic& nic, int owner_rank, int initial, int eager_credits = 0,
+          MatchPolicy policy = MatchPolicy::kAuto)
+      : nic_(&nic),
+        owner_rank_(owner_rank),
+        eager_credits_default_(eager_credits),
+        match_policy_(policy) {
     ensure(initial);
   }
 
@@ -110,6 +127,11 @@ class VciPool {
   VciPool& operator=(const VciPool&) = delete;
 
   ~VciPool() {
+    // Drain every engine before destroying any Vci: failover migration can
+    // leave one engine holding payload blocks owned by another VCI's slab
+    // pool, so all pools must still be alive while queues release.
+    const int n = size_.load(std::memory_order_relaxed);
+    for (int i = 0; i < n; ++i) at(i).engine().clear();
     for (auto& b : blocks_) delete b.load(std::memory_order_relaxed);
   }
 
@@ -200,7 +222,8 @@ class VciPool {
       blocks_[blk].store(b, std::memory_order_relaxed);
     }
     auto& slot = b->slots[static_cast<std::size_t>(idx) & (kBlockSize - 1)];
-    slot = std::make_unique<Vci>(*nic_, &nic_->stats()->channel(owner_rank_, idx));
+    slot = std::make_unique<Vci>(*nic_, &nic_->stats()->channel(owner_rank_, idx),
+                                 match_policy_);
     slot->eager_credits().store(eager_credits_default_, std::memory_order_relaxed);
     size_.store(idx + 1, std::memory_order_release);  // publish (see class comment)
     return idx;
@@ -209,6 +232,7 @@ class VciPool {
   net::Nic* nic_;
   int owner_rank_;
   int eager_credits_default_;
+  MatchPolicy match_policy_;
   std::mutex writer_mu_;
   std::array<std::atomic<Block*>, kMaxBlocks> blocks_{};
   std::atomic<int> size_{0};

@@ -1,5 +1,6 @@
 #include "tmpi/world.h"
 
+#include <cstdlib>
 #include <exception>
 #include <fstream>
 #include <thread>
@@ -42,11 +43,26 @@ World::World(WorldConfig cfg) : cfg_(std::move(cfg)) {
   tc = net::TraceConfig::from_env(std::move(tc));
   if (tc.enabled) tracer_ = std::make_unique<net::TraceRecorder>(std::move(tc));
 
+  // Matching fast path (DESIGN.md §10): config string, env on top. Any mode
+  // is safe anywhere — bucket lookups charge list-equivalent virtual time —
+  // so this is a benchmarking/bisection knob, not a correctness choice.
+  std::string mm = cfg_.match_mode;
+  if (const char* e = std::getenv("TMPI_MATCH_MODE"); e != nullptr && *e != '\0') mm = e;
+  if (mm == "list") {
+    match_policy_ = detail::MatchPolicy::kList;
+  } else if (mm == "bucket") {
+    match_policy_ = detail::MatchPolicy::kBucket;
+  } else {
+    TMPI_REQUIRE(mm.empty() || mm == "auto", Errc::kInvalidArg,
+                 "tmpi match_mode must be auto|list|bucket");
+    match_policy_ = detail::MatchPolicy::kAuto;
+  }
+
   states_.reserve(static_cast<std::size_t>(cfg_.nranks));
   for (int r = 0; r < cfg_.nranks; ++r) {
     const int node = node_of(r);
-    states_.push_back(std::make_unique<detail::RankState>(r, node, fabric_->nic(node),
-                                                          cfg_.num_vcis, overload_.eager_credits));
+    states_.push_back(std::make_unique<detail::RankState>(
+        r, node, fabric_->nic(node), cfg_.num_vcis, overload_.eager_credits, match_policy_));
   }
 
   // COMM_WORLD.

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "net/fabric.h"
@@ -55,6 +56,13 @@ struct WorldConfig {
   /// variables overlay these. Leave empty (or `tmpi_trace=0`) for the
   /// recorder-free configuration — bit-exact, one null-pointer test per op.
   Info trace_info{};
+  /// Matching-engine indexing discipline (DESIGN.md §10): "auto" buckets
+  /// entries from no-wildcard-hinted communicators, "bucket" indexes every
+  /// concrete-key entry, "list" forces the seed's ordered scan. Virtual time
+  /// is identical in all three (the fast path charges list-equivalent probe
+  /// costs); the knob exists for benchmarking and bisection. TMPI_MATCH_MODE
+  /// overrides.
+  std::string match_mode = "auto";
 };
 
 namespace detail {
@@ -68,8 +76,9 @@ struct RankState {
   VciPool vcis;
   std::atomic<int> active_calls{0};
 
-  RankState(int r, int nd, net::Nic& nic, int nvcis, int eager_credits = 0)
-      : rank(r), node(nd), vcis(nic, r, nvcis, eager_credits) {}
+  RankState(int r, int nd, net::Nic& nic, int nvcis, int eager_credits = 0,
+            MatchPolicy match_policy = MatchPolicy::kAuto)
+      : rank(r), node(nd), vcis(nic, r, nvcis, eager_credits, match_policy) {}
 };
 
 /// RAII thread-level enforcement: counts concurrent runtime calls per rank
@@ -132,6 +141,8 @@ class World {
   /// Tracing layer (DESIGN.md §9): null unless `tmpi_trace` is on, which
   /// keeps the transport on its untraced fast path.
   [[nodiscard]] net::TraceRecorder* tracer() const { return tracer_.get(); }
+  /// Resolved matching-engine indexing discipline (DESIGN.md §10).
+  [[nodiscard]] detail::MatchPolicy match_policy() const { return match_policy_; }
   /// Fabric-wide telemetry; with tracing enabled the snapshot also carries
   /// per-op latency percentiles computed from the trace (§9).
   [[nodiscard]] net::NetStatsSnapshot snapshot() const;
@@ -156,6 +167,7 @@ class World {
  private:
   WorldConfig cfg_;
   OverloadConfig overload_;
+  detail::MatchPolicy match_policy_ = detail::MatchPolicy::kAuto;
   std::unique_ptr<net::Fabric> fabric_;
   std::unique_ptr<detail::Transport> transport_;
   std::unique_ptr<net::FaultInjector> fault_injector_;

@@ -1,0 +1,425 @@
+// Tests for the hint-gated exact-key matching fast path (DESIGN.md §10):
+// bucket-mode matching against a list-mode twin (assignments AND virtual
+// clocks must be identical — the fast path charges list-equivalent probe
+// costs), probe semantics under bucket mode, the sticky bucket→list drain on
+// a late wildcard post, failover absorb() of bucketed entries, and the
+// world-level mode-parity guarantee.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/cost_model.h"
+#include "net/stats.h"
+#include "tmpi/matching.h"
+#include "tmpi/tmpi.h"
+
+namespace tmpi::detail {
+namespace {
+
+/// Drives one MatchingEngine with its own clock/stats; message payloads carry
+/// the message id so assignments can be read back from completed receives.
+struct Harness {
+  MatchingEngine eng;
+  net::CostModel cm;
+  net::NetStats stats;
+  net::VirtualClock clk;
+  std::vector<std::shared_ptr<ReqState>> reqs;
+  std::vector<std::unique_ptr<std::uint64_t>> bufs;
+
+  explicit Harness(MatchPolicy p, net::ChannelStats* ch = nullptr) { eng.configure(p, ch); }
+
+  void deposit(int ctx, int src, Tag tag, std::uint64_t id, bool fastpath = true) {
+    Envelope env;
+    env.ctx_id = ctx;
+    env.src = src;
+    env.tag = tag;
+    env.fastpath = fastpath;
+    env.bytes = sizeof(id);
+    env.payload.resize(sizeof(id));
+    std::memcpy(env.payload.data(), &id, sizeof(id));
+    eng.deposit(std::move(env), clk, cm, &stats);
+  }
+
+  /// Posts a receive; returns its index for result().
+  std::size_t post(int ctx, int src, Tag tag, bool fastpath = true) {
+    reqs.push_back(std::make_shared<ReqState>());
+    bufs.push_back(std::make_unique<std::uint64_t>(0));
+    PostedRecv pr;
+    pr.ctx_id = ctx;
+    pr.src = src;
+    pr.tag = tag;
+    pr.fastpath = fastpath;
+    pr.buf = reinterpret_cast<std::byte*>(bufs.back().get());
+    pr.capacity = sizeof(std::uint64_t);
+    pr.req = reqs.back();
+    eng.post_recv(std::move(pr), clk, cm, &stats);
+    return reqs.size() - 1;
+  }
+
+  /// Message id delivered into receive `i`, or nullopt while pending.
+  std::optional<std::uint64_t> result(std::size_t i) {
+    std::scoped_lock lk(reqs[i]->mu);
+    if (!reqs[i]->complete) return std::nullopt;
+    return *bufs[i];
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Bucket mode must be invisible in virtual time: a kBucket engine and a kList
+// engine fed the identical concrete-key sequence agree on every clock value,
+// every queue depth, and every message-to-receive assignment.
+TEST(MatchFastpath, BucketAgreesWithListTwinBitExact) {
+  Harness bucket(MatchPolicy::kBucket);
+  Harness list(MatchPolicy::kList);
+  ASSERT_TRUE(bucket.eng.bucket_mode());
+  ASSERT_FALSE(list.eng.bucket_mode());
+
+  // Deterministic interleave over 2 contexts, 3 sources, 4 tags; every shape
+  // shows up both posted-first and unexpected-first.
+  std::uint64_t id = 1;
+  for (int round = 0; round < 40; ++round) {
+    const int ctx = round % 2;
+    const int src = round % 3;
+    const Tag tag = static_cast<Tag>((round * 7) % 4);
+    if (round % 3 != 0) {
+      bucket.deposit(ctx, src, tag, id);
+      list.deposit(ctx, src, tag, id);
+      ++id;
+    } else {
+      bucket.post(ctx, src, tag);
+      list.post(ctx, src, tag);
+    }
+    ASSERT_EQ(bucket.clk.now(), list.clk.now()) << "round " << round;
+    ASSERT_EQ(bucket.eng.posted_depth(), list.eng.posted_depth()) << "round " << round;
+    ASSERT_EQ(bucket.eng.unexpected_depth(), list.eng.unexpected_depth()) << "round " << round;
+  }
+  // Drain: post the exact shape of everything still unexpected, in the same
+  // order on both engines.
+  for (int ctx = 0; ctx < 2; ++ctx) {
+    for (int src = 0; src < 3; ++src) {
+      for (Tag tag = 0; tag < 4; ++tag) {
+        while (bucket.eng.unexpected_depth() > 0) {
+          const bool bhit = bucket.eng.probe_unexpected(ctx, src, tag, true, bucket.clk,
+                                                        bucket.cm, &bucket.stats, nullptr);
+          const bool lhit = list.eng.probe_unexpected(ctx, src, tag, true, list.clk, list.cm,
+                                                      &list.stats, nullptr);
+          ASSERT_EQ(bhit, lhit);
+          ASSERT_EQ(bucket.clk.now(), list.clk.now());
+          if (!bhit) break;
+          bucket.post(ctx, src, tag);
+          list.post(ctx, src, tag);
+          ASSERT_EQ(bucket.clk.now(), list.clk.now());
+        }
+      }
+    }
+  }
+  ASSERT_EQ(bucket.eng.unexpected_depth(), 0u);
+
+  ASSERT_EQ(bucket.reqs.size(), list.reqs.size());
+  for (std::size_t i = 0; i < bucket.reqs.size(); ++i) {
+    EXPECT_EQ(bucket.result(i), list.result(i)) << "receive " << i;
+  }
+  EXPECT_TRUE(bucket.eng.bucket_mode());  // never latched: no wildcards posted
+
+  const auto bs = bucket.stats.snapshot();
+  const auto ls = list.stats.snapshot();
+  EXPECT_GT(bs.bucket_hits + bs.bucket_misses, 0u);
+  EXPECT_EQ(bs.wildcard_fallbacks, 0u);
+  EXPECT_EQ(ls.bucket_hits + ls.bucket_misses, 0u);
+  EXPECT_GT(ls.wildcard_fallbacks, 0u);  // list mode always takes the scan
+  EXPECT_EQ(bs.match_probes, ls.match_probes);  // charge parity in aggregate
+}
+
+// ---------------------------------------------------------------------------
+// probe_unexpected under bucket mode: hits fill Status and advance the clock
+// to the message's ready time, misses charge the full-queue scan cost; both
+// charge exactly what the list twin charges, and neither consumes anything.
+TEST(MatchFastpath, ProbeUnexpectedBucketMode) {
+  Harness bucket(MatchPolicy::kBucket);
+  Harness list(MatchPolicy::kList);
+
+  bucket.deposit(0, 1, 5, 42);
+  bucket.deposit(0, 2, 6, 43);
+  list.deposit(0, 1, 5, 42);
+  list.deposit(0, 2, 6, 43);
+
+  Status bst;
+  Status lst;
+  EXPECT_TRUE(bucket.eng.probe_unexpected(0, 2, 6, true, bucket.clk, bucket.cm,
+                                          &bucket.stats, &bst));
+  EXPECT_TRUE(list.eng.probe_unexpected(0, 2, 6, true, list.clk, list.cm, &list.stats, &lst));
+  EXPECT_EQ(bst.source, 2);
+  EXPECT_EQ(bst.tag, 6);
+  EXPECT_EQ(bst.bytes, sizeof(std::uint64_t));
+  EXPECT_EQ(bucket.clk.now(), list.clk.now());
+
+  EXPECT_FALSE(bucket.eng.probe_unexpected(0, 1, 9, true, bucket.clk, bucket.cm,
+                                           &bucket.stats, nullptr));
+  EXPECT_FALSE(list.eng.probe_unexpected(0, 1, 9, true, list.clk, list.cm, &list.stats, nullptr));
+  EXPECT_EQ(bucket.clk.now(), list.clk.now());
+
+  // Probes are non-consuming in both modes.
+  EXPECT_EQ(bucket.eng.unexpected_depth(), 2u);
+  EXPECT_EQ(list.eng.unexpected_depth(), 2u);
+
+  const auto bs = bucket.stats.snapshot();
+  EXPECT_GE(bs.bucket_hits, 1u);
+  EXPECT_GE(bs.bucket_misses, 1u);
+}
+
+// A wildcard probe takes the ordered fallback but must NOT latch the engine:
+// the list answers it correctly while the buckets stay live.
+TEST(MatchFastpath, WildcardProbeDoesNotLatch) {
+  Harness bucket(MatchPolicy::kBucket);
+  bucket.deposit(0, 1, 5, 7);
+  Status st;
+  EXPECT_TRUE(bucket.eng.probe_unexpected(0, kAnySource, kAnyTag, false, bucket.clk,
+                                          bucket.cm, &bucket.stats, &st));
+  EXPECT_EQ(st.source, 1);
+  EXPECT_TRUE(bucket.eng.bucket_mode());
+  EXPECT_FALSE(bucket.eng.latched());
+  EXPECT_GE(bucket.stats.snapshot().wildcard_fallbacks, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// The mode latch: the first wildcard post on a bucketed engine drains the
+// index (sticky), matching stays correct, and the fallback counter records
+// the event.
+TEST(MatchFastpath, LateWildcardPostDrainsBuckets) {
+  Harness h(MatchPolicy::kBucket);
+  h.deposit(0, 0, 1, 10);
+  h.deposit(0, 1, 2, 11);
+  h.deposit(0, 2, 3, 12);
+  ASSERT_TRUE(h.eng.bucket_mode());
+
+  // Wildcard receive: latches first, then matches the earliest arrival.
+  const std::size_t any = h.post(0, kAnySource, kAnyTag, /*fastpath=*/false);
+  EXPECT_TRUE(h.eng.latched());
+  EXPECT_FALSE(h.eng.bucket_mode());
+  EXPECT_EQ(h.result(any), std::uint64_t{10});
+  EXPECT_GE(h.stats.snapshot().wildcard_fallbacks, 1u);
+
+  // Post-latch, concrete traffic still matches correctly through the list.
+  const std::size_t r1 = h.post(0, 2, 3);
+  EXPECT_EQ(h.result(r1), std::uint64_t{12});
+  const std::size_t r2 = h.post(0, 1, 2);
+  EXPECT_EQ(h.result(r2), std::uint64_t{11});
+  h.deposit(0, 5, 9, 13);
+  const std::size_t r3 = h.post(0, 5, 9);
+  EXPECT_EQ(h.result(r3), std::uint64_t{13});
+  EXPECT_TRUE(h.eng.latched());  // sticky: concrete traffic never unlatches
+}
+
+// ---------------------------------------------------------------------------
+// Failover absorb() with bucketed entries on both sides: the merge is ordered
+// by virtual enqueue time exactly as the list implementation's scan-splice,
+// the merged engine stays in bucket mode, and subsequent matches observe the
+// interleaved history.
+TEST(MatchFastpath, AbsorbMigratesBucketedEntriesOrdered) {
+  Harness dst(MatchPolicy::kBucket);
+  Harness src(MatchPolicy::kBucket);
+
+  // Same key throughout, ready times strictly interleaved across engines by
+  // advancing each clock past the other's before depositing.
+  src.deposit(0, 0, 1, 100);                   // ready first
+  dst.clk.advance_to(src.clk.now() + 1);
+  dst.deposit(0, 0, 1, 200);                   // ready later than 100
+  src.clk.advance_to(dst.clk.now() + 1);
+  src.deposit(0, 0, 1, 101);                   // ready later than 200
+  dst.clk.advance_to(src.clk.now() + 1);
+  dst.deposit(0, 0, 1, 201);                   // ready last
+
+  dst.eng.absorb(src.eng);
+  EXPECT_EQ(dst.eng.unexpected_depth(), 4u);
+  EXPECT_EQ(src.eng.unexpected_depth(), 0u);
+  EXPECT_TRUE(dst.eng.bucket_mode());  // neither side latched
+
+  // Receives drain in global ready-time order: 100, 200, 101, 201.
+  EXPECT_EQ(dst.result(dst.post(0, 0, 1)), std::uint64_t{100});
+  EXPECT_EQ(dst.result(dst.post(0, 0, 1)), std::uint64_t{200});
+  EXPECT_EQ(dst.result(dst.post(0, 0, 1)), std::uint64_t{101});
+  EXPECT_EQ(dst.result(dst.post(0, 0, 1)), std::uint64_t{201});
+}
+
+// Posted-side migration: bucketed posted receives move over and a deposit
+// matches the earliest-posted compatible one across both histories.
+TEST(MatchFastpath, AbsorbMigratesPostedReceives) {
+  Harness dst(MatchPolicy::kBucket);
+  Harness src(MatchPolicy::kBucket);
+
+  src.clk.advance_to(0);
+  const std::size_t first = src.post(0, 3, 7);   // earliest post_time
+  dst.clk.advance_to(src.clk.now() + 10);
+  const std::size_t second = dst.post(0, 3, 7);
+
+  dst.eng.absorb(src.eng);
+  EXPECT_EQ(dst.eng.posted_depth(), 2u);
+  EXPECT_TRUE(dst.eng.bucket_mode());
+
+  dst.deposit(0, 3, 7, 500);
+  EXPECT_EQ(src.result(first), std::uint64_t{500});  // src's older post wins
+  EXPECT_EQ(dst.result(second), std::nullopt);
+  dst.deposit(0, 3, 7, 501);
+  EXPECT_EQ(dst.result(second), std::uint64_t{501});
+}
+
+// A latched source engine (it saw a wildcard) forces the merged engine onto
+// the ordered path too: its queues may hold wildcard receives.
+TEST(MatchFastpath, AbsorbFromLatchedEngineLatchesDestination) {
+  Harness dst(MatchPolicy::kBucket);
+  Harness src(MatchPolicy::kBucket);
+
+  src.post(0, kAnySource, 4, /*fastpath=*/false);  // latches src
+  ASSERT_TRUE(src.eng.latched());
+  dst.deposit(0, 1, 4, 900);
+
+  dst.eng.absorb(src.eng);
+  EXPECT_TRUE(dst.eng.latched());
+  EXPECT_FALSE(dst.eng.bucket_mode());
+  EXPECT_EQ(dst.eng.posted_depth(), 1u);
+  EXPECT_EQ(dst.eng.unexpected_depth(), 1u);
+
+  // absorb() merges histories without cross-matching (seed semantics); the
+  // queues drain through subsequent operations on the ordered path: a new
+  // concrete receive takes the unexpected message, a new deposit lands on
+  // the migrated wildcard.
+  const std::size_t r = dst.post(0, 1, 4);
+  EXPECT_EQ(dst.result(r), std::uint64_t{900});
+  EXPECT_EQ(src.result(0), std::nullopt);
+  dst.deposit(0, 1, 4, 901);
+  EXPECT_EQ(src.result(0), std::uint64_t{901});
+}
+
+}  // namespace
+}  // namespace tmpi::detail
+
+// ---------------------------------------------------------------------------
+// World-level parity: the same workload — hinted no-wildcard traffic plus
+// wildcard traffic on COMM_WORLD — produces bit-identical virtual time under
+// list, bucket, and auto policies, and bucket mode shows up in the channel
+// telemetry.
+namespace {
+
+using namespace tmpi;
+
+net::Time run_mixed_workload(const std::string& mode, net::NetStatsSnapshot* snap = nullptr) {
+  // These tests compare explicitly-configured modes against each other, so a
+  // TMPI_MATCH_MODE forced by the harness (the env overrides WorldConfig)
+  // would silently collapse all three runs into one mode.
+  unsetenv("TMPI_MATCH_MODE");
+  WorldConfig wc;
+  wc.nranks = 2;
+  wc.ranks_per_node = 1;
+  wc.num_vcis = 2;
+  wc.match_mode = mode;
+  World world(wc);
+
+  // Each phase is a separate World::run so host scheduling can never reorder
+  // deposits against posts — virtual time is then bit-exact per DESIGN.md §6
+  // and comparable across matching modes.
+  std::array<std::optional<Comm>, 2> hinted;
+  world.run([&](Rank& rank) {
+    Info info;
+    info.set("mpi_assert_no_any_tag", "true");
+    info.set("mpi_assert_no_any_source", "true");
+    hinted[static_cast<std::size_t>(rank.rank())] = rank.world_comm().dup_with_info(info);
+  });
+
+  constexpr int kMsgs = 24;
+  std::vector<std::uint32_t> sbuf(kMsgs);
+  std::vector<std::uint32_t> rbuf(kMsgs);
+  std::vector<Request> reqs;
+  for (int i = 0; i < kMsgs; ++i) sbuf[static_cast<std::size_t>(i)] = static_cast<std::uint32_t>(i);
+  auto tag_of = [](int i) { return static_cast<Tag>(i % 6); };
+
+  // Phase 1: posted-first hinted traffic. Receives go up out of tag order so
+  // the posted queue develops depth and match position matters.
+  world.run([&](Rank& rank) {
+    if (rank.rank() != 1) return;
+    for (int i = kMsgs - 1; i >= 0; --i) {
+      reqs.push_back(irecv(&rbuf[static_cast<std::size_t>(i)], 4, kByte, 0, tag_of(i),
+                           *hinted[1]));
+    }
+  });
+  world.run([&](Rank& rank) {
+    if (rank.rank() != 0) return;
+    for (int i = 0; i < kMsgs; ++i) {
+      isend(&sbuf[static_cast<std::size_t>(i)], 4, kByte, 1, tag_of(i), *hinted[0]).wait();
+    }
+  });
+  world.run([&](Rank& rank) {
+    if (rank.rank() != 1) return;
+    for (auto& r : reqs) r.wait();
+    reqs.clear();
+  });
+
+  // Phase 2: unexpected-first hinted traffic (messages land, then receives
+  // drain them in reverse arrival order).
+  world.run([&](Rank& rank) {
+    if (rank.rank() != 0) return;
+    for (int i = 0; i < kMsgs; ++i) {
+      isend(&sbuf[static_cast<std::size_t>(i)], 4, kByte, 1, tag_of(i), *hinted[0]).wait();
+    }
+  });
+  world.run([&](Rank& rank) {
+    if (rank.rank() != 1) return;
+    for (int i = kMsgs - 1; i >= 0; --i) {
+      irecv(&rbuf[static_cast<std::size_t>(i)], 4, kByte, 0, tag_of(i), *hinted[1]).wait();
+    }
+  });
+
+  // Phase 3: wildcard traffic on COMM_WORLD — arrives unexpected, then a
+  // wildcard receive latches those channels and drains it.
+  std::uint32_t v = 7;
+  std::uint32_t got = 0;
+  world.run([&](Rank& rank) {
+    if (rank.rank() == 0) isend(&v, 4, kByte, 1, 99, rank.world_comm()).wait();
+  });
+  world.run([&](Rank& rank) {
+    if (rank.rank() != 1) return;
+    Status st = irecv(&got, 4, kByte, kAnySource, kAnyTag, rank.world_comm()).wait();
+    EXPECT_EQ(st.tag, 99);
+    EXPECT_EQ(got, 7u);
+  });
+
+  if (snap != nullptr) *snap = world.snapshot();
+  return world.elapsed();
+}
+
+TEST(MatchFastpathWorld, ModesAreVirtualTimeIdentical) {
+  net::NetStatsSnapshot list_snap;
+  net::NetStatsSnapshot bucket_snap;
+  const net::Time t_list = run_mixed_workload("list", &list_snap);
+  const net::Time t_bucket = run_mixed_workload("bucket", &bucket_snap);
+  const net::Time t_auto = run_mixed_workload("auto");
+  EXPECT_EQ(t_list, t_bucket);
+  EXPECT_EQ(t_list, t_auto);
+  EXPECT_GT(t_list, 0u);
+
+  // Same charges, different mechanism — visible in the new counters.
+  EXPECT_EQ(list_snap.match_probes, bucket_snap.match_probes);
+  EXPECT_EQ(list_snap.bucket_hits + list_snap.bucket_misses, 0u);
+  EXPECT_GT(bucket_snap.bucket_hits, 0u);
+  EXPECT_GT(bucket_snap.wildcard_fallbacks, 0u);  // phase 2 latched channels
+
+  // Per-channel plumbing: the bucket counters reach ChannelStats snapshots.
+  std::uint64_t ch_hits = 0;
+  for (const auto& c : bucket_snap.channels) ch_hits += c.bucket_hits;
+  EXPECT_GT(ch_hits, 0u);
+}
+
+// The auto policy buckets hinted traffic without any config knob: the
+// fastpath flag derived from the communicator hints is sufficient.
+TEST(MatchFastpathWorld, AutoPolicyBucketsHintedTraffic) {
+  net::NetStatsSnapshot snap;
+  run_mixed_workload("auto", &snap);
+  EXPECT_GT(snap.bucket_hits, 0u);
+}
+
+}  // namespace

@@ -335,5 +335,118 @@ INSTANTIATE_TEST_SUITE_P(Seeds, FaultyMatchingFuzz,
                            return "seed" + std::to_string(info.param);
                          });
 
+// ---------------------------------------------------------------------------
+// Twin-engine fuzz for the exact-key fast path (DESIGN.md §10): the same
+// random no-wildcard sequence drives a kBucket engine and a kList engine
+// (whose scan is the seed semantics validated against the oracle above).
+// Assignments, queue depths, probe answers, and — because the bucket path
+// charges list-equivalent probe costs — the virtual clocks must stay
+// bit-identical after every single operation.
+class BucketParityFuzz : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(BucketParityFuzz, BucketAndListStayBitIdentical) {
+  std::mt19937 rng(GetParam() * 2654435761u + 1u);
+  net::CostModel cm;
+
+  struct Side {
+    MatchingEngine eng;
+    net::NetStats stats;
+    net::VirtualClock clk;
+    std::vector<LiveRecv> recvs;
+  };
+  Side bucket;
+  Side list;
+  bucket.eng.configure(MatchPolicy::kBucket, nullptr);
+  list.eng.configure(MatchPolicy::kList, nullptr);
+
+  std::uint64_t next_msg = 1;
+  std::uint64_t next_recv = 1;
+  auto rand_ctx = [&] { return static_cast<int>(rng() % 2); };
+  auto rand_src = [&] { return static_cast<int>(rng() % 4); };
+  auto rand_tag = [&] { return static_cast<Tag>(rng() % 3); };
+
+  auto deposit_both = [&](int ctx, int src, Tag tag, std::uint64_t id) {
+    for (Side* s : {&bucket, &list}) {
+      Envelope env;
+      env.ctx_id = ctx;
+      env.src = src;
+      env.tag = tag;
+      env.fastpath = true;
+      env.bytes = sizeof(id);
+      env.payload.resize(sizeof(id));
+      std::memcpy(env.payload.data(), &id, sizeof(id));
+      s->eng.deposit(std::move(env), s->clk, cm, &s->stats);
+    }
+  };
+  auto post_both = [&](int ctx, int src, Tag tag, std::uint64_t rid) {
+    for (Side* s : {&bucket, &list}) {
+      LiveRecv live;
+      live.req = std::make_shared<ReqState>();
+      live.buf = std::make_unique<std::uint64_t>(0);
+      live.rid = rid;
+      PostedRecv pr;
+      pr.ctx_id = ctx;
+      pr.src = src;
+      pr.tag = tag;
+      pr.fastpath = true;
+      pr.buf = reinterpret_cast<std::byte*>(live.buf.get());
+      pr.capacity = sizeof(std::uint64_t);
+      pr.req = live.req;
+      s->eng.post_recv(std::move(pr), s->clk, cm, &s->stats);
+      s->recvs.push_back(std::move(live));
+    }
+  };
+
+  constexpr int kSteps = 600;
+  for (int step = 0; step < kSteps; ++step) {
+    const int ctx = rand_ctx();
+    const int src = rand_src();
+    const Tag tag = rand_tag();
+    const unsigned roll = rng() % 100;
+    if (roll < 45) {
+      deposit_both(ctx, src, tag, next_msg++);
+    } else if (roll < 85) {
+      post_both(ctx, src, tag, next_recv++);
+    } else {
+      Status bst;
+      Status lst;
+      const bool bhit =
+          bucket.eng.probe_unexpected(ctx, src, tag, true, bucket.clk, cm, &bucket.stats, &bst);
+      const bool lhit =
+          list.eng.probe_unexpected(ctx, src, tag, true, list.clk, cm, &list.stats, &lst);
+      ASSERT_EQ(bhit, lhit) << "step " << step;
+      if (bhit) {
+        ASSERT_EQ(bst.source, lst.source) << "step " << step;
+        ASSERT_EQ(bst.tag, lst.tag) << "step " << step;
+      }
+    }
+    ASSERT_EQ(bucket.clk.now(), list.clk.now()) << "step " << step;
+    ASSERT_EQ(bucket.eng.posted_depth(), list.eng.posted_depth()) << "step " << step;
+    ASSERT_EQ(bucket.eng.unexpected_depth(), list.eng.unexpected_depth()) << "step " << step;
+  }
+
+  ASSERT_TRUE(bucket.eng.bucket_mode());
+  const auto bs = bucket.stats.snapshot();
+  const auto ls = list.stats.snapshot();
+  EXPECT_GT(bs.bucket_hits + bs.bucket_misses, 0u);
+  EXPECT_EQ(bs.match_probes, ls.match_probes);
+
+  auto assignments = [](const Side& s) {
+    std::map<std::uint64_t, std::uint64_t> out;
+    for (const LiveRecv& r : s.recvs) {
+      std::scoped_lock lk(r.req->mu);
+      if (r.req->complete) out[*r.buf] = r.rid;
+    }
+    return out;
+  };
+  EXPECT_EQ(assignments(bucket), assignments(list));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BucketParityFuzz,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u, 55u, 89u),
+                         [](const ::testing::TestParamInfo<unsigned>& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
 }  // namespace
 }  // namespace tmpi::detail

@@ -1,0 +1,214 @@
+// Validate a benchmark JSON artifact: the file must parse as JSON (objects,
+// arrays, strings, numbers, booleans, null — no trailing garbage) and must
+// contain every required key given on the command line (anywhere in the
+// document, matching how google-benchmark and the bench binaries nest their
+// output). CI's perf-smoke job gates benchmark artifacts on this before
+// uploading them, so schema regressions fail the build rather than shipping
+// broken artifacts.
+//
+// Usage: bench_validate <file.json> [required_key ...]
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+namespace {
+
+/// Minimal recursive-descent JSON parser. Records every object key seen.
+class Parser {
+ public:
+  Parser(const std::string& text, std::set<std::string>* keys) : s_(text), keys_(keys) {}
+
+  bool parse(std::string* error) {
+    skip_ws();
+    if (!value(error)) return false;
+    skip_ws();
+    if (pos_ != s_.size()) {
+      *error = "trailing characters after document at offset " + std::to_string(pos_);
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  bool value(std::string* error) {
+    skip_ws();
+    if (pos_ >= s_.size()) {
+      *error = "unexpected end of input";
+      return false;
+    }
+    switch (s_[pos_]) {
+      case '{':
+        return object(error);
+      case '[':
+        return array(error);
+      case '"':
+        return string(nullptr, error);
+      case 't':
+        return literal("true", error);
+      case 'f':
+        return literal("false", error);
+      case 'n':
+        return literal("null", error);
+      default:
+        return number(error);
+    }
+  }
+
+  bool object(std::string* error) {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      skip_ws();
+      std::string key;
+      if (!string(&key, error)) return false;
+      keys_->insert(key);
+      skip_ws();
+      if (peek() != ':') {
+        *error = "expected ':' at offset " + std::to_string(pos_);
+        return false;
+      }
+      ++pos_;
+      if (!value(error)) return false;
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == '}') {
+        ++pos_;
+        return true;
+      }
+      *error = "expected ',' or '}' at offset " + std::to_string(pos_);
+      return false;
+    }
+  }
+
+  bool array(std::string* error) {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      if (!value(error)) return false;
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == ']') {
+        ++pos_;
+        return true;
+      }
+      *error = "expected ',' or ']' at offset " + std::to_string(pos_);
+      return false;
+    }
+  }
+
+  bool string(std::string* out, std::string* error) {
+    if (peek() != '"') {
+      *error = "expected string at offset " + std::to_string(pos_);
+      return false;
+    }
+    ++pos_;
+    std::string result;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) break;
+      }
+      result.push_back(s_[pos_++]);
+    }
+    if (pos_ >= s_.size()) {
+      *error = "unterminated string";
+      return false;
+    }
+    ++pos_;  // closing quote
+    if (out != nullptr) *out = result;
+    return true;
+  }
+
+  bool number(std::string* error) {
+    const std::size_t start = pos_;
+    if (peek() == '-' || peek() == '+') ++pos_;
+    bool digits = false;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) != 0 || s_[pos_] == '.' ||
+            s_[pos_] == 'e' || s_[pos_] == 'E' || s_[pos_] == '+' || s_[pos_] == '-')) {
+      if (std::isdigit(static_cast<unsigned char>(s_[pos_])) != 0) digits = true;
+      ++pos_;
+    }
+    if (!digits) {
+      *error = "expected value at offset " + std::to_string(start);
+      return false;
+    }
+    return true;
+  }
+
+  bool literal(const char* lit, std::string* error) {
+    const std::size_t n = std::string(lit).size();
+    if (s_.compare(pos_, n, lit) != 0) {
+      *error = "bad literal at offset " + std::to_string(pos_);
+      return false;
+    }
+    pos_ += n;
+    return true;
+  }
+
+  [[nodiscard]] char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void skip_ws() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_])) != 0) ++pos_;
+  }
+
+  const std::string& s_;
+  std::set<std::string>* keys_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <file.json> [required_key ...]\n", argv[0]);
+    return 1;
+  }
+  std::ifstream in(argv[1]);
+  if (!in) {
+    std::fprintf(stderr, "%s: cannot open\n", argv[1]);
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+  if (text.empty()) {
+    std::fprintf(stderr, "%s: empty file\n", argv[1]);
+    return 1;
+  }
+
+  std::set<std::string> keys;
+  std::string error;
+  Parser p(text, &keys);
+  if (!p.parse(&error)) {
+    std::fprintf(stderr, "%s: INVALID JSON: %s\n", argv[1], error.c_str());
+    return 1;
+  }
+
+  int rc = 0;
+  for (int i = 2; i < argc; ++i) {
+    if (keys.count(argv[i]) == 0) {
+      std::fprintf(stderr, "%s: MISSING required key \"%s\"\n", argv[1], argv[i]);
+      rc = 1;
+    }
+  }
+  if (rc == 0) std::fprintf(stdout, "%s: OK (%zu distinct keys)\n", argv[1], keys.size());
+  return rc;
+}
