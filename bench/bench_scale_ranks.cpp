@@ -1,0 +1,226 @@
+/// Datacenter-shaped scaling: construction cost and idle-channel memory of
+/// lazily materialized worlds (DESIGN.md §11).
+///
+/// The paper's testbed stopped at tens of ranks because every rank eagerly
+/// built its full RankState/VciPool and every (rank, VCI) channel block at
+/// World construction. With the descriptor/body split, a world sweep of
+/// nranks x num_vcis — up to 10k ranks x 16 VCIs = 160k logical channels —
+/// must construct in O(active) time and memory:
+///
+///   - construct_ms: wall time to build the World (gated < 2 s per row),
+///   - rss_delta_bytes: resident-set growth across construction, gated
+///     against an idle-channel budget of 64 bytes per logical channel,
+///   - ops_per_sec + per-op virtual time over a small touched subset, driven
+///     directly through the Transport choke point (10k OS threads would
+///     measure the scheduler, not the fabric),
+///   - materialization telemetry proving laziness (ranks/NICs/channels built
+///     vs. configured).
+///
+/// Emits BENCH_scale.json for the CI scale-smoke gate (tools/bench_validate).
+/// `--max-ranks N` trims the sweep for CI runners.
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "tmpi/tmpi.h"
+#include "tmpi/transport.h"
+
+namespace {
+
+using namespace tmpi;
+
+/// VmRSS from /proc/self/status, in bytes (0 if unavailable — non-Linux).
+std::size_t rss_bytes() {
+  std::ifstream in("/proc/self/status");
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("VmRSS:", 0) == 0) {
+      return static_cast<std::size_t>(std::strtoull(line.c_str() + 6, nullptr, 10)) * 1024;
+    }
+  }
+  return 0;
+}
+
+struct Row {
+  int nranks = 0;
+  int num_vcis = 0;
+  std::int64_t channels = 0;       ///< logical (rank, VCI) channels configured
+  double construct_ms = 0;         ///< World construction wall time
+  std::int64_t rss_delta = 0;      ///< RSS growth across construction (bytes)
+  std::int64_t rss_touched = 0;    ///< RSS growth across the touch + op phase
+  double ops_per_sec = 0;          ///< steady-state host op rate on touched channels
+  net::Time virtual_ns_per_op = 0; ///< virtual cost per op (world-size independent)
+  int touched_ranks = 0;
+  int ranks_built = 0;             ///< RankStates materialized after the op phase
+  int nics_built = 0;
+  std::int64_t channels_built = 0; ///< channel bodies materialized (via snapshot)
+};
+
+/// Drive `iters` eager sends rank 2i -> 2i+1 over `pairs` rank pairs, posting
+/// the matching receive before each deposit so the steady state allocates
+/// nothing and the unexpected queue never grows (same direct-transport idiom
+/// as the golden transport_test).
+Row run_config(int nranks, int num_vcis, int pairs, int iters) {
+  Row row;
+  row.nranks = nranks;
+  row.num_vcis = num_vcis;
+  row.channels = static_cast<std::int64_t>(nranks) * num_vcis;
+
+  const std::size_t rss0 = rss_bytes();
+  const auto t0 = std::chrono::steady_clock::now();
+
+  WorldConfig wc;
+  wc.nranks = nranks;
+  wc.ranks_per_node = 8;
+  wc.num_vcis = num_vcis;
+  World world(wc);
+
+  const auto t1 = std::chrono::steady_clock::now();
+  const std::size_t rss1 = rss_bytes();
+  row.construct_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  row.rss_delta = static_cast<std::int64_t>(rss1) - static_cast<std::int64_t>(rss0);
+
+  // Touch + op phase: a bounded subset of rank pairs exchanges messages
+  // through the transport choke point on a caller-bound virtual clock.
+  detail::Transport& tp = world.transport();
+  net::VirtualClock clk;
+  net::ScopedClockBind bind(&clk);
+
+  std::uint64_t payload = 0;
+  std::uint64_t sink = 0;
+  const net::Time v0 = clk.now();
+  const auto t2 = std::chrono::steady_clock::now();
+  std::uint64_t ops = 0;
+  for (int it = 0; it < iters; ++it) {
+    for (int p = 0; p < pairs; ++p) {
+      const int src = 2 * p;
+      const int dst = 2 * p + 1;
+      const int vci = p % num_vcis;
+
+      detail::PostedRecv pr;
+      pr.ctx_id = 0;
+      pr.src = src;
+      pr.tag = it & 0xff;
+      pr.buf = reinterpret_cast<std::byte*>(&sink);
+      pr.capacity = sizeof(sink);
+      pr.req = detail::make_req_state();
+      tp.post_recv(dst, vci, std::move(pr));
+
+      detail::OpDesc op;
+      op.kind = detail::OpKind::kEagerP2p;
+      op.bytes = sizeof(payload);
+      op.src_world_rank = src;
+      op.dst_world_rank = dst;
+      op.local_vci = vci;
+      op.remote_vci = vci;
+      const detail::InjectResult ir = tp.inject(op);
+
+      detail::Envelope env;
+      env.ctx_id = 0;
+      env.src = src;
+      env.tag = it & 0xff;
+      env.bytes = sizeof(payload);
+      env.payload.acquire(world.rank_state(src).vcis.at(vci).payload_pool(), sizeof(payload));
+      std::memcpy(env.payload.data(), &payload, sizeof(payload));
+      ++payload;
+      (void)tp.deliver(op, std::move(env), ir.arrival);
+      ++ops;
+    }
+  }
+  const auto t3 = std::chrono::steady_clock::now();
+  const std::size_t rss2 = rss_bytes();
+
+  const double sec = std::chrono::duration<double>(t3 - t2).count();
+  row.ops_per_sec = sec > 0 ? static_cast<double>(ops) / sec : 0.0;
+  row.virtual_ns_per_op = ops > 0 ? (clk.now() - v0) / static_cast<net::Time>(ops) : 0;
+  row.rss_touched = static_cast<std::int64_t>(rss2) - static_cast<std::int64_t>(rss1);
+  row.touched_ranks = 2 * pairs;
+  row.ranks_built = world.ranks_materialized();
+  row.nics_built = world.fabric().nics_materialized();
+  row.channels_built = static_cast<std::int64_t>(world.snapshot().channels.size());
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::parse_stats_flag(&argc, argv);
+  int max_ranks = 10000;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--max-ranks" && i + 1 < argc) {
+      max_ranks = std::atoi(argv[i + 1]);
+    }
+  }
+
+  bench::FigureTable table("World construction at datacenter shape (lazy channels)", "nranks",
+                           "construction ms");
+
+  std::vector<Row> rows;
+  bool gates_ok = true;
+  for (int nranks : {64, 512, 4096, 10000}) {
+    if (nranks > max_ranks) continue;
+    for (int num_vcis : {1, 16}) {
+      const int pairs = std::min(nranks / 2, 16);
+      const Row row = run_config(nranks, num_vcis, pairs, /*iters=*/2000);
+      table.add("construct_ms/vcis=" + std::to_string(num_vcis), nranks, row.construct_ms);
+      table.add("Mops/s/vcis=" + std::to_string(num_vcis), nranks, row.ops_per_sec / 1e6);
+      rows.push_back(row);
+
+      // Gate 1: construction must be fast — O(active), not O(nranks x vcis)
+      // heavy state. 2 s is the acceptance bound at 10k x 16.
+      if (row.construct_ms >= 2000.0) {
+        std::fprintf(stderr, "FATAL: construction took %.1f ms at nranks=%d vcis=%d (gate: < 2000)\n",
+                     row.construct_ms, nranks, num_vcis);
+        gates_ok = false;
+      }
+      // Gate 2: idle-channel overhead <= 64 B. Construction RSS growth must
+      // fit the descriptor budget plus a fixed allowance for world-level
+      // arrays (comm topology, rank/NIC tables, thread stacks' first touch).
+      const std::int64_t budget = row.channels * 64 + (16 << 20);
+      if (row.rss_delta > budget) {
+        std::fprintf(stderr,
+                     "FATAL: construction RSS grew %lld bytes at nranks=%d vcis=%d "
+                     "(gate: <= 64 B/channel + 16 MiB = %lld)\n",
+                     static_cast<long long>(row.rss_delta), nranks, num_vcis,
+                     static_cast<long long>(budget));
+        gates_ok = false;
+      }
+      // Gate 3: laziness — only touched ranks materialize heavy state.
+      if (row.ranks_built > row.touched_ranks) {
+        std::fprintf(stderr, "FATAL: %d RankStates built but only %d ranks touched\n",
+                     row.ranks_built, row.touched_ranks);
+        gates_ok = false;
+      }
+    }
+  }
+
+  table.print();
+  bench::note("virtual ns/op is world-size independent: the op path never scans rank tables; "
+              "RSS growth tracks touched channels, not the nranks x num_vcis product");
+
+  std::ofstream out("BENCH_scale.json");
+  out << "{\n  \"bench\": \"scale_ranks\",\n  \"unit\": \"ms_and_bytes\",\n  \"results\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    out << "    {\"nranks\": " << r.nranks << ", \"num_vcis\": " << r.num_vcis
+        << ", \"channels\": " << r.channels << ", \"construct_ms\": " << r.construct_ms
+        << ", \"rss_delta_bytes\": " << r.rss_delta
+        << ", \"rss_touched_bytes\": " << r.rss_touched
+        << ", \"ops_per_sec\": " << static_cast<std::uint64_t>(r.ops_per_sec)
+        << ", \"virtual_ns_per_op\": " << r.virtual_ns_per_op
+        << ", \"touched_ranks\": " << r.touched_ranks
+        << ", \"ranks_built\": " << r.ranks_built << ", \"nics_built\": " << r.nics_built
+        << ", \"channels_built\": " << r.channels_built << "}"
+        << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  out.close();
+  std::printf("wrote BENCH_scale.json\n");
+  return gates_ok ? 0 : 1;
+}

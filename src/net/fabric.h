@@ -1,8 +1,10 @@
 #ifndef TMPI_NET_FABRIC_H
 #define TMPI_NET_FABRIC_H
 
+#include <atomic>
 #include <memory>
-#include <vector>
+#include <mutex>
+#include <stdexcept>
 
 #include "net/cost_model.h"
 #include "net/nic.h"
@@ -11,26 +13,68 @@
 
 /// \file fabric.h
 /// The simulated cluster fabric: one NIC per node plus transfer-time rules.
+///
+/// NICs are built lazily on first touch (DESIGN.md §11): a datacenter-shaped
+/// world has thousands of nodes but a workload typically drives a handful.
+/// Publication follows the standard double-checked pattern — the writer,
+/// under `nic_mu_`, fully constructs the Nic and release-stores its pointer;
+/// readers acquire-load the slot and only fall into the slow path on null —
+/// so `nic()` stays lock-free once a node is warm.
 
 namespace tmpi::net {
 
 class Fabric {
  public:
-  Fabric(int num_nodes, CostModel cm) : cm_(std::move(cm)) {
-    nics_.reserve(static_cast<std::size_t>(num_nodes));
-    for (int n = 0; n < num_nodes; ++n) {
-      nics_.push_back(std::make_unique<Nic>(n, &cm_, &stats_));
+  /// `nranks`/`ranks_per_node`/`vcis_per_rank` describe the world's initial
+  /// per-rank VCI pools; each node's NIC pre-reserves that many context
+  /// sequence numbers at materialization so lazily built VCIs get the same
+  /// context assignment (and sharing penalties) the eager scheme produced.
+  /// Leave them defaulted for a bare fabric (direct construction in tests).
+  Fabric(int num_nodes, CostModel cm, int nranks = 0, int ranks_per_node = 1,
+         int vcis_per_rank = 0)
+      : num_nodes_(num_nodes),
+        cm_(std::move(cm)),
+        nranks_(nranks),
+        ranks_per_node_(ranks_per_node < 1 ? 1 : ranks_per_node),
+        vcis_per_rank_(vcis_per_rank),
+        nics_(std::make_unique<std::atomic<Nic*>[]>(
+            static_cast<std::size_t>(num_nodes_ < 0 ? 0 : num_nodes_))) {
+    for (int n = 0; n < num_nodes_; ++n) {
+      nics_[static_cast<std::size_t>(n)].store(nullptr, std::memory_order_relaxed);
     }
   }
 
   Fabric(const Fabric&) = delete;
   Fabric& operator=(const Fabric&) = delete;
 
-  [[nodiscard]] int num_nodes() const { return static_cast<int>(nics_.size()); }
-  [[nodiscard]] Nic& nic(int node) { return *nics_.at(static_cast<std::size_t>(node)); }
-  [[nodiscard]] const Nic& nic(int node) const {
-    return *nics_.at(static_cast<std::size_t>(node));
+  ~Fabric() {
+    for (int n = 0; n < num_nodes_; ++n) {
+      delete nics_[static_cast<std::size_t>(n)].load(std::memory_order_relaxed);
+    }
   }
+
+  [[nodiscard]] int num_nodes() const { return num_nodes_; }
+
+  [[nodiscard]] Nic& nic(int node) {
+    if (node < 0 || node >= num_nodes_) throw std::out_of_range("Fabric::nic");
+    Nic* n = nics_[static_cast<std::size_t>(node)].load(std::memory_order_acquire);
+    return n != nullptr ? *n : materialize_nic(node);
+  }
+  [[nodiscard]] const Nic& nic(int node) const {
+    // Materializing on a const path is fine: lazy construction is a cache,
+    // not an observable mutation (all derived counters are reservation-based).
+    return const_cast<Fabric*>(this)->nic(node);
+  }
+
+  /// Nodes whose NIC has been built so far (lazy-materialization telemetry).
+  [[nodiscard]] int nics_materialized() const {
+    int count = 0;
+    for (int n = 0; n < num_nodes_; ++n) {
+      if (nics_[static_cast<std::size_t>(n)].load(std::memory_order_acquire) != nullptr) ++count;
+    }
+    return count;
+  }
+
   [[nodiscard]] const CostModel& cost() const { return cm_; }
   [[nodiscard]] NetStats& stats() { return stats_; }
   [[nodiscard]] const NetStats& stats() const { return stats_; }
@@ -42,9 +86,31 @@ class Fabric {
   }
 
  private:
+  Nic& materialize_nic(int node) {
+    std::scoped_lock lk(nic_mu_);
+    auto& slot = nics_[static_cast<std::size_t>(node)];
+    Nic* n = slot.load(std::memory_order_relaxed);
+    if (n == nullptr) {
+      // Ranks living on this node times the initial pool size = how many
+      // context sequence numbers the eager scheme would have consumed here
+      // before any growth (endpoints, comm hints) happened.
+      int ranks_on_node = nranks_ - node * ranks_per_node_;
+      if (ranks_on_node > ranks_per_node_) ranks_on_node = ranks_per_node_;
+      if (ranks_on_node < 0) ranks_on_node = 0;
+      n = new Nic(node, &cm_, &stats_, ranks_on_node * vcis_per_rank_);
+      slot.store(n, std::memory_order_release);  // publish fully constructed
+    }
+    return *n;
+  }
+
+  int num_nodes_;
   CostModel cm_;
   NetStats stats_;
-  std::vector<std::unique_ptr<Nic>> nics_;
+  int nranks_;
+  int ranks_per_node_;
+  int vcis_per_rank_;
+  mutable std::mutex nic_mu_;
+  std::unique_ptr<std::atomic<Nic*>[]> nics_;
 };
 
 }  // namespace tmpi::net

@@ -3,7 +3,7 @@
 
 #include <memory>
 #include <mutex>
-#include <vector>
+#include <unordered_map>
 
 #include "net/cost_model.h"
 #include "net/hw_context.h"
@@ -17,13 +17,26 @@
 /// exhausted — e.g. the 160 contexts of an Omni-Path HFI — further VCIs are
 /// assigned round-robin onto existing contexts and become *sharers*,
 /// reproducing the contention regime of Lesson 3.
+///
+/// Assignment is split into *reservation* and *materialization* so that huge
+/// worlds can exist without building every context up front (DESIGN.md §11):
+/// each VCI slot holds a reservation sequence number, handed out in the same
+/// order the eager implementation used to call acquire_context(), and the
+/// context a sequence number maps to is a pure function of that number —
+/// dedicated context `seq` while `seq < max_hw_contexts`, then round-robin
+/// `(seq - max) % max`. Sharer counts are likewise derived analytically from
+/// the reservation count, so `contexts_in_use()`, `total_sharers()` and the
+/// sharing penalty charged by HwContext::occupy are bit-identical to the
+/// eager scheme whether or not a given context has been materialized yet.
 
 namespace tmpi::net {
 
 class Nic {
  public:
-  Nic(int node_id, const CostModel* cm, NetStats* stats)
-      : node_id_(node_id), cm_(cm), stats_(stats) {}
+  /// `initial_reserved` pre-reserves that many sequence numbers (the world's
+  /// initial per-rank VCI pools) without materializing any context.
+  Nic(int node_id, const CostModel* cm, NetStats* stats, int initial_reserved = 0)
+      : node_id_(node_id), cm_(cm), stats_(stats), reserved_(initial_reserved) {}
 
   Nic(const Nic&) = delete;
   Nic& operator=(const Nic&) = delete;
@@ -31,44 +44,81 @@ class Nic {
   [[nodiscard]] int node_id() const { return node_id_; }
   [[nodiscard]] NetStats* stats() const { return stats_; }
 
-  /// Acquire a hardware context for a new VCI. Dedicated while the pool has
-  /// capacity; shared round-robin afterwards. The returned reference stays
-  /// valid for the lifetime of the Nic.
-  HwContext& acquire_context() {
+  /// Reserve the next context sequence number (a VCI slot created after the
+  /// initial pools calls this at descriptor-creation time, preserving the
+  /// eager acquisition order). Does not materialize the context.
+  int reserve_seq() {
     std::scoped_lock lk(mu_);
-    if (static_cast<int>(contexts_.size()) < cm_->max_hw_contexts) {
-      contexts_.push_back(std::make_unique<HwContext>(next_id_++, stats_));
-      contexts_.back()->add_sharer();
-      return *contexts_.back();
-    }
-    HwContext& ctx = *contexts_[static_cast<std::size_t>(rr_) % contexts_.size()];
-    rr_ = (rr_ + 1) % static_cast<int>(contexts_.size());
-    ctx.add_sharer();
-    return ctx;
+    const int seq = reserved_++;
+    // A context that already exists must see its sharer count grow exactly
+    // when the eager scheme's acquire_context() would have bumped it.
+    auto it = contexts_.find(ctx_id_of(seq));
+    if (it != contexts_.end()) it->second->add_sharer();
+    return seq;
   }
 
-  /// Number of distinct hardware contexts currently allocated.
+  /// The hardware context for a reserved sequence number, materialized on
+  /// first use with its analytically derived sharer count. The returned
+  /// reference stays valid for the lifetime of the Nic.
+  HwContext& context_for(int seq) {
+    std::scoped_lock lk(mu_);
+    const int id = ctx_id_of(seq);
+    auto& slot = contexts_[id];
+    if (slot == nullptr) {
+      slot = std::make_unique<HwContext>(id, stats_);
+      for (int s = sharers_of(id, reserved_); s > 0; --s) slot->add_sharer();
+    }
+    return *slot;
+  }
+
+  /// Acquire a hardware context for a new VCI: reservation + materialization
+  /// in one step (the eager API, kept for direct construction and tests).
+  /// Dedicated while the pool has capacity; shared round-robin afterwards.
+  HwContext& acquire_context() { return context_for(reserve_seq()); }
+
+  /// Number of distinct hardware contexts allocated to reservations (whether
+  /// or not they have been materialized — the eager scheme built all of them).
   [[nodiscard]] int contexts_in_use() const {
+    std::scoped_lock lk(mu_);
+    return reserved_ < cm_->max_hw_contexts ? reserved_ : cm_->max_hw_contexts;
+  }
+
+  /// Total VCIs mapped onto this NIC (sum of sharers over all reservations).
+  [[nodiscard]] int total_sharers() const {
+    std::scoped_lock lk(mu_);
+    return reserved_;
+  }
+
+  /// Contexts actually built so far (lazy-materialization telemetry).
+  [[nodiscard]] int contexts_materialized() const {
     std::scoped_lock lk(mu_);
     return static_cast<int>(contexts_.size());
   }
 
-  /// Total VCIs mapped onto this NIC (sum of sharers).
-  [[nodiscard]] int total_sharers() const {
-    std::scoped_lock lk(mu_);
-    int n = 0;
-    for (const auto& c : contexts_) n += c->sharers();
-    return n;
+ private:
+  /// Deterministic context id for a reservation: dedicated while the pool
+  /// lasts, then round-robin over the full pool (matches the eager rr_ walk).
+  [[nodiscard]] int ctx_id_of(int seq) const {
+    const int max = cm_->max_hw_contexts;
+    return seq < max ? seq : (seq - max) % max;
   }
 
- private:
+  /// Sharer count of context `id` after `reserved` total reservations: one
+  /// dedicated owner if the id has been handed out at all, plus its share of
+  /// the round-robin overflow.
+  [[nodiscard]] int sharers_of(int id, int reserved) const {
+    const int max = cm_->max_hw_contexts;
+    const int dedicated = id < (reserved < max ? reserved : max) ? 1 : 0;
+    const int overflow = reserved > max ? reserved - max : 0;
+    return dedicated + overflow / max + (id < overflow % max ? 1 : 0);
+  }
+
   int node_id_;
   const CostModel* cm_;
   NetStats* stats_;
   mutable std::mutex mu_;
-  std::vector<std::unique_ptr<HwContext>> contexts_;
-  int next_id_ = 0;
-  int rr_ = 0;
+  int reserved_ = 0;  ///< sequence numbers handed out (== eager acquisitions)
+  std::unordered_map<int, std::unique_ptr<HwContext>> contexts_;  ///< by context id
 };
 
 }  // namespace tmpi::net

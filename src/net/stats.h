@@ -1,6 +1,7 @@
 #ifndef TMPI_NET_STATS_H
 #define TMPI_NET_STATS_H
 
+#include <algorithm>
 #include <array>
 #include <atomic>
 #include <bit>
@@ -9,6 +10,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "net/virtual_clock.h"
@@ -215,7 +217,7 @@ struct NetStatsSnapshot {
   std::uint64_t wildcard_fallbacks = 0;  ///< matching ops served by the ordered-list scan
   Time ctx_busy_ns = 0;  ///< total virtual busy time accumulated across contexts
   std::array<std::uint64_t, kMsgSizeBuckets> size_hist{};  ///< log2 message sizes
-  std::vector<ChannelStatsSnapshot> channels;  ///< per-(rank, VCI), creation order
+  std::vector<ChannelStatsSnapshot> channels;  ///< per-(rank, VCI), sorted by (rank, vci)
   std::vector<OpLatency> op_latency;  ///< per-op percentiles; tracing only (§9)
 
   NetStatsSnapshot operator-(const NetStatsSnapshot& o) const {
@@ -346,15 +348,16 @@ class NetStats {
 
   /// Per-channel counter block for (rank, vci); created on first use. The
   /// returned reference stays valid for the NetStats lifetime. Called once
-  /// per VCI at construction (cold path) — per-message accounting then goes
-  /// straight to the block, lock-free.
+  /// per VCI at body materialization (cold path) — per-message accounting
+  /// then goes straight to the block, lock-free. The registry is sharded by a
+  /// (rank, vci) hash so lazy channel creation across many ranks never
+  /// serializes on one global mutex (DESIGN.md §11).
   [[nodiscard]] ChannelStats& channel(int rank, int vci) {
-    std::scoped_lock lk(ch_mu_);
-    auto& slot = channels_[{rank, vci}];
-    if (!slot) {
-      slot = std::make_unique<ChannelStats>(rank, vci);
-      ch_order_.push_back(slot.get());
-    }
+    const std::uint64_t key = channel_key(rank, vci);
+    Shard& shard = ch_shards_[shard_of(key)];
+    std::scoped_lock lk(shard.mu);
+    auto& slot = shard.map[key];
+    if (!slot) slot = std::make_unique<ChannelStats>(rank, vci);
     return *slot;
   }
 
@@ -393,11 +396,16 @@ class NetStats {
       s.size_hist[static_cast<std::size_t>(i)] =
           size_hist_[static_cast<std::size_t>(i)].load(std::memory_order_relaxed);
     }
-    {
-      std::scoped_lock lk(ch_mu_);
-      s.channels.reserve(ch_order_.size());
-      for (const ChannelStats* c : ch_order_) s.channels.push_back(c->snapshot());
+    // Only materialized channels appear; sorted by (rank, vci) so telemetry
+    // output is stable regardless of lazy-materialization order.
+    for (const Shard& shard : ch_shards_) {
+      std::scoped_lock lk(shard.mu);
+      for (const auto& [key, block] : shard.map) s.channels.push_back(block->snapshot());
     }
+    std::sort(s.channels.begin(), s.channels.end(),
+              [](const ChannelStatsSnapshot& a, const ChannelStatsSnapshot& b) {
+                return a.rank != b.rank ? a.rank < b.rank : a.vci < b.vci;
+              });
     return s;
   }
 
@@ -432,9 +440,28 @@ class NetStats {
   std::atomic<Time> ctx_busy_ns_{0};
   std::array<std::atomic<std::uint64_t>, kMsgSizeBuckets> size_hist_{};
 
-  mutable std::mutex ch_mu_;
-  std::map<std::pair<int, int>, std::unique_ptr<ChannelStats>> channels_;
-  std::vector<ChannelStats*> ch_order_;
+  // Sharded, striped channel registry: power-of-two shard count, each shard
+  // its own mutex + map, selected by a mixed (rank, vci) hash.
+  static constexpr std::size_t kChannelShards = 64;
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::uint64_t, std::unique_ptr<ChannelStats>> map;
+  };
+
+  [[nodiscard]] static std::uint64_t channel_key(int rank, int vci) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(rank)) << 32) |
+           static_cast<std::uint32_t>(vci);
+  }
+  [[nodiscard]] static std::size_t shard_of(std::uint64_t key) {
+    // splitmix64 finalizer: adjacent (rank, vci) keys spread across shards.
+    key ^= key >> 33;
+    key *= 0xff51afd7ed558ccdULL;
+    key ^= key >> 33;
+    return static_cast<std::size_t>(key) & (kChannelShards - 1);
+  }
+
+  std::array<Shard, kChannelShards> ch_shards_;
 };
 
 }  // namespace tmpi::net

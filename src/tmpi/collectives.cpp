@@ -125,10 +125,10 @@ std::vector<int> all_ranks(const Comm& comm) {
 /// Comm ranks on the caller's node, ascending (used by "hier" algorithms).
 std::vector<int> node_ranks(const Comm& comm) {
   const CommImpl& c = *comm.impl();
-  const int my_node = c.node_of_rank[static_cast<std::size_t>(comm.rank())];
+  const int my_node = c.node_of_comm_rank(comm.rank());
   std::vector<int> out;
   for (int r = 0; r < comm.size(); ++r) {
-    if (c.node_of_rank[static_cast<std::size_t>(r)] == my_node) out.push_back(r);
+    if (c.node_of_comm_rank(r) == my_node) out.push_back(r);
   }
   return out;
 }
@@ -256,7 +256,7 @@ Errc allreduce(const void* sbuf, void* rbuf, int count, Datatype dt, Op op, cons
     const CommImpl& c = *comm.impl();
     const auto members = node_ranks(comm);
     const int my_pos = position_of(members, comm.rank());
-    const int leader = c.leader_of_rank[static_cast<std::size_t>(comm.rank())];
+    const int leader = c.leader_of_comm_rank(comm.rank());
     const int leader_pos = position_of(members, leader);
 
     subgroup_reduce(rbuf, count, dt, op, members, my_pos, leader_pos, g.tag(0), comm);

@@ -59,18 +59,49 @@ void CommImpl::finalize_structure() {
   }
   derive_seq.assign(static_cast<std::size_t>(n), 0);
 
-  node_of_rank.resize(static_cast<std::size_t>(n));
-  leader_of_rank.resize(static_cast<std::size_t>(n));
   leaders.clear();
-  std::map<int, int> node_leader;  // node -> first comm rank seen
-  for (int r = 0; r < n; ++r) {
-    const int nd = world->node_of(eps[static_cast<std::size_t>(r)].world_rank);
-    node_of_rank[static_cast<std::size_t>(r)] = nd;
-    auto [it, inserted] = node_leader.emplace(nd, r);
-    if (inserted) leaders.push_back(r);
-    leader_of_rank[static_cast<std::size_t>(r)] = it->second;
+  if (eps.regular() && eps.stride() == 1 && n > 0) {
+    // Contiguous world-rank span: node/leader lookups are arithmetic (see
+    // node_of_comm_rank / leader_of_comm_rank), and the leader of node `nd`
+    // is its first comm rank, max(0, nd * ranks_per_node - base). Only the
+    // O(#nodes) leader list is materialized.
+    topo_computed = true;
+    node_of_rank.clear();
+    leader_of_rank.clear();
+    const int rpn = world->config().ranks_per_node;
+    const int first_node = world->node_of(eps.base());
+    const int last_node = world->node_of(eps.base() + n - 1);
+    for (int nd = first_node; nd <= last_node; ++nd) {
+      leaders.push_back(std::max(0, nd * rpn - eps.base()));
+    }
+  } else {
+    topo_computed = false;
+    node_of_rank.resize(static_cast<std::size_t>(n));
+    leader_of_rank.resize(static_cast<std::size_t>(n));
+    std::map<int, int> node_leader;  // node -> first comm rank seen
+    for (int r = 0; r < n; ++r) {
+      const int nd = world->node_of(eps.world_rank_of(r));
+      node_of_rank[static_cast<std::size_t>(r)] = nd;
+      auto [it, inserted] = node_leader.emplace(nd, r);
+      if (inserted) leaders.push_back(r);
+      leader_of_rank[static_cast<std::size_t>(r)] = it->second;
+    }
+    std::sort(leaders.begin(), leaders.end());
   }
-  std::sort(leaders.begin(), leaders.end());
+}
+
+int CommImpl::node_of_comm_rank(int r) const {
+  if (topo_computed) return world->node_of(eps.base() + r);
+  return node_of_rank.at(static_cast<std::size_t>(r));
+}
+
+int CommImpl::leader_of_comm_rank(int r) const {
+  if (topo_computed) {
+    const int rpn = world->config().ranks_per_node;
+    const int nd = world->node_of(eps.base() + r);
+    return std::max(0, nd * rpn - eps.base());
+  }
+  return leader_of_rank.at(static_cast<std::size_t>(r));
 }
 
 CommImpl::Pending& CommImpl::derive_join(DeriveOp op, int my_rank, DeriveArgs args,
@@ -167,7 +198,7 @@ void CommImpl::build_derivation(Pending& p) {
         child->seq_no = world->next_comm_seq();
         child->info = info.merged_with(p.args[static_cast<std::size_t>(members[0])].info);
         for (int pr : members) {
-          child->eps.push_back(eps[static_cast<std::size_t>(pr)]);
+          child->eps.push_back(eps.at(pr));
         }
         child->is_endpoints = is_endpoints;
         if (is_endpoints) {
@@ -196,7 +227,7 @@ void CommImpl::build_derivation(Pending& p) {
       child->policy = VciPolicyKind::kEndpoint;
       p.ep_result.resize(static_cast<std::size_t>(n));
       for (int r = 0; r < n; ++r) {
-        const int wr = eps[static_cast<std::size_t>(r)].world_rank;
+        const int wr = eps.world_rank_of(r);
         const int nep = p.args[static_cast<std::size_t>(r)].num_ep;
         TMPI_REQUIRE(nep >= 0, Errc::kInvalidArg, "negative endpoint count");
         for (int e = 0; e < nep; ++e) {
@@ -228,9 +259,16 @@ void configure_policy(CommImpl& c) {
   const int pool_size = std::max(base_pool, std::max(requested, 1));
   const int nvcis = std::max(requested, 1);
 
-  // Ensure every member rank's pool covers the indices this comm uses.
-  for (const EpEntry& ep : c.eps) {
-    w.rank_state(ep.world_rank).vcis.ensure(pool_size);
+  // Ensure every member rank's pool covers the indices this comm uses. The
+  // world's initial pools already span [0, num_vcis), so the loop only runs
+  // when this comm requests *more* channels than that — materializing every
+  // member's RankState for a no-op ensure would defeat lazy construction
+  // (DESIGN.md §11).
+  if (pool_size > base_pool) {
+    const int n = c.eps.size();
+    for (int i = 0; i < n; ++i) {
+      w.rank_state(c.eps.world_rank_of(i)).vcis.ensure(pool_size);
+    }
   }
 
   c.comm_vcis.resize(static_cast<std::size_t>(nvcis));
@@ -282,8 +320,7 @@ Route route_send(const CommImpl& c, int src_rank, int dst_rank, Tag tag) {
                    c.comm_vcis[static_cast<std::size_t>(dst_tid % n)]};
     }
     case VciPolicyKind::kEndpoint:
-      return Route{c.eps[static_cast<std::size_t>(src_rank)].vci,
-                   c.eps[static_cast<std::size_t>(dst_rank)].vci};
+      return Route{c.eps.vci_of(src_rank), c.eps.vci_of(dst_rank)};
   }
   fail(Errc::kInternal, "unknown policy");
 }
@@ -314,7 +351,7 @@ int route_recv(const CommImpl& c, int my_rank, int src, Tag tag) {
       return c.comm_vcis[static_cast<std::size_t>(dst_tid % n)];
     }
     case VciPolicyKind::kEndpoint:
-      return c.eps[static_cast<std::size_t>(my_rank)].vci;
+      return c.eps.vci_of(my_rank);
   }
   fail(Errc::kInternal, "unknown policy");
 }

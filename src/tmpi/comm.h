@@ -67,6 +67,84 @@ struct EpEntry {
   int vci = -1;  ///< pool index on the owning rank; -1: use the comm policy
 };
 
+/// Compact endpoint map (DESIGN.md §11). Most communicators map comm rank i
+/// to world rank `base + stride * i` with no per-endpoint VCI — COMM_WORLD,
+/// dups, and regular splits — so storing O(nranks) EpEntry would make every
+/// communicator cost as much as the world it spans. The regular form stores
+/// just (base, stride, size); push_back auto-detects regularity and falls
+/// back to the dense vector on the first irregular entry or explicit VCI
+/// (endpoints communicators).
+class EpMap {
+ public:
+  /// Reset to the identity mapping over `n` ranks (COMM_WORLD).
+  void assign_identity(int n) {
+    regular_ = true;
+    base_ = 0;
+    stride_ = 1;
+    n_ = n;
+    dense_.clear();
+  }
+
+  [[nodiscard]] int size() const {
+    return regular_ ? n_ : static_cast<int>(dense_.size());
+  }
+  [[nodiscard]] bool regular() const { return regular_; }
+  [[nodiscard]] int base() const { return base_; }
+  [[nodiscard]] int stride() const { return stride_; }
+
+  [[nodiscard]] int world_rank_of(int i) const {
+    check(i);
+    return regular_ ? base_ + stride_ * i : dense_[static_cast<std::size_t>(i)].world_rank;
+  }
+  [[nodiscard]] int vci_of(int i) const {
+    check(i);
+    return regular_ ? -1 : dense_[static_cast<std::size_t>(i)].vci;
+  }
+  [[nodiscard]] EpEntry at(int i) const { return EpEntry{world_rank_of(i), vci_of(i)}; }
+
+  void push_back(EpEntry e) {
+    if (regular_) {
+      if (e.vci == -1) {
+        if (n_ == 0) {
+          base_ = e.world_rank;
+          stride_ = 1;  // provisional until a second entry fixes it
+          n_ = 1;
+          return;
+        }
+        if (n_ == 1) {
+          stride_ = e.world_rank - base_;
+          n_ = 2;
+          return;
+        }
+        if (e.world_rank == base_ + stride_ * n_) {
+          ++n_;
+          return;
+        }
+      }
+      densify();
+    }
+    dense_.push_back(e);
+  }
+
+ private:
+  void check(int i) const {
+    TMPI_REQUIRE(i >= 0 && i < size(), Errc::kInvalidArg, "comm rank out of range");
+  }
+
+  void densify() {
+    dense_.reserve(static_cast<std::size_t>(n_) + 1);
+    for (int i = 0; i < n_; ++i) dense_.push_back(EpEntry{base_ + stride_ * i, -1});
+    regular_ = false;
+    n_ = 0;
+  }
+
+  bool regular_ = true;
+  int base_ = 0;
+  int stride_ = 1;
+  int n_ = 0;
+  std::vector<EpEntry> dense_;  ///< irregular fallback (endpoints comms)
+};
+
 enum class DeriveOp { kDup, kSplit, kEndpoints, kWindow };
 
 /// Per-rank arguments to a collective derivation (dup/split/endpoints/window).
@@ -87,7 +165,7 @@ struct CommImpl {
   std::uint64_t seq_no = 0;  ///< creation sequence (for VCI hashing)
   Info info;
 
-  std::vector<EpEntry> eps;  ///< size == comm size
+  EpMap eps;  ///< comm rank -> (world rank, endpoint VCI); compact when regular
   bool is_endpoints = false;
 
   VciPolicyKind policy = VciPolicyKind::kSingle;
@@ -109,10 +187,18 @@ struct CommImpl {
   std::unique_ptr<std::atomic<int>[]> coll_active;
   std::unique_ptr<std::uint64_t[]> coll_seq;
 
-  /// Node topology cache for hierarchical collectives.
-  std::vector<int> node_of_rank;   ///< comm rank -> node
-  std::vector<int> leader_of_rank; ///< comm rank -> leader comm rank on its node
+  /// Node topology for hierarchical collectives. For regular stride-1
+  /// endpoint maps the per-rank tables are pure arithmetic (computed on
+  /// demand through node_of_comm_rank / leader_of_comm_rank); the dense
+  /// vectors below are the irregular fallback. `leaders` is always
+  /// materialized — it is O(#nodes), not O(comm size).
+  bool topo_computed = false;
+  std::vector<int> node_of_rank;   ///< comm rank -> node (dense fallback)
+  std::vector<int> leader_of_rank; ///< comm rank -> leader comm rank (dense fallback)
   std::vector<int> leaders;        ///< distinct leaders, ascending
+
+  [[nodiscard]] int node_of_comm_rank(int r) const;
+  [[nodiscard]] int leader_of_comm_rank(int r) const;
 
   // ---- Collective derivation rendezvous -----------------------------------
   struct Pending {
@@ -154,9 +240,9 @@ struct CommImpl {
   std::mutex part_mu;
   std::map<PartKey, std::shared_ptr<PartChannel>> channels;
 
-  [[nodiscard]] int size() const { return static_cast<int>(eps.size()); }
+  [[nodiscard]] int size() const { return eps.size(); }
   [[nodiscard]] int world_rank_of(int comm_rank) const {
-    return eps.at(static_cast<std::size_t>(comm_rank)).world_rank;
+    return eps.world_rank_of(comm_rank);
   }
 
   /// Populate node topology and collective guards; call once eps are final.

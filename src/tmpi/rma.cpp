@@ -83,8 +83,8 @@ std::shared_ptr<void> build_window(CommImpl& c, CommImpl::Pending& p) {
   w->targets.resize(static_cast<std::size_t>(n));
   for (int r = 0; r < n; ++r) {
     auto& t = w->targets[static_cast<std::size_t>(r)];
-    t.world_rank = c.eps[static_cast<std::size_t>(r)].world_rank;
-    t.ep_vci = c.eps[static_cast<std::size_t>(r)].vci;
+    t.world_rank = c.eps.world_rank_of(r);
+    t.ep_vci = c.eps.vci_of(r);
     t.base = static_cast<std::byte*>(p.args[static_cast<std::size_t>(r)].base);
     t.bytes = p.args[static_cast<std::size_t>(r)].bytes;
     if (w->stripes.find(t.world_rank) == w->stripes.end()) {
@@ -97,8 +97,12 @@ std::shared_ptr<void> build_window(CommImpl& c, CommImpl::Pending& p) {
     const int requested = std::max(1, w->info.get_int("tmpi_num_vcis", 1));
     const int base_pool = c.world->config().num_vcis;
     const int pool_size = std::max(base_pool, requested);
-    for (const auto& t : w->targets) {
-      c.world->rank_state(t.world_rank).vcis.ensure(pool_size);
+    // Initial pools already cover [0, num_vcis); only grow when the window
+    // asks for more (same laziness gate as configure_policy).
+    if (pool_size > base_pool) {
+      for (const auto& t : w->targets) {
+        c.world->rank_state(t.world_rank).vcis.ensure(pool_size);
+      }
     }
     w->win_vcis.resize(static_cast<std::size_t>(requested));
     for (int i = 0; i < requested; ++i) {
@@ -113,7 +117,7 @@ std::shared_ptr<void> build_window(CommImpl& c, CommImpl::Pending& p) {
 /// Channel (VCI pool index on the *origin's* rank) for an RMA op.
 int rma_local_vci(const WindowImpl& w, const CommImpl& c, int origin_rank, int target_rank,
                   std::size_t disp, bool atomic) {
-  if (w.endpoints) return c.eps[static_cast<std::size_t>(origin_rank)].vci;
+  if (w.endpoints) return c.eps.vci_of(origin_rank);
   const auto n = static_cast<std::uint32_t>(w.win_vcis.size());
   std::uint32_t h;
   if (atomic && w.ordering == AccumulateOrdering::kStrict) {
@@ -163,7 +167,7 @@ IssueResult rma_issue(const Window& win_handle, const WindowImpl& w, const CommI
   op.src_world_rank = c.world_rank_of(origin_rank);
   op.dst_world_rank = t.world_rank;
   op.local_vci = lvci;
-  op.remote_vci = w.endpoints ? c.eps[static_cast<std::size_t>(target)].vci : lvci;
+  op.remote_vci = w.endpoints ? c.eps.vci_of(target) : lvci;
 
   net::TraceRecorder* tr = world.tracer();
   IssueResult r;

@@ -7,12 +7,13 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
-#include <stdexcept>
 #include <vector>
 
 #include "net/contention_lock.h"
+#include "net/fabric.h"
 #include "net/nic.h"
 #include "net/slab_pool.h"
+#include "tmpi/error.h"
 #include "tmpi/matching.h"
 
 /// \file vci.h
@@ -24,51 +25,69 @@
 /// parallel; operations funneled through one VCI serialize on its lock and
 /// its hardware context — the two regimes whose gap is the subject of the
 /// reproduced paper.
+///
+/// A Vci is split into a compact always-present *descriptor* (a few atomics
+/// plus the context reservation number — what routing, flow control and
+/// failover redirection read) and a lazily built *body* holding the heavy
+/// state (matching engine, slab pool, deposit mutex/condvar). Idle channels
+/// therefore cost tens of bytes, which is what lets a world carry millions of
+/// logical (rank, VCI) channels (DESIGN.md §11).
 
 namespace tmpi::detail {
 
 class Vci {
  public:
-  Vci(net::Nic& nic, net::ChannelStats* ch, MatchPolicy policy = MatchPolicy::kAuto)
-      : ctx_(&nic.acquire_context()), chstats_(ch) {
-    engine_.configure(policy, ch);
-  }
+  /// Heavy per-channel state, built on first touch by VciPool::at().
+  struct Body {
+    net::HwContext* ctx = nullptr;
+    net::ChannelStats* chstats = nullptr;
+    /// Slab recycler for eager payloads *sent through* this channel
+    /// (DESIGN.md §10). Declared before engine so the engine's queued
+    /// envelopes release their blocks while the pool is still alive; for
+    /// cross-VCI lifetimes (failover migration) VciPool's destructor drains
+    /// all engines before destroying any body.
+    net::SlabPool payload_pool;
+    net::ContentionLock lock;
+    MatchingEngine engine;
+    std::atomic<std::uint64_t> deposits{0};
+    std::mutex deposit_mu;
+    std::condition_variable deposit_cv;
+  };
+
+  Vci() = default;
+  ~Vci() { delete body_.load(std::memory_order_relaxed); }
 
   Vci(const Vci&) = delete;
   Vci& operator=(const Vci&) = delete;
 
-  [[nodiscard]] net::HwContext& ctx() { return *ctx_; }
-  [[nodiscard]] net::ContentionLock& lock() { return lock_; }
-  [[nodiscard]] MatchingEngine& engine() { return engine_; }
+  [[nodiscard]] net::HwContext& ctx() { return *body().ctx; }
+  [[nodiscard]] net::ContentionLock& lock() { return body().lock; }
+  [[nodiscard]] MatchingEngine& engine() { return body().engine; }
   /// Per-channel telemetry block (owned by the fabric's NetStats registry).
-  [[nodiscard]] net::ChannelStats* chstats() const { return chstats_; }
-
-  /// Slab recycler for eager payloads *sent through* this channel
-  /// (DESIGN.md §10). Declared before engine_ so the engine's queued
-  /// envelopes release their blocks while the pool is still alive; for
-  /// cross-VCI lifetimes (failover migration) VciPool's destructor drains
-  /// all engines before destroying any Vci.
-  [[nodiscard]] net::SlabPool& payload_pool() { return payload_pool_; }
+  [[nodiscard]] net::ChannelStats* chstats() const { return body().chstats; }
+  [[nodiscard]] net::SlabPool& payload_pool() { return body().payload_pool; }
 
   /// Deposit event counter + wakeup, used by blocking probe: a prober waits
   /// until the count changes instead of charging per-poll costs.
   void note_deposit() {
+    Body& b = body();
     {
       // The counter must change under the waiters' mutex, or a prober that
       // just evaluated its predicate could sleep through this notification
       // (lost wakeup) and hang until an unrelated later deposit.
-      std::scoped_lock lk(deposit_mu_);
-      deposits_.fetch_add(1, std::memory_order_release);
+      std::scoped_lock lk(b.deposit_mu);
+      b.deposits.fetch_add(1, std::memory_order_release);
     }
-    deposit_cv_.notify_all();
+    b.deposit_cv.notify_all();
   }
   [[nodiscard]] std::uint64_t deposit_count() const {
-    return deposits_.load(std::memory_order_acquire);
+    return body().deposits.load(std::memory_order_acquire);
   }
   /// Block (real time) until deposit_count() != `seen`.
   void wait_deposit_change(std::uint64_t seen) {
-    std::unique_lock lk(deposit_mu_);
-    deposit_cv_.wait(lk, [&] { return deposit_count() != seen; });
+    Body& b = body();
+    std::unique_lock lk(b.deposit_mu);
+    b.deposit_cv.wait(lk, [&] { return deposit_count() != seen; });
   }
 
   /// Fault layer (DESIGN.md §7): when this VCI's hardware context is marked
@@ -79,45 +98,72 @@ class Vci {
   /// Eager-credit budget for traffic *destined to* this channel (flow
   /// control, DESIGN.md §8). Senders CAS it down through
   /// Transport::try_reserve_eager; the matching engine releases through
-  /// Envelope::eager_credit. Stays 0 when flow control is off.
+  /// Envelope::eager_credit. Stays 0 when flow control is off. Lives on the
+  /// descriptor so a credit probe never forces body materialization.
   [[nodiscard]] std::atomic<int>& eager_credits() { return eager_credits_; }
 
+  /// True once the heavy body has been built (telemetry/tests).
+  [[nodiscard]] bool materialized() const {
+    return body_.load(std::memory_order_acquire) != nullptr;
+  }
+
  private:
-  net::HwContext* ctx_;
-  net::ChannelStats* chstats_;
-  net::SlabPool payload_pool_;  // before engine_: teardown order (see accessor)
-  net::ContentionLock lock_;
-  MatchingEngine engine_;
+  friend class VciPool;
+
+  /// Callers reach a Vci through VciPool::at(), which guarantees the body is
+  /// published (acquire) before the reference is handed out.
+  [[nodiscard]] Body& body() const { return *body_.load(std::memory_order_acquire); }
+
+  std::atomic<Body*> body_{nullptr};
   std::atomic<int> eager_credits_{0};
   std::atomic<int> redirect_{-1};
-  std::atomic<std::uint64_t> deposits_{0};
-  std::mutex deposit_mu_;
-  std::condition_variable deposit_cv_;
+  int ctx_seq_ = 0;  ///< NIC context reservation (set once at slot creation)
 };
 
 /// Per-rank pool of VCIs. Grows on demand (endpoint creation, comm hints);
 /// never shrinks. Index stability: references stay valid forever.
 ///
-/// `at()`/`size()` are lock-free: every message on every channel resolves its
-/// VCI here, so a mutex acquisition per message would be pure overhead on the
-/// hot path. Slots live in fixed-size blocks behind an atomic pointer table,
-/// so growth never moves an existing Vci.
+/// `at()`/`size()` are lock-free on the warm path: every message on every
+/// channel resolves its VCI here, so a mutex acquisition per message would be
+/// pure overhead on the hot path. Slots live in fixed-size blocks behind an
+/// atomic pointer table, so growth never moves an existing Vci.
 ///
-/// Publication order (the invariant that makes reader-side relaxed loads
-/// safe): a writer, under `writer_mu_`, (1) allocates/stores the block
-/// pointer, (2) fully constructs the Vci into its slot, and only then
-/// (3) release-stores the new count into `size_`. A reader acquire-loads
-/// `size_` first; any index below that count therefore happens-after the
-/// slot's construction, so the subsequent relaxed block/slot loads are safe.
-/// Indices >= size() are never handed out.
+/// Two publication layers keep readers lock-free (DESIGN.md §11):
+///
+/// 1. Slot publication — a writer, under `writer_mu_`, (1) allocates/stores
+///    the block pointer, (2) fully initializes the slot's descriptor, and
+///    only then (3) release-stores the new count into `size_`. A reader
+///    acquire-loads `size_` first; any index below that count therefore
+///    happens-after the descriptor's initialization, so the subsequent
+///    relaxed block/slot loads are safe. Indices >= size() are never handed
+///    out.
+/// 2. Body publication — the heavy body is built on first at() touch: the
+///    builder, under `body_mu_`, double-checks, fully constructs the Body,
+///    and release-stores its pointer; readers acquire-load it and only fall
+///    into the slow path on null. First touch is the only time a mutex is
+///    taken.
 class VciPool {
  public:
-  /// `eager_credits` seeds every channel's flow-control budget (0 = off);
-  /// `policy` selects the matching-engine indexing discipline (§10).
-  VciPool(net::Nic& nic, int owner_rank, int initial, int eager_credits = 0,
-          MatchPolicy policy = MatchPolicy::kAuto)
-      : nic_(&nic),
+  static constexpr int kBlockBits = 6;
+  static constexpr int kBlockSize = 1 << kBlockBits;
+  static constexpr int kMaxBlocks = 1024;
+  /// Hard per-rank channel capacity (65536); WorldConfig::num_vcis is bounded
+  /// against this at World construction.
+  static constexpr int kCapacity = kBlockSize * kMaxBlocks;
+
+  /// `initial` slots get context reservations [ctx_seq_base, ctx_seq_base +
+  /// initial) on `node`'s NIC (pre-reserved at NIC construction); slots added
+  /// later reserve from the NIC at creation time, preserving the eager
+  /// acquisition order. `eager_credits` seeds every channel's flow-control
+  /// budget (0 = off); `policy` selects the matching-engine indexing
+  /// discipline (§10).
+  VciPool(net::Fabric& fabric, int node, int owner_rank, int initial, int ctx_seq_base,
+          int eager_credits = 0, MatchPolicy policy = MatchPolicy::kAuto)
+      : fabric_(&fabric),
+        node_(node),
         owner_rank_(owner_rank),
+        initial_(initial),
+        ctx_seq_base_(ctx_seq_base),
         eager_credits_default_(eager_credits),
         match_policy_(policy) {
     ensure(initial);
@@ -127,19 +173,27 @@ class VciPool {
   VciPool& operator=(const VciPool&) = delete;
 
   ~VciPool() {
-    // Drain every engine before destroying any Vci: failover migration can
-    // leave one engine holding payload blocks owned by another VCI's slab
-    // pool, so all pools must still be alive while queues release.
+    // Drain every materialized engine before destroying any body: failover
+    // migration can leave one engine holding payload blocks owned by another
+    // VCI's slab pool, so all pools must still be alive while queues release.
     const int n = size_.load(std::memory_order_relaxed);
-    for (int i = 0; i < n; ++i) at(i).engine().clear();
-    for (auto& b : blocks_) delete b.load(std::memory_order_relaxed);
+    for (int i = 0; i < n; ++i) {
+      Vci::Body* b = slot(i).body_.load(std::memory_order_relaxed);
+      if (b != nullptr) b->engine.clear();
+    }
+    for (auto& blk : blocks_) delete blk.load(std::memory_order_relaxed);
   }
 
   [[nodiscard]] Vci& at(int i) {
     const int n = size_.load(std::memory_order_acquire);
-    if (i < 0 || i >= n) throw std::out_of_range("VciPool::at");
-    Block* b = blocks_[static_cast<std::size_t>(i) >> kBlockBits].load(std::memory_order_relaxed);
-    return *b->slots[static_cast<std::size_t>(i) & (kBlockSize - 1)];
+    if (i < 0 || i >= n) {
+      fail(Errc::kInvalidArg,
+           "VciPool::at: index " + std::to_string(i) + " out of range [0, " +
+               std::to_string(n) + ")");
+    }
+    Vci& v = slot(i);
+    if (v.body_.load(std::memory_order_acquire) == nullptr) materialize(v, i);
+    return v;
   }
 
   [[nodiscard]] int size() const { return size_.load(std::memory_order_acquire); }
@@ -165,10 +219,11 @@ class VciPool {
 
   /// Follow the redirect chain from `i` to the VCI actually carrying its
   /// traffic. Chains are short (one hop unless fallbacks also die), so the
-  /// loop is bounded by the number of failovers.
+  /// loop is bounded by the number of failovers. Reads the descriptor only —
+  /// never materializes a body.
   [[nodiscard]] int resolve(int i) {
     for (;;) {
-      const int next = at(i).redirect();
+      const int next = descriptor(i).redirect();
       if (next < 0) return i;
       i = next;
     }
@@ -202,38 +257,87 @@ class VciPool {
     return failover_log_;
   }
 
- private:
-  static constexpr int kBlockBits = 6;
-  static constexpr int kBlockSize = 1 << kBlockBits;
-  static constexpr int kMaxBlocks = 1024;  // 65536 VCIs per rank; plenty
+  /// Channels whose heavy body has been built (lazy-materialization
+  /// telemetry; takes no lock, so counts published slots only).
+  [[nodiscard]] int materialized() const {
+    const int n = size_.load(std::memory_order_acquire);
+    int count = 0;
+    for (int i = 0; i < n; ++i) {
+      if (slot(i).body_.load(std::memory_order_acquire) != nullptr) ++count;
+    }
+    return count;
+  }
 
+ private:
   struct Block {
-    std::array<std::unique_ptr<Vci>, kBlockSize> slots;
+    std::array<Vci, kBlockSize> slots;
   };
+
+  /// Published slot without body materialization (internal fast access; the
+  /// index must be < size()).
+  [[nodiscard]] Vci& slot(int i) const {
+    Block* b = blocks_[static_cast<std::size_t>(i) >> kBlockBits].load(std::memory_order_relaxed);
+    return b->slots[static_cast<std::size_t>(i) & (kBlockSize - 1)];
+  }
+
+  /// Bounds-checked descriptor access that never builds the body.
+  [[nodiscard]] Vci& descriptor(int i) const {
+    const int n = size_.load(std::memory_order_acquire);
+    if (i < 0 || i >= n) {
+      fail(Errc::kInvalidArg,
+           "VciPool::at: index " + std::to_string(i) + " out of range [0, " +
+               std::to_string(n) + ")");
+    }
+    return slot(i);
+  }
+
+  /// First-touch slow path: build the heavy body under `body_mu_` and publish
+  /// it with release so concurrent at() callers see it fully constructed.
+  /// `body_mu_` is distinct from `writer_mu_` because fail_over() holds
+  /// `writer_mu_` while touching slots through at().
+  void materialize(Vci& v, int idx) {
+    std::scoped_lock lk(body_mu_);
+    if (v.body_.load(std::memory_order_relaxed) != nullptr) return;  // lost the race
+    net::Nic& nic = fabric_->nic(node_);
+    auto body = std::make_unique<Vci::Body>();
+    body->ctx = &nic.context_for(v.ctx_seq_);
+    body->chstats = &nic.stats()->channel(owner_rank_, idx);
+    body->engine.configure(match_policy_, body->chstats);
+    v.body_.store(body.release(), std::memory_order_release);  // publish
+  }
 
   /// Caller holds writer_mu_. Returns the new slot's index.
   int append_locked() {
     const int idx = size_.load(std::memory_order_relaxed);
     const auto blk = static_cast<std::size_t>(idx) >> kBlockBits;
-    if (blk >= kMaxBlocks) throw std::length_error("VciPool: too many VCIs");
+    if (blk >= kMaxBlocks) {
+      fail(Errc::kInvalidArg,
+           "VciPool: per-rank VCI capacity exceeded (" + std::to_string(kCapacity) + ")");
+    }
     Block* b = blocks_[blk].load(std::memory_order_relaxed);
     if (b == nullptr) {
       b = new Block();
       blocks_[blk].store(b, std::memory_order_relaxed);
     }
-    auto& slot = b->slots[static_cast<std::size_t>(idx) & (kBlockSize - 1)];
-    slot = std::make_unique<Vci>(*nic_, &nic_->stats()->channel(owner_rank_, idx),
-                                 match_policy_);
-    slot->eager_credits().store(eager_credits_default_, std::memory_order_relaxed);
+    Vci& v = b->slots[static_cast<std::size_t>(idx) & (kBlockSize - 1)];
+    // Initial slots use the sequence range the NIC pre-reserved for this
+    // rank's pool; growth slots reserve now, at the same program point the
+    // eager scheme called acquire_context().
+    v.ctx_seq_ = idx < initial_ ? ctx_seq_base_ + idx : fabric_->nic(node_).reserve_seq();
+    v.eager_credits_.store(eager_credits_default_, std::memory_order_relaxed);
     size_.store(idx + 1, std::memory_order_release);  // publish (see class comment)
     return idx;
   }
 
-  net::Nic* nic_;
+  net::Fabric* fabric_;
+  int node_;
   int owner_rank_;
+  int initial_;
+  int ctx_seq_base_;
   int eager_credits_default_;
   MatchPolicy match_policy_;
   std::mutex writer_mu_;
+  std::mutex body_mu_;
   std::array<std::atomic<Block*>, kMaxBlocks> blocks_{};
   std::atomic<int> size_{0};
   std::vector<FailoverEvent> failover_log_;

@@ -10,15 +10,22 @@
 
 namespace tmpi {
 
-World::World(WorldConfig cfg) : cfg_(std::move(cfg)) {
+World::World(WorldConfig cfg) : cfg_(std::move(cfg)), states_(cfg_.nranks) {
   TMPI_REQUIRE(cfg_.nranks >= 1, Errc::kInvalidArg, "nranks must be >= 1");
   TMPI_REQUIRE(cfg_.ranks_per_node >= 1, Errc::kInvalidArg, "ranks_per_node must be >= 1");
   TMPI_REQUIRE(cfg_.num_vcis >= 1, Errc::kInvalidArg, "num_vcis must be >= 1");
+  // Bound the initial pool against VciPool's hard per-rank capacity here,
+  // with a proper error code, instead of letting append_locked() surface the
+  // problem mid-run.
+  TMPI_REQUIRE(cfg_.num_vcis <= detail::VciPool::kCapacity, Errc::kInvalidArg,
+               "num_vcis exceeds the per-rank VCI capacity (" +
+                   std::to_string(detail::VciPool::kCapacity) + ")");
   TMPI_REQUIRE(cfg_.tag_bits >= 4 && cfg_.tag_bits <= 30, Errc::kInvalidArg,
                "tag_bits must be in [4,30]");
 
   const int nodes = (cfg_.nranks + cfg_.ranks_per_node - 1) / cfg_.ranks_per_node;
-  fabric_ = std::make_unique<net::Fabric>(nodes, cfg_.cost);
+  fabric_ = std::make_unique<net::Fabric>(nodes, cfg_.cost, cfg_.nranks, cfg_.ranks_per_node,
+                                          cfg_.num_vcis);
   transport_ = std::make_unique<detail::Transport>(*this);
 
   // Fault layer (DESIGN.md §7): Info hints first, TMPI_FAULT_* env on top.
@@ -58,12 +65,9 @@ World::World(WorldConfig cfg) : cfg_(std::move(cfg)) {
     match_policy_ = detail::MatchPolicy::kAuto;
   }
 
-  states_.reserve(static_cast<std::size_t>(cfg_.nranks));
-  for (int r = 0; r < cfg_.nranks; ++r) {
-    const int node = node_of(r);
-    states_.push_back(std::make_unique<detail::RankState>(
-        r, node, fabric_->nic(node), cfg_.num_vcis, overload_.eager_credits, match_policy_));
-  }
+  // Rank states are built lazily on first rank_state() touch (DESIGN.md
+  // §11); a 10k-rank world where only a few ranks communicate pays only for
+  // those.
 
   // COMM_WORLD.
   world_comm_ = std::make_shared<detail::CommImpl>();
@@ -73,10 +77,7 @@ World::World(WorldConfig cfg) : cfg_(std::move(cfg)) {
   world_comm_->coll_ctx_id = base + 1;
   world_comm_->part_ctx_id = base + 2;
   world_comm_->seq_no = next_comm_seq();
-  world_comm_->eps.resize(static_cast<std::size_t>(cfg_.nranks));
-  for (int r = 0; r < cfg_.nranks; ++r) {
-    world_comm_->eps[static_cast<std::size_t>(r)] = detail::EpEntry{r, -1};
-  }
+  world_comm_->eps.assign_identity(cfg_.nranks);
   detail::configure_policy(*world_comm_);
   world_comm_->finalize_structure();
 
@@ -112,6 +113,18 @@ net::NetStatsSnapshot World::snapshot() const {
 
 int World::alloc_ctx_ids() { return next_ctx_.fetch_add(3, std::memory_order_relaxed); }
 
+detail::RankState& World::materialize_rank_state(int r) {
+  return states_.get_or_create(r, [this](int rank) {
+    const int node = node_of(rank);
+    // First context reservation of this rank's initial pool on its node's
+    // NIC: pools are laid out rank-major, matching the order the eager
+    // implementation acquired contexts in (see net/nic.h).
+    const int ctx_seq_base = (rank % cfg_.ranks_per_node) * cfg_.num_vcis;
+    return new detail::RankState(rank, node, *fabric_, cfg_.num_vcis, ctx_seq_base,
+                                 overload_.eager_credits, match_policy_);
+  });
+}
+
 void World::run(const std::function<void(Rank&)>& fn) {
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(cfg_.nranks));
@@ -120,7 +133,7 @@ void World::run(const std::function<void(Rank&)>& fn) {
 
   for (int r = 0; r < cfg_.nranks; ++r) {
     threads.emplace_back([&, r] {
-      detail::RankState& st = *states_[static_cast<std::size_t>(r)];
+      detail::RankState& st = rank_state(r);
       net::ScopedClockBind bind(&st.clock);
       Rank rank(*this, st);
       try {
@@ -137,7 +150,9 @@ void World::run(const std::function<void(Rank&)>& fn) {
 
 net::Time World::elapsed() const {
   net::Time t = 0;
-  for (const auto& st : states_) t = std::max(t, st->clock.now());
+  for (int r = 0; r < cfg_.nranks; ++r) {
+    if (const detail::RankState* st = states_.get(r)) t = std::max(t, st->clock.now());
+  }
   return t;
 }
 

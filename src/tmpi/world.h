@@ -1,9 +1,11 @@
 #ifndef TMPI_WORLD_H
 #define TMPI_WORLD_H
 
+#include <array>
 #include <atomic>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -76,9 +78,69 @@ struct RankState {
   VciPool vcis;
   std::atomic<int> active_calls{0};
 
-  RankState(int r, int nd, net::Nic& nic, int nvcis, int eager_credits = 0,
-            MatchPolicy match_policy = MatchPolicy::kAuto)
-      : rank(r), node(nd), vcis(nic, r, nvcis, eager_credits, match_policy) {}
+  /// `ctx_seq_base` is the first NIC context reservation of this rank's
+  /// initial pool (pre-reserved at NIC construction; see net/nic.h).
+  RankState(int r, int nd, net::Fabric& fabric, int nvcis, int ctx_seq_base,
+            int eager_credits = 0, MatchPolicy match_policy = MatchPolicy::kAuto)
+      : rank(r), node(nd), vcis(fabric, nd, r, nvcis, ctx_seq_base, eager_credits, match_policy) {}
+};
+
+/// Lazily populated rank-state table (DESIGN.md §11). Slots are atomic
+/// pointers published with release after full construction; readers
+/// acquire-load and fall into the striped-mutex slow path only on null, so a
+/// warm rank lookup is one atomic load. Entries live until the table dies.
+class RankTable {
+ public:
+  explicit RankTable(int n)
+      : n_(n < 0 ? 0 : n),
+        slots_(std::make_unique<std::atomic<RankState*>[]>(static_cast<std::size_t>(n_))) {
+    for (int i = 0; i < n_; ++i) slots_[static_cast<std::size_t>(i)].store(nullptr, std::memory_order_relaxed);
+  }
+
+  RankTable(const RankTable&) = delete;
+  RankTable& operator=(const RankTable&) = delete;
+
+  ~RankTable() {
+    for (int i = 0; i < n_; ++i) delete slots_[static_cast<std::size_t>(i)].load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] int size() const { return n_; }
+
+  /// The state for `r`, or null if it has not been materialized (the caller
+  /// checks bounds).
+  [[nodiscard]] RankState* get(int r) const {
+    return slots_[static_cast<std::size_t>(r)].load(std::memory_order_acquire);
+  }
+
+  /// Double-checked materialization: `build(r)` runs at most once per rank,
+  /// under the rank's stripe mutex, and its result is release-published.
+  template <typename Build>
+  RankState& get_or_create(int r, Build&& build) {
+    auto& slot = slots_[static_cast<std::size_t>(r)];
+    std::scoped_lock lk(mu_[static_cast<std::size_t>(r) & (kStripes - 1)]);
+    RankState* st = slot.load(std::memory_order_relaxed);
+    if (st == nullptr) {
+      st = build(r);
+      slot.store(st, std::memory_order_release);  // publish fully constructed
+    }
+    return *st;
+  }
+
+  /// Ranks materialized so far (telemetry).
+  [[nodiscard]] int materialized() const {
+    int count = 0;
+    for (int i = 0; i < n_; ++i) {
+      if (get(i) != nullptr) ++count;
+    }
+    return count;
+  }
+
+ private:
+  static constexpr std::size_t kStripes = 64;  // power of two
+
+  int n_;
+  std::unique_ptr<std::atomic<RankState*>[]> slots_;
+  std::array<std::mutex, kStripes> mu_;
 };
 
 /// RAII thread-level enforcement: counts concurrent runtime calls per rank
@@ -151,9 +213,14 @@ class World {
   [[nodiscard]] net::Time elapsed() const;
 
   // --- runtime internals ---
+  /// This rank's state, materialized on first touch (lock-free when warm).
   [[nodiscard]] detail::RankState& rank_state(int r) {
-    return *states_.at(static_cast<std::size_t>(r));
+    TMPI_REQUIRE(r >= 0 && r < cfg_.nranks, Errc::kInvalidArg, "rank out of range");
+    detail::RankState* st = states_.get(r);
+    return st != nullptr ? *st : materialize_rank_state(r);
   }
+  /// Ranks whose state has been built (lazy-materialization telemetry).
+  [[nodiscard]] int ranks_materialized() const { return states_.materialized(); }
   /// Allocate a block of 3 context ids (pt2p, coll, part) for a new comm;
   /// returns the base id.
   int alloc_ctx_ids();
@@ -165,6 +232,8 @@ class World {
   }
 
  private:
+  detail::RankState& materialize_rank_state(int r);
+
   WorldConfig cfg_;
   OverloadConfig overload_;
   detail::MatchPolicy match_policy_ = detail::MatchPolicy::kAuto;
@@ -172,7 +241,7 @@ class World {
   std::unique_ptr<detail::Transport> transport_;
   std::unique_ptr<net::FaultInjector> fault_injector_;
   std::unique_ptr<net::TraceRecorder> tracer_;
-  std::vector<std::unique_ptr<detail::RankState>> states_;
+  detail::RankTable states_{0};
   std::shared_ptr<detail::CommImpl> world_comm_;
   std::atomic<int> next_ctx_{0};
   std::atomic<std::uint64_t> comm_seq_{0};

@@ -128,4 +128,24 @@ TEST(StatsSnapshot, ChannelDerivedNeverExceedsSourceUnderConcurrentLoad) {
   EXPECT_EQ(s.unexpected_hwm, 63u);
 }
 
+TEST(StatsSnapshot, ChannelsSortedByRankThenVci) {
+  // The registry shards channels by a mixed (rank, vci) hash, so insertion
+  // and shard order are both arbitrary; snapshot() must still present them
+  // sorted by (rank, vci) for stable telemetry output.
+  NetStats stats;
+  stats.channel(2, 1).add_lock(false);
+  stats.channel(0, 3).add_lock(false);
+  stats.channel(7, 0).add_lock(false);
+  stats.channel(0, 1).add_lock(false);
+  stats.channel(2, 0).add_lock(false);
+
+  const NetStatsSnapshot s = stats.snapshot();
+  ASSERT_EQ(s.channels.size(), 5u);
+  const std::pair<int, int> expected[] = {{0, 1}, {0, 3}, {2, 0}, {2, 1}, {7, 0}};
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(s.channels[i].rank, expected[i].first) << "index " << i;
+    EXPECT_EQ(s.channels[i].vci, expected[i].second) << "index " << i;
+  }
+}
+
 }  // namespace

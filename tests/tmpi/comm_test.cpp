@@ -194,7 +194,7 @@ TEST(Endpoints, EachEndpointHasDistinctVci) {
     auto eps = rank.world_comm().create_endpoints(3);
     std::set<int> vcis;
     for (const auto& ep : eps) {
-      vcis.insert(ep.impl()->eps[static_cast<std::size_t>(ep.rank())].vci);
+      vcis.insert(ep.impl()->eps.vci_of(ep.rank()));
     }
     EXPECT_EQ(vcis.size(), 3u);
   });

@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "tmpi/tmpi.h"
+
+/// Lazy-materialization tests for the descriptor/body split (DESIGN.md §11):
+/// World construction builds no heavy per-rank state; first touch of a cold
+/// rank or VCI builds it exactly once even under a thread race; every thread
+/// that loses the race observes the same fully published object. The whole
+/// file is TSan-relevant — the CI thread-sanitizer job runs it to check the
+/// publication fences, not just the logical exactly-once property.
+
+namespace tmpi {
+namespace {
+
+TEST(LazyWorld, ConstructionBuildsNoHeavyState) {
+  WorldConfig wc;
+  wc.nranks = 256;
+  wc.ranks_per_node = 8;
+  wc.num_vcis = 8;
+  World w(wc);
+
+  // Nothing materialized: no RankState, no NIC, no channel-stats block.
+  EXPECT_EQ(w.ranks_materialized(), 0);
+  EXPECT_EQ(w.fabric().nics_materialized(), 0);
+  EXPECT_TRUE(w.snapshot().channels.empty());
+}
+
+TEST(LazyWorld, FirstTouchMaterializesOnlyWhatIsTouched) {
+  WorldConfig wc;
+  wc.nranks = 256;
+  wc.ranks_per_node = 8;
+  wc.num_vcis = 8;
+  World w(wc);
+
+  detail::RankState& st = w.rank_state(37);
+  EXPECT_EQ(w.ranks_materialized(), 1);
+  // Descriptors exist for all configured VCIs, but no body — and therefore
+  // no NIC — yet: the pool's initial slots carry precomputed context
+  // reservations, so even the rank's own node NIC stays unbuilt.
+  EXPECT_EQ(st.vcis.size(), 8);
+  EXPECT_EQ(st.vcis.materialized(), 0);
+  EXPECT_EQ(w.fabric().nics_materialized(), 0);
+
+  // Touching one VCI builds exactly its body, the owning node's NIC, and
+  // registers its channel.
+  detail::Vci& v = st.vcis.at(3);
+  EXPECT_TRUE(v.materialized());
+  EXPECT_EQ(st.vcis.materialized(), 1);
+  EXPECT_EQ(w.fabric().nics_materialized(), 1);
+  const auto snap = w.snapshot();
+  ASSERT_EQ(snap.channels.size(), 1u);
+  EXPECT_EQ(snap.channels[0].rank, 37);
+  EXPECT_EQ(snap.channels[0].vci, 3);
+}
+
+TEST(LazyWorld, RacingFirstTouchOnColdVciBuildsExactlyOnce) {
+  WorldConfig wc;
+  wc.nranks = 64;
+  wc.ranks_per_node = 8;
+  wc.num_vcis = 4;
+  World w(wc);
+
+  // All threads race first touch of the SAME cold (rank, vci). Everyone must
+  // get the same Vci descriptor, the same engine (i.e. the same body), and
+  // the same channel-stats block; the registry must hold exactly one entry.
+  constexpr int kThreads = 16;
+  std::atomic<int> ready{0};
+  std::vector<detail::Vci*> vcis(kThreads, nullptr);
+  std::vector<detail::MatchingEngine*> engines(kThreads, nullptr);
+  std::vector<net::ChannelStats*> chstats(kThreads, nullptr);
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      ready.fetch_add(1, std::memory_order_acq_rel);
+      while (ready.load(std::memory_order_acquire) < kThreads) {
+      }
+      detail::Vci& v = w.rank_state(11).vcis.at(2);
+      vcis[t] = &v;
+      engines[t] = &v.engine();
+      chstats[t] = v.chstats();
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(vcis[t], vcis[0]) << "thread " << t << " saw a different Vci";
+    EXPECT_EQ(engines[t], engines[0]) << "thread " << t << " saw a different body";
+    EXPECT_EQ(chstats[t], chstats[0]) << "thread " << t << " saw a different channel";
+  }
+  EXPECT_EQ(w.ranks_materialized(), 1);
+  EXPECT_EQ(w.rank_state(11).vcis.materialized(), 1);
+  const auto snap = w.snapshot();
+  ASSERT_EQ(snap.channels.size(), 1u);
+  EXPECT_EQ(snap.channels[0].rank, 11);
+  EXPECT_EQ(snap.channels[0].vci, 2);
+}
+
+TEST(LazyWorld, RacingFirstTouchAcrossRanksAndVcisIsStable) {
+  WorldConfig wc;
+  wc.nranks = 64;
+  wc.ranks_per_node = 8;
+  wc.num_vcis = 4;
+  World w(wc);
+
+  // Each thread hammers a mix of cold and shared (rank, vci) pairs; pointer
+  // identity must be stable across every touch (references never move).
+  constexpr int kThreads = 8;
+  constexpr int kIters = 200;
+  std::vector<std::thread> threads;
+  std::atomic<bool> ok{true};
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kIters; ++i) {
+        const int r = (t + i) % 16;  // overlapping rank set
+        const int v = i % 4;
+        detail::Vci& first = w.rank_state(r).vcis.at(v);
+        detail::Vci& again = w.rank_state(r).vcis.at(v);
+        if (&first != &again || &first.engine() != &again.engine()) {
+          ok.store(false, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_TRUE(ok.load());
+
+  // Exactly the touched channels exist — one registry entry per pair.
+  const auto snap = w.snapshot();
+  EXPECT_EQ(snap.channels.size(), 16u * 4u);
+  EXPECT_EQ(w.ranks_materialized(), 16);
+}
+
+TEST(LazyWorld, NumVcisBeyondPoolCapacityIsRejected) {
+  // Satellite: WorldConfig::num_vcis is bounded against the pool's hard
+  // capacity at World construction, not at first (lazy) touch deep inside a
+  // transport call.
+  WorldConfig wc;
+  wc.nranks = 2;
+  wc.num_vcis = detail::VciPool::kCapacity + 1;
+  try {
+    World w(wc);
+    FAIL() << "World construction accepted num_vcis beyond VciPool capacity";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), Errc::kInvalidArg);
+  }
+}
+
+TEST(LazyWorld, VciPoolAtOutOfRangeFails) {
+  // Satellite: out-of-range index fails with kInvalidArg instead of
+  // undefined behavior on a cold descriptor slot.
+  WorldConfig wc;
+  wc.nranks = 2;
+  wc.num_vcis = 4;
+  World w(wc);
+  detail::RankState& st = w.rank_state(0);
+  for (int bad : {4, 5, 1000, detail::VciPool::kCapacity}) {
+    try {
+      (void)st.vcis.at(bad);
+      FAIL() << "VciPool::at(" << bad << ") did not fail";
+    } catch (const Error& e) {
+      EXPECT_EQ(e.code(), Errc::kInvalidArg);
+    }
+  }
+  try {
+    (void)st.vcis.at(-1);
+    FAIL() << "VciPool::at(-1) did not fail";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), Errc::kInvalidArg);
+  }
+}
+
+}  // namespace
+}  // namespace tmpi
