@@ -85,6 +85,16 @@ class Fabric {
     return src_node == dst_node ? cm_.shm_time(bytes) : cm_.wire_time(bytes);
   }
 
+  /// Smallest virtual latency any channel can add to a message: the lower
+  /// bound of every transfer_time(). This is the conservative lookahead of
+  /// the parallel execution mode (DESIGN.md §12) — a delivery's arrival is
+  /// always at least this far past its sender's inject completion, so an
+  /// event queued behind a safe point can never predate work already drained.
+  [[nodiscard]] Time min_channel_latency_ns() const {
+    return cm_.shm_latency_ns < cm_.wire_latency_ns ? cm_.shm_latency_ns
+                                                    : cm_.wire_latency_ns;
+  }
+
  private:
   Nic& materialize_nic(int node) {
     std::scoped_lock lk(nic_mu_);

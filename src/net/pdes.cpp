@@ -1,0 +1,165 @@
+#include "net/pdes.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+namespace tmpi::net {
+
+namespace {
+
+int resolve_workers(int configured) {
+  int n = configured;
+  if (const char* e = std::getenv("TMPI_PDES_WORKERS"); e && *e) {
+    n = std::atoi(e);
+  }
+  if (n <= 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    n = hw == 0 ? 2 : static_cast<int>(hw);
+    if (n > 8) n = 8;
+  }
+  if (n < 1) n = 1;
+  return n;
+}
+
+}  // namespace
+
+PdesScheduler::PdesScheduler(Config cfg) : lookahead_ns_(cfg.lookahead_ns) {
+  const int n = resolve_workers(cfg.num_workers);
+  workers_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+PdesScheduler::~PdesScheduler() { shutdown(); }
+
+void PdesScheduler::enqueue(std::uint64_t key, std::unique_ptr<PdesEvent> ev) {
+  Shard& s = shard_of(key);
+  {
+    std::scoped_lock lk(s.q_mu);
+    const std::uint64_t ticket = s.next_ticket++;
+    s.q.push_back(Item{std::move(ev), ticket});
+  }
+  s.in_flight.fetch_add(1, std::memory_order_release);
+  pending_.fetch_add(1, std::memory_order_release);
+  if (sleepers_.load(std::memory_order_acquire) > 0) {
+    // Lock/unlock pairs the notify with the sleeper's predicate re-check, so
+    // a worker that just observed an empty queue cannot miss this wakeup.
+    { std::scoped_lock lk(wake_mu_); }
+    wake_cv_.notify_one();
+  }
+}
+
+std::uint64_t PdesScheduler::run_shard(Shard& s) {
+  // proc_mu is the delivery barrier: held across pop+run so shard order is
+  // strictly the enqueue (ticket) order and so a drain that acquires it with
+  // an empty queue knows no event is mid-flight.
+  std::scoped_lock barrier(s.proc_mu);
+  std::uint64_t ran = 0;
+  for (;;) {
+    Item item;
+    {
+      std::scoped_lock lk(s.q_mu);
+      if (s.q.empty()) break;
+      item = std::move(s.q.front());
+      s.q.pop_front();
+    }
+    if (item.ticket != s.processed_ticket) {
+      // A shard processed out of order would silently break the bit-exact
+      // parity guarantee; fail loudly instead of producing wrong clocks.
+      std::fprintf(stderr,
+                   "tmpi pdes: delivery barrier violated (ticket %llu, expected %llu)\n",
+                   static_cast<unsigned long long>(item.ticket),
+                   static_cast<unsigned long long>(s.processed_ticket));
+      std::abort();
+    }
+    item.ev->run();
+    item.ev.reset();
+    ++s.processed_ticket;
+    ++ran;
+    s.in_flight.fetch_sub(1, std::memory_order_release);
+    pending_.fetch_sub(1, std::memory_order_release);
+  }
+  if (ran != 0) processed_.fetch_add(ran, std::memory_order_relaxed);
+  return ran;
+}
+
+void PdesScheduler::drain(std::uint64_t key) {
+  Shard& s = shard_of(key);
+  // Fast path: nothing queued and nothing mid-run. in_flight is decremented
+  // only after an event's side effects complete under proc_mu, so a zero read
+  // here means the shard is quiet; any effects we later depend on are behind
+  // the locks the delivery itself took.
+  if (s.in_flight.load(std::memory_order_acquire) == 0) return;
+  // Help: run the shard ourselves. If a worker currently owns proc_mu we
+  // block until it finishes, then mop up whatever is left — on return the
+  // shard is empty with no event in flight.
+  while (s.in_flight.load(std::memory_order_acquire) != 0) {
+    run_shard(s);
+  }
+}
+
+void PdesScheduler::quiesce() {
+  // Events never enqueue further events (a delivery is a leaf: it deposits
+  // into a matching engine and completes requests), so one pass per
+  // iteration converges as soon as concurrent producers stop.
+  while (pending_.load(std::memory_order_acquire) != 0) {
+    for (Shard& s : shards_) {
+      if (s.in_flight.load(std::memory_order_acquire) != 0) run_shard(s);
+    }
+  }
+}
+
+void PdesScheduler::shutdown() {
+  if (!stop_.exchange(true, std::memory_order_acq_rel)) {
+    { std::scoped_lock lk(wake_mu_); }
+    wake_cv_.notify_all();
+    for (std::thread& t : workers_) t.join();
+    workers_.clear();
+  }
+  quiesce();
+}
+
+void PdesScheduler::worker_loop() {
+  std::size_t cursor = 0;
+  int idle_scans = 0;
+  for (;;) {
+    if (stop_.load(std::memory_order_acquire)) return;
+    std::uint64_t ran = 0;
+    if (pending_.load(std::memory_order_acquire) != 0) {
+      // Rotating scan so workers start on different shards over time and
+      // spread across independent channels instead of convoying on one.
+      for (std::size_t i = 0; i < kShards; ++i) {
+        Shard& s = shards_[(cursor + i) & (kShards - 1)];
+        if (s.in_flight.load(std::memory_order_acquire) == 0) continue;
+        if (!s.proc_mu.try_lock()) continue;  // another thread owns the shard
+        s.proc_mu.unlock();
+        ran += run_shard(s);
+      }
+      ++cursor;
+    }
+    if (ran != 0) {
+      idle_scans = 0;
+      continue;
+    }
+    if (++idle_scans < 64) {
+      std::this_thread::yield();
+      continue;
+    }
+    // Park until an enqueue or shutdown. The timed wait backstops the
+    // (already lock-paired) wakeup so a missed edge costs at most 1 ms.
+    sleepers_.fetch_add(1, std::memory_order_release);
+    {
+      std::unique_lock lk(wake_mu_);
+      wake_cv_.wait_for(lk, std::chrono::milliseconds(1), [this] {
+        return stop_.load(std::memory_order_acquire) ||
+               pending_.load(std::memory_order_acquire) != 0;
+      });
+    }
+    sleepers_.fetch_sub(1, std::memory_order_release);
+    idle_scans = 0;
+  }
+}
+
+}  // namespace tmpi::net

@@ -1,0 +1,167 @@
+#ifndef TMPI_NET_PDES_H
+#define TMPI_NET_PDES_H
+
+#include <array>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "net/virtual_clock.h"
+
+/// \file pdes.h
+/// Conservative parallel discrete-event scheduler (DESIGN.md §12).
+///
+/// In serial execution mode the transport processes every remote-side
+/// delivery inline, on the sending thread — correct and bit-exact, but the
+/// sender pays the receiver's host-side work (remote VCI lock, context
+/// occupancy, matching-engine deposit, request wakeup) for every message.
+/// In parallel mode (`tmpi_exec_mode=parallel`) deliveries are instead
+/// captured as events and drained by a worker pool, sharded by the physical
+/// resource they touch.
+///
+/// Correctness rests on three rules:
+///
+/// 1. *Sharding by physical context.* Every event lands in the shard of its
+///    destination (node, hardware-context id). All state a delivery mutates —
+///    the duplex context's busy horizon, the VCI's matching engine, the
+///    channel counters — hangs off that context, so per-shard FIFO order is
+///    exactly the serial processing order for a single-writer channel.
+///
+/// 2. *Ticket-ordered delivery barrier.* Events carry a per-shard ticket
+///    assigned at enqueue; processing asserts tickets strictly in order
+///    (enforced, not hoped: a violation aborts). Workers may interleave
+///    *across* shards freely — that is the parallelism — but never within
+///    one.
+///
+/// 3. *Safe points.* Before a rank thread touches state a pending delivery
+///    could also touch (injecting on a context, posting or probing a
+///    matching engine, occupying a receive context), the transport drains
+///    that shard. Cross-VCI dependencies — collectives, RMA fences, watchdog
+///    epochs, failover absorb() — therefore always observe a quiesced shard,
+///    and the virtual clocks they compute are identical to serial execution.
+///    World::run()/snapshot() quiesce every shard.
+///
+/// The lookahead is derived from the cost model's minimum channel latency
+/// (min of shm and wire): no event can carry an arrival earlier than its
+/// sender's inject time plus that bound, so a drained shard can never
+/// receive an event "from the past" of work already processed at a safe
+/// point. It is recorded for diagnostics and asserted in tests; the safe-
+/// point protocol above is what the bit-exactness proof leans on.
+///
+/// Worker threads run with no bound ThreadClock: a delivery executes
+/// entirely on its own arrival clock (see transport.cpp), never on a rank's.
+
+namespace tmpi::net {
+
+/// One deferred unit of work. Implementations capture everything they need
+/// at enqueue time and must be runnable on any thread.
+class PdesEvent {
+ public:
+  virtual ~PdesEvent() = default;
+  virtual void run() = 0;
+};
+
+class PdesScheduler {
+ public:
+  struct Config {
+    /// Worker pool size; 0 = auto (hardware concurrency, clamped to [1, 8]).
+    /// The TMPI_PDES_WORKERS environment variable overrides either way.
+    int num_workers = 0;
+    /// Conservative lookahead bound (min channel latency), for diagnostics.
+    Time lookahead_ns = 0;
+  };
+
+  explicit PdesScheduler(Config cfg);
+  ~PdesScheduler();
+
+  PdesScheduler(const PdesScheduler&) = delete;
+  PdesScheduler& operator=(const PdesScheduler&) = delete;
+
+  /// Shard key for a delivery touching hardware context `ctx_id` on `node`.
+  [[nodiscard]] static std::uint64_t shard_key(int node, int ctx_id) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(node)) << 32) |
+           static_cast<std::uint32_t>(ctx_id);
+  }
+
+  /// Queue `ev` on `key`'s shard. Thread-safe; wakes a parked worker.
+  void enqueue(std::uint64_t key, std::unique_ptr<PdesEvent> ev);
+
+  /// Safe point: process `key`'s shard until it is empty AND no event is in
+  /// flight. The calling thread helps (it may process events itself), so a
+  /// drain makes progress even with zero workers. O(1) when the shard is
+  /// idle — one atomic load.
+  void drain(std::uint64_t key);
+
+  /// Process every shard to empty (global safe point).
+  void quiesce();
+
+  /// Quiesce, then stop and join the worker pool. Idempotent; called by the
+  /// owner before any state a queued event references is torn down.
+  void shutdown();
+
+  /// Events enqueued but not yet fully processed, across all shards.
+  [[nodiscard]] std::uint64_t pending() const {
+    return pending_.load(std::memory_order_acquire);
+  }
+  /// Events processed so far (telemetry/tests).
+  [[nodiscard]] std::uint64_t processed() const {
+    return processed_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] Time lookahead_ns() const { return lookahead_ns_; }
+  [[nodiscard]] int num_workers() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  struct Item {
+    std::unique_ptr<PdesEvent> ev;
+    std::uint64_t ticket = 0;
+  };
+
+  /// One event-queue shard. `q_mu` guards the queue (brief, so enqueue never
+  /// waits behind event processing); `proc_mu` is the delivery barrier — it
+  /// is held across pop+run, so holders observe strict ticket order and a
+  /// drain that acquires it with an empty queue knows nothing is in flight.
+  struct Shard {
+    std::mutex proc_mu;
+    std::mutex q_mu;
+    std::deque<Item> q;
+    std::uint64_t next_ticket = 0;       ///< assigned at enqueue (under q_mu)
+    std::uint64_t processed_ticket = 0;  ///< checked at run (under proc_mu)
+    /// Enqueued-but-not-fully-processed count: the drain fast path.
+    std::atomic<std::uint64_t> in_flight{0};
+  };
+
+  [[nodiscard]] Shard& shard_of(std::uint64_t key) {
+    // splitmix64 finalizer, same mixing discipline as the stats registry.
+    key ^= key >> 33;
+    key *= 0xff51afd7ed558ccdULL;
+    key ^= key >> 33;
+    return shards_[static_cast<std::size_t>(key) & (kShards - 1)];
+  }
+
+  /// Process `s` until empty; returns the number of events run.
+  std::uint64_t run_shard(Shard& s);
+
+  void worker_loop();
+
+  static constexpr std::size_t kShards = 64;
+
+  std::array<Shard, kShards> shards_;
+  std::atomic<std::uint64_t> pending_{0};
+  std::atomic<std::uint64_t> processed_{0};
+  Time lookahead_ns_ = 0;
+
+  std::atomic<bool> stop_{false};
+  std::atomic<int> sleepers_{0};
+  std::mutex wake_mu_;
+  std::condition_variable wake_cv_;
+  std::vector<std::thread> workers_;  // last: loops touch every member above
+};
+
+}  // namespace tmpi::net
+
+#endif  // TMPI_NET_PDES_H

@@ -31,9 +31,13 @@
 /// pairs with that release and the matching source increment — which
 /// happened-before it on the writer thread — is visible too. Hence a
 /// snapshot can never show `contended_acquisitions > lock_acquisitions`,
-/// `shared_ctx_injections > injections`, `atomic_ops > rma_ops`, or
+/// `shared_ctx_injections > injections`, `atomic_ops > rma_ops`,
 /// `retransmits + timeouts > drops + corrupts` (every lost attempt counts a
-/// drop/corrupt before its retransmit-or-timeout verdict).
+/// drop/corrupt before its retransmit-or-timeout verdict), `deposits >
+/// rx_ops` (every deposit follows a receive occupation), or
+/// `unexpected_messages`/`rendezvous_messages` `> messages`. The last three
+/// pairs matter under the parallel execution mode (DESIGN.md §12), where
+/// deliveries genuinely race with the sampling thread.
 /// tests/net/stats_snapshot_test.cpp hammers these invariants concurrently.
 ///
 /// In addition to the global tallies, the fabric keeps a registry of
@@ -81,7 +85,11 @@ class ChannelStats {
 
   void add_injection() { injections_.fetch_add(1, std::memory_order_relaxed); }
   void add_rx() { rx_ops_.fetch_add(1, std::memory_order_relaxed); }
-  void add_deposit() { deposits_.fetch_add(1, std::memory_order_relaxed); }
+  // Derived from rx_ops: every deposit follows a receive-side context
+  // occupation on the same thread, so release here (and acquire-first in
+  // snapshot()) keeps deposits <= rx_ops even under genuinely concurrent
+  // delivery (parallel execution mode, DESIGN.md §12).
+  void add_deposit() { deposits_.fetch_add(1, std::memory_order_release); }
   void add_lock(bool contended) {
     // Source first, derived with release (see the snapshot-ordering rule in
     // the file comment): a snapshot that sees the contended increment must
@@ -123,9 +131,9 @@ class ChannelStats {
     s.contended_acquisitions = contended_acquisitions_.load(std::memory_order_acquire);
     s.retransmits = retransmits_.load(std::memory_order_acquire);
     s.timeouts = timeouts_.load(std::memory_order_acquire);
+    s.deposits = deposits_.load(std::memory_order_acquire);
     s.injections = injections_.load(std::memory_order_relaxed);
     s.rx_ops = rx_ops_.load(std::memory_order_relaxed);
-    s.deposits = deposits_.load(std::memory_order_relaxed);
     s.lock_acquisitions = lock_acquisitions_.load(std::memory_order_relaxed);
     s.busy_ns = busy_ns_.load(std::memory_order_relaxed);
     s.drops = drops_.load(std::memory_order_relaxed);
@@ -317,8 +325,14 @@ class NetStats {
   void add_match_probes(std::uint64_t n) {
     match_probes_.fetch_add(n, std::memory_order_relaxed);
   }
-  void add_unexpected() { unexpected_messages_.fetch_add(1, std::memory_order_relaxed); }
-  void add_rendezvous() { rendezvous_messages_.fetch_add(1, std::memory_order_relaxed); }
+  // Both derived from messages: the send was tallied (add_message) before
+  // the deposit that classifies it as unexpected — on the same thread in
+  // serial mode, across the scheduler's queue hand-off in parallel mode —
+  // and add_rendezvous is bumped right after add_message in tally_op. Release
+  // here, acquire-first in snapshot(), keeps unexpected <= messages and
+  // rendezvous <= messages under genuinely concurrent delivery (§12).
+  void add_unexpected() { unexpected_messages_.fetch_add(1, std::memory_order_release); }
+  void add_rendezvous() { rendezvous_messages_.fetch_add(1, std::memory_order_release); }
   void add_rma(bool atomic) {
     rma_ops_.fetch_add(1, std::memory_order_relaxed);
     if (atomic) atomic_ops_.fetch_add(1, std::memory_order_release);
@@ -369,14 +383,14 @@ class NetStats {
     s.atomic_ops = atomic_ops_.load(std::memory_order_acquire);
     s.retransmits = retransmits_.load(std::memory_order_acquire);
     s.timeouts = timeouts_.load(std::memory_order_acquire);
+    s.unexpected_messages = unexpected_messages_.load(std::memory_order_acquire);
+    s.rendezvous_messages = rendezvous_messages_.load(std::memory_order_acquire);
     s.messages = messages_.load(std::memory_order_relaxed);
     s.bytes = bytes_.load(std::memory_order_relaxed);
     s.injections = injections_.load(std::memory_order_relaxed);
     s.lock_acquisitions = lock_acquisitions_.load(std::memory_order_relaxed);
     s.part_lock_acquisitions = part_lock_acquisitions_.load(std::memory_order_relaxed);
     s.match_probes = match_probes_.load(std::memory_order_relaxed);
-    s.unexpected_messages = unexpected_messages_.load(std::memory_order_relaxed);
-    s.rendezvous_messages = rendezvous_messages_.load(std::memory_order_relaxed);
     s.rma_ops = rma_ops_.load(std::memory_order_relaxed);
     s.channel_ops = channel_ops_.load(std::memory_order_relaxed);
     s.drops = drops_.load(std::memory_order_relaxed);

@@ -13,6 +13,15 @@
 /// virtual completion time. Benchmarks report virtual time, which makes the
 /// reproduced performance shapes independent of how many physical cores the
 /// host machine has.
+///
+/// Not every clock is thread-bound: the transport's remote-side pipeline
+/// runs on a throwaway *arrival clock* — a VirtualClock constructed at the
+/// message's wire-arrival time — so receive-side charges never consume the
+/// sender's virtual time. Arrival clocks are what make the parallel
+/// execution mode possible (DESIGN.md §12): a scheduler worker thread has no
+/// bound ThreadClock at all, and a deferred delivery replays bit-identically
+/// because every timestamp it produces flows from the arrival value captured
+/// at enqueue, never from the thread executing it.
 
 namespace tmpi::net {
 

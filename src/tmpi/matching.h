@@ -31,6 +31,13 @@
 /// each other — that unordering is precisely what "logically parallel
 /// communication" exposes.
 ///
+/// Thread context: every entry point takes the caller's clock and charges
+/// explicitly — the engine never touches ThreadClock. Under the parallel
+/// execution mode (DESIGN.md §12) deposit() runs on scheduler worker
+/// threads with an arrival clock, serialized per engine by the VCI lock and
+/// by the scheduler's per-context shard order, so match order (and the
+/// virtual time it charges) is identical to serial inline delivery.
+///
 /// ## The fast path (DESIGN.md §10)
 ///
 /// The MPI-4.0 assert hints (`mpi_assert_no_any_source` +

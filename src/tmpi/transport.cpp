@@ -3,11 +3,23 @@
 #include <algorithm>
 
 #include "net/fault.h"
+#include "net/pdes.h"
 #include "tmpi/world.h"
 
 namespace tmpi::detail {
 
 namespace {
+
+/// Safe point (DESIGN.md §12): before the caller touches `v`'s hardware
+/// context or matching engine, process every delivery queued for that
+/// context so the state observed is exactly what serial inline processing
+/// would have left. One atomic load when the shard is idle; no-op in serial
+/// mode.
+void pdes_drain_channel(World& w, int node, Vci& v) {
+  if (net::PdesScheduler* ps = w.pdes()) {
+    ps->drain(net::PdesScheduler::shard_key(node, v.ctx().id()));
+  }
+}
 
 /// Global-stats tallies for one injected op. Shared by the fast and fault
 /// paths so the two stay in agreement.
@@ -129,6 +141,7 @@ InjectResult Transport::inject(const OpDesc& op) {
     // pre-fault transport; the golden suite pins it bit-exactly. Recording
     // reads clocks but never advances them, so tracing cannot shift times.
     Vci& lv = me.vcis.at(op.local_vci);
+    pdes_drain_channel(w, me.node, lv);
     {
       net::ContentionLock::Guard g(lv.lock(), clk, cm, stats, lv.chstats());
       if (tr != nullptr) tr->record(trace_tx(op, net::TraceEv::kLockAcquired, clk.now(), op.local_vci));
@@ -157,6 +170,7 @@ InjectResult Transport::inject(const OpDesc& op) {
   const int lvci = fault_route(w, *fi, op.src_world_rank, op.local_vci, clk, &opidx);
   r.vci_used = lvci;
   Vci& lv = me.vcis.at(lvci);
+  pdes_drain_channel(w, me.node, lv);
 
   net::Time backoff = cm.retrans_backoff_ns;
   net::Time waited = 0;
@@ -227,7 +241,45 @@ InjectResult Transport::inject(const OpDesc& op) {
   }
 }
 
+/// Parallel-mode wrapper around deliver_now: everything the remote-side
+/// pipeline needs is captured at enqueue time, so the event can run on any
+/// scheduler thread (no bound ThreadClock — all times flow through
+/// `arrival_`).
+class Transport::DeliveryEvent final : public net::PdesEvent {
+ public:
+  DeliveryEvent(Transport* t, const OpDesc& op, Envelope&& env, net::Time arrival)
+      : t_(t), op_(op), env_(std::move(env)), arrival_(arrival) {}
+
+  void run() override {
+    // The scheduler exists only when the unexpected cap is off, so the
+    // deposit cannot be rejected; the sender already consumed `true`.
+    (void)t_->deliver_now(op_, std::move(env_), arrival_);
+  }
+
+ private:
+  Transport* t_;
+  OpDesc op_;
+  Envelope env_;
+  net::Time arrival_;
+};
+
 bool Transport::deliver(const OpDesc& op, Envelope&& env, net::Time arrival) {
+  if (net::PdesScheduler* ps = w_->pdes()) {
+    // Defer the remote-side pipeline to the destination context's shard. No
+    // redirect resolution here: the scheduler is gated off whenever the
+    // fault plan schedules ctx-down events, so op.remote_vci is the channel
+    // that will carry the delivery (probabilistic drop/corrupt/delay
+    // verdicts are decided sender-side, in inject()).
+    RankState& peer = w_->rank_state(op.dst_world_rank);
+    Vci& rv = peer.vcis.at(op.remote_vci);
+    ps->enqueue(net::PdesScheduler::shard_key(peer.node, rv.ctx().id()),
+                std::make_unique<DeliveryEvent>(this, op, std::move(env), arrival));
+    return true;
+  }
+  return deliver_now(op, std::move(env), arrival);
+}
+
+bool Transport::deliver_now(const OpDesc& op, Envelope&& env, net::Time arrival) {
   World& w = *w_;
   const net::CostModel& cm = w.cost();
   net::NetStats* stats = &w.fabric().stats();
@@ -290,10 +342,14 @@ bool Transport::deliver(const OpDesc& op, Envelope&& env, net::Time arrival) {
 Transport::EagerGrant Transport::try_reserve_eager(int dst_world_rank, int remote_vci) {
   World& w = *w_;
   if (w.overload().eager_credits <= 0) return {};  // flow control off: free grant
-  VciPool& pool = w.rank_state(dst_world_rank).vcis;
+  RankState& st = w.rank_state(dst_world_rank);
+  VciPool& pool = st.vcis;
   int vci = remote_vci;
   if (w.fault_injector() != nullptr) vci = pool.resolve(remote_vci);
   Vci& v = pool.at(vci);
+  // Queued deliveries can match posted receives and release credits; observe
+  // the budget the serial engine would have shown at this point.
+  pdes_drain_channel(w, st.node, v);
   std::atomic<int>& cell = v.eager_credits();
   int have = cell.load(std::memory_order_relaxed);
   while (have > 0) {
@@ -323,7 +379,9 @@ net::Time Transport::occupy_rx(const OpDesc& op, net::Time arrival) {
   if (net::FaultInjector* fi = w.fault_injector()) {
     rvci = fault_route(w, *fi, op.dst_world_rank, op.remote_vci, aclk);
   }
-  Vci& rv = w.rank_state(op.dst_world_rank).vcis.at(rvci);
+  RankState& dst = w.rank_state(op.dst_world_rank);
+  Vci& rv = dst.vcis.at(rvci);
+  pdes_drain_channel(w, dst.node, rv);
   rv.ctx().receive(aclk, w.cost(), rv.chstats());
   if (net::TraceRecorder* tr = w.tracer()) {
     net::TraceEvent e = trace_rx(op, net::TraceEv::kRxOccupy, arrival, rvci);
@@ -343,7 +401,9 @@ void Transport::post_recv(int world_rank, int local_vci, PostedRecv pr) {
   if (net::FaultInjector* fi = w.fault_injector()) {
     vci = fault_route(w, *fi, world_rank, local_vci, clk);
   }
-  Vci& v = w.rank_state(world_rank).vcis.at(vci);
+  RankState& st = w.rank_state(world_rank);
+  Vci& v = st.vcis.at(vci);
+  pdes_drain_channel(w, st.node, v);
   const std::uint64_t span = pr.req != nullptr ? pr.req->trace_span : 0;
   const Tag tag = pr.tag;
   net::ContentionLock::Guard g(v.lock(), clk, cm, stats, v.chstats());
@@ -371,7 +431,9 @@ bool Transport::probe(int world_rank, int local_vci, int ctx_id, int src, Tag ta
   // Probes follow a redirect but do not advance the channel's op stream —
   // polling loops must not perturb the fault schedule.
   if (w.fault_injector() != nullptr) vci = w.rank_state(world_rank).vcis.resolve(local_vci);
-  Vci& v = w.rank_state(world_rank).vcis.at(vci);
+  RankState& rst = w.rank_state(world_rank);
+  Vci& v = rst.vcis.at(vci);
+  pdes_drain_channel(w, rst.node, v);
   net::ContentionLock::Guard g(v.lock(), clk, cm, stats, v.chstats());
   const bool found =
       v.engine().probe_unexpected(ctx_id, src, tag, fastpath, clk, cm, stats, st);
@@ -393,6 +455,9 @@ bool Transport::probe(int world_rank, int local_vci, int ctx_id, int src, Tag ta
   return found;
 }
 
-net::NetStatsSnapshot Transport::snapshot() const { return w_->fabric().stats().snapshot(); }
+net::NetStatsSnapshot Transport::snapshot() const {
+  if (net::PdesScheduler* ps = w_->pdes()) ps->quiesce();  // global safe point
+  return w_->fabric().stats().snapshot();
+}
 
 }  // namespace tmpi::detail

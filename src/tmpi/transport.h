@@ -32,6 +32,15 @@
 /// TMPI_ERR_TIMEOUT); a hardware context marked down fails the stream over to
 /// a fallback VCI. With no plan active the injector pointer is null and the
 /// pre-fault charge sequence runs unchanged, bit-exactly.
+///
+/// Parallel execution (DESIGN.md §12): when the World carries a
+/// PdesScheduler, deliver() defers the remote-side pipeline to the
+/// scheduler's shard for the destination hardware context instead of running
+/// it inline, and every entry point that touches receiver-visible state
+/// (inject, post_recv, probe, occupy_rx, try_reserve_eager) first drains the
+/// shard it is about to touch — the safe points that keep parallel virtual
+/// time bit-identical to serial. With no scheduler the inline path runs
+/// unchanged.
 
 namespace tmpi {
 class World;
@@ -103,6 +112,11 @@ class Transport {
   ///
   /// Takes the envelope by rvalue: the payload is a pool-owned buffer that
   /// must move, never copy, from the send path into the matching engine.
+  ///
+  /// In parallel execution mode the pipeline is queued on the destination
+  /// context's scheduler shard and true is returned immediately — the
+  /// scheduler only exists when the unexpected cap is off, so deferred
+  /// deliveries can never be rejected.
   [[nodiscard]] bool deliver(const OpDesc& op, Envelope&& env, net::Time arrival);
 
   /// Flow-control grant for one eager message (DESIGN.md §8).
@@ -133,6 +147,13 @@ class Transport {
   [[nodiscard]] net::NetStatsSnapshot snapshot() const;
 
  private:
+  /// The synchronous remote-side pipeline — deliver()'s body. Runs inline in
+  /// serial mode and on a scheduler worker (with no bound ThreadClock; all
+  /// times flow through `arrival`) in parallel mode.
+  bool deliver_now(const OpDesc& op, Envelope&& env, net::Time arrival);
+
+  class DeliveryEvent;  ///< scheduler wrapper around deliver_now (transport.cpp)
+
   World* w_;
 };
 

@@ -9,6 +9,7 @@
 #include <sstream>
 #include <string>
 
+#include "net/pdes.h"
 #include "net/stats.h"
 #include "tmpi/request.h"
 #include "tmpi/world.h"
@@ -102,6 +103,18 @@ void ProgressWatchdog::scan_loop() {
       if (stop_) return;
     }
     const std::uint64_t ep = epoch_.load(std::memory_order_acquire);
+    // Parallel execution (DESIGN.md §12): deliveries still queued in the
+    // scheduler are progress in flight, not a stall — a rank blocked on a
+    // message whose event has not yet run must not be diagnosed as
+    // deadlocked. Help drain them here (processing bumps the epoch via
+    // note_progress and may complete the very requests being waited on),
+    // then rearm the detector.
+    if (net::PdesScheduler* ps = w_->pdes(); ps != nullptr && ps->pending() > 0) {
+      ps->quiesce();
+      last_epoch = epoch_.load(std::memory_order_acquire);
+      frozen = 0;
+      continue;
+    }
     std::scoped_lock lk(mu_);
     if (blocked_.empty() || ep != last_epoch) {
       last_epoch = ep;

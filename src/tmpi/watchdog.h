@@ -72,6 +72,12 @@ struct ReqState;
 /// watchdog_ns, printing a report that names each stuck (rank, vci, op,
 /// tag). Exists only when watchdog_ns > 0, so the default path never pays
 /// for it.
+///
+/// Parallel execution (DESIGN.md §12): before diagnosing a frozen epoch the
+/// monitor checks the world's event scheduler — deliveries still queued are
+/// progress in flight, not a stall, so it drains them (each processed
+/// delivery bumps the epoch via note_progress and may complete the very
+/// request being waited on) and rearms instead of reporting a deadlock.
 class ProgressWatchdog {
  public:
   /// One blocked operation, registered for the duration of its wait.

@@ -5,6 +5,7 @@
 #include <fstream>
 #include <thread>
 
+#include "net/pdes.h"
 #include "tmpi/profiler.h"
 #include "tmpi/transport.h"
 
@@ -65,6 +66,33 @@ World::World(WorldConfig cfg) : cfg_(std::move(cfg)), states_(cfg_.nranks) {
     match_policy_ = detail::MatchPolicy::kAuto;
   }
 
+  // Execution engine (DESIGN.md §12): config string, env on top. Parallel
+  // mode defers remote-side deliveries to a sharded worker pool; serial is
+  // the seed's inline fast path and the default.
+  std::string em = cfg_.exec_mode;
+  if (const char* e = std::getenv("TMPI_EXEC_MODE"); e != nullptr && *e != '\0') em = e;
+  TMPI_REQUIRE(em.empty() || em == "serial" || em == "parallel", Errc::kInvalidArg,
+               "tmpi exec_mode must be serial|parallel");
+  if (em == "parallel") {
+    // Two configurations need a delivery's outcome synchronously at the
+    // inject site and therefore stay on the inline path even under
+    // "parallel" (§12): bounded unexpected queues (deliver() reports cap
+    // rejection to the sender) and scheduled ctx-down events (failover
+    // redirects make the destination channel a function of delivery-time
+    // state, not of the sender's program order).
+    bool needs_sync = overload_.unexpected_cap > 0;
+    if (fault_injector_ != nullptr) {
+      for (const auto& ev : fault_injector_->plan().events) {
+        if (ev.ctx_down) needs_sync = true;
+      }
+    }
+    if (!needs_sync) {
+      net::PdesScheduler::Config pc;
+      pc.lookahead_ns = fabric_->min_channel_latency_ns();
+      pdes_ = std::make_unique<net::PdesScheduler>(pc);
+    }
+  }
+
   // Rank states are built lazily on first rank_state() touch (DESIGN.md
   // §11); a 10k-rank world where only a few ranks communicate pays only for
   // those.
@@ -89,6 +117,10 @@ World::World(WorldConfig cfg) : cfg_(std::move(cfg)), states_(cfg_.nranks) {
 }
 
 World::~World() {
+  // Stop the parallel engine first: quiescing drains every queued delivery
+  // (whose envelopes reference VCI slab pools) and joins the worker pool
+  // while all rank state the events touch is still alive.
+  if (pdes_ != nullptr) pdes_->shutdown();
   // Export the trace on teardown (the watchdog thread is still alive here
   // and may record concurrently — the recorder's buffer mutexes make the
   // export safe). An empty path records without ever touching the
@@ -106,6 +138,9 @@ World::~World() {
 }
 
 net::NetStatsSnapshot World::snapshot() const {
+  // Global safe point: counters must reflect every delivery enqueued so far,
+  // exactly as they would after the same ops in serial mode.
+  if (pdes_ != nullptr) pdes_->quiesce();
   net::NetStatsSnapshot s = fabric_->stats().snapshot();
   if (tracer_ != nullptr) s.op_latency = compute_op_latency(*tracer_);
   return s;
@@ -145,6 +180,10 @@ void World::run(const std::function<void(Rank&)>& fn) {
     });
   }
   for (auto& t : threads) t.join();
+  // Global safe point at the run boundary: every delivery the program
+  // enqueued is processed before control returns, so a subsequent run() (or
+  // elapsed()/snapshot()) observes exactly the serial engine's state.
+  if (pdes_ != nullptr) pdes_->quiesce();
   if (first_error) std::rethrow_exception(first_error);
 }
 

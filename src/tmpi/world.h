@@ -30,6 +30,10 @@
 
 namespace tmpi {
 
+namespace net {
+class PdesScheduler;
+}
+
 class Rank;
 
 struct WorldConfig {
@@ -65,6 +69,15 @@ struct WorldConfig {
   /// costs); the knob exists for benchmarking and bisection. TMPI_MATCH_MODE
   /// overrides.
   std::string match_mode = "auto";
+  /// Execution engine (DESIGN.md §12): "serial" processes every remote-side
+  /// delivery inline on the sending thread (the seed's bit-exact fast path);
+  /// "parallel" defers deliveries to a sharded worker pool that drains
+  /// independent channels concurrently, with safe-point drains keeping the
+  /// virtual clocks and stats bit-identical to serial. TMPI_EXEC_MODE
+  /// overrides. Worlds whose configuration requires synchronous delivery
+  /// (bounded unexpected queues, scheduled ctx-down failover events) fall
+  /// back to serial processing even under "parallel" — documented in §12.
+  std::string exec_mode = "serial";
 };
 
 namespace detail {
@@ -205,6 +218,11 @@ class World {
   [[nodiscard]] net::TraceRecorder* tracer() const { return tracer_.get(); }
   /// Resolved matching-engine indexing discipline (DESIGN.md §10).
   [[nodiscard]] detail::MatchPolicy match_policy() const { return match_policy_; }
+  /// Parallel discrete-event scheduler (DESIGN.md §12): null in serial
+  /// execution mode — and in parallel mode when the configuration requires
+  /// synchronous delivery (bounded unexpected queues, scheduled ctx-down
+  /// events) — which keeps the transport on its inline fast path.
+  [[nodiscard]] net::PdesScheduler* pdes() const { return pdes_.get(); }
   /// Fabric-wide telemetry; with tracing enabled the snapshot also carries
   /// per-op latency percentiles computed from the trace (§9).
   [[nodiscard]] net::NetStatsSnapshot snapshot() const;
@@ -241,6 +259,10 @@ class World {
   std::unique_ptr<detail::Transport> transport_;
   std::unique_ptr<net::FaultInjector> fault_injector_;
   std::unique_ptr<net::TraceRecorder> tracer_;
+  /// Parallel-mode event scheduler. Declared before states_ so queued events
+  /// (which reference VCI bodies) are destroyed only after ~World's body has
+  /// already shut the pool down and drained every shard.
+  std::unique_ptr<net::PdesScheduler> pdes_;
   detail::RankTable states_{0};
   std::shared_ptr<detail::CommImpl> world_comm_;
   std::atomic<int> next_ctx_{0};

@@ -42,7 +42,11 @@ TEST(StatsSnapshot, DerivedNeverExceedsSourceUnderConcurrentLoad) {
           stats.add_corrupt();
           stats.add_timeout();
         }
+        // Message-classification rule (the PR7 torn pair): the message is
+        // counted first, its unexpected/rendezvous classification second.
         stats.add_message(static_cast<std::uint64_t>((w + 1) * (i % 512)));
+        if ((i & 3) == 0) stats.add_unexpected();
+        if ((i & 7) == 0) stats.add_rendezvous();
       }
     });
   }
@@ -55,6 +59,8 @@ TEST(StatsSnapshot, DerivedNeverExceedsSourceUnderConcurrentLoad) {
       ASSERT_LE(s.shared_ctx_injections, s.injections);
       ASSERT_LE(s.atomic_ops, s.rma_ops);
       ASSERT_LE(s.retransmits + s.timeouts, s.drops + s.corrupts);
+      ASSERT_LE(s.unexpected_messages, s.messages);
+      ASSERT_LE(s.rendezvous_messages, s.messages);
       ++snaps;
     }
     EXPECT_GT(snaps, 0u);
@@ -78,6 +84,8 @@ TEST(StatsSnapshot, DerivedNeverExceedsSourceUnderConcurrentLoad) {
   EXPECT_EQ(s.retransmits, n / 2);
   EXPECT_EQ(s.timeouts, n / 2);
   EXPECT_EQ(s.messages, n);
+  EXPECT_EQ(s.unexpected_messages, n / 4);
+  EXPECT_EQ(s.rendezvous_messages, n / 8);
   EXPECT_EQ(s.ctx_busy_ns, n * 10);
   std::uint64_t hist_total = 0;
   for (std::uint64_t b : s.size_hist) hist_total += b;
@@ -103,6 +111,10 @@ TEST(StatsSnapshot, ChannelDerivedNeverExceedsSourceUnderConcurrentLoad) {
           ch.add_timeout();
         }
         ch.note_unexpected_depth(static_cast<std::uint64_t>(i % 64));
+        // Delivery rule (the PR7 torn pair): every deposit is preceded by
+        // its receive-side channel op — a PDES worker bumps both.
+        ch.add_rx();
+        if ((i & 1) == 0) ch.add_deposit();
       }
     });
   }
@@ -112,6 +124,7 @@ TEST(StatsSnapshot, ChannelDerivedNeverExceedsSourceUnderConcurrentLoad) {
       const ChannelStatsSnapshot s = ch.snapshot();
       ASSERT_LE(s.contended_acquisitions, s.lock_acquisitions);
       ASSERT_LE(s.retransmits + s.timeouts, s.drops + s.corrupts);
+      ASSERT_LE(s.deposits, s.rx_ops);
     }
   });
 
@@ -125,6 +138,8 @@ TEST(StatsSnapshot, ChannelDerivedNeverExceedsSourceUnderConcurrentLoad) {
   EXPECT_EQ(s.contended_acquisitions, n / 4);
   EXPECT_EQ(s.drops, n / 2);
   EXPECT_EQ(s.retransmits, n / 2);
+  EXPECT_EQ(s.rx_ops, n);
+  EXPECT_EQ(s.deposits, n / 2);
   EXPECT_EQ(s.unexpected_hwm, 63u);
 }
 

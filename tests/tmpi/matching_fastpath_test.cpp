@@ -18,6 +18,7 @@
 #include "net/stats.h"
 #include "tmpi/matching.h"
 #include "tmpi/tmpi.h"
+#include "twin_harness.h"
 
 namespace tmpi::detail {
 namespace {
@@ -312,11 +313,8 @@ net::Time run_mixed_workload(const std::string& mode, net::NetStatsSnapshot* sna
   // These tests compare explicitly-configured modes against each other, so a
   // TMPI_MATCH_MODE forced by the harness (the env overrides WorldConfig)
   // would silently collapse all three runs into one mode.
-  unsetenv("TMPI_MATCH_MODE");
-  WorldConfig wc;
-  wc.nranks = 2;
-  wc.ranks_per_node = 1;
-  wc.num_vcis = 2;
+  twin::ScopedEnv pin_mode("TMPI_MATCH_MODE");
+  WorldConfig wc = twin::two_rank_config(2);
   wc.match_mode = mode;
   World world(wc);
 

@@ -1,0 +1,611 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <cstdlib>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "net/pdes.h"
+#include "tmpi/tmpi.h"
+#include "twin_harness.h"
+#include "workloads/msgrate.h"
+
+/// Twin-engine parity suite for the conservative PDES execution mode
+/// (DESIGN.md §12). Every scenario runs the SAME phase-ordered workload twice
+/// — once with `exec_mode = "serial"` (deliveries executed inline on the
+/// sender thread, the historical engine) and once with `exec_mode =
+/// "parallel"` (deliveries queued to the sharded scheduler and drained by
+/// unbound workers) — and asserts bit-identical virtual clocks, NetStats
+/// snapshots, and final payload bytes. The serial runs double as golden
+/// anchors: they re-pin the transport_test.cpp values, so a parity pass here
+/// proves the parallel engine reproduces the seed numbers, not merely that
+/// the two engines drifted together.
+
+namespace {
+
+using namespace tmpi;
+using twin::now;
+using twin::two_node_config;
+
+// Outcome of one twin half: completion-time marks, the stats snapshot, and
+// every byte the workload received.
+struct Outcome {
+  std::vector<net::Time> marks;
+  net::NetStatsSnapshot snap;
+  std::vector<std::byte> payload;
+};
+
+void expect_outcome_parity(const Outcome& serial, const Outcome& parallel) {
+  ASSERT_EQ(serial.marks.size(), parallel.marks.size());
+  for (std::size_t i = 0; i < serial.marks.size(); ++i) {
+    EXPECT_EQ(serial.marks[i], parallel.marks[i]) << "virtual-time mark " << i;
+  }
+  twin::expect_stats_parity(serial.snap, parallel.snap);
+  EXPECT_EQ(serial.payload, parallel.payload);
+}
+
+// Run `scenario(world, out)` under one engine. The env knob is cleared by
+// each test (it overrides WorldConfig and would collapse both twins).
+template <typename Fn>
+Outcome run_engine(WorldConfig wc, const std::string& mode, Fn&& scenario) {
+  wc.exec_mode = mode;
+  World world(wc);
+  if (mode == "parallel") {
+    // The gate must actually have engaged, or the "parity" below is trivial.
+    EXPECT_NE(world.pdes(), nullptr) << "parallel engine did not engage";
+  } else {
+    EXPECT_EQ(world.pdes(), nullptr);
+  }
+  Outcome out;
+  scenario(world, out);
+  out.snap = world.snapshot();
+  return out;
+}
+
+template <typename Fn>
+void run_twins(const WorldConfig& wc, Fn&& scenario) {
+  twin::ScopedEnv clear_mode("TMPI_EXEC_MODE");
+  const Outcome serial = run_engine(wc, "serial", scenario);
+  const Outcome parallel = run_engine(wc, "parallel", scenario);
+  expect_outcome_parity(serial, parallel);
+}
+
+// ---------------------------------------------------------------------------
+// Transport golden suite, both engines. Serial halves re-assert the seed
+// goldens; the parity check then pins the parallel halves to the same values.
+
+TEST(PdesParity, EagerBothOrders) {
+  run_twins(two_node_config(), [](World& world, Outcome& out) {
+    std::vector<std::byte> sbuf(8, std::byte{0x11});
+    std::vector<std::byte> rbuf(8);
+    Request rreq;
+    net::Time send_done = 0;
+    net::Time recv_done = 0;
+
+    // Posted-first.
+    world.run([&](Rank& rank) {
+      if (rank.rank() == 1) rreq = irecv(rbuf.data(), 8, kByte, 0, 7, rank.world_comm());
+    });
+    world.run([&](Rank& rank) {
+      if (rank.rank() == 0) {
+        isend(sbuf.data(), 8, kByte, 1, 7, rank.world_comm()).wait();
+        send_done = now();
+      }
+    });
+    world.run([&](Rank& rank) {
+      if (rank.rank() == 1) {
+        Status st = rreq.wait();
+        recv_done = now();
+        EXPECT_EQ(st.bytes, 8u);
+      }
+    });
+    EXPECT_EQ(send_done, 140u);
+    EXPECT_EQ(recv_done, 1132u);
+    out.marks.push_back(send_done);
+    out.marks.push_back(recv_done);
+    out.payload.insert(out.payload.end(), rbuf.begin(), rbuf.end());
+
+    // Unexpected (send lands before the receive posts).
+    std::vector<std::byte> ubuf(8);
+    world.run([&](Rank& rank) {
+      if (rank.rank() == 0) {
+        isend(sbuf.data(), 8, kByte, 1, 3, rank.world_comm()).wait();
+        send_done = now();
+      }
+    });
+    world.run([&](Rank& rank) {
+      if (rank.rank() == 1) {
+        recv(ubuf.data(), 8, kByte, 0, 3, rank.world_comm());
+        recv_done = now();
+      }
+    });
+    out.marks.push_back(send_done);
+    out.marks.push_back(recv_done);
+    out.payload.insert(out.payload.end(), ubuf.begin(), ubuf.end());
+  });
+}
+
+TEST(PdesParity, RendezvousBothOrders) {
+  run_twins(two_node_config(), [](World& world, Outcome& out) {
+    const std::size_t kBytes = 128 * 1024;  // > 64 KiB eager threshold
+    std::vector<std::byte> sbuf(kBytes, std::byte{0x33});
+    std::vector<std::byte> rbuf(kBytes);
+    Request rreq, sreq;
+    net::Time send_done = 0;
+    net::Time recv_done = 0;
+
+    // Posted-first.
+    world.run([&](Rank& rank) {
+      if (rank.rank() == 1) {
+        rreq = irecv(rbuf.data(), static_cast<int>(kBytes), kByte, 0, 1, rank.world_comm());
+      }
+    });
+    world.run([&](Rank& rank) {
+      if (rank.rank() == 0) {
+        isend(sbuf.data(), static_cast<int>(kBytes), kByte, 1, 1, rank.world_comm()).wait();
+        send_done = now();
+      }
+    });
+    world.run([&](Rank& rank) {
+      if (rank.rank() == 1) {
+        rreq.wait();
+        recv_done = now();
+      }
+    });
+    EXPECT_EQ(send_done, 13417u);
+    EXPECT_EQ(recv_done, 13417u);
+    out.marks.push_back(send_done);
+    out.marks.push_back(recv_done);
+    out.payload.push_back(rbuf[12345]);
+
+    // Unexpected RTS (sender first).
+    std::vector<std::byte> ubuf(kBytes);
+    world.run([&](Rank& rank) {
+      if (rank.rank() == 0) {
+        sreq = isend(sbuf.data(), static_cast<int>(kBytes), kByte, 1, 2, rank.world_comm());
+      }
+    });
+    world.run([&](Rank& rank) {
+      if (rank.rank() == 1) {
+        recv(ubuf.data(), static_cast<int>(kBytes), kByte, 0, 2, rank.world_comm());
+        recv_done = now();
+      }
+    });
+    world.run([&](Rank& rank) {
+      if (rank.rank() == 0) {
+        sreq.wait();
+        send_done = now();
+      }
+    });
+    out.marks.push_back(send_done);
+    out.marks.push_back(recv_done);
+    out.payload.push_back(ubuf[54321]);
+  });
+}
+
+TEST(PdesParity, RmaPipeline) {
+  run_twins(two_node_config(), [](World& world, Outcome& out) {
+    std::array<net::Time, 4> t{};
+    world.run([&](Rank& rank) {
+      std::vector<double> mem(64, rank.rank() == 0 ? 1.0 : 2.0);
+      Window win = Window::create(mem.data(), mem.size() * sizeof(double), rank.world_comm());
+      if (rank.rank() == 0) {
+        const double v = 5.0;
+        win.put(&v, 1, kDouble, 1, 3);
+        win.flush_all();
+        t[0] = now();
+
+        double got = 0.0;
+        win.get(&got, 1, kDouble, 1, 3);
+        win.flush_all();
+        t[1] = now();
+        EXPECT_EQ(got, 5.0);
+
+        win.accumulate(&v, 1, kDouble, 1, 3, Op::kSum);
+        win.flush_all();
+        t[2] = now();
+
+        double fetched = 0.0;
+        win.get_accumulate(&v, &fetched, 1, kDouble, 1, 3, Op::kSum);
+        t[3] = now();
+        EXPECT_EQ(fetched, 10.0);
+      }
+    });
+    EXPECT_EQ(t[0], 1200u);
+    EXPECT_EQ(t[1], 3300u);
+    EXPECT_EQ(t[2], 4580u);
+    EXPECT_EQ(t[3], 6760u);
+    out.marks.assign(t.begin(), t.end());
+  });
+}
+
+TEST(PdesParity, PartitionedPipeline) {
+  run_twins(two_node_config(), [](World& world, Outcome& out) {
+    constexpr int kParts = 4;
+    constexpr int kCount = 16;
+    std::vector<std::byte> sbuf(kParts * kCount, std::byte{0x55});
+    std::vector<std::byte> rbuf(kParts * kCount);
+    Request sreq, rreq;
+    net::Time send_done = 0;
+    net::Time recv_done = 0;
+
+    world.run([&](Rank& rank) {
+      if (rank.rank() == 0) {
+        sreq = psend_init(sbuf.data(), kParts, kCount, kByte, 1, 9, rank.world_comm());
+        start(sreq);
+      } else {
+        rreq = precv_init(rbuf.data(), kParts, kCount, kByte, 0, 9, rank.world_comm());
+        start(rreq);
+      }
+    });
+    world.run([&](Rank& rank) {
+      if (rank.rank() == 0) {
+        for (int p = 0; p < kParts; ++p) pready(p, sreq);
+        sreq.wait();
+        send_done = now();
+      }
+    });
+    world.run([&](Rank& rank) {
+      if (rank.rank() == 1) {
+        for (int p = 0; p < kParts; ++p) await_partition(rreq, p);
+        rreq.wait();
+        recv_done = now();
+      }
+    });
+    EXPECT_EQ(send_done, 740u);
+    EXPECT_EQ(recv_done, 1701u);
+    out.marks.push_back(send_done);
+    out.marks.push_back(recv_done);
+    out.payload.insert(out.payload.end(), rbuf.begin(), rbuf.end());
+  });
+}
+
+// The collective bcast runs both ranks concurrently in one phase, so the
+// leaf's match path carries host-order jitter in BOTH engines
+// (transport_test.cpp pins it with a NEAR band, not EXPECT_EQ). Only the
+// root's clock and the payload are deterministic twin-comparable; stats are
+// checked per-engine on the deterministic counters.
+TEST(PdesParity, CollectiveRootClock) {
+  twin::ScopedEnv clear_mode("TMPI_EXEC_MODE");
+  for (const char* mode : {"serial", "parallel"}) {
+    WorldConfig wc = two_node_config();
+    wc.exec_mode = mode;
+    World world(wc);
+    net::Time root_done = 0;
+    net::Time leaf_done = 0;
+
+    world.run([&](Rank& rank) {
+      std::vector<std::int32_t> buf(16);
+      if (rank.rank() == 0) {
+        for (std::size_t i = 0; i < buf.size(); ++i) buf[i] = static_cast<std::int32_t>(i);
+      }
+      bcast(buf.data(), 16, kInt32, 0, rank.world_comm());
+      if (rank.rank() == 0) {
+        root_done = now();
+      } else {
+        leaf_done = now();
+        EXPECT_EQ(buf[7], 7);
+      }
+    });
+
+    EXPECT_EQ(root_done, 140u) << "mode=" << mode;
+    EXPECT_NEAR(static_cast<double>(leaf_done), 1156.0, 100.0) << "mode=" << mode;
+  }
+}
+
+// End-to-end makespans: the parallel engine must reproduce the seed golden
+// bands for every msgrate routing mode (run_msgrate builds its own World, so
+// the engine is selected through the environment knob here).
+TEST(PdesParity, MsgrateElapsedAllModes) {
+  auto elapsed = [](wl::MsgRateMode mode) {
+    wl::MsgRateParams p;
+    p.mode = mode;
+    p.workers = 1;
+    p.msgs_per_worker = 256;
+    p.window = 16;
+    p.msg_bytes = 8;
+    return wl::run_msgrate(p).elapsed_ns;
+  };
+
+  twin::ScopedEnv pin_parallel("TMPI_EXEC_MODE", "parallel");
+  EXPECT_NEAR(static_cast<double>(elapsed(wl::MsgRateMode::kEverywhere)), 69940.0, 400.0);
+  EXPECT_NEAR(static_cast<double>(elapsed(wl::MsgRateMode::kThreadsOriginal)), 70220.0, 400.0);
+  EXPECT_NEAR(static_cast<double>(elapsed(wl::MsgRateMode::kThreadsEndpoints)), 70220.0, 400.0);
+  EXPECT_NEAR(static_cast<double>(elapsed(wl::MsgRateMode::kThreadsTags)), 70220.0, 400.0);
+  EXPECT_NEAR(static_cast<double>(elapsed(wl::MsgRateMode::kThreadsComms)), 70220.0, 400.0);
+}
+
+// ---------------------------------------------------------------------------
+// Fault scenarios. Drop/corrupt/delay verdicts are drawn on the SENDER side
+// at injection (net/fault.h), so a seeded probabilistic plan is deterministic
+// under the async engine too: the parity covers retransmit/drop/delay tallies
+// and the recovered completion times.
+TEST(PdesParity, FaultDropDelayPlan) {
+  WorldConfig wc = two_node_config();
+  wc.fault_info.set("tmpi_fault_seed", 1234);
+  wc.fault_info.set("tmpi_fault_drop_rate", "0.3");
+  wc.fault_info.set("tmpi_fault_delay_rate", "0.2");
+  wc.fault_info.set("tmpi_fault_delay_ns", "1500");
+  wc.fault_info.set("tmpi_fault_max_retries", 8);
+
+  run_twins(wc, [](World& world, Outcome& out) {
+    constexpr int kMsgs = 16;
+    std::vector<std::byte> sbuf(8, std::byte{0x31});
+    std::vector<std::vector<std::byte>> rbufs(kMsgs, std::vector<std::byte>(8));
+    std::vector<Request> rreqs(kMsgs);
+    net::Time send_done = 0;
+    net::Time recv_done = 0;
+
+    world.run([&](Rank& rank) {
+      if (rank.rank() == 1) {
+        for (int i = 0; i < kMsgs; ++i) {
+          rreqs[static_cast<std::size_t>(i)] =
+              irecv(rbufs[static_cast<std::size_t>(i)].data(), 8, kByte, 0, i, rank.world_comm());
+        }
+      }
+    });
+    world.run([&](Rank& rank) {
+      if (rank.rank() == 0) {
+        for (int i = 0; i < kMsgs; ++i) {
+          isend(sbuf.data(), 8, kByte, 1, i, rank.world_comm()).wait();
+        }
+        send_done = now();
+      }
+    });
+    world.run([&](Rank& rank) {
+      if (rank.rank() == 1) {
+        for (auto& r : rreqs) r.wait();
+        recv_done = now();
+      }
+    });
+
+    out.marks.push_back(send_done);
+    out.marks.push_back(recv_done);
+    for (const auto& b : rbufs) out.payload.insert(out.payload.end(), b.begin(), b.end());
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Engine-engagement contract: when the scheduler exists it is wired to the
+// cost model's minimum channel latency, and the sync-only features
+// (unexpected-queue cap, scheduled ctx-down faults) force the deterministic
+// fallback rather than racing the async queue.
+TEST(PdesEngine, EngagementAndSyncFallback) {
+  twin::ScopedEnv clear_mode("TMPI_EXEC_MODE");
+
+  {
+    World world(two_node_config());  // default exec_mode = serial
+    EXPECT_EQ(world.pdes(), nullptr);
+  }
+  {
+    WorldConfig wc = two_node_config();
+    wc.exec_mode = "parallel";
+    World world(wc);
+    ASSERT_NE(world.pdes(), nullptr);
+    // min(shm_latency_ns = 150, wire_latency_ns = 900) from the default cost
+    // model — the conservative lookahead bound (DESIGN.md §12).
+    EXPECT_EQ(world.pdes()->lookahead_ns(), 150u);
+    EXPECT_GE(world.pdes()->num_workers(), 1);
+
+    std::vector<std::byte> sbuf(8, std::byte{0x01});
+    std::vector<std::byte> rbuf(8);
+    Request rreq;
+    world.run([&](Rank& rank) {
+      if (rank.rank() == 1) rreq = irecv(rbuf.data(), 8, kByte, 0, 0, rank.world_comm());
+    });
+    world.run([&](Rank& rank) {
+      if (rank.rank() == 0) isend(sbuf.data(), 8, kByte, 1, 0, rank.world_comm()).wait();
+    });
+    world.run([&](Rank& rank) {
+      if (rank.rank() == 1) rreq.wait();
+    });
+    // The delivery actually flowed through the scheduler, not a bypass.
+    EXPECT_GT(world.pdes()->processed(), 0u);
+    EXPECT_EQ(world.pdes()->pending(), 0u);
+  }
+  {
+    // Bounded unexpected queue: deferred deliveries could fail/overflow, so
+    // the world must fall back to the synchronous engine.
+    WorldConfig wc = two_node_config();
+    wc.exec_mode = "parallel";
+    wc.overload_info.set("tmpi_unexpected_cap", 4);
+    World world(wc);
+    EXPECT_EQ(world.pdes(), nullptr);
+  }
+  {
+    // Scheduled ctx-down events redirect streams mid-flight; also sync-only.
+    WorldConfig wc = two_node_config();
+    wc.num_vcis = 2;
+    wc.exec_mode = "parallel";
+    wc.fault_info.set("tmpi_fault_plan", "down@0:0:0");
+    World world(wc);
+    EXPECT_EQ(world.pdes(), nullptr);
+  }
+  {
+    // Probabilistic plans are sender-side and async-safe: engine stays on.
+    WorldConfig wc = two_node_config();
+    wc.exec_mode = "parallel";
+    wc.fault_info.set("tmpi_fault_seed", 7);
+    wc.fault_info.set("tmpi_fault_drop_rate", "0.5");
+    World world(wc);
+    EXPECT_NE(world.pdes(), nullptr);
+  }
+  {
+    // Env knob overrides WorldConfig, same as the other mode knobs.
+    twin::ScopedEnv pin_serial("TMPI_EXEC_MODE", "serial");
+    WorldConfig wc = two_node_config();
+    wc.exec_mode = "parallel";
+    World world(wc);
+    EXPECT_EQ(world.pdes(), nullptr);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Randomized-world oracle: seeded bidirectional traffic with mixed protocols
+// (sizes straddle the 64 KiB rendezvous threshold), duplicate tags (FIFO
+// matching), shuffled posting order, and a deliberately unexpected tail. The
+// workload is shaped so the virtual timeline is deterministic in BOTH
+// engines — each send phase has one sending rank (a channel's duplex ctx is
+// occupied by its owner's sends AND inbound arrival processing, so
+// bidirectional sends in one phase would race in host order), rendezvous
+// messages live in their own tag space (5..9), are always pre-posted, and
+// are completed inline (an unwaited rendezvous would let the receiver-driven
+// pull race the sender's later injects on the same ctx). With that
+// structure the serial engine is a valid oracle and the parallel engine
+// must reproduce it bit-exactly, seed by seed. (Unexpected rendezvous
+// arrival is covered deterministically by PdesParity.RendezvousBothOrders.)
+struct FuzzMsg {
+  int src;            // sending world rank (0 or 1)
+  int tag;            // small tag space => duplicate tags => FIFO pressure
+  std::size_t bytes;  // mixed eager/rendezvous
+  std::byte fill;
+};
+
+constexpr std::size_t kFuzzRndvThreshold = 64 * 1024;  // cost-model default
+constexpr std::size_t kFuzzTags = 10;  // 0..4 eager chains, 5..9 rendezvous
+
+std::vector<FuzzMsg> make_fuzz_plan(std::uint32_t seed, int count) {
+  std::mt19937 rng(seed);
+  const std::array<std::size_t, 5> sizes{8, 96, 1024, 32 * 1024, 96 * 1024};
+  std::vector<FuzzMsg> plan;
+  plan.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    FuzzMsg m;
+    m.src = static_cast<int>(rng() % 2);
+    m.tag = static_cast<int>(rng() % 5);
+    m.bytes = sizes[rng() % sizes.size()];
+    // Rendezvous chains get a disjoint tag space so forcing them into the
+    // pre-posted set cannot break FIFO order within a (src, tag) chain that
+    // also carries eager messages.
+    if (m.bytes > kFuzzRndvThreshold) m.tag += 5;
+    m.fill = static_cast<std::byte>(0x40 + (rng() % 64));
+    plan.push_back(m);
+  }
+  return plan;
+}
+
+TEST(PdesParityFuzz, RandomizedWorlds) {
+  constexpr int kMsgs = 32;
+  for (const std::uint32_t seed : {11u, 23u, 57u}) {
+    const std::vector<FuzzMsg> plan = make_fuzz_plan(seed, kMsgs);
+
+    // Per-destination message indices, shuffled for the posting order; the
+    // first `posted` of each list are pre-posted, the rest stay unexpected
+    // until the drain phase.
+    std::array<std::vector<std::size_t>, 2> order;
+    for (std::size_t i = 0; i < plan.size(); ++i) {
+      order[static_cast<std::size_t>(1 - plan[i].src)].push_back(i);
+    }
+    std::mt19937 shuffle_rng(seed ^ 0x9e3779b9u);
+    for (auto& o : order) std::shuffle(o.begin(), o.end(), shuffle_rng);
+    // Keep FIFO-matchable: within a duplicate tag, receives must be posted
+    // in send (index) order or the payload lands in the wrong buffer in BOTH
+    // engines. Stable-sort the shuffled order by tag-run position: simplest
+    // is to sort indices per (src,tag) back into ascending order while
+    // keeping the shuffled interleave across tags.
+    for (auto& o : order) {
+      std::array<std::vector<std::size_t>, 2 * kFuzzTags> by_key;
+      for (std::size_t idx : o) {
+        by_key[static_cast<std::size_t>(plan[idx].src) * kFuzzTags +
+               static_cast<std::size_t>(plan[idx].tag)]
+            .push_back(idx);
+      }
+      for (auto& v : by_key) std::sort(v.begin(), v.end());
+      std::array<std::size_t, 2 * kFuzzTags> cursor{};
+      for (std::size_t& slot : o) {
+        const auto key = static_cast<std::size_t>(plan[slot].src) * kFuzzTags +
+                         static_cast<std::size_t>(plan[slot].tag);
+        slot = by_key[key][cursor[key]++];
+      }
+    }
+
+    // Split each rank's receive order into the pre-posted set and the
+    // unexpected tail: every rendezvous message is pre-posted (its send is
+    // completed inline in phase 2, which requires the receive to exist),
+    // plus the first half of the eager messages. Both halves keep the
+    // shuffled interleave, so per-(src, tag) FIFO prefixes are preserved.
+    std::array<std::vector<std::size_t>, 2> pre, tail;
+    for (std::size_t r = 0; r < 2; ++r) {
+      std::vector<std::size_t> eager;
+      for (std::size_t idx : order[r]) {
+        (plan[idx].bytes > kFuzzRndvThreshold ? pre[r] : eager).push_back(idx);
+      }
+      const std::size_t half = eager.size() / 2;
+      pre[r].insert(pre[r].end(), eager.begin(),
+                    eager.begin() + static_cast<std::ptrdiff_t>(half));
+      tail[r].assign(eager.begin() + static_cast<std::ptrdiff_t>(half), eager.end());
+    }
+
+    auto scenario = [&](World& world, Outcome& out) {
+      std::vector<std::vector<std::byte>> sbufs(plan.size());
+      std::vector<std::vector<std::byte>> rbufs(plan.size());
+      std::vector<Request> rreqs(plan.size());
+      std::vector<Request> sreqs(plan.size());
+      for (std::size_t i = 0; i < plan.size(); ++i) {
+        sbufs[i].assign(plan[i].bytes, plan[i].fill);
+        rbufs[i].resize(plan[i].bytes);
+      }
+      std::array<net::Time, 2> done{};
+
+      // Phase 1: pre-post each rank's pre-posted set (all rendezvous plus
+      // half of the eager receives, shuffled order).
+      world.run([&](Rank& rank) {
+        for (const std::size_t idx : pre[static_cast<std::size_t>(rank.rank())]) {
+          const FuzzMsg& m = plan[idx];
+          rreqs[idx] = irecv(rbufs[idx].data(), static_cast<int>(m.bytes), kByte, m.src,
+                             m.tag, rank.world_comm());
+        }
+      });
+      // Phase 2: one sending rank per sub-phase, program-ordered; rendezvous
+      // sends are completed inline (see the header comment).
+      for (int sender = 0; sender < 2; ++sender) {
+        world.run([&](Rank& rank) {
+          if (rank.rank() != sender) return;
+          for (std::size_t i = 0; i < plan.size(); ++i) {
+            if (plan[i].src != sender) continue;
+            sreqs[i] = isend(sbufs[i].data(), static_cast<int>(plan[i].bytes), kByte,
+                             1 - plan[i].src, plan[i].tag, rank.world_comm());
+            if (plan[i].bytes > kFuzzRndvThreshold) sreqs[i].wait();
+          }
+        });
+      }
+      // Phase 3: post the unexpected eager tail, drain everything.
+      world.run([&](Rank& rank) {
+        for (const std::size_t idx : tail[static_cast<std::size_t>(rank.rank())]) {
+          const FuzzMsg& m = plan[idx];
+          rreqs[idx] = irecv(rbufs[idx].data(), static_cast<int>(m.bytes), kByte, m.src,
+                             m.tag, rank.world_comm());
+        }
+        for (std::size_t i = 0; i < plan.size(); ++i) {
+          if (plan[i].src == rank.rank()) {
+            sreqs[i].wait();
+          } else {
+            Status st = rreqs[i].wait();
+            EXPECT_EQ(st.bytes, plan[i].bytes);
+          }
+        }
+        done[static_cast<std::size_t>(rank.rank())] = now();
+      });
+
+      out.marks.assign(done.begin(), done.end());
+      out.marks.push_back(world.elapsed());
+      for (std::size_t i = 0; i < plan.size(); ++i) {
+        // Every received byte, content-checked once here and twin-compared
+        // via the outcome payload.
+        for (const std::byte b : rbufs[i]) {
+          ASSERT_EQ(b, plan[i].fill) << "seed " << seed << " msg " << i;
+        }
+        out.payload.push_back(rbufs[i].front());
+        out.payload.push_back(rbufs[i].back());
+      }
+    };
+
+    SCOPED_TRACE(::testing::Message() << "fuzz seed " << seed);
+    run_twins(two_node_config(), scenario);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,271 @@
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/pdes.h"
+#include "tmpi/tmpi.h"
+#include "twin_harness.h"
+
+/// PDES stress parity (`ctest -L stress`): 16 endpoint VCIs carry mixed
+/// eager/rendezvous traffic from 8 concurrent host threads per send phase
+/// under a seeded 5% drop plan, followed by RMA and partitioned phases —
+/// first on the serial engine, then on the parallel engine. Fault verdicts
+/// are pure functions of (seed, rank, vci, op index, attempt) and each
+/// phase gives every channel a single writer ordering, so the per-channel
+/// drop/retransmit/credit counters are deterministic even under
+/// host-threaded sends; the test pins the parallel engine's tallies to the
+/// serial run's, channel by channel.
+
+namespace {
+
+using namespace tmpi;
+
+constexpr int kEps = 8;        // endpoints (VCIs) per rank -> 16 across the world
+constexpr int kEagerMsgs = 12; // small messages per thread pair
+constexpr int kRdvzMsgs = 2;   // > 64 KiB messages per thread pair
+constexpr std::size_t kRdvzBytes = 96 * 1024;
+
+struct StressOutcome {
+  net::NetStatsSnapshot snap;
+  net::Time elapsed = 0;
+  std::vector<std::byte> payload;
+};
+
+StressOutcome run_stress(const std::string& mode) {
+  WorldConfig wc;
+  wc.nranks = 2;
+  wc.ranks_per_node = 1;
+  wc.num_vcis = 1;  // endpoints grow the VCI pool on demand
+  wc.exec_mode = mode;
+  wc.fault_info.set("tmpi_fault_seed", 4242);
+  wc.fault_info.set("tmpi_fault_drop_rate", "0.05");
+  wc.fault_info.set("tmpi_fault_max_retries", 8);
+  wc.overload_info.set("tmpi_eager_credits", 8);
+  World world(wc);
+  if (mode == "parallel") {
+    EXPECT_NE(world.pdes(), nullptr) << "parallel engine did not engage under the drop plan";
+  }
+
+  StressOutcome out;
+  std::array<std::optional<std::vector<Comm>>, 2> eps;
+  // Index [rank][tid][msg]: receives this rank's thread tid posts.
+  const std::size_t kPerThread = kEagerMsgs + kRdvzMsgs;
+  std::array<std::vector<std::vector<std::byte>>, 2> rbufs;
+  std::array<std::vector<std::vector<std::byte>>, 2> sbufs;
+  std::array<std::vector<Request>, 2> rreqs;
+  std::array<std::vector<Request>, 2> sreqs;
+  for (int r = 0; r < 2; ++r) {
+    rbufs[r].resize(kEps * kPerThread);
+    sbufs[r].resize(kEps * kPerThread);
+    rreqs[r].resize(kEps * kPerThread);
+    sreqs[r].resize(kEps * kPerThread);
+    for (int tid = 0; tid < kEps; ++tid) {
+      for (std::size_t m = 0; m < kPerThread; ++m) {
+        const std::size_t i = static_cast<std::size_t>(tid) * kPerThread + m;
+        const std::size_t bytes = m < kEagerMsgs ? 8 : kRdvzBytes;
+        sbufs[r][i].assign(bytes, static_cast<std::byte>(0x10 + r * 8 + tid));
+        rbufs[r][i].resize(bytes);
+      }
+    }
+  }
+
+  // Phase 0: grow the endpoint pool (collective) and stash the comms.
+  world.run([&](Rank& rank) {
+    eps[static_cast<std::size_t>(rank.rank())] = rank.world_comm().create_endpoints(kEps);
+  });
+
+  // Phase 1: every thread pre-posts all of its receives on its own endpoint
+  // (posted-first keeps the match path independent of host interleaving).
+  world.run([&](Rank& rank) {
+    const int r = rank.rank();
+    rank.parallel(kEps, [&](int tid) {
+      const Comm& my = (*eps[static_cast<std::size_t>(r)])[static_cast<std::size_t>(tid)];
+      const int peer_ep = (1 - r) * kEps + tid;
+      for (std::size_t m = 0; m < kPerThread; ++m) {
+        const std::size_t i = static_cast<std::size_t>(tid) * kPerThread + m;
+        rreqs[static_cast<std::size_t>(r)][i] =
+            irecv(rbufs[static_cast<std::size_t>(r)][i].data(),
+                  static_cast<int>(rbufs[static_cast<std::size_t>(r)][i].size()), kByte,
+                  peer_ep, static_cast<Tag>(m), my);
+      }
+    });
+  });
+
+  // Phase 2: one send direction at a time. A channel's fault op-id counter
+  // is shared between the owner's injects and arrival processing of its
+  // peer's sends (deliver/occupy resolve fault routing on the destination
+  // channel), so bidirectional traffic in one phase would interleave the two
+  // bump streams host-order-dependently — in serial as much as in parallel.
+  // Phase-separating the directions gives every channel a single writer
+  // ordering per phase (sender program order plus FIFO arrivals from its one
+  // peer), making the seeded verdict stream engine-invariant. Within a
+  // phase, 8 threads fire their eager windows back-to-back (exercising the
+  // 8-credit budget under the 5% drop plan) and then complete rendezvous
+  // sends inline, so the payload injection occupies a fixed slot in the
+  // sender channel's op-id stream (deferred delivery would otherwise shift
+  // the ids the verdicts key on).
+  for (int sender = 0; sender < 2; ++sender) {
+    world.run([&](Rank& rank) {
+      const int r = rank.rank();
+      if (r != sender) return;
+      rank.parallel(kEps, [&](int tid) {
+        const Comm& my = (*eps[static_cast<std::size_t>(r)])[static_cast<std::size_t>(tid)];
+        const int peer_ep = (1 - r) * kEps + tid;
+        for (std::size_t m = 0; m < kPerThread; ++m) {
+          const std::size_t i = static_cast<std::size_t>(tid) * kPerThread + m;
+          sreqs[static_cast<std::size_t>(r)][i] =
+              isend(sbufs[static_cast<std::size_t>(r)][i].data(),
+                    static_cast<int>(sbufs[static_cast<std::size_t>(r)][i].size()), kByte,
+                    peer_ep, static_cast<Tag>(m), my);
+          if (m >= kEagerMsgs) sreqs[static_cast<std::size_t>(r)][i].wait();
+        }
+      });
+    });
+  }
+
+  // Phase 3: drain — retransmits for dropped attempts are driven from the
+  // senders' waits, each on its own channel's deterministic verdict stream.
+  world.run([&](Rank& rank) {
+    const int r = rank.rank();
+    rank.parallel(kEps, [&](int tid) {
+      for (std::size_t m = 0; m < kPerThread; ++m) {
+        const std::size_t i = static_cast<std::size_t>(tid) * kPerThread + m;
+        sreqs[static_cast<std::size_t>(r)][i].wait();
+        Status st = rreqs[static_cast<std::size_t>(r)][i].wait();
+        EXPECT_EQ(st.bytes, rbufs[static_cast<std::size_t>(r)][i].size());
+      }
+    });
+  });
+
+  // Phase 4: RMA pipeline through the same fabric (origin-ordered, one
+  // actor per window channel).
+  world.run([&](Rank& rank) {
+    std::vector<double> mem(64, rank.rank() == 0 ? 1.0 : 2.0);
+    Window win = Window::create(mem.data(), mem.size() * sizeof(double), rank.world_comm());
+    if (rank.rank() == 0) {
+      const double v = 3.0;
+      for (int j = 0; j < 8; ++j) {
+        win.put(&v, 1, kDouble, 1, j);
+        win.accumulate(&v, 1, kDouble, 1, j, Op::kSum);
+      }
+      win.flush_all();
+      double got = 0.0;
+      win.get(&got, 1, kDouble, 1, 5);
+      win.flush_all();
+      EXPECT_EQ(got, 6.0);  // put(3) then accumulate(+3)
+    }
+    // Close the access epoch before the target's memory leaves scope: the
+    // passive-side rank must not free `mem` while the origin is mid-put.
+    win.fence();
+  });
+
+  // Phase 5: partitioned pipeline, phase-ordered like the golden scenario.
+  {
+    constexpr int kParts = 4;
+    constexpr int kCount = 16;
+    std::vector<std::byte> psbuf(kParts * kCount, std::byte{0x77});
+    std::vector<std::byte> prbuf(kParts * kCount);
+    Request psreq, prreq;
+    world.run([&](Rank& rank) {
+      if (rank.rank() == 0) {
+        psreq = psend_init(psbuf.data(), kParts, kCount, kByte, 1, 3, rank.world_comm());
+        start(psreq);
+      } else {
+        prreq = precv_init(prbuf.data(), kParts, kCount, kByte, 0, 3, rank.world_comm());
+        start(prreq);
+      }
+    });
+    world.run([&](Rank& rank) {
+      if (rank.rank() == 0) {
+        for (int p = 0; p < kParts; ++p) pready(p, psreq);
+        psreq.wait();
+      }
+    });
+    world.run([&](Rank& rank) {
+      if (rank.rank() == 1) {
+        for (int p = 0; p < kParts; ++p) await_partition(prreq, p);
+        prreq.wait();
+      }
+    });
+    out.payload.insert(out.payload.end(), prbuf.begin(), prbuf.end());
+  }
+
+  for (int r = 0; r < 2; ++r) {
+    for (const auto& b : rbufs[static_cast<std::size_t>(r)]) {
+      out.payload.push_back(b.front());
+      out.payload.push_back(b.back());
+    }
+  }
+  out.snap = world.snapshot();
+  out.elapsed = world.elapsed();
+  return out;
+}
+
+TEST(PdesStress, MixedTrafficFaultParity) {
+  twin::ScopedEnv clear_mode("TMPI_EXEC_MODE");
+  const StressOutcome serial = run_stress("serial");
+  const StressOutcome parallel = run_stress("parallel");
+
+  // The drop plan must actually have fired, or the retransmit parity below
+  // is vacuous. Seeded: same expectation on every run.
+  EXPECT_GT(serial.snap.drops, 0u);
+  EXPECT_GT(serial.snap.retransmits, 0u);
+
+  // Deterministic global tallies. (Host-artifact counters — lock contention,
+  // probe counts against concurrently-mutating queues, busy-time maxima —
+  // are excluded; they jitter in BOTH engines under 16 host threads.)
+  EXPECT_EQ(serial.snap.messages, parallel.snap.messages);
+  EXPECT_EQ(serial.snap.bytes, parallel.snap.bytes);
+  EXPECT_EQ(serial.snap.injections, parallel.snap.injections);
+  EXPECT_EQ(serial.snap.drops, parallel.snap.drops);
+  EXPECT_EQ(serial.snap.corrupts, parallel.snap.corrupts);
+  EXPECT_EQ(serial.snap.delays, parallel.snap.delays);
+  EXPECT_EQ(serial.snap.retransmits, parallel.snap.retransmits);
+  EXPECT_EQ(serial.snap.timeouts, parallel.snap.timeouts);
+  EXPECT_EQ(serial.snap.failovers, parallel.snap.failovers);
+  EXPECT_EQ(serial.snap.credit_stalls, parallel.snap.credit_stalls);
+  EXPECT_EQ(serial.snap.overflows, parallel.snap.overflows);
+  EXPECT_EQ(serial.snap.rendezvous_messages, parallel.snap.rendezvous_messages);
+  EXPECT_EQ(serial.snap.rma_ops, parallel.snap.rma_ops);
+  EXPECT_EQ(serial.snap.atomic_ops, parallel.snap.atomic_ops);
+
+  // Channel-by-channel: each endpoint channel's fault stream is keyed by
+  // (seed, rank, vci, op, attempt), so its counters must agree exactly.
+  ASSERT_EQ(serial.snap.channels.size(), parallel.snap.channels.size());
+  for (std::size_t i = 0; i < serial.snap.channels.size(); ++i) {
+    const auto& cs = serial.snap.channels[i];
+    const auto& cp = parallel.snap.channels[i];
+    ASSERT_EQ(cs.rank, cp.rank) << "channel " << i;
+    ASSERT_EQ(cs.vci, cp.vci) << "channel " << i;
+    EXPECT_EQ(cs.injections, cp.injections) << "channel " << i;
+    EXPECT_EQ(cs.rx_ops, cp.rx_ops) << "channel " << i;
+    EXPECT_EQ(cs.deposits, cp.deposits) << "channel " << i;
+    EXPECT_EQ(cs.drops, cp.drops) << "channel " << i;
+    EXPECT_EQ(cs.retransmits, cp.retransmits) << "channel " << i;
+    EXPECT_EQ(cs.timeouts, cp.timeouts) << "channel " << i;
+    EXPECT_EQ(cs.credit_stalls, cp.credit_stalls) << "channel " << i;
+    EXPECT_EQ(cs.overflows, cp.overflows) << "channel " << i;
+  }
+
+  // Payload bytes agree bit-exactly.
+  EXPECT_EQ(serial.payload, parallel.payload);
+
+  // The virtual makespan is host-order sensitive in BOTH engines: phase
+  // barriers and the RMA fence exchange control messages over the shared
+  // base-VCI channels, and the order two ranks' messages occupy a duplex
+  // ctx is a host scheduling artifact (the same documented jitter the
+  // msgrate golden carries; serial runs alone spread ~4% here). Stats and
+  // payload parity above are the deterministic claim; the makespans must
+  // still land in the same band. Bit-exact makespan equality is pinned by
+  // the deterministic scenarios in pdes_parity_test.
+  const double sv = static_cast<double>(serial.elapsed);
+  const double pv = static_cast<double>(parallel.elapsed);
+  EXPECT_GT(serial.elapsed, 0u);
+  EXPECT_NEAR(sv, pv, sv * 0.05);
+}
+
+}  // namespace

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "tmpi/tmpi.h"
+#include "twin_harness.h"
 #include "workloads/msgrate.h"
 
 /// Virtual-time charge-parity suite for the unified transport layer.
@@ -19,15 +20,10 @@ namespace {
 
 using namespace tmpi;
 
-WorldConfig two_node_config() {
-  WorldConfig wc;
-  wc.nranks = 2;
-  wc.ranks_per_node = 1;
-  wc.num_vcis = 1;
-  return wc;
-}
-
-net::Time now() { return net::ThreadClock::get().now(); }
+// World-setup/clock boilerplate shared with the other parity suites
+// (tests/tmpi/twin_harness.h).
+using twin::now;
+using twin::two_node_config;
 
 // ---------------------------------------------------------------------------
 // Eager point-to-point, receive posted before the message arrives.

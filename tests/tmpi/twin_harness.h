@@ -1,0 +1,137 @@
+#ifndef TESTS_TMPI_TWIN_HARNESS_H
+#define TESTS_TMPI_TWIN_HARNESS_H
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <optional>
+#include <string>
+
+#include "tmpi/tmpi.h"
+
+/// Shared world-setup / twin-run boilerplate for the parity suites
+/// (transport goldens, matching fast path, PDES engine). A "twin run" drives
+/// the same phase-ordered workload through two engine configurations and
+/// asserts the virtual-time outcomes are bit-identical; this header holds
+/// the pieces every such test repeated locally: the canonical two-rank
+/// config, the bound-clock reader, env pinning for mode knobs (the env
+/// overrides WorldConfig, so a harness-forced value would silently collapse
+/// both twins into one mode), and the NetStats field-by-field parity check.
+
+namespace twin {
+
+/// Two ranks on two nodes, one VCI each — the canonical golden-suite world.
+inline tmpi::WorldConfig two_node_config() {
+  tmpi::WorldConfig wc;
+  wc.nranks = 2;
+  wc.ranks_per_node = 1;
+  wc.num_vcis = 1;
+  return wc;
+}
+
+/// Same shape with a per-rank VCI pool (the matching/world-parity suites).
+inline tmpi::WorldConfig two_rank_config(int num_vcis) {
+  tmpi::WorldConfig wc = two_node_config();
+  wc.num_vcis = num_vcis;
+  return wc;
+}
+
+/// The calling rank thread's current virtual time.
+inline tmpi::net::Time now() { return tmpi::net::ThreadClock::get().now(); }
+
+/// Pin an environment variable for the duration of a scope, restoring the
+/// previous value (or absence) on exit. Construct with no value to unset —
+/// what every twin test must do to the mode knob it is comparing.
+class ScopedEnv {
+ public:
+  explicit ScopedEnv(const char* name, const char* value = nullptr) : name_(name) {
+    if (const char* old = std::getenv(name)) prev_ = old;
+    if (value != nullptr) {
+      setenv(name, value, 1);
+    } else {
+      unsetenv(name);
+    }
+  }
+  ~ScopedEnv() {
+    if (prev_.has_value()) {
+      setenv(name_.c_str(), prev_->c_str(), 1);
+    } else {
+      unsetenv(name_.c_str());
+    }
+  }
+  ScopedEnv(const ScopedEnv&) = delete;
+  ScopedEnv& operator=(const ScopedEnv&) = delete;
+
+ private:
+  std::string name_;
+  std::optional<std::string> prev_;
+};
+
+/// Field-by-field equality of two NetStats snapshots for twin runs.
+///
+/// Every deterministic counter must match bit-exactly. Host-artifact
+/// quantities are excluded: `contended_acquisitions` (who loses a lock race
+/// depends on host scheduling in BOTH engines) and the tracing-only
+/// `op_latency` rows. `unexpected_hwm` is compared — phase-ordered twin
+/// workloads produce deterministic queue depths.
+inline void expect_stats_parity(const tmpi::net::NetStatsSnapshot& a,
+                                const tmpi::net::NetStatsSnapshot& b) {
+  EXPECT_EQ(a.messages, b.messages);
+  EXPECT_EQ(a.bytes, b.bytes);
+  EXPECT_EQ(a.injections, b.injections);
+  EXPECT_EQ(a.shared_ctx_injections, b.shared_ctx_injections);
+  EXPECT_EQ(a.lock_acquisitions, b.lock_acquisitions);
+  EXPECT_EQ(a.part_lock_acquisitions, b.part_lock_acquisitions);
+  EXPECT_EQ(a.match_probes, b.match_probes);
+  EXPECT_EQ(a.unexpected_messages, b.unexpected_messages);
+  EXPECT_EQ(a.rendezvous_messages, b.rendezvous_messages);
+  EXPECT_EQ(a.rma_ops, b.rma_ops);
+  EXPECT_EQ(a.atomic_ops, b.atomic_ops);
+  EXPECT_EQ(a.channel_ops, b.channel_ops);
+  EXPECT_EQ(a.drops, b.drops);
+  EXPECT_EQ(a.corrupts, b.corrupts);
+  EXPECT_EQ(a.delays, b.delays);
+  EXPECT_EQ(a.retransmits, b.retransmits);
+  EXPECT_EQ(a.timeouts, b.timeouts);
+  EXPECT_EQ(a.failovers, b.failovers);
+  EXPECT_EQ(a.credit_stalls, b.credit_stalls);
+  EXPECT_EQ(a.overflows, b.overflows);
+  EXPECT_EQ(a.watchdog_trips, b.watchdog_trips);
+  EXPECT_EQ(a.deadlocks, b.deadlocks);
+  EXPECT_EQ(a.unexpected_hwm, b.unexpected_hwm);
+  EXPECT_EQ(a.bucket_hits, b.bucket_hits);
+  EXPECT_EQ(a.bucket_misses, b.bucket_misses);
+  EXPECT_EQ(a.wildcard_fallbacks, b.wildcard_fallbacks);
+  EXPECT_EQ(a.ctx_busy_ns, b.ctx_busy_ns);
+  for (std::size_t i = 0; i < a.size_hist.size(); ++i) {
+    EXPECT_EQ(a.size_hist[i], b.size_hist[i]) << "size_hist bucket " << i;
+  }
+  ASSERT_EQ(a.channels.size(), b.channels.size());
+  for (std::size_t i = 0; i < a.channels.size(); ++i) {
+    const auto& ca = a.channels[i];
+    const auto& cb = b.channels[i];
+    EXPECT_EQ(ca.rank, cb.rank) << "channel " << i;
+    EXPECT_EQ(ca.vci, cb.vci) << "channel " << i;
+    EXPECT_EQ(ca.injections, cb.injections) << "channel " << i;
+    EXPECT_EQ(ca.rx_ops, cb.rx_ops) << "channel " << i;
+    EXPECT_EQ(ca.deposits, cb.deposits) << "channel " << i;
+    EXPECT_EQ(ca.lock_acquisitions, cb.lock_acquisitions) << "channel " << i;
+    EXPECT_EQ(ca.busy_ns, cb.busy_ns) << "channel " << i;
+    EXPECT_EQ(ca.drops, cb.drops) << "channel " << i;
+    EXPECT_EQ(ca.corrupts, cb.corrupts) << "channel " << i;
+    EXPECT_EQ(ca.delays, cb.delays) << "channel " << i;
+    EXPECT_EQ(ca.retransmits, cb.retransmits) << "channel " << i;
+    EXPECT_EQ(ca.timeouts, cb.timeouts) << "channel " << i;
+    EXPECT_EQ(ca.failovers, cb.failovers) << "channel " << i;
+    EXPECT_EQ(ca.credit_stalls, cb.credit_stalls) << "channel " << i;
+    EXPECT_EQ(ca.overflows, cb.overflows) << "channel " << i;
+    EXPECT_EQ(ca.unexpected_hwm, cb.unexpected_hwm) << "channel " << i;
+    EXPECT_EQ(ca.bucket_hits, cb.bucket_hits) << "channel " << i;
+    EXPECT_EQ(ca.bucket_misses, cb.bucket_misses) << "channel " << i;
+    EXPECT_EQ(ca.wildcard_fallbacks, cb.wildcard_fallbacks) << "channel " << i;
+  }
+}
+
+}  // namespace twin
+
+#endif  // TESTS_TMPI_TWIN_HARNESS_H
