@@ -99,6 +99,12 @@ inline void print_channel_telemetry(const char* title, const tmpi::net::NetStats
                 static_cast<unsigned long long>(s.timeouts),
                 static_cast<unsigned long long>(s.failovers));
   }
+  if (s.proc_failures + s.revokes + s.shrinks != 0) {
+    std::printf("recovery: proc_failures=%llu revokes=%llu shrinks=%llu\n",
+                static_cast<unsigned long long>(s.proc_failures),
+                static_cast<unsigned long long>(s.revokes),
+                static_cast<unsigned long long>(s.shrinks));
+  }
   if (s.credit_stalls + s.overflows + s.watchdog_trips + s.deadlocks + s.unexpected_hwm != 0) {
     std::printf("overload: credit_stalls=%llu overflows=%llu watchdog_trips=%llu "
                 "deadlocks=%llu unexpected_hwm=%llu\n",

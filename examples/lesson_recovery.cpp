@@ -1,0 +1,131 @@
+/// Lesson: surviving a rank failure with revoke / shrink / agree.
+///
+/// A 3-rank ring runs an iterative halo exchange. Mid-run, the seeded fault
+/// plan kills rank 2 (`rank_down@2:5`: sticky-dead at its 6th channel op).
+/// The survivors notice — their traffic touching the dead rank fails fast
+/// with kProcFailed — agree that the iteration was lost, revoke the poisoned
+/// communicator, shrink it to the survivor set, and finish the remaining
+/// iterations on the 2-rank ring. ULFM's MPI_Comm_revoke / _shrink /
+/// _agree recovery loop (DESIGN.md §13), in miniature:
+///
+///   $ ./lesson_recovery
+///
+/// The recovery trajectory (kill -> agree -> revoke -> shrink -> finish) is
+/// the same on every run; the exact death vtime can shift with host thread
+/// scheduling because the ranks here free-run inside one world.run. The
+/// phase-ordered golden twin in tests/tmpi/recovery_test.cpp is the
+/// bit-exact-determinism version of this scenario.
+
+#include <array>
+#include <cstdio>
+#include <cstdint>
+
+#include "tmpi/tmpi.h"
+
+namespace {
+
+constexpr int kIters = 8;
+constexpr int kHalo = 16;  // doubles per halo message
+
+/// One halo exchange on `comm`: post both neighbour receives, then issue
+/// both sends unconditionally (so survivor<->survivor traffic completes even
+/// when a neighbour is dead), then wait all four. Tags encode direction and
+/// iteration so the exchange stays well-defined on a 2-rank ring, where the
+/// left and right neighbour are the same peer: send-to-right carries tag
+/// 2*iter+1 (matched by the peer's recv-from-left), send-to-left tag 2*iter.
+bool exchange(const tmpi::Comm& comm, int iter, std::array<double, kHalo>& mine) {
+  const int n = comm.size();
+  const int me = comm.rank();
+  const int right = (me + 1) % n;
+  const int left = (me + n - 1) % n;
+  const tmpi::Tag to_right = 2 * iter + 1;
+  const tmpi::Tag to_left = 2 * iter;
+
+  std::array<double, kHalo> from_left{};
+  std::array<double, kHalo> from_right{};
+  std::array<tmpi::Request, 4> reqs;
+  reqs[0] = tmpi::irecv(from_left.data(), kHalo, tmpi::kDouble, left, to_right, comm);
+  reqs[1] = tmpi::irecv(from_right.data(), kHalo, tmpi::kDouble, right, to_left, comm);
+  reqs[2] = tmpi::isend(mine.data(), kHalo, tmpi::kDouble, right, to_right, comm);
+  reqs[3] = tmpi::isend(mine.data(), kHalo, tmpi::kDouble, left, to_left, comm);
+
+  bool ok = true;
+  for (auto& r : reqs) {
+    if (r.wait().err != tmpi::Errc::kSuccess) ok = false;
+  }
+  if (ok) {
+    for (int i = 0; i < kHalo; ++i) mine[i] = 0.5 * (from_left[i] + from_right[i]);
+  }
+  return ok;
+}
+
+}  // namespace
+
+int main() {
+  tmpi::WorldConfig wc;
+  wc.nranks = 3;
+  wc.ranks_per_node = 1;
+  wc.num_vcis = 1;
+  // The seeded failure: rank 2 drops dead partway through iteration 1.
+  wc.fault_info.set("tmpi_fault_plan", "rank_down@2:5");
+  // Real-time watchdog as a backstop: anything that still manages to block
+  // on the dead rank is diagnosed and failed instead of hanging the demo.
+  wc.overload_info.set("tmpi_watchdog_ns", 50'000'000);
+  tmpi::World world(wc);
+
+  // ULFM-style recovery needs errors returned, not thrown through the loop.
+  tmpi::Comm(world.world_comm_impl(), 0).set_errhandler(tmpi::ErrorHandler::kErrorsReturn);
+
+  std::array<int, 3> completed{};
+
+  world.run([&](tmpi::Rank& rank) {
+    const int self = rank.rank();
+    tmpi::Comm comm = rank.world_comm();
+    std::array<double, kHalo> halo{};
+    halo.fill(static_cast<double>(self + 1));
+
+    for (int it = 0; it < kIters; ++it) {
+      const bool ok = exchange(comm, it, halo);
+
+      // A dead rank's own operations fail too; once the liveness registry
+      // names it, it leaves the computation.
+      if (world.fabric().liveness().is_dead(self)) {
+        std::printf("[rank %d] declared dead at vtime %lu ns; exiting\n", self,
+                    static_cast<unsigned long>(world.fabric().liveness().death_time(self)));
+        return;
+      }
+
+      // The per-iteration agreement is the recovery synchronization point:
+      // it ANDs every live rank's verdict, so either all survivors see the
+      // failure or none do — no split-brain on whether to shrink.
+      std::uint32_t flag = ok ? 1u : 0u;
+      if (comm.agree(&flag) != tmpi::Errc::kSuccess) return;
+
+      if (flag == 0) {
+        std::printf("[rank %d] iteration %d lost to a rank failure; "
+                    "revoke + shrink (world %d -> survivors)\n",
+                    self, it, comm.size());
+        comm.revoke();  // idempotent: every survivor may call it
+        comm = comm.shrink();
+        comm.set_errhandler(tmpi::ErrorHandler::kErrorsReturn);
+        continue;  // the lost iteration is retired, not replayed
+      }
+      ++completed[static_cast<std::size_t>(self)];
+    }
+    std::printf("[rank %d->%d/%d] finished %d/%d iterations at t=%lu ns\n", self,
+                comm.rank(), comm.size(), completed[static_cast<std::size_t>(self)], kIters,
+                static_cast<unsigned long>(rank.clock().now()));
+  });
+
+  const auto s = world.snapshot();
+  std::printf("world: %d ranks -> %d survivors | proc_failures=%lu revokes=%lu shrinks=%lu\n",
+              wc.nranks, wc.nranks - static_cast<int>(world.fabric().liveness().dead_ranks().size()),
+              static_cast<unsigned long>(s.proc_failures), static_cast<unsigned long>(s.revokes),
+              static_cast<unsigned long>(s.shrinks));
+
+  const bool pass = world.fabric().liveness().is_dead(2) && s.revokes >= 1 && s.shrinks >= 1 &&
+                    completed[0] > 0 && completed[0] == completed[1];
+  std::printf("%s\n", pass ? "PASS: survivors completed the workload on the shrunken world"
+                           : "FAIL: recovery did not complete");
+  return pass ? 0 : 1;
+}

@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "net/cost_model.h"
+#include "net/liveness.h"
 #include "net/nic.h"
 #include "net/stats.h"
 #include "net/virtual_clock.h"
@@ -79,6 +80,11 @@ class Fabric {
   [[nodiscard]] NetStats& stats() { return stats_; }
   [[nodiscard]] const NetStats& stats() const { return stats_; }
 
+  /// Rank liveness registry (DESIGN.md §13): which ranks the fabric has
+  /// declared dead, and when.
+  [[nodiscard]] Liveness& liveness() { return liveness_; }
+  [[nodiscard]] const Liveness& liveness() const { return liveness_; }
+
   /// Virtual transfer time of a payload from `src_node` to `dst_node`
   /// (shared-memory path within a node, wire otherwise).
   [[nodiscard]] Time transfer_time(int src_node, int dst_node, std::size_t bytes) const {
@@ -116,6 +122,7 @@ class Fabric {
   int num_nodes_;
   CostModel cm_;
   NetStats stats_;
+  Liveness liveness_;
   int nranks_;
   int ranks_per_node_;
   int vcis_per_rank_;

@@ -28,11 +28,33 @@ double u01(std::uint64_t seed, int rank, int vci, std::uint64_t op, int attempt)
   return static_cast<double>(h >> 11) * 0x1.0p-53;
 }
 
-FaultAction action_from(const std::string& name) {
+FaultAction action_from(const std::string& name, const std::string& tok) {
   if (name == "drop") return FaultAction::kDrop;
   if (name == "corrupt") return FaultAction::kCorrupt;
   if (name == "delay") return FaultAction::kDelay;
-  throw std::invalid_argument("FaultPlan: unknown action '" + name + "'");
+  throw std::invalid_argument("FaultPlan: bad event token '" + tok + "': unknown action '" +
+                              name + "' (want drop|corrupt|delay|down|rank_down)");
+}
+
+/// Strict unsigned-decimal field parse; every malformed field names the whole
+/// offending token so the error is actionable from an env var or Info dump.
+std::uint64_t parse_field(const std::string& tok, const std::string& field, const char* what) {
+  if (field.empty()) {
+    throw std::invalid_argument("FaultPlan: bad event token '" + tok + "': empty " + what +
+                                " field");
+  }
+  for (const char c : field) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) {
+      throw std::invalid_argument("FaultPlan: bad event token '" + tok + "': non-numeric " +
+                                  what + " field '" + field + "'");
+    }
+  }
+  try {
+    return std::stoull(field);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("FaultPlan: bad event token '" + tok + "': " + what +
+                                " field '" + field + "' out of range");
+  }
 }
 
 }  // namespace
@@ -47,41 +69,91 @@ void FaultPlan::parse_plan(const std::string& grammar) {
     if (tok.empty()) continue;
 
     const std::size_t at = tok.find('@');
-    const std::size_t c1 = tok.find(':', at == std::string::npos ? 0 : at + 1);
-    const std::size_t c2 = c1 == std::string::npos ? std::string::npos : tok.find(':', c1 + 1);
-    if (at == std::string::npos || c1 == std::string::npos || c2 == std::string::npos) {
-      throw std::invalid_argument("FaultPlan: malformed event '" + tok +
-                                  "' (want action@rank:vci:op)");
+    if (at == std::string::npos || at == 0) {
+      throw std::invalid_argument("FaultPlan: bad event token '" + tok +
+                                  "' (want action@rank:vci:op or rank_down@rank[:op])");
     }
     Event e;
     const std::string action = tok.substr(0, at);
-    if (action == "down") {
-      e.ctx_down = true;
+    const std::string rest = tok.substr(at + 1);
+    if (action == "rank_down") {
+      // rank_down@rank[:op] — rank-wide, no per-channel vci field.
+      e.rank_down = true;
+      e.vci = -1;
+      const std::size_t c1 = rest.find(':');
+      if (c1 != std::string::npos && rest.find(':', c1 + 1) != std::string::npos) {
+        throw std::invalid_argument("FaultPlan: bad event token '" + tok +
+                                    "' (want rank_down@rank[:op])");
+      }
+      e.rank = static_cast<int>(parse_field(tok, rest.substr(0, c1), "rank"));
+      e.op = c1 == std::string::npos ? 0 : parse_field(tok, rest.substr(c1 + 1), "op");
     } else {
-      e.action = action_from(action);
+      const std::size_t c1 = rest.find(':');
+      const std::size_t c2 = c1 == std::string::npos ? std::string::npos : rest.find(':', c1 + 1);
+      if (c1 == std::string::npos || c2 == std::string::npos ||
+          rest.find(':', c2 + 1) != std::string::npos) {
+        throw std::invalid_argument("FaultPlan: bad event token '" + tok +
+                                    "' (want action@rank:vci:op)");
+      }
+      if (action == "down") {
+        e.ctx_down = true;
+      } else {
+        e.action = action_from(action, tok);
+      }
+      e.rank = static_cast<int>(parse_field(tok, rest.substr(0, c1), "rank"));
+      e.vci = static_cast<int>(parse_field(tok, rest.substr(c1 + 1, c2 - c1 - 1), "vci"));
+      e.op = parse_field(tok, rest.substr(c2 + 1), "op");
     }
-    e.rank = std::stoi(tok.substr(at + 1, c1 - at - 1));
-    e.vci = std::stoi(tok.substr(c1 + 1, c2 - c1 - 1));
-    e.op = std::stoull(tok.substr(c2 + 1));
     events.push_back(e);
   }
 }
 
 bool FaultPlan::set(const std::string& key, const std::string& value) {
+  // Scalar keys get the same never-silently-ignore treatment as the event
+  // grammar: a malformed value names itself instead of aborting the process
+  // deep inside std::sto*.
+  const auto bad = [&](const char* why) -> std::invalid_argument {
+    return std::invalid_argument("FaultPlan: bad value '" + value + "' for key '" + key + "': " +
+                                 why);
+  };
+  const auto as_u64 = [&]() -> std::uint64_t {
+    try {
+      std::size_t used = 0;
+      const std::uint64_t v = std::stoull(value, &used);
+      if (used != value.size()) throw bad("trailing garbage");
+      return v;
+    } catch (const std::invalid_argument&) {
+      throw bad("not an unsigned integer");
+    } catch (const std::out_of_range&) {
+      throw bad("out of range");
+    }
+  };
+  const auto as_double = [&]() -> double {
+    try {
+      std::size_t used = 0;
+      const double v = std::stod(value, &used);
+      if (used != value.size()) throw bad("trailing garbage");
+      return v;
+    } catch (const std::invalid_argument&) {
+      throw bad("not a number");
+    } catch (const std::out_of_range&) {
+      throw bad("out of range");
+    }
+  };
   if (key == "tmpi_fault_seed") {
-    seed = std::stoull(value);
+    seed = as_u64();
   } else if (key == "tmpi_fault_drop_rate") {
-    drop_rate = std::stod(value);
+    drop_rate = as_double();
   } else if (key == "tmpi_fault_corrupt_rate") {
-    corrupt_rate = std::stod(value);
+    corrupt_rate = as_double();
   } else if (key == "tmpi_fault_delay_rate") {
-    delay_rate = std::stod(value);
+    delay_rate = as_double();
   } else if (key == "tmpi_fault_delay_ns") {
-    delay_ns = static_cast<Time>(std::stoull(value));
+    delay_ns = static_cast<Time>(as_u64());
   } else if (key == "tmpi_fault_max_retries") {
-    max_retries = std::stoi(value);
+    max_retries = static_cast<int>(as_u64());
   } else if (key == "tmpi_fault_timeout_ns") {
-    timeout_ns = static_cast<Time>(std::stoull(value));
+    timeout_ns = static_cast<Time>(as_u64());
   } else if (key == "tmpi_fault_plan") {
     parse_plan(value);
   } else {
@@ -108,6 +180,7 @@ FaultPlan FaultPlan::from_env(FaultPlan base) {
 
 std::uint64_t FaultInjector::channel_op(int rank, int vci) {
   std::scoped_lock lk(mu_);
+  rank_op_counts_[rank]++;
   return op_counts_[{rank, vci}]++;
 }
 
@@ -140,6 +213,22 @@ bool FaultInjector::context_down_due(int rank, int vci, std::uint64_t op) {
   for (std::size_t i = 0; i < plan_.events.size(); ++i) {
     const FaultPlan::Event& e = plan_.events[i];
     if (e.ctx_down && !down_fired_[i] && e.rank == rank && e.vci == vci && op >= e.op) {
+      down_fired_[i] = true;
+      due = true;
+    }
+  }
+  return due;
+}
+
+bool FaultInjector::rank_down_due(int rank) {
+  bool due = false;
+  std::scoped_lock lk(mu_);
+  const auto it = rank_op_counts_.find(rank);
+  if (it == rank_op_counts_.end() || it->second == 0) return false;
+  const std::uint64_t last_op = it->second - 1;  // index of the op just counted
+  for (std::size_t i = 0; i < plan_.events.size(); ++i) {
+    const FaultPlan::Event& e = plan_.events[i];
+    if (e.rank_down && !down_fired_[i] && e.rank == rank && last_op >= e.op) {
       down_fired_[i] = true;
       due = true;
     }

@@ -25,12 +25,20 @@
 /// Plan grammar (the `tmpi_fault_plan` Info key / TMPI_FAULT_PLAN env var):
 ///   plan    := event (';' event)*
 ///   event   := action '@' rank ':' vci ':' op
+///            | 'rank_down' '@' rank [':' op]
 ///   action  := 'drop' | 'corrupt' | 'delay' | 'down'
 /// `op` is the zero-based index of the operation in the channel's stream
 /// (inject / deliver / post_recv touches, in order; probes don't count).
 /// drop/corrupt/delay events fire on the first transmit attempt of that
 /// operation; 'down' marks the channel's hardware context down when the
 /// stream reaches op index `op`, triggering failover (DESIGN.md §7).
+/// 'rank_down' declares the whole rank sticky-dead — every VCI and NIC
+/// context it owns — once the rank's aggregate operation stream (summed
+/// across its channels) reaches index `op` (default 0: dead on first touch).
+/// Death is observed through the fabric's Liveness registry and propagated
+/// as Errc::kProcFailed (DESIGN.md §13); a dead rank never recovers.
+/// Malformed event tokens throw std::invalid_argument naming the offending
+/// token; World construction surfaces that as Errc::kInvalidArg.
 ///
 /// Scalar keys (Info key, env var = upper-cased key):
 ///   tmpi_fault_seed          u64   hash seed for the probabilistic rates
@@ -76,12 +84,22 @@ struct FaultPlan {
 
   struct Event {
     FaultAction action = FaultAction::kDrop;
-    bool ctx_down = false;  ///< 'down' events are not per-attempt verdicts
+    bool ctx_down = false;   ///< 'down' events are not per-attempt verdicts
+    bool rank_down = false;  ///< 'rank_down' events kill the whole rank
     int rank = 0;
-    int vci = 0;
+    int vci = 0;  ///< -1 for rank_down events (rank-wide, not per-channel)
     std::uint64_t op = 0;
   };
   std::vector<Event> events;
+
+  /// Any rank_down event present? Worlds with one fall back to the serial
+  /// execution engine, like ctx_down plans (DESIGN.md §12).
+  [[nodiscard]] bool has_rank_down() const {
+    for (const Event& e : events) {
+      if (e.rank_down) return true;
+    }
+    return false;
+  }
 
   /// True when any fault can actually fire. A disabled plan keeps the
   /// transport on its zero-overhead fast path.
@@ -116,7 +134,8 @@ class FaultInjector {
   [[nodiscard]] const FaultPlan& plan() const { return plan_; }
 
   /// Count one transport operation through channel (rank, vci) and return
-  /// its zero-based index in that channel's stream.
+  /// its zero-based index in that channel's stream. Also advances the rank's
+  /// aggregate stream (the rank_down trigger counter).
   std::uint64_t channel_op(int rank, int vci);
 
   /// The verdict for transmit attempt `attempt` (0 = first transmission) of
@@ -129,10 +148,17 @@ class FaultInjector {
   /// reaches op index `op`. The caller is expected to fail the stream over.
   bool context_down_due(int rank, int vci, std::uint64_t op);
 
+  /// True exactly once per scheduled 'rank_down' event, when `rank`'s
+  /// aggregate operation stream (advanced by channel_op) has reached the
+  /// event's op index. The caller is expected to declare the rank dead in
+  /// the fabric's Liveness registry and propagate (DESIGN.md §13).
+  bool rank_down_due(int rank);
+
  private:
   FaultPlan plan_;
   std::mutex mu_;
   std::map<std::pair<int, int>, std::uint64_t> op_counts_;
+  std::map<int, std::uint64_t> rank_op_counts_;
   std::vector<bool> down_fired_ = std::vector<bool>(plan_.events.size(), false);
 };
 

@@ -1,0 +1,149 @@
+#ifndef TMPI_NET_LIVENESS_H
+#define TMPI_NET_LIVENESS_H
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "net/virtual_clock.h"
+
+/// \file liveness.h
+/// Rank liveness registry for the fault fabric (DESIGN.md §13).
+///
+/// A `rank_down` fault event declares a whole rank dead at a deterministic
+/// point in its operation stream. The registry is the single source of truth
+/// every layer consults: the transport fast-fails injections touching a dead
+/// rank, the watchdog converts blocked-on-dead waits into kProcFailed, and
+/// the recovery collectives (shrink/agree) compute their survivor sets here.
+///
+/// Liveness is heartbeat-shaped but event-driven: instead of periodic probe
+/// messages (whose timing would perturb the virtual clock), every faulted
+/// channel operation doubles as a heartbeat (`beat()`), and death is declared
+/// by the fault plan at an exact op index. The fast path is one relaxed
+/// atomic load — a world with no failures never takes the mutex.
+
+namespace tmpi::net {
+
+class Liveness {
+ public:
+  Liveness() = default;
+  Liveness(const Liveness&) = delete;
+  Liveness& operator=(const Liveness&) = delete;
+
+  /// Any rank dead at all? One relaxed load; the gate in front of every
+  /// per-rank query on the hot path.
+  [[nodiscard]] bool any_dead() const {
+    return dead_count_.load(std::memory_order_acquire) != 0;
+  }
+
+  [[nodiscard]] bool is_dead(int rank) const {
+    if (!any_dead()) return false;
+    std::scoped_lock lk(mu_);
+    for (const auto& d : dead_) {
+      if (d.first == rank) return true;
+    }
+    return false;
+  }
+
+  /// Virtual time the rank was declared dead (0 if alive).
+  [[nodiscard]] Time death_time(int rank) const {
+    if (!any_dead()) return 0;
+    std::scoped_lock lk(mu_);
+    for (const auto& d : dead_) {
+      if (d.first == rank) return d.second;
+    }
+    return 0;
+  }
+
+  /// Sorted-by-declaration-order snapshot of (rank, death vtime).
+  [[nodiscard]] std::vector<std::pair<int, Time>> dead_ranks() const {
+    std::scoped_lock lk(mu_);
+    return dead_;
+  }
+
+  /// Declare `rank` dead at virtual time `t`. Returns false if it already
+  /// was (death is sticky and fires exactly once). Wakes every registered
+  /// waker so blocked recovery waits (agree/shrink, partitioned awaits) can
+  /// re-evaluate their survivor sets.
+  ///
+  /// The recorded death time is clamped to the rank's last heartbeat: a
+  /// rank_down trigger can fire on a clock that lags the rank's observed
+  /// channel activity (deliveries beat on the arrival clock, sends on the
+  /// thread clock), and a rank cannot die before it was provably alive.
+  bool mark_dead(int rank, Time t) {
+    std::vector<std::function<void()>> to_wake;
+    {
+      std::scoped_lock lk(mu_);
+      for (const auto& d : dead_) {
+        if (d.first == rank) return false;
+      }
+      for (const auto& b : beats_) {
+        if (b.first == rank && b.second > t) t = b.second;
+      }
+      dead_.emplace_back(rank, t);
+      dead_count_.store(static_cast<int>(dead_.size()), std::memory_order_release);
+      to_wake.reserve(wakers_.size());
+      for (const auto& w : wakers_) to_wake.push_back(w.second);
+    }
+    // Outside the registry lock: wakers take their own (cv) locks.
+    for (const auto& fn : to_wake) fn();
+    return true;
+  }
+
+  /// Event-driven heartbeat: the fault layer records the last virtual time
+  /// it saw a channel operation from `rank`. Diagnostic only (watchdog
+  /// reports); kept O(live-set) under the same mutex, fault path only.
+  void beat(int rank, Time t) {
+    std::scoped_lock lk(mu_);
+    for (auto& b : beats_) {
+      if (b.first == rank) {
+        if (t > b.second) b.second = t;
+        return;
+      }
+    }
+    beats_.emplace_back(rank, t);
+  }
+
+  /// Last heartbeat seen from `rank` (0 if never heard).
+  [[nodiscard]] Time last_beat(int rank) const {
+    std::scoped_lock lk(mu_);
+    for (const auto& b : beats_) {
+      if (b.first == rank) return b.second;
+    }
+    return 0;
+  }
+
+  /// Register a callback invoked on every death declaration. Returns a token
+  /// for remove_waker. Wakers must be cheap and lock only their own cv mutex.
+  std::uint64_t add_waker(std::function<void()> fn) {
+    std::scoped_lock lk(mu_);
+    const std::uint64_t id = next_waker_++;
+    wakers_.emplace_back(id, std::move(fn));
+    return id;
+  }
+
+  void remove_waker(std::uint64_t id) {
+    std::scoped_lock lk(mu_);
+    for (std::size_t i = 0; i < wakers_.size(); ++i) {
+      if (wakers_[i].first == id) {
+        wakers_.erase(wakers_.begin() + static_cast<std::ptrdiff_t>(i));
+        return;
+      }
+    }
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::atomic<int> dead_count_{0};
+  std::vector<std::pair<int, Time>> dead_;   ///< declaration order
+  std::vector<std::pair<int, Time>> beats_;  ///< (rank, last-heard vtime)
+  std::vector<std::pair<std::uint64_t, std::function<void()>>> wakers_;
+  std::uint64_t next_waker_ = 1;
+};
+
+}  // namespace tmpi::net
+
+#endif  // TMPI_NET_LIVENESS_H

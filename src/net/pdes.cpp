@@ -62,8 +62,7 @@ std::uint64_t PdesScheduler::run_shard(Shard& s) {
     {
       std::scoped_lock lk(s.q_mu);
       if (s.q.empty()) break;
-      item = std::move(s.q.front());
-      s.q.pop_front();
+      item = s.q.pop_front();
     }
     if (item.ticket != s.processed_ticket) {
       // A shard processed out of order would silently break the bit-exact

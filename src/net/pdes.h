@@ -5,10 +5,10 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "net/virtual_clock.h"
@@ -121,6 +121,41 @@ class PdesScheduler {
     std::uint64_t ticket = 0;
   };
 
+  /// Grow-only power-of-two FIFO ring of Items. A std::deque allocates (and
+  /// frees) map blocks as the queue churns, which shows up in the parallel
+  /// engine's steady-state allocation budget (alloc_steady_state_test); the
+  /// ring reaches its high-water capacity once and then recycles in place.
+  class ItemRing {
+   public:
+    [[nodiscard]] bool empty() const { return count_ == 0; }
+    void push_back(Item&& it) {
+      if (count_ == buf_.size()) grow();
+      buf_[(head_ + count_) & (buf_.size() - 1)] = std::move(it);
+      ++count_;
+    }
+    Item pop_front() {
+      Item it = std::move(buf_[head_]);
+      head_ = (head_ + 1) & (buf_.size() - 1);
+      --count_;
+      return it;
+    }
+
+   private:
+    void grow() {
+      const std::size_t cap = buf_.empty() ? 8 : buf_.size() * 2;
+      std::vector<Item> nb(cap);
+      for (std::size_t i = 0; i < count_; ++i) {
+        nb[i] = std::move(buf_[(head_ + i) & (buf_.size() - 1)]);
+      }
+      buf_ = std::move(nb);
+      head_ = 0;
+    }
+
+    std::vector<Item> buf_;
+    std::size_t head_ = 0;
+    std::size_t count_ = 0;
+  };
+
   /// One event-queue shard. `q_mu` guards the queue (brief, so enqueue never
   /// waits behind event processing); `proc_mu` is the delivery barrier — it
   /// is held across pop+run, so holders observe strict ticket order and a
@@ -128,7 +163,7 @@ class PdesScheduler {
   struct Shard {
     std::mutex proc_mu;
     std::mutex q_mu;
-    std::deque<Item> q;
+    ItemRing q;
     std::uint64_t next_ticket = 0;       ///< assigned at enqueue (under q_mu)
     std::uint64_t processed_ticket = 0;  ///< checked at run (under proc_mu)
     /// Enqueued-but-not-fully-processed count: the drain fast path.

@@ -71,6 +71,8 @@ struct ChannelStatsSnapshot {
   std::uint64_t overflows = 0;       ///< deposits rejected at the unexpected-queue hard cap
   std::uint64_t watchdog_trips = 0;  ///< blocked ops on this channel failed by the watchdog
   std::uint64_t unexpected_hwm = 0;  ///< unexpected-queue depth high-water mark
+  // Rank-failure layer (DESIGN.md §13); all zero unless a rank died.
+  std::uint64_t proc_failures = 0;   ///< ops on this channel failed with kProcFailed
   // Matching fast path (DESIGN.md §10); all zero in list mode.
   std::uint64_t bucket_hits = 0;          ///< exact-key bucket lookups that matched
   std::uint64_t bucket_misses = 0;        ///< exact-key bucket lookups that found nothing
@@ -109,6 +111,7 @@ class ChannelStats {
   void add_credit_stall() { credit_stalls_.fetch_add(1, std::memory_order_relaxed); }
   void add_overflow() { overflows_.fetch_add(1, std::memory_order_relaxed); }
   void add_watchdog_trip() { watchdog_trips_.fetch_add(1, std::memory_order_relaxed); }
+  void add_proc_failure() { proc_failures_.fetch_add(1, std::memory_order_relaxed); }
   void add_bucket_hit() { bucket_hits_.fetch_add(1, std::memory_order_relaxed); }
   void add_bucket_miss() { bucket_misses_.fetch_add(1, std::memory_order_relaxed); }
   void add_wildcard_fallback() {
@@ -144,6 +147,7 @@ class ChannelStats {
     s.overflows = overflows_.load(std::memory_order_relaxed);
     s.watchdog_trips = watchdog_trips_.load(std::memory_order_relaxed);
     s.unexpected_hwm = unexpected_hwm_.load(std::memory_order_relaxed);
+    s.proc_failures = proc_failures_.load(std::memory_order_relaxed);
     s.bucket_hits = bucket_hits_.load(std::memory_order_relaxed);
     s.bucket_misses = bucket_misses_.load(std::memory_order_relaxed);
     s.wildcard_fallbacks = wildcard_fallbacks_.load(std::memory_order_relaxed);
@@ -169,6 +173,7 @@ class ChannelStats {
   std::atomic<std::uint64_t> overflows_{0};
   std::atomic<std::uint64_t> watchdog_trips_{0};
   std::atomic<std::uint64_t> unexpected_hwm_{0};
+  std::atomic<std::uint64_t> proc_failures_{0};
   std::atomic<std::uint64_t> bucket_hits_{0};
   std::atomic<std::uint64_t> bucket_misses_{0};
   std::atomic<std::uint64_t> wildcard_fallbacks_{0};
@@ -219,6 +224,10 @@ struct NetStatsSnapshot {
   std::uint64_t watchdog_trips = 0;  ///< blocked ops failed by the progress watchdog
   std::uint64_t deadlocks = 0;       ///< wait-for-graph cycles the watchdog diagnosed
   std::uint64_t unexpected_hwm = 0;  ///< max unexpected-queue depth seen on any channel
+  // Rank-failure layer aggregates (DESIGN.md §13).
+  std::uint64_t proc_failures = 0;  ///< operations failed with kProcFailed
+  std::uint64_t revokes = 0;        ///< communicator revocations (explicit or auto)
+  std::uint64_t shrinks = 0;        ///< survivor communicators built by Comm::shrink()
   // Matching fast path aggregates (DESIGN.md §10).
   std::uint64_t bucket_hits = 0;         ///< exact-key bucket lookups that matched
   std::uint64_t bucket_misses = 0;       ///< exact-key bucket lookups that found nothing
@@ -254,6 +263,9 @@ struct NetStatsSnapshot {
     d.watchdog_trips = watchdog_trips - o.watchdog_trips;
     d.deadlocks = deadlocks - o.deadlocks;
     d.unexpected_hwm = unexpected_hwm;  // high-water mark passes through, not a delta
+    d.proc_failures = proc_failures - o.proc_failures;
+    d.revokes = revokes - o.revokes;
+    d.shrinks = shrinks - o.shrinks;
     d.bucket_hits = bucket_hits - o.bucket_hits;
     d.bucket_misses = bucket_misses - o.bucket_misses;
     d.wildcard_fallbacks = wildcard_fallbacks - o.wildcard_fallbacks;
@@ -285,6 +297,7 @@ struct NetStatsSnapshot {
         dc.credit_stalls -= b.credit_stalls;
         dc.overflows -= b.overflows;
         dc.watchdog_trips -= b.watchdog_trips;
+        dc.proc_failures -= b.proc_failures;
         dc.bucket_hits -= b.bucket_hits;
         dc.bucket_misses -= b.bucket_misses;
         dc.wildcard_fallbacks -= b.wildcard_fallbacks;
@@ -348,6 +361,9 @@ class NetStats {
   void add_overflow() { overflows_.fetch_add(1, std::memory_order_relaxed); }
   void add_watchdog_trip() { watchdog_trips_.fetch_add(1, std::memory_order_relaxed); }
   void add_deadlock() { deadlocks_.fetch_add(1, std::memory_order_relaxed); }
+  void add_proc_failure() { proc_failures_.fetch_add(1, std::memory_order_relaxed); }
+  void add_revoke() { revokes_.fetch_add(1, std::memory_order_relaxed); }
+  void add_shrink() { shrinks_.fetch_add(1, std::memory_order_relaxed); }
   void add_bucket_hit() { bucket_hits_.fetch_add(1, std::memory_order_relaxed); }
   void add_bucket_miss() { bucket_misses_.fetch_add(1, std::memory_order_relaxed); }
   void add_wildcard_fallback() {
@@ -402,6 +418,9 @@ class NetStats {
     s.watchdog_trips = watchdog_trips_.load(std::memory_order_relaxed);
     s.deadlocks = deadlocks_.load(std::memory_order_relaxed);
     s.unexpected_hwm = unexpected_hwm_.load(std::memory_order_relaxed);
+    s.proc_failures = proc_failures_.load(std::memory_order_relaxed);
+    s.revokes = revokes_.load(std::memory_order_relaxed);
+    s.shrinks = shrinks_.load(std::memory_order_relaxed);
     s.bucket_hits = bucket_hits_.load(std::memory_order_relaxed);
     s.bucket_misses = bucket_misses_.load(std::memory_order_relaxed);
     s.wildcard_fallbacks = wildcard_fallbacks_.load(std::memory_order_relaxed);
@@ -448,6 +467,9 @@ class NetStats {
   std::atomic<std::uint64_t> watchdog_trips_{0};
   std::atomic<std::uint64_t> deadlocks_{0};
   std::atomic<std::uint64_t> unexpected_hwm_{0};
+  std::atomic<std::uint64_t> proc_failures_{0};
+  std::atomic<std::uint64_t> revokes_{0};
+  std::atomic<std::uint64_t> shrinks_{0};
   std::atomic<std::uint64_t> bucket_hits_{0};
   std::atomic<std::uint64_t> bucket_misses_{0};
   std::atomic<std::uint64_t> wildcard_fallbacks_{0};

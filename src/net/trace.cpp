@@ -32,6 +32,7 @@ const char* to_string(TraceEv ev) {
     case TraceEv::kCreditStall: return "credit_stall";
     case TraceEv::kOverflow: return "overflow";
     case TraceEv::kWatchdogTrip: return "watchdog_trip";
+    case TraceEv::kRankDown: return "rank_down";
     case TraceEv::kUnexpectedDepth: return "unexpected_depth";
     case TraceEv::kCtxBacklog: return "ctx_backlog";
   }

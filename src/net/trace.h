@@ -76,6 +76,7 @@ enum class TraceEv : std::uint8_t {
   kCreditStall,     ///< eager send denied a credit
   kOverflow,        ///< deposit rejected at the unexpected-queue cap
   kWatchdogTrip,    ///< watchdog failed a blocked op
+  kRankDown,        ///< a rank was declared dead (value = dead world rank)
   // Sampled gauges (value = sample).
   kUnexpectedDepth,  ///< unexpected-queue depth after a deposit
   kCtxBacklog,       ///< ns the tx context was already busy at injection

@@ -1,5 +1,6 @@
 #include "tmpi/collectives.h"
 
+#include <cstdint>
 #include <cstring>
 #include <vector>
 
@@ -43,8 +44,44 @@ class CollGuard {
   std::uint64_t seq_ = 0;
 };
 
+/// RAII registration of collective fragments for revoke poisoning
+/// (DESIGN.md §13). Register before the wait: a revoke fired at any point in
+/// between fails the request with kProcFailed instead of leaving the waiter
+/// blocked on a peer that already abandoned the collective.
+class FragScope {
+ public:
+  FragScope(const Comm& comm, const Request& r)
+      : c_(comm.impl()), id_(c_->register_fragment(r.shared_state())) {}
+  ~FragScope() { c_->deregister_fragment(id_); }
+  FragScope(const FragScope&) = delete;
+  FragScope& operator=(const FragScope&) = delete;
+
+ private:
+  CommImpl* c_;
+  std::uint64_t id_;
+};
+
+/// FragScope over a growing request vector (gather/scatter fan-out sites).
+class FragSet {
+ public:
+  explicit FragSet(const Comm& comm) : c_(comm.impl()) {}
+  ~FragSet() {
+    for (const std::uint64_t id : ids_) c_->deregister_fragment(id);
+  }
+  FragSet(const FragSet&) = delete;
+  FragSet& operator=(const FragSet&) = delete;
+
+  void add(const Request& r) { ids_.push_back(c_->register_fragment(r.shared_state())); }
+
+ private:
+  CommImpl* c_;
+  std::vector<std::uint64_t> ids_;
+};
+
 void coll_send(const void* buf, std::size_t bytes, int dst, Tag tag, const Comm& comm) {
-  detail::isend_on_ctx(buf, bytes, comm.impl()->coll_ctx_id, dst, tag, comm).wait();
+  Request r = detail::isend_on_ctx(buf, bytes, comm.impl()->coll_ctx_id, dst, tag, comm);
+  FragScope fs(comm, r);
+  r.wait();
 }
 
 Request coll_irecv(void* buf, std::size_t bytes, int src, Tag tag, const Comm& comm) {
@@ -52,13 +89,17 @@ Request coll_irecv(void* buf, std::size_t bytes, int src, Tag tag, const Comm& c
 }
 
 void coll_recv(void* buf, std::size_t bytes, int src, Tag tag, const Comm& comm) {
-  coll_irecv(buf, bytes, src, tag, comm).wait();
+  Request r = coll_irecv(buf, bytes, src, tag, comm);
+  FragScope fs(comm, r);
+  r.wait();
 }
 
 void coll_sendrecv(const void* sbuf, std::size_t sbytes, int dst, void* rbuf, std::size_t rbytes,
                    int src, Tag tag, const Comm& comm) {
   Request rr = coll_irecv(rbuf, rbytes, src, tag, comm);
+  FragScope fr(comm, rr);
   Request sr = detail::isend_on_ctx(sbuf, sbytes, comm.impl()->coll_ctx_id, dst, tag, comm);
+  FragScope fs(comm, sr);
   sr.wait();
   rr.wait();
 }
@@ -183,16 +224,30 @@ struct CollTraceScope {
 template <typename Fn>
 Errc coll_entry(const Comm& comm, const char* name, Fn&& fn) {
   CollTraceScope scope(comm, name);
-  if (comm.impl()->errhandler != ErrorHandler::kErrorsReturn) {
-    fn();
-    scope.close(Errc::kSuccess);
-    return Errc::kSuccess;
+  CommImpl& ci = *comm.impl();
+  // A revoked communicator (DESIGN.md §13) fails new collectives at the
+  // door, before any fragment flows — survivors that were not yet in the
+  // collective observe the same kProcFailed the blocked ones got.
+  if (ci.revoked.load(std::memory_order_acquire)) {
+    scope.close(Errc::kProcFailed);
+    if (ci.errhandler == ErrorHandler::kErrorsReturn) return Errc::kProcFailed;
+    fail(Errc::kProcFailed, "collective on a revoked communicator");
   }
   try {
     fn();
   } catch (const Error& e) {
+    if (e.code() == Errc::kProcFailed) {
+      // Auto-revoke: one fragment hit a dead rank, so this collective can
+      // never complete anywhere. Latching the revoke poisons the sibling
+      // fragments still blocked on other ranks — every survivor uniformly
+      // observes kProcFailed instead of a split-brain hang.
+      if (ci.revoke_at(net::ThreadClock::get().now())) {
+        comm.world().fabric().stats().add_revoke();
+      }
+    }
     scope.close(e.code());
-    return e.code();
+    if (ci.errhandler == ErrorHandler::kErrorsReturn) return e.code();
+    throw;
   }
   scope.close(Errc::kSuccess);
   return Errc::kSuccess;
@@ -280,12 +335,14 @@ Errc gather(const void* sbuf, int scount, Datatype dt, void* rbuf, int root, con
       auto* out = static_cast<std::byte*>(rbuf);
       std::vector<Request> reqs;
       reqs.reserve(static_cast<std::size_t>(n - 1));
+      FragSet frags(comm);
       for (int r = 0; r < n; ++r) {
         if (r == root) {
           if (block > 0) std::memcpy(out + static_cast<std::size_t>(r) * block, sbuf, block);
         } else {
           reqs.push_back(detail::irecv_on_ctx(out + static_cast<std::size_t>(r) * block, block,
                                               comm.impl()->coll_ctx_id, r, g.tag(0), comm));
+          frags.add(reqs.back());
         }
       }
       wait_all(reqs.data(), reqs.size());
@@ -305,12 +362,14 @@ Errc scatter(const void* sbuf, void* rbuf, int rcount, Datatype dt, int root, co
       const auto* in = static_cast<const std::byte*>(sbuf);
       std::vector<Request> reqs;
       reqs.reserve(static_cast<std::size_t>(n - 1));
+      FragSet frags(comm);
       for (int r = 0; r < n; ++r) {
         if (r == root) {
           if (block > 0) std::memcpy(rbuf, in + static_cast<std::size_t>(r) * block, block);
         } else {
           reqs.push_back(detail::isend_on_ctx(in + static_cast<std::size_t>(r) * block, block,
                                               comm.impl()->coll_ctx_id, r, g.tag(0), comm));
+          frags.add(reqs.back());
         }
       }
       wait_all(reqs.data(), reqs.size());
@@ -421,6 +480,7 @@ Errc gatherv(const void* sbuf, int scount, Datatype dt, void* rbuf, const int* c
       auto* out = static_cast<std::byte*>(rbuf);
       std::vector<Request> reqs;
       reqs.reserve(static_cast<std::size_t>(n - 1));
+      FragSet frags(comm);
       for (int r = 0; r < n; ++r) {
         std::byte* dst = out + static_cast<std::size_t>(displs[r]) * dt.size();
         const std::size_t bytes = dt.extent(counts[r]);
@@ -430,6 +490,7 @@ Errc gatherv(const void* sbuf, int scount, Datatype dt, void* rbuf, const int* c
         } else {
           reqs.push_back(
               detail::irecv_on_ctx(dst, bytes, comm.impl()->coll_ctx_id, r, g.tag(0), comm));
+          frags.add(reqs.back());
         }
       }
       wait_all(reqs.data(), reqs.size());
@@ -450,6 +511,7 @@ Errc scatterv(const void* sbuf, const int* counts, const int* displs, void* rbuf
       const auto* in = static_cast<const std::byte*>(sbuf);
       std::vector<Request> reqs;
       reqs.reserve(static_cast<std::size_t>(n - 1));
+      FragSet frags(comm);
       for (int r = 0; r < n; ++r) {
         const std::byte* src = in + static_cast<std::size_t>(displs[r]) * dt.size();
         const std::size_t bytes = dt.extent(counts[r]);
@@ -459,6 +521,7 @@ Errc scatterv(const void* sbuf, const int* counts, const int* displs, void* rbuf
         } else {
           reqs.push_back(
               detail::isend_on_ctx(src, bytes, comm.impl()->coll_ctx_id, r, g.tag(0), comm));
+          frags.add(reqs.back());
         }
       }
       wait_all(reqs.data(), reqs.size());

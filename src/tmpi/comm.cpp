@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <numeric>
 
+#include "net/liveness.h"
 #include "tmpi/error.h"
+#include "tmpi/request.h"
 #include "tmpi/world.h"
 
 namespace tmpi {
@@ -58,6 +60,7 @@ void CommImpl::finalize_structure() {
     coll_seq[static_cast<std::size_t>(i)] = 0;
   }
   derive_seq.assign(static_cast<std::size_t>(n), 0);
+  ft_seq.assign(static_cast<std::size_t>(n), 0);
 
   leaders.clear();
   if (eps.regular() && eps.stride() == 1 && n > 0) {
@@ -248,6 +251,152 @@ void CommImpl::build_derivation(Pending& p) {
   }
 }
 
+std::uint64_t CommImpl::register_fragment(std::shared_ptr<ReqState> r) {
+  std::unique_lock lk(frag_mu);
+  const std::uint64_t id = next_frag++;
+  frags.emplace(id, r);
+  const bool rv = revoked.load(std::memory_order_acquire);
+  const net::Time rt = revoke_time;
+  lk.unlock();
+  if (rv) {
+    // Revoke raced this registration: its poisoning sweep may have missed
+    // the entry, so fail the fragment here — its peers already bailed out
+    // and a wait on it would hang forever. Failing at max(now, revoke_time)
+    // matches what the sweep would have charged, keeping the waiter's clock
+    // independent of which side won the race.
+    Status st;
+    st.source = -1;
+    const net::Time now = net::ThreadClock::bound() ? net::ThreadClock::get().now() : 0;
+    r->try_finish_error(std::max(now, rt), st, Errc::kProcFailed);
+  }
+  return id;
+}
+
+void CommImpl::deregister_fragment(std::uint64_t id) {
+  std::scoped_lock lk(frag_mu);
+  frags.erase(id);
+}
+
+bool CommImpl::revoke_at(net::Time t) {
+  // Copy under the lock, fail outside: try_finish_error takes request locks
+  // and wakes waiters, which must never nest inside frag_mu.
+  bool first = false;
+  net::Time rt = t;
+  std::vector<std::shared_ptr<ReqState>> to_fail;
+  {
+    std::scoped_lock lk(frag_mu);
+    first = !revoked.exchange(true, std::memory_order_acq_rel);
+    if (first) revoke_time = t;
+    rt = revoke_time;
+    to_fail.reserve(frags.size());
+    for (const auto& [id, r] : frags) to_fail.push_back(r);
+  }
+  Status st;
+  st.source = -1;
+  for (const auto& r : to_fail) r->try_finish_error(rt, st, Errc::kProcFailed);
+  return first;
+}
+
+CommImpl::FtPending& CommImpl::ft_join(FtOp op, int my_rank, std::uint32_t flag) {
+  net::Liveness& live = world->fabric().liveness();
+  // Death waker: a rank_down declared while this thread waits must wake it
+  // so the survivor-quorum predicate below re-evaluates. mark_dead invokes
+  // wakers outside the registry lock, so taking ft_mu here cannot deadlock.
+  const std::uint64_t waker = live.add_waker([this] {
+    std::scoped_lock wk(ft_mu);
+    ft_cv.notify_all();
+  });
+  struct WakerGuard {
+    net::Liveness& l;
+    std::uint64_t id;
+    ~WakerGuard() { l.remove_waker(id); }
+  } waker_guard{live, waker};
+
+  std::unique_lock lk(ft_mu);
+  const std::uint64_t seq = ft_seq.at(static_cast<std::size_t>(my_rank))++;
+  FtPending& p = ft_pending[seq];
+  if (p.arrived_flag.empty()) {
+    p.op = op;
+    p.arrived_flag.assign(static_cast<std::size_t>(size()), 0);
+    p.flags.assign(static_cast<std::size_t>(size()), ~0u);
+  }
+  if (p.poisoned || p.op != op) {
+    p.poisoned = true;
+    ft_cv.notify_all();
+    fail(Errc::kInvalidArg,
+         "mismatched fault-tolerant rendezvous (ranks mixed shrink and agree)");
+  }
+  p.arrived_flag[static_cast<std::size_t>(my_rank)] = 1;
+  p.flags[static_cast<std::size_t>(my_rank)] = flag;
+  for (;;) {
+    TMPI_REQUIRE(!p.poisoned, Errc::kInvalidArg,
+                 "mismatched fault-tolerant rendezvous (ranks mixed shrink and agree)");
+    if (p.built) break;
+    // Quorum check against the *current* survivor set: death is sticky, so
+    // the required set only shrinks, and whichever thread observes the last
+    // needed arrival (or death) builds.
+    bool all = true;
+    const int n = size();
+    for (int r = 0; r < n; ++r) {
+      if (p.arrived_flag[static_cast<std::size_t>(r)] == 0 &&
+          !live.is_dead(eps.world_rank_of(r))) {
+        all = false;
+        break;
+      }
+    }
+    if (all) {
+      build_ft(p);
+      p.built = true;
+      ft_cv.notify_all();
+      break;
+    }
+    ft_cv.wait(lk);
+  }
+  return p;
+}
+
+void CommImpl::build_ft(FtPending& p) {
+  // Runs under ft_mu in whichever thread completed the quorum.
+  net::Liveness& live = world->fabric().liveness();
+  const int n = size();
+  if (p.op == FtOp::kAgree) {
+    std::uint32_t v = ~0u;
+    for (int r = 0; r < n; ++r) {
+      if (p.arrived_flag[static_cast<std::size_t>(r)] != 0 &&
+          !live.is_dead(eps.world_rank_of(r))) {
+        v &= p.flags[static_cast<std::size_t>(r)];
+      }
+    }
+    p.agree_value = v;
+    return;
+  }
+  // kShrink: a fresh, un-revoked communicator over the survivors, in parent
+  // rank order (same construction as a split with one color group).
+  auto child = std::make_shared<CommImpl>();
+  child->world = world;
+  const int base = world->alloc_ctx_ids();
+  child->ctx_id = base;
+  child->coll_ctx_id = base + 1;
+  child->part_ctx_id = base + 2;
+  child->seq_no = world->next_comm_seq();
+  child->info = info;
+  p.child_rank.assign(static_cast<std::size_t>(n), -1);
+  for (int r = 0; r < n; ++r) {
+    if (live.is_dead(eps.world_rank_of(r))) continue;
+    p.child_rank[static_cast<std::size_t>(r)] = child->eps.size();
+    child->eps.push_back(eps.at(r));
+  }
+  child->is_endpoints = is_endpoints;
+  if (is_endpoints) {
+    child->policy = VciPolicyKind::kEndpoint;
+  } else {
+    configure_policy(*child);
+  }
+  child->finalize_structure();
+  p.child = child;
+  world->fabric().stats().add_shrink();
+}
+
 void configure_policy(CommImpl& c) {
   World& w = *c.world;
   c.allow_overtaking = c.info.get_bool("mpi_assert_allow_overtaking");
@@ -381,6 +530,25 @@ Comm Comm::split(int color, int key) const {
            p.result_rank[static_cast<std::size_t>(rank_)]);
   impl_->derive_consume(seq);
   return out;
+}
+
+void Comm::revoke() const {
+  const net::Time t = net::ThreadClock::bound() ? net::ThreadClock::get().now() : 0;
+  if (impl_->revoke_at(t)) world().fabric().stats().add_revoke();
+}
+
+Comm Comm::shrink() const {
+  auto& p = impl_->ft_join(detail::CommImpl::FtOp::kShrink, rank_, 0);
+  const int nr = p.child_rank[static_cast<std::size_t>(rank_)];
+  if (nr < 0) return Comm{};  // the caller's own rank was declared dead
+  return Comm(p.child, nr);
+}
+
+Errc Comm::agree(std::uint32_t* flag) const {
+  TMPI_REQUIRE(flag != nullptr, Errc::kInvalidArg, "agree flag must be non-null");
+  auto& p = impl_->ft_join(detail::CommImpl::FtOp::kAgree, rank_, *flag);
+  *flag = p.agree_value;
+  return Errc::kSuccess;
 }
 
 std::vector<Comm> Comm::create_endpoints(int my_num_ep, const Info& info) const {

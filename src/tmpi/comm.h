@@ -10,6 +10,7 @@
 #include <mutex>
 #include <vector>
 
+#include "net/virtual_clock.h"
 #include "tmpi/error.h"
 #include "tmpi/info.h"
 #include "tmpi/types.h"
@@ -51,6 +52,7 @@ const char* to_string(VciPolicyKind k);
 namespace detail {
 
 struct PartChannel;
+struct ReqState;
 
 /// Key identifying a partitioned channel within a communicator.
 struct PartKey {
@@ -236,6 +238,65 @@ struct CommImpl {
   /// depend on the RMA layer.
   static std::shared_ptr<void> (*build_window_hook)(CommImpl&, Pending&);
 
+  // ---- Rank-failure recovery (DESIGN.md §13) ------------------------------
+  /// Latched by Comm::revoke() (user) or the collective entry wrapper (auto,
+  /// on a caught kProcFailed): new user point-to-point traffic and new
+  /// collectives on this communicator fail immediately with kProcFailed.
+  /// Internal contexts (fragments of an already-running recovery) bypass it.
+  std::atomic<bool> revoked{false};
+  /// Virtual time of the first revocation (guarded by frag_mu). Fragments
+  /// whose registration races the revoke fail at max(now, revoke_time) — the
+  /// same clock a pre-registered fragment observes — so either interleaving
+  /// of the race leaves the waiter on an identical virtual time.
+  net::Time revoke_time = 0;
+
+  /// In-flight collective fragment requests. Revocation poisons every entry
+  /// with kProcFailed so survivors blocked mid-collective observe the
+  /// failure uniformly instead of waiting on a peer that already bailed out.
+  std::mutex frag_mu;
+  std::map<std::uint64_t, std::shared_ptr<ReqState>> frags;
+  std::uint64_t next_frag = 1;
+
+  /// Register / unregister one fragment for poisoning. A registration that
+  /// races an in-progress revoke fails the request immediately.
+  std::uint64_t register_fragment(std::shared_ptr<ReqState> r);
+  void deregister_fragment(std::uint64_t id);
+
+  /// Latch `revoked` and fail every registered fragment with kProcFailed at
+  /// virtual time `t`. Returns true on the first (counting) call.
+  bool revoke_at(net::Time t);
+
+  // ---- Fault-tolerant rendezvous (shrink / agree) -------------------------
+  /// Like the derivation rendezvous above, but quorum is the *survivor* set:
+  /// dead ranks never arrive, so completion waits for every live member and
+  /// re-evaluates on each death notification (liveness waker). Slots are
+  /// deliberately retained after completion — a rank declared dead mid-join
+  /// may still read its (empty) result later, and recovery events are rare
+  /// enough that the bounded leak beats a dangling reference.
+  enum class FtOp { kShrink, kAgree };
+  struct FtPending {
+    FtOp op = FtOp::kShrink;
+    bool built = false;
+    bool poisoned = false;  ///< ranks mixed shrink and agree on one slot
+    std::vector<char> arrived_flag;    ///< per parent comm rank
+    std::vector<std::uint32_t> flags;  ///< agree contributions
+    std::uint32_t agree_value = ~0u;
+    std::shared_ptr<CommImpl> child;   ///< shrink result
+    std::vector<int> child_rank;       ///< per parent rank; -1 = dead
+  };
+  std::mutex ft_mu;
+  std::condition_variable ft_cv;
+  std::map<std::uint64_t, FtPending> ft_pending;
+  std::vector<std::uint64_t> ft_seq;  ///< per comm rank
+
+  /// Join this rank's next fault-tolerant rendezvous; blocks until every
+  /// surviving member arrived, then the last arrival builds the result
+  /// (survivor communicator or agreed flag). Works on revoked communicators.
+  FtPending& ft_join(FtOp op, int my_rank, std::uint32_t flag);
+
+  /// Build the result of a fully-arrived ft rendezvous (under ft_mu).
+  void build_ft(FtPending& p);
+
   // ---- Partitioned channels ------------------------------------------------
   std::mutex part_mu;
   std::map<PartKey, std::shared_ptr<PartChannel>> channels;
@@ -306,6 +367,29 @@ class Comm {
   /// Collective; returns `my_num_ep` handles, each addressable as a distinct
   /// rank of the new communicator and backed by a dedicated VCI.
   [[nodiscard]] std::vector<Comm> create_endpoints(int my_num_ep, const Info& info = {}) const;
+
+  // ---- ULFM-style recovery (DESIGN.md §13) --------------------------------
+
+  /// MPIX_Comm_revoke: latch this communicator as revoked. New user p2p and
+  /// collectives fail with TMPI_ERR_PROC_FAILED; fragments of collectives
+  /// already in flight are poisoned so blocked survivors observe the same
+  /// code. Not collective — any single rank may revoke; the latch is sticky.
+  void revoke() const;
+
+  /// Has revoke() (explicit or automatic) fired on this communicator?
+  [[nodiscard]] bool is_revoked() const {
+    return impl_->revoked.load(std::memory_order_acquire);
+  }
+
+  /// MPIX_Comm_shrink: collective over the *surviving* members; returns a
+  /// fresh, un-revoked communicator containing them in parent rank order.
+  /// A caller whose rank was itself declared dead receives an invalid Comm.
+  [[nodiscard]] Comm shrink() const;
+
+  /// MPIX_Comm_agree: fault-tolerant consensus — bitwise AND of `*flag`
+  /// across surviving members; every survivor returns the same value. Works
+  /// on revoked communicators (it is the tool for deciding what to do next).
+  Errc agree(std::uint32_t* flag) const;
 
   [[nodiscard]] detail::CommImpl* impl() const { return impl_.get(); }
   [[nodiscard]] const std::shared_ptr<detail::CommImpl>& impl_shared() const { return impl_; }

@@ -114,6 +114,7 @@ const char* to_string(Errc code) {
     case Errc::kPartitionState: return "partitioned operation state error";
     case Errc::kTimeout: return "operation timed out";
     case Errc::kResourceExhausted: return "channel resources exhausted";
+    case Errc::kProcFailed: return "process failed";
     case Errc::kInternal: return "internal error";
   }
   return "?";

@@ -29,6 +29,7 @@ enum class Errc {
   kPartitionState,       ///< partitioned op used while inactive / double-ready
   kTimeout,              ///< retransmission budget exhausted under injected loss
   kResourceExhausted,    ///< bounded channel resources exhausted (DESIGN.md §8)
+  kProcFailed,           ///< peer process declared dead / comm revoked (DESIGN.md §13)
   kInternal,
 };
 
@@ -47,6 +48,7 @@ inline constexpr Errc TMPI_ERR_TRUNCATE = Errc::kTruncate;
 inline constexpr Errc TMPI_ERR_PART_STATE = Errc::kPartitionState;
 inline constexpr Errc TMPI_ERR_TIMEOUT = Errc::kTimeout;
 inline constexpr Errc TMPI_ERR_RESOURCE_EXHAUSTED = Errc::kResourceExhausted;
+inline constexpr Errc TMPI_ERR_PROC_FAILED = Errc::kProcFailed;
 inline constexpr Errc TMPI_ERR_INTERNAL = Errc::kInternal;
 
 /// MPI_Error_class-style integer round trip: every Errc maps to a stable

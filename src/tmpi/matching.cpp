@@ -269,4 +269,44 @@ void MatchingEngine::clear() {
   unexpected_.clear();
 }
 
+std::size_t MatchingEngine::purge_rank(int world_rank, net::Time death_time) {
+  std::size_t purged = 0;
+  for (auto* n = unexpected_.head(); n != nullptr;) {
+    auto* next = n->next;
+    if (n->item.src_world == world_rank) {
+      release_credit(n->item);
+      if (n->item.rendezvous && n->item.send_req) {
+        // The payload will never be pulled out of the dead-bound sender; its
+        // request learns the peer is gone instead of waiting for a CTS.
+        Status st;
+        st.source = n->item.src;
+        st.tag = n->item.tag;
+        st.bytes = 0;
+        n->item.send_req->try_finish_error(std::max(n->item.ready_time, death_time), st,
+                                           Errc::kProcFailed);
+      }
+      unexpected_.erase(n);
+      ++purged;
+    }
+    n = next;
+  }
+  for (auto* n = posted_.head(); n != nullptr;) {
+    auto* next = n->next;
+    if (n->item.src_world == world_rank) {
+      Status st;
+      st.source = n->item.src;
+      st.tag = n->item.tag;
+      st.bytes = 0;
+      if (n->item.req) {
+        n->item.req->try_finish_error(std::max(n->item.post_time, death_time), st,
+                                      Errc::kProcFailed);
+      }
+      posted_.erase(n);
+      ++purged;
+    }
+    n = next;
+  }
+  return purged;
+}
+
 }  // namespace tmpi::detail

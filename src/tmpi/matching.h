@@ -112,8 +112,10 @@ struct MatchKey {
 
 /// A message as it arrives at a target VCI.
 struct Envelope {
-  int ctx_id = 0;  ///< communicator matching context
-  int src = 0;     ///< comm rank of the sender
+  int ctx_id = 0;    ///< communicator matching context
+  int src = 0;       ///< comm rank of the sender
+  int src_world = -1;  ///< world rank of the sender (-1 = unknown; rank-failure
+                       ///< purge only, never consulted for matching)
   Tag tag = 0;
 
   std::size_t bytes = 0;
@@ -147,6 +149,8 @@ struct Envelope {
 struct PostedRecv {
   int ctx_id = 0;
   int src = kAnySource;  ///< comm rank or kAnySource
+  int src_world = -1;    ///< world rank of the awaited sender (-1 = wildcard or
+                         ///< unknown; rank-failure purge only)
   Tag tag = kAnyTag;     ///< tag or kAnyTag
 
   std::byte* buf = nullptr;
@@ -594,6 +598,14 @@ class MatchingEngine {
   /// before any Vci (and its slab pool) is destroyed, so cross-VCI payload
   /// migration from failover cannot dangle.
   void clear();
+
+  /// Rank-failure purge (DESIGN.md §13): drop every queued entry pinned to
+  /// dead `world_rank`. Unexpected messages from it release their credits and
+  /// fail the rendezvous sender's request; posted receives awaiting it fail
+  /// with kProcFailed at max(post/ready time, `death_time`). Wildcard posts
+  /// (src_world == -1) stay — another sender can still satisfy them. Caller
+  /// holds the owning VCI's lock. Returns the number of entries purged.
+  std::size_t purge_rank(int world_rank, net::Time death_time);
 
   [[nodiscard]] std::size_t posted_depth() const { return posted_.size(); }
   [[nodiscard]] std::size_t unexpected_depth() const { return unexpected_.size(); }

@@ -1,7 +1,9 @@
 #include "tmpi/p2p.h"
 
+#include <algorithm>
 #include <cstring>
 
+#include "net/liveness.h"
 #include "tmpi/error.h"
 #include "tmpi/matching.h"
 #include "tmpi/transport.h"
@@ -30,6 +32,23 @@ void validate_rank(const Comm& comm, int r, bool allow_any) {
 /// traffic, which never uses wildcards by construction.
 bool fastpath_ctx(const detail::CommImpl& c, int ctx_id) {
   return ctx_id == c.coll_ctx_id || (c.no_any_source && c.no_any_tag);
+}
+
+/// A revoked communicator fails all new user point-to-point traffic
+/// immediately with TMPI_ERR_PROC_FAILED (DESIGN.md §13), mirroring ULFM.
+/// Internal contexts (collective fragments, shrink/agree) bypass this via
+/// isend_on_ctx/irecv_on_ctx so recovery itself can still communicate.
+Request fail_revoked(const Comm& comm, ReqKind kind, int peer, Tag tag) {
+  auto req = detail::make_req_state();
+  req->kind = kind;
+  req->errors_return = comm.impl()->errhandler == ErrorHandler::kErrorsReturn;
+  comm.world().fabric().stats().add_proc_failure();
+  Status st;
+  st.source = peer;
+  st.tag = tag;
+  st.bytes = 0;
+  req->finish_error(net::ThreadClock::get().now(), st, Errc::kProcFailed);
+  return Request(req);
 }
 
 /// Common send path. `ctx_id` selects the matching context (user pt2p or an
@@ -126,6 +145,20 @@ Request isend_impl(const void* buf, std::size_t bytes, int ctx_id, int dst, Tag 
   op.tag = tag;
 
   const detail::InjectResult ir = w.transport().inject(op);
+  if (ir.proc_failed) {
+    // Dead endpoint (DESIGN.md §13): nothing reached the wire. The completion
+    // is pinned to max(now, death time) so serial and parallel execution
+    // observe the same clock regardless of when the verdict landed.
+    if (credit != nullptr) credit->fetch_add(1, std::memory_order_relaxed);
+    Status st;
+    st.source = comm.rank();
+    st.tag = tag;
+    st.bytes = 0;
+    const net::Time death = w.fabric().liveness().death_time(ir.dead_rank);
+    req->finish_error(std::max(net::ThreadClock::get().now(), death), st,
+                      Errc::kProcFailed);
+    return Request(req);
+  }
   if (ir.timed_out) {
     // Retransmission budget exhausted (DESIGN.md §7): nothing reached the
     // wire. The request fails with TMPI_ERR_TIMEOUT; under errors-are-fatal
@@ -144,6 +177,7 @@ Request isend_impl(const void* buf, std::size_t bytes, int ctx_id, int dst, Tag 
   Envelope env;
   env.ctx_id = ctx_id;
   env.src = comm.rank();
+  env.src_world = src_wr;
   env.tag = tag;
   env.bytes = bytes;
   env.fastpath = fastpath_ctx(c, ctx_id);
@@ -222,6 +256,7 @@ Request irecv_impl(void* buf, std::size_t capacity, int ctx_id, int src, Tag tag
   PostedRecv pr;
   pr.ctx_id = ctx_id;
   pr.src = src;
+  pr.src_world = src == kAnySource ? -1 : c.world_rank_of(src);
   pr.tag = tag;
   pr.buf = static_cast<std::byte*>(buf);
   pr.capacity = capacity;
@@ -242,6 +277,9 @@ Request isend(const void* buf, int count, Datatype dt, int dst, Tag tag, const C
   TMPI_REQUIRE(tag >= 0 && tag <= w.tag_ub(), Errc::kTagOverflow,
                "send tag exceeds tag_ub (Lesson 9)");
   detail::CallGuard guard(w.rank_state(comm.world_rank_of(comm.rank())), w.config().level);
+  if (comm.impl()->revoked.load(std::memory_order_acquire)) {
+    return fail_revoked(comm, ReqKind::kSend, comm.rank(), tag);
+  }
   return isend_impl(buf, dt.extent(count), comm.impl()->ctx_id, dst, tag, comm);
 }
 
@@ -253,6 +291,9 @@ Request irecv(void* buf, int count, Datatype dt, int src, Tag tag, const Comm& c
   TMPI_REQUIRE(tag == kAnyTag || (tag >= 0 && tag <= w.tag_ub()), Errc::kTagOverflow,
                "recv tag exceeds tag_ub (Lesson 9)");
   detail::CallGuard guard(w.rank_state(comm.world_rank_of(comm.rank())), w.config().level);
+  if (comm.impl()->revoked.load(std::memory_order_acquire)) {
+    return fail_revoked(comm, ReqKind::kRecv, src, tag);
+  }
   return irecv_impl(buf, dt.extent(count), comm.impl()->ctx_id, src, tag, comm);
 }
 
@@ -289,6 +330,26 @@ Status probe(int src, Tag tag, const Comm& comm) {
     detail::Vci& v = pool.at(pool.resolve(lvci));
     const std::uint64_t seen = v.deposit_count();
     if (iprobe(src, tag, comm, &st)) return st;
+    // A named peer that died can never deposit again (its pending traffic
+    // was purged, DESIGN.md §13): fail fast instead of sleeping forever.
+    if (src != kAnySource) {
+      net::Liveness& live = w.fabric().liveness();
+      const int src_wr = c.world_rank_of(src);
+      if (live.any_dead() && live.is_dead(src_wr)) {
+        auto& clk = net::ThreadClock::get();
+        const net::Time death = live.death_time(src_wr);
+        if (death > clk.now()) clk.advance_to(death);
+        w.fabric().stats().add_proc_failure();
+        if (c.errhandler == ErrorHandler::kErrorsReturn) {
+          st.source = src;
+          st.tag = tag;
+          st.bytes = 0;
+          st.err = Errc::kProcFailed;
+          return st;
+        }
+        fail(Errc::kProcFailed, "probe peer process failed");
+      }
+    }
     // Sleep until another message lands on this channel; no virtual-time
     // charge accumulates while waiting.
     v.wait_deposit_change(seen);

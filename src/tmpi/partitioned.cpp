@@ -325,6 +325,20 @@ Errc pready(int partition, Request& req) {
   op.tag = s->tag;
 
   const detail::InjectResult ir = w.transport().inject(op);
+  if (ir.proc_failed) {
+    // The receiving rank is dead (DESIGN.md §13): fail the whole partitioned
+    // send with TMPI_ERR_PROC_FAILED, pinned to max(now, death time) so both
+    // execution modes agree. try_finish: an earlier pready may have failed it.
+    Status st;
+    st.source = s->my_rank;
+    st.tag = s->tag;
+    st.bytes = 0;
+    const net::Time death = w.fabric().liveness().death_time(ir.dead_rank);
+    std::scoped_lock lk(s->chan->mu);
+    s->try_finish_error(std::max(clk.now(), death), st, Errc::kProcFailed);
+    s->chan->cv.notify_all();
+    return Errc::kProcFailed;
+  }
   if (ir.timed_out) {
     // The partition never reached the wire (DESIGN.md §7): fail the whole
     // partitioned send with TMPI_ERR_TIMEOUT rather than silently complete a
@@ -429,19 +443,47 @@ Errc await_partition(Request& req, int partition) {
     };
   }
   detail::BlockedScope watchdog_reg(r->wd, std::move(bop));
+  // Death waker (DESIGN.md §13): a rank_down declared while this thread
+  // sleeps on the channel cv must wake it so the dead-peer predicate below
+  // re-evaluates. Registered before the wait, removed on every exit path.
+  net::Liveness& live = w.fabric().liveness();
+  const int peer_wr = r->wd_peer;
+  const std::uint64_t waker = live.add_waker([chan = r->chan] {
+    std::scoped_lock wk(chan->mu);
+    chan->cv.notify_all();
+  });
+  struct WakerGuard {
+    net::Liveness& l;
+    std::uint64_t id;
+    ~WakerGuard() { l.remove_waker(id); }
+  } waker_guard{live, waker};
   {
     std::unique_lock lk(r->chan->mu);
     TMPI_REQUIRE(r->active, Errc::kPartitionState, "await_partition on an inactive request");
     r->chan->cv.wait(lk, [&] {
       if (r->arrived[static_cast<std::size_t>(partition)] != 0) return true;
+      if (live.any_dead() && live.is_dead(peer_wr)) return true;
       std::scoped_lock st_lk(r->mu);  // chan->mu -> req->mu, same as delivery
       return r->errored;
     });
     if (r->arrived[static_cast<std::size_t>(partition)] == 0) {
-      // The request failed (fault path or watchdog trip) and this partition
-      // will never arrive.
+      // The request failed (fault path, watchdog trip, or dead peer) and
+      // this partition will never arrive.
       Errc code = Errc::kTimeout;
       net::Time t = 0;
+      if (live.any_dead() && live.is_dead(peer_wr)) {
+        // The sender died: fail the whole receive at max(now, death time) —
+        // identical in both execution modes. try_finish: the transport-side
+        // purge may have beaten us to it.
+        Status st;
+        st.source = r->peer;
+        st.tag = r->tag;
+        st.bytes = 0;
+        const net::Time death = live.death_time(peer_wr);
+        if (r->try_finish_error(std::max(clk.now(), death), st, Errc::kProcFailed)) {
+          w.fabric().stats().add_proc_failure();
+        }
+      }
       {
         std::scoped_lock st_lk(r->mu);
         code = r->err;

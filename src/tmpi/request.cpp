@@ -138,6 +138,8 @@ namespace {
       fail(code, "operation timed out after exhausting retransmissions");
     case Errc::kResourceExhausted:
       fail(code, "destination channel rejected the message at its unexpected-queue cap");
+    case Errc::kProcFailed:
+      fail(code, "peer process failed or communicator revoked");
     default:
       fail(code, "receive buffer smaller than matched message");
   }

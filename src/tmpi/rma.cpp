@@ -190,6 +190,33 @@ IssueResult rma_issue(const Window& win_handle, const WindowImpl& w, const CommI
   }
 
   const detail::InjectResult ir = world.transport().inject(op);
+  // A dead endpoint (DESIGN.md §13) surfaces like a timeout but with
+  // TMPI_ERR_PROC_FAILED and a completion pinned to max(now, death time) so
+  // both execution modes observe the same clock. The target memory is never
+  // touched; inject() already counted the proc_failure.
+  if (ir.proc_failed) {
+    auto& clk = net::ThreadClock::get();
+    const net::Time death = world.fabric().liveness().death_time(ir.dead_rank);
+    if (death > clk.now()) clk.advance_to(death);
+    if (tr != nullptr) {
+      net::TraceEvent ev;
+      ev.ts = clk.now();
+      ev.kind = net::TraceEv::kError;
+      ev.op = net::TraceOp::kRma;
+      ev.span = r.span;
+      ev.name = "Rma";
+      ev.rank = op.src_world_rank;
+      ev.vci = lvci;
+      ev.peer = t.world_rank;
+      ev.value = static_cast<std::uint64_t>(errc_to_int(Errc::kProcFailed));
+      tr->record(ev);
+    }
+    if (c.errhandler == ErrorHandler::kErrorsReturn) {
+      r.err = Errc::kProcFailed;
+      return r;
+    }
+    fail(Errc::kProcFailed, "RMA target process failed");
+  }
   // RMA ops are synchronous at the issue site; a retransmission budget
   // exhausted here surfaces immediately as TMPI_ERR_TIMEOUT (DESIGN.md §7).
   // On an errors-return communicator (§8) the code comes back to the caller

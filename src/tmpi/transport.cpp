@@ -3,7 +3,9 @@
 #include <algorithm>
 
 #include "net/fault.h"
+#include "net/liveness.h"
 #include "net/pdes.h"
+#include "net/slab_pool.h"
 #include "tmpi/world.h"
 
 namespace tmpi::detail {
@@ -111,6 +113,15 @@ int fault_route(World& w, net::FaultInjector& fi, int rank, int vci, net::Virtua
                 std::uint64_t* opidx_out = nullptr) {
   const std::uint64_t opidx = fi.channel_op(rank, vci);
   if (opidx_out != nullptr) *opidx_out = opidx;
+  if (fi.plan().has_rank_down()) {
+    // Event-driven liveness (DESIGN.md §13): every counted channel op doubles
+    // as a heartbeat, and the op just counted may be the one that pushes
+    // `rank` past its rank_down trigger. No VCI lock is held here, so the
+    // failure propagation (queue purges, context down-marking) is safe.
+    net::Liveness& live = w.fabric().liveness();
+    if (!live.is_dead(rank)) live.beat(rank, clk.now());
+    if (fi.rank_down_due(rank)) w.on_rank_failure(rank, clk.now());
+  }
   if (fi.context_down_due(rank, vci, opidx)) fail_over_stream(w, rank, vci, clk);
   return w.rank_state(rank).vcis.resolve(vci);
 }
@@ -170,6 +181,33 @@ InjectResult Transport::inject(const OpDesc& op) {
   const int lvci = fault_route(w, *fi, op.src_world_rank, op.local_vci, clk, &opidx);
   r.vci_used = lvci;
   Vci& lv = me.vcis.at(lvci);
+
+  // Rank-failure fast-fail (DESIGN.md §13): an op touching a dead rank never
+  // reaches the wire. The op above still counted — death is part of the
+  // channel's deterministic stream — and the caller fails the request with
+  // kProcFailed at max(now, death time).
+  {
+    net::Liveness& live = w.fabric().liveness();
+    if (live.any_dead()) {
+      const int dead = live.is_dead(op.dst_world_rank)   ? op.dst_world_rank
+                       : live.is_dead(op.src_world_rank) ? op.src_world_rank
+                                                         : -1;
+      if (dead >= 0) {
+        r.proc_failed = true;
+        r.dead_rank = dead;
+        r.inject_done = clk.now();
+        r.arrival = 0;
+        stats->add_proc_failure();
+        if (lv.chstats() != nullptr) lv.chstats()->add_proc_failure();
+        if (tr != nullptr) {
+          net::TraceEvent e = trace_tx(op, net::TraceEv::kRankDown, clk.now(), lvci);
+          e.value = static_cast<std::uint64_t>(dead);
+          tr->record(e);
+        }
+        return r;
+      }
+    }
+  }
   pdes_drain_channel(w, me.node, lv);
 
   net::Time backoff = cm.retrans_backoff_ns;
@@ -256,7 +294,31 @@ class Transport::DeliveryEvent final : public net::PdesEvent {
     (void)t_->deliver_now(op_, std::move(env_), arrival_);
   }
 
+  // Parallel mode creates one DeliveryEvent per message; recycling them
+  // through a slab keeps steady-state traffic heap-free (the allocation
+  // budget alloc_steady_state_test pins in both execution modes). The class
+  // is final, so the sized deallocation always sees sizeof(DeliveryEvent).
+  static void* operator new(std::size_t n) {
+    const int cls = net::SlabPool::class_for(n);
+    return cls < 0 ? ::operator new(n) : static_cast<void*>(pool().get(cls));
+  }
+  static void operator delete(void* p, std::size_t n) noexcept {
+    const int cls = net::SlabPool::class_for(n);
+    if (cls < 0) {
+      ::operator delete(p);
+    } else {
+      pool().put(static_cast<std::byte*>(p), cls);
+    }
+  }
+
  private:
+  static net::SlabPool& pool() {
+    // Function-local static: shared by every World in the process, destroyed
+    // after all of them (events never outlive their scheduler's shutdown).
+    static net::SlabPool p;
+    return p;
+  }
+
   Transport* t_;
   OpDesc op_;
   Envelope env_;
@@ -294,6 +356,29 @@ bool Transport::deliver_now(const OpDesc& op, Envelope&& env, net::Time arrival)
   int rvci = op.remote_vci;
   if (net::FaultInjector* fi = w.fault_injector()) {
     rvci = fault_route(w, *fi, op.dst_world_rank, op.remote_vci, aclk);
+  }
+  {
+    // The destination died while this message was on the wire (possibly on
+    // this very delivery's op count): blackhole it. Credits go back — the
+    // channel no longer flow-controls anything — and a rendezvous sender
+    // learns the peer is gone instead of waiting forever for a CTS.
+    net::Liveness& live = w.fabric().liveness();
+    if (live.any_dead() && live.is_dead(op.dst_world_rank)) {
+      if (env.eager_credit != nullptr) {
+        env.eager_credit->fetch_add(1, std::memory_order_relaxed);
+        env.eager_credit = nullptr;
+      }
+      if (env.send_req) {
+        Status st;
+        st.source = env.src;
+        st.tag = env.tag;
+        st.bytes = 0;
+        env.send_req->try_finish_error(
+            std::max(arrival, live.death_time(op.dst_world_rank)), st, Errc::kProcFailed);
+      }
+      stats->add_proc_failure();
+      return true;
+    }
   }
   const std::size_t cap = static_cast<std::size_t>(w.overload().unexpected_cap);
   Vci& rv = w.rank_state(op.dst_world_rank).vcis.at(rvci);
@@ -406,8 +491,26 @@ void Transport::post_recv(int world_rank, int local_vci, PostedRecv pr) {
   pdes_drain_channel(w, st.node, v);
   const std::uint64_t span = pr.req != nullptr ? pr.req->trace_span : 0;
   const Tag tag = pr.tag;
+  const int src_world = pr.src_world;
   net::ContentionLock::Guard g(v.lock(), clk, cm, stats, v.chstats());
   v.engine().post_recv(std::move(pr), clk, cm, stats);
+  // Close the purge-vs-post race (DESIGN.md §13): if the named source died
+  // concurrently, the death-time purge may have walked this engine before the
+  // entry above landed. Death is sticky, so a re-purge under the same channel
+  // lock is exact — the entry fails with kProcFailed at max(post time, death
+  // time), identical to what the purge itself would have produced. Wildcard
+  // posts (src_world < 0) are never failed by rank death.
+  if (src_world >= 0) {
+    net::Liveness& live = w.fabric().liveness();
+    if (live.any_dead() && live.is_dead(src_world)) {
+      const std::size_t purged =
+          v.engine().purge_rank(src_world, live.death_time(src_world));
+      for (std::size_t i = 0; i < purged; ++i) {
+        stats->add_proc_failure();
+        if (v.chstats() != nullptr) v.chstats()->add_proc_failure();
+      }
+    }
+  }
   if (net::TraceRecorder* tr = w.tracer()) {
     net::TraceEvent e;
     e.ts = clk.now();

@@ -81,6 +81,10 @@ struct InjectResult {
   bool timed_out = false;     ///< retransmission budget exhausted; the op
                               ///< failed with TMPI_ERR_TIMEOUT and nothing
                               ///< arrives (`arrival` is meaningless)
+  bool proc_failed = false;   ///< src or dst rank is dead (DESIGN.md §13);
+                              ///< the op must fail with TMPI_ERR_PROC_FAILED
+                              ///< and nothing arrives
+  int dead_rank = -1;         ///< the dead world rank (proc_failed only)
   int attempts = 1;           ///< transmit attempts (1 = no retransmission)
   int vci_used = 0;           ///< local VCI that carried the op (!= the
                               ///< requested VCI after a failover)

@@ -198,6 +198,14 @@ class VciPool {
 
   [[nodiscard]] int size() const { return size_.load(std::memory_order_acquire); }
 
+  /// The VCI at `i` only if its heavy body is already built, else null.
+  /// Rank-failure propagation (DESIGN.md §13) walks materialized channels
+  /// without forcing idle ones into existence. The index must be < size().
+  [[nodiscard]] Vci* peek(int i) const {
+    Vci& v = slot(i);
+    return v.body_.load(std::memory_order_acquire) != nullptr ? &v : nullptr;
+  }
+
   /// Grow to at least `n` VCIs; returns the new size.
   int ensure(int n) {
     std::scoped_lock lk(writer_mu_);

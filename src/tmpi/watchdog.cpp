@@ -116,6 +116,16 @@ void ProgressWatchdog::scan_loop() {
       continue;
     }
     std::scoped_lock lk(mu_);
+    // Dead peers fail fast (DESIGN.md §13): no frozen-epoch grace — death is
+    // declared at an exact virtual time and is sticky, so an op blocked on a
+    // dead rank can be failed the moment the scan sees it.
+    if (!blocked_.empty() && w_->fabric().liveness().any_dead()) {
+      if (fail_dead_peers_locked() > 0) {
+        last_epoch = epoch_.load(std::memory_order_acquire);
+        frozen = 0;
+        continue;
+      }
+    }
     if (blocked_.empty() || ep != last_epoch) {
       last_epoch = ep;
       frozen = 0;
@@ -125,6 +135,57 @@ void ProgressWatchdog::scan_loop() {
     if (frozen < kCycleScans) continue;
     if (analyze_locked(frozen >= kStallScans)) frozen = 0;
   }
+}
+
+std::size_t ProgressWatchdog::fail_dead_peers_locked() {
+  net::Liveness& live = w_->fabric().liveness();
+  net::NetStats& stats = w_->fabric().stats();
+  net::TraceRecorder* tr = w_->tracer();
+  std::ostringstream report;
+  std::vector<std::uint64_t> failed_tokens;
+  for (const auto& [token, op] : blocked_) {
+    if (op.peer < 0 || !live.is_dead(op.peer)) continue;
+    const net::Time death = live.death_time(op.peer);
+    report << "  rank " << op.rank << " vci " << op.vci << ": " << op.opname << " tag " << op.tag
+           << " waiting on dead rank " << op.peer << " (declared dead at vtime " << death
+           << ", last heartbeat " << live.last_beat(op.peer) << ")\n";
+    Status st;
+    st.source = op.peer;
+    st.tag = op.tag;
+    st.bytes = 0;
+    // Deterministic failure time: the later of the wait's start and the
+    // peer's death — independent of when the real-time scan noticed.
+    if (op.req != nullptr &&
+        op.req->try_finish_error(std::max(op.block_vtime, death), st, Errc::kProcFailed)) {
+      trips_.fetch_add(1, std::memory_order_relaxed);
+      stats.add_proc_failure();
+      stats.channel(op.rank, op.vci).add_proc_failure();
+      if (tr != nullptr) {
+        net::TraceEvent ev;
+        ev.ts = std::max(op.block_vtime, death);
+        ev.kind = net::TraceEv::kWatchdogTrip;
+        ev.name = op.opname;
+        ev.rank = op.rank;
+        ev.vci = op.vci;
+        ev.peer = op.peer;
+        ev.tag = op.tag;
+        ev.value = static_cast<std::uint64_t>(op.peer);
+        tr->record(ev);
+      }
+    }
+    if (op.wake) op.wake();
+    failed_tokens.push_back(token);
+  }
+  if (failed_tokens.empty()) return 0;
+  for (const std::uint64_t t : failed_tokens) blocked_.erase(t);
+  std::ostringstream head;
+  head << "tmpi watchdog: " << failed_tokens.size()
+       << " operation(s) blocked on failed process(es):\n"
+       << report.str();
+  const std::string text = head.str();
+  std::fputs(text.c_str(), stderr);
+  reports_.push_back(text);
+  return failed_tokens.size();
 }
 
 bool ProgressWatchdog::analyze_locked(bool force_stall) {

@@ -118,6 +118,11 @@ class ProgressWatchdog {
   /// Caller holds mu_. Fails cycle members (or everything when
   /// `force_stall`). Returns true if it tripped.
   bool analyze_locked(bool force_stall);
+  /// Caller holds mu_. Fails every blocked op whose named peer is a dead
+  /// rank (DESIGN.md §13) with Errc::kProcFailed — no frozen-epoch grace:
+  /// a dead peer can never make progress, so waiting the budget out only
+  /// delays recovery. Returns the number of operations failed.
+  std::size_t fail_dead_peers_locked();
 
   World* w_;
   net::Time budget_ns_;

@@ -33,8 +33,15 @@ World::World(WorldConfig cfg) : cfg_(std::move(cfg)), states_(cfg_.nranks) {
   // The injector exists only when the plan can actually fire, so a fault-free
   // world pays nothing.
   net::FaultPlan plan;
-  for (const auto& [k, v] : cfg_.fault_info.entries()) plan.set(k, v);
-  plan = net::FaultPlan::from_env(std::move(plan));
+  try {
+    for (const auto& [k, v] : cfg_.fault_info.entries()) plan.set(k, v);
+    plan = net::FaultPlan::from_env(std::move(plan));
+  } catch (const std::invalid_argument& e) {
+    // Malformed fault specs are never silently ignored (DESIGN.md §7): the
+    // parser names the offending token/key and World construction surfaces
+    // it as the runtime's own invalid-argument error.
+    fail(Errc::kInvalidArg, e.what());
+  }
   if (plan.enabled()) fault_injector_ = std::make_unique<net::FaultInjector>(std::move(plan));
 
   // Overload layer (DESIGN.md §8): same Info-then-env layering as faults.
@@ -83,7 +90,11 @@ World::World(WorldConfig cfg) : cfg_(std::move(cfg)), states_(cfg_.nranks) {
     bool needs_sync = overload_.unexpected_cap > 0;
     if (fault_injector_ != nullptr) {
       for (const auto& ev : fault_injector_->plan().events) {
-        if (ev.ctx_down) needs_sync = true;
+        // ctx_down: failover redirects make the destination channel a
+        // function of delivery-time state. rank_down: death is declared at an
+        // exact index of the rank's aggregate op stream, and deferred
+        // deliveries would decouple that stream from program order.
+        if (ev.ctx_down || ev.rank_down) needs_sync = true;
       }
     }
     if (!needs_sync) {
@@ -147,6 +158,59 @@ net::NetStatsSnapshot World::snapshot() const {
 }
 
 int World::alloc_ctx_ids() { return next_ctx_.fetch_add(3, std::memory_order_relaxed); }
+
+void World::on_rank_failure(int rank, net::Time t) {
+  // Death is sticky: only the first declaration propagates. mark_dead also
+  // fires the liveness wakers (shrink/agree joins, partitioned awaits).
+  if (!fabric_->liveness().mark_dead(rank, t)) return;
+
+  net::NetStats* stats = &fabric_->stats();
+  if (tracer_ != nullptr) {
+    net::TraceEvent e;
+    e.ts = t;
+    e.kind = net::TraceEv::kRankDown;
+    e.rank = rank;
+    e.value = static_cast<std::uint64_t>(rank);
+    tracer_->record(e);
+  }
+
+  // The dead rank's NIC contexts go down with it (materialized ones only; an
+  // idle channel has nothing to mark).
+  if (detail::RankState* dead = states_.get(rank)) {
+    const int n = dead->vcis.size();
+    for (int i = 0; i < n; ++i) {
+      if (detail::Vci* v = dead->vcis.peek(i)) v->ctx().mark_down();
+    }
+  }
+
+  // Purge every materialized matching engine of traffic pinned to the dead
+  // rank: unexpected messages it sent release their flow-control credits and
+  // fail rendezvous senders; posted receives awaiting it fail with
+  // kProcFailed at max(post time, death time). A throwaway clock absorbs the
+  // lock charge and stats are not counted — the purge is a control action,
+  // not simulated traffic. The phantom deposit afterwards wakes blocking
+  // probes so their loops re-check liveness.
+  for (int r = 0; r < cfg_.nranks; ++r) {
+    detail::RankState* st = states_.get(r);
+    if (st == nullptr) continue;
+    const int nv = st->vcis.size();
+    for (int i = 0; i < nv; ++i) {
+      detail::Vci* v = st->vcis.peek(i);
+      if (v == nullptr) continue;
+      std::size_t purged = 0;
+      {
+        net::VirtualClock pclk(t);
+        net::ContentionLock::Guard g(v->lock(), pclk, cost(), nullptr, nullptr);
+        purged = v->engine().purge_rank(rank, t);
+      }
+      for (std::size_t k = 0; k < purged; ++k) {
+        stats->add_proc_failure();
+        if (v->chstats() != nullptr) v->chstats()->add_proc_failure();
+      }
+      v->note_deposit();
+    }
+  }
+}
 
 detail::RankState& World::materialize_rank_state(int r) {
   return states_.get_or_create(r, [this](int rank) {

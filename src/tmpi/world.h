@@ -239,6 +239,17 @@ class World {
   }
   /// Ranks whose state has been built (lazy-materialization telemetry).
   [[nodiscard]] int ranks_materialized() const { return states_.materialized(); }
+  /// This rank's state if already materialized, else null. Never builds one —
+  /// rank-failure propagation walks only live state (DESIGN.md §13).
+  [[nodiscard]] detail::RankState* rank_state_if_materialized(int r) const {
+    return r >= 0 && r < cfg_.nranks ? states_.get(r) : nullptr;
+  }
+  /// Rank-failure propagation (DESIGN.md §13): declare `rank` dead at virtual
+  /// time `t` (sticky; repeated calls are no-ops), mark its NIC contexts
+  /// down, purge every materialized matching engine of traffic pinned to it,
+  /// and wake blocked probes and recovery waits. Called from the transport's
+  /// fault path with no VCI lock held.
+  void on_rank_failure(int rank, net::Time t);
   /// Allocate a block of 3 context ids (pt2p, coll, part) for a new comm;
   /// returns the base id.
   int alloc_ctx_ids();

@@ -75,11 +75,12 @@ constexpr int kBytes = 64;
 
 /// Run warmup + measured eager ping-pong rounds on `comm`; returns the
 /// process-wide allocation count observed during rank 0's measured window.
-std::uint64_t measure_pingpong_allocs(bool hinted) {
-  // The zero-allocation claim is about the serial inline delivery path: the
-  // parallel engine allocates one delivery event per message (pooling those
-  // is an open ROADMAP item), so pin the engine regardless of ambient env.
-  twin::ScopedEnv pin_mode("TMPI_EXEC_MODE", "serial");
+/// The claim holds on BOTH engines: serial delivers inline, and the parallel
+/// engine's per-message delivery events come from a SlabPool while the
+/// scheduler shards run on pre-grown rings — warmup fills every pool the
+/// measured window can draw from.
+std::uint64_t measure_pingpong_allocs(bool hinted, const char* mode) {
+  twin::ScopedEnv pin_mode("TMPI_EXEC_MODE", mode);
   WorldConfig wc;
   wc.nranks = 2;
   wc.ranks_per_node = 1;
@@ -158,13 +159,25 @@ std::uint64_t measure_pingpong_allocs(bool hinted) {
 }
 
 TEST(AllocSteadyState, EagerPingPongIsAllocationFree) {
-  EXPECT_EQ(measure_pingpong_allocs(/*hinted=*/false), 0u)
+  EXPECT_EQ(measure_pingpong_allocs(/*hinted=*/false, "serial"), 0u)
       << "heap allocations leaked into the eager steady state (list path)";
 }
 
 TEST(AllocSteadyState, HintedBucketPingPongIsAllocationFree) {
-  EXPECT_EQ(measure_pingpong_allocs(/*hinted=*/true), 0u)
+  EXPECT_EQ(measure_pingpong_allocs(/*hinted=*/true, "serial"), 0u)
       << "heap allocations leaked into the eager steady state (bucket path)";
+}
+
+TEST(AllocSteadyState, ParallelEngineEagerPingPongIsAllocationFree) {
+  EXPECT_EQ(measure_pingpong_allocs(/*hinted=*/false, "parallel"), 0u)
+      << "heap allocations leaked into the parallel-engine eager steady state "
+         "(delivery-event pool or scheduler ring refilled mid-window)";
+}
+
+TEST(AllocSteadyState, ParallelEngineHintedBucketPingPongIsAllocationFree) {
+  EXPECT_EQ(measure_pingpong_allocs(/*hinted=*/true, "parallel"), 0u)
+      << "heap allocations leaked into the parallel-engine eager steady state "
+         "(bucket path)";
 }
 
 }  // namespace

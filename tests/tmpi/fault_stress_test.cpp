@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <cstring>
 #include <vector>
 
@@ -139,7 +140,13 @@ TEST(FaultStress, MixedTrafficUnderFivePercentDrop) {
   EXPECT_GT(s.drops, 0u) << "5% plan over this much traffic must fire";
   EXPECT_EQ(s.timeouts, 0u) << "12 retries must absorb 5% loss";
   EXPECT_EQ(s.corrupts, 0u);
-  EXPECT_EQ(s.delays, 0u);
+  // The chaos-smoke CI job overlays seeded random delays over the whole
+  // stress suite (env wins over Info, DESIGN.md §7); delays stretch virtual
+  // time but never cost a retransmission, so only the zero-count assertion
+  // is conditional.
+  if (std::getenv("TMPI_FAULT_DELAY_RATE") == nullptr) {
+    EXPECT_EQ(s.delays, 0u);
+  }
   EXPECT_EQ(s.failovers, 0u);
   // Conservation: every injected loss was recovered by exactly one
   // retransmission (nothing timed out, nothing double-counted).

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstring>
+#include <mutex>
+#include <thread>
 
 #include "net/cost_model.h"
 #include "net/stats.h"
@@ -165,6 +168,111 @@ TEST_F(MatchingTest, UnexpectedCountTracked) {
   eng.post_recv(r.posted(1, 0, 9), clk, cm, &stats);  // no match: posted
   eng.deposit(make_env(1, 0, 9, "v"), clk, cm, &stats);
   EXPECT_EQ(stats.snapshot().unexpected_messages, 1u);  // matched: not unexpected
+}
+
+// ---------------------------------------------------------------------------
+// Failover absorb vs the bounded unexpected queue (DESIGN.md §7 + §8).
+
+// absorb() is a failover migration, not new traffic: it must move every
+// entry even when the merge leaves the destination past its cap — dropping
+// queued messages on failover would lose traffic that flow control already
+// admitted. New deposits against the over-cap merged queue still bounce.
+TEST_F(MatchingTest, AbsorbMergesPastTheUnexpectedCap) {
+  constexpr std::size_t kCap = 2;
+  EXPECT_TRUE(eng.deposit(make_env(1, 0, 1, "a"), clk, cm, &stats, kCap));
+  EXPECT_TRUE(eng.deposit(make_env(1, 0, 2, "b"), clk, cm, &stats, kCap));
+  EXPECT_FALSE(eng.deposit(make_env(1, 0, 3, "c"), clk, cm, &stats, kCap));  // at cap
+  ASSERT_EQ(eng.unexpected_depth(), kCap);
+
+  MatchingEngine other;
+  EXPECT_TRUE(other.deposit(make_env(1, 0, 4, "d"), clk, cm, &stats, kCap));
+  eng.absorb(other);
+  EXPECT_EQ(eng.unexpected_depth(), 3u);  // over cap, nothing dropped
+  EXPECT_EQ(other.unexpected_depth(), 0u);
+
+  // The merged queue is over the cap: new traffic still bounces...
+  EXPECT_FALSE(eng.deposit(make_env(1, 0, 5, "e"), clk, cm, &stats, kCap));
+  // ...and every migrated message is still matchable.
+  for (const auto& [tag, payload] : {std::pair<Tag, const char*>{1, "a"}, {2, "b"}, {4, "d"}}) {
+    Recv r;
+    eng.post_recv(r.posted(1, 0, tag), clk, cm, &stats);
+    ASSERT_TRUE(r.req->complete) << "tag " << tag;
+    EXPECT_STREQ(r.buf, payload);
+  }
+  EXPECT_EQ(eng.unexpected_depth(), 0u);
+}
+
+// The documented best-effort failover race: an in-flight deposit that
+// resolved its VCI before the redirect was published lands in the absorbed-
+// from engine after absorb() ran. The entry is not lost — it sits in `from`
+// and the next absorb pass migrates it.
+TEST_F(MatchingTest, LateDepositAfterAbsorbIsRecoverableByNextPass) {
+  constexpr std::size_t kCap = 1;
+  MatchingEngine other;
+  EXPECT_TRUE(other.deposit(make_env(1, 0, 1, "first"), clk, cm, &stats, kCap));
+  eng.absorb(other);
+  ASSERT_EQ(other.unexpected_depth(), 0u);
+
+  // Late deposit lands in the already-drained source engine. The cap is
+  // per-engine, so the emptied queue admits it even though the absorbing
+  // engine holds migrated traffic.
+  EXPECT_TRUE(other.deposit(make_env(1, 0, 2, "late"), clk, cm, &stats, kCap));
+  eng.absorb(other);
+
+  for (const auto& [tag, payload] : {std::pair<Tag, const char*>{1, "first"}, {2, "late"}}) {
+    Recv r;
+    eng.post_recv(r.posted(1, 0, tag), clk, cm, &stats);
+    ASSERT_TRUE(r.req->complete) << "tag " << tag;
+    EXPECT_STREQ(r.buf, payload);
+  }
+}
+
+// Concurrent interleaving under the real lock discipline: a depositor thread
+// feeds `from` under its (stand-in) VCI lock at a small cap while absorb
+// passes hold both locks, exactly like failover migration under load. No
+// interleaving may lose or duplicate an accepted message, and accepted +
+// rejected must account for every send.
+TEST_F(MatchingTest, AbsorbRacingDepositsAtCapLosesNothing) {
+  constexpr int kMsgs = 64;
+  constexpr std::size_t kCap = 4;
+  MatchingEngine from;
+  std::mutex eng_mu;   // the absorbing VCI's ContentionLock stand-in
+  std::mutex from_mu;  // the failed VCI's ContentionLock stand-in
+  std::atomic<int> accepted{0};
+  std::atomic<int> rejected{0};
+
+  std::thread depositor([&] {
+    net::CostModel dcm;
+    net::NetStats dstats;
+    net::VirtualClock dclk;
+    for (int i = 0; i < kMsgs; ++i) {
+      std::scoped_lock lk(from_mu);
+      if (from.deposit(make_env(1, 0, 100 + i, "x"), dclk, dcm, &dstats, kCap)) {
+        accepted.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        rejected.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+  for (int pass = 0; pass < 16; ++pass) {
+    std::scoped_lock lk(eng_mu, from_mu);
+    eng.absorb(from);
+  }
+  depositor.join();
+  {
+    std::scoped_lock lk(eng_mu, from_mu);
+    eng.absorb(from);  // final sweep for deposits after the last racing pass
+  }
+
+  EXPECT_EQ(accepted.load() + rejected.load(), kMsgs);
+  EXPECT_EQ(eng.unexpected_depth(), static_cast<std::size_t>(accepted.load()));
+  int matched = 0;
+  for (int i = 0; i < kMsgs; ++i) {
+    Recv r;
+    eng.post_recv(r.posted(1, 0, 100 + i), clk, cm, &stats);
+    if (r.req->complete) ++matched;
+  }
+  EXPECT_EQ(matched, accepted.load());
 }
 
 }  // namespace

@@ -1,0 +1,601 @@
+// Rank-failure tolerance (DESIGN.md §13): ULFM-style detection, propagation,
+// and recovery on top of the fault fabric.
+//
+// The suite covers the full failure lifecycle:
+//   - the `rank_down@rank[:op]` fault-plan grammar (and its negative table),
+//   - event-driven death: the dying rank's own channel op past the trigger
+//     declares it dead at an exact virtual time,
+//   - fast-fail of new traffic touching the dead rank (send, recv, probe,
+//     RMA, partitioned) with Errc::kProcFailed,
+//   - watchdog naming of dead peers for ops already blocked,
+//   - revoke/shrink/agree recovery, and
+//   - the golden kill-and-shrink twin: the same seeded failure under
+//     TMPI_EXEC_MODE=serial and =parallel yields bit-identical virtual
+//     clocks, stats, and survivor payloads. (A rank_down plan forces the
+//     serial delivery engine in both modes — death must interleave exactly
+//     with delivery — so the twin here guards the mode plumbing and the
+//     recovery path's independence from host scheduling.)
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "net/fault.h"
+#include "net/liveness.h"
+#include "tmpi/tmpi.h"
+#include "twin_harness.h"
+
+namespace {
+
+using namespace tmpi;
+
+// ---------------------------------------------------------------------------
+// Grammar: rank_down@rank[:op] parses alongside the per-channel actions.
+
+TEST(RankDownPlan, ParsesRankDownEvents) {
+  net::FaultPlan p;
+  EXPECT_TRUE(p.set("tmpi_fault_plan", "rank_down@1;rank_down@2:7;drop@0:0:3"));
+  ASSERT_EQ(p.events.size(), 3u);
+  EXPECT_TRUE(p.events[0].rank_down);
+  EXPECT_EQ(p.events[0].rank, 1);
+  EXPECT_EQ(p.events[0].op, 0u);  // op defaults to 0: dies on its first op
+  EXPECT_TRUE(p.events[1].rank_down);
+  EXPECT_EQ(p.events[1].rank, 2);
+  EXPECT_EQ(p.events[1].op, 7u);
+  EXPECT_FALSE(p.events[2].rank_down);
+  EXPECT_TRUE(p.has_rank_down());
+
+  net::FaultPlan q;
+  EXPECT_TRUE(q.set("tmpi_fault_plan", "drop@0:0:3"));
+  EXPECT_FALSE(q.has_rank_down());
+}
+
+// Malformed specs must not be silently ignored: every bad token throws and
+// the message names the offending token so a typo in an env var is
+// diagnosable from the error alone.
+TEST(RankDownPlan, MalformedSpecsNameTheOffendingToken) {
+  struct Case {
+    const char* spec;     // the full plan string
+    const char* needle;   // substring the error must contain
+  };
+  const Case cases[] = {
+      {"rank_down@", "rank_down@"},              // empty rank
+      {"rank_down@x", "rank_down@x"},            // non-numeric rank
+      {"rank_down@1:", "rank_down@1:"},          // empty op
+      {"rank_down@1:zzz", "rank_down@1:zzz"},    // non-numeric op
+      {"rank_down@1:2:3", "rank_down@1:2:3"},    // too many fields
+      {"rank_down1:0", "rank_down1:0"},          // missing '@'
+      {"@1:0:0", "@1:0:0"},                      // empty action
+      {"explode@0:0:0", "explode"},              // unknown action
+      {"drop@0:0", "drop@0:0"},                  // per-channel action, missing op
+      {"drop@0:0:0:0", "drop@0:0:0:0"},          // too many fields
+      {"drop@0:0:0;rank_down@", "rank_down@"},   // bad token after a good one
+  };
+  for (const Case& c : cases) {
+    net::FaultPlan p;
+    try {
+      p.set("tmpi_fault_plan", c.spec);
+      FAIL() << "spec '" << c.spec << "' did not throw";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(c.needle), std::string::npos)
+          << "spec '" << c.spec << "' error does not name the token: " << e.what();
+    }
+  }
+}
+
+// Malformed scalar keys get the same treatment.
+TEST(RankDownPlan, MalformedScalarsNameTheValue) {
+  net::FaultPlan p;
+  try {
+    p.set("tmpi_fault_drop_rate", "banana");
+    FAIL() << "bad drop rate did not throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("banana"), std::string::npos) << e.what();
+  }
+}
+
+// World construction surfaces a bad plan as Errc::kInvalidArg (not a raw
+// std::invalid_argument escaping through the constructor), still naming the
+// offending token.
+TEST(RankDownPlan, WorldSurfacesParseErrorsAsInvalidArg) {
+  WorldConfig wc = twin::two_node_config();
+  wc.fault_info.set("tmpi_fault_plan", "rank_down@oops");
+  try {
+    World world(wc);
+    FAIL() << "bad plan did not throw";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), Errc::kInvalidArg);
+    EXPECT_NE(std::string(e.what()).find("rank_down@oops"), std::string::npos) << e.what();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Detection + fast-fail: the dying rank's own op past the trigger kills it;
+// everything touching it afterwards fails with kProcFailed, not kTimeout.
+
+TEST(Recovery, DyingRankObservesItsOwnDeath) {
+  WorldConfig wc = twin::two_node_config();
+  wc.fault_info.set("tmpi_fault_plan", "rank_down@1:1");
+  World world(wc);
+  Comm(world.world_comm_impl(), 0).set_errhandler(ErrorHandler::kErrorsReturn);
+
+  std::array<std::byte, 8> buf{};
+  Errc first = Errc::kSuccess;
+  Errc second = Errc::kSuccess;
+  world.run([&](Rank& rank) {
+    if (rank.rank() == 1) {
+      first = isend(buf.data(), 8, kByte, 0, 7, rank.world_comm()).wait().err;
+      second = isend(buf.data(), 8, kByte, 0, 8, rank.world_comm()).wait().err;
+    } else {
+      Status st = irecv(buf.data(), 8, kByte, 1, 7, rank.world_comm()).wait();
+      EXPECT_EQ(st.err, Errc::kSuccess);
+      EXPECT_EQ(st.bytes, 8u);
+    }
+  });
+
+  EXPECT_EQ(first, Errc::kSuccess);      // op 0: still alive
+  EXPECT_EQ(second, Errc::kProcFailed);  // op 1: trips rank_down@1:1
+  EXPECT_TRUE(world.fabric().liveness().is_dead(1));
+  EXPECT_FALSE(world.fabric().liveness().is_dead(0));
+  EXPECT_GT(world.fabric().liveness().death_time(1), 0u);
+
+  const net::NetStatsSnapshot s = world.snapshot();
+  EXPECT_GE(s.proc_failures, 1u);
+  EXPECT_EQ(s.timeouts, 0u);  // death is kProcFailed, never a generic timeout
+}
+
+TEST(Recovery, TrafficTouchingDeadRankFailsFast) {
+  WorldConfig wc = twin::two_node_config();
+  wc.fault_info.set("tmpi_fault_plan", "rank_down@1:0");
+  World world(wc);
+  Comm(world.world_comm_impl(), 0).set_errhandler(ErrorHandler::kErrorsReturn);
+
+  std::array<std::byte, 8> buf{};
+  // Phase 1: rank 1 kills itself with its first send.
+  world.run([&](Rank& rank) {
+    if (rank.rank() == 1) {
+      EXPECT_EQ(isend(buf.data(), 8, kByte, 0, 7, rank.world_comm()).wait().err,
+                Errc::kProcFailed);
+    }
+  });
+  ASSERT_TRUE(world.fabric().liveness().is_dead(1));
+
+  // Phase 2: every op naming the dead rank fails immediately with
+  // kProcFailed — send at inject, recv at post, probe in its wait loop.
+  world.run([&](Rank& rank) {
+    if (rank.rank() != 0) return;
+    EXPECT_EQ(isend(buf.data(), 8, kByte, 1, 7, rank.world_comm()).wait().err,
+              Errc::kProcFailed);
+    EXPECT_EQ(irecv(buf.data(), 8, kByte, 1, 7, rank.world_comm()).wait().err,
+              Errc::kProcFailed);
+    Status st = probe(1, 7, rank.world_comm());
+    EXPECT_EQ(st.err, Errc::kProcFailed);
+  });
+
+  const net::NetStatsSnapshot s = world.snapshot();
+  EXPECT_GE(s.proc_failures, 4u);
+  EXPECT_EQ(s.timeouts, 0u);
+}
+
+TEST(Recovery, RmaToDeadTargetFailsFast) {
+  WorldConfig wc = twin::two_node_config();
+  wc.fault_info.set("tmpi_fault_plan", "rank_down@1:0");
+  World world(wc);
+  Comm(world.world_comm_impl(), 0).set_errhandler(ErrorHandler::kErrorsReturn);
+
+  std::array<std::byte, 64> heap{};
+  std::array<std::byte, 8> buf{};
+  // Phase 1: create the window while both ranks are alive. Window creation
+  // is a host-side rendezvous — no channel ops, so the plan cannot fire yet.
+  std::array<Window, 2> wins;
+  world.run([&](Rank& rank) {
+    wins[static_cast<std::size_t>(rank.rank())] =
+        Window::create(heap.data(), heap.size(), rank.world_comm());
+  });
+  // Phase 2: rank 1 dies on its first channel op.
+  world.run([&](Rank& rank) {
+    if (rank.rank() == 1) {
+      EXPECT_EQ(isend(buf.data(), 8, kByte, 0, 7, rank.world_comm()).wait().err,
+                Errc::kProcFailed);
+    }
+  });
+  ASSERT_TRUE(world.fabric().liveness().is_dead(1));
+  // Phase 3: one-sided ops against the dead target fail fast.
+  world.run([&](Rank& rank) {
+    if (rank.rank() == 0) {
+      Window& win = wins[0];
+      EXPECT_EQ(win.put(buf.data(), 8, kByte, 1, 0), Errc::kProcFailed);
+      EXPECT_EQ(win.get(buf.data(), 8, kByte, 1, 0), Errc::kProcFailed);
+    }
+  });
+}
+
+TEST(Recovery, PartitionedAwaitOnDeadPeerFails) {
+  WorldConfig wc = twin::two_node_config();
+  wc.fault_info.set("tmpi_fault_plan", "rank_down@1:0");
+  World world(wc);
+  Comm(world.world_comm_impl(), 0).set_errhandler(ErrorHandler::kErrorsReturn);
+
+  std::array<std::byte, 64> rbuf{};
+  std::array<std::byte, 8> small{};
+  // Phase 1: rank 0 activates a partitioned receive from rank 1 while both
+  // are alive; rank 1 dies without contributing a single partition.
+  Request prx;
+  world.run([&](Rank& rank) {
+    if (rank.rank() == 0) {
+      prx = precv_init(rbuf.data(), 4, 16, kByte, 1, 9, rank.world_comm());
+      start(prx);
+    } else {
+      EXPECT_EQ(isend(small.data(), 8, kByte, 0, 7, rank.world_comm()).wait().err,
+                Errc::kProcFailed);
+    }
+  });
+  ASSERT_TRUE(world.fabric().liveness().is_dead(1));
+
+  // Phase 2: awaiting any partition observes the death instead of hanging.
+  world.run([&](Rank& rank) {
+    if (rank.rank() == 0) {
+      EXPECT_EQ(await_partition(prx, 0), Errc::kProcFailed);
+    }
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Watchdog: an op already blocked when its peer dies — here a rendezvous
+// send whose receiver never matched — is failed by the scan with
+// kProcFailed, and the report names the dead rank and its death time.
+
+TEST(Recovery, WatchdogNamesDeadPeer) {
+  WorldConfig wc = twin::two_node_config();
+  wc.fault_info.set("tmpi_fault_plan", "rank_down@1:1");
+  wc.overload_info.set("tmpi_watchdog_ns", 1000000);
+  World world(wc);
+  ASSERT_NE(world.watchdog(), nullptr);
+  Comm(world.world_comm_impl(), 0).set_errhandler(ErrorHandler::kErrorsReturn);
+
+  // Rendezvous-sized payload: the send blocks until the receiver matches.
+  std::vector<std::byte> big(70 * 1024, std::byte{0x5a});
+  std::array<std::byte, 8> small{};
+  Request pending;
+  // Phase 1: rank 0 issues the rendezvous send (rank 1 still alive, so it is
+  // accepted, not fast-failed) but does not wait yet.
+  world.run([&](Rank& rank) {
+    if (rank.rank() == 0) {
+      pending = isend(big.data(), big.size(), kByte, 1, 7, rank.world_comm());
+    }
+  });
+  // Phase 2: rank 1 dies without ever posting the matching receive.
+  world.run([&](Rank& rank) {
+    if (rank.rank() == 1) {
+      (void)isend(small.data(), 8, kByte, 0, 8, rank.world_comm()).wait();
+      EXPECT_EQ(isend(small.data(), 8, kByte, 0, 9, rank.world_comm()).wait().err,
+                Errc::kProcFailed);
+    }
+  });
+  ASSERT_TRUE(world.fabric().liveness().is_dead(1));
+
+  // Phase 3: the blocked wait is failed by the watchdog's dead-peer pass.
+  world.run([&](Rank& rank) {
+    if (rank.rank() == 0) {
+      const net::Time death = world.fabric().liveness().death_time(1);
+      Status st = pending.wait();
+      EXPECT_EQ(st.err, Errc::kProcFailed);
+      // Deterministic failure time: at least the death time, regardless of
+      // when the real-time scan noticed.
+      EXPECT_GE(net::ThreadClock::get().now(), death);
+    }
+  });
+
+  const std::vector<std::string> reports = world.watchdog()->reports();
+  ASSERT_FALSE(reports.empty());
+  bool named = false;
+  for (const std::string& r : reports) {
+    if (r.find("blocked on failed process") != std::string::npos &&
+        r.find("waiting on dead rank 1") != std::string::npos &&
+        r.find("declared dead at vtime") != std::string::npos) {
+      named = true;
+    }
+  }
+  EXPECT_TRUE(named) << "no watchdog report names the dead rank; got: "
+                     << (reports.empty() ? "<none>" : reports[0]);
+}
+
+// ---------------------------------------------------------------------------
+// Revocation: explicit revoke() poisons the communicator everywhere — new
+// p2p fails at entry, collectives fail uniformly at the door — while agree
+// and shrink still run on it.
+
+TEST(Recovery, RevokePoisonsP2pAndCollectivesUniformly) {
+  WorldConfig wc = twin::two_node_config();
+  World world(wc);
+  Comm(world.world_comm_impl(), 0).set_errhandler(ErrorHandler::kErrorsReturn);
+
+  std::array<std::byte, 8> buf{};
+  // Phase 1: healthy traffic completes while the comm is intact.
+  world.run([&](Rank& rank) {
+    if (rank.rank() == 0) {
+      EXPECT_EQ(isend(buf.data(), 8, kByte, 1, 5, rank.world_comm()).wait().err,
+                Errc::kSuccess);
+      EXPECT_FALSE(rank.world_comm().is_revoked());
+    } else {
+      EXPECT_EQ(irecv(buf.data(), 8, kByte, 0, 5, rank.world_comm()).wait().err,
+                Errc::kSuccess);
+    }
+  });
+  // Phase 1b (own phase, so the revoke cannot race phase 1's receive):
+  // rank 0 revokes.
+  world.run([&](Rank& rank) {
+    if (rank.rank() == 0) {
+      rank.world_comm().revoke();
+      EXPECT_TRUE(rank.world_comm().is_revoked());
+    }
+  });
+
+  // Phase 2: both ranks see the revocation — uniformly, with no traffic.
+  std::array<Errc, 2> coll{};
+  world.run([&](Rank& rank) {
+    const auto r = static_cast<std::size_t>(rank.rank());
+    EXPECT_TRUE(rank.world_comm().is_revoked());
+    EXPECT_EQ(isend(buf.data(), 8, kByte, 1 - rank.rank(), 5, rank.world_comm()).wait().err,
+              Errc::kProcFailed);
+    EXPECT_EQ(irecv(buf.data(), 8, kByte, 1 - rank.rank(), 5, rank.world_comm()).wait().err,
+              Errc::kProcFailed);
+    double in = 1.0;
+    double out = 0.0;
+    coll[r] = allreduce(&in, &out, 1, kDouble, Op::kSum, rank.world_comm());
+  });
+  EXPECT_EQ(coll[0], Errc::kProcFailed);
+  EXPECT_EQ(coll[1], Errc::kProcFailed);
+
+  // Phase 3: agreement still works on the revoked comm (that is its job),
+  // and shrink with no dead ranks rebuilds a full-size, un-revoked comm.
+  world.run([&](Rank& rank) {
+    std::uint32_t flag = rank.rank() == 0 ? 0b1011u : 0b1110u;
+    EXPECT_EQ(rank.world_comm().agree(&flag), Errc::kSuccess);
+    EXPECT_EQ(flag, 0b1010u);
+
+    Comm fresh = rank.world_comm().shrink();
+    ASSERT_TRUE(fresh.valid());
+    EXPECT_EQ(fresh.size(), 2);
+    EXPECT_EQ(fresh.rank(), rank.rank());
+    EXPECT_FALSE(fresh.is_revoked());
+    if (rank.rank() == 0) {
+      EXPECT_EQ(isend(buf.data(), 8, kByte, 1, 6, fresh).wait().err, Errc::kSuccess);
+    } else {
+      EXPECT_EQ(irecv(buf.data(), 8, kByte, 0, 6, fresh).wait().err, Errc::kSuccess);
+    }
+  });
+
+  const net::NetStatsSnapshot s = world.snapshot();
+  EXPECT_EQ(s.revokes, 1u);
+  EXPECT_EQ(s.shrinks, 1u);
+}
+
+// A collective that hits a dead rank mid-flight auto-revokes the
+// communicator, so the failure is observed by everyone rather than only by
+// the rank whose fragment died (no split-brain).
+TEST(Recovery, DeathMidCollectiveAutoRevokes) {
+  WorldConfig wc = twin::two_node_config();
+  wc.fault_info.set("tmpi_fault_plan", "rank_down@1:0");
+  World world(wc);
+  Comm(world.world_comm_impl(), 0).set_errhandler(ErrorHandler::kErrorsReturn);
+
+  std::array<std::byte, 8> buf{};
+  world.run([&](Rank& rank) {
+    if (rank.rank() == 1) {
+      EXPECT_EQ(isend(buf.data(), 8, kByte, 0, 7, rank.world_comm()).wait().err,
+                Errc::kProcFailed);
+    }
+  });
+  ASSERT_TRUE(world.fabric().liveness().is_dead(1));
+
+  world.run([&](Rank& rank) {
+    if (rank.rank() != 0) return;
+    EXPECT_FALSE(rank.world_comm().is_revoked());
+    double in = 1.0;
+    double out = 0.0;
+    EXPECT_EQ(allreduce(&in, &out, 1, kDouble, Op::kSum, rank.world_comm()),
+              Errc::kProcFailed);
+    // The caught fragment failure revoked the comm for every surviving rank.
+    EXPECT_TRUE(rank.world_comm().is_revoked());
+  });
+
+  const net::NetStatsSnapshot s = world.snapshot();
+  EXPECT_EQ(s.revokes, 1u);
+}
+
+// Mixing shrink and agree in the same rendezvous is a program error: the
+// mismatch poisons the join and both callers get kInvalidArg instead of a
+// silent wrong answer or a hang.
+TEST(Recovery, MismatchedFtRendezvousIsPoisoned) {
+  WorldConfig wc = twin::two_node_config();
+  World world(wc);
+  Comm(world.world_comm_impl(), 0).set_errhandler(ErrorHandler::kErrorsReturn);
+
+  std::array<Errc, 2> got{Errc::kSuccess, Errc::kSuccess};
+  world.run([&](Rank& rank) {
+    const auto r = static_cast<std::size_t>(rank.rank());
+    try {
+      if (rank.rank() == 0) {
+        std::uint32_t flag = 1;
+        got[r] = rank.world_comm().agree(&flag);
+      } else {
+        Comm c = rank.world_comm().shrink();
+        got[r] = c.valid() ? Errc::kSuccess : Errc::kProcFailed;
+      }
+    } catch (const Error& e) {
+      got[r] = e.code();
+    }
+  });
+  EXPECT_EQ(got[0], Errc::kInvalidArg);
+  EXPECT_EQ(got[1], Errc::kInvalidArg);
+}
+
+// ---------------------------------------------------------------------------
+// The golden kill-and-shrink twin (ISSUE acceptance): a seeded rank_down
+// mid-workload produces bit-identical virtual clocks, proc_failure counters,
+// and survivor payloads under TMPI_EXEC_MODE=serial and =parallel, all
+// survivors observe kProcFailed on the poisoned collective, and the
+// shrunken communicator finishes the workload.
+
+struct KillShrinkResult {
+  tmpi::net::NetStatsSnapshot snap;
+  std::array<net::Time, 3> clocks{};
+  net::Time death = 0;
+  std::array<Errc, 2> coll{};
+  std::array<std::uint32_t, 2> agreed{};
+  std::array<std::array<char, 8>, 2> payload{};
+  int shrunk_size = 0;
+};
+
+KillShrinkResult run_kill_and_shrink(const char* mode) {
+  twin::ScopedEnv pin_mode("TMPI_EXEC_MODE", mode);
+  KillShrinkResult res;
+
+  WorldConfig wc;
+  wc.nranks = 3;
+  wc.ranks_per_node = 1;
+  wc.num_vcis = 1;
+  // Rank 2 dies on its second channel op, mid-workload.
+  wc.fault_info.set("tmpi_fault_plan", "rank_down@2:1");
+  World world(wc);
+  Comm(world.world_comm_impl(), 0).set_errhandler(ErrorHandler::kErrorsReturn);
+
+  std::array<char, 8> buf{};
+  // Phase 1a — rank 0 posts its receive first (phase-ordered so the twin
+  // runs agree on posted-first matching: no host-scheduling race between
+  // the post and rank 2's deposit).
+  Request r7;
+  world.run([&](Rank& rank) {
+    if (rank.rank() == 0) {
+      r7 = irecv(buf.data(), buf.size(), kByte, 2, 7, rank.world_comm());
+    }
+  });
+  // Phase 1b — the kill: rank 2's first message lands, its second trips the
+  // plan; the sender itself observes kProcFailed.
+  world.run([&](Rank& rank) {
+    std::array<char, 8> msg{'a', 'l', 'i', 'v', 'e', 0, 0, 0};
+    if (rank.rank() == 2) {
+      EXPECT_EQ(isend(msg.data(), msg.size(), kByte, 0, 7, rank.world_comm()).wait().err,
+                Errc::kSuccess);
+      EXPECT_EQ(isend(msg.data(), msg.size(), kByte, 0, 8, rank.world_comm()).wait().err,
+                Errc::kProcFailed);
+    } else if (rank.rank() == 0) {
+      Status st = r7.wait();
+      EXPECT_EQ(st.err, Errc::kSuccess);
+      EXPECT_EQ(st.bytes, msg.size());
+    }
+  });
+  EXPECT_TRUE(world.fabric().liveness().is_dead(2));
+  res.death = world.fabric().liveness().death_time(2);
+
+  // Phase 2 — propagation: survivor traffic naming the dead rank fails fast
+  // with kProcFailed on both the send (inject) and recv (post) sides.
+  world.run([&](Rank& rank) {
+    if (rank.rank() == 0) {
+      EXPECT_EQ(isend(buf.data(), buf.size(), kByte, 2, 9, rank.world_comm()).wait().err,
+                Errc::kProcFailed);
+    } else if (rank.rank() == 1) {
+      EXPECT_EQ(irecv(buf.data(), buf.size(), kByte, 2, 9, rank.world_comm()).wait().err,
+                Errc::kProcFailed);
+    }
+  });
+
+  // Phase 3 — a survivor revokes the world communicator.
+  world.run([&](Rank& rank) {
+    if (rank.rank() == 0) rank.world_comm().revoke();
+  });
+
+  // Phase 4 — uniform observation: both survivors' collectives fail at the
+  // door with kProcFailed; neither blocks, neither splits.
+  world.run([&](Rank& rank) {
+    if (rank.rank() == 2) return;  // dead
+    double in = 1.0;
+    double out = 0.0;
+    res.coll[static_cast<std::size_t>(rank.rank())] =
+        allreduce(&in, &out, 1, kDouble, Op::kSum, rank.world_comm());
+  });
+
+  // Phase 5 — agreement across survivors on the revoked comm.
+  world.run([&](Rank& rank) {
+    if (rank.rank() == 2) return;
+    std::uint32_t flag = rank.rank() == 0 ? 0b1011u : 0b1110u;
+    EXPECT_EQ(rank.world_comm().agree(&flag), Errc::kSuccess);
+    res.agreed[static_cast<std::size_t>(rank.rank())] = flag;
+  });
+
+  // Phase 6a — shrink to the survivor comm.
+  std::array<Comm, 2> small{};
+  world.run([&](Rank& rank) {
+    if (rank.rank() == 2) return;
+    Comm c = rank.world_comm().shrink();
+    ASSERT_TRUE(c.valid());
+    if (c.rank() == 0) res.shrunk_size = c.size();
+    small[static_cast<std::size_t>(rank.rank())] = c;
+  });
+  // Phase 6b — post the workload receives first (phase-ordered, as above,
+  // so both twin runs match posted-first).
+  std::array<Request, 2> rr{};
+  world.run([&](Rank& rank) {
+    if (rank.rank() == 2) return;
+    const auto r = static_cast<std::size_t>(rank.rank());
+    auto& mine = res.payload[r];
+    const int peer = 1 - rank.rank();
+    const Tag tag = rank.rank() == 0 ? 4 : 3;
+    rr[r] = irecv(mine.data(), mine.size(), kByte, peer, tag, small[r]);
+  });
+  // Phase 6c — finish the workload on the shrunken comm.
+  world.run([&](Rank& rank) {
+    const auto r = static_cast<std::size_t>(rank.rank());
+    if (rank.rank() != 2) {
+      std::array<char, 8> done{'r', 'e', 'b', 'u', 'i', 'l', 't', 0};
+      if (rank.rank() == 0) {
+        EXPECT_EQ(isend(done.data(), done.size(), kByte, 1, 3, small[r]).wait().err,
+                  Errc::kSuccess);
+        EXPECT_EQ(rr[r].wait().err, Errc::kSuccess);
+      } else {
+        EXPECT_EQ(rr[r].wait().err, Errc::kSuccess);
+        EXPECT_EQ(isend(done.data(), done.size(), kByte, 0, 4, small[r]).wait().err,
+                  Errc::kSuccess);
+      }
+    }
+    res.clocks[r] = twin::now();
+  });
+
+  res.snap = world.snapshot();
+  return res;
+}
+
+TEST(Recovery, GoldenKillAndShrinkTwinParity) {
+  const KillShrinkResult serial = run_kill_and_shrink("serial");
+  const KillShrinkResult parallel = run_kill_and_shrink("parallel");
+
+  // Absolute outcomes (identical in both modes, checked once each).
+  for (const KillShrinkResult* r : {&serial, &parallel}) {
+    EXPECT_GT(r->death, 0u);
+    EXPECT_EQ(r->coll[0], Errc::kProcFailed);
+    EXPECT_EQ(r->coll[1], Errc::kProcFailed);
+    EXPECT_EQ(r->agreed[0], 0b1010u);
+    EXPECT_EQ(r->agreed[1], 0b1010u);
+    EXPECT_EQ(r->shrunk_size, 2);
+    EXPECT_STREQ(r->payload[0].data(), "rebuilt");
+    EXPECT_STREQ(r->payload[1].data(), "rebuilt");
+    EXPECT_GE(r->snap.proc_failures, 3u);  // dying send + survivor send + recv
+    EXPECT_EQ(r->snap.revokes, 1u);
+    EXPECT_EQ(r->snap.shrinks, 1u);
+    EXPECT_EQ(r->snap.timeouts, 0u);
+  }
+
+  // Twin parity: the whole failure/recovery trajectory is bit-identical.
+  EXPECT_EQ(serial.death, parallel.death);
+  for (std::size_t r = 0; r < 3; ++r) {
+    EXPECT_EQ(serial.clocks[r], parallel.clocks[r]) << "rank " << r;
+  }
+  twin::expect_stats_parity(serial.snap, parallel.snap);
+}
+
+}  // namespace

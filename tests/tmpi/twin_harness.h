@@ -98,6 +98,9 @@ inline void expect_stats_parity(const tmpi::net::NetStatsSnapshot& a,
   EXPECT_EQ(a.overflows, b.overflows);
   EXPECT_EQ(a.watchdog_trips, b.watchdog_trips);
   EXPECT_EQ(a.deadlocks, b.deadlocks);
+  EXPECT_EQ(a.proc_failures, b.proc_failures);
+  EXPECT_EQ(a.revokes, b.revokes);
+  EXPECT_EQ(a.shrinks, b.shrinks);
   EXPECT_EQ(a.unexpected_hwm, b.unexpected_hwm);
   EXPECT_EQ(a.bucket_hits, b.bucket_hits);
   EXPECT_EQ(a.bucket_misses, b.bucket_misses);
@@ -125,6 +128,7 @@ inline void expect_stats_parity(const tmpi::net::NetStatsSnapshot& a,
     EXPECT_EQ(ca.failovers, cb.failovers) << "channel " << i;
     EXPECT_EQ(ca.credit_stalls, cb.credit_stalls) << "channel " << i;
     EXPECT_EQ(ca.overflows, cb.overflows) << "channel " << i;
+    EXPECT_EQ(ca.proc_failures, cb.proc_failures) << "channel " << i;
     EXPECT_EQ(ca.unexpected_hwm, cb.unexpected_hwm) << "channel " << i;
     EXPECT_EQ(ca.bucket_hits, cb.bucket_hits) << "channel " << i;
     EXPECT_EQ(ca.bucket_misses, cb.bucket_misses) << "channel " << i;
