@@ -1,0 +1,153 @@
+/// Host-time observability overhead (DESIGN.md §14).
+///
+/// The recording discipline guarantees tracing, the flight recorder, and the
+/// metrics sampler never move a virtual timestamp — the twins pin that. What
+/// they cost is HOST time: ring writes, span allocation, and sampler probes
+/// on every transport choke point. This benchmark runs the same two-rank
+/// ping-pong under the three observability tiers and reports host ns per
+/// message:
+///
+///   off        tmpi_flightrec=0, no tracing — the bare transport
+///   flightrec  the always-on default: black-box ring only
+///   full       tmpi_trace=1 + flight recorder + metrics sampler
+///
+/// Virtual time must be bit-identical across tiers (asserted fatal, same as
+/// bench_matchrate's mode pairing). Emits BENCH_traceov.json for the CI
+/// perf-smoke gate.
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "tmpi/tmpi.h"
+
+namespace {
+
+using namespace tmpi;
+
+struct TierResult {
+  std::string name;
+  double host_ns_per_msg = 0;
+  std::uint64_t messages = 0;
+  net::Time virtual_ns = 0;  ///< must be tier-independent
+  std::uint64_t events_recorded = 0;
+  net::NetStatsSnapshot stats;
+};
+
+enum class Tier { kOff, kFlightRec, kFull };
+
+TierResult run_tier(Tier tier, int rounds) {
+  WorldConfig wc;
+  wc.nranks = 2;
+  wc.ranks_per_node = 1;
+  wc.num_vcis = 1;
+  switch (tier) {
+    case Tier::kOff:
+      wc.trace_info.set("tmpi_flightrec", "0");
+      break;
+    case Tier::kFlightRec:
+      wc.trace_info.set("tmpi_flightrec_path", "");  // record, never write
+      break;
+    case Tier::kFull:
+      wc.trace_info.set("tmpi_trace", "1");
+      wc.trace_info.set("tmpi_trace_path", "");
+      wc.trace_info.set("tmpi_flightrec_path", "");
+      wc.trace_info.set("tmpi_metrics_window_ns", "4000");
+      wc.trace_info.set("tmpi_metrics_path", "");
+      break;
+  }
+  World world(wc);
+
+  std::array<std::byte, 64> buf{};
+  // Warm allocator pools and the trace ring's thread buffers.
+  for (int r = 0; r < 64; ++r) {
+    world.run([&](Rank& rank) {
+      if (rank.rank() == 0) {
+        send(buf.data(), 64, kByte, 1, 0, rank.world_comm());
+      } else {
+        recv(buf.data(), 64, kByte, 0, 0, rank.world_comm());
+      }
+    });
+  }
+
+  const net::Time v0 = world.elapsed();
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int r = 0; r < rounds; ++r) {
+    world.run([&](Rank& rank) {
+      if (rank.rank() == 0) {
+        send(buf.data(), 64, kByte, 1, 1, rank.world_comm());
+      } else {
+        recv(buf.data(), 64, kByte, 0, 1, rank.world_comm());
+      }
+    });
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+
+  TierResult out;
+  out.name = tier == Tier::kOff ? "off" : tier == Tier::kFlightRec ? "flightrec" : "full";
+  out.messages = static_cast<std::uint64_t>(rounds);
+  out.virtual_ns = world.elapsed() - v0;
+  const double ns = std::chrono::duration<double, std::nano>(t1 - t0).count();
+  out.host_ns_per_msg = ns / static_cast<double>(rounds);
+  if (world.tracer() != nullptr) {
+    out.events_recorded = world.tracer()->recorded();
+  } else if (world.flightrec() != nullptr) {
+    out.events_recorded = world.flightrec()->recorded();
+  }
+  out.stats = world.snapshot();
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::parse_stats_flag(&argc, argv);
+
+  constexpr int kRounds = 4000;
+  std::vector<TierResult> tiers;
+  for (Tier t : {Tier::kOff, Tier::kFlightRec, Tier::kFull}) {
+    tiers.push_back(run_tier(t, kRounds));
+  }
+
+  for (const TierResult& r : tiers) {
+    if (r.virtual_ns != tiers[0].virtual_ns) {
+      std::fprintf(stderr,
+                   "FATAL: virtual time diverged in tier %s (off=%llu %s=%llu) — "
+                   "recorders must never advance virtual clocks\n",
+                   r.name.c_str(), static_cast<unsigned long long>(tiers[0].virtual_ns),
+                   r.name.c_str(), static_cast<unsigned long long>(r.virtual_ns));
+      return 1;
+    }
+  }
+
+  bench::FigureTable table("Observability host overhead: off vs flightrec vs full tracing",
+                           "tier (0=off 1=flightrec 2=full)", "host ns/message");
+  for (std::size_t i = 0; i < tiers.size(); ++i) {
+    table.add(tiers[i].name, static_cast<int>(i), tiers[i].host_ns_per_msg);
+    bench::collect_stats(tiers[i].name, tiers[i].stats);
+  }
+  table.print();
+  bench::print_collected_stats();
+  bench::note("virtual time bit-identical across tiers (asserted); overhead is host-side "
+              "ring writes + sampler probes only");
+
+  std::ofstream out("BENCH_traceov.json");
+  out << "{\n  \"bench\": \"traceov\",\n  \"unit\": \"host_ns_per_msg\",\n  \"results\": [\n";
+  for (std::size_t i = 0; i < tiers.size(); ++i) {
+    const TierResult& r = tiers[i];
+    out << "    {\"tier\": \"" << r.name << "\", \"host_ns_per_msg\": " << r.host_ns_per_msg
+        << ", \"messages\": " << r.messages << ", \"events_recorded\": " << r.events_recorded
+        << ", \"virtual_ns\": " << r.virtual_ns << ", \"overhead_vs_off\": "
+        << (tiers[0].host_ns_per_msg > 0 ? r.host_ns_per_msg / tiers[0].host_ns_per_msg : 0.0)
+        << "}" << (i + 1 < tiers.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  out.close();
+  std::printf("wrote BENCH_traceov.json\n");
+  return 0;
+}

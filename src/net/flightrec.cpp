@@ -1,0 +1,91 @@
+#include "net/flightrec.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+
+namespace tmpi::net {
+
+bool FlightRecConfig::set(const std::string& key, const std::string& value) {
+  if (key == "tmpi_flightrec") {
+    enabled = value == "1" || value == "true" || value == "yes" || value == "on";
+  } else if (key == "tmpi_flightrec_path") {
+    path = value;
+  } else if (key == "tmpi_flightrec_events") {
+    buffer_events = static_cast<std::size_t>(std::stoull(value));
+  } else {
+    return false;
+  }
+  return true;
+}
+
+FlightRecConfig FlightRecConfig::from_env(FlightRecConfig base) {
+  static constexpr const char* kKeys[] = {"tmpi_flightrec", "tmpi_flightrec_path",
+                                          "tmpi_flightrec_events"};
+  for (const char* key : kKeys) {
+    std::string env_name(key);
+    std::transform(env_name.begin(), env_name.end(), env_name.begin(),
+                   [](unsigned char c) { return static_cast<char>(std::toupper(c)); });
+    if (const char* v = std::getenv(env_name.c_str()); v != nullptr && *v != '\0') {
+      base.set(key, v);
+    }
+  }
+  return base;
+}
+
+namespace {
+
+/// Config for the internal TraceRecorder: never writes its own file (the
+/// flight recorder owns the dump), ring capacity from the flightrec knob.
+TraceConfig ring_config(const FlightRecConfig& cfg) {
+  TraceConfig tc;
+  tc.enabled = true;
+  tc.path.clear();
+  tc.buffer_events = std::max<std::size_t>(cfg.buffer_events, 64);
+  return tc;
+}
+
+/// The fatal-path slot. A plain mutex (not atomics) because registration
+/// happens once per World and dump_active only on the way down.
+std::mutex g_active_mu;
+FlightRecorder* g_active = nullptr;
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(FlightRecConfig cfg)
+    : cfg_(std::move(cfg)), rec_(ring_config(cfg_)) {}
+
+FlightRecorder::~FlightRecorder() {
+  std::scoped_lock lk(g_active_mu);
+  if (g_active == this) g_active = nullptr;
+}
+
+void FlightRecorder::write(std::ostream& os, const std::string& reason) const {
+  rec_.write_chrome_trace(os, reason);
+}
+
+bool FlightRecorder::dump(const std::string& reason) {
+  if (cfg_.path.empty()) return false;
+  bool expected = false;
+  if (!dumped_.compare_exchange_strong(expected, true, std::memory_order_acq_rel)) {
+    return false;
+  }
+  std::ofstream os(cfg_.path);
+  if (!os) return false;
+  write(os, reason);
+  return true;
+}
+
+void FlightRecorder::set_active(FlightRecorder* fr) {
+  std::scoped_lock lk(g_active_mu);
+  g_active = fr;
+}
+
+void FlightRecorder::dump_active(const std::string& reason) {
+  std::scoped_lock lk(g_active_mu);
+  if (g_active != nullptr) g_active->dump(reason);
+}
+
+}  // namespace tmpi::net

@@ -1,0 +1,95 @@
+#ifndef TMPI_NET_FLIGHTREC_H
+#define TMPI_NET_FLIGHTREC_H
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "net/trace.h"
+
+/// \file flightrec.h
+/// Always-on black-box flight recorder (DESIGN.md §14).
+///
+/// The tracer (trace.h) is opt-in: when a run deadlocks or a rank dies with
+/// tracing off, the final seconds are gone. The flight recorder closes that
+/// gap: a small always-on ring (a few thousand events, the same per-thread
+/// ring machinery as the tracer, zero virtual-time charge) that the
+/// transport feeds with the same event stream it would trace. Nobody reads
+/// it until something goes wrong — a watchdog trip, a deadlock report, a
+/// `kProcFailed`/revoke, or a fatal error handler — at which point it is
+/// dumped post-mortem as `flightrec.json`: a valid Chrome trace naming the
+/// last N events per (rank, vci), with the dump reason in `otherData.note`.
+///
+/// Knobs (Info keys on WorldConfig::trace_info; uppercased env overlays,
+/// env wins — the trace/fault/overload pattern):
+///   tmpi_flightrec         bool  enable (default ON; "0" opts out)
+///   tmpi_flightrec_path    str   dump path (default "flightrec.json")
+///   tmpi_flightrec_events  u64   per-thread ring capacity (default 2048)
+///
+/// Dump-on-fatal: `fail()` (error.h) cannot see any World, so the active
+/// recorder registers itself in a process-wide slot; `dump_active()` is
+/// best-effort and a no-op when no World is alive.
+
+namespace tmpi::net {
+
+/// Resolved flight-recorder knobs; Info keys first, env overlay on top.
+struct FlightRecConfig {
+  bool enabled = true;
+  std::string path = "flightrec.json";
+  std::size_t buffer_events = 2048;
+
+  /// Apply one Info entry; returns false for keys this layer does not own.
+  bool set(const std::string& key, const std::string& value);
+  /// Overlay TMPI_FLIGHTREC / TMPI_FLIGHTREC_PATH / TMPI_FLIGHTREC_EVENTS.
+  static FlightRecConfig from_env(FlightRecConfig base);
+};
+
+/// The black box. Wraps a small TraceRecorder (per-thread rings, wrap =
+/// forget the oldest) and adds the post-mortem dump. record() costs one
+/// ring write; it never touches a virtual clock, so an enabled flight
+/// recorder — the default — is bit-exact with a disabled one.
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(FlightRecConfig cfg);
+  ~FlightRecorder();
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  [[nodiscard]] const FlightRecConfig& config() const { return cfg_; }
+
+  /// Append one event to the calling thread's ring.
+  void record(const TraceEvent& ev) { rec_.record(ev); }
+
+  [[nodiscard]] std::uint64_t recorded() const { return rec_.recorded(); }
+
+  /// The last `n` retained events on channel (rank, vci), oldest first —
+  /// the watchdog report's per-channel history when tracing is off.
+  [[nodiscard]] std::vector<TraceEvent> tail(int rank, int vci, std::size_t n) const {
+    return rec_.tail(rank, vci, n);
+  }
+
+  /// Write the post-mortem to `config().path` with `reason` stamped in
+  /// `otherData.note`. First caller wins (one catastrophe, one black box);
+  /// later calls are no-ops. Returns true when this call wrote the file.
+  bool dump(const std::string& reason);
+
+  /// Serialize to a stream without the first-dump latch (tests, tools).
+  void write(std::ostream& os, const std::string& reason) const;
+
+  /// Process-wide active-recorder slot for fatal-path dumps. The World
+  /// registers its recorder on construction and clears it on destruction.
+  static void set_active(FlightRecorder* fr);
+  /// Dump the active recorder, if any (called by the fatal error path).
+  static void dump_active(const std::string& reason);
+
+ private:
+  FlightRecConfig cfg_;
+  TraceRecorder rec_;
+  std::atomic<bool> dumped_{false};
+};
+
+}  // namespace tmpi::net
+
+#endif  // TMPI_NET_FLIGHTREC_H

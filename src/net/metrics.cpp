@@ -1,0 +1,176 @@
+#include "net/metrics.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <limits>
+#include <ostream>
+
+namespace tmpi::net {
+
+bool MetricsConfig::set(const std::string& key, const std::string& value) {
+  if (key == "tmpi_metrics_window_ns") {
+    window_ns = static_cast<Time>(std::stoull(value));
+  } else if (key == "tmpi_metrics_path") {
+    path = value;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+MetricsConfig MetricsConfig::from_env(MetricsConfig base) {
+  static constexpr const char* kKeys[] = {"tmpi_metrics_window_ns", "tmpi_metrics_path"};
+  for (const char* key : kKeys) {
+    std::string env_name(key);
+    std::transform(env_name.begin(), env_name.end(), env_name.begin(),
+                   [](unsigned char c) { return static_cast<char>(std::toupper(c)); });
+    if (const char* v = std::getenv(env_name.c_str()); v != nullptr && *v != '\0') {
+      base.set(key, v);
+    }
+  }
+  return base;
+}
+
+MetricsSampler::MetricsSampler(NetStats* stats, MetricsConfig cfg)
+    : stats_(stats), cfg_(std::move(cfg)), next_edge_(cfg_.window_ns) {}
+
+void MetricsSampler::sample_locked(Time now) {
+  std::scoped_lock lk(mu_);
+  const Time w = cfg_.window_ns;
+  if (w == 0 || now < next_edge_.load(std::memory_order_relaxed)) return;  // lost the race
+  // Close one window ending at the last boundary at or before `now`; a long
+  // quiet stretch yields one wide window, not a run of empty ones.
+  const Time end = (now / w) * w;
+  const NetStatsSnapshot snap = stats_->snapshot();
+  MetricsWindow win;
+  win.start = prev_edge_;
+  win.end = end;
+  win.delta = snap - prev_;
+  prev_ = snap;
+  prev_edge_ = end;
+  next_edge_.store(end + w, std::memory_order_relaxed);
+  windows_.push_back(win);
+  if (hook_) hook_(windows_.back());
+}
+
+void MetricsSampler::flush(Time now) {
+  std::scoped_lock lk(mu_);
+  const NetStatsSnapshot snap = stats_->snapshot();
+  MetricsWindow win;
+  win.start = prev_edge_;
+  win.end = std::max(now, prev_edge_);
+  win.delta = snap - prev_;
+  prev_ = snap;
+  prev_edge_ = win.end;
+  next_edge_.store(std::numeric_limits<Time>::max(), std::memory_order_relaxed);
+  windows_.push_back(win);
+  if (hook_) hook_(windows_.back());
+}
+
+std::vector<MetricsWindow> MetricsSampler::windows() const {
+  std::scoped_lock lk(mu_);
+  return windows_;
+}
+
+void MetricsSampler::set_hook(std::function<void(const MetricsWindow&)> hook) {
+  std::scoped_lock lk(mu_);
+  hook_ = std::move(hook);
+}
+
+namespace {
+
+void write_channel_json(std::ostream& os, const ChannelStatsSnapshot& c) {
+  os << "{\"rank\":" << c.rank << ",\"vci\":" << c.vci << ",\"injections\":" << c.injections
+     << ",\"rx_ops\":" << c.rx_ops << ",\"deposits\":" << c.deposits
+     << ",\"busy_ns\":" << c.busy_ns << ",\"drops\":" << c.drops
+     << ",\"retransmits\":" << c.retransmits << ",\"credit_stalls\":" << c.credit_stalls
+     << ",\"overflows\":" << c.overflows << ",\"unexpected_hwm\":" << c.unexpected_hwm << "}";
+}
+
+}  // namespace
+
+void MetricsSampler::write_json(std::ostream& os) const {
+  const std::vector<MetricsWindow> wins = windows();
+  os << "{\"window_ns\":" << cfg_.window_ns << ",\"windows\":[";
+  for (std::size_t i = 0; i < wins.size(); ++i) {
+    const MetricsWindow& w = wins[i];
+    const NetStatsSnapshot& d = w.delta;
+    os << (i == 0 ? "\n" : ",\n");
+    os << "{\"start\":" << w.start << ",\"end\":" << w.end << ",\"messages\":" << d.messages
+       << ",\"bytes\":" << d.bytes << ",\"injections\":" << d.injections
+       << ",\"match_probes\":" << d.match_probes
+       << ",\"unexpected_messages\":" << d.unexpected_messages
+       << ",\"rendezvous_messages\":" << d.rendezvous_messages << ",\"rma_ops\":" << d.rma_ops
+       << ",\"drops\":" << d.drops << ",\"retransmits\":" << d.retransmits
+       << ",\"timeouts\":" << d.timeouts << ",\"failovers\":" << d.failovers
+       << ",\"credit_stalls\":" << d.credit_stalls << ",\"overflows\":" << d.overflows
+       << ",\"proc_failures\":" << d.proc_failures
+       << ",\"unexpected_hwm\":" << d.unexpected_hwm << ",\"op_latency\":[";
+    for (std::size_t j = 0; j < d.op_latency.size(); ++j) {
+      const OpLatency& l = d.op_latency[j];
+      if (j != 0) os << ",";
+      os << "{\"op\":\"" << l.op << "\",\"count\":" << l.count << ",\"errors\":" << l.errors
+         << ",\"p50_ns\":" << l.p50 << ",\"p90_ns\":" << l.p90 << ",\"p99_ns\":" << l.p99
+         << "}";
+    }
+    os << "],\"channels\":[";
+    for (std::size_t j = 0; j < d.channels.size(); ++j) {
+      if (j != 0) os << ",";
+      write_channel_json(os, d.channels[j]);
+    }
+    os << "]}";
+  }
+  os << "\n]}\n";
+}
+
+void MetricsSampler::write_prometheus(std::ostream& os) const {
+  // The cumulative state is the telescoped sum of every closed window —
+  // exactly what a Prometheus counter is. Scraping happens post-mortem
+  // (the file is written at teardown), but the format keeps the door open
+  // for a live endpoint later.
+  NetStatsSnapshot total;
+  std::size_t nwin = 0;
+  {
+    std::scoped_lock lk(mu_);
+    total = prev_;
+    nwin = windows_.size();
+  }
+  const auto counter = [&os](const char* name, std::uint64_t v) {
+    os << "# TYPE tmpi_" << name << "_total counter\n"
+       << "tmpi_" << name << "_total " << v << "\n";
+  };
+  counter("messages", total.messages);
+  counter("bytes", total.bytes);
+  counter("injections", total.injections);
+  counter("unexpected_messages", total.unexpected_messages);
+  counter("rendezvous_messages", total.rendezvous_messages);
+  counter("retransmits", total.retransmits);
+  counter("credit_stalls", total.credit_stalls);
+  counter("overflows", total.overflows);
+  counter("proc_failures", total.proc_failures);
+  os << "# TYPE tmpi_metrics_windows gauge\n"
+     << "tmpi_metrics_windows " << nwin << "\n";
+  os << "# TYPE tmpi_channel_injections_total counter\n";
+  for (const ChannelStatsSnapshot& c : total.channels) {
+    os << "tmpi_channel_injections_total{rank=\"" << c.rank << "\",vci=\"" << c.vci << "\"} "
+       << c.injections << "\n";
+  }
+  os << "# TYPE tmpi_channel_deposits_total counter\n";
+  for (const ChannelStatsSnapshot& c : total.channels) {
+    os << "tmpi_channel_deposits_total{rank=\"" << c.rank << "\",vci=\"" << c.vci << "\"} "
+       << c.deposits << "\n";
+  }
+  os << "# TYPE tmpi_channel_credit_stalls_total counter\n";
+  for (const ChannelStatsSnapshot& c : total.channels) {
+    os << "tmpi_channel_credit_stalls_total{rank=\"" << c.rank << "\",vci=\"" << c.vci
+       << "\"} " << c.credit_stalls << "\n";
+  }
+  os << "# TYPE tmpi_channel_unexpected_hwm gauge\n";
+  for (const ChannelStatsSnapshot& c : total.channels) {
+    os << "tmpi_channel_unexpected_hwm{rank=\"" << c.rank << "\",vci=\"" << c.vci << "\"} "
+       << c.unexpected_hwm << "\n";
+  }
+}
+
+}  // namespace tmpi::net

@@ -1,0 +1,118 @@
+#ifndef TMPI_NET_METRICS_H
+#define TMPI_NET_METRICS_H
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "net/stats.h"
+#include "net/virtual_clock.h"
+
+/// \file metrics.h
+/// Virtual-time-driven metrics time-series (DESIGN.md §14).
+///
+/// `NetStats` is cumulative-only; the adaptive-VCI policy engine and the
+/// service-SLO bench (ROADMAP items 3/4) need *rates*: what each channel did
+/// in the last window, not since boot. The sampler cuts the cumulative
+/// counters into fixed virtual-time windows: the transport calls
+/// `maybe_sample(now)` from its choke points (one relaxed load on the hot
+/// path), and the first call at or past a window boundary snapshots the
+/// registry and stores the delta against the previous snapshot. Deltas
+/// telescope — summed over all windows plus the final `flush()`, every
+/// counter equals the cumulative `NetStats` value, which the twin tests pin.
+///
+/// The sampler only *reads* stats and clocks; windows never perturb virtual
+/// time, so an enabled sampler is bit-exact with a disabled one. (Which
+/// thread crosses a boundary first is host-racy, so window *contents* may
+/// vary run to run; every virtual-time observable stays deterministic.)
+///
+/// Exporters: JSON (`<stem>.timeseries.json`) and Prometheus text
+/// exposition (`<stem>.prom`), both written at World teardown; in-process
+/// consumers get every closed window through `ToolHooks::on_window`.
+///
+/// Knobs (Info keys on WorldConfig::trace_info; uppercased env overlays,
+/// env wins):
+///   tmpi_metrics_window_ns  u64  window length in virtual ns (0 = off)
+///   tmpi_metrics_path       str  export stem (default "tmpi_metrics_ts";
+///                                writes <stem>.timeseries.json + <stem>.prom;
+///                                empty = sample but never write files)
+
+namespace tmpi::net {
+
+/// Resolved sampler knobs; Info keys first, env overlay on top.
+struct MetricsConfig {
+  Time window_ns = 0;  ///< 0 = sampler off
+  std::string path = "tmpi_metrics_ts";
+
+  /// Apply one Info entry; returns false for keys this layer does not own.
+  bool set(const std::string& key, const std::string& value);
+  /// Overlay TMPI_METRICS_WINDOW_NS / TMPI_METRICS_PATH.
+  static MetricsConfig from_env(MetricsConfig base);
+};
+
+/// One closed window: the counter deltas accumulated in [start, end).
+/// `unexpected_hwm` and `op_latency` keep NetStatsSnapshot's pass-through
+/// semantics (high-water mark / percentiles as of the window's close).
+struct MetricsWindow {
+  Time start = 0;
+  Time end = 0;
+  NetStatsSnapshot delta;
+};
+
+/// The windowed sampler. One per World when `tmpi_metrics_window_ns` > 0.
+class MetricsSampler {
+ public:
+  MetricsSampler(NetStats* stats, MetricsConfig cfg);
+
+  MetricsSampler(const MetricsSampler&) = delete;
+  MetricsSampler& operator=(const MetricsSampler&) = delete;
+
+  [[nodiscard]] const MetricsConfig& config() const { return cfg_; }
+
+  /// Hot-path probe: close windows up to `now` if a boundary was crossed.
+  /// One relaxed atomic load when it wasn't.
+  void maybe_sample(Time now) {
+    if (now < next_edge_.load(std::memory_order_relaxed)) return;
+    sample_locked(now);
+  }
+
+  /// Close the final (possibly partial) window at `now`. Called at World
+  /// teardown so the window deltas telescope exactly to the cumulative
+  /// counters.
+  void flush(Time now);
+
+  /// Copy of every closed window, oldest first.
+  [[nodiscard]] std::vector<MetricsWindow> windows() const;
+
+  /// Per-window callback (the ToolHooks bridge). Attach/detach only while
+  /// no thread is inside the runtime; invoked under the sampler lock.
+  void set_hook(std::function<void(const MetricsWindow&)> hook);
+
+  /// JSON time-series: {"window_ns":..,"windows":[{start,end,counters,
+  /// channels:[{rank,vci,...}]},...]}.
+  void write_json(std::ostream& os) const;
+
+  /// Prometheus text exposition: cumulative counters (the telescoped sum of
+  /// all windows) as `tmpi_*_total`, per-channel series labelled
+  /// {rank,vci}, plus the window count as a gauge.
+  void write_prometheus(std::ostream& os) const;
+
+ private:
+  void sample_locked(Time now);
+
+  NetStats* stats_;
+  MetricsConfig cfg_;
+  std::atomic<Time> next_edge_;
+  mutable std::mutex mu_;
+  Time prev_edge_ = 0;
+  NetStatsSnapshot prev_;
+  std::vector<MetricsWindow> windows_;
+  std::function<void(const MetricsWindow&)> hook_;
+};
+
+}  // namespace tmpi::net
+
+#endif  // TMPI_NET_METRICS_H

@@ -21,6 +21,7 @@ const char* to_string(TraceEv ev) {
     case TraceEv::kDeposit: return "deposit";
     case TraceEv::kPostRecv: return "post_recv";
     case TraceEv::kProbe: return "probe";
+    case TraceEv::kMatch: return "match";
     case TraceEv::kComplete: return "complete";
     case TraceEv::kError: return "error";
     case TraceEv::kDrop: return "drop";
@@ -87,9 +88,15 @@ namespace {
 /// stale buffer pointer.
 std::atomic<std::uint64_t> g_recorder_ids{0};
 
-struct TlCache {
+/// Two cache ways: a thread routinely records into two recorders at once
+/// (the opt-in tracer and the always-on flight recorder); a single-entry
+/// cache would thrash through the registry mutex on every event.
+struct TlCacheEntry {
   std::uint64_t recorder_id = 0;
   void* buffer = nullptr;
+};
+struct TlCache {
+  TlCacheEntry way[2];
 };
 thread_local TlCache tl_cache;
 
@@ -101,22 +108,29 @@ TraceRecorder::TraceRecorder(TraceConfig cfg)
       id_(g_recorder_ids.fetch_add(1, std::memory_order_relaxed) + 1) {}
 
 TraceRecorder::ThreadBuffer& TraceRecorder::local() {
-  if (tl_cache.recorder_id == id_ && tl_cache.buffer != nullptr) {
-    return *static_cast<ThreadBuffer*>(tl_cache.buffer);
+  for (const TlCacheEntry& c : tl_cache.way) {
+    if (c.recorder_id == id_ && c.buffer != nullptr) {
+      return *static_cast<ThreadBuffer*>(c.buffer);
+    }
   }
   std::scoped_lock lk(reg_mu_);
   const std::thread::id me = std::this_thread::get_id();
   for (auto& b : buffers_) {
     if (b->owner == me) {
-      tl_cache = {id_, b.get()};
+      tl_cache.way[1] = tl_cache.way[0];
+      tl_cache.way[0] = {id_, b.get()};
       return *b;
     }
   }
   buffers_.push_back(std::make_unique<ThreadBuffer>());
   ThreadBuffer& b = *buffers_.back();
   b.owner = me;
-  b.ring.reserve(std::min<std::size_t>(cap_, 1024));
-  tl_cache = {id_, &b};
+  // Full capacity up front: record() must never allocate after ring
+  // creation, or the always-on flight recorder would leak heap traffic
+  // into allocation-free steady states (alloc_steady_state_test pins it).
+  b.ring.reserve(cap_);
+  tl_cache.way[1] = tl_cache.way[0];
+  tl_cache.way[0] = {id_, &b};
   return b;
 }
 
@@ -159,6 +173,20 @@ std::uint64_t TraceRecorder::dropped() const {
     if (b->count > b->ring.size()) n += b->count - b->ring.size();
   }
   return n;
+}
+
+std::vector<TraceRecorder::ThreadStats> TraceRecorder::thread_stats() const {
+  std::scoped_lock lk(reg_mu_);
+  std::vector<ThreadStats> out;
+  out.reserve(buffers_.size());
+  for (const auto& b : buffers_) {
+    std::scoped_lock blk(b->mu);
+    ThreadStats ts;
+    ts.recorded = b->count;
+    if (b->count > b->ring.size()) ts.dropped = b->count - b->ring.size();
+    out.push_back(ts);
+  }
+  return out;
 }
 
 std::vector<TraceEvent> TraceRecorder::merged() const {
@@ -228,12 +256,15 @@ const char* event_name(const TraceEvent& ev) {
 
 }  // namespace
 
-void TraceRecorder::write_chrome_trace(std::ostream& os) const {
+void TraceRecorder::write_chrome_trace(std::ostream& os, const std::string& note) const {
   const std::vector<TraceEvent> evs = merged();
 
   // Track discovery: one Chrome "process" per rank, one "thread" per VCI.
   // Rank-level events (vci < 0) land on a synthetic tid one past the last
-  // real VCI so they do not pollute a channel's occupancy row.
+  // real VCI so they do not pollute a channel's occupancy row. Ranks here
+  // are always *world* ranks — spans recorded after a shrink() keep their
+  // original attribution, so a journey spanning a recovery stays on one
+  // process row.
   std::map<int, int> max_vci;
   for (const TraceEvent& ev : evs) {
     if (ev.rank < 0) continue;
@@ -241,8 +272,32 @@ void TraceRecorder::write_chrome_trace(std::ostream& os) const {
     if (!inserted && ev.vci > it->second) it->second = ev.vci;
   }
 
+  // Flow arrows: a kMatch whose parent (the send's span) still has its kPost
+  // in the retained stream becomes a Chrome flow — `s` co-located with the
+  // parent post, `f` at the match. Both ends must exist or the arrow is
+  // dropped (a wrapped ring loses posts; the viewer must not dangle).
+  std::map<std::uint64_t, std::size_t> post_at;
+  for (std::size_t i = 0; i < evs.size(); ++i) {
+    if (evs[i].kind == TraceEv::kPost && evs[i].span != 0) post_at.emplace(evs[i].span, i);
+  }
+  std::map<std::size_t, std::vector<std::uint64_t>> flows_from;
+  std::set<std::uint64_t> flow_ok;
+  for (const TraceEvent& ev : evs) {
+    if (ev.kind != TraceEv::kMatch || ev.parent == 0) continue;
+    const auto it = post_at.find(ev.parent);
+    if (it == post_at.end()) continue;
+    flows_from[it->second].push_back(ev.span);
+    flow_ok.insert(ev.span);
+  }
+
   os << "{\"displayTimeUnit\":\"ns\",\"otherData\":{\"recorded\":" << recorded()
-     << ",\"dropped\":" << dropped() << "},\"traceEvents\":[";
+     << ",\"dropped\":" << dropped();
+  if (!note.empty()) {
+    os << ",\"note\":\"";
+    json_escape(os, note.c_str());
+    os << "\"";
+  }
+  os << "},\"traceEvents\":[";
   bool first = true;
   auto sep = [&] {
     if (!first) os << ",";
@@ -265,7 +320,8 @@ void TraceRecorder::write_chrome_trace(std::ostream& os) const {
     }
   }
 
-  for (const TraceEvent& ev : evs) {
+  for (std::size_t i = 0; i < evs.size(); ++i) {
+    const TraceEvent& ev = evs[i];
     const int pid = ev.rank < 0 ? 0 : ev.rank;
     const int tid = ev.vci >= 0 ? ev.vci : (max_vci.count(pid) != 0 ? max_vci[pid] + 1 : 0);
     sep();
@@ -282,14 +338,42 @@ void TraceRecorder::write_chrome_trace(std::ostream& os) const {
         os << "\",\"args\":{\"span\":" << ev.span << ",\"bytes\":" << ev.value
            << ",\"tag\":" << ev.tag << ",\"peer\":" << ev.peer << "}}";
         break;
-      case TraceEv::kPost:
+      case TraceEv::kPost: {
         os << "{\"ph\":\"b\",\"cat\":\"op\",\"id\":" << ev.span << ",\"pid\":" << pid
            << ",\"tid\":" << tid << ",\"ts\":";
         write_us(os, ev.ts);
         os << ",\"name\":\"";
         json_escape(os, event_name(ev));
-        os << "\",\"args\":{\"bytes\":" << ev.value << ",\"tag\":" << ev.tag
-           << ",\"peer\":" << ev.peer << "}}";
+        os << "\",\"args\":{\"span\":" << ev.span << ",\"parent\":" << ev.parent
+           << ",\"bytes\":" << ev.value << ",\"tag\":" << ev.tag << ",\"peer\":" << ev.peer
+           << "}}";
+        // Flow starts co-located with the post (same ts/pid/tid keeps the
+        // track monotone); id is the matched receive's span.
+        const auto fit = flows_from.find(i);
+        if (fit != flows_from.end()) {
+          for (const std::uint64_t flow : fit->second) {
+            sep();
+            os << "{\"ph\":\"s\",\"cat\":\"journey\",\"id\":" << flow << ",\"pid\":" << pid
+               << ",\"tid\":" << tid << ",\"ts\":";
+            write_us(os, ev.ts);
+            os << ",\"name\":\"journey\"}";
+          }
+        }
+        break;
+      }
+      case TraceEv::kMatch:
+        os << "{\"ph\":\"i\",\"s\":\"t\",\"pid\":" << pid << ",\"tid\":" << tid << ",\"ts\":";
+        write_us(os, ev.ts);
+        os << ",\"name\":\"match\",\"args\":{\"span\":" << ev.span << ",\"parent\":" << ev.parent
+           << ",\"bytes\":" << ev.value << ",\"tag\":" << ev.tag << ",\"peer\":" << ev.peer
+           << "}}";
+        if (flow_ok.count(ev.span) != 0) {
+          sep();
+          os << "{\"ph\":\"f\",\"bp\":\"e\",\"cat\":\"journey\",\"id\":" << ev.span
+             << ",\"pid\":" << pid << ",\"tid\":" << tid << ",\"ts\":";
+          write_us(os, ev.ts);
+          os << ",\"name\":\"journey\"}";
+        }
         break;
       case TraceEv::kComplete:
       case TraceEv::kError:
@@ -583,6 +667,9 @@ bool validate_chrome_trace_json(const std::string& text, std::string* error) {
     if ((phc == 'b' || phc == 'e') && ev.find("id") == nullptr) {
       return schema_fail(error, i, "async event missing id");
     }
+    if ((phc == 's' || phc == 'f') && ev.find("id") == nullptr) {
+      return schema_fail(error, i, "flow event missing id");
+    }
     auto [it, inserted] = last_ts.emplace(std::make_pair(pid->num, tid->num), ts->num);
     if (!inserted) {
       if (ts->num < it->second) {
@@ -592,6 +679,141 @@ bool validate_chrome_trace_json(const std::string& text, std::string* error) {
     }
   }
   return true;
+}
+
+// ---------------------------------------------------------------------------
+// Causal-link integrity (DESIGN.md §14). Shared core over (span, parent, ts)
+// triples extracted either from in-memory TraceEvents or from an exported
+// Chrome trace's args.
+
+namespace {
+
+struct LinkNode {
+  std::uint64_t span = 0;
+  std::uint64_t parent = 0;
+  double ts = 0;
+  bool is_post = false;  ///< defines the span (link targets must be posts)
+};
+
+bool check_links(const std::vector<LinkNode>& nodes, bool strict, std::string* error) {
+  const auto set_err = [&](const std::string& what) {
+    if (error != nullptr) *error = what;
+    return false;
+  };
+  // Span definitions: the first kPost per span anchors its timestamp.
+  std::map<std::uint64_t, double> post_ts;
+  for (const LinkNode& n : nodes) {
+    if (n.is_post && n.span != 0) post_ts.emplace(n.span, n.ts);
+  }
+  // Every non-root edge resolves, and a child never precedes its parent's
+  // post in virtual time (the "journey virtual-time monotone" invariant —
+  // arrival, retransmit, and match times all sit at or after the send post).
+  std::map<std::uint64_t, std::set<std::uint64_t>> edges;  // child span -> parents
+  for (const LinkNode& n : nodes) {
+    if (n.parent == 0) continue;
+    const auto it = post_ts.find(n.parent);
+    if (it == post_ts.end()) {
+      if (strict) {
+        return set_err("span " + std::to_string(n.span) + ": parent " +
+                       std::to_string(n.parent) + " has no post event (unresolved edge)");
+      }
+      continue;  // tolerated: the parent's post was overwritten by a ring wrap
+    }
+    if (n.ts < it->second) {
+      return set_err("span " + std::to_string(n.span) + ": ts precedes parent " +
+                     std::to_string(n.parent) + "'s post (journey not monotone)");
+    }
+    if (n.span != 0) edges[n.span].insert(n.parent);
+  }
+  // No cycles along parent edges (colored DFS over the span graph).
+  std::map<std::uint64_t, int> color;  // 0 unvisited, 1 on stack, 2 done
+  std::vector<std::pair<std::uint64_t, std::set<std::uint64_t>::const_iterator>> stack;
+  for (const auto& [root, unused] : edges) {
+    if (color[root] != 0) continue;
+    color[root] = 1;
+    stack.emplace_back(root, edges[root].begin());
+    while (!stack.empty()) {
+      auto& [node, it] = stack.back();
+      const auto eit = edges.find(node);
+      if (eit == edges.end() || it == eit->second.end()) {
+        color[node] = 2;
+        stack.pop_back();
+        continue;
+      }
+      const std::uint64_t next = *it++;
+      if (edges.count(next) == 0) continue;
+      if (color[next] == 1) {
+        return set_err("span " + std::to_string(node) + " -> " + std::to_string(next) +
+                       ": parent edges form a cycle");
+      }
+      if (color[next] == 0) {
+        color[next] = 1;
+        stack.emplace_back(next, edges[next].begin());
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool validate_trace_links(const std::vector<TraceEvent>& events, bool strict,
+                          std::string* error) {
+  std::vector<LinkNode> nodes;
+  nodes.reserve(events.size());
+  for (const TraceEvent& ev : events) {
+    LinkNode n;
+    n.span = ev.span;
+    n.parent = ev.parent;
+    n.ts = static_cast<double>(ev.ts);
+    n.is_post = ev.kind == TraceEv::kPost;
+    nodes.push_back(n);
+  }
+  return check_links(nodes, strict, error);
+}
+
+bool validate_trace_links_json(const std::string& text, std::string* error) {
+  JsonValue root;
+  if (!parse_json(text, &root, error)) return false;
+  if (root.kind != JsonValue::Kind::kObject) {
+    if (error != nullptr) *error = "root is not an object";
+    return false;
+  }
+  const JsonValue* events = root.find("traceEvents");
+  if (events == nullptr || events->kind != JsonValue::Kind::kArray) {
+    if (error != nullptr) *error = "missing traceEvents array";
+    return false;
+  }
+  bool dropped = false;
+  if (const JsonValue* other = root.find("otherData"); other != nullptr) {
+    if (const JsonValue* d = other->find("dropped");
+        d != nullptr && d->kind == JsonValue::Kind::kNumber && d->num > 0) {
+      dropped = true;
+    }
+  }
+  std::vector<LinkNode> nodes;
+  for (const JsonValue& ev : events->arr) {
+    if (ev.kind != JsonValue::Kind::kObject) continue;
+    const JsonValue* ph = ev.find("ph");
+    const JsonValue* args = ev.find("args");
+    const JsonValue* ts = ev.find("ts");
+    if (ph == nullptr || ph->kind != JsonValue::Kind::kString || args == nullptr ||
+        ts == nullptr) {
+      continue;
+    }
+    const JsonValue* span = args->find("span");
+    const JsonValue* parent = args->find("parent");
+    if (span == nullptr || span->kind != JsonValue::Kind::kNumber) continue;
+    LinkNode n;
+    n.span = static_cast<std::uint64_t>(span->num);
+    if (parent != nullptr && parent->kind == JsonValue::Kind::kNumber) {
+      n.parent = static_cast<std::uint64_t>(parent->num);
+    }
+    n.ts = ts->num;
+    n.is_post = ph->str == "b";
+    nodes.push_back(n);
+  }
+  return check_links(nodes, !dropped, error);
 }
 
 }  // namespace tmpi::net

@@ -64,6 +64,7 @@ enum class TraceEv : std::uint8_t {
   kDeposit,         ///< matching-engine deposit (duration event)
   kPostRecv,        ///< receive posted into the matching engine
   kProbe,           ///< unexpected-queue probe
+  kMatch,           ///< envelope matched a posted receive (parent = send span)
   kComplete,        ///< operation completed (span ends)
   kError,           ///< operation failed (span ends; value = errc int)
   // Instants (fault/overload occurrences, DESIGN.md §7/§8).
@@ -87,11 +88,15 @@ enum class TraceEv : std::uint8_t {
 enum class TraceOp : std::uint8_t { kNone, kSend, kRecv, kRma, kPartition, kColl, kProbe };
 [[nodiscard]] const char* to_string(TraceOp op);
 
-/// One recorded event. Plain data; ~72 bytes.
+/// One recorded event. Plain data; ~80 bytes.
 struct TraceEvent {
   Time ts = 0;                ///< virtual timestamp (ns)
   Time dur = 0;               ///< duration for kInject/kRxOccupy/kDeposit
   std::uint64_t span = 0;     ///< owning operation span (0 = none)
+  std::uint64_t parent = 0;   ///< causal parent span (0 = root). kPost events
+                              ///< inherit the enclosing collective's span;
+                              ///< kMatch events carry the matched send's span
+                              ///< — the cross-rank journey edge.
   std::uint64_t value = 0;    ///< bytes / gauge sample / errc, per kind
   std::uint64_t seq = 0;      ///< global record order (sort tiebreak)
   const char* name = nullptr;  ///< op label (string literal); null = family
@@ -150,6 +155,15 @@ class TraceRecorder {
   [[nodiscard]] std::uint64_t recorded() const;
   [[nodiscard]] std::uint64_t dropped() const;
 
+  /// Per-thread ring accounting (one entry per recording thread, registry
+  /// order). Surfaced by the metrics exporters so a wrapped ring is visible
+  /// per thread, not just as a global sum.
+  struct ThreadStats {
+    std::uint64_t recorded = 0;  ///< events this thread ever wrote
+    std::uint64_t dropped = 0;   ///< events its ring overwrote
+  };
+  [[nodiscard]] std::vector<ThreadStats> thread_stats() const;
+
   /// All retained events, sorted by (ts, seq).
   [[nodiscard]] std::vector<TraceEvent> merged() const;
 
@@ -160,8 +174,11 @@ class TraceRecorder {
 
   /// Serialize the merged stream as Chrome `trace_event` JSON: one "process"
   /// per rank, one "thread" per VCI, async spans per operation, counter
-  /// tracks for the gauges.
-  void write_chrome_trace(std::ostream& os) const;
+  /// tracks for the gauges, and flow arrows (`ph:"s"`/`"f"`) from each send's
+  /// kPost to the matched receive's kMatch when both endpoints survived the
+  /// rings. A non-empty `note` lands in `otherData.note` (the flight
+  /// recorder stamps its dump reason there).
+  void write_chrome_trace(std::ostream& os, const std::string& note = {}) const;
 
  private:
   struct ThreadBuffer {
@@ -184,6 +201,26 @@ class TraceRecorder {
   std::atomic<bool> has_sink_{false};
 };
 
+/// Thread-local causal-parent scope. A collective entry installs its span
+/// here for the duration of the call; every fragment posted inside the scope
+/// (isend/irecv at the p2p layer) stamps `TraceEvent::parent` with it, so the
+/// Chrome trace links fragments to the collective that issued them. Nests
+/// (save/restore) because hierarchical algorithms compose collectives.
+class ScopedTraceParent {
+ public:
+  explicit ScopedTraceParent(std::uint64_t span) : prev_(current_) { current_ = span; }
+  ~ScopedTraceParent() { current_ = prev_; }
+  ScopedTraceParent(const ScopedTraceParent&) = delete;
+  ScopedTraceParent& operator=(const ScopedTraceParent&) = delete;
+
+  /// The innermost enclosing parent span, 0 outside any scope.
+  [[nodiscard]] static std::uint64_t current() { return current_; }
+
+ private:
+  std::uint64_t prev_;
+  inline static thread_local std::uint64_t current_ = 0;
+};
+
 /// One-line human rendering ("[t=140] rank 0 vci 1 inject Send tag 7 ...");
 /// used by the watchdog report's trace history.
 [[nodiscard]] std::string format_trace_event(const TraceEvent& ev);
@@ -197,6 +234,21 @@ class TraceRecorder {
 
 /// Syntax-only JSON check (used for the metrics dump round trip).
 [[nodiscard]] bool validate_json_text(const std::string& text, std::string* error);
+
+/// Causal-link integrity over an in-memory event stream: every non-zero
+/// parent edge resolves to a kPost event's span, the parent graph is
+/// acyclic, and a child event never precedes its parent's post in virtual
+/// time. Parents whose posts were overwritten by a ring wrap are tolerated
+/// only when `dropped > 0` was reported — pass `strict = true` to reject
+/// any unresolved edge (the golden-journey tests run strict).
+[[nodiscard]] bool validate_trace_links(const std::vector<TraceEvent>& events, bool strict,
+                                        std::string* error);
+
+/// The same link checks over an exported Chrome trace (`trace_validate
+/// --links`): parents are read back from the `args.parent` the exporter
+/// writes on `b` (post) and `match` events. Unresolved edges are tolerated
+/// when `otherData.dropped > 0` (a wrapped ring legitimately loses posts).
+[[nodiscard]] bool validate_trace_links_json(const std::string& text, std::string* error);
 
 }  // namespace tmpi::net
 

@@ -2,8 +2,10 @@
 
 #include <cstdint>
 #include <cstring>
+#include <optional>
 #include <vector>
 
+#include "net/trace.h"
 #include "tmpi/error.h"
 #include "tmpi/p2p.h"
 #include "tmpi/request.h"
@@ -197,6 +199,7 @@ bool use_hier(const Comm& comm) {
 struct CollTraceScope {
   net::TraceRecorder* tr = nullptr;
   net::TraceEvent ev;
+  std::optional<net::ScopedTraceParent> parent_scope;
 
   CollTraceScope(const Comm& comm, const char* name) {
     tr = comm.world().tracer();
@@ -205,10 +208,15 @@ struct CollTraceScope {
     ev.kind = net::TraceEv::kPost;
     ev.op = net::TraceOp::kColl;
     ev.span = tr->begin_span();
+    ev.parent = net::ScopedTraceParent::current();  // hier algorithms nest
     ev.name = name;
     ev.rank = comm.world_rank_of(comm.rank());
     ev.vci = 0;
     tr->record(ev);
+    // Every p2p fragment posted inside this call parents to the collective's
+    // span (DESIGN.md §14) — the thread-local scope is read back by
+    // isend/irecv when they open their fragment spans.
+    parent_scope.emplace(ev.span);
   }
 
   void close(Errc code) {

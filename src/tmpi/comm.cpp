@@ -534,7 +534,21 @@ Comm Comm::split(int color, int key) const {
 
 void Comm::revoke() const {
   const net::Time t = net::ThreadClock::bound() ? net::ThreadClock::get().now() : 0;
-  if (impl_->revoke_at(t)) world().fabric().stats().add_revoke();
+  if (impl_->revoke_at(t)) {
+    world().fabric().stats().add_revoke();
+    // A revoke is a recovery action: capture the events that provoked it in
+    // the black box before the survivors rebuild (first dump wins).
+    if (net::FlightRecorder* fr = world().flightrec()) {
+      net::TraceEvent ev;
+      ev.ts = t;
+      ev.kind = net::TraceEv::kRankDown;
+      ev.name = "Revoke";
+      ev.rank = impl_->world_rank_of(rank_);
+      ev.value = static_cast<std::uint64_t>(impl_->ctx_id);
+      fr->record(ev);
+      fr->dump("communicator revoked");
+    }
+  }
 }
 
 Comm Comm::shrink() const {

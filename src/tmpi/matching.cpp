@@ -49,6 +49,24 @@ void MatchingEngine::count_fallback(net::NetStats* stats) const {
 
 void MatchingEngine::deliver(Envelope& env, PostedRecv& pr, net::Time match_time) {
   release_credit(env);
+  // The cross-rank causal edge (DESIGN.md §14): the receive's span adopts
+  // the send's span as parent at the moment of the match. Recorded through
+  // the receive request's recorder — the engine itself has no tracer — and
+  // charges no virtual time.
+  if (pr.req->tracer != nullptr) {
+    net::TraceEvent ev;
+    ev.ts = match_time;
+    ev.kind = net::TraceEv::kMatch;
+    ev.op = pr.req->trace_op;
+    ev.span = pr.req->trace_span;
+    ev.parent = env.trace_span;
+    ev.rank = pr.req->wd_rank;
+    ev.vci = pr.req->wd_vci;
+    ev.peer = env.src_world;
+    ev.tag = static_cast<std::int32_t>(env.tag);
+    ev.value = env.bytes;
+    pr.req->tracer->record(ev);
+  }
   Status st;
   st.source = env.src;
   st.tag = env.tag;

@@ -121,6 +121,12 @@ struct Envelope {
   std::size_t bytes = 0;
   net::PooledBuf payload;  ///< owned data (eager protocol), slab-recycled
 
+  /// Sending operation's trace span (0 = untraced). Travels with the
+  /// envelope through retransmits, failover absorption, and purges so the
+  /// matched receive can record the cross-rank causal edge (kMatch,
+  /// DESIGN.md §14). Carrying the id is free when tracing is off.
+  std::uint64_t trace_span = 0;
+
   /// Sender-side routing verdict: the communicator asserted no wildcards (or
   /// this is collective traffic, which never uses them), so this envelope
   /// may be indexed by exact key. Consistent per ctx_id by construction.

@@ -82,6 +82,7 @@ Request isend_impl(const void* buf, std::size_t bytes, int ctx_id, int dst, Tag 
     ev.kind = net::TraceEv::kPost;
     ev.op = net::TraceOp::kSend;
     ev.span = req->trace_span;
+    ev.parent = net::ScopedTraceParent::current();
     ev.name = "Send";
     ev.rank = src_wr;
     ev.vci = route.local;
@@ -180,6 +181,7 @@ Request isend_impl(const void* buf, std::size_t bytes, int ctx_id, int dst, Tag 
   env.src_world = src_wr;
   env.tag = tag;
   env.bytes = bytes;
+  env.trace_span = req->trace_span;  // the causal edge the match will record
   env.fastpath = fastpath_ctx(c, ctx_id);
   if (rndv) {
     env.rendezvous = true;
@@ -244,6 +246,7 @@ Request irecv_impl(void* buf, std::size_t capacity, int ctx_id, int src, Tag tag
     ev.kind = net::TraceEv::kPost;
     ev.op = net::TraceOp::kRecv;
     ev.span = req->trace_span;
+    ev.parent = net::ScopedTraceParent::current();
     ev.name = "Recv";
     ev.rank = req->wd_rank;
     ev.vci = lvci;
@@ -314,7 +317,8 @@ bool iprobe(int src, Tag tag, const Comm& comm, Status* st) {
   const detail::CommImpl& c = *comm.impl();
   const int lvci = detail::route_recv(c, comm.rank(), src, tag);
   return w.transport().probe(c.world_rank_of(comm.rank()), lvci, c.ctx_id, src, tag, st,
-                             fastpath_ctx(c, c.ctx_id));
+                             fastpath_ctx(c, c.ctx_id),
+                             src == kAnySource ? -1 : c.world_rank_of(src));
 }
 
 Status probe(int src, Tag tag, const Comm& comm) {

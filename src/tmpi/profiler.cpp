@@ -24,11 +24,15 @@ bool attach_tool(World& w, ToolHooks* hooks) {
       default: hooks->on_instant(ev); break;
     }
   });
+  if (net::MetricsSampler* ms = w.metrics()) {
+    ms->set_hook([hooks](const net::MetricsWindow& win) { hooks->on_window(win); });
+  }
   return true;
 }
 
 void detach_tool(World& w) {
   if (net::TraceRecorder* tr = w.tracer()) tr->set_sink(nullptr);
+  if (net::MetricsSampler* ms = w.metrics()) ms->set_hook(nullptr);
 }
 
 namespace {
@@ -99,7 +103,15 @@ std::vector<net::OpLatency> compute_op_latency(const net::TraceRecorder& rec) {
 void write_metrics_json(const net::TraceRecorder& rec, std::ostream& os) {
   const std::vector<net::OpLatency> rows = compute_op_latency(rec);
   os << "{\"events_recorded\":" << rec.recorded() << ",\"events_dropped\":" << rec.dropped()
-     << ",\"ops\":[";
+     << ",\"threads\":[";
+  // Per-thread ring accounting: a journey that validates as incomplete is
+  // usually one thread's ring wrapping, not a recorder-wide loss.
+  const std::vector<net::TraceRecorder::ThreadStats> threads = rec.thread_stats();
+  for (std::size_t i = 0; i < threads.size(); ++i) {
+    os << (i == 0 ? "" : ",") << "{\"recorded\":" << threads[i].recorded
+       << ",\"dropped\":" << threads[i].dropped << "}";
+  }
+  os << "],\"ops\":[";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const net::OpLatency& r = rows[i];
     os << (i == 0 ? "" : ",") << "\n{\"op\":\"" << r.op << "\",\"count\":" << r.count
@@ -114,6 +126,11 @@ void write_metrics_csv(const net::TraceRecorder& rec, std::ostream& os) {
   for (const net::OpLatency& r : compute_op_latency(rec)) {
     os << r.op << "," << r.count << "," << r.errors << "," << r.p50 << "," << r.p90 << ","
        << r.p99 << "\n";
+  }
+  os << "thread,recorded,dropped\n";
+  const std::vector<net::TraceRecorder::ThreadStats> threads = rec.thread_stats();
+  for (std::size_t i = 0; i < threads.size(); ++i) {
+    os << i << "," << threads[i].recorded << "," << threads[i].dropped << "\n";
   }
 }
 

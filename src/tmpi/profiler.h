@@ -4,6 +4,7 @@
 #include <iosfwd>
 #include <vector>
 
+#include "net/metrics.h"
 #include "net/stats.h"
 #include "net/trace.h"
 
@@ -33,6 +34,9 @@ class ToolHooks {
   virtual void on_error(const net::TraceEvent& /*ev*/) {}
   virtual void on_instant(const net::TraceEvent& /*ev*/) {}
   virtual void on_gauge(const net::TraceEvent& /*ev*/) {}
+  /// One closed metrics window (DESIGN.md §14). Fires only when the world
+  /// runs a sampler (`tmpi_metrics_window_ns` > 0), under the sampler lock.
+  virtual void on_window(const net::MetricsWindow& /*win*/) {}
 };
 
 /// Subscribe `hooks` to every event `w` records. Returns false (and attaches

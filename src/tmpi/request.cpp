@@ -5,6 +5,7 @@
 #include <new>
 #include <vector>
 
+#include "net/flightrec.h"
 #include "net/spin.h"
 #include "net/virtual_clock.h"
 #include "tmpi/error.h"
@@ -133,6 +134,10 @@ void startall(Request* reqs, std::size_t n) {
 namespace {
 
 [[noreturn]] void raise_request_error(Errc code) {
+  // The black box exists for this moment: an operation is about to take the
+  // process down, so dump the last events before the stack unwinds
+  // (best-effort; no-op without an active recorder, first dump wins).
+  net::FlightRecorder::dump_active("fatal: " + std::string(to_string(code)));
   switch (code) {
     case Errc::kTimeout:
       fail(code, "operation timed out after exhausting retransmissions");

@@ -3,7 +3,9 @@
 #include <algorithm>
 
 #include "net/fault.h"
+#include "net/flightrec.h"
 #include "net/liveness.h"
+#include "net/metrics.h"
 #include "net/pdes.h"
 #include "net/slab_pool.h"
 #include "tmpi/world.h"
@@ -11,6 +13,20 @@
 namespace tmpi::detail {
 
 namespace {
+
+/// Recording fan-out (DESIGN.md §14): the opt-in tracer and the always-on
+/// flight recorder consume the same event stream from the choke points.
+/// Neither touches a virtual clock, so recording can never shift times.
+struct Sinks {
+  net::TraceRecorder* tr = nullptr;
+  net::FlightRecorder* fr = nullptr;
+  explicit Sinks(World& w) : tr(w.tracer()), fr(w.flightrec()) {}
+  [[nodiscard]] bool on() const { return tr != nullptr || fr != nullptr; }
+  void record(const net::TraceEvent& e) const {
+    if (tr != nullptr) tr->record(e);
+    if (fr != nullptr) fr->record(e);
+  }
+};
 
 /// Safe point (DESIGN.md §12): before the caller touches `v`'s hardware
 /// context or matching engine, process every delivery queued for that
@@ -95,14 +111,14 @@ void fail_over_stream(World& w, int rank, int vci, net::VirtualClock& clk) {
   dst.engine().absorb(from.engine());
   stats->add_failover();
   if (from.chstats() != nullptr) from.chstats()->add_failover();
-  if (net::TraceRecorder* tr = w.tracer()) {
+  if (const Sinks snk(w); snk.on()) {
     net::TraceEvent e;
     e.ts = clk.now();
     e.kind = net::TraceEv::kFailover;
     e.rank = rank;
     e.vci = vci;
     e.value = static_cast<std::uint64_t>(to);  // fallback channel
-    tr->record(e);
+    snk.record(e);
   }
 }
 
@@ -144,7 +160,7 @@ InjectResult Transport::inject(const OpDesc& op) {
 
   InjectResult r;
   r.vci_used = op.local_vci;
-  net::TraceRecorder* tr = w.tracer();
+  const Sinks snk(w);
 
   net::FaultInjector* fi = w.fault_injector();
   if (fi == nullptr) {
@@ -155,22 +171,23 @@ InjectResult Transport::inject(const OpDesc& op) {
     pdes_drain_channel(w, me.node, lv);
     {
       net::ContentionLock::Guard g(lv.lock(), clk, cm, stats, lv.chstats());
-      if (tr != nullptr) tr->record(trace_tx(op, net::TraceEv::kLockAcquired, clk.now(), op.local_vci));
+      if (snk.on()) snk.record(trace_tx(op, net::TraceEv::kLockAcquired, clk.now(), op.local_vci));
       const net::Time t0 = clk.now();
       r.inject_done = lv.ctx().inject(clk, cm, lv.chstats());
-      if (tr != nullptr) {
+      if (snk.on()) {
         net::TraceEvent e = trace_tx(op, net::TraceEv::kInject, t0, op.local_vci);
         e.dur = r.inject_done > t0 ? r.inject_done - t0 : 0;
-        tr->record(e);
+        snk.record(e);
         // Injection latency (queueing behind earlier ops + tx occupancy) as
         // a per-channel gauge — the VCI occupancy timeline of DESIGN.md §9.
         net::TraceEvent gc = trace_tx(op, net::TraceEv::kCtxBacklog, t0, op.local_vci);
         gc.value = e.dur;
-        tr->record(gc);
+        snk.record(gc);
       }
     }
     tally_op(op, stats);
     r.arrival = r.inject_done + w.fabric().transfer_time(me.node, peer.node, wire_bytes);
+    if (net::MetricsSampler* ms = w.metrics()) ms->maybe_sample(r.inject_done);
     return r;
   }
 
@@ -199,10 +216,10 @@ InjectResult Transport::inject(const OpDesc& op) {
         r.arrival = 0;
         stats->add_proc_failure();
         if (lv.chstats() != nullptr) lv.chstats()->add_proc_failure();
-        if (tr != nullptr) {
+        if (snk.on()) {
           net::TraceEvent e = trace_tx(op, net::TraceEv::kRankDown, clk.now(), lvci);
           e.value = static_cast<std::uint64_t>(dead);
-          tr->record(e);
+          snk.record(e);
         }
         return r;
       }
@@ -217,13 +234,13 @@ InjectResult Transport::inject(const OpDesc& op) {
   for (int attempt = 0;; ++attempt) {
     {
       net::ContentionLock::Guard g(lv.lock(), clk, cm, stats, lv.chstats());
-      if (tr != nullptr) tr->record(trace_tx(op, net::TraceEv::kLockAcquired, clk.now(), lvci));
+      if (snk.on()) snk.record(trace_tx(op, net::TraceEv::kLockAcquired, clk.now(), lvci));
       const net::Time t0 = clk.now();
       r.inject_done = lv.ctx().inject(clk, cm, lv.chstats());
-      if (tr != nullptr) {
+      if (snk.on()) {
         net::TraceEvent e = trace_tx(op, net::TraceEv::kInject, t0, lvci);
         e.dur = r.inject_done > t0 ? r.inject_done - t0 : 0;
-        tr->record(e);
+        snk.record(e);
       }
     }
     r.attempts = attempt + 1;
@@ -234,14 +251,15 @@ InjectResult Transport::inject(const OpDesc& op) {
       if (v.action == net::FaultAction::kDelay) {
         stats->add_delay();
         if (lv.chstats() != nullptr) lv.chstats()->add_delay();
-        if (tr != nullptr) {
+        if (snk.on()) {
           net::TraceEvent e = trace_tx(op, net::TraceEv::kDelay, r.inject_done, lvci);
           e.value = v.delay_ns;
-          tr->record(e);
+          snk.record(e);
         }
       }
       r.arrival =
           r.inject_done + w.fabric().transfer_time(me.node, peer.node, wire_bytes) + v.delay_ns;
+      if (net::MetricsSampler* ms = w.metrics()) ms->maybe_sample(r.inject_done);
       return r;
     }
 
@@ -250,11 +268,11 @@ InjectResult Transport::inject(const OpDesc& op) {
     if (v.action == net::FaultAction::kDrop) {
       stats->add_drop();
       if (lv.chstats() != nullptr) lv.chstats()->add_drop();
-      if (tr != nullptr) tr->record(trace_tx(op, net::TraceEv::kDrop, r.inject_done, lvci));
+      if (snk.on()) snk.record(trace_tx(op, net::TraceEv::kDrop, r.inject_done, lvci));
     } else {
       stats->add_corrupt();
       if (lv.chstats() != nullptr) lv.chstats()->add_corrupt();
-      if (tr != nullptr) tr->record(trace_tx(op, net::TraceEv::kCorrupt, r.inject_done, lvci));
+      if (snk.on()) snk.record(trace_tx(op, net::TraceEv::kCorrupt, r.inject_done, lvci));
     }
 
     const bool budget_left =
@@ -263,7 +281,7 @@ InjectResult Transport::inject(const OpDesc& op) {
     if (!budget_left) {
       stats->add_timeout();
       if (lv.chstats() != nullptr) lv.chstats()->add_timeout();
-      if (tr != nullptr) tr->record(trace_tx(op, net::TraceEv::kTimeout, clk.now(), lvci));
+      if (snk.on()) snk.record(trace_tx(op, net::TraceEv::kTimeout, clk.now(), lvci));
       r.timed_out = true;
       r.arrival = 0;
       return r;
@@ -275,7 +293,7 @@ InjectResult Transport::inject(const OpDesc& op) {
     backoff = std::min(backoff * 2, cm.retrans_backoff_max_ns);
     stats->add_retransmit();
     if (lv.chstats() != nullptr) lv.chstats()->add_retransmit();
-    if (tr != nullptr) tr->record(trace_tx(op, net::TraceEv::kRetransmit, clk.now(), lvci));
+    if (snk.on()) snk.record(trace_tx(op, net::TraceEv::kRetransmit, clk.now(), lvci));
   }
 }
 
@@ -382,7 +400,7 @@ bool Transport::deliver_now(const OpDesc& op, Envelope&& env, net::Time arrival)
   }
   const std::size_t cap = static_cast<std::size_t>(w.overload().unexpected_cap);
   Vci& rv = w.rank_state(op.dst_world_rank).vcis.at(rvci);
-  net::TraceRecorder* tr = w.tracer();
+  const Sinks snk(w);
   rv.ctx().receive(aclk, cm, rv.chstats());
   const net::Time rx_done = aclk.now();
   bool accepted = true;
@@ -396,24 +414,25 @@ bool Transport::deliver_now(const OpDesc& op, Envelope&& env, net::Time arrival)
     depth = rv.engine().unexpected_depth();
     dep_done = aclk.now();
   }
-  if (tr != nullptr) {
+  if (snk.on()) {
     // Receiver-side occupancy timeline: rx context busy, then the deposit
     // under the VCI lock, then the resulting unexpected-queue depth gauge.
     net::TraceEvent rx = trace_rx(op, net::TraceEv::kRxOccupy, arrival, rvci);
     rx.dur = rx_done > arrival ? rx_done - arrival : 0;
-    tr->record(rx);
+    snk.record(rx);
     net::TraceEvent dep = trace_rx(op, net::TraceEv::kDeposit, dep_start, rvci);
     dep.dur = dep_done > dep_start ? dep_done - dep_start : 0;
-    tr->record(dep);
+    snk.record(dep);
     net::TraceEvent gq = trace_rx(op, net::TraceEv::kUnexpectedDepth, dep_done, rvci);
     gq.value = depth;
-    tr->record(gq);
-    if (!accepted) tr->record(trace_rx(op, net::TraceEv::kOverflow, dep_done, rvci));
+    snk.record(gq);
+    if (!accepted) snk.record(trace_rx(op, net::TraceEv::kOverflow, dep_done, rvci));
   }
   if (w.overload().enabled()) {
     stats->note_unexpected_depth(depth);
     if (rv.chstats() != nullptr) rv.chstats()->note_unexpected_depth(depth);
   }
+  if (net::MetricsSampler* ms = w.metrics()) ms->maybe_sample(dep_done);
   if (!accepted) {
     stats->add_overflow();
     if (rv.chstats() != nullptr) rv.chstats()->add_overflow();
@@ -445,14 +464,14 @@ Transport::EagerGrant Transport::try_reserve_eager(int dst_world_rank, int remot
   net::NetStats* stats = &w.fabric().stats();
   stats->add_credit_stall();
   if (v.chstats() != nullptr) v.chstats()->add_credit_stall();
-  if (net::TraceRecorder* tr = w.tracer()) {
+  if (const Sinks snk(w); snk.on()) {
     net::TraceEvent e;
     e.ts = net::ThreadClock::bound() ? net::ThreadClock::get().now() : 0;
     e.kind = net::TraceEv::kCreditStall;
     e.op = net::TraceOp::kSend;
     e.rank = dst_world_rank;  // the stalled destination channel
     e.vci = vci;
-    tr->record(e);
+    snk.record(e);
   }
   return {false, nullptr};
 }
@@ -468,10 +487,10 @@ net::Time Transport::occupy_rx(const OpDesc& op, net::Time arrival) {
   Vci& rv = dst.vcis.at(rvci);
   pdes_drain_channel(w, dst.node, rv);
   rv.ctx().receive(aclk, w.cost(), rv.chstats());
-  if (net::TraceRecorder* tr = w.tracer()) {
+  if (const Sinks snk(w); snk.on()) {
     net::TraceEvent e = trace_rx(op, net::TraceEv::kRxOccupy, arrival, rvci);
     e.dur = aclk.now() > arrival ? aclk.now() - arrival : 0;
-    tr->record(e);
+    snk.record(e);
   }
   return aclk.now();
 }
@@ -511,7 +530,7 @@ void Transport::post_recv(int world_rank, int local_vci, PostedRecv pr) {
       }
     }
   }
-  if (net::TraceRecorder* tr = w.tracer()) {
+  if (const Sinks snk(w); snk.on()) {
     net::TraceEvent e;
     e.ts = clk.now();
     e.kind = net::TraceEv::kPostRecv;
@@ -520,12 +539,12 @@ void Transport::post_recv(int world_rank, int local_vci, PostedRecv pr) {
     e.rank = world_rank;
     e.vci = vci;
     e.tag = tag;
-    tr->record(e);
+    snk.record(e);
   }
 }
 
 bool Transport::probe(int world_rank, int local_vci, int ctx_id, int src, Tag tag, Status* st,
-                      bool fastpath) {
+                      bool fastpath, int src_world) {
   World& w = *w_;
   const net::CostModel& cm = w.cost();
   net::NetStats* stats = &w.fabric().stats();
@@ -543,16 +562,19 @@ bool Transport::probe(int world_rank, int local_vci, int ctx_id, int src, Tag ta
   // Only successful probes are recorded: polling loops spin here and would
   // otherwise flood the ring with identical misses.
   if (found) {
-    if (net::TraceRecorder* tr = w.tracer()) {
+    if (const Sinks snk(w); snk.on()) {
       net::TraceEvent e;
       e.ts = clk.now();
       e.kind = net::TraceEv::kProbe;
       e.op = net::TraceOp::kProbe;
       e.rank = world_rank;
       e.vci = vci;
-      e.peer = src;
+      // World-rank attribution: `src` is a communicator rank, which goes
+      // stale after shrink(); callers pass the translated world rank so the
+      // trace names the same peer before and after recovery.
+      e.peer = src_world;
       e.tag = tag;
-      tr->record(e);
+      snk.record(e);
     }
   }
   return found;

@@ -144,8 +144,10 @@ class Transport {
 
   /// Probe the unexpected queue of `local_vci` of `world_rank` (nonblocking).
   /// `fastpath` carries the probing communicator's no-wildcard hint (§10).
+  /// `src_world` is the world rank behind comm-rank `src` (-1 for wildcard):
+  /// trace events record the world rank so attribution survives shrink().
   bool probe(int world_rank, int local_vci, int ctx_id, int src, Tag tag, Status* st,
-             bool fastpath = false);
+             bool fastpath = false, int src_world = -1);
 
   /// Fabric-wide telemetry, including the per-VCI channel counters.
   [[nodiscard]] net::NetStatsSnapshot snapshot() const;

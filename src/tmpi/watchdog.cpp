@@ -141,6 +141,7 @@ std::size_t ProgressWatchdog::fail_dead_peers_locked() {
   net::Liveness& live = w_->fabric().liveness();
   net::NetStats& stats = w_->fabric().stats();
   net::TraceRecorder* tr = w_->tracer();
+  net::FlightRecorder* fr = w_->flightrec();
   std::ostringstream report;
   std::vector<std::uint64_t> failed_tokens;
   for (const auto& [token, op] : blocked_) {
@@ -160,7 +161,7 @@ std::size_t ProgressWatchdog::fail_dead_peers_locked() {
       trips_.fetch_add(1, std::memory_order_relaxed);
       stats.add_proc_failure();
       stats.channel(op.rank, op.vci).add_proc_failure();
-      if (tr != nullptr) {
+      if (tr != nullptr || fr != nullptr) {
         net::TraceEvent ev;
         ev.ts = std::max(op.block_vtime, death);
         ev.kind = net::TraceEv::kWatchdogTrip;
@@ -170,7 +171,8 @@ std::size_t ProgressWatchdog::fail_dead_peers_locked() {
         ev.peer = op.peer;
         ev.tag = op.tag;
         ev.value = static_cast<std::uint64_t>(op.peer);
-        tr->record(ev);
+        if (tr != nullptr) tr->record(ev);
+        if (fr != nullptr) fr->record(ev);
       }
     }
     if (op.wake) op.wake();
@@ -185,6 +187,9 @@ std::size_t ProgressWatchdog::fail_dead_peers_locked() {
   const std::string text = head.str();
   std::fputs(text.c_str(), stderr);
   reports_.push_back(text);
+  // The trip is the post-mortem moment: dump the black box while the events
+  // that led here are still in the ring.
+  if (fr != nullptr) fr->dump("watchdog: operations blocked on failed process");
   return failed_tokens.size();
 }
 
@@ -239,6 +244,7 @@ bool ProgressWatchdog::analyze_locked(bool force_stall) {
 
   net::NetStats& stats = w_->fabric().stats();
   net::TraceRecorder* tr = w_->tracer();
+  net::FlightRecorder* fr = w_->flightrec();
   std::set<std::pair<int, int>> stuck_channels;
   std::vector<std::uint64_t> failed_tokens;
   for (const auto& [token, op] : blocked_) {
@@ -259,7 +265,7 @@ bool ProgressWatchdog::analyze_locked(bool force_stall) {
       trips_.fetch_add(1, std::memory_order_relaxed);
       stats.add_watchdog_trip();
       stats.channel(op.rank, op.vci).add_watchdog_trip();
-      if (tr != nullptr) {
+      if (tr != nullptr || fr != nullptr) {
         net::TraceEvent ev;
         ev.ts = op.block_vtime + budget_ns_;
         ev.kind = net::TraceEv::kWatchdogTrip;
@@ -268,7 +274,8 @@ bool ProgressWatchdog::analyze_locked(bool force_stall) {
         ev.vci = op.vci;
         ev.peer = op.peer;
         ev.tag = op.tag;
-        tr->record(ev);
+        if (tr != nullptr) tr->record(ev);
+        if (fr != nullptr) fr->record(ev);
       }
     }
     if (op.wake) op.wake();
@@ -277,13 +284,15 @@ bool ProgressWatchdog::analyze_locked(bool force_stall) {
   if (!cycle.empty()) stats.add_deadlock();
   for (const std::uint64_t t : failed_tokens) blocked_.erase(t);
 
-  // Trace-aware reporting (DESIGN.md §9): with the recorder on, attach the
-  // last few events each stuck channel saw — usually enough to tell a lost
-  // message from a never-posted receive without opening the full trace.
-  if (tr != nullptr) {
+  // Trace-aware reporting (DESIGN.md §9/§14): attach the last few events
+  // each stuck channel saw — usually enough to tell a lost message from a
+  // never-posted receive without opening the full trace. With tracing off,
+  // the always-on flight recorder supplies the same history.
+  if (tr != nullptr || fr != nullptr) {
     constexpr std::size_t kTailEvents = 8;
     for (const auto& [rank, vci] : stuck_channels) {
-      const std::vector<net::TraceEvent> tail = tr->tail(rank, vci, kTailEvents);
+      const std::vector<net::TraceEvent> tail =
+          tr != nullptr ? tr->tail(rank, vci, kTailEvents) : fr->tail(rank, vci, kTailEvents);
       report << "  recent trace events for rank " << rank << " vci " << vci << ":\n";
       if (tail.empty()) report << "    (none recorded)\n";
       for (const net::TraceEvent& ev : tail) {
@@ -295,6 +304,9 @@ bool ProgressWatchdog::analyze_locked(bool force_stall) {
   const std::string text = report.str();
   std::fputs(text.c_str(), stderr);
   reports_.push_back(text);
+  if (fr != nullptr) {
+    fr->dump(cycle.empty() ? "watchdog: progress stall" : "watchdog: deadlock cycle");
+  }
   return true;
 }
 

@@ -1,5 +1,6 @@
 #include "tmpi/world.h"
 
+#include <cstdio>
 #include <cstdlib>
 #include <exception>
 #include <fstream>
@@ -57,6 +58,26 @@ World::World(WorldConfig cfg) : cfg_(std::move(cfg)), states_(cfg_.nranks) {
   for (const auto& [k, v] : cfg_.trace_info.entries()) tc.set(k, v);
   tc = net::TraceConfig::from_env(std::move(tc));
   if (tc.enabled) tracer_ = std::make_unique<net::TraceRecorder>(std::move(tc));
+
+  // Flight recorder (DESIGN.md §14): always on by default — a small bounded
+  // ring that costs no virtual time and is dumped only post-mortem. The same
+  // trace_info Info carries its keys; TMPI_FLIGHTREC* env overlays.
+  net::FlightRecConfig frc;
+  for (const auto& [k, v] : cfg_.trace_info.entries()) frc.set(k, v);
+  frc = net::FlightRecConfig::from_env(std::move(frc));
+  if (frc.enabled) {
+    flightrec_ = std::make_unique<net::FlightRecorder>(std::move(frc));
+    net::FlightRecorder::set_active(flightrec_.get());
+  }
+
+  // Metrics time-series (DESIGN.md §14): off unless a window width is set,
+  // keeping the default fast path at one relaxed load per op.
+  net::MetricsConfig mc;
+  for (const auto& [k, v] : cfg_.trace_info.entries()) mc.set(k, v);
+  mc = net::MetricsConfig::from_env(std::move(mc));
+  if (mc.window_ns > 0) {
+    metrics_ = std::make_unique<net::MetricsSampler>(&fabric_->stats(), std::move(mc));
+  }
 
   // Matching fast path (DESIGN.md §10): config string, env on top. Any mode
   // is safe anywhere — bucket lookups charge list-equivalent virtual time —
@@ -132,6 +153,17 @@ World::~World() {
   // (whose envelopes reference VCI slab pools) and joins the worker pool
   // while all rank state the events touch is still alive.
   if (pdes_ != nullptr) pdes_->shutdown();
+  // Close the final (partial) metrics window so the per-window deltas
+  // telescope to exactly the cumulative counters, then export. An empty path
+  // samples without ever touching the filesystem.
+  if (metrics_ != nullptr) {
+    metrics_->flush(elapsed());
+    if (!metrics_->config().path.empty()) {
+      const std::string& stem = metrics_->config().path;
+      if (std::ofstream out(stem + ".timeseries.json"); out) metrics_->write_json(out);
+      if (std::ofstream out(stem + ".prom"); out) metrics_->write_prometheus(out);
+    }
+  }
   // Export the trace on teardown (the watchdog thread is still alive here
   // and may record concurrently — the recorder's buffer mutexes make the
   // export safe). An empty path records without ever touching the
@@ -145,6 +177,14 @@ World::~World() {
     }
     if (std::ofstream out(stem + ".metrics.json"); out) write_metrics_json(*tracer_, out);
     if (std::ofstream out(stem + ".metrics.csv"); out) write_metrics_csv(*tracer_, out);
+  }
+  // A wrapped trace ring silently truncates journeys; say so once, with the
+  // count, so a validator failure downstream is not a mystery.
+  if (tracer_ != nullptr && tracer_->dropped() > 0) {
+    std::fprintf(stderr,
+                 "tmpi: trace ring wrapped, %llu event(s) dropped; raise "
+                 "tmpi_trace_buffer_events for complete journeys\n",
+                 static_cast<unsigned long long>(tracer_->dropped()));
   }
 }
 
@@ -165,13 +205,20 @@ void World::on_rank_failure(int rank, net::Time t) {
   if (!fabric_->liveness().mark_dead(rank, t)) return;
 
   net::NetStats* stats = &fabric_->stats();
-  if (tracer_ != nullptr) {
+  if (tracer_ != nullptr || flightrec_ != nullptr) {
     net::TraceEvent e;
     e.ts = t;
     e.kind = net::TraceEv::kRankDown;
     e.rank = rank;
     e.value = static_cast<std::uint64_t>(rank);
-    tracer_->record(e);
+    if (tracer_ != nullptr) tracer_->record(e);
+    if (flightrec_ != nullptr) flightrec_->record(e);
+  }
+  // A rank death is exactly the post-mortem the black box exists for: dump
+  // the last events now, while the context that led here is still in the
+  // ring (first catastrophe wins; later dumps are no-ops).
+  if (flightrec_ != nullptr) {
+    flightrec_->dump("rank " + std::to_string(rank) + " down at t=" + std::to_string(t));
   }
 
   // The dead rank's NIC contexts go down with it (materialized ones only; an

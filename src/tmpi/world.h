@@ -11,6 +11,8 @@
 
 #include "net/fabric.h"
 #include "net/fault.h"
+#include "net/flightrec.h"
+#include "net/metrics.h"
 #include "net/trace.h"
 #include "tmpi/comm.h"
 #include "tmpi/error.h"
@@ -61,6 +63,11 @@ struct WorldConfig {
   /// `tmpi_trace_buffer_events`; see net/trace.h). TMPI_TRACE* environment
   /// variables overlay these. Leave empty (or `tmpi_trace=0`) for the
   /// recorder-free configuration — bit-exact, one null-pointer test per op.
+  ///
+  /// The same Info also carries the flight-recorder keys (`tmpi_flightrec`,
+  /// `tmpi_flightrec_path`, `tmpi_flightrec_events`; see net/flightrec.h) and
+  /// the metrics-sampler keys (`tmpi_metrics_window_ns`, `tmpi_metrics_path`;
+  /// see net/metrics.h) — all observability knobs ride together.
   Info trace_info{};
   /// Matching-engine indexing discipline (DESIGN.md §10): "auto" buckets
   /// entries from no-wildcard-hinted communicators, "bucket" indexes every
@@ -216,6 +223,14 @@ class World {
   /// Tracing layer (DESIGN.md §9): null unless `tmpi_trace` is on, which
   /// keeps the transport on its untraced fast path.
   [[nodiscard]] net::TraceRecorder* tracer() const { return tracer_.get(); }
+  /// Black-box flight recorder (DESIGN.md §14): always on by default — a
+  /// small bounded ring dumped post-mortem by watchdog trips, rank failures,
+  /// revokes, and fatal errors. Null only when `tmpi_flightrec=0`.
+  [[nodiscard]] net::FlightRecorder* flightrec() const { return flightrec_.get(); }
+  /// Metrics time-series sampler (DESIGN.md §14): null unless
+  /// `tmpi_metrics_window_ns` > 0, which keeps the transport fast path at one
+  /// relaxed load per op.
+  [[nodiscard]] net::MetricsSampler* metrics() const { return metrics_.get(); }
   /// Resolved matching-engine indexing discipline (DESIGN.md §10).
   [[nodiscard]] detail::MatchPolicy match_policy() const { return match_policy_; }
   /// Parallel discrete-event scheduler (DESIGN.md §12): null in serial
@@ -270,6 +285,11 @@ class World {
   std::unique_ptr<detail::Transport> transport_;
   std::unique_ptr<net::FaultInjector> fault_injector_;
   std::unique_ptr<net::TraceRecorder> tracer_;
+  /// Observability siblings of the tracer (DESIGN.md §14). Declared here —
+  /// before states_ and long before watchdog_ — so the watchdog's monitor
+  /// thread (destroyed first) can never outlive the recorders it dumps.
+  std::unique_ptr<net::FlightRecorder> flightrec_;
+  std::unique_ptr<net::MetricsSampler> metrics_;
   /// Parallel-mode event scheduler. Declared before states_ so queued events
   /// (which reference VCI bodies) are destroyed only after ~World's body has
   /// already shut the pool down and drained every shard.

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <cstdlib>
 #include <map>
@@ -400,6 +401,121 @@ TEST(TraceHooks, AttachObserveDetach) {
   off.nranks = 1;
   World w_off(off);
   EXPECT_FALSE(attach_tool(w_off, &hooks));
+}
+
+// ---------------------------------------------------------------------------
+// Causal-link validation (DESIGN.md §14): the unit-level contract behind
+// `trace_validate --links` and the golden-journey suite.
+
+net::TraceEvent link_ev(net::TraceEv kind, std::uint64_t span, std::uint64_t parent,
+                        net::Time ts) {
+  net::TraceEvent ev;
+  ev.kind = kind;
+  ev.span = span;
+  ev.parent = parent;
+  ev.ts = ts;
+  ev.rank = 0;
+  return ev;
+}
+
+TEST(TraceLinks, ResolvedChainValidates) {
+  // send post -> collective-child post -> cross-rank match, all after their
+  // parents' posts.
+  std::vector<net::TraceEvent> evs = {
+      link_ev(net::TraceEv::kPost, 1, 0, 10),
+      link_ev(net::TraceEv::kPost, 2, 1, 20),
+      link_ev(net::TraceEv::kInject, 2, 0, 25),
+      link_ev(net::TraceEv::kMatch, 3, 2, 30),
+      link_ev(net::TraceEv::kComplete, 3, 0, 40),
+  };
+  std::string error;
+  EXPECT_TRUE(net::validate_trace_links(evs, /*strict=*/true, &error)) << error;
+}
+
+TEST(TraceLinks, UnresolvedParentStrictVsTolerant) {
+  // The parent's post fell off a wrapped ring: strict rejects, tolerant
+  // (what the JSON validator uses when otherData.dropped > 0) accepts.
+  std::vector<net::TraceEvent> evs = {
+      link_ev(net::TraceEv::kMatch, 2, 99, 30),
+  };
+  std::string error;
+  EXPECT_FALSE(net::validate_trace_links(evs, /*strict=*/true, &error));
+  EXPECT_NE(error.find("unresolved"), std::string::npos) << error;
+  EXPECT_TRUE(net::validate_trace_links(evs, /*strict=*/false, &error)) << error;
+}
+
+TEST(TraceLinks, CycleRejected) {
+  std::vector<net::TraceEvent> evs = {
+      link_ev(net::TraceEv::kPost, 1, 2, 10),
+      link_ev(net::TraceEv::kPost, 2, 1, 10),
+  };
+  std::string error;
+  EXPECT_FALSE(net::validate_trace_links(evs, /*strict=*/false, &error));
+  EXPECT_NE(error.find("cycle"), std::string::npos) << error;
+}
+
+TEST(TraceLinks, ChildBeforeParentPostRejected) {
+  // A match stamped earlier than its parent's post breaks the journey's
+  // virtual-time monotonicity.
+  std::vector<net::TraceEvent> evs = {
+      link_ev(net::TraceEv::kPost, 1, 0, 100),
+      link_ev(net::TraceEv::kMatch, 2, 1, 50),
+  };
+  std::string error;
+  EXPECT_FALSE(net::validate_trace_links(evs, /*strict=*/true, &error));
+  EXPECT_NE(error.find("monotone"), std::string::npos) << error;
+}
+
+TEST(TraceLinks, LiveWorldExportPassesStrictLinkCheck) {
+  // A collective inside a traced world produces parent-linked fragments;
+  // both the in-memory stream and the Chrome export must survive strict
+  // validation end to end.
+  World world(traced_config(2));
+  ASSERT_NE(world.tracer(), nullptr);
+  world.run([&](Rank& rank) {
+    std::array<std::int64_t, 4> sbuf{1, 2, 3, 4};
+    std::array<std::int64_t, 4> rbuf{};
+    allreduce(sbuf.data(), rbuf.data(), 4, kInt64, Op::kSum, rank.world_comm());
+  });
+
+  std::string error;
+  ASSERT_EQ(world.tracer()->dropped(), 0u);
+  EXPECT_TRUE(net::validate_trace_links(world.tracer()->merged(), /*strict=*/true, &error))
+      << error;
+
+  std::ostringstream chrome;
+  world.tracer()->write_chrome_trace(chrome);
+  EXPECT_TRUE(net::validate_chrome_trace_json(chrome.str(), &error)) << error;
+  EXPECT_TRUE(net::validate_trace_links_json(chrome.str(), &error)) << error;
+}
+
+// ---------------------------------------------------------------------------
+// Per-thread ring accounting: thread_stats() decomposes recorded()/dropped()
+// exactly, one row per recording thread.
+
+TEST(TraceThreadStats, RowsSumToRecorderTotals) {
+  World world(traced_config(2));
+  ASSERT_NE(world.tracer(), nullptr);
+  std::vector<std::byte> sbuf(8, std::byte{0x55});
+  std::vector<std::byte> rbuf(8);
+  world.run([&](Rank& rank) {
+    if (rank.rank() == 0) {
+      for (int i = 0; i < 10; ++i) send(sbuf.data(), 8, kByte, 1, i, rank.world_comm());
+    } else {
+      for (int i = 0; i < 10; ++i) recv(rbuf.data(), 8, kByte, 0, i, rank.world_comm());
+    }
+  });
+
+  const std::vector<net::TraceRecorder::ThreadStats> rows = world.tracer()->thread_stats();
+  ASSERT_GE(rows.size(), 2u);  // at least one ring per rank thread
+  std::uint64_t recorded = 0;
+  std::uint64_t dropped = 0;
+  for (const auto& r : rows) {
+    recorded += r.recorded;
+    dropped += r.dropped;
+  }
+  EXPECT_EQ(recorded, world.tracer()->recorded());
+  EXPECT_EQ(dropped, world.tracer()->dropped());
 }
 
 }  // namespace

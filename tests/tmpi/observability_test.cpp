@@ -1,0 +1,598 @@
+// Observability layer (DESIGN.md §14): causal cross-rank tracing, the
+// always-on flight recorder, and the metrics time-series.
+//
+// The suite pins the acceptance surface of the layer:
+//   - the golden journey: one message followed through >= 2 retransmits and
+//     a context failover purely via parent-linked spans, with the strict
+//     link validator passing over both the in-memory stream and the
+//     exported Chrome JSON,
+//   - a watchdog deadlock trip with tracing DISABLED still produces a
+//     non-empty flightrec.json naming the blocked (rank, vci, op, tag),
+//   - the metrics sampler closes >= 2 windows whose per-window deltas (and
+//     per-VCI channel deltas) telescope exactly to the cumulative NetStats,
+//   - twins: tracing + flight recorder + metrics all ON are bit-exact with
+//     everything OFF, under TMPI_EXEC_MODE=serial and =parallel, for a
+//     fault-free run, a retransmitting drop plan, and a rank_down journey,
+//   - post-shrink attribution: spans recorded through a shrunken
+//     communicator keep world-rank tracks and world-rank peers.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "net/flightrec.h"
+#include "net/metrics.h"
+#include "net/trace.h"
+#include "tmpi/profiler.h"
+#include "tmpi/tmpi.h"
+#include "twin_harness.h"
+
+namespace {
+
+using namespace tmpi;
+
+/// Pin every knob the observability twins compare, so ambient CI env (chaos
+/// jobs export TMPI_FAULT_*, trace jobs TMPI_TRACE) cannot collapse the two
+/// configurations into one.
+struct PinnedEnv {
+  twin::ScopedEnv exec{"TMPI_EXEC_MODE"};
+  twin::ScopedEnv trace{"TMPI_TRACE"};
+  twin::ScopedEnv trace_path{"TMPI_TRACE_PATH"};
+  twin::ScopedEnv fr{"TMPI_FLIGHTREC"};
+  twin::ScopedEnv fr_path{"TMPI_FLIGHTREC_PATH"};
+  twin::ScopedEnv metrics{"TMPI_METRICS_WINDOW_NS"};
+  twin::ScopedEnv plan{"TMPI_FAULT_PLAN"};
+  twin::ScopedEnv drop{"TMPI_FAULT_DROP_RATE"};
+  twin::ScopedEnv seed{"TMPI_FAULT_SEED"};
+  twin::ScopedEnv wd{"TMPI_WATCHDOG_NS"};
+};
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+// ---------------------------------------------------------------------------
+// The golden journey (ISSUE acceptance): a seeded drop plan retransmits one
+// message at least twice, a scheduled ctx-down forces a failover, and the
+// whole story is recoverable from parent-linked spans alone.
+
+TEST(GoldenJourney, RetransmitsAndFailoverLinkBackToTheSend) {
+  PinnedEnv pins;
+  WorldConfig wc = twin::two_rank_config(2);
+  wc.trace_info.set("tmpi_trace", "1");
+  wc.trace_info.set("tmpi_trace_path", "");
+  wc.trace_info.set("tmpi_flightrec_path", "");
+  // Probabilistic drops are a pure hash of (seed, rank, vci, op, attempt):
+  // the same seed replays the same losses, so this "random" journey is a
+  // golden value. Scheduled drops fire on attempt 0 only and can never
+  // produce a second retransmit — the rate is the only way to build one.
+  wc.fault_info.set("tmpi_fault_seed", "42");
+  wc.fault_info.set("tmpi_fault_drop_rate", "0.45");
+  wc.fault_info.set("tmpi_fault_max_retries", "20");
+  // Receiver's VCI 0 goes down mid-run: the stream fails over to VCI 1.
+  wc.fault_info.set("tmpi_fault_plan", "down@1:0:30");
+  World world(wc);
+  ASSERT_NE(world.tracer(), nullptr);
+
+  constexpr int kMsgs = 60;
+  std::array<std::byte, 8> sbuf{};
+  std::vector<std::array<std::byte, 8>> rbufs(kMsgs);
+  std::vector<Request> rreqs(static_cast<std::size_t>(kMsgs));
+  world.run([&](Rank& rank) {
+    if (rank.rank() == 1) {
+      for (int i = 0; i < kMsgs; ++i) {
+        rreqs[static_cast<std::size_t>(i)] =
+            irecv(rbufs[static_cast<std::size_t>(i)].data(), 8, kByte, 0, i, rank.world_comm());
+      }
+    }
+  });
+  world.run([&](Rank& rank) {
+    if (rank.rank() == 0) {
+      for (int i = 0; i < kMsgs; ++i) {
+        isend(sbuf.data(), 8, kByte, 1, i, rank.world_comm()).wait();
+      }
+    }
+  });
+  world.run([&](Rank& rank) {
+    if (rank.rank() == 1) {
+      for (auto& r : rreqs) r.wait();
+    }
+  });
+
+  const std::vector<net::TraceEvent> evs = world.tracer()->merged();
+
+  // At least one send span was retransmitted twice or more.
+  std::map<std::uint64_t, int> retransmits_by_span;
+  for (const net::TraceEvent& ev : evs) {
+    if (ev.kind == net::TraceEv::kRetransmit && ev.span != 0) ++retransmits_by_span[ev.span];
+  }
+  std::uint64_t journey_span = 0;
+  for (const auto& [span, n] : retransmits_by_span) {
+    if (n >= 2) {
+      journey_span = span;
+      break;
+    }
+  }
+  ASSERT_NE(journey_span, 0u) << "no span saw >= 2 retransmits; reseed the plan";
+
+  // The failover fired and was recorded.
+  bool saw_failover = false;
+  for (const net::TraceEvent& ev : evs) saw_failover |= ev.kind == net::TraceEv::kFailover;
+  EXPECT_TRUE(saw_failover);
+  EXPECT_GT(world.snapshot().failovers, 0u);
+
+  // The retransmitted message still arrived, and the receive's kMatch names
+  // the send span as its causal parent — the cross-rank journey edge.
+  bool matched = false;
+  for (const net::TraceEvent& ev : evs) {
+    if (ev.kind == net::TraceEv::kMatch && ev.parent == journey_span) matched = true;
+  }
+  EXPECT_TRUE(matched) << "journey span " << journey_span << " never linked to a receive";
+
+  // Strict link integrity over the whole stream: every parent edge resolves,
+  // journeys are virtual-time monotone, no cycles.
+  ASSERT_EQ(world.tracer()->dropped(), 0u) << "ring wrapped; grow the buffer";
+  std::string error;
+  EXPECT_TRUE(net::validate_trace_links(evs, /*strict=*/true, &error)) << error;
+
+  // And over the exported Chrome JSON, the way `trace_validate --links`
+  // checks it in CI.
+  std::ostringstream chrome;
+  world.tracer()->write_chrome_trace(chrome);
+  EXPECT_TRUE(net::validate_chrome_trace_json(chrome.str(), &error)) << error;
+  EXPECT_TRUE(net::validate_trace_links_json(chrome.str(), &error)) << error;
+}
+
+// ---------------------------------------------------------------------------
+// Flight recorder (ISSUE acceptance): with tracing OFF, a watchdog trip
+// still produces a post-mortem naming the blocked channel and op.
+
+TEST(FlightRec, WatchdogTripDumpsBlackBoxWithTracingOff) {
+  PinnedEnv pins;
+  const std::string path = "obs_flightrec_watchdog.json";
+  std::remove(path.c_str());
+
+  {
+    WorldConfig wc = twin::two_node_config();
+    wc.overload_info.set("tmpi_watchdog_ns", 5000);
+    wc.trace_info.set("tmpi_flightrec_path", path);
+    World world(wc);
+    ASSERT_EQ(world.tracer(), nullptr);  // tracing is OFF
+    ASSERT_NE(world.flightrec(), nullptr);
+    Comm(world.world_comm_impl(), 0).set_errhandler(ErrorHandler::kErrorsReturn);
+
+    // The classic mutual-recv deadlock on tag 5: the watchdog names the
+    // cycle, fails both waits with kTimeout, and dumps the black box.
+    world.run([&](Rank& rank) {
+      std::byte b{};
+      Status st = recv(&b, 1, kByte, 1 - rank.rank(), 5, rank.world_comm());
+      EXPECT_EQ(st.err, Errc::kTimeout);
+    });
+    EXPECT_GE(world.snapshot().watchdog_trips, 1u);
+  }
+
+  const std::string dump = slurp(path);
+  ASSERT_FALSE(dump.empty()) << "watchdog trip produced no " << path;
+  std::string error;
+  EXPECT_TRUE(net::validate_chrome_trace_json(dump, &error)) << error;
+  // The dump names the blocked op: the trip event carries (rank, vci, op,
+  // tag) and the dump reason is stamped in otherData.note.
+  EXPECT_NE(dump.find("watchdog_trip"), std::string::npos);
+  EXPECT_NE(dump.find("deadlock"), std::string::npos);  // the note
+  EXPECT_NE(dump.find("\"tag\":5"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(FlightRec, ConfigKeysAndOptOut) {
+  net::FlightRecConfig fc;
+  EXPECT_TRUE(fc.enabled);  // always-on default
+  EXPECT_TRUE(fc.set("tmpi_flightrec", "0"));
+  EXPECT_FALSE(fc.enabled);
+  EXPECT_TRUE(fc.set("tmpi_flightrec_path", "x.json"));
+  EXPECT_EQ(fc.path, "x.json");
+  EXPECT_TRUE(fc.set("tmpi_flightrec_events", "512"));
+  EXPECT_EQ(fc.buffer_events, 512u);
+  EXPECT_FALSE(fc.set("tmpi_trace", "1"));  // not this layer's key
+
+  PinnedEnv pins;
+  WorldConfig on = twin::two_node_config();
+  World w_on(on);
+  EXPECT_NE(w_on.flightrec(), nullptr);  // on by default
+
+  WorldConfig off = twin::two_node_config();
+  off.trace_info.set("tmpi_flightrec", "0");
+  World w_off(off);
+  EXPECT_EQ(w_off.flightrec(), nullptr);
+}
+
+TEST(FlightRec, FirstDumpWinsAndNoteSurvives) {
+  const std::string path = "obs_flightrec_first.json";
+  std::remove(path.c_str());
+  net::FlightRecConfig fc;
+  fc.path = path;
+  net::FlightRecorder fr(fc);
+  net::TraceEvent ev;
+  ev.ts = 10;
+  ev.kind = net::TraceEv::kPostRecv;
+  ev.op = net::TraceOp::kRecv;
+  ev.rank = 0;
+  ev.vci = 0;
+  ev.tag = 9;
+  fr.record(ev);
+  EXPECT_EQ(fr.recorded(), 1u);
+  EXPECT_EQ(fr.tail(0, 0, 4).size(), 1u);
+
+  EXPECT_TRUE(fr.dump("first catastrophe"));
+  EXPECT_FALSE(fr.dump("second catastrophe"));  // latched
+  const std::string dump = slurp(path);
+  std::string error;
+  EXPECT_TRUE(net::validate_chrome_trace_json(dump, &error)) << error;
+  EXPECT_NE(dump.find("first catastrophe"), std::string::npos);
+  EXPECT_EQ(dump.find("second catastrophe"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Metrics time-series (ISSUE acceptance): >= 2 windows whose deltas —
+// global and per-VCI — telescope exactly to the cumulative NetStats.
+
+TEST(Metrics, WindowsTelescopeToCumulativeStats) {
+  PinnedEnv pins;
+  WorldConfig wc = twin::two_rank_config(2);
+  wc.trace_info.set("tmpi_metrics_window_ns", "2000");
+  wc.trace_info.set("tmpi_metrics_path", "");  // sample only, no files
+  wc.trace_info.set("tmpi_flightrec_path", "");
+  World world(wc);
+  ASSERT_NE(world.metrics(), nullptr);
+
+  constexpr int kRounds = 40;
+  std::array<std::byte, 8> buf{};
+  for (int r = 0; r < kRounds; ++r) {
+    world.run([&](Rank& rank) {
+      if (rank.rank() == 0) {
+        isend(buf.data(), 8, kByte, 1, r, rank.world_comm()).wait();
+      } else {
+        recv(buf.data(), 8, kByte, 0, r, rank.world_comm());
+      }
+    });
+  }
+
+  net::MetricsSampler* ms = world.metrics();
+  ms->flush(world.elapsed());
+  const std::vector<net::MetricsWindow> wins = ms->windows();
+  ASSERT_GE(wins.size(), 2u) << "workload too short for two windows";
+
+  const net::NetStatsSnapshot total = world.fabric().stats().snapshot();
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t injections = 0;
+  std::uint64_t match_probes = 0;
+  std::map<std::pair<int, int>, std::uint64_t> chan_inj;
+  std::map<std::pair<int, int>, std::uint64_t> chan_dep;
+  net::Time prev_end = 0;
+  for (const net::MetricsWindow& w : wins) {
+    EXPECT_EQ(w.start, prev_end);  // windows tile the timeline
+    EXPECT_GE(w.end, w.start);
+    prev_end = w.end;
+    messages += w.delta.messages;
+    bytes += w.delta.bytes;
+    injections += w.delta.injections;
+    match_probes += w.delta.match_probes;
+    for (const auto& c : w.delta.channels) {
+      chan_inj[{c.rank, c.vci}] += c.injections;
+      chan_dep[{c.rank, c.vci}] += c.deposits;
+    }
+  }
+  EXPECT_EQ(messages, total.messages);
+  EXPECT_EQ(bytes, total.bytes);
+  EXPECT_EQ(injections, total.injections);
+  EXPECT_EQ(match_probes, total.match_probes);
+  // Per-VCI rates sum to the cumulative per-channel counters.
+  for (const auto& c : total.channels) {
+    const std::pair<int, int> key{c.rank, c.vci};
+    EXPECT_EQ(chan_inj[key], c.injections) << "rank " << c.rank << " vci " << c.vci;
+    EXPECT_EQ(chan_dep[key], c.deposits) << "rank " << c.rank << " vci " << c.vci;
+  }
+
+  // Exporters produce well-formed output.
+  std::ostringstream json;
+  ms->write_json(json);
+  std::string error;
+  EXPECT_TRUE(net::validate_json_text(json.str(), &error)) << error;
+  std::ostringstream prom;
+  ms->write_prometheus(prom);
+  EXPECT_NE(prom.str().find("tmpi_messages_total"), std::string::npos);
+  EXPECT_NE(prom.str().find("tmpi_channel_injections_total"), std::string::npos);
+}
+
+TEST(Metrics, ToolHookSeesEveryClosedWindow) {
+  PinnedEnv pins;
+  WorldConfig wc = twin::two_node_config();
+  wc.trace_info.set("tmpi_trace", "1");
+  wc.trace_info.set("tmpi_trace_path", "");
+  wc.trace_info.set("tmpi_metrics_window_ns", "1000");
+  wc.trace_info.set("tmpi_metrics_path", "");
+  wc.trace_info.set("tmpi_flightrec_path", "");
+  World world(wc);
+  ASSERT_NE(world.metrics(), nullptr);
+
+  struct Counter : ToolHooks {
+    int windows = 0;
+    void on_window(const net::MetricsWindow&) override { ++windows; }
+  } hooks;
+  ASSERT_TRUE(attach_tool(world, &hooks));
+
+  std::array<std::byte, 8> buf{};
+  for (int r = 0; r < 20; ++r) {
+    world.run([&](Rank& rank) {
+      if (rank.rank() == 1) (void)irecv(buf.data(), 8, kByte, 0, r, rank.world_comm());
+    });
+    world.run([&](Rank& rank) {
+      if (rank.rank() == 0) isend(buf.data(), 8, kByte, 1, r, rank.world_comm()).wait();
+    });
+  }
+  world.metrics()->flush(world.elapsed());
+  EXPECT_EQ(hooks.windows, static_cast<int>(world.metrics()->windows().size()));
+  EXPECT_GE(hooks.windows, 2);
+  detach_tool(world);
+}
+
+// ---------------------------------------------------------------------------
+// Twins (ISSUE acceptance): the full observability stack ON is bit-exact
+// with everything OFF, in both execution modes, fault-free and faulty.
+
+struct TwinResult {
+  net::Time elapsed = 0;
+  net::NetStatsSnapshot stats;
+};
+
+WorldConfig twin_config(const char* exec_mode, bool observed) {
+  WorldConfig wc = twin::two_rank_config(2);
+  wc.exec_mode = exec_mode;
+  if (observed) {
+    wc.trace_info.set("tmpi_trace", "1");
+    wc.trace_info.set("tmpi_trace_path", "");
+    wc.trace_info.set("tmpi_metrics_window_ns", "1500");
+    wc.trace_info.set("tmpi_metrics_path", "");
+    wc.trace_info.set("tmpi_flightrec_path", "");  // record, never write
+  } else {
+    wc.trace_info.set("tmpi_flightrec", "0");  // nothing records at all
+  }
+  return wc;
+}
+
+TwinResult run_pingpong_twin(const char* exec_mode, bool observed, const char* drop_rate) {
+  WorldConfig wc = twin_config(exec_mode, observed);
+  if (drop_rate != nullptr) {
+    wc.fault_info.set("tmpi_fault_seed", "7");
+    wc.fault_info.set("tmpi_fault_drop_rate", drop_rate);
+  }
+  World world(wc);
+  Comm(world.world_comm_impl(), 0).set_errhandler(ErrorHandler::kErrorsReturn);
+
+  constexpr int kMsgs = 24;
+  std::array<std::byte, 8> buf{};
+  std::vector<Request> rreqs(kMsgs);
+  world.run([&](Rank& rank) {
+    if (rank.rank() == 1) {
+      for (int i = 0; i < kMsgs; ++i) {
+        rreqs[static_cast<std::size_t>(i)] =
+            irecv(buf.data(), 8, kByte, 0, i, rank.world_comm());
+      }
+    }
+  });
+  world.run([&](Rank& rank) {
+    if (rank.rank() == 0) {
+      for (int i = 0; i < kMsgs; ++i) {
+        (void)isend(buf.data(), 8, kByte, 1, i, rank.world_comm()).wait();
+      }
+    }
+  });
+  world.run([&](Rank& rank) {
+    if (rank.rank() == 1) {
+      for (auto& r : rreqs) (void)r.wait();
+    }
+  });
+
+  TwinResult out;
+  out.elapsed = world.elapsed();
+  out.stats = world.fabric().stats().snapshot();
+  return out;
+}
+
+// The rank_down journey, recovery-test style: rank 1 self-kills on its
+// first channel op, then every send addressed to it fails fast with
+// kProcFailed. No receive is ever left pending, so the twin terminates
+// without a watchdog.
+TwinResult run_rankdown_twin(const char* exec_mode, bool observed) {
+  WorldConfig wc = twin_config(exec_mode, observed);
+  wc.fault_info.set("tmpi_fault_plan", "rank_down@1:0");
+  World world(wc);
+  Comm(world.world_comm_impl(), 0).set_errhandler(ErrorHandler::kErrorsReturn);
+
+  std::array<std::byte, 8> buf{};
+  world.run([&](Rank& rank) {
+    if (rank.rank() == 1) {
+      EXPECT_EQ(isend(buf.data(), 8, kByte, 0, 99, rank.world_comm()).wait().err,
+                Errc::kProcFailed);
+    }
+  });
+  world.run([&](Rank& rank) {
+    if (rank.rank() == 0) {
+      for (int i = 0; i < 8; ++i) {
+        EXPECT_EQ(isend(buf.data(), 8, kByte, 1, i, rank.world_comm()).wait().err,
+                  Errc::kProcFailed);
+      }
+    }
+  });
+
+  TwinResult out;
+  out.elapsed = world.elapsed();
+  out.stats = world.fabric().stats().snapshot();
+  return out;
+}
+
+class ObservabilityTwin : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ObservabilityTwin, CleanRunBitExact) {
+  PinnedEnv pins;
+  const TwinResult off = run_pingpong_twin(GetParam(), false, nullptr);
+  const TwinResult on = run_pingpong_twin(GetParam(), true, nullptr);
+  EXPECT_EQ(off.elapsed, on.elapsed);
+  twin::expect_stats_parity(off.stats, on.stats);
+}
+
+TEST_P(ObservabilityTwin, RetransmittingRunBitExact) {
+  PinnedEnv pins;
+  // Seeded drops: deterministic retransmits exercise the fault-path
+  // recording sites (kDrop/kRetransmit/kDelay) in both configurations.
+  const TwinResult off = run_pingpong_twin(GetParam(), false, "0.3");
+  const TwinResult on = run_pingpong_twin(GetParam(), true, "0.3");
+  EXPECT_EQ(off.elapsed, on.elapsed);
+  EXPECT_GT(on.stats.retransmits, 0u);
+  twin::expect_stats_parity(off.stats, on.stats);
+}
+
+TEST_P(ObservabilityTwin, RankDownJourneyBitExact) {
+  PinnedEnv pins;
+  // The flight recorder records the kRankDown and latches a dump — the
+  // empty path keeps the run file-free, and the twin pins that recording
+  // and dumping changed nothing observable.
+  const TwinResult off = run_rankdown_twin(GetParam(), false);
+  const TwinResult on = run_rankdown_twin(GetParam(), true);
+  EXPECT_EQ(off.elapsed, on.elapsed);
+  EXPECT_GT(on.stats.proc_failures, 0u);
+  twin::expect_stats_parity(off.stats, on.stats);
+}
+
+INSTANTIATE_TEST_SUITE_P(ExecModes, ObservabilityTwin, ::testing::Values("serial", "parallel"));
+
+// ---------------------------------------------------------------------------
+// Post-shrink attribution (ISSUE satellite): spans recorded through a
+// shrunken communicator keep world-rank tracks and world-rank peers — comm
+// ranks renumber after recovery, world ranks never do.
+
+TEST(ShrinkAttribution, SpansKeepWorldRanksAfterShrink) {
+  PinnedEnv pins;
+  WorldConfig wc;
+  wc.nranks = 3;
+  wc.ranks_per_node = 1;
+  wc.num_vcis = 1;
+  wc.fault_info.set("tmpi_fault_plan", "rank_down@1:0");
+  wc.trace_info.set("tmpi_trace", "1");
+  wc.trace_info.set("tmpi_trace_path", "");
+  wc.trace_info.set("tmpi_flightrec_path", "");
+  World world(wc);
+  ASSERT_NE(world.tracer(), nullptr);
+  Comm(world.world_comm_impl(), 0).set_errhandler(ErrorHandler::kErrorsReturn);
+
+  std::array<std::byte, 8> buf{};
+  // Phase 1: rank 1 kills itself on its first channel op.
+  world.run([&](Rank& rank) {
+    if (rank.rank() == 1) {
+      EXPECT_EQ(isend(buf.data(), 8, kByte, 0, 7, rank.world_comm()).wait().err,
+                Errc::kProcFailed);
+    }
+  });
+  ASSERT_TRUE(world.fabric().liveness().is_dead(1));
+
+  // Phase 2: survivors shrink. World rank 2 becomes comm rank 1.
+  std::array<Comm, 3> shrunk;
+  world.run([&](Rank& rank) {
+    if (rank.rank() == 1) return;
+    shrunk[static_cast<std::size_t>(rank.rank())] = rank.world_comm().shrink();
+  });
+  ASSERT_TRUE(shrunk[0].valid());
+  ASSERT_TRUE(shrunk[2].valid());
+  ASSERT_EQ(shrunk[2].rank(), 1);  // renumbered comm rank
+
+  // Phase 3: traffic on the shrunken comm — send from new rank 1 (world 2),
+  // probe + recv on new rank 0 (world 0), addressed by COMM ranks.
+  world.run([&](Rank& rank) {
+    if (rank.rank() == 2) {
+      EXPECT_EQ(isend(buf.data(), 8, kByte, 0, 3, shrunk[2]).wait().err, Errc::kSuccess);
+    }
+  });
+  world.run([&](Rank& rank) {
+    if (rank.rank() == 0) {
+      Status st;
+      EXPECT_TRUE(iprobe(1, 3, shrunk[0], &st));
+      EXPECT_EQ(recv(buf.data(), 8, kByte, 1, 3, shrunk[0]).err, Errc::kSuccess);
+    }
+  });
+
+  // Every event for that exchange lives on WORLD-rank tracks with
+  // WORLD-rank peers: the send on rank 2's track, the match and probe on
+  // rank 0's track naming peer 2 (not comm rank 1).
+  const std::vector<net::TraceEvent> evs = world.tracer()->merged();
+  bool send_on_world_track = false;
+  bool match_names_world_peer = false;
+  bool probe_names_world_peer = false;
+  for (const net::TraceEvent& ev : evs) {
+    if (ev.tag != 3) continue;
+    if (ev.kind == net::TraceEv::kPost && ev.op == net::TraceOp::kSend && ev.rank == 2) {
+      send_on_world_track = true;
+    }
+    if (ev.kind == net::TraceEv::kMatch && ev.rank == 0 && ev.peer == 2) {
+      match_names_world_peer = true;
+    }
+    if (ev.kind == net::TraceEv::kProbe && ev.rank == 0 && ev.peer == 2) {
+      probe_names_world_peer = true;
+    }
+  }
+  EXPECT_TRUE(send_on_world_track);
+  EXPECT_TRUE(match_names_world_peer);
+  EXPECT_TRUE(probe_names_world_peer);
+
+  // The export still validates (and its process names are world ranks).
+  std::ostringstream chrome;
+  world.tracer()->write_chrome_trace(chrome);
+  std::string error;
+  EXPECT_TRUE(net::validate_chrome_trace_json(chrome.str(), &error)) << error;
+}
+
+// ---------------------------------------------------------------------------
+// Per-thread ring accounting (ISSUE satellite): the metrics exports carry a
+// per-thread recorded/dropped table.
+
+TEST(ThreadDrops, MetricsExportsCarryPerThreadCounts) {
+  net::TraceConfig tc;
+  tc.enabled = true;
+  tc.path.clear();
+  tc.buffer_events = 4;  // tiny ring: wraps immediately
+  net::TraceRecorder rec(tc);
+  for (int i = 0; i < 10; ++i) {
+    net::TraceEvent ev;
+    ev.ts = static_cast<net::Time>(i);
+    ev.kind = net::TraceEv::kPostRecv;
+    ev.rank = 0;
+    rec.record(ev);
+  }
+  const std::vector<net::TraceRecorder::ThreadStats> ts = rec.thread_stats();
+  ASSERT_EQ(ts.size(), 1u);
+  EXPECT_EQ(ts[0].recorded, 10u);
+  EXPECT_EQ(ts[0].dropped, 6u);
+
+  std::ostringstream json;
+  write_metrics_json(rec, json);
+  EXPECT_NE(json.str().find("\"threads\":[{\"recorded\":10,\"dropped\":6}]"), std::string::npos)
+      << json.str();
+  std::string error;
+  EXPECT_TRUE(net::validate_json_text(json.str(), &error)) << error;
+
+  std::ostringstream csv;
+  write_metrics_csv(rec, csv);
+  EXPECT_NE(csv.str().find("thread,recorded,dropped"), std::string::npos);
+  EXPECT_NE(csv.str().find("0,10,6"), std::string::npos);
+}
+
+}  // namespace

@@ -4,9 +4,16 @@
 // timestamps; exit 1 with a diagnostic otherwise. CI runs this against the
 // trace a TMPI_TRACE=1 benchmark run emits.
 //
-// Usage: trace_validate <trace.json> [more.json ...]
+// With --links the causal graph is checked too (DESIGN.md §14): every
+// non-root parent edge must resolve to a recorded post, journeys must be
+// virtual-time monotone, and the span graph must be acyclic. Files whose
+// otherData reports dropped events are checked tolerantly (a wrapped ring
+// may have forgotten a parent).
+//
+// Usage: trace_validate [--links] <trace.json> [more.json ...]
 
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -14,12 +21,18 @@
 #include "net/trace.h"
 
 int main(int argc, char** argv) {
-  if (argc < 2) {
-    std::fprintf(stderr, "usage: %s <trace.json> [more.json ...]\n", argv[0]);
+  bool links = false;
+  int first = 1;
+  if (argc > 1 && std::strcmp(argv[1], "--links") == 0) {
+    links = true;
+    first = 2;
+  }
+  if (argc <= first) {
+    std::fprintf(stderr, "usage: %s [--links] <trace.json> [more.json ...]\n", argv[0]);
     return 1;
   }
   int rc = 0;
-  for (int i = 1; i < argc; ++i) {
+  for (int i = first; i < argc; ++i) {
     std::ifstream in(argv[i]);
     if (!in) {
       std::fprintf(stderr, "%s: cannot open\n", argv[i]);
@@ -28,13 +41,19 @@ int main(int argc, char** argv) {
     }
     std::ostringstream buf;
     buf << in.rdbuf();
+    const std::string text = buf.str();
     std::string error;
-    if (!tmpi::net::validate_chrome_trace_json(buf.str(), &error)) {
+    if (!tmpi::net::validate_chrome_trace_json(text, &error)) {
       std::fprintf(stderr, "%s: INVALID: %s\n", argv[i], error.c_str());
       rc = 1;
-    } else {
-      std::fprintf(stdout, "%s: OK\n", argv[i]);
+      continue;
     }
+    if (links && !tmpi::net::validate_trace_links_json(text, &error)) {
+      std::fprintf(stderr, "%s: BROKEN LINKS: %s\n", argv[i], error.c_str());
+      rc = 1;
+      continue;
+    }
+    std::fprintf(stdout, "%s: OK%s\n", argv[i], links ? " (links)" : "");
   }
   return rc;
 }
