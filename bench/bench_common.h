@@ -223,6 +223,114 @@ inline void print_collected_stats(std::size_t max_rows = 16) {
   }
 }
 
+// --- BENCH_*.json emission ---------------------------------------------------
+
+/// One flat JSON object: ordered (key, pre-encoded value) pairs. Keys are
+/// identifier-style and values are numbers / short labels, so no escaping.
+class JsonObject {
+ public:
+  JsonObject& set(const std::string& key, double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.10g", v);
+    fields_.emplace_back(key, buf);
+    return *this;
+  }
+  JsonObject& set(const std::string& key, std::uint64_t v) {
+    fields_.emplace_back(key, std::to_string(v));
+    return *this;
+  }
+  JsonObject& set(const std::string& key, int v) {
+    fields_.emplace_back(key, std::to_string(v));
+    return *this;
+  }
+  JsonObject& set(const std::string& key, bool v) {
+    fields_.emplace_back(key, v ? "true" : "false");
+    return *this;
+  }
+  JsonObject& set(const std::string& key, const std::string& v) {
+    fields_.emplace_back(key, "\"" + v + "\"");
+    return *this;
+  }
+  JsonObject& set(const std::string& key, const char* v) {
+    return set(key, std::string(v));
+  }
+
+  /// One `"k": v` line per field; `trailing_comma` also commas the last.
+  void emit_fields(std::FILE* f, const char* pad, bool trailing_comma) const {
+    for (std::size_t i = 0; i < fields_.size(); ++i) {
+      const bool last = i + 1 == fields_.size();
+      std::fprintf(f, "%s\"%s\": %s%s\n", pad, fields_[i].first.c_str(),
+                   fields_[i].second.c_str(), (!last || trailing_comma) ? "," : "");
+    }
+  }
+  /// The whole object on one line: `{"k": v, ...}`.
+  void emit_inline(std::FILE* f) const {
+    std::fputc('{', f);
+    for (std::size_t i = 0; i < fields_.size(); ++i) {
+      if (i != 0) std::fputs(", ", f);
+      std::fprintf(f, "\"%s\": %s", fields_[i].first.c_str(), fields_[i].second.c_str());
+    }
+    std::fputc('}', f);
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+/// The common BENCH_*.json path: scalar summary fields plus named arrays of
+/// flat rows, written in insertion order. Every bench binary that emits a
+/// machine-checkable artifact (gated by tools/bench_validate in CI) builds
+/// it through this one writer, so quoting, number formatting, and layout
+/// cannot drift between benches.
+class BenchJson {
+ public:
+  explicit BenchJson(const std::string& bench_name) { root_.set("bench", bench_name); }
+
+  /// Top-level scalar fields (gate verdicts, config echoes, ratios).
+  JsonObject& root() { return root_; }
+
+  /// Append one row to the named top-level array, creating it on first use.
+  JsonObject& add_row(const std::string& array_name) {
+    for (auto& [name, rows] : arrays_) {
+      if (name == array_name) {
+        rows.emplace_back();
+        return rows.back();
+      }
+    }
+    arrays_.emplace_back(array_name, std::vector<JsonObject>{});
+    return arrays_.back().second.emplace_back();
+  }
+
+  /// Write the document; returns false (and prints to stderr) on I/O error.
+  bool write_file(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench json: cannot open %s\n", path.c_str());
+      return false;
+    }
+    std::fputs("{\n", f);
+    root_.emit_fields(f, "  ", /*trailing_comma=*/!arrays_.empty());
+    for (std::size_t a = 0; a < arrays_.size(); ++a) {
+      const auto& [name, rows] = arrays_[a];
+      std::fprintf(f, "  \"%s\": [\n", name.c_str());
+      for (std::size_t i = 0; i < rows.size(); ++i) {
+        std::fputs("    ", f);
+        rows[i].emit_inline(f);
+        std::fputs(i + 1 == rows.size() ? "\n" : ",\n", f);
+      }
+      std::fprintf(f, "  ]%s\n", a + 1 == arrays_.size() ? "" : ",");
+    }
+    std::fputs("}\n", f);
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  JsonObject root_;
+  std::vector<std::pair<std::string, std::vector<JsonObject>>> arrays_;
+};
+
 /// Print a free-form note line (paper-claimed comparisons).
 inline void note(const char* fmt, ...) {
   std::va_list args;

@@ -25,6 +25,20 @@ bench::FigureTable& par_table() {
 
 constexpr int kIters = 8;
 
+/// Rows accumulated for BENCH_commmap.json (the common bench JSON path).
+struct MapRow {
+  std::string series;
+  int threads = 0;
+  double us_per_iter = 0.0;
+  double objects = 0.0;
+  double parallel_fraction = -1.0;  ///< <0: not a comm-map series
+};
+
+std::vector<MapRow>& json_rows() {
+  static std::vector<MapRow> v;
+  return v;
+}
+
 void BM_Map(benchmark::State& state, const char* series) {
   const int t = static_cast<int>(state.range(0));
   wl::StencilParams p;
@@ -53,19 +67,28 @@ void BM_Map(benchmark::State& state, const char* series) {
     r = wl::run_stencil(p);
     bench::set_virtual_time(state, r.run.elapsed_ns);
   }
-  time_table().add(series, t * t, static_cast<double>(r.run.elapsed_ns) / kIters * 1e-3);
+  const double us_per_iter = static_cast<double>(r.run.elapsed_ns) / kIters * 1e-3;
+  time_table().add(series, t * t, us_per_iter);
   state.counters["objects"] = r.comms_used;
   bench::collect_stats(std::string(series) + "/threads=" + std::to_string(t * t), r.run.net);
 
+  MapRow row;
+  row.series = s;
+  row.threads = t * t;
+  row.us_per_iter = us_per_iter;
+  row.objects = r.comms_used;
   if (p.mech == wl::StencilMech::kComms) {
     rp::StencilPlan plan(rp::Vec3{2, 2, 1}, rp::Vec3{t, t, 1}, true, p.strategy);
     const auto m = plan.analyze();
     par_table().add(s + "/parallel_fraction", t * t, m.parallel_fraction());
     par_table().add(s + "/comms", t * t, plan.num_comms());
+    row.parallel_fraction = m.parallel_fraction();
   } else if (p.mech == wl::StencilMech::kEndpoints) {
     par_table().add("endpoints/parallel_fraction", t * t, 1.0);
     par_table().add("endpoints/objects", t * t, r.comms_used);
+    row.parallel_fraction = 1.0;
   }
+  json_rows().push_back(row);
 }
 
 void register_all() {
@@ -88,5 +111,31 @@ int main(int argc, char** argv) {
   par_table().print();
   bench::note("paper Lesson 2: the naive map exposes 'only half of the available parallelism'");
   bench::note("paper Lesson 10: endpoints reach full parallelism with one object per thread");
+
+  // BENCH_commmap.json: the same figure, machine-checkable (CI gates on the
+  // keys below via tools/bench_validate).
+  bench::BenchJson doc("fig4_commmap");
+  doc.root().set("iters", kIters).set("halo_bytes", 1024).set("proc_grid", "2x2");
+  double mirrored_max = 0.0;
+  double naive_max = 0.0;
+  int max_threads = 0;
+  for (const MapRow& r : json_rows()) {
+    bench::JsonObject& row = doc.add_row("rows");
+    row.set("series", r.series)
+        .set("threads", r.threads)
+        .set("us_per_iter", r.us_per_iter)
+        .set("objects", r.objects);
+    if (r.parallel_fraction >= 0.0) row.set("parallel_fraction", r.parallel_fraction);
+    if (r.threads >= max_threads) {
+      max_threads = r.threads;
+      if (r.series == "comms-mirrored") mirrored_max = r.us_per_iter;
+      if (r.series == "comms-naive") naive_max = r.us_per_iter;
+    }
+  }
+  doc.root().set("max_threads", max_threads);
+  if (mirrored_max > 0.0) {
+    doc.root().set("naive_over_mirrored", naive_max / mirrored_max);
+  }
+  doc.write_file("BENCH_commmap.json");
   return 0;
 }

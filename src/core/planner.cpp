@@ -228,4 +228,25 @@ StencilPlan::Metrics StencilPlan::analyze() const {
   return m;
 }
 
+std::vector<int> lpt_assignment(const std::vector<std::uint64_t>& weights, int nbins) {
+  std::vector<int> out(weights.size(), 0);
+  if (nbins <= 1) return out;
+  std::vector<std::size_t> order(weights.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&weights](std::size_t a, std::size_t b) {
+    if (weights[a] != weights[b]) return weights[a] > weights[b];
+    return a < b;
+  });
+  std::vector<std::uint64_t> bin_load(static_cast<std::size_t>(nbins), 0);
+  for (const std::size_t i : order) {
+    std::size_t best = 0;
+    for (std::size_t b = 1; b < bin_load.size(); ++b) {
+      if (bin_load[b] < bin_load[best]) best = b;
+    }
+    bin_load[best] += weights[i];
+    out[i] = static_cast<int>(best);
+  }
+  return out;
+}
+
 }  // namespace rp

@@ -125,6 +125,17 @@ class StencilPlan {
   int num_comms_ = 0;
 };
 
+// --- Placement --------------------------------------------------------------
+
+/// Longest-processing-time assignment of weighted streams onto `nbins`
+/// equal channels: streams are placed heaviest-first onto the currently
+/// lightest bin, with deterministic tie-breaks (weight desc, index asc for
+/// streams; lowest index for bins). Returns one bin index per stream, in
+/// the input order. This is the oracle placement the adaptive-mapping bench
+/// measures against, and the same greedy the runtime rebalancer applies to
+/// its per-window weights (DESIGN.md §15). `nbins <= 0` yields all zeros.
+std::vector<int> lpt_assignment(const std::vector<std::uint64_t>& weights, int nbins);
+
 }  // namespace rp
 
 #endif  // RP_PLANNER_H

@@ -80,6 +80,23 @@ void MetricsSampler::set_hook(std::function<void(const MetricsWindow&)> hook) {
 
 namespace {
 
+/// Max/mean channel load over one window's delta, the hot/cold-channel
+/// signal the adaptive rebalancer thresholds on (DESIGN.md §15). Load is
+/// context occupations (tx + rx); 0.0 when the window carried no traffic.
+double vci_imbalance(const NetStatsSnapshot& d) {
+  double total = 0.0;
+  double maxload = 0.0;
+  std::size_t n = 0;
+  for (const ChannelStatsSnapshot& c : d.channels) {
+    const double l = static_cast<double>(c.injections + c.rx_ops);
+    total += l;
+    maxload = std::max(maxload, l);
+    ++n;
+  }
+  if (n == 0 || total <= 0.0) return 0.0;
+  return maxload / (total / static_cast<double>(n));
+}
+
 void write_channel_json(std::ostream& os, const ChannelStatsSnapshot& c) {
   os << "{\"rank\":" << c.rank << ",\"vci\":" << c.vci << ",\"injections\":" << c.injections
      << ",\"rx_ops\":" << c.rx_ops << ",\"deposits\":" << c.deposits
@@ -106,7 +123,10 @@ void MetricsSampler::write_json(std::ostream& os) const {
        << ",\"timeouts\":" << d.timeouts << ",\"failovers\":" << d.failovers
        << ",\"credit_stalls\":" << d.credit_stalls << ",\"overflows\":" << d.overflows
        << ",\"proc_failures\":" << d.proc_failures
-       << ",\"unexpected_hwm\":" << d.unexpected_hwm << ",\"op_latency\":[";
+       << ",\"unexpected_hwm\":" << d.unexpected_hwm
+       << ",\"rebalances\":" << d.rebalances
+       << ",\"migrated_entries\":" << d.migrated_entries
+       << ",\"vci_imbalance\":" << vci_imbalance(d) << ",\"op_latency\":[";
     for (std::size_t j = 0; j < d.op_latency.size(); ++j) {
       const OpLatency& l = d.op_latency[j];
       if (j != 0) os << ",";
@@ -131,10 +151,12 @@ void MetricsSampler::write_prometheus(std::ostream& os) const {
   // for a live endpoint later.
   NetStatsSnapshot total;
   std::size_t nwin = 0;
+  double last_imb = 0.0;
   {
     std::scoped_lock lk(mu_);
     total = prev_;
     nwin = windows_.size();
+    if (!windows_.empty()) last_imb = vci_imbalance(windows_.back().delta);
   }
   const auto counter = [&os](const char* name, std::uint64_t v) {
     os << "# TYPE tmpi_" << name << "_total counter\n"
@@ -149,8 +171,12 @@ void MetricsSampler::write_prometheus(std::ostream& os) const {
   counter("credit_stalls", total.credit_stalls);
   counter("overflows", total.overflows);
   counter("proc_failures", total.proc_failures);
+  counter("rebalances", total.rebalances);
+  counter("migrated_entries", total.migrated_entries);
   os << "# TYPE tmpi_metrics_windows gauge\n"
      << "tmpi_metrics_windows " << nwin << "\n";
+  os << "# TYPE tmpi_vci_imbalance gauge\n"
+     << "tmpi_vci_imbalance " << last_imb << "\n";
   os << "# TYPE tmpi_channel_injections_total counter\n";
   for (const ChannelStatsSnapshot& c : total.channels) {
     os << "tmpi_channel_injections_total{rank=\"" << c.rank << "\",vci=\"" << c.vci << "\"} "

@@ -228,6 +228,9 @@ struct NetStatsSnapshot {
   std::uint64_t proc_failures = 0;  ///< operations failed with kProcFailed
   std::uint64_t revokes = 0;        ///< communicator revocations (explicit or auto)
   std::uint64_t shrinks = 0;        ///< survivor communicators built by Comm::shrink()
+  // Adaptive mapping layer aggregates (DESIGN.md §15).
+  std::uint64_t rebalances = 0;        ///< rebalance epochs that migrated >= 1 comm
+  std::uint64_t migrated_entries = 0;  ///< matching-engine entries moved across VCIs
   // Matching fast path aggregates (DESIGN.md §10).
   std::uint64_t bucket_hits = 0;         ///< exact-key bucket lookups that matched
   std::uint64_t bucket_misses = 0;       ///< exact-key bucket lookups that found nothing
@@ -266,6 +269,8 @@ struct NetStatsSnapshot {
     d.proc_failures = proc_failures - o.proc_failures;
     d.revokes = revokes - o.revokes;
     d.shrinks = shrinks - o.shrinks;
+    d.rebalances = rebalances - o.rebalances;
+    d.migrated_entries = migrated_entries - o.migrated_entries;
     d.bucket_hits = bucket_hits - o.bucket_hits;
     d.bucket_misses = bucket_misses - o.bucket_misses;
     d.wildcard_fallbacks = wildcard_fallbacks - o.wildcard_fallbacks;
@@ -364,6 +369,10 @@ class NetStats {
   void add_proc_failure() { proc_failures_.fetch_add(1, std::memory_order_relaxed); }
   void add_revoke() { revokes_.fetch_add(1, std::memory_order_relaxed); }
   void add_shrink() { shrinks_.fetch_add(1, std::memory_order_relaxed); }
+  void add_rebalance() { rebalances_.fetch_add(1, std::memory_order_relaxed); }
+  void add_migrated(std::uint64_t n) {
+    migrated_entries_.fetch_add(n, std::memory_order_relaxed);
+  }
   void add_bucket_hit() { bucket_hits_.fetch_add(1, std::memory_order_relaxed); }
   void add_bucket_miss() { bucket_misses_.fetch_add(1, std::memory_order_relaxed); }
   void add_wildcard_fallback() {
@@ -424,6 +433,8 @@ class NetStats {
     s.bucket_hits = bucket_hits_.load(std::memory_order_relaxed);
     s.bucket_misses = bucket_misses_.load(std::memory_order_relaxed);
     s.wildcard_fallbacks = wildcard_fallbacks_.load(std::memory_order_relaxed);
+    s.rebalances = rebalances_.load(std::memory_order_relaxed);
+    s.migrated_entries = migrated_entries_.load(std::memory_order_relaxed);
     s.ctx_busy_ns = ctx_busy_ns_.load(std::memory_order_relaxed);
     for (int i = 0; i < kMsgSizeBuckets; ++i) {
       s.size_hist[static_cast<std::size_t>(i)] =
@@ -473,6 +484,8 @@ class NetStats {
   std::atomic<std::uint64_t> bucket_hits_{0};
   std::atomic<std::uint64_t> bucket_misses_{0};
   std::atomic<std::uint64_t> wildcard_fallbacks_{0};
+  std::atomic<std::uint64_t> rebalances_{0};
+  std::atomic<std::uint64_t> migrated_entries_{0};
   std::atomic<Time> ctx_busy_ns_{0};
   std::array<std::atomic<std::uint64_t>, kMsgSizeBuckets> size_hist_{};
 

@@ -41,6 +41,19 @@ int tid_field(Tag tag, int field /*0 = src (MSB), 1 = dst*/, int bits, int total
   return static_cast<int>((tag >> shift) & mask);
 }
 
+/// The VCI a kSingle communicator routes through right now: the adaptive
+/// override when the Rebalancer installed one (DESIGN.md §15), else the
+/// static hash. With `tmpi_adaptive` off the remap pointer is always null,
+/// so the static path is one pointer test — no virtual time, no atomics.
+int single_vci(const CommImpl& c) {
+  if (VciRemap* r = c.remap.get()) {
+    r->route_ops.fetch_add(1, std::memory_order_relaxed);
+    const int v = r->vci.load(std::memory_order_acquire);
+    if (v >= 0) return v;
+  }
+  return c.comm_vcis[0];
+}
+
 }  // namespace
 
 void CommImpl::finalize_structure() {
@@ -173,6 +186,7 @@ void CommImpl::build_derivation(Pending& p) {
         configure_policy(*child);
       }
       child->finalize_structure();
+      world->register_comm(child);
       p.result_impl.assign(static_cast<std::size_t>(n), child);
       p.result_rank.resize(static_cast<std::size_t>(n));
       std::iota(p.result_rank.begin(), p.result_rank.end(), 0);
@@ -210,6 +224,7 @@ void CommImpl::build_derivation(Pending& p) {
           configure_policy(*child);
         }
         child->finalize_structure();
+        world->register_comm(child);
         for (std::size_t i = 0; i < members.size(); ++i) {
           p.result_impl[static_cast<std::size_t>(members[i])] = child;
           p.result_rank[static_cast<std::size_t>(members[i])] = static_cast<int>(i);
@@ -393,6 +408,7 @@ void CommImpl::build_ft(FtPending& p) {
     configure_policy(*child);
   }
   child->finalize_structure();
+  world->register_comm(child);
   p.child = child;
   world->fabric().stats().add_shrink();
 }
@@ -449,8 +465,10 @@ void configure_policy(CommImpl& c) {
 
 Route route_send(const CommImpl& c, int src_rank, int dst_rank, Tag tag) {
   switch (c.policy) {
-    case VciPolicyKind::kSingle:
-      return Route{c.comm_vcis[0], c.comm_vcis[0]};
+    case VciPolicyKind::kSingle: {
+      const int v = single_vci(c);
+      return Route{v, v};
+    }
     case VciPolicyKind::kSendHashRecvSerial: {
       const auto n = static_cast<std::uint32_t>(c.comm_vcis.size());
       return Route{c.comm_vcis[mix_tag(tag) % n], c.comm_vcis[0]};
@@ -485,6 +503,10 @@ int route_recv(const CommImpl& c, int my_rank, int src, Tag tag) {
   }
   switch (c.policy) {
     case VciPolicyKind::kSingle:
+      // Receives funnel through the comm's single VCI (the adaptive override
+      // when one is installed): wildcards are possible, so the library
+      // cannot spread matching (Section II-A).
+      return single_vci(c);
     case VciPolicyKind::kSendHashRecvSerial:
       // Receives funnel through the comm's first VCI: wildcards are possible,
       // so the library cannot spread matching (Section II-A).

@@ -149,6 +149,17 @@ class EpMap {
 
 enum class DeriveOp { kDup, kSplit, kEndpoints, kWindow };
 
+/// Adaptive mapping override installed by the Rebalancer (DESIGN.md §15) on
+/// single-VCI communicators. `vci` >= 0 replaces `comm_vcis[0]` in both
+/// route_send and route_recv; -1 means "use the static map". `route_ops`
+/// counts routing decisions so the policy engine can attribute per-window
+/// load to communicators when deciding what to migrate. Never installed when
+/// `tmpi_adaptive` is off, so the static hot path stays a null-pointer test.
+struct VciRemap {
+  std::atomic<int> vci{-1};
+  std::atomic<std::uint64_t> route_ops{0};
+};
+
 /// Per-rank arguments to a collective derivation (dup/split/endpoints/window).
 struct DeriveArgs {
   int color = 0;
@@ -172,6 +183,9 @@ struct CommImpl {
 
   VciPolicyKind policy = VciPolicyKind::kSingle;
   std::vector<int> comm_vcis;  ///< pool indices (valid on every member rank)
+  /// Adaptive-mapping cell, shared with the World's Rebalancer; null unless
+  /// `tmpi_adaptive` is on and this comm is an eligible kSingle communicator.
+  std::shared_ptr<VciRemap> remap;
   int tag_bits_vci = 0;        ///< tid field width for kTagBitsOneToOne
   bool allow_overtaking = false;
   bool no_any_tag = false;

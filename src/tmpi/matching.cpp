@@ -282,6 +282,64 @@ void MatchingEngine::absorb(MatchingEngine& from) {
   }
 }
 
+std::size_t MatchingEngine::absorb_ctx(MatchingEngine& from, int ctx_a, int ctx_b,
+                                       int ctx_c) {
+  // Same mode discipline as absorb(): a latched source may hold wildcard
+  // posts on the migrating contexts, so the merged engine must stay on the
+  // ordered path.
+  if (from.latched_) latch();
+
+  posted_.drop_index();
+  unexpected_.drop_index();
+  from.posted_.drop_index();
+  from.unexpected_.drop_index();
+
+  const auto wants = [ctx_a, ctx_b, ctx_c](int ctx) {
+    return ctx == ctx_a || ctx == ctx_b || ctx == ctx_c;
+  };
+  std::size_t moved = unexpected_.absorb_if(
+      from.unexpected_, [](const Envelope& e) { return e.ready_time; },
+      [&wants](const Envelope& e) { return wants(e.ctx_id); });
+  moved += posted_.absorb_if(
+      from.posted_, [](const PostedRecv& p) { return p.post_time; },
+      [&wants](const PostedRecv& p) { return wants(p.ctx_id); });
+
+  // Unlike failover, `from` keeps its other contexts' entries — both engines
+  // need their index overlays rebuilt.
+  if (!latched_) {
+    unexpected_.reindex(
+        [this](const Envelope& e) { return index_entry(e.src, e.tag, e.fastpath); });
+    posted_.reindex(
+        [this](const PostedRecv& p) { return index_entry(p.src, p.tag, p.fastpath); });
+  }
+  if (!from.latched_) {
+    from.unexpected_.reindex(
+        [&from](const Envelope& e) { return from.index_entry(e.src, e.tag, e.fastpath); });
+    from.posted_.reindex(
+        [&from](const PostedRecv& p) { return from.index_entry(p.src, p.tag, p.fastpath); });
+  }
+  return moved;
+}
+
+std::size_t MatchingEngine::rematch(net::Time now) {
+  std::size_t paired = 0;
+  for (auto* p = posted_.head(); p != nullptr;) {
+    auto* pnext = p->next;
+    for (auto* u = unexpected_.head(); u != nullptr; u = u->next) {
+      if (!matches(p->item, u->item)) continue;
+      const net::Time match_time =
+          std::max({now, p->item.post_time, u->item.ready_time});
+      deliver(u->item, p->item, match_time);
+      unexpected_.erase(u);
+      posted_.erase(p);
+      ++paired;
+      break;
+    }
+    p = pnext;
+  }
+  return paired;
+}
+
 void MatchingEngine::clear() {
   posted_.clear();
   unexpected_.clear();

@@ -307,6 +307,39 @@ class MatchQueue {
     if (positions_enabled_) renumber();
   }
 
+  /// Context-filtered variant of absorb() (adaptive rebalance, DESIGN.md
+  /// §15): move only the entries selected by `pred(item)` out of `from`,
+  /// merged by enqueue time with the same tie rule as absorb(); unselected
+  /// entries keep their positions in `from`. Returns the number moved.
+  /// Both indexes must have been dropped by the caller — unlike absorb(),
+  /// `from` keeps live entries, so *both* queues need reindexing after.
+  template <class TimeFn, class Pred>
+  std::size_t absorb_if(MatchQueue& from, TimeFn enqueue_time, Pred pred) {
+    std::size_t moved = 0;
+    Node* f = from.head_;
+    while (f != nullptr) {
+      Node* fnext = f->next;
+      if (pred(f->item)) {
+        const net::Time t = enqueue_time(f->item);
+        Node* pos = head_;
+        while (pos != nullptr && enqueue_time(pos->item) <= t) pos = pos->next;
+        Node* n = create_node(std::move(f->item));
+        n->key = f->key;
+        n->hash = f->hash;
+        insert_before(pos, n);
+        from.unlink(f);
+        from.destroy_node(f);
+        ++moved;
+      }
+      f = fnext;
+    }
+    if (moved != 0) {
+      if (from.positions_enabled_) from.renumber();
+      if (positions_enabled_) renumber();
+    }
+    return moved;
+  }
+
   /// Destroy every entry (releasing pooled payloads etc.); keeps the node
   /// chunks for reuse.
   void clear() {
@@ -598,6 +631,23 @@ class MatchingEngine {
   /// deterministic tests phase-order traffic around the failover, and the
   /// stress suite injects no ctx-down events.
   void absorb(MatchingEngine& from);
+
+  /// Context-filtered queue migration (adaptive rebalance, DESIGN.md §15):
+  /// move only the entries whose matching context is one of the three given
+  /// ids out of `from`, interleaved by enqueue time exactly like absorb().
+  /// Entries for other contexts keep their order in `from`. Returns the
+  /// number of entries moved. Caller holds both VCIs' ContentionLocks; the
+  /// same best-effort caveat as absorb() applies to racing deposits.
+  std::size_t absorb_ctx(MatchingEngine& from, int ctx_a, int ctx_b, int ctx_c);
+
+  /// Cross-match sweep after an absorb/absorb_ctx merge. A deposit that
+  /// re-routed to the destination channel before the matching posted receive
+  /// was swept over (or vice versa) leaves a compatible posted/unexpected
+  /// pair coexisting in one engine — a state the deposit/post hot paths can
+  /// never create and therefore never look for. Pair them up in queue order
+  /// and deliver at max(`now`, post time, ready time); returns the number of
+  /// pairs delivered. Caller holds the owning VCI's lock.
+  std::size_t rematch(net::Time now);
 
   /// Drop every queued entry, releasing pooled payloads and node storage
   /// back to their owners. VciPool's destructor drains all engines this way

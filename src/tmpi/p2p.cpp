@@ -325,12 +325,14 @@ Status probe(int src, Tag tag, const Comm& comm) {
   TMPI_REQUIRE(comm.valid(), Errc::kInvalidArg, "invalid comm");
   const detail::CommImpl& c = *comm.impl();
   World& w = comm.world();
-  const int lvci = detail::route_recv(c, comm.rank(), src, tag);
   detail::VciPool& pool = w.rank_state(c.world_rank_of(comm.rank())).vcis;
   Status st;
   for (;;) {
-    // Re-resolve each round: a failover mid-wait moves deposits (and their
-    // wakeups) to the fallback channel.
+    // Re-route and re-resolve each round: a failover (or an adaptive
+    // rebalance, DESIGN.md §15) mid-wait moves deposits — and their wakeups —
+    // to another channel. route_recv is pure, so with a static mapping the
+    // recompute changes nothing.
+    const int lvci = detail::route_recv(c, comm.rank(), src, tag);
     detail::Vci& v = pool.at(pool.resolve(lvci));
     const std::uint64_t seen = v.deposit_count();
     if (iprobe(src, tag, comm, &st)) return st;

@@ -1,0 +1,256 @@
+#include "tmpi/rebalancer.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <utility>
+
+#include "net/contention_lock.h"
+#include "tmpi/vci.h"
+#include "tmpi/world.h"
+
+namespace tmpi {
+
+namespace {
+
+bool parse_bool(const std::string& v) {
+  return v == "1" || v == "on" || v == "true" || v == "yes";
+}
+
+}  // namespace
+
+bool RebalanceConfig::set(const std::string& key, const std::string& value) {
+  if (key == "tmpi_adaptive") {
+    adaptive = parse_bool(value);
+    return true;
+  }
+  if (key == "tmpi_rebalance_window_ns") {
+    window_ns = static_cast<net::Time>(std::stoull(value));
+    return true;
+  }
+  if (key == "tmpi_imbalance_threshold") {
+    imbalance_threshold = std::stod(value);
+    return true;
+  }
+  return false;
+}
+
+RebalanceConfig RebalanceConfig::from_env(RebalanceConfig base) {
+  if (const char* v = std::getenv("TMPI_ADAPTIVE")) base.set("tmpi_adaptive", v);
+  if (const char* v = std::getenv("TMPI_REBALANCE_WINDOW_NS")) {
+    base.set("tmpi_rebalance_window_ns", v);
+  }
+  if (const char* v = std::getenv("TMPI_IMBALANCE_THRESHOLD")) {
+    base.set("tmpi_imbalance_threshold", v);
+  }
+  return base;
+}
+
+namespace detail {
+
+Rebalancer::Rebalancer(World& w, RebalanceConfig cfg)
+    : w_(&w), cfg_(cfg), next_epoch_(cfg.window_ns) {}
+
+void Rebalancer::track(const std::shared_ptr<CommImpl>& c) {
+  if (c == nullptr || c->is_endpoints || c->policy != VciPolicyKind::kSingle) return;
+  auto remap = std::make_shared<VciRemap>();
+  c->remap = remap;
+  {
+    std::scoped_lock lk(ctx_mu_);
+    ctx_map_[c->ctx_id] = remap;
+    ctx_map_[c->coll_ctx_id] = remap;
+  }
+  std::scoped_lock lk(mu_);
+  comms_.push_back(Tracked{c, std::move(remap), 0});
+}
+
+int Rebalancer::current_vci(int ctx_id, int fallback) const {
+  std::scoped_lock lk(ctx_mu_);
+  const auto it = ctx_map_.find(ctx_id);
+  if (it == ctx_map_.end()) return fallback;
+  const int v = it->second->vci.load(std::memory_order_acquire);
+  return v >= 0 ? v : fallback;
+}
+
+bool Rebalancer::vci_usable(int idx) const {
+  if (idx < 0 || idx >= w_->config().num_vcis) return false;
+  const int n = w_->nranks();
+  for (int r = 0; r < n; ++r) {
+    RankState* rs = w_->rank_state_if_materialized(r);
+    if (rs == nullptr) continue;
+    VciPool& pool = rs->vcis;
+    if (idx >= pool.size()) continue;
+    if (pool.resolve(idx) != idx) return false;  // failed over on this rank
+    if (Vci* v = pool.peek(idx)) {
+      if (v->ctx().is_down()) return false;  // down, single-VCI degraded mode
+    }
+  }
+  return true;
+}
+
+std::uint64_t Rebalancer::migrate_comm(CommImpl& c, VciRemap& remap, int from, int to,
+                                       net::Time now) {
+  // Publish the cutover first: every route computed from here on lands on
+  // the new channel, and any deposit/post that raced the flip re-checks the
+  // mapping under the VCI lock and retries, so nothing settles on the old
+  // channel after the sweep below.
+  remap.vci.store(to, std::memory_order_release);
+
+  std::uint64_t moved = 0;
+  const int nmember = c.size();
+  for (int i = 0; i < nmember; ++i) {
+    RankState* rs = w_->rank_state_if_materialized(c.world_rank_of(i));
+    if (rs == nullptr) continue;  // never touched: no queues to move
+    VciPool& pool = rs->vcis;
+    // Follow fail-over redirect chains on both endpoints: a migration must
+    // drain the channel actually carrying the stream and must never
+    // resurrect a context that sticky-down already parked.
+    const int fi = pool.resolve(from);
+    const int ti = pool.resolve(to);
+    if (fi == ti) continue;
+    Vci* src = fi < pool.size() ? pool.peek(fi) : nullptr;
+    if (src == nullptr) continue;  // idle channel body: nothing queued
+    Vci& dst = pool.at(ti);
+    std::uint64_t rank_moved = 0;
+    {
+      Vci& first = fi < ti ? *src : dst;
+      Vci& second = fi < ti ? dst : *src;
+      net::VirtualClock mclk(now);
+      net::ContentionLock::Guard g1(first.lock(), mclk, w_->cost(), nullptr, nullptr);
+      net::ContentionLock::Guard g2(second.lock(), mclk, w_->cost(), nullptr, nullptr);
+      rank_moved = dst.engine().absorb_ctx(src->engine(), c.ctx_id, c.coll_ctx_id,
+                                           c.part_ctx_id);
+      // A deposit that re-routed to `to` before this sweep moved the
+      // matching posted receive over (or the mirror case) left a compatible
+      // pair stranded in the destination engine; pair them now, while both
+      // locks are held, or the receive never completes.
+      if (rank_moved > 0) dst.engine().rematch(now);
+    }
+    // Phantom wakeups (the rank-failure discipline): probes blocked on the
+    // old channel re-route through route_recv and land on the new mapping;
+    // probes already waiting on the new channel re-evaluate against the
+    // absorbed unexpected entries.
+    src->note_deposit();
+    if (rank_moved > 0) dst.note_deposit();
+    moved += rank_moved;
+  }
+  return moved;
+}
+
+void Rebalancer::rebalance(net::Time now) {
+  std::scoped_lock lk(mu_);
+  if (now < next_epoch_.load(std::memory_order_relaxed)) return;  // raced a closer
+  next_epoch_.store(((now / cfg_.window_ns) + 1) * cfg_.window_ns,
+                    std::memory_order_relaxed);
+
+  // Policy input: per-channel load deltas over the closed window, from the
+  // same ChannelStats registry the metrics sampler reads.
+  net::NetStatsSnapshot cur = w_->snapshot();
+  const net::NetStatsSnapshot delta = cur - prev_;
+  prev_ = std::move(cur);
+
+  const int span = w_->config().num_vcis;
+  if (span <= 1) return;  // nowhere to move anything
+  std::vector<double> load(static_cast<std::size_t>(span), 0.0);
+  for (const auto& ch : delta.channels) {
+    if (ch.vci < 0 || ch.vci >= span) continue;  // endpoint VCIs spread already
+    load[static_cast<std::size_t>(ch.vci)] += static_cast<double>(
+        ch.injections + ch.rx_ops + ch.credit_stalls + ch.bucket_misses);
+  }
+  double total = 0.0;
+  double maxload = 0.0;
+  for (const double l : load) {
+    total += l;
+    maxload = std::max(maxload, l);
+  }
+  const double mean = total / static_cast<double>(span);
+  const double imbalance = mean > 0.0 ? maxload / mean : 0.0;
+  last_imbalance_.store(imbalance, std::memory_order_relaxed);
+
+  // Per-comm weights are an EWMA (this window's ops plus 7/8 of the
+  // previous estimate), pruned of dead comms. The slow decay matters for
+  // phased traffic: comms drain their backlogs in bursts, so any single
+  // window sees only a sliver of the true distribution — a fast-forgetting
+  // weight ranks whatever burst last above the comms that dominate the
+  // phase and re-derives a different packing every epoch. With most of the
+  // history retained the weights converge on per-phase totals and the
+  // repack reaches a fixed point, while a genuine shift still climbs the
+  // ranking within a few windows because fresh ops add at full strength.
+  struct Item {
+    std::shared_ptr<CommImpl> comm;
+    std::shared_ptr<VciRemap> remap;
+    std::uint64_t weight = 0;
+  };
+  std::vector<Item> items;
+  for (auto it = comms_.begin(); it != comms_.end();) {
+    std::shared_ptr<CommImpl> c = it->comm.lock();
+    if (c == nullptr) {
+      it = comms_.erase(it);
+      continue;
+    }
+    const std::uint64_t ops = it->remap->route_ops.load(std::memory_order_relaxed);
+    const std::uint64_t window = ops - it->last_route_ops;
+    it->last_route_ops = ops;
+    it->ewma = window + it->ewma - it->ewma / 8;
+    if (it->ewma > 0) items.push_back(Item{std::move(c), it->remap, it->ewma});
+    ++it;
+  }
+  if (imbalance < cfg_.imbalance_threshold || items.empty()) return;
+
+  std::vector<int> bins;
+  for (int v = 0; v < span; ++v) {
+    if (vci_usable(v)) bins.push_back(v);
+  }
+  if (bins.size() < 2) return;  // fail-over left nowhere worth moving to
+
+  // Longest-processing-time repack of the active communicators over the
+  // usable channels, with deterministic tie-breaks (weight desc, seq asc).
+  std::sort(items.begin(), items.end(), [](const Item& a, const Item& b) {
+    if (a.weight != b.weight) return a.weight > b.weight;
+    return a.comm->seq_no < b.comm->seq_no;
+  });
+  std::vector<double> bin_load(bins.size(), 0.0);
+  std::uint64_t moved = 0;
+  bool flipped = false;
+  for (const Item& item : items) {
+    const int mapped = item.remap->vci.load(std::memory_order_relaxed);
+    const int effective = mapped >= 0 ? mapped : item.comm->comm_vcis[0];
+    const double w = static_cast<double>(item.weight);
+    std::size_t best = 0;
+    for (std::size_t b = 1; b < bins.size(); ++b) {
+      if (bin_load[b] < bin_load[best]) best = b;
+    }
+    // Hysteresis: staying put is free, migrating sweeps queues on every rank
+    // and (worse) couples the comm's traffic to a new channel's busy horizon
+    // mid-stream — a pure LPT re-derivation would keep shuffling the light
+    // comms between near-tied bins every epoch as the EWMA weights drift.
+    // Migrate only when BOTH hold: the current channel carries at least 1.5x
+    // the load of the best alternative, and moving shortens this comm's
+    // completion by more than half its own weight. Two hot comms stacked on
+    // one channel clear both bars immediately (the best alternative is near
+    // empty relative to the stack); a light comm riding a busy-but-typical
+    // channel, or steady-state weight drift between near-tied bins, never
+    // does. Both bars are ratios of packed loads, deliberately independent
+    // of the total — lingering weight from a finished traffic phase must not
+    // raise the bar for unstacking the phase that is bursting right now.
+    for (std::size_t b = 0; b < bins.size(); ++b) {
+      if (bins[b] != effective) continue;
+      const bool overloaded = bin_load[b] > 1.5 * bin_load[best];
+      const bool worth = bin_load[b] > bin_load[best] + w / 2.0;
+      if (!overloaded || !worth) best = b;
+      break;
+    }
+    bin_load[best] += w;
+    if (effective == bins[best]) continue;
+    moved += migrate_comm(*item.comm, *item.remap, effective, bins[best], now);
+    flipped = true;
+  }
+  if (!flipped) return;
+  rebalances_.fetch_add(1, std::memory_order_relaxed);
+  migrated_.fetch_add(moved, std::memory_order_relaxed);
+  net::NetStats& stats = w_->fabric().stats();
+  stats.add_rebalance();
+  stats.add_migrated(moved);
+}
+
+}  // namespace detail
+}  // namespace tmpi

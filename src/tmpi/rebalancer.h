@@ -1,0 +1,164 @@
+#ifndef TMPI_REBALANCER_H
+#define TMPI_REBALANCER_H
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/stats.h"
+#include "net/virtual_clock.h"
+#include "tmpi/comm.h"
+#include "tmpi/info.h"
+
+/// \file rebalancer.h
+/// Adaptive VCI rebalancing (DESIGN.md §15).
+///
+/// The paper leaves communicator→VCI mapping static and user-chosen; the
+/// Fig. 4 ideal-vs-naive gap is the price of guessing wrong. This policy
+/// engine closes ROADMAP item 3: it periodically (every
+/// `tmpi_rebalance_window_ns` of *virtual* time, piggybacked on the
+/// transport choke points the MetricsSampler already hooks) snapshots
+/// per-(rank, VCI) load from the ChannelStats registry, detects hot/cold
+/// channels via a configurable max/mean imbalance threshold, and migrates
+/// single-VCI communicators between channels online — moving their posted
+/// and unexpected queues with the context-filtered MatchingEngine::absorb
+/// under the fail-over dual-lock discipline, so in-flight sends and
+/// receives observe a single cutover per epoch.
+///
+/// OFF by default. With `tmpi_adaptive=off` no Rebalancer is constructed,
+/// no VciRemap is installed on any communicator, and every hot path stays
+/// on the null-pointer fast test — virtual clocks, stats, and payloads are
+/// bit-identical to a build without this subsystem (pinned by the
+/// rebalance twin-parity suite).
+
+namespace tmpi {
+
+class World;
+
+/// Resolved adaptive-mapping knobs. Follows the OverloadConfig/MetricsConfig
+/// layering: Info hints (`WorldConfig::rebalance_info`) first, then the same
+/// names uppercased as environment variables overlay them.
+struct RebalanceConfig {
+  /// Master switch (`tmpi_adaptive`): accepts 1/0, on/off, true/false.
+  bool adaptive = false;
+  /// Epoch length in virtual ns (`tmpi_rebalance_window_ns`). The policy
+  /// runs at most once per window; 0 disables even when adaptive is on.
+  net::Time window_ns = 500000;
+  /// Max/mean channel-load ratio that triggers a repack
+  /// (`tmpi_imbalance_threshold`). Loads below the threshold leave the
+  /// current mapping untouched — migration is not free.
+  double imbalance_threshold = 2.0;
+
+  [[nodiscard]] bool enabled() const { return adaptive && window_ns > 0; }
+
+  /// Apply one `tmpi_*` key; returns false if the key is not ours.
+  bool set(const std::string& key, const std::string& value);
+
+  /// Overlay TMPI_ADAPTIVE / TMPI_REBALANCE_WINDOW_NS /
+  /// TMPI_IMBALANCE_THRESHOLD over `base`.
+  [[nodiscard]] static RebalanceConfig from_env(RebalanceConfig base);
+};
+
+namespace detail {
+
+/// The telemetry-driven mapping policy engine. One per World, constructed
+/// only when the resolved RebalanceConfig is enabled; the transport and the
+/// routing layer treat a null engine as "static mapping" with zero cost.
+class Rebalancer {
+ public:
+  Rebalancer(World& w, RebalanceConfig cfg);
+
+  [[nodiscard]] const RebalanceConfig& config() const { return cfg_; }
+
+  /// Register a communicator with the policy engine. Only non-endpoints
+  /// kSingle-policy communicators (the comm-per-stream pattern whose static
+  /// placement the paper shows going wrong) get a VciRemap installed and
+  /// become migratable; other policies already spread their traffic by
+  /// tag/endpoint and are left alone. Called from every comm creation path
+  /// before the new communicator is published to its member ranks.
+  void track(const std::shared_ptr<CommImpl>& c);
+
+  /// Hot-path epoch check: one relaxed load while `now` is inside the
+  /// current window. Called from the transport choke points (inject /
+  /// deliver) with no VCI lock held.
+  void maybe_rebalance(net::Time now) {
+    if (now < next_epoch_.load(std::memory_order_relaxed)) return;
+    rebalance(now);
+  }
+
+  /// The VCI a message or receive on `ctx_id` must land on right now, or
+  /// `fallback` when the context belongs to an untracked communicator. The
+  /// transport re-checks this under the target VCI's lock and retries on a
+  /// mismatch, which is what makes the cutover race-free against the
+  /// migrating epoch (see deliver_now / post_recv).
+  [[nodiscard]] int current_vci(int ctx_id, int fallback) const;
+
+  /// Epochs that actually migrated at least one communicator.
+  [[nodiscard]] std::uint64_t rebalances() const {
+    return rebalances_.load(std::memory_order_relaxed);
+  }
+  /// Matching-engine entries moved across channels so far.
+  [[nodiscard]] std::uint64_t migrated_entries() const {
+    return migrated_.load(std::memory_order_relaxed);
+  }
+  /// Max/mean channel load of the last closed window (policy input signal).
+  [[nodiscard]] double last_imbalance() const {
+    return last_imbalance_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Tracked {
+    std::weak_ptr<CommImpl> comm;
+    std::shared_ptr<VciRemap> remap;  ///< shared with the CommImpl
+    std::uint64_t last_route_ops = 0; ///< telescoped per-window weight base
+    std::uint64_t ewma = 0;           ///< decayed load: window + ewma/2
+  };
+
+  /// Close the window that `now` crossed into: snapshot channel loads,
+  /// compute the imbalance, and repack/migrate when it exceeds the
+  /// threshold. Serialized on mu_; late crossers return immediately.
+  void rebalance(net::Time now);
+
+  /// True when pool index `idx` can carry new traffic on every materialized
+  /// rank: inside the base pool, not redirected by fail-over, and its
+  /// hardware context (when built) is not down. A down context must never
+  /// be resurrected by a rebalance — traffic targeted at it follows the
+  /// redirect chain exactly as fail-over left it.
+  [[nodiscard]] bool vci_usable(int idx) const;
+
+  /// Flip `c`'s mapping from pool index `from` to `to` and migrate its
+  /// queued entries on every materialized member rank, following redirect
+  /// chains on both endpoints and taking the two VCI locks in pool-index
+  /// order (the fail_over_stream discipline). Returns entries moved.
+  std::uint64_t migrate_comm(CommImpl& c, VciRemap& remap, int from, int to, net::Time now);
+
+  World* w_;
+  RebalanceConfig cfg_;
+  std::atomic<net::Time> next_epoch_;
+  std::atomic<std::uint64_t> rebalances_{0};
+  std::atomic<std::uint64_t> migrated_{0};
+  std::atomic<double> last_imbalance_{0.0};
+
+  /// Epoch + tracked-set mutex. Lock order: mu_ before VCI locks; the
+  /// depositor side holds a VCI lock and only ever takes ctx_mu_, so the
+  /// two orders cannot form a cycle.
+  std::mutex mu_;
+  std::vector<Tracked> comms_;
+  net::NetStatsSnapshot prev_;  ///< telescoped channel-load base (under mu_)
+
+  /// ctx id -> remap cell for the transport's under-lock re-check. Values
+  /// are shared_ptr so a looked-up cell can never dangle; entries for dead
+  /// communicators are harmless (their contexts carry no traffic) and are
+  /// bounded by comm-creation count.
+  mutable std::mutex ctx_mu_;
+  std::unordered_map<int, std::shared_ptr<VciRemap>> ctx_map_;
+};
+
+}  // namespace detail
+}  // namespace tmpi
+
+#endif  // TMPI_REBALANCER_H

@@ -8,6 +8,7 @@
 #include "net/metrics.h"
 #include "net/pdes.h"
 #include "net/slab_pool.h"
+#include "tmpi/rebalancer.h"
 #include "tmpi/world.h"
 
 namespace tmpi::detail {
@@ -109,6 +110,10 @@ void fail_over_stream(World& w, int rank, int vci, net::VirtualClock& clk) {
   net::ContentionLock::Guard g1(first.lock(), clk, cm, stats, first.chstats());
   net::ContentionLock::Guard g2(second.lock(), clk, cm, stats, second.chstats());
   dst.engine().absorb(from.engine());
+  // A deposit that raced the redirect onto `to` before the merge moved the
+  // matching posted receive over leaves a compatible pair stranded in the
+  // destination engine; pair them while both locks are held.
+  dst.engine().rematch(clk.now());
   stats->add_failover();
   if (from.chstats() != nullptr) from.chstats()->add_failover();
   if (const Sinks snk(w); snk.on()) {
@@ -188,6 +193,7 @@ InjectResult Transport::inject(const OpDesc& op) {
     tally_op(op, stats);
     r.arrival = r.inject_done + w.fabric().transfer_time(me.node, peer.node, wire_bytes);
     if (net::MetricsSampler* ms = w.metrics()) ms->maybe_sample(r.inject_done);
+    if (Rebalancer* rb = w.rebalancer()) rb->maybe_rebalance(r.inject_done);
     return r;
   }
 
@@ -260,6 +266,7 @@ InjectResult Transport::inject(const OpDesc& op) {
       r.arrival =
           r.inject_done + w.fabric().transfer_time(me.node, peer.node, wire_bytes) + v.delay_ns;
       if (net::MetricsSampler* ms = w.metrics()) ms->maybe_sample(r.inject_done);
+      if (Rebalancer* rb = w.rebalancer()) rb->maybe_rebalance(r.inject_done);
       return r;
     }
 
@@ -399,21 +406,51 @@ bool Transport::deliver_now(const OpDesc& op, Envelope&& env, net::Time arrival)
     }
   }
   const std::size_t cap = static_cast<std::size_t>(w.overload().unexpected_cap);
-  Vci& rv = w.rank_state(op.dst_world_rank).vcis.at(rvci);
+  VciPool& dst_pool = w.rank_state(op.dst_world_rank).vcis;
+  // Adaptive remap consult (DESIGN.md §15): land the message on the channel
+  // the communicator is mapped to *now*, not the one the sender routed
+  // against. Null rebalancer (the default) keeps the op.remote_vci path and
+  // its charge order bit-exact.
+  Rebalancer* rb = w.rebalancer();
+  if (rb != nullptr) {
+    rvci = rb->current_vci(env.ctx_id, rvci);
+    if (w.fault_injector() != nullptr) rvci = dst_pool.resolve(rvci);
+  }
   const Sinks snk(w);
-  rv.ctx().receive(aclk, cm, rv.chstats());
-  const net::Time rx_done = aclk.now();
   bool accepted = true;
   std::size_t depth = 0;
-  net::Time dep_start = rx_done;
-  net::Time dep_done = rx_done;
-  {
-    net::ContentionLock::Guard g(rv.lock(), aclk, cm, stats, rv.chstats());
-    dep_start = aclk.now();
-    accepted = rv.engine().deposit(std::move(env), aclk, cm, stats, cap);
-    depth = rv.engine().unexpected_depth();
-    dep_done = aclk.now();
+  net::Time rx_done = arrival;
+  net::Time dep_start = arrival;
+  net::Time dep_done = arrival;
+  Vci* rvp = nullptr;
+  for (;;) {
+    Vci& v = dst_pool.at(rvci);
+    rvp = &v;
+    v.ctx().receive(aclk, cm, v.chstats());
+    rx_done = aclk.now();
+    bool retry = false;
+    {
+      net::ContentionLock::Guard g(v.lock(), aclk, cm, stats, v.chstats());
+      if (rb != nullptr) {
+        // A rebalance epoch raced this delivery and already swept the old
+        // channel: re-target so the deposit cannot strand behind the cutover.
+        int latest = rb->current_vci(env.ctx_id, rvci);
+        if (w.fault_injector() != nullptr) latest = dst_pool.resolve(latest);
+        if (latest != rvci) {
+          rvci = latest;
+          retry = true;
+        }
+      }
+      if (!retry) {
+        dep_start = aclk.now();
+        accepted = v.engine().deposit(std::move(env), aclk, cm, stats, cap);
+        depth = v.engine().unexpected_depth();
+        dep_done = aclk.now();
+      }
+    }
+    if (!retry) break;
   }
+  Vci& rv = *rvp;
   if (snk.on()) {
     // Receiver-side occupancy timeline: rx context busy, then the deposit
     // under the VCI lock, then the resulting unexpected-queue depth gauge.
@@ -433,6 +470,7 @@ bool Transport::deliver_now(const OpDesc& op, Envelope&& env, net::Time arrival)
     if (rv.chstats() != nullptr) rv.chstats()->note_unexpected_depth(depth);
   }
   if (net::MetricsSampler* ms = w.metrics()) ms->maybe_sample(dep_done);
+  if (rb != nullptr) rb->maybe_rebalance(dep_done);
   if (!accepted) {
     stats->add_overflow();
     if (rv.chstats() != nullptr) rv.chstats()->add_overflow();
@@ -506,29 +544,49 @@ void Transport::post_recv(int world_rank, int local_vci, PostedRecv pr) {
     vci = fault_route(w, *fi, world_rank, local_vci, clk);
   }
   RankState& st = w.rank_state(world_rank);
-  Vci& v = st.vcis.at(vci);
-  pdes_drain_channel(w, st.node, v);
+  // Adaptive remap consult (DESIGN.md §15): a receive must be posted to the
+  // channel its communicator maps to right now, with an under-lock re-check
+  // against the migrating epoch (same protocol as deliver_now).
+  Rebalancer* rb = w.rebalancer();
+  const int ctx_id = pr.ctx_id;
+  if (rb != nullptr) {
+    vci = rb->current_vci(ctx_id, vci);
+    if (w.fault_injector() != nullptr) vci = st.vcis.resolve(vci);
+  }
   const std::uint64_t span = pr.req != nullptr ? pr.req->trace_span : 0;
   const Tag tag = pr.tag;
   const int src_world = pr.src_world;
-  net::ContentionLock::Guard g(v.lock(), clk, cm, stats, v.chstats());
-  v.engine().post_recv(std::move(pr), clk, cm, stats);
-  // Close the purge-vs-post race (DESIGN.md §13): if the named source died
-  // concurrently, the death-time purge may have walked this engine before the
-  // entry above landed. Death is sticky, so a re-purge under the same channel
-  // lock is exact — the entry fails with kProcFailed at max(post time, death
-  // time), identical to what the purge itself would have produced. Wildcard
-  // posts (src_world < 0) are never failed by rank death.
-  if (src_world >= 0) {
-    net::Liveness& live = w.fabric().liveness();
-    if (live.any_dead() && live.is_dead(src_world)) {
-      const std::size_t purged =
-          v.engine().purge_rank(src_world, live.death_time(src_world));
-      for (std::size_t i = 0; i < purged; ++i) {
-        stats->add_proc_failure();
-        if (v.chstats() != nullptr) v.chstats()->add_proc_failure();
+  for (;;) {
+    Vci& v = st.vcis.at(vci);
+    pdes_drain_channel(w, st.node, v);
+    net::ContentionLock::Guard g(v.lock(), clk, cm, stats, v.chstats());
+    if (rb != nullptr) {
+      int latest = rb->current_vci(ctx_id, vci);
+      if (w.fault_injector() != nullptr) latest = st.vcis.resolve(latest);
+      if (latest != vci) {
+        vci = latest;
+        continue;
       }
     }
+    v.engine().post_recv(std::move(pr), clk, cm, stats);
+    // Close the purge-vs-post race (DESIGN.md §13): if the named source died
+    // concurrently, the death-time purge may have walked this engine before
+    // the entry above landed. Death is sticky, so a re-purge under the same
+    // channel lock is exact — the entry fails with kProcFailed at max(post
+    // time, death time), identical to what the purge itself would have
+    // produced. Wildcard posts (src_world < 0) are never failed by rank death.
+    if (src_world >= 0) {
+      net::Liveness& live = w.fabric().liveness();
+      if (live.any_dead() && live.is_dead(src_world)) {
+        const std::size_t purged =
+            v.engine().purge_rank(src_world, live.death_time(src_world));
+        for (std::size_t i = 0; i < purged; ++i) {
+          stats->add_proc_failure();
+          if (v.chstats() != nullptr) v.chstats()->add_proc_failure();
+        }
+      }
+    }
+    break;
   }
   if (const Sinks snk(w); snk.on()) {
     net::TraceEvent e;

@@ -8,6 +8,7 @@
 
 #include "net/pdes.h"
 #include "tmpi/profiler.h"
+#include "tmpi/rebalancer.h"
 #include "tmpi/transport.h"
 
 namespace tmpi {
@@ -79,6 +80,17 @@ World::World(WorldConfig cfg) : cfg_(std::move(cfg)), states_(cfg_.nranks) {
     metrics_ = std::make_unique<net::MetricsSampler>(&fabric_->stats(), std::move(mc));
   }
 
+  // Adaptive VCI rebalancing (DESIGN.md §15): same Info-then-env layering.
+  // The policy engine exists only when enabled, so the default (static
+  // mapping) path stays bit-exact — routing and the transport test one null
+  // pointer per op.
+  RebalanceConfig rc;
+  for (const auto& [k, v] : cfg_.rebalance_info.entries()) rc.set(k, v);
+  rc = RebalanceConfig::from_env(rc);
+  TMPI_REQUIRE(rc.imbalance_threshold >= 1.0, Errc::kInvalidArg,
+               "tmpi_imbalance_threshold must be >= 1.0");
+  if (rc.enabled()) rebalancer_ = std::make_unique<detail::Rebalancer>(*this, rc);
+
   // Matching fast path (DESIGN.md §10): config string, env on top. Any mode
   // is safe anywhere — bucket lookups charge list-equivalent virtual time —
   // so this is a benchmarking/bisection knob, not a correctness choice.
@@ -108,7 +120,11 @@ World::World(WorldConfig cfg) : cfg_(std::move(cfg)), states_(cfg_.nranks) {
     // rejection to the sender) and scheduled ctx-down events (failover
     // redirects make the destination channel a function of delivery-time
     // state, not of the sender's program order).
-    bool needs_sync = overload_.unexpected_cap > 0;
+    // Adaptive rebalancing epochs are needs_sync events too: a deferred
+    // delivery could race a cutover and land on a channel the migration
+    // already swept, so deliveries stay inline while the policy engine is
+    // live (§15).
+    bool needs_sync = overload_.unexpected_cap > 0 || rebalancer_ != nullptr;
     if (fault_injector_ != nullptr) {
       for (const auto& ev : fault_injector_->plan().events) {
         // ctx_down: failover redirects make the destination channel a
@@ -140,6 +156,7 @@ World::World(WorldConfig cfg) : cfg_(std::move(cfg)), states_(cfg_.nranks) {
   world_comm_->eps.assign_identity(cfg_.nranks);
   detail::configure_policy(*world_comm_);
   world_comm_->finalize_structure();
+  register_comm(world_comm_);
 
   // Started last: the watchdog's monitor thread may touch rank state and
   // stats, so everything it reads exists before the thread runs.
@@ -198,6 +215,10 @@ net::NetStatsSnapshot World::snapshot() const {
 }
 
 int World::alloc_ctx_ids() { return next_ctx_.fetch_add(3, std::memory_order_relaxed); }
+
+void World::register_comm(const std::shared_ptr<detail::CommImpl>& c) {
+  if (rebalancer_ != nullptr) rebalancer_->track(c);
+}
 
 void World::on_rank_failure(int rank, net::Time t) {
   // Death is sticky: only the first declaration propagates. mark_dead also

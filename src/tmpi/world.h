@@ -59,6 +59,12 @@ struct WorldConfig {
   /// environment variables overlay these. Leave empty for the unbounded,
   /// watchdog-free configuration — bit-exact with previous releases.
   Info overload_info{};
+  /// Adaptive VCI rebalancing hints (`tmpi_adaptive`,
+  /// `tmpi_rebalance_window_ns`, `tmpi_imbalance_threshold`; see
+  /// tmpi/rebalancer.h). The same names uppercased as environment variables
+  /// overlay these. Leave empty (or `tmpi_adaptive=off`) for the static
+  /// mapping — bit-exact with previous releases (DESIGN.md §15).
+  Info rebalance_info{};
   /// Tracing hints (`tmpi_trace`, `tmpi_trace_path`,
   /// `tmpi_trace_buffer_events`; see net/trace.h). TMPI_TRACE* environment
   /// variables overlay these. Leave empty (or `tmpi_trace=0`) for the
@@ -90,6 +96,7 @@ struct WorldConfig {
 namespace detail {
 
 class Transport;
+class Rebalancer;
 
 struct RankState {
   int rank;
@@ -233,6 +240,14 @@ class World {
   [[nodiscard]] net::MetricsSampler* metrics() const { return metrics_.get(); }
   /// Resolved matching-engine indexing discipline (DESIGN.md §10).
   [[nodiscard]] detail::MatchPolicy match_policy() const { return match_policy_; }
+  /// Adaptive mapping policy engine (DESIGN.md §15): null unless the
+  /// resolved `tmpi_adaptive` knob is on, which keeps routing and the
+  /// transport on their static null-pointer fast paths.
+  [[nodiscard]] detail::Rebalancer* rebalancer() const { return rebalancer_.get(); }
+  /// Hand a freshly created communicator to the policy engine (no-op when
+  /// adaptive mapping is off). Every creation path — world, dup, split,
+  /// endpoints, shrink — calls this before publishing the communicator.
+  void register_comm(const std::shared_ptr<detail::CommImpl>& c);
   /// Parallel discrete-event scheduler (DESIGN.md §12): null in serial
   /// execution mode — and in parallel mode when the configuration requires
   /// synchronous delivery (bounded unexpected queues, scheduled ctx-down
@@ -290,6 +305,10 @@ class World {
   /// thread (destroyed first) can never outlive the recorders it dumps.
   std::unique_ptr<net::FlightRecorder> flightrec_;
   std::unique_ptr<net::MetricsSampler> metrics_;
+  /// Adaptive mapping engine (DESIGN.md §15); null when `tmpi_adaptive` is
+  /// off. Declared before states_ so tracked communicator cells outlive any
+  /// rank state that might still route through them during teardown.
+  std::unique_ptr<detail::Rebalancer> rebalancer_;
   /// Parallel-mode event scheduler. Declared before states_ so queued events
   /// (which reference VCI bodies) are destroyed only after ~World's body has
   /// already shut the pool down and drained every shard.

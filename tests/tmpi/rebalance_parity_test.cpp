@@ -1,0 +1,175 @@
+// Twin-parity suite for the adaptive-mapping default (DESIGN.md §15):
+// with `tmpi_adaptive` off — unset OR explicitly disabled — no Rebalancer
+// exists, no VciRemap is installed, and every virtual clock, stats counter,
+// and payload byte is identical to a build without the subsystem, under
+// BOTH execution engines. This is the contract that lets the policy engine
+// ship default-off without perturbing the golden suites.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "tmpi/tmpi.h"
+#include "twin_harness.h"
+
+namespace {
+
+using namespace tmpi;
+using twin::now;
+
+struct Outcome {
+  std::vector<net::Time> marks;
+  net::Time elapsed = 0;
+  net::NetStatsSnapshot snap;
+  std::vector<std::byte> payload;
+};
+
+// Phase-ordered workload over four dup'd stream comms on a 2-rank,
+// 4-VCI world: unexpected and posted-first traffic, both orders, plus a
+// multi-message drain — enough surface to notice a stray remap consult or
+// an extra lock charge anywhere on the p2p path.
+Outcome run_workload(WorldConfig wc) {
+  Outcome out;
+  World w(wc);
+  std::array<std::vector<Comm>, 2> comms;
+  w.run([&](Rank& rk) {
+    for (int i = 0; i < 4; ++i) {
+      comms[static_cast<std::size_t>(rk.rank())].push_back(rk.world_comm().dup());
+    }
+  });
+
+  constexpr int kMsgs = 24;
+  std::vector<std::array<std::byte, 8>> got(4 * kMsgs);
+  // Unexpected-first: all sends land before any receive posts.
+  w.run([&](Rank& rk) {
+    if (rk.rank() != 0) return;
+    std::array<std::byte, 8> buf;
+    for (int i = 0; i < kMsgs; ++i) {
+      for (int c = 0; c < 4; ++c) {
+        buf.fill(std::byte(0x20 + (i + c) % 32));
+        (void)send(buf.data(), 8, kByte, 1, i, comms[0][static_cast<std::size_t>(c)]);
+      }
+    }
+    out.marks.push_back(now());
+  });
+  w.run([&](Rank& rk) {
+    if (rk.rank() != 1) return;
+    for (int i = 0; i < kMsgs; ++i) {
+      for (int c = 0; c < 4; ++c) {
+        (void)recv(got[static_cast<std::size_t>(4 * i + c)].data(), 8, kByte, 0, i,
+                   comms[1][static_cast<std::size_t>(c)]);
+      }
+    }
+    out.marks.push_back(now());
+  });
+  // Posted-first: receives wait for a second burst.
+  std::vector<Request> reqs;
+  w.run([&](Rank& rk) {
+    if (rk.rank() != 1) return;
+    for (int c = 0; c < 4; ++c) {
+      reqs.push_back(irecv(got[static_cast<std::size_t>(c)].data(), 8, kByte, 0, 99,
+                           comms[1][static_cast<std::size_t>(c)]));
+    }
+  });
+  w.run([&](Rank& rk) {
+    if (rk.rank() != 0) return;
+    std::array<std::byte, 8> buf;
+    buf.fill(std::byte{0x77});
+    for (int c = 0; c < 4; ++c) {
+      (void)send(buf.data(), 8, kByte, 1, 99, comms[0][static_cast<std::size_t>(c)]);
+    }
+    out.marks.push_back(now());
+  });
+  w.run([&](Rank& rk) {
+    if (rk.rank() != 1) return;
+    for (auto& r : reqs) (void)r.wait();
+    out.marks.push_back(now());
+  });
+
+  out.elapsed = w.elapsed();
+  out.snap = w.snapshot();
+  for (const auto& b : got) out.payload.insert(out.payload.end(), b.begin(), b.end());
+  return out;
+}
+
+void expect_outcome_parity(const Outcome& a, const Outcome& b) {
+  ASSERT_EQ(a.marks.size(), b.marks.size());
+  for (std::size_t i = 0; i < a.marks.size(); ++i) {
+    EXPECT_EQ(a.marks[i], b.marks[i]) << "virtual-time mark " << i;
+  }
+  EXPECT_EQ(a.elapsed, b.elapsed);
+  twin::expect_stats_parity(a.snap, b.snap);
+  EXPECT_EQ(a.payload, b.payload);
+}
+
+WorldConfig base_config() {
+  WorldConfig wc;
+  wc.nranks = 2;
+  wc.ranks_per_node = 1;
+  wc.num_vcis = 4;
+  return wc;
+}
+
+class RebalanceParity : public ::testing::Test {
+ protected:
+  // The env overlay beats WorldConfig Info; a stray knob would collapse
+  // the twins into one configuration.
+  twin::ScopedEnv adaptive_{"TMPI_ADAPTIVE"};
+  twin::ScopedEnv window_{"TMPI_REBALANCE_WINDOW_NS"};
+  twin::ScopedEnv threshold_{"TMPI_IMBALANCE_THRESHOLD"};
+  twin::ScopedEnv mode_{"TMPI_EXEC_MODE"};
+};
+
+// Default (knob unset) is bit-identical to explicitly-off, via Info and via
+// env — and none of the runs construct a Rebalancer or count an epoch.
+TEST_F(RebalanceParity, OffByDefaultEqualsExplicitOff) {
+  const Outcome unset = run_workload(base_config());
+
+  WorldConfig info_off = base_config();
+  info_off.rebalance_info.set("tmpi_adaptive", "0");
+  const Outcome via_info = run_workload(info_off);
+
+  Outcome via_env;
+  {
+    twin::ScopedEnv env_off("TMPI_ADAPTIVE", "off");
+    via_env = run_workload(base_config());
+  }
+
+  expect_outcome_parity(unset, via_info);
+  expect_outcome_parity(unset, via_env);
+  EXPECT_EQ(unset.snap.rebalances, 0u);
+  EXPECT_EQ(unset.snap.migrated_entries, 0u);
+}
+
+// The off-default is engine-independent: serial inline delivery and the
+// sharded PDES scheduler agree clock-for-clock with adaptive unset.
+TEST_F(RebalanceParity, OffDefaultSerialVsParallel) {
+  WorldConfig serial = base_config();
+  serial.exec_mode = "serial";
+  WorldConfig parallel = base_config();
+  parallel.exec_mode = "parallel";
+  const Outcome a = run_workload(serial);
+  const Outcome b = run_workload(parallel);
+  expect_outcome_parity(a, b);
+  EXPECT_EQ(a.snap.rebalances, 0u);
+}
+
+// Sanity for the gating itself: turning the knob ON constructs the engine
+// and (by design) forces the synchronous path — the PDES scheduler never
+// coexists with online queue migration.
+TEST_F(RebalanceParity, AdaptiveOnConstructsEngineAndForcesSync) {
+  WorldConfig on = base_config();
+  on.rebalance_info.set("tmpi_adaptive", "1");
+  on.exec_mode = "parallel";
+  World w(on);
+  EXPECT_NE(w.rebalancer(), nullptr);
+  EXPECT_EQ(w.pdes(), nullptr) << "adaptive world must run synchronously";
+
+  World off(base_config());
+  EXPECT_EQ(off.rebalancer(), nullptr);
+}
+
+}  // namespace

@@ -1,0 +1,407 @@
+// Adaptive VCI rebalancing (DESIGN.md §15): config layering, the
+// context-filtered queue migration primitive, its race with concurrent
+// deposits, the end-to-end online migration path, and the composition with
+// sticky-down fail-over (a rebalance must never resurrect a down context).
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/cost_model.h"
+#include "net/stats.h"
+#include "tmpi/matching.h"
+#include "tmpi/rebalancer.h"
+#include "tmpi/tmpi.h"
+#include "twin_harness.h"
+
+namespace {
+
+using namespace tmpi;
+
+// ---------------------------------------------------------------------------
+// RebalanceConfig: Info-key parsing and env overlay (OverloadConfig idiom).
+
+TEST(RebalanceConfig, ParsesKnobKeysAndRejectsOthers) {
+  RebalanceConfig c;
+  EXPECT_FALSE(c.adaptive);
+  EXPECT_FALSE(c.enabled());
+  EXPECT_TRUE(c.set("tmpi_adaptive", "on"));
+  EXPECT_TRUE(c.set("tmpi_rebalance_window_ns", "12345"));
+  EXPECT_TRUE(c.set("tmpi_imbalance_threshold", "3.5"));
+  EXPECT_FALSE(c.set("tmpi_fault_plan", "down@0:0:0"));
+  EXPECT_FALSE(c.set("not_a_key", "1"));
+  EXPECT_TRUE(c.adaptive);
+  EXPECT_TRUE(c.enabled());
+  EXPECT_EQ(c.window_ns, 12345);
+  EXPECT_DOUBLE_EQ(c.imbalance_threshold, 3.5);
+
+  EXPECT_TRUE(c.set("tmpi_adaptive", "0"));
+  EXPECT_FALSE(c.adaptive);
+  EXPECT_TRUE(c.set("tmpi_adaptive", "true"));
+  EXPECT_TRUE(c.adaptive);
+  // A zero window disables the policy even when the switch is on.
+  EXPECT_TRUE(c.set("tmpi_rebalance_window_ns", "0"));
+  EXPECT_FALSE(c.enabled());
+}
+
+TEST(RebalanceConfig, EnvOverlayWins) {
+  twin::ScopedEnv adaptive("TMPI_ADAPTIVE", "1");
+  twin::ScopedEnv window("TMPI_REBALANCE_WINDOW_NS", "777");
+  twin::ScopedEnv threshold("TMPI_IMBALANCE_THRESHOLD", "1.25");
+  RebalanceConfig base;
+  base.adaptive = false;
+  base.window_ns = 5;
+  const RebalanceConfig c = RebalanceConfig::from_env(base);
+  EXPECT_TRUE(c.adaptive);
+  EXPECT_EQ(c.window_ns, 777);
+  EXPECT_DOUBLE_EQ(c.imbalance_threshold, 1.25);
+}
+
+TEST(RebalanceConfig, DefaultsAreOff) {
+  twin::ScopedEnv adaptive("TMPI_ADAPTIVE");
+  twin::ScopedEnv window("TMPI_REBALANCE_WINDOW_NS");
+  twin::ScopedEnv threshold("TMPI_IMBALANCE_THRESHOLD");
+  const RebalanceConfig c = RebalanceConfig::from_env(RebalanceConfig{});
+  EXPECT_FALSE(c.adaptive);
+  EXPECT_FALSE(c.enabled());
+  EXPECT_EQ(c.window_ns, 500000);
+  EXPECT_DOUBLE_EQ(c.imbalance_threshold, 2.0);
+}
+
+// ---------------------------------------------------------------------------
+// MatchingEngine::absorb_ctx — the migration primitive in isolation.
+
+detail::Envelope make_env(int ctx, int src, Tag tag, const char* payload) {
+  detail::Envelope e;
+  e.ctx_id = ctx;
+  e.src = src;
+  e.tag = tag;
+  e.bytes = std::strlen(payload);
+  e.payload.resize(e.bytes);
+  std::memcpy(e.payload.data(), payload, e.bytes);
+  return e;
+}
+
+struct Recv {
+  std::shared_ptr<detail::ReqState> req = std::make_shared<detail::ReqState>();
+  char buf[64] = {};
+
+  detail::PostedRecv posted(int ctx, int src, Tag tag, std::size_t cap = 64) {
+    detail::PostedRecv pr;
+    pr.ctx_id = ctx;
+    pr.src = src;
+    pr.tag = tag;
+    pr.buf = reinterpret_cast<std::byte*>(buf);
+    pr.capacity = cap;
+    pr.req = req;
+    return pr;
+  }
+};
+
+class AbsorbCtxTest : public ::testing::Test {
+ protected:
+  detail::MatchingEngine src;
+  detail::MatchingEngine dst;
+  net::CostModel cm;
+  net::NetStats stats;
+  net::VirtualClock clk;
+};
+
+TEST_F(AbsorbCtxTest, MovesOnlySelectedContexts) {
+  src.deposit(make_env(1, 0, 1, "a"), clk, cm, &stats);
+  src.deposit(make_env(2, 0, 2, "b"), clk, cm, &stats);
+  src.deposit(make_env(3, 0, 3, "c"), clk, cm, &stats);
+  Recv keep;
+  src.post_recv(keep.posted(2, 0, 9), clk, cm, &stats);
+  Recv move;
+  src.post_recv(move.posted(1, 0, 9), clk, cm, &stats);
+
+  const std::size_t moved = dst.absorb_ctx(src, 1, 3, -1);
+  EXPECT_EQ(moved, 3u);  // two unexpected (ctx 1, 3) + one posted (ctx 1)
+  EXPECT_EQ(src.unexpected_depth(), 1u);
+  EXPECT_EQ(src.posted_depth(), 1u);
+  EXPECT_EQ(dst.unexpected_depth(), 2u);
+  EXPECT_EQ(dst.posted_depth(), 1u);
+
+  // Both engines keep matching after the selective merge.
+  Recv ra;
+  dst.post_recv(ra.posted(1, 0, 1), clk, cm, &stats);
+  EXPECT_TRUE(ra.req->complete);
+  EXPECT_STREQ(ra.buf, "a");
+  Recv rb;
+  src.post_recv(rb.posted(2, 0, 2), clk, cm, &stats);
+  EXPECT_TRUE(rb.req->complete);
+  EXPECT_STREQ(rb.buf, "b");
+}
+
+TEST_F(AbsorbCtxTest, MigratedPostMatchesOnceAtDestinationOnly) {
+  Recv r;
+  src.post_recv(r.posted(1, 0, 5), clk, cm, &stats);
+  EXPECT_EQ(dst.absorb_ctx(src, 1, -1, -1), 1u);
+  EXPECT_EQ(src.posted_depth(), 0u);
+
+  // A deposit at the OLD channel no longer sees the moved post: it queues
+  // as unexpected there instead of double-matching.
+  src.deposit(make_env(1, 0, 5, "late"), clk, cm, &stats);
+  EXPECT_FALSE(r.req->complete);
+  EXPECT_EQ(src.unexpected_depth(), 1u);
+
+  // The deposit at the NEW channel completes the request exactly once.
+  dst.deposit(make_env(1, 0, 5, "hit"), clk, cm, &stats);
+  EXPECT_TRUE(r.req->complete);
+  EXPECT_STREQ(r.buf, "hit");
+}
+
+TEST_F(AbsorbCtxTest, RematchPairsStrandedPostAndDeposit) {
+  // The cutover race the migration sweep must repair: a deposit re-routed to
+  // the destination channel before the matching posted receive was swept
+  // over. After absorb_ctx the pair coexists in one engine — a state the
+  // deposit/post hot paths never create — and only rematch() can complete
+  // the receive.
+  dst.deposit(make_env(1, 0, 5, "early"), clk, cm, &stats);
+  Recv r;
+  src.post_recv(r.posted(1, 0, 5), clk, cm, &stats);
+  EXPECT_EQ(dst.absorb_ctx(src, 1, -1, -1), 1u);
+  EXPECT_FALSE(r.req->complete);
+
+  EXPECT_EQ(dst.rematch(clk.now() + 100), 1u);
+  EXPECT_TRUE(r.req->complete);
+  EXPECT_STREQ(r.buf, "early");
+  // Completion rides max(now, post, ready) plus the copy charge.
+  EXPECT_GE(r.req->complete_time, clk.now() + 100);
+  EXPECT_EQ(dst.posted_depth(), 0u);
+  EXPECT_EQ(dst.unexpected_depth(), 0u);
+  // Idempotent: nothing left to pair.
+  EXPECT_EQ(dst.rematch(clk.now()), 0u);
+}
+
+TEST_F(AbsorbCtxTest, PreservesEnqueueOrderAcrossMerge) {
+  // Interleave deposits of the same (ctx, src, tag) key across both
+  // engines; after the merge, receives must drain them oldest-first.
+  dst.deposit(make_env(1, 0, 5, "t0"), clk, cm, &stats);
+  clk.advance(10);
+  src.deposit(make_env(1, 0, 5, "t1"), clk, cm, &stats);
+  clk.advance(10);
+  dst.deposit(make_env(1, 0, 5, "t2"), clk, cm, &stats);
+  clk.advance(10);
+  src.deposit(make_env(1, 0, 5, "t3"), clk, cm, &stats);
+
+  EXPECT_EQ(dst.absorb_ctx(src, 1, -1, -1), 2u);
+  for (const char* want : {"t0", "t1", "t2", "t3"}) {
+    Recv r;
+    dst.post_recv(r.posted(1, 0, 5), clk, cm, &stats);
+    ASSERT_TRUE(r.req->complete);
+    EXPECT_STREQ(r.buf, want);
+  }
+}
+
+// Satellite: absorb racing a concurrent depositor under the VCI-lock
+// discipline — every entry survives exactly once (conservation, no
+// double-match, no loss), however the migration epochs interleave.
+TEST(AbsorbCtxRace, ConservesEntriesAgainstConcurrentDeposits) {
+  constexpr int kMsgs = 4000;
+  constexpr int kEpochs = 64;
+  detail::MatchingEngine src;
+  detail::MatchingEngine dst;
+  net::CostModel cm;
+  net::NetStats stats;
+  std::mutex vci_lock;  // stands in for the channel lock both sides take
+
+  std::thread depositor([&] {
+    net::VirtualClock clk;
+    for (int i = 0; i < kMsgs; ++i) {
+      const int ctx = 7 + (i % 2);  // ctx 7 migrates, ctx 8 stays put
+      char payload[16];
+      std::snprintf(payload, sizeof payload, "m%d", i);
+      std::scoped_lock lk(vci_lock);
+      src.deposit(make_env(ctx, 0, i, payload), clk, cm, &stats);
+    }
+  });
+  std::uint64_t moved = 0;
+  for (int e = 0; e < kEpochs; ++e) {
+    {
+      std::scoped_lock lk(vci_lock);
+      moved += dst.absorb_ctx(src, 7, -1, -1);
+    }
+    std::this_thread::yield();
+  }
+  depositor.join();
+  {
+    std::scoped_lock lk(vci_lock);
+    moved += dst.absorb_ctx(src, 7, -1, -1);
+  }
+
+  // Conservation: ctx 7 entirely at dst, ctx 8 entirely at src.
+  EXPECT_EQ(moved, static_cast<std::uint64_t>(kMsgs / 2));
+  EXPECT_EQ(dst.unexpected_depth(), static_cast<std::size_t>(kMsgs / 2));
+  EXPECT_EQ(src.unexpected_depth(), static_cast<std::size_t>(kMsgs / 2));
+
+  // No double-match, no loss: every tag drains exactly once with its own
+  // payload, from the engine its context landed on.
+  net::VirtualClock clk;
+  for (int i = 0; i < kMsgs; ++i) {
+    detail::MatchingEngine& eng = (i % 2 == 0) ? dst : src;
+    Recv r;
+    eng.post_recv(r.posted(7 + (i % 2), 0, i), clk, cm, &stats);
+    ASSERT_TRUE(r.req->complete) << "tag " << i;
+    char want[16];
+    std::snprintf(want, sizeof want, "m%d", i);
+    EXPECT_STREQ(r.buf, want);
+  }
+  EXPECT_EQ(dst.unexpected_depth(), 0u);
+  EXPECT_EQ(src.unexpected_depth(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: the policy engine observes a skewed world and migrates online.
+
+class RebalanceWorld : public ::testing::Test {
+ protected:
+  // The env overlay would override the per-test Info knobs.
+  twin::ScopedEnv adaptive_{"TMPI_ADAPTIVE"};
+  twin::ScopedEnv window_{"TMPI_REBALANCE_WINDOW_NS"};
+  twin::ScopedEnv threshold_{"TMPI_IMBALANCE_THRESHOLD"};
+};
+
+TEST_F(RebalanceWorld, MigratesCollidingHotCommsOnline) {
+  WorldConfig wc;
+  wc.nranks = 2;
+  wc.ranks_per_node = 1;
+  wc.num_vcis = 4;
+  wc.rebalance_info.set("tmpi_adaptive", "1");
+  wc.rebalance_info.set("tmpi_rebalance_window_ns", "2000");
+  wc.rebalance_info.set("tmpi_imbalance_threshold", "1.2");
+  World w(wc);
+  ASSERT_NE(w.rebalancer(), nullptr);
+
+  // Five dups: seq 1..5, naive vci = seq % 4 — dup 0 and dup 4 collide on
+  // VCI 1 and carry ALL the traffic.
+  std::array<std::vector<Comm>, 2> comms;
+  w.run([&](Rank& rk) {
+    for (int i = 0; i < 5; ++i) {
+      comms[static_cast<std::size_t>(rk.rank())].push_back(rk.world_comm().dup());
+    }
+  });
+  detail::CommImpl* hot_a = comms[0][0].impl();
+  detail::CommImpl* hot_b = comms[0][4].impl();
+  ASSERT_NE(hot_a->remap, nullptr);
+  ASSERT_NE(hot_b->remap, nullptr);
+
+  constexpr int kMsgs = 120;
+  std::vector<std::array<std::byte, 8>> got(2 * kMsgs);
+  // All sends land before any receive is posted: deposits pile up
+  // unexpected on the naive VCI, so the mid-stream cutovers must carry the
+  // unexpected queues with them for the later receives to find anything.
+  w.run([&](Rank& rk) {
+    if (rk.rank() != 0) return;
+    auto& cv = comms[0];
+    std::array<std::byte, 8> buf;
+    for (int i = 0; i < kMsgs; ++i) {
+      for (int h = 0; h < 2; ++h) {
+        buf.fill(std::byte(0x40 + i % 64 + h));
+        (void)send(buf.data(), 8, kByte, 1, i, cv[static_cast<std::size_t>(4 * h)]);
+      }
+    }
+  });
+  w.run([&](Rank& rk) {
+    if (rk.rank() != 1) return;
+    auto& cv = comms[1];
+    for (int i = 0; i < kMsgs; ++i) {
+      for (int h = 0; h < 2; ++h) {
+        const Status st = recv(got[static_cast<std::size_t>(2 * i + h)].data(), 8, kByte, 0,
+                               i, cv[static_cast<std::size_t>(4 * h)]);
+        EXPECT_EQ(st.bytes, 8u);
+      }
+    }
+  });
+
+  // The policy fired and split the colliding pair onto distinct channels.
+  // (LPT may leave one of the pair on its naive home, remap still -1.)
+  const net::NetStatsSnapshot s = w.snapshot();
+  EXPECT_GE(s.rebalances, 1u);
+  const int va = hot_a->remap->vci.load(std::memory_order_acquire);
+  const int vb = hot_b->remap->vci.load(std::memory_order_acquire);
+  const int ea = va >= 0 ? va : hot_a->comm_vcis[0];
+  const int eb = vb >= 0 ? vb : hot_b->comm_vcis[0];
+  EXPECT_TRUE(va >= 0 || vb >= 0) << "no comm was ever remapped";
+  EXPECT_NE(ea, eb);
+
+  // Every payload arrived intact despite the mid-stream cutover.
+  for (int i = 0; i < kMsgs; ++i) {
+    for (int h = 0; h < 2; ++h) {
+      EXPECT_EQ(got[static_cast<std::size_t>(2 * i + h)][0], std::byte(0x40 + i % 64 + h))
+          << "msg " << i << " stream " << h;
+    }
+  }
+}
+
+// Satellite: rebalance composed with sticky-down fail-over. The policy must
+// route around a down context — never resurrect it — and traffic stays
+// correct end to end.
+TEST_F(RebalanceWorld, NeverResurrectsDownContext) {
+  WorldConfig wc;
+  wc.nranks = 2;
+  wc.ranks_per_node = 1;
+  wc.num_vcis = 4;
+  wc.rebalance_info.set("tmpi_adaptive", "1");
+  wc.rebalance_info.set("tmpi_rebalance_window_ns", "2000");
+  wc.rebalance_info.set("tmpi_imbalance_threshold", "1.2");
+  wc.fault_info.set("tmpi_fault_plan", "down@0:1:0");
+  World w(wc);
+  ASSERT_NE(w.rebalancer(), nullptr);
+
+  std::array<std::vector<Comm>, 2> comms;
+  w.run([&](Rank& rk) {
+    for (int i = 0; i < 5; ++i) {
+      comms[static_cast<std::size_t>(rk.rank())].push_back(rk.world_comm().dup());
+    }
+  });
+
+  // Both hot comms start on VCI 1, which is down at t=0 on rank 0: the
+  // first send fails the stream over, and every later rebalance must pick
+  // bins from the usable set only.
+  constexpr int kMsgs = 120;
+  std::array<std::byte, 8> sbuf;
+  std::array<std::byte, 8> rbuf;
+  w.run([&](Rank& rk) {
+    for (int i = 0; i < kMsgs; ++i) {
+      for (int h = 0; h < 2; ++h) {
+        const Comm& c = comms[static_cast<std::size_t>(rk.rank())][static_cast<std::size_t>(4 * h)];
+        if (rk.rank() == 0) {
+          sbuf.fill(std::byte(0x11 + h));
+          (void)send(sbuf.data(), 8, kByte, 1, i, c);
+        } else {
+          const Status st = recv(rbuf.data(), 8, kByte, 0, i, c);
+          EXPECT_EQ(st.bytes, 8u);
+          EXPECT_EQ(rbuf[0], std::byte(0x11 + h));
+        }
+      }
+    }
+  });
+
+  const net::NetStatsSnapshot s = w.snapshot();
+  EXPECT_GE(s.failovers, 1u);
+  EXPECT_GE(s.rebalances, 1u);
+
+  // No tracked communicator was remapped onto the down channel.
+  for (int i = 0; i < 5; ++i) {
+    detail::CommImpl* impl = comms[0][static_cast<std::size_t>(i)].impl();
+    ASSERT_NE(impl->remap, nullptr);
+    EXPECT_NE(impl->remap->vci.load(std::memory_order_acquire), 1) << "comm " << i;
+  }
+  // And the down channel carried no traffic after the failover.
+  for (const auto& c : s.channels) {
+    if (c.rank == 0 && c.vci == 1) EXPECT_EQ(c.injections, 0u);
+  }
+  EXPECT_TRUE(w.rank_state(0).vcis.at(1).ctx().is_down());
+}
+
+}  // namespace

@@ -102,6 +102,8 @@ inline void expect_stats_parity(const tmpi::net::NetStatsSnapshot& a,
   EXPECT_EQ(a.revokes, b.revokes);
   EXPECT_EQ(a.shrinks, b.shrinks);
   EXPECT_EQ(a.unexpected_hwm, b.unexpected_hwm);
+  EXPECT_EQ(a.rebalances, b.rebalances);
+  EXPECT_EQ(a.migrated_entries, b.migrated_entries);
   EXPECT_EQ(a.bucket_hits, b.bucket_hits);
   EXPECT_EQ(a.bucket_misses, b.bucket_misses);
   EXPECT_EQ(a.wildcard_fallbacks, b.wildcard_fallbacks);
